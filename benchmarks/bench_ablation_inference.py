@@ -1,0 +1,66 @@
+"""Ablation — eager vs. on-demand inference for Table 3 (DESIGN.md §5).
+
+The starred Table 3 cells need to know whether a term is *inferable*.
+Two strategies:
+
+* **eager** — materialize the full inference closure once, then do O(1)
+  term lookups (what `coverage_report` does);
+* **on-demand** — for each additional term, run only the rule that could
+  produce it, without materializing anything.
+
+The bench measures both on the Taverna trace graph, where the stars live.
+"""
+
+import pytest
+
+from repro.prov.constants import ADDITIONAL_TERMS
+from repro.prov.inference import ProvInferencer, inferred_graph
+from repro.coverage import scan_term
+from repro.rdf.namespace import PROV, RDF
+
+
+def _eager(graph):
+    closure = inferred_graph(graph)
+    return {term.name: scan_term(closure, term) for term in ADDITIONAL_TERMS}
+
+
+def _on_demand(graph):
+    """Check each Table 3 term with only its producing rule."""
+    inferencer = ProvInferencer(graph)
+    results = {}
+    plan_new = inferencer.apply_plan_from_had_plan()
+    influence_new = inferencer.apply_influence_subproperties()
+    derivation_new = inferencer.apply_derivation_subproperties()
+    for term in ADDITIONAL_TERMS:
+        direct = scan_term(graph, term)
+        if direct:
+            results[term.name] = True
+        elif term.iri == PROV.Plan:
+            results[term.name] = any(t.predicate == RDF.type and t.object == PROV.Plan
+                                     for t in plan_new)
+        elif term.iri == PROV.wasInfluencedBy:
+            results[term.name] = bool(influence_new)
+        elif term.iri == PROV.hadPrimarySource:
+            results[term.name] = False  # no rule produces it
+        else:
+            results[term.name] = False
+    return results
+
+
+def test_eager_inference(taverna_graph, benchmark):
+    results = benchmark(_eager, taverna_graph)
+    assert results["prov:Plan"] is True
+    assert results["prov:wasInfluencedBy"] is True
+    assert results["prov:Bundle"] is False
+
+
+def test_on_demand_inference(taverna_graph, benchmark):
+    results = benchmark(_on_demand, taverna_graph)
+    assert results["prov:Plan"] is True
+    assert results["prov:wasInfluencedBy"] is True
+    assert results["prov:Bundle"] is False
+
+
+def test_strategies_agree(taverna_graph, wings_graph):
+    for graph in (taverna_graph, wings_graph):
+        assert _eager(graph) == _on_demand(graph)

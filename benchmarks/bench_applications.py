@@ -1,0 +1,75 @@
+"""Experiment A1–A3 — the Section 3 applications over the corpus.
+
+Benchmarks each application's core computation at corpus scale:
+(i) dependency extraction over a trace, (ii) debugging every failed run,
+(iii) decay detection across all 39 multi-run templates.
+"""
+
+import pytest
+
+from repro.apps import DecayDetector, DependencyAnalyzer, RunDebugger
+from repro.taverna import TAVERNA_RUN_NS
+from repro.wings import OPMW_EXPORT_NS
+
+
+@pytest.fixture(scope="module")
+def ok_trace(corpus):
+    return next(t for t in corpus.by_system("taverna") if not t.failed)
+
+
+def test_a1_dependency_extraction(ok_trace, benchmark):
+    graph = ok_trace.graph()
+
+    def analyze():
+        return DependencyAnalyzer(graph).all_dependency_pairs()
+
+    pairs = benchmark(analyze)
+    assert pairs
+
+
+def test_a1_transitive_closure(ok_trace, benchmark):
+    analyzer = DependencyAnalyzer(ok_trace.graph())
+    output = next(iter(analyzer._generated_by))
+
+    deps = benchmark(analyzer.transitive_dependencies, output)
+    assert isinstance(deps, set)
+
+
+def test_a2_debug_all_failed_runs(corpus, benchmark):
+    failed = corpus.failed_traces()
+    graphs = [(t, t.graph()) for t in failed]
+
+    def debug_all():
+        reports = []
+        for trace, graph in graphs:
+            if trace.system == "taverna":
+                iri = TAVERNA_RUN_NS.term(f"{trace.run_id}/")
+            else:
+                iri = OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{trace.run_id}")
+            reports.append(RunDebugger(graph).debug(iri))
+        return reports
+
+    reports = benchmark(debug_all)
+    assert len(reports) == 30
+    assert all(r.failed and r.responsible_processes for r in reports)
+
+
+def test_a3_decay_detection(corpus, benchmark):
+    detector = DecayDetector(corpus)
+
+    reports = benchmark(detector.detect_all)
+
+    assert len(reports) == 39
+    decayed = [r for r in reports if r.decayed]
+    stable = [r for r in reports if r.stable]
+    assert decayed and stable
+
+
+def test_a3_repair_lookup(corpus, benchmark):
+    detector = DecayDetector(corpus)
+    repairable = [t.run_id for t in corpus.failed_traces()
+                  if detector.repair_candidates(t.run_id) is not None]
+    assert len(repairable) == 6
+
+    suggestion = benchmark(detector.repair_candidates, repairable[0])
+    assert suggestion is not None and suggestion.artifacts

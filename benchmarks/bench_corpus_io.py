@@ -1,0 +1,60 @@
+"""Corpus I/O benchmarks: serialization formats and the disk layout.
+
+Not a paper table, but the operations every corpus consumer pays for:
+writing the ProvBench directory, loading it back, and converting a trace
+between the PROV family serializations.
+"""
+
+import pytest
+
+from repro.corpus import load_corpus, write_corpus
+from repro.prov import parse_provn, serialize_provn, serialize_provxml
+from repro.rdf import parse_turtle, serialize_turtle
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory, corpus):
+    root = tmp_path_factory.mktemp("bench-corpus")
+    write_corpus(corpus, root)
+    return root
+
+
+def test_write_corpus(corpus, tmp_path_factory, benchmark):
+    def write():
+        root = tmp_path_factory.mktemp("bench-write")
+        return write_corpus(corpus, root)
+
+    manifest = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert manifest.exists()
+
+
+def test_load_corpus(corpus_dir, benchmark):
+    stored = benchmark.pedantic(load_corpus, args=(corpus_dir,), rounds=3, iterations=1)
+    assert len(stored.traces) == 198
+
+
+def test_turtle_roundtrip_per_trace(corpus, benchmark):
+    trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+
+    def roundtrip():
+        return parse_turtle(serialize_turtle(trace.graph()))
+
+    graph = benchmark(roundtrip)
+    assert len(graph) == len(trace.graph())
+
+
+def test_provn_roundtrip_per_trace(corpus, benchmark):
+    trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+
+    def roundtrip():
+        return parse_provn(serialize_provn(trace.document))
+
+    document = benchmark(roundtrip)
+    assert document.statistics() == trace.document.statistics()
+
+
+def test_provxml_serialize_per_trace(corpus, benchmark):
+    trace = next(t for t in corpus.by_system("wings") if not t.failed)
+
+    text = benchmark(serialize_provxml, trace.document)
+    assert text.startswith("<?xml")

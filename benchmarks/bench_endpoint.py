@@ -1,0 +1,33 @@
+"""Experiment E1 — the SPARQL endpoint (Section 6 future work).
+
+Serves the full corpus over HTTP and benchmarks round-trip query latency
+for a representative exemplar query.
+"""
+
+import pytest
+
+from repro.endpoint import SparqlClient, SparqlEndpoint
+from repro.queries import Q1_WORKFLOW_RUNS
+
+
+@pytest.fixture(scope="module")
+def server(corpus_dataset):
+    endpoint = SparqlEndpoint(corpus_dataset).start()
+    yield endpoint
+    endpoint.stop()
+
+
+def test_endpoint_q1_roundtrip(server, benchmark):
+    client = SparqlClient(server.query_url)
+
+    rows = benchmark(client.query, Q1_WORKFLOW_RUNS)
+
+    assert len(rows) == 198
+
+
+def test_endpoint_ask_latency(server, benchmark):
+    client = SparqlClient(server.query_url)
+
+    result = benchmark(client.query, "ASK { ?x a prov:Bundle }")
+
+    assert result is True

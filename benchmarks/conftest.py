@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+The corpus and its derived query surfaces are built once per benchmark
+session; individual benches measure the *reproduction computations*
+(table generation, query evaluation, coverage scans, applications) over
+that shared corpus, and write the regenerated tables/figures to
+``benchmarks/_artifacts/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import CorpusBuilder
+
+ARTIFACTS = Path(__file__).parent / "_artifacts"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return CorpusBuilder(seed=2013).build()
+
+
+@pytest.fixture(scope="session")
+def corpus_dataset(corpus):
+    return corpus.dataset()
+
+
+@pytest.fixture(scope="session")
+def taverna_graph(corpus):
+    return corpus.system_graph("taverna")
+
+
+@pytest.fixture(scope="session")
+def wings_graph(corpus):
+    return corpus.system_graph("wings")
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir():
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def write_artifact(directory: Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + ("\n" if not text.endswith("\n") else ""))

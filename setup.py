@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires a wheel build backend; on offline machines
+without `wheel`, use `python setup.py develop` instead. All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""The paper's Section 3 applications, built on the corpus.
+
+* :mod:`.dependencies` — (i) dependencies between data products and processes
+* :mod:`.debugging` — (ii) debugging workflow executions
+* :mod:`.decay` — (iii) detection of workflow decay + repair from past runs
+"""
+
+from .debugging import DebugReport, RunDebugger
+from .decay import DecayDetector, DecayReport, OutputSnapshot, RepairRecord, RepairSuggestion
+from .dependencies import DependencyAnalyzer, Derivation
+
+__all__ = [
+    "DependencyAnalyzer",
+    "Derivation",
+    "RunDebugger",
+    "DebugReport",
+    "DecayDetector",
+    "DecayReport",
+    "OutputSnapshot",
+    "RepairSuggestion",
+    "RepairRecord",
+]

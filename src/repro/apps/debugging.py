@@ -1,0 +1,151 @@
+"""Application (ii): debugging workflow executions.
+
+Section 3 of the paper: "the PROV-corpus can be used to identify the
+processes that are responsible for workflow failure and detect the steps
+in the workflow that were affected."
+
+:class:`RunDebugger` answers both halves from a trace's RDF alone:
+
+* the *responsible* process is the one marked failed by the system's own
+  status idiom (``tavernaprov:processStatus "failed"`` or
+  ``opmw:hasStatus "FAILURE"``);
+* the *affected* steps are the template steps with no corresponding
+  process run in the trace — failed runs export truncated provenance, so
+  the gap between the plan (wfdesc/OPMW template, which the exporters
+  embed) and the trace is exactly the set of steps the failure prevented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import DCTERMS, OPMW, WFDESC, WFPROV, RDF
+from ..rdf.terms import IRI, Literal
+from ..taverna.provexport import TAVERNAPROV
+
+__all__ = ["DebugReport", "RunDebugger"]
+
+
+@dataclass
+class DebugReport:
+    """The outcome of debugging one run's trace."""
+
+    run_iri: IRI
+    system: str  # taverna | wings
+    failed: bool
+    responsible_processes: List[IRI] = field(default_factory=list)
+    failure_causes: List[str] = field(default_factory=list)
+    executed_steps: List[str] = field(default_factory=list)
+    affected_steps: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if not self.failed:
+            return f"{self.run_iri.value}: completed normally"
+        responsible = ", ".join(p.value for p in self.responsible_processes) or "unknown"
+        affected = ", ".join(self.affected_steps) or "none"
+        causes = ", ".join(self.failure_causes) or "unknown"
+        return (
+            f"{self.run_iri.value}: FAILED ({causes}); responsible: {responsible}; "
+            f"affected steps never executed: {affected}"
+        )
+
+
+class RunDebugger:
+    """Failure analysis over one trace graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def debug(self, run_iri: IRI) -> DebugReport:
+        """Debug the run identified by *run_iri* (Taverna run or Wings account)."""
+        if self.graph.count(run_iri, RDF.type, WFPROV.WorkflowRun):
+            return self._debug_taverna(run_iri)
+        if self.graph.count(run_iri, RDF.type, OPMW.WorkflowExecutionAccount):
+            return self._debug_wings(run_iri)
+        raise KeyError(f"{run_iri.value} is not a workflow run in this trace")
+
+    # -- Taverna ---------------------------------------------------------------
+
+    def _debug_taverna(self, run_iri: IRI) -> DebugReport:
+        status = self.graph.value(subject=run_iri, predicate=TAVERNAPROV.runStatus)
+        failed = isinstance(status, Literal) and status.lexical == "failed"
+        report = DebugReport(run_iri, "taverna", failed)
+
+        executed_process_descriptions: Set[IRI] = set()
+        for process in self.graph.subjects(WFPROV.wasPartOfWorkflowRun, run_iri):
+            if not self.graph.count(process, RDF.type, WFPROV.ProcessRun):
+                continue
+            description = self.graph.value(subject=process, predicate=WFPROV.describedByProcess)
+            if isinstance(description, IRI):
+                executed_process_descriptions.add(description)
+                report.executed_steps.append(description.local_name or description.value)
+            process_status = self.graph.value(
+                subject=process, predicate=TAVERNAPROV.processStatus
+            )
+            if isinstance(process_status, Literal) and process_status.lexical == "failed":
+                report.responsible_processes.append(process)
+                message = self.graph.value(subject=process, predicate=TAVERNAPROV.errorMessage)
+                if isinstance(message, Literal):
+                    report.failure_causes.append(message.lexical)
+
+        # Affected steps = planned wfdesc processes with no process run.
+        workflow = self.graph.value(subject=run_iri, predicate=WFPROV.describedByWorkflow)
+        if isinstance(workflow, IRI):
+            for planned in self.graph.objects(workflow, WFDESC.hasSubProcess):
+                if isinstance(planned, IRI) and planned not in executed_process_descriptions:
+                    report.affected_steps.append(self._step_title(planned))
+        report.executed_steps = sorted(self._tail(name) for name in report.executed_steps)
+        report.affected_steps = sorted(report.affected_steps)
+        return report
+
+    # -- Wings ------------------------------------------------------------------
+
+    def _debug_wings(self, account_iri: IRI) -> DebugReport:
+        status = self.graph.value(subject=account_iri, predicate=OPMW.hasStatus)
+        failed = isinstance(status, Literal) and status.lexical == "FAILURE"
+        report = DebugReport(account_iri, "wings", failed)
+
+        executed_template_steps: Set[IRI] = set()
+        for process in self.graph.subjects_of_type(OPMW.WorkflowExecutionProcess):
+            if not self.graph.count(process, OPMW.isStepOfTemplate, account_iri):
+                continue
+            template_step = self.graph.value(
+                subject=process, predicate=OPMW.correspondsToTemplateProcess
+            )
+            if isinstance(template_step, IRI):
+                executed_template_steps.add(template_step)
+                report.executed_steps.append(self._step_title(template_step))
+            process_status = self.graph.value(subject=process, predicate=OPMW.hasStatus)
+            if isinstance(process_status, Literal) and process_status.lexical == "FAILURE":
+                report.responsible_processes.append(process)
+                message = self.graph.value(subject=process, predicate=DCTERMS.description)
+                if isinstance(message, Literal):
+                    report.failure_causes.append(message.lexical)
+
+        template = self.graph.value(subject=account_iri, predicate=OPMW.correspondsToTemplate)
+        if isinstance(template, IRI):
+            for planned in self.graph.subjects(OPMW.isStepOfTemplate, template):
+                is_step = self.graph.count(planned, RDF.type, OPMW.WorkflowTemplateProcess)
+                if is_step and planned not in executed_template_steps:
+                    report.affected_steps.append(self._step_title(planned))
+        report.executed_steps = sorted(report.executed_steps)
+        report.affected_steps = sorted(report.affected_steps)
+        return report
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _step_title(self, step_iri: IRI) -> str:
+        title = self.graph.value(subject=step_iri, predicate=DCTERMS.title)
+        if isinstance(title, Literal):
+            return title.lexical
+        return self._tail(step_iri.value)
+
+    @staticmethod
+    def _tail(value: str) -> str:
+        trimmed = value.rstrip("/")
+        for sep in ("/", "#", "_process_"):
+            if sep in trimmed:
+                trimmed = trimmed.rsplit(sep, 1)[1]
+        return trimmed

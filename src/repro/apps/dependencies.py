@@ -1,0 +1,124 @@
+"""Application (i): dependencies between data products and processes.
+
+Section 3 of the paper: "provenance traces can be used to identify the
+process that generated a given data product, and how it was derived from
+other data products in order to identify dependencies."
+
+:class:`DependencyAnalyzer` works directly on a trace's RDF graph, so it
+applies equally to Taverna and Wings traces (both assert ``prov:used`` and
+``prov:wasGeneratedBy``; the analyzer derives entity→entity dependencies
+through the shared activity, plus any explicitly asserted derivation
+subproperties such as the Wings ``prov:hadPrimarySource``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..prov.constants import DERIVATION_SUBPROPERTIES
+from ..rdf.graph import Graph
+from ..rdf.namespace import PROV
+from ..rdf.terms import IRI
+
+__all__ = ["DependencyAnalyzer", "Derivation"]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One derived → source dependency, with the mediating activity."""
+
+    product: IRI
+    source: IRI
+    activity: Optional[IRI]  # None when asserted directly (hadPrimarySource, ...)
+
+
+class DependencyAnalyzer:
+    """Entity/process dependency analysis over one trace graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._generated_by: Dict[IRI, List[IRI]] = {}
+        self._used_by: Dict[IRI, List[IRI]] = {}
+        for t in graph.triples(None, PROV.wasGeneratedBy, None):
+            self._generated_by.setdefault(t.subject, []).append(t.object)
+        for t in graph.triples(None, PROV.used, None):
+            self._used_by.setdefault(t.subject, []).append(t.object)
+
+    # -- the paper's core question -------------------------------------------
+
+    def generating_process(self, entity: IRI) -> Optional[IRI]:
+        """The process that generated *entity* (None for workflow inputs)."""
+        activities = self._generated_by.get(entity, [])
+        return activities[0] if activities else None
+
+    def inputs_of(self, activity: IRI) -> List[IRI]:
+        """Entities the activity used, sorted for determinism."""
+        return sorted(self._used_by.get(activity, []), key=lambda t: t.value)
+
+    def direct_dependencies(self, entity: IRI) -> List[Derivation]:
+        """The entities *entity* was directly derived from."""
+        out: List[Derivation] = []
+        for activity in self._generated_by.get(entity, []):
+            for source in self.inputs_of(activity):
+                if source != entity:
+                    out.append(Derivation(entity, source, activity))
+        for prop in [PROV.wasDerivedFrom] + list(DERIVATION_SUBPROPERTIES):
+            for t in self.graph.triples(entity, prop, None):
+                if isinstance(t.object, IRI):
+                    out.append(Derivation(entity, t.object, None))
+        return out
+
+    def transitive_dependencies(self, entity: IRI) -> Set[IRI]:
+        """Every data product *entity* transitively depends on."""
+        seen: Set[IRI] = set()
+        frontier = [entity]
+        while frontier:
+            current = frontier.pop()
+            for dep in self.direct_dependencies(current):
+                if dep.source not in seen:
+                    seen.add(dep.source)
+                    frontier.append(dep.source)
+        return seen
+
+    def dependents_of(self, entity: IRI) -> Set[IRI]:
+        """Every data product that transitively depends on *entity*."""
+        graph = self.dependency_graph()
+        if entity.value not in graph:
+            return set()
+        return {IRI(n) for n in nx.ancestors(graph, entity.value)}
+
+    # -- graph views -------------------------------------------------------------
+
+    def dependency_graph(self) -> "nx.DiGraph":
+        """Entity DAG: edge product → source, annotated with the activity."""
+        graph = nx.DiGraph()
+        for entity in self._generated_by:
+            for dep in self.direct_dependencies(entity):
+                graph.add_edge(
+                    dep.product.value,
+                    dep.source.value,
+                    via=dep.activity.value if dep.activity is not None else None,
+                )
+        return graph
+
+    def all_dependency_pairs(self) -> List[Tuple[IRI, IRI]]:
+        """Every (product, source) pair in the trace, sorted."""
+        pairs = set()
+        for entity in list(self._generated_by):
+            for dep in self.direct_dependencies(entity):
+                pairs.add((dep.product, dep.source))
+        return sorted(pairs, key=lambda p: (p[0].value, p[1].value))
+
+    def derivation_path(self, product: IRI, source: IRI) -> Optional[List[IRI]]:
+        """A derivation chain product → ... → source, or None."""
+        graph = self.dependency_graph()
+        if product.value not in graph or source.value not in graph:
+            return None
+        try:
+            path = nx.shortest_path(graph, product.value, source.value)
+        except nx.NetworkXNoPath:
+            return None
+        return [IRI(node) for node in path]

@@ -1,0 +1,227 @@
+"""Command-line interface: ``repro-corpus``.
+
+Sub-commands:
+
+* ``build <dir>`` — build the corpus (seeded) and write the ProvBench
+  directory layout;
+* ``stats <dir>`` — print the Section 2 statistics of a stored corpus;
+* ``table1`` — build in memory and print Table 1;
+* ``figure1`` — print the Figure 1 domain histogram;
+* ``coverage`` — print Tables 2 and 3;
+* ``query <dir> <sparql or @file>`` — run a SPARQL query over a stored
+  corpus;
+* ``serve <dir> [--port N]`` — start the SPARQL endpoint over a stored
+  corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-corpus",
+        description="ProvBench Wf4Ever-PROV corpus reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=2013, help="corpus build seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build the corpus and write it to disk")
+    p_build.add_argument("directory", type=Path)
+
+    p_stats = sub.add_parser("stats", help="print statistics of a stored corpus")
+    p_stats.add_argument("directory", type=Path)
+
+    sub.add_parser("table1", help="build in memory and print Table 1")
+    sub.add_parser("figure1", help="print the Figure 1 domain histogram")
+    sub.add_parser("coverage", help="print Tables 2 and 3 (PROV term coverage)")
+
+    p_query = sub.add_parser("query", help="run SPARQL over a stored corpus")
+    p_query.add_argument("directory", type=Path)
+    p_query.add_argument("sparql", help="query text, or @path/to/file.rq")
+    p_query.add_argument("--format", choices=("table", "csv", "json"), default="table")
+
+    p_serve = sub.add_parser("serve", help="serve a stored corpus over SPARQL")
+    p_serve.add_argument("directory", type=Path)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8890)
+
+    sub.add_parser("maintenance", help="run the vocabulary-alignment maintenance pass")
+    sub.add_parser("profile", help="print the structural profile of the corpus")
+    sub.add_parser("report", help="print the full reproduction report (Markdown)")
+
+    p_ro = sub.add_parser("ro", help="print the Research Object manifest of a template")
+    p_ro.add_argument("template_id")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "build": _cmd_build,
+        "stats": _cmd_stats,
+        "table1": _cmd_table1,
+        "figure1": _cmd_figure1,
+        "coverage": _cmd_coverage,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
+        "maintenance": _cmd_maintenance,
+        "profile": _cmd_profile,
+        "report": _cmd_report,
+        "ro": _cmd_ro,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_build(args) -> int:
+    from .corpus import CorpusBuilder, write_corpus
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    manifest = write_corpus(corpus, args.directory)
+    stats = corpus.statistics()
+    print(f"built corpus under {args.directory}")
+    print(f"  workflows: {stats['workflows']}  runs: {stats['runs']}  "
+          f"failed: {stats['failed_runs']}")
+    print(f"  size: {stats['size_bytes'] / (1024 * 1024):.1f} MB "
+          f"({stats['triples']} triples)")
+    print(f"  manifest: {manifest}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .corpus import load_corpus
+
+    stored = load_corpus(args.directory)
+    print(json.dumps(stored.statistics, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .corpus import CorpusBuilder, format_table1
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    print(format_table1(corpus))
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    from .corpus import DOMAINS
+
+    width = max(len(d.name) for d in DOMAINS)
+    print("Figure 1: Domains of workflows  (# = Taverna, * = Wings)")
+    for domain in DOMAINS:
+        bar = "#" * domain.taverna_workflows + "*" * domain.wings_workflows
+        print(f"{domain.name.ljust(width)}  {bar}  "
+              f"({domain.taverna_workflows} Taverna, {domain.wings_workflows} Wings)")
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from .corpus import CorpusBuilder
+    from .coverage import coverage_report, format_table2, format_table3
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    report = coverage_report(corpus.system_graph("taverna"), corpus.system_graph("wings"))
+    print(format_table2(report))
+    print()
+    print(format_table3(report))
+    if not report.matches_paper():
+        print("\nWARNING: coverage deviates from the paper:", file=sys.stderr)
+        for difference in report.differences():
+            print(f"  {difference}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .corpus import load_corpus
+    from .sparql import QueryEngine
+
+    sparql = args.sparql
+    if sparql.startswith("@"):
+        sparql = Path(sparql[1:]).read_text()
+    stored = load_corpus(args.directory)
+    engine = QueryEngine(stored.dataset())
+    result = engine.query(sparql)
+    if isinstance(result, bool):
+        print("true" if result else "false")
+        return 0
+    if args.format == "csv":
+        print(result.to_csv(), end="")
+    elif args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.pretty())
+        print(f"({len(result)} rows)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .corpus import load_corpus
+    from .endpoint import SparqlEndpoint
+
+    stored = load_corpus(args.directory)
+    endpoint = SparqlEndpoint(stored.dataset(), host=args.host, port=args.port)
+    endpoint.start()
+    print(f"serving corpus SPARQL endpoint at {endpoint.query_url} (Ctrl-C to stop)")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        endpoint.stop()
+    return 0
+
+
+def _cmd_maintenance(args) -> int:
+    from .corpus import CorpusBuilder, check_corpus
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    report = check_corpus(corpus)
+    print(report.summary())
+    for issue in report.issues:
+        print(f"  {issue}")
+    return 0 if report.aligned else 1
+
+
+def _cmd_profile(args) -> int:
+    from .corpus import CorpusBuilder, profile_corpus
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    profile = profile_corpus(corpus)
+    print(json.dumps(profile.summary(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .corpus import CorpusBuilder
+    from .report import build_report
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    print(build_report(corpus))
+    return 0
+
+
+def _cmd_ro(args) -> int:
+    from .corpus import CorpusBuilder, package_template
+    from .rdf import serialize_turtle
+
+    corpus = CorpusBuilder(seed=args.seed).build()
+    try:
+        manifest = package_template(corpus, args.template_id)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(serialize_turtle(manifest.graph))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The PROV-corpus layer: domains, generation, building, and storage.
+
+This is the reproduction of the paper's contribution proper: a corpus of
+provenance traces from 120 workflows (70 Taverna + 50 Wings, 12 domains),
+executed 198 times with 30 deliberate failures, exported with each
+system's native provenance conventions, and organized in the ProvBench
+repository layout.
+"""
+
+from .builder import (
+    Corpus,
+    CorpusBuilder,
+    CorpusTrace,
+    FAILED_RUNS,
+    FAILURE_MIX,
+    RunPlanEntry,
+    TOTAL_RUNS,
+)
+from .domains import DOMAINS, Domain, domain_by_slug, total_workflows
+from .generator import TemplateGenerator
+from .maintenance import MaintenanceIssue, MaintenanceReport, check_corpus
+from .manifest import Table1Row, format_table1, table1
+from .profile import CorpusProfile, TraceProfile, profile_corpus
+from .research_objects import ResearchObjectManifest, package_corpus, package_template
+from .storage import StoredCorpus, StoredTrace, load_corpus, write_corpus
+
+__all__ = [
+    "Corpus",
+    "CorpusBuilder",
+    "CorpusTrace",
+    "RunPlanEntry",
+    "TOTAL_RUNS",
+    "FAILED_RUNS",
+    "FAILURE_MIX",
+    "DOMAINS",
+    "Domain",
+    "domain_by_slug",
+    "total_workflows",
+    "TemplateGenerator",
+    "table1",
+    "format_table1",
+    "Table1Row",
+    "write_corpus",
+    "load_corpus",
+    "StoredCorpus",
+    "StoredTrace",
+    "check_corpus",
+    "MaintenanceReport",
+    "MaintenanceIssue",
+    "package_template",
+    "package_corpus",
+    "ResearchObjectManifest",
+    "profile_corpus",
+    "CorpusProfile",
+    "TraceProfile",
+]

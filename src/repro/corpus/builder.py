@@ -1,0 +1,366 @@
+"""Corpus construction: plan, execute, and export all 198 runs.
+
+Reproduces Section 2 of the paper ("Corpus creation setup"):
+
+* 120 workflows, each "executed at least one time";
+* 198 runs in total — 39 templates are designated *multi-run* (3 runs
+  each) for the decay studies, the remaining 81 run once
+  (81 + 39 × 3 = 198);
+* 30 runs fail, with the paper's cause mix — 14 third-party resource
+  unavailability, 10 illegal input values, 6 service timeouts — injected
+  deterministically at a chosen step;
+* runs are spread over simulated months (decay is observed "over time");
+* every run's provenance is exported with its system's native plugin
+  conventions: Taverna → Turtle (PROV-O + wfprov + wfdesc),
+  Wings → TriG (PROV-O + OPMW, account bundles as named graphs).
+
+Everything derives from the integer seed (default 2013 — the paper's
+year), so two builds produce byte-identical corpora.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..prov.model import ProvDocument
+from ..prov.rdf_io import to_dataset, to_graph
+from ..rdf.graph import Dataset, Graph
+from ..rdf.trig import serialize_trig
+from ..rdf.turtle import serialize_turtle
+from ..taverna import TavernaEngine
+from ..taverna import export_run as taverna_export
+from ..taverna import export_template_description
+from ..wings import WingsEngine
+from ..wings import export_run as wings_export
+from ..wings import export_template
+from ..workflow.dataflow import RunResult, SimulatedClock
+from ..workflow.errors import FAILURE_CAUSES
+from ..workflow.model import WorkflowTemplate
+from ..workflow.services import FaultPlan
+from .domains import DOMAINS, domain_by_slug
+from .generator import TemplateGenerator
+
+__all__ = ["RunPlanEntry", "CorpusTrace", "Corpus", "CorpusBuilder"]
+
+#: Paper constants (Section 2).
+TOTAL_RUNS = 198
+FAILED_RUNS = 30
+FAILURE_MIX = {"resource-unavailable": 14, "illegal-input-value": 10, "service-timeout": 6}
+MULTI_RUN_TEMPLATES = 39
+RUNS_PER_MULTI_TEMPLATE = 3
+
+TAVERNA_USERS = ("soiland-reyes", "kbelhajjame", "palper", "jzhao")
+WINGS_USERS = ("dgarijo", "agarrido", "ocorcho", "vratnakar")
+
+
+@dataclass(frozen=True)
+class RunPlanEntry:
+    """One planned execution."""
+
+    run_id: str
+    template_id: str
+    sequence: int  # 1-based run number for this template
+    variant: int  # input variant (decay templates drift across sequences)
+    user: str
+    fault_step: Optional[str] = None
+    fault_cause: Optional[str] = None
+
+    @property
+    def will_fail(self) -> bool:
+        return self.fault_step is not None
+
+
+@dataclass
+class CorpusTrace:
+    """One exported provenance trace plus its run metadata."""
+
+    run_id: str
+    system: str
+    domain: str
+    template_id: str
+    template_name: str
+    status: str
+    started: _dt.datetime
+    ended: Optional[_dt.datetime]
+    user: str
+    document: ProvDocument
+    text: str  # serialized RDF (Turtle for Taverna, TriG for Wings)
+    rdf_format: str  # "turtle" | "trig"
+    failed_step: Optional[str] = None
+    failure_cause: Optional[str] = None
+    result: Optional[RunResult] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.text.encode("utf-8"))
+
+    def graph(self) -> Graph:
+        """The trace as a single merged RDF graph."""
+        return to_graph(self.document)
+
+    def dataset(self) -> Dataset:
+        """The trace as a dataset (bundles as named graphs)."""
+        return to_dataset(self.document)
+
+
+class Corpus:
+    """The built corpus: 120 templates, 198 traces, and query surfaces."""
+
+    def __init__(
+        self,
+        seed: int,
+        templates: Dict[str, WorkflowTemplate],
+        traces: List[CorpusTrace],
+        plan: List[RunPlanEntry],
+        generator: TemplateGenerator,
+    ):
+        self.seed = seed
+        self.templates = templates
+        self.traces = traces
+        self.plan = plan
+        self.generator = generator
+        self._merged: Optional[Dataset] = None
+        self._system_graphs: Dict[str, Graph] = {}
+
+    # -- selection -------------------------------------------------------------
+
+    def by_system(self, system: str) -> List[CorpusTrace]:
+        return [t for t in self.traces if t.system == system]
+
+    def by_template(self, template_id: str) -> List[CorpusTrace]:
+        return [t for t in self.traces if t.template_id == template_id]
+
+    def by_domain(self, domain_slug: str) -> List[CorpusTrace]:
+        return [t for t in self.traces if t.domain == domain_slug]
+
+    def failed_traces(self) -> List[CorpusTrace]:
+        return [t for t in self.traces if t.failed]
+
+    def trace(self, run_id: str) -> CorpusTrace:
+        for t in self.traces:
+            if t.run_id == run_id:
+                return t
+        raise KeyError(f"no trace for run {run_id!r}")
+
+    def multi_run_templates(self) -> List[str]:
+        """Template ids with more than one run (the decay-study set)."""
+        counts: Dict[str, int] = {}
+        for trace in self.traces:
+            counts[trace.template_id] = counts.get(trace.template_id, 0) + 1
+        return sorted(tid for tid, n in counts.items() if n > 1)
+
+    # -- query surfaces -----------------------------------------------------------
+
+    def dataset(self) -> Dataset:
+        """The whole corpus as one dataset (Wings bundles as named graphs)."""
+        if self._merged is None:
+            merged = Dataset()
+            for trace in self.traces:
+                trace_ds = trace.dataset()
+                merged.default.add_all(trace_ds.default)
+                for name in trace_ds.graph_names():
+                    merged.graph(name).add_all(trace_ds.graph(name))
+                for prefix, base in trace_ds.namespaces.namespaces():
+                    merged.namespaces.bind(prefix, base, replace=False)
+            self._merged = merged
+        return self._merged
+
+    def system_graph(self, system: str) -> Graph:
+        """All of one system's traces merged into a single graph."""
+        if system not in self._system_graphs:
+            merged = Graph()
+            for trace in self.by_system(system):
+                merged.add_all(trace.graph())
+            self._system_graphs[system] = merged
+        return self._system_graphs[system]
+
+    # -- statistics ------------------------------------------------------------------
+
+    def total_size_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.traces)
+
+    def statistics(self) -> Dict[str, object]:
+        failed = self.failed_traces()
+        causes: Dict[str, int] = {}
+        for trace in failed:
+            causes[trace.failure_cause] = causes.get(trace.failure_cause, 0) + 1
+        return {
+            "workflows": len(self.templates),
+            "taverna_workflows": sum(1 for t in self.templates.values() if t.system == "taverna"),
+            "wings_workflows": sum(1 for t in self.templates.values() if t.system == "wings"),
+            "runs": len(self.traces),
+            "taverna_runs": len(self.by_system("taverna")),
+            "wings_runs": len(self.by_system("wings")),
+            "failed_runs": len(failed),
+            "failure_causes": causes,
+            "domains": len(DOMAINS),
+            "size_bytes": self.total_size_bytes(),
+            "triples": sum(len(t.graph()) for t in self.traces),
+        }
+
+    def domain_histogram(self) -> List[Tuple[str, int, int]]:
+        """Figure 1: (domain name, taverna workflows, wings workflows)."""
+        return [(d.name, d.taverna_workflows, d.wings_workflows) for d in DOMAINS]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Corpus seed={self.seed}: {len(self.templates)} workflows, "
+            f"{len(self.traces)} runs, {len(self.failed_traces())} failed>"
+        )
+
+
+class CorpusBuilder:
+    """Plans and executes the whole corpus build."""
+
+    def __init__(self, seed: int = 2013, start: Optional[_dt.datetime] = None):
+        self.seed = seed
+        self.start = start if start is not None else _dt.datetime(2012, 5, 7, 9, 0, 0)
+        self.generator = TemplateGenerator(seed=seed)
+
+    # -- planning -------------------------------------------------------------------
+
+    def plan_runs(self, templates: List[WorkflowTemplate]) -> List[RunPlanEntry]:
+        """The deterministic 198-run plan with the 30-failure schedule."""
+        rng = random.Random(self.seed)
+        template_ids = [t.template_id for t in templates]
+        shuffled = list(template_ids)
+        rng.shuffle(shuffled)
+        multi = set(shuffled[:MULTI_RUN_TEMPLATES])
+        single = [tid for tid in template_ids if tid not in multi]
+
+        # Most failures land on single-run templates; 6 hit the *last* run
+        # of a multi-run template, leaving two earlier successful runs —
+        # the donor material the decay application repairs from.
+        multi_failing = set(rng.sample(sorted(multi), 6))
+        failing = set(rng.sample(single, FAILED_RUNS - len(multi_failing)))
+        cause_pool: List[str] = []
+        for cause, count in FAILURE_MIX.items():
+            cause_pool.extend([cause] * count)
+        rng.shuffle(cause_pool)
+        cause_of = dict(zip(sorted(failing | multi_failing), cause_pool))
+
+        by_id = {t.template_id: t for t in templates}
+        entries: List[RunPlanEntry] = []
+        serial = 0
+        for template_id in template_ids:
+            template = by_id[template_id]
+            runs = RUNS_PER_MULTI_TEMPLATE if template_id in multi else 1
+            decay_template = template_id in multi and (hash_of(template_id, self.seed) % 2 == 0)
+            for sequence in range(1, runs + 1):
+                serial += 1
+                users = TAVERNA_USERS if template.system == "taverna" else WINGS_USERS
+                user = users[hash_of(template_id, sequence) % len(users)]
+                fault_step = fault_cause = None
+                failing_sequence = RUNS_PER_MULTI_TEMPLATE if template_id in multi else 1
+                if template_id in cause_of and sequence == failing_sequence:
+                    fault_cause = cause_of[template_id]
+                    fault_step = self._fault_step(template, fault_cause)
+                entries.append(
+                    RunPlanEntry(
+                        run_id=self._run_id(template, sequence),
+                        template_id=template_id,
+                        sequence=sequence,
+                        variant=(sequence - 1) if decay_template else 0,
+                        user=user,
+                        fault_step=fault_step,
+                        fault_cause=fault_cause,
+                    )
+                )
+        assert len(entries) == TOTAL_RUNS, f"planned {len(entries)} runs, expected {TOTAL_RUNS}"
+        assert sum(1 for e in entries if e.will_fail) == FAILED_RUNS
+        return entries
+
+    @staticmethod
+    def _run_id(template: WorkflowTemplate, sequence: int) -> str:
+        if template.system == "taverna":
+            return f"{template.template_id}-run{sequence}"
+        return f"ACCOUNT-{template.template_id}-run{sequence}"
+
+    @staticmethod
+    def _fault_step(template: WorkflowTemplate, cause: str) -> str:
+        """Pick the step the fault hits, matched to the cause."""
+        ordered = [p.name for p in template.topological_order()]
+        remote = template.remote_steps()
+        if cause in ("resource-unavailable", "service-timeout") and remote:
+            return remote[0]
+        if cause == "illegal-input-value" and len(ordered) > 1:
+            return ordered[1]  # a mid-pipeline validation failure
+        return ordered[0]
+
+    # -- building ----------------------------------------------------------------------
+
+    def build(self) -> Corpus:
+        """Execute the full plan and export every trace."""
+        templates = self.generator.all_templates()
+        by_id = {t.template_id: t for t in templates}
+        plan = self.plan_runs(templates)
+
+        registry = self.generator.build_registry()
+        components = self.generator.build_component_catalog()
+        data_catalog = self.generator.build_data_catalog()
+        clock = SimulatedClock(self.start)
+        taverna = TavernaEngine(registry, clock)
+        wings = WingsEngine(registry, clock, components, data_catalog)
+
+        traces: List[CorpusTrace] = []
+        for entry in plan:
+            template = by_id[entry.template_id]
+            # Spread runs over simulated months: 6h..72h between runs.
+            gap_hours = 6 + hash_of(entry.run_id, self.seed) % 67
+            clock.advance(gap_hours * 3600)
+            fault_plan = (
+                FaultPlan.single(entry.fault_step, entry.fault_cause)
+                if entry.will_fail
+                else FaultPlan.none()
+            )
+            inputs = self.generator.inputs_for(template, variant=entry.variant)
+            if template.system == "taverna":
+                run = taverna.run(template, inputs, run_id=entry.run_id,
+                                  fault_plan=fault_plan, user=entry.user)
+                document = taverna_export(run)
+                export_template_description(template, document)
+                text = serialize_turtle(to_graph(document))
+                rdf_format = "turtle"
+            else:
+                run = wings.run(template, inputs, run_id=entry.run_id,
+                                fault_plan=fault_plan, user=entry.user)
+                document = wings_export(run)
+                export_template(template, document)
+                text = serialize_trig(to_dataset(document))
+                rdf_format = "trig"
+            result = run.result
+            traces.append(
+                CorpusTrace(
+                    run_id=entry.run_id,
+                    system=template.system,
+                    domain=template.domain,
+                    template_id=template.template_id,
+                    template_name=template.name,
+                    status=result.status,
+                    started=result.started,
+                    ended=result.ended,
+                    user=entry.user,
+                    document=document,
+                    text=text,
+                    rdf_format=rdf_format,
+                    failed_step=result.failed_step,
+                    failure_cause=result.failure_cause,
+                    result=result,
+                )
+            )
+        return Corpus(self.seed, by_id, traces, plan, self.generator)
+
+
+def hash_of(*parts: object) -> int:
+    """Stable (non-salted) hash for deterministic planning decisions."""
+    import hashlib
+
+    h = hashlib.sha1("|".join(str(p) for p in parts).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big")

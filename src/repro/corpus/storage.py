@@ -1,0 +1,174 @@
+"""On-disk corpus layout, mirroring the ProvBench GitHub repository.
+
+The original corpus (github.com/provbench/Wf4Ever-PROV) organizes traces
+by workflow system, then workflow.  We reproduce that shape:
+
+    <root>/
+      manifest.json                  # build metadata + Table 1 numbers
+      Taverna/<domain>/<template>/
+        workflow.t2flow              # the workflow definition
+        <run-id>.prov.ttl            # one Turtle trace per run
+      Wings/<domain>/<template>/
+        <run-id>.prov.trig           # one TriG trace per run (bundles)
+
+:func:`write_corpus` persists a built :class:`Corpus`; :func:`load_corpus`
+reads the directory back into RDF datasets without re-running anything —
+this is the path a corpus *consumer* (someone who downloaded ProvBench)
+uses, and what the loader tests exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..rdf.graph import Dataset, Graph
+from ..rdf.trig import parse_trig
+from ..rdf.turtle import parse_turtle
+from ..taverna.t2flow import to_t2flow
+from .builder import Corpus, CorpusTrace
+
+__all__ = ["write_corpus", "load_corpus", "StoredTrace", "StoredCorpus"]
+
+_SYSTEM_DIR = {"taverna": "Taverna", "wings": "Wings"}
+_EXTENSION = {"turtle": ".prov.ttl", "trig": ".prov.trig"}
+
+
+def write_corpus(corpus: Corpus, root: Path) -> Path:
+    """Write the corpus under *root*; returns the manifest path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    written_templates = set()
+    manifest_traces = []
+    for trace in corpus.traces:
+        system_dir = _SYSTEM_DIR[trace.system]
+        template_dir = root / system_dir / trace.domain / trace.template_id
+        template_dir.mkdir(parents=True, exist_ok=True)
+        if trace.system == "taverna" and trace.template_id not in written_templates:
+            template = corpus.templates[trace.template_id]
+            (template_dir / "workflow.t2flow").write_text(to_t2flow(template))
+            written_templates.add(trace.template_id)
+        filename = trace.run_id + _EXTENSION[trace.rdf_format]
+        (template_dir / filename).write_text(trace.text)
+        manifest_traces.append({
+            "run_id": trace.run_id,
+            "system": trace.system,
+            "domain": trace.domain,
+            "template_id": trace.template_id,
+            "template_name": trace.template_name,
+            "status": trace.status,
+            "failed_step": trace.failed_step,
+            "failure_cause": trace.failure_cause,
+            "started": trace.started.isoformat(),
+            "ended": trace.ended.isoformat() if trace.ended is not None else None,
+            "user": trace.user,
+            "format": trace.rdf_format,
+            "path": str(Path(system_dir) / trace.domain / trace.template_id / filename),
+            "size_bytes": trace.size_bytes,
+        })
+    manifest = {
+        "name": "Wf4Ever-PROV (reproduction)",
+        "seed": corpus.seed,
+        "statistics": corpus.statistics(),
+        "traces": manifest_traces,
+    }
+    manifest_path = root / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest_path
+
+
+@dataclass
+class StoredTrace:
+    """A trace read back from disk (RDF only; no engine objects)."""
+
+    run_id: str
+    system: str
+    domain: str
+    template_id: str
+    status: str
+    failure_cause: Optional[str]
+    rdf_format: str
+    path: Path
+    text: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    def graph(self) -> Graph:
+        """The trace merged into one graph (named graphs collapsed)."""
+        if self.rdf_format == "trig":
+            return self.dataset().union_graph()
+        return parse_turtle(self.text)
+
+    def dataset(self) -> Dataset:
+        if self.rdf_format == "trig":
+            return parse_trig(self.text)
+        dataset = Dataset()
+        parse_turtle(self.text, graph=dataset.default)
+        return dataset
+
+
+@dataclass
+class StoredCorpus:
+    """A corpus loaded from disk."""
+
+    root: Path
+    manifest: Dict
+    traces: List[StoredTrace] = field(default_factory=list)
+
+    @property
+    def statistics(self) -> Dict:
+        return self.manifest["statistics"]
+
+    def by_system(self, system: str) -> List[StoredTrace]:
+        return [t for t in self.traces if t.system == system]
+
+    def failed_traces(self) -> List[StoredTrace]:
+        return [t for t in self.traces if t.failed]
+
+    def dataset(self) -> Dataset:
+        """All traces merged into one queryable dataset."""
+        merged = Dataset()
+        for trace in self.traces:
+            ds = trace.dataset()
+            merged.default.add_all(ds.default)
+            for name in ds.graph_names():
+                merged.graph(name).add_all(ds.graph(name))
+            for prefix, base in ds.namespaces.namespaces():
+                merged.namespaces.bind(prefix, base, replace=False)
+        return merged
+
+    def system_graph(self, system: str) -> Graph:
+        merged = Graph()
+        for trace in self.by_system(system):
+            merged.add_all(trace.graph())
+        return merged
+
+
+def load_corpus(root: Path) -> StoredCorpus:
+    """Read a corpus directory written by :func:`write_corpus`."""
+    root = Path(root)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json under {root}")
+    manifest = json.loads(manifest_path.read_text())
+    stored = StoredCorpus(root=root, manifest=manifest)
+    for entry in manifest["traces"]:
+        path = root / entry["path"]
+        stored.traces.append(
+            StoredTrace(
+                run_id=entry["run_id"],
+                system=entry["system"],
+                domain=entry["domain"],
+                template_id=entry["template_id"],
+                status=entry["status"],
+                failure_cause=entry.get("failure_cause"),
+                rdf_format=entry["format"],
+                path=path,
+                text=path.read_text(),
+            )
+        )
+    return stored

@@ -1,0 +1,6 @@
+"""SPARQL endpoint + client (the paper's Section 6 future work)."""
+
+from .client import SparqlClient
+from .server import SparqlEndpoint
+
+__all__ = ["SparqlEndpoint", "SparqlClient"]

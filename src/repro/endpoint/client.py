@@ -1,0 +1,61 @@
+"""A small SPARQL protocol client for the corpus endpoint.
+
+Speaks just enough of the SPARQL 1.1 Protocol to talk to
+:class:`repro.endpoint.server.SparqlEndpoint` (and to any standard
+endpoint serving the JSON results format): GET or POST queries, JSON
+results decoding back into plain Python values.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Union
+
+__all__ = ["SparqlClient"]
+
+
+class SparqlClient:
+    """Client for a SPARQL endpoint URL."""
+
+    def __init__(self, query_url: str, timeout: float = 10.0):
+        self.query_url = query_url
+        self.timeout = timeout
+
+    def query(self, sparql: str, method: str = "GET") -> Union[bool, List[Dict[str, Any]]]:
+        """Run a query; SELECT → list of binding dicts, ASK → bool."""
+        if method == "GET":
+            url = f"{self.query_url}?{urllib.parse.urlencode({'query': sparql})}"
+            request = urllib.request.Request(url)
+        elif method == "POST":
+            request = urllib.request.Request(
+                self.query_url,
+                data=sparql.encode("utf-8"),
+                headers={"Content-Type": "application/sparql-query"},
+                method="POST",
+            )
+        else:
+            raise ValueError(f"unsupported method {method!r}")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        return self._decode(payload)
+
+    @staticmethod
+    def _decode(payload: Dict[str, Any]) -> Union[bool, List[Dict[str, Any]]]:
+        if "boolean" in payload:
+            return bool(payload["boolean"])
+        rows: List[Dict[str, Any]] = []
+        for binding in payload.get("results", {}).get("bindings", []):
+            row: Dict[str, Any] = {}
+            for name, term in binding.items():
+                value = term.get("value")
+                datatype = term.get("datatype", "")
+                if term.get("type") == "literal" and datatype.endswith("integer"):
+                    row[name] = int(value)
+                elif term.get("type") == "literal" and datatype.endswith(("double", "decimal")):
+                    row[name] = float(value)
+                else:
+                    row[name] = value
+            rows.append(row)
+        return rows

@@ -1,0 +1,176 @@
+"""SPARQL protocol endpoint over a corpus dataset.
+
+Section 6 of the paper lists "providing access to the corpus via a SPARQL
+endpoint and web interfaces" as future work; this module implements it as
+an extension.  A :class:`SparqlEndpoint` wraps a graph or dataset with a
+minimal SPARQL 1.1 Protocol surface on stdlib ``http.server``:
+
+* ``GET /sparql?query=...`` and ``POST /sparql`` (form-encoded or
+  ``application/sparql-query``) evaluate a query;
+* SELECT results return the SPARQL JSON results format
+  (``application/sparql-results+json``), or CSV with ``Accept: text/csv``;
+* ASK results return the JSON boolean form;
+* ``GET /`` returns a small service description with corpus statistics.
+
+The server runs on a background thread (:meth:`SparqlEndpoint.start`) so
+tests and examples can exercise it in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+
+from ..rdf.graph import Dataset, Graph
+from ..rdf.turtle import serialize_turtle
+from ..sparql.evaluator import QueryEngine
+from ..sparql.results import ResultTable
+from ..sparql.tokenizer import SparqlSyntaxError
+
+__all__ = ["SparqlEndpoint"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to an engine via the server instance."""
+
+    server_version = "ProvBenchSPARQL/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test output clean
+
+    # -- protocol ------------------------------------------------------------
+
+    def do_GET(self):
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path in ("", "/"):
+            self._send_service_description()
+            return
+        if parsed.path != "/sparql":
+            self._send_error(404, "not found: use /sparql")
+            return
+        params = urllib.parse.parse_qs(parsed.query)
+        queries = params.get("query")
+        if not queries:
+            self._send_error(400, "missing 'query' parameter")
+            return
+        self._run_query(queries[0])
+
+    def do_POST(self):
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path != "/sparql":
+            self._send_error(404, "not found: use /sparql")
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode("utf-8")
+        content_type = self.headers.get("Content-Type", "").split(";")[0].strip()
+        if content_type == "application/sparql-query":
+            query = body
+        else:
+            params = urllib.parse.parse_qs(body)
+            queries = params.get("query")
+            if not queries:
+                self._send_error(400, "missing 'query' parameter")
+                return
+            query = queries[0]
+        self._run_query(query)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _run_query(self, query: str):
+        engine: QueryEngine = self.server.engine  # type: ignore[attr-defined]
+        try:
+            result = engine.query(query)
+        except SparqlSyntaxError as exc:
+            self._send_error(400, f"malformed query: {exc}")
+            return
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            self._send_error(500, f"query evaluation failed: {exc}")
+            return
+        accept = self.headers.get("Accept", "")
+        if isinstance(result, bool):
+            payload = json.dumps({"head": {}, "boolean": result})
+            self._send(200, "application/sparql-results+json", payload)
+        elif isinstance(result, ResultTable):
+            if "text/csv" in accept:
+                self._send(200, "text/csv", result.to_csv())
+            else:
+                self._send(200, "application/sparql-results+json", result.to_json())
+        elif isinstance(result, Graph):
+            # CONSTRUCT / DESCRIBE results are graphs, served as Turtle.
+            self._send(200, "text/turtle", serialize_turtle(result))
+        else:
+            self._send_error(500, "unsupported result type")
+
+    def _send_service_description(self):
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        payload = json.dumps(
+            {
+                "service": "ProvBench Wf4Ever-PROV corpus SPARQL endpoint",
+                "sparql": "/sparql",
+                "triples": endpoint.triple_count,
+                "named_graphs": endpoint.named_graph_count,
+            },
+            indent=2,
+        )
+        self._send(200, "application/json", payload)
+
+    def _send(self, status: int, content_type: str, body: str):
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error(self, status: int, message: str):
+        self._send(status, "application/json", json.dumps({"error": message}))
+
+
+class SparqlEndpoint:
+    """An HTTP SPARQL endpoint over a corpus graph or dataset."""
+
+    def __init__(self, source: Union[Graph, Dataset], host: str = "127.0.0.1", port: int = 0):
+        self.engine = QueryEngine(source)
+        if isinstance(source, Dataset):
+            self.triple_count = len(source)
+            self.named_graph_count = len(source.graph_names())
+        else:
+            self.triple_count = len(source)
+            self.named_graph_count = 0
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.engine = self.engine  # type: ignore[attr-defined]
+        self._server.endpoint = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def query_url(self) -> str:
+        return f"{self.url}/sparql"
+
+    def start(self) -> "SparqlEndpoint":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("endpoint already started")
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "SparqlEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,152 @@
+"""Interoperable access to Taverna and Wings traces (Section 6).
+
+The paper's future work: "investigate further interoperable queries to
+retrieve provenance results from both workflows systems."  The two
+systems expose the same facts through different idioms — runs are
+``wfprov:WorkflowRun`` activities vs ``opmw:WorkflowExecutionAccount``
+bundles, times are ``prov:*AtTime`` vs ``opmw:overall*Time``, the
+responsible agent is an association vs an attribution, status lives in
+``tavernaprov:runStatus`` vs ``opmw:hasStatus``.
+
+:class:`InteropView` normalizes all of that into one :class:`UnifiedRun`
+record per run, computed entirely with SPARQL over the corpus dataset —
+the "interoperable query" the paper asks for, packaged as an API.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from .rdf.graph import Dataset, Graph
+from .rdf.terms import IRI, Literal
+from .sparql.evaluator import QueryEngine
+
+__all__ = ["UnifiedRun", "InteropView", "UNIFIED_RUNS_QUERY"]
+
+#: The single interoperable query behind the unified view: one UNION
+#: branch per system, each normalizing its idiom into the same variables.
+UNIFIED_RUNS_QUERY = """
+PREFIX tavernaprov: <http://ns.taverna.org.uk/2012/tavernaprov/>
+SELECT ?run ?system ?template ?start ?end ?status ?agent WHERE {
+  {
+    ?run a wfprov:WorkflowRun .
+    FILTER NOT EXISTS { ?run wfprov:wasPartOfWorkflowRun ?parent }
+    BIND("taverna" AS ?system)
+    OPTIONAL { ?run wfprov:describedByWorkflow ?template }
+    OPTIONAL { ?run prov:startedAtTime ?start }
+    OPTIONAL { ?run prov:endedAtTime ?end }
+    OPTIONAL { ?run tavernaprov:runStatus ?rawstatus }
+    BIND(IF(BOUND(?rawstatus) && ?rawstatus = "failed", "failed", "ok") AS ?status)
+    OPTIONAL { ?run prov:wasAssociatedWith ?agent }
+  }
+  UNION
+  {
+    ?run a opmw:WorkflowExecutionAccount .
+    BIND("wings" AS ?system)
+    OPTIONAL { ?run opmw:correspondsToTemplate ?template }
+    OPTIONAL { ?run opmw:overallStartTime ?start }
+    OPTIONAL { ?run opmw:overallEndTime ?end }
+    OPTIONAL { ?run opmw:hasStatus ?rawstatus }
+    BIND(IF(BOUND(?rawstatus) && ?rawstatus = "FAILURE", "failed", "ok") AS ?status)
+    OPTIONAL { ?run prov:wasAttributedTo ?agent }
+  }
+}
+ORDER BY ?start
+"""
+
+
+@dataclass(frozen=True)
+class UnifiedRun:
+    """System-independent description of one workflow run."""
+
+    run: IRI
+    system: str  # taverna | wings
+    template: Optional[IRI]
+    start: Optional[_dt.datetime]
+    end: Optional[_dt.datetime]
+    status: str  # ok | failed
+    agent: Optional[IRI]
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def duration(self) -> Optional[_dt.timedelta]:
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+
+class InteropView:
+    """Normalized, cross-system view over a corpus dataset."""
+
+    def __init__(self, source: Union[Graph, Dataset]):
+        self.engine = QueryEngine(source)
+        self.engine.namespaces.bind(
+            "tavernaprov", "http://ns.taverna.org.uk/2012/tavernaprov/", replace=False
+        )
+        self._runs: Optional[List[UnifiedRun]] = None
+
+    def runs(self) -> List[UnifiedRun]:
+        """Every run of the dataset, normalized and time-ordered."""
+        if self._runs is None:
+            table = self.engine.select(UNIFIED_RUNS_QUERY)
+            self._runs = [self._to_unified(row) for row in table]
+        return self._runs
+
+    @staticmethod
+    def _to_unified(row) -> UnifiedRun:
+        def time(term):
+            if isinstance(term, Literal):
+                value = term.to_python()
+                if isinstance(value, _dt.datetime):
+                    return value
+            return None
+
+        return UnifiedRun(
+            run=row.run,
+            system=row.system.lexical,
+            template=row.template if isinstance(row.template, IRI) else None,
+            start=time(row.start),
+            end=time(row.end),
+            status=row.status.lexical if row.status is not None else "ok",
+            agent=row.agent if isinstance(row.agent, IRI) else None,
+        )
+
+    # -- cross-system analytics ----------------------------------------------
+
+    def failed_runs(self) -> List[UnifiedRun]:
+        return [r for r in self.runs() if r.failed]
+
+    def by_system(self) -> Dict[str, List[UnifiedRun]]:
+        grouped: Dict[str, List[UnifiedRun]] = {"taverna": [], "wings": []}
+        for run in self.runs():
+            grouped[run.system].append(run)
+        return grouped
+
+    def runs_of_template(self, template: IRI) -> List[UnifiedRun]:
+        return [r for r in self.runs() if r.template == template]
+
+    def failure_rate(self) -> float:
+        runs = self.runs()
+        if not runs:
+            return 0.0
+        return len(self.failed_runs()) / len(runs)
+
+    def mean_duration(self, system: Optional[str] = None) -> Optional[_dt.timedelta]:
+        durations = [
+            r.duration for r in self.runs()
+            if r.duration is not None and (system is None or r.system == system)
+        ]
+        if not durations:
+            return None
+        return sum(durations, _dt.timedelta(0)) / len(durations)
+
+    def timeline(self) -> List[UnifiedRun]:
+        """Runs in execution order — the decay-monitoring axis."""
+        return sorted(
+            (r for r in self.runs() if r.start is not None), key=lambda r: r.start
+        )

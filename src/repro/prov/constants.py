@@ -1,0 +1,143 @@
+"""PROV-O vocabulary constants and term groupings.
+
+The term groupings mirror the paper's coverage tables:
+
+* :data:`STARTING_POINT_TERMS` — the 12 terms of Table 2, taken from the
+  PROV-O "starting point" section
+  (http://www.w3.org/TR/prov-o/#description-starting-point-terms).
+* :data:`ADDITIONAL_TERMS` — the 5 terms of Table 3.
+
+Each term records whether it is a class or a property, which is what the
+coverage scanner needs to know where to look (``rdf:type`` objects vs.
+predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..rdf.namespace import PROV
+from ..rdf.terms import IRI
+
+__all__ = [
+    "PROV",
+    "ProvTerm",
+    "STARTING_POINT_TERMS",
+    "ADDITIONAL_TERMS",
+    "INFLUENCE_SUBPROPERTIES",
+    "DERIVATION_SUBPROPERTIES",
+    "PROV_CLASSES",
+    "PROV_PROPERTIES",
+]
+
+
+@dataclass(frozen=True)
+class ProvTerm:
+    """One PROV-O term as tracked by the coverage tables."""
+
+    name: str  # prefixed form, e.g. "prov:Entity"
+    iri: IRI
+    is_class: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _cls(local: str) -> ProvTerm:
+    return ProvTerm(f"prov:{local}", PROV.term(local), is_class=True)
+
+
+def _prop(local: str) -> ProvTerm:
+    return ProvTerm(f"prov:{local}", PROV.term(local), is_class=False)
+
+
+#: Table 2 — PROV-O starting-point terms, in the paper's row order.
+STARTING_POINT_TERMS: List[ProvTerm] = [
+    _cls("Activity"),
+    _cls("Agent"),
+    _cls("Entity"),
+    _prop("actedOnBehalfOf"),
+    _prop("endedAtTime"),
+    _prop("startedAtTime"),
+    _prop("used"),
+    _prop("wasAssociatedWith"),
+    _prop("wasAttributedTo"),
+    _prop("wasDerivedFrom"),
+    _prop("wasGeneratedBy"),
+    _prop("wasInformedBy"),
+]
+
+#: Table 3 — additional PROV terms, in the paper's row order.
+ADDITIONAL_TERMS: List[ProvTerm] = [
+    _cls("Bundle"),
+    _cls("Plan"),
+    _prop("wasInfluencedBy"),
+    _prop("hadPrimarySource"),
+    _prop("atLocation"),
+]
+
+#: Direct subproperties of prov:wasInfluencedBy (PROV-O expanded terms).
+#: Used by the inference engine: any assertion of one of these entails a
+#: prov:wasInfluencedBy statement between the same resources — this is what
+#: makes the starred Taverna cell of Table 3 inferable.
+INFLUENCE_SUBPROPERTIES: List[IRI] = [
+    PROV.used,
+    PROV.wasGeneratedBy,
+    PROV.wasAssociatedWith,
+    PROV.wasAttributedTo,
+    PROV.actedOnBehalfOf,
+    PROV.wasDerivedFrom,
+    PROV.wasInformedBy,
+    PROV.wasStartedBy,
+    PROV.wasEndedBy,
+    PROV.wasInvalidatedBy,
+    PROV.hadPrimarySource,
+    PROV.wasQuotedFrom,
+    PROV.wasRevisionOf,
+]
+
+#: Subproperties of prov:wasDerivedFrom.
+DERIVATION_SUBPROPERTIES: List[IRI] = [
+    PROV.hadPrimarySource,
+    PROV.wasQuotedFrom,
+    PROV.wasRevisionOf,
+]
+
+#: PROV-O classes the model layer knows about.
+PROV_CLASSES: Dict[str, IRI] = {
+    "Entity": PROV.Entity,
+    "Activity": PROV.Activity,
+    "Agent": PROV.Agent,
+    "Person": PROV.Person,
+    "SoftwareAgent": PROV.SoftwareAgent,
+    "Organization": PROV.Organization,
+    "Bundle": PROV.Bundle,
+    "Plan": PROV.Plan,
+    "Collection": PROV.Collection,
+    "Location": PROV.Location,
+}
+
+#: PROV-O properties the model layer emits.
+PROV_PROPERTIES: Dict[str, IRI] = {
+    "used": PROV.used,
+    "wasGeneratedBy": PROV.wasGeneratedBy,
+    "wasAssociatedWith": PROV.wasAssociatedWith,
+    "wasAttributedTo": PROV.wasAttributedTo,
+    "actedOnBehalfOf": PROV.actedOnBehalfOf,
+    "wasDerivedFrom": PROV.wasDerivedFrom,
+    "wasInformedBy": PROV.wasInformedBy,
+    "wasInfluencedBy": PROV.wasInfluencedBy,
+    "hadPrimarySource": PROV.hadPrimarySource,
+    "startedAtTime": PROV.startedAtTime,
+    "endedAtTime": PROV.endedAtTime,
+    "atLocation": PROV.atLocation,
+    "hadPlan": PROV.hadPlan,
+    "hadMember": PROV.hadMember,
+    "wasStartedBy": PROV.wasStartedBy,
+    "wasEndedBy": PROV.wasEndedBy,
+    "wasInvalidatedBy": PROV.wasInvalidatedBy,
+    "generatedAtTime": PROV.generatedAtTime,
+    "invalidatedAtTime": PROV.invalidatedAtTime,
+    "value": PROV.value,
+}

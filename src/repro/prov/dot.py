@@ -1,0 +1,125 @@
+"""Graphviz DOT export of PROV documents.
+
+Renders a document with the conventional PROV layout-styling (as used by
+the W3C specs and the `prov` toolbox): yellow ellipses for entities, blue
+rectangles for activities, orange houses for agents, labeled edges per
+relation.  The output is a plain ``.dot`` string — no Graphviz binary is
+required to produce it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rdf.terms import IRI
+from .model import (
+    Association,
+    Attribution,
+    Communication,
+    Delegation,
+    Derivation,
+    Generation,
+    Influence,
+    Membership,
+    ProvActivity,
+    ProvAgent,
+    ProvDocument,
+    Usage,
+)
+
+__all__ = ["to_dot"]
+
+_ENTITY_STYLE = 'shape=ellipse, style=filled, fillcolor="#FFFC87", color="#808080"'
+_ACTIVITY_STYLE = 'shape=box, style=filled, fillcolor="#9FB1FC", color="#0000FF"'
+_AGENT_STYLE = 'shape=house, style=filled, fillcolor="#FED37F", color="#808080"'
+
+_EDGE_LABELS = {
+    Usage: "used",
+    Generation: "wasGeneratedBy",
+    Communication: "wasInformedBy",
+    Association: "wasAssociatedWith",
+    Attribution: "wasAttributedTo",
+    Delegation: "actedOnBehalfOf",
+    Influence: "wasInfluencedBy",
+    Membership: "hadMember",
+}
+
+
+def _node_id(iri: IRI, registry: Dict[IRI, str]) -> str:
+    if iri not in registry:
+        registry[iri] = f"n{len(registry)}"
+    return registry[iri]
+
+
+def _label(iri: IRI, nsm) -> str:
+    curie = nsm.compact(iri)
+    if curie is not None:
+        return curie
+    value = iri.value.rstrip("/")
+    return value.rsplit("/", 1)[-1] if "/" in value else value
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(document: ProvDocument, name: str = "provenance", max_label: int = 32) -> str:
+    """Render *document* (bundles as clusters) as Graphviz DOT text."""
+    nsm = document.namespaces
+    registry: Dict[IRI, str] = {}
+    lines: List[str] = [f"digraph \"{_escape(name)}\" {{", "  rankdir=BT;",
+                        "  node [fontsize=10]; edge [fontsize=9];"]
+
+    def emit_elements(container, indent: str):
+        for identifier, element in container.elements.items():
+            node = _node_id(identifier, registry)
+            label = _escape(_label(identifier, nsm)[:max_label])
+            if isinstance(element, ProvActivity):
+                style = _ACTIVITY_STYLE
+            elif isinstance(element, ProvAgent):
+                style = _AGENT_STYLE
+            else:
+                style = _ENTITY_STYLE
+            lines.append(f'{indent}{node} [label="{label}", {style}];')
+
+    def emit_relations(container, indent: str):
+        for relation in container.relations:
+            label = _EDGE_LABELS.get(type(relation))
+            if isinstance(relation, Usage):
+                pair = (relation.activity, relation.entity)
+            elif isinstance(relation, Generation):
+                pair = (relation.entity, relation.activity)
+            elif isinstance(relation, Communication):
+                pair = (relation.informed, relation.informant)
+            elif isinstance(relation, Association):
+                pair = (relation.activity, relation.agent)
+            elif isinstance(relation, Attribution):
+                pair = (relation.entity, relation.agent)
+            elif isinstance(relation, Delegation):
+                pair = (relation.delegate, relation.responsible)
+            elif isinstance(relation, Derivation):
+                pair = (relation.generated, relation.used_entity)
+                label = relation.property_iri.local_name
+            elif isinstance(relation, Influence):
+                pair = (relation.influencee, relation.influencer)
+            elif isinstance(relation, Membership):
+                pair = (relation.collection, relation.entity)
+            else:
+                continue
+            source = _node_id(pair[0], registry)
+            sink = _node_id(pair[1], registry)
+            lines.append(f'{indent}{source} -> {sink} [label="{label}"];')
+            if isinstance(relation, Association) and relation.plan is not None:
+                plan = _node_id(relation.plan, registry)
+                lines.append(f'{indent}{source} -> {plan} [label="hadPlan", style=dashed];')
+
+    emit_elements(document, "  ")
+    emit_relations(document, "  ")
+    for index, (bundle_id, bundle) in enumerate(document.bundles.items()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{_escape(_label(bundle_id, nsm))}"; color="#404040";')
+        emit_elements(bundle, "    ")
+        emit_relations(bundle, "    ")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,132 @@
+"""Graph-analysis views of PROV documents (networkx bridges).
+
+The corpus's application layer (dependency identification, debugging,
+decay detection — Section 3 of the paper) works on graph projections of
+the provenance:
+
+* :func:`to_networkx` — the full typed multigraph (every relation is an
+  edge labeled with its PROV property);
+* :func:`dependency_graph` — the entity-level derivation DAG implied by
+  dataflow (output ← activity ← input), with edges pointing from derived
+  entity to source entity;
+* :func:`activity_graph` — the activity-level communication DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from ..rdf.terms import IRI
+from .model import (
+    Association,
+    Attribution,
+    Communication,
+    Delegation,
+    Derivation,
+    Generation,
+    Influence,
+    Membership,
+    ProvBundle,
+    ProvDocument,
+    Usage,
+)
+
+__all__ = ["to_networkx", "dependency_graph", "activity_graph"]
+
+
+def _containers(document: ProvDocument):
+    yield document
+    yield from document.bundles.values()
+
+
+def to_networkx(document: ProvDocument) -> "nx.MultiDiGraph":
+    """Full PROV multigraph: nodes are element IRIs with a ``kind`` attr,
+    edges carry a ``relation`` attr (the PROV property local name)."""
+    graph = nx.MultiDiGraph()
+    for container in _containers(document):
+        for identifier, element in container.elements.items():
+            graph.add_node(identifier.value, kind=type(element).__name__.replace("Prov", "").lower())
+        for relation in container.relations:
+            if isinstance(relation, Usage):
+                graph.add_edge(relation.activity.value, relation.entity.value, relation="used")
+            elif isinstance(relation, Generation):
+                graph.add_edge(relation.entity.value, relation.activity.value,
+                               relation="wasGeneratedBy")
+            elif isinstance(relation, Communication):
+                graph.add_edge(relation.informed.value, relation.informant.value,
+                               relation="wasInformedBy")
+            elif isinstance(relation, Association):
+                graph.add_edge(relation.activity.value, relation.agent.value,
+                               relation="wasAssociatedWith")
+                if relation.plan is not None:
+                    graph.add_edge(relation.activity.value, relation.plan.value,
+                                   relation="hadPlan")
+            elif isinstance(relation, Attribution):
+                graph.add_edge(relation.entity.value, relation.agent.value,
+                               relation="wasAttributedTo")
+            elif isinstance(relation, Delegation):
+                graph.add_edge(relation.delegate.value, relation.responsible.value,
+                               relation="actedOnBehalfOf")
+            elif isinstance(relation, Derivation):
+                graph.add_edge(relation.generated.value, relation.used_entity.value,
+                               relation=relation.property_iri.local_name)
+            elif isinstance(relation, Influence):
+                graph.add_edge(relation.influencee.value, relation.influencer.value,
+                               relation="wasInfluencedBy")
+            elif isinstance(relation, Membership):
+                graph.add_edge(relation.collection.value, relation.entity.value,
+                               relation="hadMember")
+    return graph
+
+
+def dependency_graph(document: ProvDocument) -> "nx.DiGraph":
+    """Entity dependency DAG: edge (derived → source) for every dataflow
+    step output←input pair, plus explicitly asserted derivations.
+
+    This is the structure behind application (i) of the paper: "identify
+    the process that generated a given data product, and how it was
+    derived from other data products".
+    """
+    graph = nx.DiGraph()
+    for container in _containers(document):
+        inputs_of = {}
+        outputs_of = {}
+        for relation in container.relations:
+            if isinstance(relation, Usage):
+                inputs_of.setdefault(relation.activity, []).append(relation.entity)
+            elif isinstance(relation, Generation):
+                outputs_of.setdefault(relation.activity, []).append(relation.entity)
+        for activity, outputs in outputs_of.items():
+            for output in outputs:
+                graph.add_node(output.value)
+                for source in inputs_of.get(activity, ()):
+                    graph.add_edge(output.value, source.value, via=activity.value)
+        for relation in container.relations_of(Derivation):
+            graph.add_edge(relation.generated.value, relation.used_entity.value,
+                           via=None)
+    return graph
+
+
+def activity_graph(document: ProvDocument) -> "nx.DiGraph":
+    """Activity communication DAG: informed → informant edges, plus the
+    dataflow-implied communications (shared entity between use and
+    generation)."""
+    graph = nx.DiGraph()
+    for container in _containers(document):
+        for identifier, element in container.elements.items():
+            from .model import ProvActivity
+
+            if isinstance(element, ProvActivity):
+                graph.add_node(identifier.value)
+        generated_by = {}
+        for relation in container.relations_of(Generation):
+            generated_by[relation.entity] = relation.activity
+        for relation in container.relations_of(Communication):
+            graph.add_edge(relation.informed.value, relation.informant.value)
+        for relation in container.relations_of(Usage):
+            producer = generated_by.get(relation.entity)
+            if producer is not None and producer != relation.activity:
+                graph.add_edge(relation.activity.value, producer.value)
+    return graph

@@ -1,0 +1,291 @@
+"""PROV-JSON serialization (W3C member submission).
+
+PROV-JSON is the native exchange format of the reference ``prov`` Python
+toolbox, so speaking it makes the corpus consumable by the broadest
+provenance tooling.  The structure groups records by statement type::
+
+    {
+      "prefix":   {"ex": "http://example.org/"},
+      "entity":   {"ex:e1": {"prov:value": "..."}},
+      "activity": {"ex:a1": {"prov:startTime": "..."}},
+      "used":     {"_:u1": {"prov:activity": "ex:a1", "prov:entity": "ex:e1"}},
+      "bundle":   {"ex:b1": { ...same shape recursively... }}
+    }
+
+Values are either plain strings or ``{"$": lexical, "type": datatype}``
+objects.  Round-trip with :func:`parse_provjson` is lossless for the
+corpus's model subset.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import IRI, Literal, XSD, format_datetime, parse_datetime
+from .model import (
+    Association,
+    Attribution,
+    Communication,
+    Delegation,
+    Derivation,
+    Generation,
+    Influence,
+    Membership,
+    ProvActivity,
+    ProvAgent,
+    ProvBundle,
+    ProvDocument,
+    Usage,
+)
+
+__all__ = ["serialize_provjson", "parse_provjson"]
+
+_DERIVATION_KEYS = {
+    None: "wasDerivedFrom",
+    "primary_source": "hadPrimarySource",
+    "quotation": "wasQuotedFrom",
+    "revision": "wasRevisionOf",
+}
+_DERIVATION_SUBTYPES = {v: k for k, v in _DERIVATION_KEYS.items()}
+
+
+def _qname(iri: IRI, nsm: NamespaceManager) -> str:
+    curie = nsm.compact(iri)
+    return curie if curie is not None else iri.value
+
+
+def _expand(name: str, nsm: NamespaceManager) -> IRI:
+    if "://" in name or name.startswith("urn:"):
+        return IRI(name)
+    if ":" in name:
+        prefix = name.split(":", 1)[0]
+        if prefix in nsm:
+            return nsm.expand(name)
+    return IRI(name)
+
+
+def _value_json(value, nsm: NamespaceManager):
+    if isinstance(value, IRI):
+        return {"$": _qname(value, nsm), "type": "prov:QUALIFIED_NAME"}
+    if value.language is not None:
+        return {"$": value.lexical, "lang": value.language}
+    if value.datatype.value == XSD.STRING:
+        return value.lexical
+    return {"$": value.lexical, "type": _qname(value.datatype, nsm)}
+
+
+def _value_from_json(raw, nsm: NamespaceManager):
+    if isinstance(raw, str):
+        return Literal(raw)
+    if isinstance(raw, bool):
+        return Literal("true" if raw else "false", datatype=XSD.BOOLEAN)
+    if isinstance(raw, int):
+        return Literal(str(raw), datatype=XSD.INTEGER)
+    if isinstance(raw, float):
+        return Literal(repr(raw), datatype=XSD.DOUBLE)
+    if isinstance(raw, dict):
+        lexical = str(raw["$"])
+        if "lang" in raw:
+            return Literal(lexical, language=raw["lang"])
+        type_name = raw.get("type")
+        if type_name == "prov:QUALIFIED_NAME":
+            return _expand(lexical, nsm)
+        if type_name:
+            return Literal(lexical, datatype=_expand(type_name, nsm))
+        return Literal(lexical)
+    raise ValueError(f"invalid PROV-JSON value: {raw!r}")
+
+
+def _element_attrs(element, nsm: NamespaceManager) -> Dict[str, Any]:
+    attrs: Dict[str, Any] = {}
+    types = [
+        {"$": _qname(t, nsm), "type": "prov:QUALIFIED_NAME"} for t in element.extra_types
+    ]
+    if types:
+        attrs["prov:type"] = types if len(types) > 1 else types[0]
+    if isinstance(element, ProvActivity):
+        if element.start_time is not None:
+            attrs["prov:startTime"] = format_datetime(element.start_time)
+        if element.end_time is not None:
+            attrs["prov:endTime"] = format_datetime(element.end_time)
+    for predicate, values in element.attributes.items():
+        rendered = [_value_json(v, nsm) for v in values]
+        attrs[_qname(predicate, nsm)] = rendered if len(rendered) > 1 else rendered[0]
+    return attrs
+
+
+def _bundle_json(bundle: ProvBundle, nsm: NamespaceManager) -> Dict[str, Any]:
+    out: Dict[str, Dict[str, Any]] = {}
+
+    def section(name: str) -> Dict[str, Any]:
+        return out.setdefault(name, {})
+
+    for identifier, element in bundle.elements.items():
+        if isinstance(element, ProvActivity):
+            kind = "activity"
+        elif isinstance(element, ProvAgent):
+            kind = "agent"
+        else:
+            kind = "entity"
+        section(kind)[_qname(identifier, nsm)] = _element_attrs(element, nsm)
+
+    counters: Dict[str, int] = {}
+
+    def rel_id(kind: str) -> str:
+        counters[kind] = counters.get(kind, 0) + 1
+        return f"_:{kind}{counters[kind]}"
+
+    for relation in bundle.relations:
+        if isinstance(relation, Usage):
+            body = {"prov:activity": _qname(relation.activity, nsm),
+                    "prov:entity": _qname(relation.entity, nsm)}
+            if relation.time is not None:
+                body["prov:time"] = format_datetime(relation.time)
+            section("used")[rel_id("u")] = body
+        elif isinstance(relation, Generation):
+            body = {"prov:entity": _qname(relation.entity, nsm),
+                    "prov:activity": _qname(relation.activity, nsm)}
+            if relation.time is not None:
+                body["prov:time"] = format_datetime(relation.time)
+            section("wasGeneratedBy")[rel_id("g")] = body
+        elif isinstance(relation, Communication):
+            section("wasInformedBy")[rel_id("c")] = {
+                "prov:informed": _qname(relation.informed, nsm),
+                "prov:informant": _qname(relation.informant, nsm),
+            }
+        elif isinstance(relation, Association):
+            body = {"prov:activity": _qname(relation.activity, nsm),
+                    "prov:agent": _qname(relation.agent, nsm)}
+            if relation.plan is not None:
+                body["prov:plan"] = _qname(relation.plan, nsm)
+            section("wasAssociatedWith")[rel_id("a")] = body
+        elif isinstance(relation, Attribution):
+            section("wasAttributedTo")[rel_id("t")] = {
+                "prov:entity": _qname(relation.entity, nsm),
+                "prov:agent": _qname(relation.agent, nsm),
+            }
+        elif isinstance(relation, Delegation):
+            section("actedOnBehalfOf")[rel_id("d")] = {
+                "prov:delegate": _qname(relation.delegate, nsm),
+                "prov:responsible": _qname(relation.responsible, nsm),
+            }
+        elif isinstance(relation, Derivation):
+            section(_DERIVATION_KEYS[relation.subtype])[rel_id("der")] = {
+                "prov:generatedEntity": _qname(relation.generated, nsm),
+                "prov:usedEntity": _qname(relation.used_entity, nsm),
+            }
+        elif isinstance(relation, Influence):
+            section("wasInfluencedBy")[rel_id("i")] = {
+                "prov:influencee": _qname(relation.influencee, nsm),
+                "prov:influencer": _qname(relation.influencer, nsm),
+            }
+        elif isinstance(relation, Membership):
+            section("hadMember")[rel_id("m")] = {
+                "prov:collection": _qname(relation.collection, nsm),
+                "prov:entity": _qname(relation.entity, nsm),
+            }
+        else:
+            raise TypeError(f"cannot serialize relation {type(relation).__name__}")
+    return out
+
+
+def serialize_provjson(document: ProvDocument, indent: Optional[int] = 2) -> str:
+    """Render *document* as PROV-JSON text."""
+    nsm = document.namespaces
+    out = {"prefix": {prefix: base for prefix, base in nsm.namespaces()}}
+    out.update(_bundle_json(document, nsm))
+    if document.bundles:
+        out["bundle"] = {
+            _qname(bundle_id, nsm): _bundle_json(bundle, nsm)
+            for bundle_id, bundle in document.bundles.items()
+        }
+    return json.dumps(out, indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def parse_provjson(text: str) -> ProvDocument:
+    """Parse PROV-JSON text into a document."""
+    payload = json.loads(text)
+    document = ProvDocument()
+    for prefix, base in payload.get("prefix", {}).items():
+        document.namespaces.bind(prefix, base)
+    _parse_bundle_body(payload, document, document)
+    for bundle_name, body in payload.get("bundle", {}).items():
+        bundle = document.bundle(_expand(bundle_name, document.namespaces))
+        _parse_bundle_body(body, document, bundle)
+    return document
+
+
+def _parse_bundle_body(payload: Dict[str, Any], document: ProvDocument, target: ProvBundle):
+    nsm = document.namespaces
+
+    def iri(name: str) -> IRI:
+        return _expand(name, nsm)
+
+    for name, attrs in payload.get("entity", {}).items():
+        _load_element(target.entity(iri(name)), attrs, nsm)
+    for name, attrs in payload.get("agent", {}).items():
+        _load_element(target.agent(iri(name)), attrs, nsm)
+    for name, attrs in payload.get("activity", {}).items():
+        start = attrs.get("prov:startTime")
+        end = attrs.get("prov:endTime")
+        activity = target.activity(
+            iri(name),
+            start_time=parse_datetime(start) if isinstance(start, str) else None,
+            end_time=parse_datetime(end) if isinstance(end, str) else None,
+        )
+        _load_element(activity, attrs, nsm, skip=("prov:startTime", "prov:endTime"))
+
+    def time_of(body):
+        raw = body.get("prov:time")
+        return parse_datetime(raw) if isinstance(raw, str) else None
+
+    for body in payload.get("used", {}).values():
+        target.used(iri(body["prov:activity"]), iri(body["prov:entity"]), time=time_of(body))
+    for body in payload.get("wasGeneratedBy", {}).values():
+        target.was_generated_by(iri(body["prov:entity"]), iri(body["prov:activity"]),
+                                time=time_of(body))
+    for body in payload.get("wasInformedBy", {}).values():
+        target.was_informed_by(iri(body["prov:informed"]), iri(body["prov:informant"]))
+    for body in payload.get("wasAssociatedWith", {}).values():
+        plan = body.get("prov:plan")
+        target.was_associated_with(
+            iri(body["prov:activity"]), iri(body["prov:agent"]),
+            plan=iri(plan) if plan else None,
+        )
+    for body in payload.get("wasAttributedTo", {}).values():
+        target.was_attributed_to(iri(body["prov:entity"]), iri(body["prov:agent"]))
+    for body in payload.get("actedOnBehalfOf", {}).values():
+        target.acted_on_behalf_of(iri(body["prov:delegate"]), iri(body["prov:responsible"]))
+    for key, subtype in _DERIVATION_SUBTYPES.items():
+        for body in payload.get(key, {}).values():
+            target.was_derived_from(iri(body["prov:generatedEntity"]),
+                                    iri(body["prov:usedEntity"]), subtype=subtype)
+    for body in payload.get("wasInfluencedBy", {}).values():
+        target.was_influenced_by(iri(body["prov:influencee"]), iri(body["prov:influencer"]))
+    for body in payload.get("hadMember", {}).values():
+        target.had_member(iri(body["prov:collection"]), iri(body["prov:entity"]))
+
+
+def _load_element(element, attrs: Dict[str, Any], nsm: NamespaceManager,
+                  skip: Tuple[str, ...] = ()):
+    for key, raw in attrs.items():
+        if key in skip:
+            continue
+        values = raw if isinstance(raw, list) else [raw]
+        if key == "prov:type":
+            for value in values:
+                term = _value_from_json(value, nsm)
+                if isinstance(term, IRI):
+                    element.add_type(term)
+                else:
+                    element.add_attribute("prov:type", term)
+            continue
+        predicate = _expand(key, nsm)
+        for value in values:
+            element.add_attribute(predicate, _value_from_json(value, nsm))

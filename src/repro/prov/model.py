@@ -1,0 +1,537 @@
+"""PROV-DM in-memory model: documents, bundles, elements, and relations.
+
+The API follows the shape of the W3C PROV data model: a
+:class:`ProvDocument` contains elements (entities, activities, agents),
+relations (usage, generation, association, ...), and optionally named
+:class:`ProvBundle` instances with their own records.  Factory methods on
+the document/bundle (``doc.entity(...)``, ``doc.used(...)``) both create
+and register records, so building a trace reads like PROV-N:
+
+    doc = ProvDocument()
+    doc.namespaces.bind("ex", "http://example.org/")
+    run = doc.activity("ex:run1", start_time=t0, end_time=t1)
+    data = doc.entity("ex:data1", {"prov:value": 42})
+    doc.used(run, data)
+
+Identifiers may be given as :class:`IRI`, full IRI strings, or CURIEs
+resolved against the document's namespace manager.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..rdf.namespace import NamespaceManager, PROV
+from ..rdf.terms import IRI, Literal, Term, from_python
+
+__all__ = [
+    "ProvDocument",
+    "ProvBundle",
+    "ProvRecord",
+    "ProvElement",
+    "ProvEntity",
+    "ProvActivity",
+    "ProvAgent",
+    "Usage",
+    "Generation",
+    "Communication",
+    "Association",
+    "Attribution",
+    "Delegation",
+    "Derivation",
+    "Influence",
+    "Membership",
+    "ProvModelError",
+]
+
+Identifier = Union[IRI, str]
+AttrValue = Union[Term, str, int, float, bool, _dt.datetime]
+Attributes = Dict[Identifier, AttrValue]
+
+
+class ProvModelError(ValueError):
+    """Raised on invalid PROV model construction."""
+
+
+class ProvRecord:
+    """Base class for all PROV records.
+
+    Every record can carry extra attributes (IRI → list of terms), used by
+    the workflow exporters to attach wfprov/OPMW/dcterms descriptions.
+    """
+
+    def __init__(self, bundle: "ProvBundle"):
+        self._bundle = bundle
+        self.attributes: Dict[IRI, List[Term]] = {}
+
+    @property
+    def bundle(self) -> "ProvBundle":
+        return self._bundle
+
+    def add_attribute(self, key: Identifier, value: AttrValue) -> None:
+        iri = self._bundle.resolve(key)
+        term = value if isinstance(value, (IRI, Literal)) else from_python(value)
+        self.attributes.setdefault(iri, []).append(term)
+
+    def add_attributes(self, attributes: Optional[Attributes]) -> None:
+        if not attributes:
+            return
+        for key, value in attributes.items():
+            self.add_attribute(key, value)
+
+    def get_attribute(self, key: Identifier) -> List[Term]:
+        iri = self._bundle.resolve(key)
+        return list(self.attributes.get(iri, ()))
+
+    def first_attribute(self, key: Identifier) -> Optional[Term]:
+        values = self.get_attribute(key)
+        return values[0] if values else None
+
+
+class ProvElement(ProvRecord):
+    """An identified PROV element (entity, activity, or agent)."""
+
+    prov_type: IRI = PROV.Entity  # overridden by subclasses
+
+    def __init__(self, bundle: "ProvBundle", identifier: IRI):
+        super().__init__(bundle)
+        self.identifier = identifier
+        self.extra_types: List[IRI] = []
+
+    def add_type(self, rdf_type: Identifier) -> None:
+        """Attach an additional rdf:type (e.g. wfprov:ProcessRun)."""
+        iri = self._bundle.resolve(rdf_type)
+        if iri != self.prov_type and iri not in self.extra_types:
+            self.extra_types.append(iri)
+
+    def all_types(self) -> List[IRI]:
+        return [self.prov_type] + self.extra_types
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.identifier.value})"
+
+
+class ProvEntity(ProvElement):
+    prov_type = PROV.Entity
+
+
+class ProvActivity(ProvElement):
+    prov_type = PROV.Activity
+
+    def __init__(
+        self,
+        bundle: "ProvBundle",
+        identifier: IRI,
+        start_time: Optional[_dt.datetime] = None,
+        end_time: Optional[_dt.datetime] = None,
+    ):
+        super().__init__(bundle, identifier)
+        if start_time is not None and end_time is not None and end_time < start_time:
+            raise ProvModelError(
+                f"activity {identifier.value} ends ({end_time}) before it starts ({start_time})"
+            )
+        self.start_time = start_time
+        self.end_time = end_time
+
+
+class ProvAgent(ProvElement):
+    prov_type = PROV.Agent
+
+
+class _Relation(ProvRecord):
+    """Base class for binary (plus optional roles) PROV relations."""
+
+    def _element_id(self, element: Union[ProvElement, IRI]) -> IRI:
+        return element.identifier if isinstance(element, ProvElement) else element
+
+
+class Usage(_Relation):
+    """prov:used — an activity consumed an entity."""
+
+    def __init__(self, bundle, activity: IRI, entity: IRI, time: Optional[_dt.datetime] = None,
+                 role: Optional[IRI] = None):
+        super().__init__(bundle)
+        self.activity = activity
+        self.entity = entity
+        self.time = time
+        self.role = role
+
+
+class Generation(_Relation):
+    """prov:wasGeneratedBy — an entity was produced by an activity."""
+
+    def __init__(self, bundle, entity: IRI, activity: IRI, time: Optional[_dt.datetime] = None,
+                 role: Optional[IRI] = None):
+        super().__init__(bundle)
+        self.entity = entity
+        self.activity = activity
+        self.time = time
+        self.role = role
+
+
+class Communication(_Relation):
+    """prov:wasInformedBy — activity *informed* used output of *informant*."""
+
+    def __init__(self, bundle, informed: IRI, informant: IRI):
+        super().__init__(bundle)
+        self.informed = informed
+        self.informant = informant
+
+
+class Association(_Relation):
+    """prov:wasAssociatedWith — an agent's responsibility for an activity.
+
+    A *plan* (workflow template) makes the association qualified: the RDF
+    mapping then emits ``prov:qualifiedAssociation``/``prov:hadPlan``, which
+    is precisely the Taverna idiom noted in Table 3 of the paper.
+    """
+
+    def __init__(self, bundle, activity: IRI, agent: IRI, plan: Optional[IRI] = None):
+        super().__init__(bundle)
+        self.activity = activity
+        self.agent = agent
+        self.plan = plan
+
+
+class Attribution(_Relation):
+    """prov:wasAttributedTo — an entity is ascribed to an agent."""
+
+    def __init__(self, bundle, entity: IRI, agent: IRI):
+        super().__init__(bundle)
+        self.entity = entity
+        self.agent = agent
+
+
+class Delegation(_Relation):
+    """prov:actedOnBehalfOf — agent responsibility chain."""
+
+    def __init__(self, bundle, delegate: IRI, responsible: IRI, activity: Optional[IRI] = None):
+        super().__init__(bundle)
+        self.delegate = delegate
+        self.responsible = responsible
+        self.activity = activity
+
+
+class Derivation(_Relation):
+    """prov:wasDerivedFrom and its subtypes.
+
+    *subtype* is one of None (plain derivation), ``"primary_source"``,
+    ``"quotation"``, ``"revision"``.  Subtyped derivations are serialized
+    with the subproperty only (prov:hadPrimarySource, ...), matching how
+    the corpus systems assert them — the superproperty is left to inference.
+    """
+
+    SUBTYPE_PROPERTIES = {
+        None: PROV.wasDerivedFrom,
+        "primary_source": PROV.hadPrimarySource,
+        "quotation": PROV.wasQuotedFrom,
+        "revision": PROV.wasRevisionOf,
+    }
+
+    def __init__(self, bundle, generated: IRI, used_entity: IRI,
+                 activity: Optional[IRI] = None, subtype: Optional[str] = None):
+        super().__init__(bundle)
+        if subtype not in self.SUBTYPE_PROPERTIES:
+            raise ProvModelError(f"unknown derivation subtype {subtype!r}")
+        self.generated = generated
+        self.used_entity = used_entity
+        self.activity = activity
+        self.subtype = subtype
+
+    @property
+    def property_iri(self) -> IRI:
+        return self.SUBTYPE_PROPERTIES[self.subtype]
+
+
+class Influence(_Relation):
+    """prov:wasInfluencedBy — the most general influence relation."""
+
+    def __init__(self, bundle, influencee: IRI, influencer: IRI):
+        super().__init__(bundle)
+        self.influencee = influencee
+        self.influencer = influencer
+
+
+class Membership(_Relation):
+    """prov:hadMember — collection membership."""
+
+    def __init__(self, bundle, collection: IRI, entity: IRI):
+        super().__init__(bundle)
+        self.collection = collection
+        self.entity = entity
+
+
+_AGENT_TYPES = {
+    None: PROV.Agent,
+    "person": PROV.Person,
+    "software": PROV.SoftwareAgent,
+    "organization": PROV.Organization,
+}
+
+
+class ProvBundle:
+    """A container of PROV records (the document itself, or a named bundle)."""
+
+    def __init__(self, document: Optional["ProvDocument"], identifier: Optional[IRI] = None):
+        self._document = document if document is not None else self  # type: ignore[assignment]
+        self.identifier = identifier
+        self.elements: Dict[IRI, ProvElement] = {}
+        self.relations: List[_Relation] = []
+
+    # -- identifiers ---------------------------------------------------------
+
+    @property
+    def document(self) -> "ProvDocument":
+        return self._document  # type: ignore[return-value]
+
+    @property
+    def namespaces(self) -> NamespaceManager:
+        return self.document._namespaces
+
+    def resolve(self, identifier: Identifier) -> IRI:
+        """Resolve an IRI, full IRI string, or CURIE to an IRI."""
+        if isinstance(identifier, IRI):
+            return identifier
+        if not isinstance(identifier, str):
+            raise ProvModelError(f"invalid identifier: {identifier!r}")
+        if "://" in identifier or identifier.startswith("urn:"):
+            return IRI(identifier)
+        if ":" in identifier:
+            prefix = identifier.split(":", 1)[0]
+            if prefix in self.namespaces:
+                return self.namespaces.expand(identifier)
+        raise ProvModelError(f"cannot resolve identifier {identifier!r}")
+
+    # -- element factories ------------------------------------------------------
+
+    def entity(self, identifier: Identifier, attributes: Optional[Attributes] = None) -> ProvEntity:
+        return self._add_element(ProvEntity, identifier, attributes)
+
+    def collection(self, identifier: Identifier, attributes: Optional[Attributes] = None) -> ProvEntity:
+        entity = self.entity(identifier, attributes)
+        entity.add_type(PROV.Collection)
+        return entity
+
+    def plan(self, identifier: Identifier, attributes: Optional[Attributes] = None) -> ProvEntity:
+        entity = self.entity(identifier, attributes)
+        entity.add_type(PROV.Plan)
+        return entity
+
+    def activity(
+        self,
+        identifier: Identifier,
+        start_time: Optional[_dt.datetime] = None,
+        end_time: Optional[_dt.datetime] = None,
+        attributes: Optional[Attributes] = None,
+    ) -> ProvActivity:
+        iri = self.resolve(identifier)
+        existing = self.elements.get(iri)
+        if existing is not None:
+            if not isinstance(existing, ProvActivity):
+                raise ProvModelError(f"{iri.value} already declared as {type(existing).__name__}")
+            if start_time is not None:
+                existing.start_time = start_time
+            if end_time is not None:
+                existing.end_time = end_time
+            existing.add_attributes(attributes)
+            return existing
+        activity = ProvActivity(self, iri, start_time, end_time)
+        activity.add_attributes(attributes)
+        self.elements[iri] = activity
+        return activity
+
+    def agent(
+        self,
+        identifier: Identifier,
+        agent_type: Optional[str] = None,
+        attributes: Optional[Attributes] = None,
+    ) -> ProvAgent:
+        if agent_type not in _AGENT_TYPES:
+            raise ProvModelError(f"unknown agent type {agent_type!r}")
+        agent = self._add_element(ProvAgent, identifier, attributes)
+        if agent_type is not None:
+            agent.add_type(_AGENT_TYPES[agent_type])
+        return agent
+
+    def _add_element(self, cls, identifier: Identifier, attributes: Optional[Attributes]):
+        iri = self.resolve(identifier)
+        existing = self.elements.get(iri)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ProvModelError(f"{iri.value} already declared as {type(existing).__name__}")
+            existing.add_attributes(attributes)
+            return existing
+        element = cls(self, iri)
+        element.add_attributes(attributes)
+        self.elements[iri] = element
+        return element
+
+    # -- relation factories --------------------------------------------------------
+
+    def used(self, activity, entity, time: Optional[_dt.datetime] = None,
+             role: Optional[Identifier] = None) -> Usage:
+        relation = Usage(
+            self,
+            self._ref(activity),
+            self._ref(entity),
+            time,
+            self.resolve(role) if role is not None else None,
+        )
+        self.relations.append(relation)
+        return relation
+
+    def was_generated_by(self, entity, activity, time: Optional[_dt.datetime] = None,
+                         role: Optional[Identifier] = None) -> Generation:
+        relation = Generation(
+            self,
+            self._ref(entity),
+            self._ref(activity),
+            time,
+            self.resolve(role) if role is not None else None,
+        )
+        self.relations.append(relation)
+        return relation
+
+    def was_informed_by(self, informed, informant) -> Communication:
+        relation = Communication(self, self._ref(informed), self._ref(informant))
+        self.relations.append(relation)
+        return relation
+
+    def was_associated_with(self, activity, agent, plan=None) -> Association:
+        relation = Association(
+            self,
+            self._ref(activity),
+            self._ref(agent),
+            self._ref(plan) if plan is not None else None,
+        )
+        self.relations.append(relation)
+        return relation
+
+    def was_attributed_to(self, entity, agent) -> Attribution:
+        relation = Attribution(self, self._ref(entity), self._ref(agent))
+        self.relations.append(relation)
+        return relation
+
+    def acted_on_behalf_of(self, delegate, responsible, activity=None) -> Delegation:
+        relation = Delegation(
+            self,
+            self._ref(delegate),
+            self._ref(responsible),
+            self._ref(activity) if activity is not None else None,
+        )
+        self.relations.append(relation)
+        return relation
+
+    def was_derived_from(self, generated, used_entity, activity=None,
+                         subtype: Optional[str] = None) -> Derivation:
+        relation = Derivation(
+            self,
+            self._ref(generated),
+            self._ref(used_entity),
+            self._ref(activity) if activity is not None else None,
+            subtype,
+        )
+        self.relations.append(relation)
+        return relation
+
+    def had_primary_source(self, generated, source) -> Derivation:
+        return self.was_derived_from(generated, source, subtype="primary_source")
+
+    def was_influenced_by(self, influencee, influencer) -> Influence:
+        relation = Influence(self, self._ref(influencee), self._ref(influencer))
+        self.relations.append(relation)
+        return relation
+
+    def had_member(self, collection, entity) -> Membership:
+        relation = Membership(self, self._ref(collection), self._ref(entity))
+        self.relations.append(relation)
+        return relation
+
+    def _ref(self, value: Union[ProvElement, Identifier]) -> IRI:
+        if isinstance(value, ProvElement):
+            return value.identifier
+        return self.resolve(value)
+
+    # -- access ------------------------------------------------------------------
+
+    def get_element(self, identifier: Identifier) -> Optional[ProvElement]:
+        return self.elements.get(self.resolve(identifier))
+
+    def entities(self) -> Iterator[ProvEntity]:
+        return (e for e in self.elements.values() if isinstance(e, ProvEntity))
+
+    def activities(self) -> Iterator[ProvActivity]:
+        return (e for e in self.elements.values() if isinstance(e, ProvActivity))
+
+    def agents(self) -> Iterator[ProvAgent]:
+        return (e for e in self.elements.values() if isinstance(e, ProvAgent))
+
+    def relations_of(self, cls) -> Iterator[_Relation]:
+        return (r for r in self.relations if isinstance(r, cls))
+
+    def records(self) -> Iterator[ProvRecord]:
+        yield from self.elements.values()
+        yield from self.relations
+
+    def __len__(self) -> int:
+        return len(self.elements) + len(self.relations)
+
+    def __repr__(self) -> str:
+        name = self.identifier.value if self.identifier is not None else "<document>"
+        return f"<ProvBundle {name}: {len(self.elements)} elements, {len(self.relations)} relations>"
+
+
+class ProvDocument(ProvBundle):
+    """The top-level PROV container: records plus named bundles."""
+
+    def __init__(self, namespaces: Optional[NamespaceManager] = None):
+        self._namespaces = namespaces if namespaces is not None else NamespaceManager()
+        super().__init__(document=None)
+        self.bundles: Dict[IRI, ProvBundle] = {}
+
+    def bundle(self, identifier: Identifier) -> ProvBundle:
+        """Create (or fetch) a named bundle within this document."""
+        iri = self.resolve(identifier)
+        existing = self.bundles.get(iri)
+        if existing is not None:
+            return existing
+        bundle = ProvBundle(self, iri)
+        self.bundles[iri] = bundle
+        return bundle
+
+    def all_records(self) -> Iterator[Tuple[Optional[IRI], ProvRecord]]:
+        """Iterate ``(bundle_id, record)`` over the document and its bundles."""
+        for record in self.records():
+            yield None, record
+        for bundle_id, bundle in self.bundles.items():
+            for record in bundle.records():
+                yield bundle_id, record
+
+    def statistics(self) -> Dict[str, int]:
+        """Record counts by kind — used by the corpus manifest."""
+        counts = {
+            "entities": 0,
+            "activities": 0,
+            "agents": 0,
+            "relations": len(self.relations),
+            "bundles": len(self.bundles),
+        }
+        containers: List[ProvBundle] = [self] + list(self.bundles.values())
+        counts["relations"] = sum(len(c.relations) for c in containers)
+        for container in containers:
+            for element in container.elements.values():
+                if isinstance(element, ProvActivity):
+                    counts["activities"] += 1
+                elif isinstance(element, ProvAgent):
+                    counts["agents"] += 1
+                else:
+                    counts["entities"] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"<ProvDocument entities={stats['entities']} activities={stats['activities']} "
+            f"agents={stats['agents']} relations={stats['relations']} bundles={stats['bundles']}>"
+        )

@@ -1,0 +1,149 @@
+"""PROV-N serialization (W3C PROV notation).
+
+PROV-N is the human-readable notation of the PROV family; the corpus
+tooling uses it for debugging output and documentation examples.  Output is
+deterministic (records in insertion order, attributes sorted) and uses the
+document's registered prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import IRI, Literal, XSD, escape_string, format_datetime
+from .model import (
+    Association,
+    Attribution,
+    Communication,
+    Delegation,
+    Derivation,
+    Generation,
+    Influence,
+    Membership,
+    ProvActivity,
+    ProvAgent,
+    ProvBundle,
+    ProvDocument,
+    ProvElement,
+    ProvEntity,
+    Usage,
+)
+
+__all__ = ["serialize_provn"]
+
+
+def serialize_provn(document: ProvDocument) -> str:
+    """Render *document* as a PROV-N document string."""
+    nsm = document.namespaces
+    lines: List[str] = ["document"]
+    for prefix, base in nsm.namespaces():
+        lines.append(f"  prefix {prefix} <{base}>")
+    if len(nsm):
+        lines.append("")
+    _render_bundle_body(document, nsm, lines, indent="  ")
+    for bundle_id, bundle in document.bundles.items():
+        lines.append(f"  bundle {_name(bundle_id, nsm)}")
+        _render_bundle_body(bundle, nsm, lines, indent="    ")
+        lines.append("  endBundle")
+    lines.append("endDocument")
+    return "\n".join(lines) + "\n"
+
+
+def _render_bundle_body(bundle: ProvBundle, nsm: NamespaceManager, lines: List[str], indent: str):
+    for element in bundle.elements.values():
+        lines.append(indent + _element_line(element, nsm))
+    for relation in bundle.relations:
+        lines.append(indent + _relation_line(relation, nsm))
+
+
+def _name(iri: IRI, nsm: NamespaceManager) -> str:
+    curie = nsm.compact(iri)
+    return curie if curie is not None else f"<{iri.value}>"
+
+
+def _value(term, nsm: NamespaceManager) -> str:
+    if isinstance(term, IRI):
+        return f"'{_name(term, nsm)}'"
+    if isinstance(term, Literal):
+        escaped = escape_string(term.lexical)
+        if term.language:
+            return f'"{escaped}"@{term.language}'
+        if term.datatype.value == XSD.STRING:
+            return f'"{escaped}"'
+        return f'"{escaped}" %% {_name(term.datatype, nsm)}'
+    return str(term)
+
+
+def _attr_block(element_or_relation, nsm: NamespaceManager, extra: Optional[List[str]] = None) -> str:
+    parts: List[str] = list(extra or [])
+    for predicate in sorted(element_or_relation.attributes, key=lambda p: p.value):
+        for value in element_or_relation.attributes[predicate]:
+            parts.append(f"{_name(predicate, nsm)}={_value(value, nsm)}")
+    if not parts:
+        return ""
+    return ", [" + ", ".join(parts) + "]"
+
+
+def _time(value) -> str:
+    return format_datetime(value) if value is not None else "-"
+
+
+def _element_line(element: ProvElement, nsm: NamespaceManager) -> str:
+    name = _name(element.identifier, nsm)
+    type_attrs = [f"prov:type='{_name(t, nsm)}'" for t in element.extra_types]
+    attrs = _attr_block(element, nsm, extra=type_attrs)
+    if isinstance(element, ProvActivity):
+        if element.start_time is not None or element.end_time is not None:
+            return (
+                f"activity({name}, {_time(element.start_time)}, "
+                f"{_time(element.end_time)}{attrs})"
+            )
+        return f"activity({name}{attrs})"
+    if isinstance(element, ProvAgent):
+        return f"agent({name}{attrs})"
+    return f"entity({name}{attrs})"
+
+
+def _relation_line(relation, nsm: NamespaceManager) -> str:
+    attrs = _attr_block(relation, nsm)
+    if isinstance(relation, Usage):
+        when = f", {_time(relation.time)}" if relation.time is not None else ""
+        return f"used({_name(relation.activity, nsm)}, {_name(relation.entity, nsm)}{when}{attrs})"
+    if isinstance(relation, Generation):
+        when = f", {_time(relation.time)}" if relation.time is not None else ""
+        return (
+            f"wasGeneratedBy({_name(relation.entity, nsm)}, "
+            f"{_name(relation.activity, nsm)}{when}{attrs})"
+        )
+    if isinstance(relation, Communication):
+        return f"wasInformedBy({_name(relation.informed, nsm)}, {_name(relation.informant, nsm)}{attrs})"
+    if isinstance(relation, Association):
+        plan = f", {_name(relation.plan, nsm)}" if relation.plan is not None else ""
+        return (
+            f"wasAssociatedWith({_name(relation.activity, nsm)}, "
+            f"{_name(relation.agent, nsm)}{plan}{attrs})"
+        )
+    if isinstance(relation, Attribution):
+        return f"wasAttributedTo({_name(relation.entity, nsm)}, {_name(relation.agent, nsm)}{attrs})"
+    if isinstance(relation, Delegation):
+        return (
+            f"actedOnBehalfOf({_name(relation.delegate, nsm)}, "
+            f"{_name(relation.responsible, nsm)}{attrs})"
+        )
+    if isinstance(relation, Derivation):
+        keyword = {
+            None: "wasDerivedFrom",
+            "primary_source": "hadPrimarySource",
+            "quotation": "wasQuotedFrom",
+            "revision": "wasRevisionOf",
+        }[relation.subtype]
+        return f"{keyword}({_name(relation.generated, nsm)}, {_name(relation.used_entity, nsm)}{attrs})"
+    if isinstance(relation, Influence):
+        return (
+            f"wasInfluencedBy({_name(relation.influencee, nsm)}, "
+            f"{_name(relation.influencer, nsm)}{attrs})"
+        )
+    if isinstance(relation, Membership):
+        return f"hadMember({_name(relation.collection, nsm)}, {_name(relation.entity, nsm)}{attrs})"
+    raise TypeError(f"cannot render relation of type {type(relation).__name__}")

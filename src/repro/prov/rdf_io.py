@@ -1,0 +1,361 @@
+"""PROV-DM ↔ PROV-O (RDF) mapping.
+
+``to_graph`` / ``to_dataset`` serialize a :class:`ProvDocument` into RDF
+following the PROV-O mapping:
+
+* elements become typed resources with their attributes as triples;
+* binary relations become the direct PROV-O properties;
+* a time- or role-qualified usage/generation, and a plan-carrying
+  association, additionally emit the *qualified* pattern
+  (``prov:qualifiedUsage``/``prov:qualifiedGeneration``/
+  ``prov:qualifiedAssociation`` blank nodes) — the idiom Taverna's
+  provenance export uses for ``prov:hadPlan`` (cf. Table 3 of the paper);
+* bundles become named graphs (``to_dataset``) or are merged
+  (``to_graph``), with a ``prov:Bundle`` typing triple in the default graph.
+
+``from_graph`` / ``from_dataset`` rebuild a document from RDF, inferring
+element kinds from relation domains/ranges when typing triples are absent
+(failed runs produce exactly such partial traces).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..rdf.graph import Dataset, Graph
+from ..rdf.namespace import PROV, RDF, NamespaceManager
+from ..rdf.terms import BlankNode, IRI, Literal, from_python
+from .model import (
+    Association,
+    Attribution,
+    Communication,
+    Delegation,
+    Derivation,
+    Generation,
+    Influence,
+    Membership,
+    ProvActivity,
+    ProvAgent,
+    ProvBundle,
+    ProvDocument,
+    ProvEntity,
+    Usage,
+)
+
+__all__ = ["to_graph", "to_dataset", "from_graph", "from_dataset"]
+
+
+class _QualifiedNodeFactory:
+    """Deterministic blank-node ids for qualified-pattern nodes."""
+
+    def __init__(self):
+        self._count = 0
+
+    def new(self) -> BlankNode:
+        self._count += 1
+        return BlankNode(f"q{self._count}")
+
+
+def _emit_bundle(bundle: ProvBundle, graph: Graph, qnodes: _QualifiedNodeFactory) -> None:
+    for element in bundle.elements.values():
+        subject = element.identifier
+        for rdf_type in element.all_types():
+            graph.add((subject, RDF.type, rdf_type))
+        if isinstance(element, ProvActivity):
+            if element.start_time is not None:
+                graph.add((subject, PROV.startedAtTime, from_python(element.start_time)))
+            if element.end_time is not None:
+                graph.add((subject, PROV.endedAtTime, from_python(element.end_time)))
+        for predicate, values in element.attributes.items():
+            for value in values:
+                graph.add((subject, predicate, value))
+    for relation in bundle.relations:
+        _emit_relation(relation, graph, qnodes)
+
+
+def _emit_relation(relation, graph: Graph, qnodes: _QualifiedNodeFactory) -> None:
+    if isinstance(relation, Usage):
+        graph.add((relation.activity, PROV.used, relation.entity))
+        if relation.time is not None or relation.role is not None:
+            node = qnodes.new()
+            graph.add((relation.activity, PROV.qualifiedUsage, node))
+            graph.add((node, RDF.type, PROV.Usage))
+            graph.add((node, PROV.entity, relation.entity))
+            if relation.time is not None:
+                graph.add((node, PROV.atTime, from_python(relation.time)))
+            if relation.role is not None:
+                graph.add((node, PROV.hadRole, relation.role))
+    elif isinstance(relation, Generation):
+        graph.add((relation.entity, PROV.wasGeneratedBy, relation.activity))
+        if relation.time is not None or relation.role is not None:
+            node = qnodes.new()
+            graph.add((relation.entity, PROV.qualifiedGeneration, node))
+            graph.add((node, RDF.type, PROV.Generation))
+            graph.add((node, PROV.activity, relation.activity))
+            if relation.time is not None:
+                graph.add((node, PROV.atTime, from_python(relation.time)))
+            if relation.role is not None:
+                graph.add((node, PROV.hadRole, relation.role))
+    elif isinstance(relation, Communication):
+        graph.add((relation.informed, PROV.wasInformedBy, relation.informant))
+    elif isinstance(relation, Association):
+        graph.add((relation.activity, PROV.wasAssociatedWith, relation.agent))
+        if relation.plan is not None:
+            node = qnodes.new()
+            graph.add((relation.activity, PROV.qualifiedAssociation, node))
+            graph.add((node, RDF.type, PROV.Association))
+            graph.add((node, PROV.agent, relation.agent))
+            graph.add((node, PROV.hadPlan, relation.plan))
+    elif isinstance(relation, Attribution):
+        graph.add((relation.entity, PROV.wasAttributedTo, relation.agent))
+    elif isinstance(relation, Delegation):
+        graph.add((relation.delegate, PROV.actedOnBehalfOf, relation.responsible))
+    elif isinstance(relation, Derivation):
+        graph.add((relation.generated, relation.property_iri, relation.used_entity))
+    elif isinstance(relation, Influence):
+        graph.add((relation.influencee, PROV.wasInfluencedBy, relation.influencer))
+    elif isinstance(relation, Membership):
+        graph.add((relation.collection, PROV.hadMember, relation.entity))
+    else:
+        raise TypeError(f"cannot serialize relation of type {type(relation).__name__}")
+    for predicate, values in relation.attributes.items():
+        # Relation-level attributes are rare; attach them to the natural
+        # subject of the relation's direct triple.
+        subject = _relation_subject(relation)
+        for value in values:
+            graph.add((subject, predicate, value))
+
+
+def _relation_subject(relation) -> IRI:
+    for attr in ("activity", "entity", "informed", "delegate", "generated",
+                 "influencee", "collection"):
+        value = getattr(relation, attr, None)
+        if isinstance(value, IRI):
+            return value
+    raise TypeError(f"relation {type(relation).__name__} has no subject")
+
+
+def to_graph(document: ProvDocument, graph: Optional[Graph] = None) -> Graph:
+    """Serialize the document (bundles merged) into a single graph."""
+    if graph is None:
+        graph = Graph(namespaces=document.namespaces.copy())
+    qnodes = _QualifiedNodeFactory()
+    _emit_bundle(document, graph, qnodes)
+    for bundle_id, bundle in document.bundles.items():
+        graph.add((bundle_id, RDF.type, PROV.Bundle))
+        graph.add((bundle_id, RDF.type, PROV.Entity))
+        _emit_bundle(bundle, graph, qnodes)
+    return graph
+
+
+def to_dataset(document: ProvDocument, dataset: Optional[Dataset] = None) -> Dataset:
+    """Serialize the document with each bundle in its own named graph."""
+    if dataset is None:
+        dataset = Dataset(namespaces=document.namespaces.copy())
+    qnodes = _QualifiedNodeFactory()
+    _emit_bundle(document, dataset.default, qnodes)
+    for bundle_id, bundle in document.bundles.items():
+        dataset.default.add((bundle_id, RDF.type, PROV.Bundle))
+        dataset.default.add((bundle_id, RDF.type, PROV.Entity))
+        _emit_bundle(bundle, dataset.graph(bundle_id), qnodes)
+    return dataset
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_ENTITY_TYPES = {PROV.Entity, PROV.Plan, PROV.Collection, PROV.Bundle}
+_AGENT_TYPES = {PROV.Agent: None, PROV.Person: "person",
+                PROV.SoftwareAgent: "software", PROV.Organization: "organization"}
+
+#: PROV structural predicates that must not be re-read as plain attributes.
+_STRUCTURAL = {
+    PROV.used, PROV.wasGeneratedBy, PROV.wasInformedBy, PROV.wasAssociatedWith,
+    PROV.wasAttributedTo, PROV.actedOnBehalfOf, PROV.wasDerivedFrom,
+    PROV.hadPrimarySource, PROV.wasQuotedFrom, PROV.wasRevisionOf,
+    PROV.wasInfluencedBy, PROV.hadMember, PROV.startedAtTime, PROV.endedAtTime,
+    PROV.qualifiedUsage, PROV.qualifiedGeneration, PROV.qualifiedAssociation,
+    RDF.type,
+}
+
+_DERIVATION_SUBTYPES = {
+    PROV.wasDerivedFrom: None,
+    PROV.hadPrimarySource: "primary_source",
+    PROV.wasQuotedFrom: "quotation",
+    PROV.wasRevisionOf: "revision",
+}
+
+
+def from_graph(
+    graph: Graph,
+    document: Optional[ProvDocument] = None,
+    bundle: Optional[ProvBundle] = None,
+) -> ProvDocument:
+    """Rebuild a PROV document from a PROV-O graph.
+
+    When *bundle* is given, records are loaded into that bundle of
+    *document* (used by :func:`from_dataset` for named graphs).
+    """
+    if document is None:
+        document = ProvDocument(namespaces=graph.namespaces.copy())
+    target: ProvBundle = bundle if bundle is not None else document
+
+    qualified_nodes = set()
+    for pred in (PROV.qualifiedUsage, PROV.qualifiedGeneration, PROV.qualifiedAssociation):
+        for t in graph.triples(None, pred, None):
+            qualified_nodes.add(t.object)
+
+    # Pass 1: explicitly typed elements.
+    for t in graph.triples(None, RDF.type, None):
+        subject, rdf_type = t.subject, t.object
+        if subject in qualified_nodes or isinstance(subject, BlankNode):
+            continue
+        if not isinstance(subject, IRI) or not isinstance(rdf_type, IRI):
+            continue
+        if rdf_type == PROV.Activity:
+            target.activity(subject)
+        elif rdf_type in _AGENT_TYPES:
+            target.agent(subject, agent_type=_AGENT_TYPES[rdf_type])
+        elif rdf_type in _ENTITY_TYPES:
+            entity = target.entity(subject)
+            if rdf_type != PROV.Entity:
+                entity.add_type(rdf_type)
+        else:
+            element = target.elements.get(subject)
+            if element is not None:
+                element.add_type(rdf_type)
+            else:
+                # Domain-typed resource (e.g. wfprov:ProcessRun): keep the
+                # type; pass 2/3 decides the PROV kind from relations.
+                target.entity(subject).add_type(rdf_type)
+
+    # Pass 2: relations (also imply kinds for untyped resources).
+    def ensure_activity(iri):
+        element = target.elements.get(iri)
+        if isinstance(element, ProvActivity):
+            return element
+        if element is None:
+            return target.activity(iri)
+        return element
+
+    def ensure_entity(iri):
+        element = target.elements.get(iri)
+        return element if element is not None else target.entity(iri)
+
+    def ensure_agent(iri):
+        element = target.elements.get(iri)
+        if isinstance(element, ProvAgent):
+            return element
+        if element is None:
+            return target.agent(iri)
+        return element
+
+    qualified_info = _collect_qualified(graph)
+
+    for t in graph.triples(None, PROV.used, None):
+        ensure_activity(t.subject)
+        ensure_entity(t.object)
+        info = qualified_info.get(("usage", t.subject, t.object), {})
+        target.used(t.subject, t.object, time=info.get("time"), role=info.get("role"))
+    for t in graph.triples(None, PROV.wasGeneratedBy, None):
+        ensure_entity(t.subject)
+        ensure_activity(t.object)
+        info = qualified_info.get(("generation", t.subject, t.object), {})
+        target.was_generated_by(t.subject, t.object, time=info.get("time"), role=info.get("role"))
+    for t in graph.triples(None, PROV.wasInformedBy, None):
+        ensure_activity(t.subject)
+        ensure_activity(t.object)
+        target.was_informed_by(t.subject, t.object)
+    for t in graph.triples(None, PROV.wasAssociatedWith, None):
+        ensure_activity(t.subject)
+        ensure_agent(t.object)
+        info = qualified_info.get(("association", t.subject, t.object), {})
+        target.was_associated_with(t.subject, t.object, plan=info.get("plan"))
+    for t in graph.triples(None, PROV.wasAttributedTo, None):
+        ensure_entity(t.subject)
+        ensure_agent(t.object)
+        target.was_attributed_to(t.subject, t.object)
+    for t in graph.triples(None, PROV.actedOnBehalfOf, None):
+        ensure_agent(t.subject)
+        ensure_agent(t.object)
+        target.acted_on_behalf_of(t.subject, t.object)
+    for predicate, subtype in _DERIVATION_SUBTYPES.items():
+        for t in graph.triples(None, predicate, None):
+            ensure_entity(t.subject)
+            ensure_entity(t.object)
+            target.was_derived_from(t.subject, t.object, subtype=subtype)
+    for t in graph.triples(None, PROV.wasInfluencedBy, None):
+        target.was_influenced_by(t.subject, t.object)
+    for t in graph.triples(None, PROV.hadMember, None):
+        ensure_entity(t.subject)
+        ensure_entity(t.object)
+        target.had_member(t.subject, t.object)
+
+    # Pass 3: activity timestamps and remaining attributes.
+    for element_id, element in list(target.elements.items()):
+        if isinstance(element, ProvActivity):
+            start = graph.value(subject=element_id, predicate=PROV.startedAtTime)
+            end = graph.value(subject=element_id, predicate=PROV.endedAtTime)
+            if isinstance(start, Literal):
+                element.start_time = start.to_python()
+            if isinstance(end, Literal):
+                element.end_time = end.to_python()
+        for t in graph.triples(element_id, None, None):
+            if t.predicate in _STRUCTURAL or t.object in qualified_nodes:
+                continue
+            if isinstance(t.object, BlankNode):
+                continue
+            element.add_attribute(t.predicate, t.object)
+    return document
+
+
+def _collect_qualified(graph: Graph) -> Dict[tuple, Dict]:
+    """Index qualified usage/generation/association nodes by their endpoints."""
+    info: Dict[tuple, Dict] = {}
+    for t in graph.triples(None, PROV.qualifiedUsage, None):
+        node = t.object
+        entity = graph.value(subject=node, predicate=PROV.entity)
+        if entity is None:
+            continue
+        entry = info.setdefault(("usage", t.subject, entity), {})
+        _fill_time_role(graph, node, entry)
+    for t in graph.triples(None, PROV.qualifiedGeneration, None):
+        node = t.object
+        activity = graph.value(subject=node, predicate=PROV.activity)
+        if activity is None:
+            continue
+        entry = info.setdefault(("generation", t.subject, activity), {})
+        _fill_time_role(graph, node, entry)
+    for t in graph.triples(None, PROV.qualifiedAssociation, None):
+        node = t.object
+        agent = graph.value(subject=node, predicate=PROV.agent)
+        if agent is None:
+            continue
+        entry = info.setdefault(("association", t.subject, agent), {})
+        plan = graph.value(subject=node, predicate=PROV.hadPlan)
+        if plan is not None:
+            entry["plan"] = plan
+    return info
+
+
+def _fill_time_role(graph: Graph, node, entry: Dict) -> None:
+    time = graph.value(subject=node, predicate=PROV.atTime)
+    if isinstance(time, Literal):
+        entry["time"] = time.to_python()
+    role = graph.value(subject=node, predicate=PROV.hadRole)
+    if role is not None:
+        entry["role"] = role
+
+
+def from_dataset(dataset: Dataset, document: Optional[ProvDocument] = None) -> ProvDocument:
+    """Rebuild a document from a dataset: named graphs become bundles."""
+    if document is None:
+        document = ProvDocument(namespaces=dataset.namespaces.copy())
+    from_graph(dataset.default, document=document)
+    for name in dataset.graph_names():
+        if not isinstance(name, IRI):
+            continue
+        bundle = document.bundle(name)
+        from_graph(dataset.graph(name), document=document, bundle=bundle)
+    return document

@@ -1,0 +1,284 @@
+"""PROV-XML serialization (W3C PROV-XML profile).
+
+The third serialization of the PROV family (after PROV-N and PROV-O):
+an XML schema where each record is an element carrying ``prov:id`` /
+``prov:ref`` attributes.  The corpus tooling offers it for consumers in
+XML-based toolchains; round-trip with :func:`parse_provxml` is lossless
+for the model subset the corpus uses (element times, attributes, plans,
+derivation subtypes, bundles).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from ..rdf.namespace import PROV
+from ..rdf.terms import IRI, Literal, XSD, format_datetime, parse_datetime
+from .model import (
+    Association,
+    Attribution,
+    Communication,
+    Delegation,
+    Derivation,
+    Generation,
+    Influence,
+    Membership,
+    ProvActivity,
+    ProvAgent,
+    ProvBundle,
+    ProvDocument,
+    Usage,
+)
+
+__all__ = ["serialize_provxml", "parse_provxml"]
+
+_PROV_NS = "http://www.w3.org/ns/prov#"
+_XSD_NS = "http://www.w3.org/2001/XMLSchema#"
+
+ET.register_namespace("prov", _PROV_NS)
+
+_DERIVATION_TAGS = {
+    None: "wasDerivedFrom",
+    "primary_source": "hadPrimarySource",
+    "quotation": "wasQuotedFrom",
+    "revision": "wasRevisionOf",
+}
+
+
+def _q(local: str) -> str:
+    return f"{{{_PROV_NS}}}{local}"
+
+
+def serialize_provxml(document: ProvDocument) -> str:
+    """Render *document* as PROV-XML text."""
+    root = ET.Element(_q("document"))
+    _emit_bundle_body(document, root)
+    for bundle_id, bundle in document.bundles.items():
+        element = ET.SubElement(root, _q("bundleContent"), {_q("id"): bundle_id.value})
+        _emit_bundle_body(bundle, element)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n"
+
+
+def _emit_bundle_body(bundle: ProvBundle, parent: ET.Element) -> None:
+    for element in bundle.elements.values():
+        if isinstance(element, ProvActivity):
+            node = ET.SubElement(parent, _q("activity"), {_q("id"): element.identifier.value})
+            if element.start_time is not None:
+                ET.SubElement(node, _q("startTime")).text = format_datetime(element.start_time)
+            if element.end_time is not None:
+                ET.SubElement(node, _q("endTime")).text = format_datetime(element.end_time)
+        elif isinstance(element, ProvAgent):
+            node = ET.SubElement(parent, _q("agent"), {_q("id"): element.identifier.value})
+        else:
+            node = ET.SubElement(parent, _q("entity"), {_q("id"): element.identifier.value})
+        for extra in element.extra_types:
+            type_el = ET.SubElement(node, _q("type"))
+            type_el.set(_q("valueType"), "xsd:anyURI")
+            type_el.text = extra.value
+        _emit_attributes(element, node)
+    for relation in bundle.relations:
+        _emit_relation(relation, parent)
+
+
+def _emit_attributes(record, node: ET.Element) -> None:
+    for predicate, values in record.attributes.items():
+        for value in values:
+            attr = ET.SubElement(node, _q("other"))
+            attr.set(_q("predicate"), predicate.value)
+            if isinstance(value, IRI):
+                attr.set(_q("valueType"), "xsd:anyURI")
+                attr.text = value.value
+            else:
+                if value.datatype.value != XSD.STRING:
+                    attr.set(_q("valueType"), value.datatype.value)
+                if value.language:
+                    attr.set("{http://www.w3.org/XML/1998/namespace}lang", value.language)
+                attr.text = value.lexical
+
+
+def _ref(parent: ET.Element, tag: str, iri: IRI) -> None:
+    ET.SubElement(parent, _q(tag), {_q("ref"): iri.value})
+
+
+def _emit_relation(relation, parent: ET.Element) -> None:
+    if isinstance(relation, Usage):
+        node = ET.SubElement(parent, _q("used"))
+        _ref(node, "activity", relation.activity)
+        _ref(node, "entity", relation.entity)
+        if relation.time is not None:
+            ET.SubElement(node, _q("time")).text = format_datetime(relation.time)
+    elif isinstance(relation, Generation):
+        node = ET.SubElement(parent, _q("wasGeneratedBy"))
+        _ref(node, "entity", relation.entity)
+        _ref(node, "activity", relation.activity)
+        if relation.time is not None:
+            ET.SubElement(node, _q("time")).text = format_datetime(relation.time)
+    elif isinstance(relation, Communication):
+        node = ET.SubElement(parent, _q("wasInformedBy"))
+        _ref(node, "informed", relation.informed)
+        _ref(node, "informant", relation.informant)
+    elif isinstance(relation, Association):
+        node = ET.SubElement(parent, _q("wasAssociatedWith"))
+        _ref(node, "activity", relation.activity)
+        _ref(node, "agent", relation.agent)
+        if relation.plan is not None:
+            _ref(node, "plan", relation.plan)
+    elif isinstance(relation, Attribution):
+        node = ET.SubElement(parent, _q("wasAttributedTo"))
+        _ref(node, "entity", relation.entity)
+        _ref(node, "agent", relation.agent)
+    elif isinstance(relation, Delegation):
+        node = ET.SubElement(parent, _q("actedOnBehalfOf"))
+        _ref(node, "delegate", relation.delegate)
+        _ref(node, "responsible", relation.responsible)
+    elif isinstance(relation, Derivation):
+        node = ET.SubElement(parent, _q(_DERIVATION_TAGS[relation.subtype]))
+        _ref(node, "generatedEntity", relation.generated)
+        _ref(node, "usedEntity", relation.used_entity)
+    elif isinstance(relation, Influence):
+        node = ET.SubElement(parent, _q("wasInfluencedBy"))
+        _ref(node, "influencee", relation.influencee)
+        _ref(node, "influencer", relation.influencer)
+    elif isinstance(relation, Membership):
+        node = ET.SubElement(parent, _q("hadMember"))
+        _ref(node, "collection", relation.collection)
+        _ref(node, "entity", relation.entity)
+    else:
+        raise TypeError(f"cannot serialize relation {type(relation).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def parse_provxml(text: str) -> ProvDocument:
+    """Parse PROV-XML text back into a document."""
+    root = ET.fromstring(text)
+    if root.tag != _q("document"):
+        raise ValueError(f"expected prov:document root, got {root.tag}")
+    document = ProvDocument()
+    _parse_bundle_body(root, document, document)
+    for bundle_el in root.findall(_q("bundleContent")):
+        bundle = document.bundle(IRI(bundle_el.get(_q("id"))))
+        _parse_bundle_body(bundle_el, document, bundle)
+    return document
+
+
+def _parse_bundle_body(parent: ET.Element, document: ProvDocument, target: ProvBundle):
+    handlers = {
+        _q("entity"): _parse_entity,
+        _q("activity"): _parse_activity,
+        _q("agent"): _parse_agent,
+        _q("used"): _parse_used,
+        _q("wasGeneratedBy"): _parse_generation,
+        _q("wasInformedBy"): _parse_communication,
+        _q("wasAssociatedWith"): _parse_association,
+        _q("wasAttributedTo"): _parse_attribution,
+        _q("actedOnBehalfOf"): _parse_delegation,
+        _q("wasDerivedFrom"): lambda e, t: _parse_derivation(e, t, None),
+        _q("hadPrimarySource"): lambda e, t: _parse_derivation(e, t, "primary_source"),
+        _q("wasQuotedFrom"): lambda e, t: _parse_derivation(e, t, "quotation"),
+        _q("wasRevisionOf"): lambda e, t: _parse_derivation(e, t, "revision"),
+        _q("wasInfluencedBy"): _parse_influence,
+        _q("hadMember"): _parse_membership,
+    }
+    for child in parent:
+        if child.tag == _q("bundleContent"):
+            continue
+        handler = handlers.get(child.tag)
+        if handler is None:
+            raise ValueError(f"unknown PROV-XML element {child.tag}")
+        handler(child, target)
+
+
+def _element_common(node: ET.Element, element) -> None:
+    for type_el in node.findall(_q("type")):
+        element.add_type(IRI(type_el.text))
+    for other in node.findall(_q("other")):
+        predicate = IRI(other.get(_q("predicate")))
+        value_type = other.get(_q("valueType"))
+        lang = other.get("{http://www.w3.org/XML/1998/namespace}lang")
+        text = other.text or ""
+        if value_type == "xsd:anyURI":
+            element.add_attribute(predicate, IRI(text))
+        elif lang:
+            element.add_attribute(predicate, Literal(text, language=lang))
+        elif value_type:
+            element.add_attribute(predicate, Literal(text, datatype=value_type))
+        else:
+            element.add_attribute(predicate, Literal(text))
+
+
+def _parse_entity(node: ET.Element, target: ProvBundle):
+    element = target.entity(IRI(node.get(_q("id"))))
+    _element_common(node, element)
+
+
+def _parse_agent(node: ET.Element, target: ProvBundle):
+    element = target.agent(IRI(node.get(_q("id"))))
+    _element_common(node, element)
+
+
+def _parse_activity(node: ET.Element, target: ProvBundle):
+    start_el = node.find(_q("startTime"))
+    end_el = node.find(_q("endTime"))
+    element = target.activity(
+        IRI(node.get(_q("id"))),
+        start_time=parse_datetime(start_el.text) if start_el is not None else None,
+        end_time=parse_datetime(end_el.text) if end_el is not None else None,
+    )
+    _element_common(node, element)
+
+
+def _ref_of(node: ET.Element, tag: str) -> IRI:
+    child = node.find(_q(tag))
+    if child is None:
+        raise ValueError(f"missing prov:{tag} reference")
+    return IRI(child.get(_q("ref")))
+
+
+def _time_of(node: ET.Element):
+    child = node.find(_q("time"))
+    return parse_datetime(child.text) if child is not None else None
+
+
+def _parse_used(node, target):
+    target.used(_ref_of(node, "activity"), _ref_of(node, "entity"), time=_time_of(node))
+
+
+def _parse_generation(node, target):
+    target.was_generated_by(_ref_of(node, "entity"), _ref_of(node, "activity"),
+                            time=_time_of(node))
+
+
+def _parse_communication(node, target):
+    target.was_informed_by(_ref_of(node, "informed"), _ref_of(node, "informant"))
+
+
+def _parse_association(node, target):
+    plan_el = node.find(_q("plan"))
+    plan = IRI(plan_el.get(_q("ref"))) if plan_el is not None else None
+    target.was_associated_with(_ref_of(node, "activity"), _ref_of(node, "agent"), plan=plan)
+
+
+def _parse_attribution(node, target):
+    target.was_attributed_to(_ref_of(node, "entity"), _ref_of(node, "agent"))
+
+
+def _parse_delegation(node, target):
+    target.acted_on_behalf_of(_ref_of(node, "delegate"), _ref_of(node, "responsible"))
+
+
+def _parse_derivation(node, target, subtype: Optional[str]):
+    target.was_derived_from(_ref_of(node, "generatedEntity"), _ref_of(node, "usedEntity"),
+                            subtype=subtype)
+
+
+def _parse_influence(node, target):
+    target.was_influenced_by(_ref_of(node, "influencee"), _ref_of(node, "influencer"))
+
+
+def _parse_membership(node, target):
+    target.had_member(_ref_of(node, "collection"), _ref_of(node, "entity"))

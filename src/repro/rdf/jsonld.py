@@ -1,0 +1,139 @@
+"""A compact JSON serialization of RDF graphs (JSON-LD-flavoured).
+
+The corpus's web-facing tooling (Section 6 future work) exchanges traces as
+JSON.  This module implements a deliberately small, lossless profile of
+JSON-LD: a ``@context`` holding the prefix map, and one node object per
+subject with ``@id`` / ``@type`` keys and CURIE property keys.  Values are
+either node references (``{"@id": ...}``), typed values
+(``{"@value": ..., "@type": ...}``), language-tagged values, or plain
+JSON scalars for ``xsd:string``/numeric/boolean literals.
+
+Round-tripping through :func:`to_jsonld` / :func:`from_jsonld` preserves the
+graph exactly (up to blank-node identity, which is kept verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from .graph import Graph
+from .namespace import NamespaceManager, RDF
+from .terms import BlankNode, IRI, Literal, XSD
+from .triple import Object, Subject, Triple
+
+__all__ = ["to_jsonld", "from_jsonld", "dumps", "loads"]
+
+
+def _key_for(iri: IRI, nsm: NamespaceManager) -> str:
+    curie = nsm.compact(iri)
+    return curie if curie is not None else iri.value
+
+
+def _node_ref(term: Subject) -> str:
+    return term.value if isinstance(term, IRI) else f"_:{term.id}"
+
+
+def _value_json(obj: Object, nsm: NamespaceManager) -> Any:
+    if isinstance(obj, (IRI, BlankNode)):
+        return {"@id": _node_ref(obj)}
+    dt = obj.datatype.value
+    if obj.language is not None:
+        return {"@value": obj.lexical, "@language": obj.language}
+    if dt == XSD.STRING:
+        return obj.lexical
+    if dt == XSD.BOOLEAN and obj.lexical in ("true", "false"):
+        return obj.lexical == "true"
+    if dt == XSD.INTEGER:
+        try:
+            return int(obj.lexical)
+        except ValueError:
+            pass
+    return {"@value": obj.lexical, "@type": _key_for(obj.datatype, nsm)}
+
+
+def to_jsonld(graph: Graph, namespaces: Optional[NamespaceManager] = None) -> Dict[str, Any]:
+    """Convert *graph* to a JSON-LD-style dict with @context and @graph."""
+    nsm = namespaces if namespaces is not None else graph.namespaces
+    context = {prefix: base for prefix, base in nsm.namespaces()}
+    nodes: Dict[str, Dict[str, Any]] = {}
+    for t in graph.sorted_triples():
+        node_id = _node_ref(t.subject)
+        node = nodes.setdefault(node_id, {"@id": node_id})
+        if t.predicate == RDF.type and isinstance(t.object, IRI):
+            node.setdefault("@type", []).append(_key_for(t.object, nsm))
+            continue
+        key = _key_for(t.predicate, nsm)
+        node.setdefault(key, []).append(_value_json(t.object, nsm))
+    # Single-valued lists collapse to their value for compactness.
+    for node in nodes.values():
+        for key, value in list(node.items()):
+            if key != "@id" and isinstance(value, list) and len(value) == 1:
+                node[key] = value[0]
+    return {"@context": context, "@graph": list(nodes.values())}
+
+
+def _term_from_ref(ref: str) -> Subject:
+    if ref.startswith("_:"):
+        return BlankNode(ref[2:])
+    return IRI(ref)
+
+
+def _expand_key(key: str, nsm: NamespaceManager) -> IRI:
+    if ":" in key:
+        prefix = key.split(":", 1)[0]
+        if prefix in nsm:
+            return nsm.expand(key)
+    return IRI(key)
+
+
+def _object_from_json(value: Any, nsm: NamespaceManager) -> Object:
+    if isinstance(value, dict):
+        if "@id" in value:
+            return _term_from_ref(value["@id"])
+        lexical = str(value["@value"])
+        if "@language" in value:
+            return Literal(lexical, language=value["@language"])
+        if "@type" in value:
+            return Literal(lexical, datatype=_expand_key(value["@type"], nsm))
+        return Literal(lexical)
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD.BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD.INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD.DOUBLE)
+    return Literal(str(value))
+
+
+def from_jsonld(document: Dict[str, Any], graph: Optional[Graph] = None) -> Graph:
+    """Rebuild a graph from the dict produced by :func:`to_jsonld`."""
+    if graph is None:
+        graph = Graph()
+    nsm = graph.namespaces
+    for prefix, base in document.get("@context", {}).items():
+        nsm.bind(prefix, base)
+    for node in document.get("@graph", []):
+        subject = _term_from_ref(node["@id"])
+        for key, value in node.items():
+            if key == "@id":
+                continue
+            values = value if isinstance(value, list) else [value]
+            if key == "@type":
+                for v in values:
+                    graph.add(Triple(subject, RDF.type, _expand_key(v, nsm)))
+                continue
+            predicate = _expand_key(key, nsm)
+            for v in values:
+                graph.add(Triple(subject, predicate, _object_from_json(v, nsm)))
+    return graph
+
+
+def dumps(graph: Graph, indent: Optional[int] = 2) -> str:
+    """Serialize *graph* to a JSON string."""
+    return json.dumps(to_jsonld(graph), indent=indent, sort_keys=True)
+
+
+def loads(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse a JSON string produced by :func:`dumps`."""
+    return from_jsonld(json.loads(text), graph=graph)

@@ -1,0 +1,140 @@
+"""N-Triples and N-Quads serialization (RDF 1.1 line-based formats).
+
+These are the exchange formats of the corpus loader tests: trivially
+streamable, one statement per line, no prefix state.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Optional, TextIO, Union
+
+from .graph import Dataset, Graph
+from .terms import BlankNode, IRI, Literal, unescape_string
+from .triple import Quad, Triple
+
+__all__ = [
+    "serialize_ntriples",
+    "parse_ntriples",
+    "serialize_nquads",
+    "parse_nquads",
+    "NTriplesError",
+]
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples/N-Quads input, with the line number."""
+
+    def __init__(self, message: str, lineno: int):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def serialize_ntriples(graph: Graph, out: Optional[TextIO] = None) -> Optional[str]:
+    """Serialize *graph* as canonical (sorted) N-Triples."""
+    lines = (t.n3() + "\n" for t in graph.sorted_triples())
+    if out is None:
+        return "".join(lines)
+    for line in lines:
+        out.write(line)
+    return None
+
+
+def serialize_nquads(dataset: Dataset, out: Optional[TextIO] = None) -> Optional[str]:
+    """Serialize *dataset* as canonical N-Quads (default graph first)."""
+
+    def lines() -> Iterator[str]:
+        for t in dataset.default.sorted_triples():
+            yield t.n3() + "\n"
+        for name in dataset.graph_names():
+            for t in dataset.graph(name).sorted_triples():
+                yield f"{t.subject.n3()} {t.predicate.n3()} {t.object.n3()} {name.n3()} .\n"
+
+    if out is None:
+        return "".join(lines())
+    for line in lines():
+        out.write(line)
+    return None
+
+
+_TERM_RE = re.compile(
+    r"""\s*(?:
+        <(?P<iri>[^>]*)>
+      | _:(?P<bnode>[A-Za-z0-9_.\-]+)
+      | "(?P<lit>(?:[^"\\]|\\.)*)"
+        (?:\^\^<(?P<dt>[^>]*)>|@(?P<lang>[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*))?
+    )""",
+    re.VERBOSE,
+)
+
+
+def _parse_term(text: str, pos: int, lineno: int):
+    match = _TERM_RE.match(text, pos)
+    if match is None:
+        raise NTriplesError(f"expected RDF term at column {pos}", lineno)
+    if match.group("iri") is not None:
+        return IRI(match.group("iri")), match.end()
+    if match.group("bnode") is not None:
+        return BlankNode(match.group("bnode")), match.end()
+    lexical = unescape_string(match.group("lit"))
+    if match.group("dt") is not None:
+        return Literal(lexical, datatype=match.group("dt")), match.end()
+    if match.group("lang") is not None:
+        return Literal(lexical, language=match.group("lang")), match.end()
+    return Literal(lexical), match.end()
+
+
+def _parse_statements(text: str, max_terms: int) -> Iterator[tuple]:
+    # Split on '\n' only: characters like U+0085 are legal inside literals
+    # and must not be treated as line terminators (str.splitlines would).
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip(" \t\r")
+        if not line or line.startswith("#"):
+            continue
+        terms = []
+        pos = 0
+        while len(terms) < max_terms:
+            term, pos = _parse_term(line, pos, lineno)
+            terms.append(term)
+            rest = line[pos:].lstrip()
+            if rest.startswith("."):
+                trailing = rest[1:].strip()
+                if trailing and not trailing.startswith("#"):
+                    raise NTriplesError("content after terminating '.'", lineno)
+                break
+            pos = len(line) - len(rest)
+        else:
+            rest = line[pos:].lstrip()
+            if not rest.startswith("."):
+                raise NTriplesError("missing terminating '.'", lineno)
+        if len(terms) < 3:
+            raise NTriplesError("statement has fewer than 3 terms", lineno)
+        if not isinstance(terms[0], (IRI, BlankNode)):
+            raise NTriplesError("subject must be an IRI or blank node", lineno)
+        if not isinstance(terms[1], IRI):
+            raise NTriplesError("predicate must be an IRI", lineno)
+        yield tuple(terms), lineno
+
+
+def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse N-Triples text into *graph* (a new Graph when omitted)."""
+    if graph is None:
+        graph = Graph()
+    for terms, lineno in _parse_statements(text, max_terms=3):
+        graph.add(Triple(*terms))
+    return graph
+
+
+def parse_nquads(text: str, dataset: Optional[Dataset] = None) -> Dataset:
+    """Parse N-Quads text into *dataset* (a new Dataset when omitted)."""
+    if dataset is None:
+        dataset = Dataset()
+    for terms, lineno in _parse_statements(text, max_terms=4):
+        if len(terms) == 3:
+            dataset.default.add(Triple(*terms))
+        else:
+            s, p, o, g = terms
+            if not isinstance(g, (IRI, BlankNode)):
+                raise NTriplesError("graph label must be an IRI or blank node", lineno)
+            dataset.add(Quad(s, p, o, g))
+    return dataset

@@ -1,0 +1,97 @@
+"""Triples and quads — the statements stored in graphs and datasets."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .terms import BlankNode, IRI, Literal, Term
+
+__all__ = ["Subject", "Predicate", "Object", "Triple", "Quad"]
+
+Subject = Union[IRI, BlankNode]
+Predicate = IRI
+Object = Union[IRI, BlankNode, Literal]
+
+
+class Triple:
+    """An RDF triple (subject, predicate, object) with positional access."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Subject, predicate: Predicate, obj: Object):
+        if not isinstance(subject, (IRI, BlankNode)):
+            raise TypeError(f"triple subject must be IRI or BlankNode, got {type(subject).__name__}")
+        if not isinstance(predicate, IRI):
+            raise TypeError(f"triple predicate must be IRI, got {type(predicate).__name__}")
+        if not isinstance(obj, (IRI, BlankNode, Literal)):
+            raise TypeError(f"triple object must be an RDF term, got {type(obj).__name__}")
+        object.__setattr__(self, "subject", subject)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "object", obj)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Triple is immutable")
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __getitem__(self, index: int) -> Term:
+        return (self.subject, self.predicate, self.object)[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Triple):
+            return (
+                self.subject == other.subject
+                and self.predicate == other.predicate
+                and self.object == other.object
+            )
+        if isinstance(other, tuple) and len(other) == 3:
+            return (self.subject, self.predicate, self.object) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def sort_key(self) -> Tuple:
+        return (self.subject.sort_key(), self.predicate.sort_key(), self.object.sort_key())
+
+    def as_tuple(self) -> Tuple[Subject, Predicate, Object]:
+        return (self.subject, self.predicate, self.object)
+
+
+class Quad(Triple):
+    """A triple plus the named graph it belongs to (None = default graph)."""
+
+    __slots__ = ("graph",)
+
+    def __init__(
+        self,
+        subject: Subject,
+        predicate: Predicate,
+        obj: Object,
+        graph: Optional[Union[IRI, BlankNode]] = None,
+    ):
+        super().__init__(subject, predicate, obj)
+        if graph is not None and not isinstance(graph, (IRI, BlankNode)):
+            raise TypeError("quad graph name must be IRI, BlankNode, or None")
+        object.__setattr__(self, "graph", graph)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Quad):
+            return super().__eq__(other) and self.graph == other.graph
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object, self.graph))
+
+    def __repr__(self) -> str:
+        return f"Quad({self.subject!r}, {self.predicate!r}, {self.object!r}, graph={self.graph!r})"
+
+    def triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)

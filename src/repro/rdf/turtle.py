@@ -1,0 +1,499 @@
+"""Turtle serialization and parsing (RDF 1.1 Turtle).
+
+Turtle is the primary format of the corpus: each workflow-run trace is
+stored as one ``.ttl`` file.  The serializer groups triples by subject and
+predicate (``;`` / ``,`` shorthand) with sorted, deterministic output; the
+parser is a hand-written recursive-descent parser over a regex tokenizer and
+supports the subset of Turtle the corpus uses plus blank-node property
+lists, collections, numeric/boolean shorthand and both ``@prefix`` and
+SPARQL-style ``PREFIX`` directives.
+
+The tokenizer and statement parser are shared with the TriG module, which
+adds named-graph blocks on top.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple, Union
+
+from .graph import Dataset, Graph
+from .namespace import NamespaceManager, RDF
+from .terms import BlankNode, IRI, Literal, XSD, escape_string, unescape_string
+from .triple import Object, Subject, Triple
+
+__all__ = ["serialize_turtle", "parse_turtle", "TurtleError", "Tokenizer", "TurtleParser"]
+
+
+class TurtleError(ValueError):
+    """Raised on malformed Turtle/TriG input."""
+
+    def __init__(self, message: str, lineno: int):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+# ---------------------------------------------------------------------------
+# Serializer
+# ---------------------------------------------------------------------------
+
+def _term_text(term, nsm: NamespaceManager) -> str:
+    """Render a term, preferring CURIEs and literal shorthand."""
+    if isinstance(term, IRI):
+        if term == RDF.type:
+            return "a"
+        curie = nsm.compact(term)
+        return curie if curie is not None else term.n3()
+    if isinstance(term, Literal):
+        dt = term.datatype.value
+        if term.language is None:
+            if dt == XSD.INTEGER and re.fullmatch(r"[+-]?\d+", term.lexical):
+                return term.lexical
+            if dt == XSD.BOOLEAN and term.lexical in ("true", "false"):
+                return term.lexical
+            if dt == XSD.DECIMAL and re.fullmatch(r"[+-]?\d*\.\d+", term.lexical):
+                return term.lexical
+            if dt == XSD.STRING:
+                return f'"{escape_string(term.lexical)}"'
+            curie = nsm.compact(term.datatype)
+            suffix = f"^^{curie}" if curie is not None else f"^^{term.datatype.n3()}"
+            return f'"{escape_string(term.lexical)}"{suffix}'
+        return term.n3()
+    return term.n3()
+
+
+def serialize_graph_body(graph: Graph, nsm: NamespaceManager, indent: str = "") -> Iterator[str]:
+    """Yield the subject-grouped statement lines of a graph (no prefixes)."""
+    by_subject = {}
+    for t in graph:
+        by_subject.setdefault(t.subject, []).append(t)
+    for subject in sorted(by_subject, key=lambda s: s.sort_key()):
+        triples = by_subject[subject]
+        by_pred = {}
+        for t in triples:
+            by_pred.setdefault(t.predicate, []).append(t.object)
+        # rdf:type first — conventional Turtle style for readability.
+        preds = sorted(by_pred, key=lambda p: (p != RDF.type, p.sort_key()))
+        lines: List[str] = []
+        subject_text = _term_text(subject, nsm)
+        for i, pred in enumerate(preds):
+            objs = sorted(by_pred[pred], key=lambda o: o.sort_key())
+            obj_text = ", ".join(_term_text(o, nsm) for o in objs)
+            pred_text = _term_text(pred, nsm)
+            if i == 0:
+                lines.append(f"{indent}{subject_text} {pred_text} {obj_text}")
+            else:
+                lines.append(f"{indent}    {pred_text} {obj_text}")
+        yield " ;\n".join(lines) + " .\n"
+
+
+def serialize_turtle(graph: Graph, namespaces: Optional[NamespaceManager] = None) -> str:
+    """Serialize *graph* as Turtle with a prefix header."""
+    nsm = namespaces if namespaces is not None else graph.namespaces
+    out: List[str] = []
+    used = _used_prefixes(graph, nsm)
+    for prefix, base in nsm.namespaces():
+        if prefix in used:
+            out.append(f"@prefix {prefix}: <{base}> .\n")
+    if out:
+        out.append("\n")
+    out.extend(serialize_graph_body(graph, nsm))
+    return "".join(out)
+
+
+def _used_prefixes(graph: Graph, nsm: NamespaceManager) -> set:
+    used = set()
+    for t in graph:
+        for term in t:
+            candidates = [term] if isinstance(term, IRI) else []
+            if isinstance(term, Literal) and term.datatype.value != XSD.STRING:
+                candidates.append(term.datatype)
+            for iri in candidates:
+                curie = nsm.compact(iri)
+                if curie is not None:
+                    used.add(curie.split(":", 1)[0])
+    return used
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<iriref><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<string_long>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+    | (?P<string>"(?:[^"\\\n]|\\.)*")
+    | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.\-]*)
+    | (?P<prefix_decl>@prefix\b|@base\b)
+    | (?P<sparql_prefix>(?i:PREFIX)\b)
+    | (?P<sparql_base>(?i:BASE)\b)
+    | (?P<graph_kw>(?i:GRAPH)\b)
+    | (?P<langtag>@[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*)
+    | (?P<double>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+    | (?P<decimal>[+-]?\d*\.\d+)
+    | (?P<integer>[+-]?\d+)
+    | (?P<boolean>\b(?:true|false)\b)
+    | (?P<a>\ba\b)
+    | (?P<pname>[A-Za-z_][A-Za-z0-9_\-]*)?:(?:[A-Za-z0-9_\-.]*[A-Za-z0-9_\-])?
+    | (?P<dtmark>\^\^)
+    | (?P<punct>[;,.\[\](){}])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "lineno")
+
+    def __init__(self, kind: str, text: str, lineno: int):
+        self.kind = kind
+        self.text = text
+        self.lineno = lineno
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.lineno})"
+
+
+class Tokenizer:
+    """Regex tokenizer for Turtle/TriG with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self._tokens = list(self._scan(text))
+        self._pos = 0
+
+    @staticmethod
+    def _scan(text: str) -> Iterator[Token]:
+        lineno = 1
+        pos = 0
+        length = len(text)
+        while pos < length:
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                raise TurtleError(f"unexpected character {text[pos]!r}", lineno)
+            lineno += text.count("\n", pos, match.end())
+            kind = match.lastgroup
+            token_text = match.group()
+            pos = match.end()
+            if kind in ("ws", "comment"):
+                continue
+            if kind is None:
+                # pname group may match with lastgroup None when prefix part absent
+                kind = "pname"
+            yield Token(kind, token_text, lineno)
+
+    def peek(self) -> Optional[Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            last_line = self._tokens[-1].lineno if self._tokens else 1
+            raise TurtleError("unexpected end of input", last_line)
+        self._pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise TurtleError(f"expected {want!r}, got {tok.text!r}", tok.lineno)
+        return tok
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class TurtleParser:
+    """Recursive-descent parser emitting triples into a sink graph.
+
+    The same class parses TriG when *allow_graphs* is set: named-graph
+    blocks route triples into ``dataset.graph(name)``.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        graph: Optional[Graph] = None,
+        dataset: Optional[Dataset] = None,
+        allow_graphs: bool = False,
+    ):
+        self.tokens = Tokenizer(text)
+        self.dataset = dataset
+        self.allow_graphs = allow_graphs
+        if allow_graphs:
+            if dataset is None:
+                raise ValueError("TriG parsing requires a dataset sink")
+            self.nsm = dataset.namespaces
+            self.sink = dataset.default
+        else:
+            self.graph = graph if graph is not None else Graph()
+            self.nsm = self.graph.namespaces
+            self.sink = self.graph
+        self.base = ""
+        self._anon_count = 0
+
+    # -- entry point --------------------------------------------------------
+
+    def parse(self):
+        while not self.tokens.at_end():
+            tok = self.tokens.peek()
+            if tok.kind == "prefix_decl":
+                self._parse_at_directive()
+            elif tok.kind == "sparql_prefix":
+                self.tokens.next()
+                self._parse_prefix_binding(require_dot=False)
+            elif tok.kind == "sparql_base":
+                self.tokens.next()
+                iri_tok = self.tokens.expect("iriref")
+                self.base = iri_tok.text[1:-1]
+            elif self.allow_graphs and self._looks_like_graph_block():
+                self._parse_graph_block()
+            else:
+                self._parse_statement(self.sink)
+        return self.dataset if self.allow_graphs else self.graph
+
+    def _parse_at_directive(self):
+        tok = self.tokens.next()
+        if tok.text == "@prefix":
+            self._parse_prefix_binding(require_dot=True)
+        else:  # @base
+            iri_tok = self.tokens.expect("iriref")
+            self.base = iri_tok.text[1:-1]
+            self.tokens.expect("punct", ".")
+
+    def _parse_prefix_binding(self, require_dot: bool):
+        pname = self.tokens.next()
+        if pname.kind != "pname" or not pname.text.endswith(":"):
+            raise TurtleError(f"expected prefix name, got {pname.text!r}", pname.lineno)
+        prefix = pname.text[:-1]
+        iri_tok = self.tokens.expect("iriref")
+        self.nsm.bind(prefix, iri_tok.text[1:-1])
+        if require_dot:
+            self.tokens.expect("punct", ".")
+        else:
+            nxt = self.tokens.peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.text == ".":
+                self.tokens.next()
+
+    # -- TriG graph blocks ----------------------------------------------------
+
+    def _looks_like_graph_block(self) -> bool:
+        tok = self.tokens.peek()
+        if tok is None:
+            return False
+        if tok.kind == "graph_kw":
+            return True
+        if tok.kind == "punct" and tok.text == "{":
+            return True
+        if tok.kind in ("iriref", "pname", "bnode"):
+            nxt = self.tokens._tokens[self.tokens._pos + 1] if self.tokens._pos + 1 < len(self.tokens._tokens) else None
+            return nxt is not None and nxt.kind == "punct" and nxt.text == "{"
+        return False
+
+    def _parse_graph_block(self):
+        tok = self.tokens.peek()
+        name = None
+        if tok.kind == "graph_kw":
+            self.tokens.next()
+            name = self._parse_graph_name()
+        elif tok.kind != "punct":
+            name = self._parse_graph_name()
+        self.tokens.expect("punct", "{")
+        target = self.dataset.graph(name)
+        while True:
+            tok = self.tokens.peek()
+            if tok is None:
+                raise TurtleError("unterminated graph block", 0)
+            if tok.kind == "punct" and tok.text == "}":
+                self.tokens.next()
+                break
+            self._parse_statement(target, in_graph=True)
+
+    def _parse_graph_name(self) -> Union[IRI, BlankNode]:
+        tok = self.tokens.next()
+        if tok.kind == "iriref":
+            return self._resolve_iri(tok.text[1:-1], tok.lineno)
+        if tok.kind == "pname":
+            return self._expand_pname(tok)
+        if tok.kind == "bnode":
+            return BlankNode(tok.text[2:])
+        raise TurtleError(f"invalid graph name {tok.text!r}", tok.lineno)
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_statement(self, sink: Graph, in_graph: bool = False):
+        subject = self._parse_subject(sink)
+        self._parse_predicate_object_list(subject, sink)
+        tok = self.tokens.peek()
+        if tok is not None and tok.kind == "punct" and tok.text == ".":
+            self.tokens.next()
+        elif in_graph and tok is not None and tok.kind == "punct" and tok.text == "}":
+            pass  # final statement of a graph block may omit '.'
+        elif tok is None and not in_graph:
+            raise TurtleError("missing '.' at end of statement", 0)
+        else:
+            lineno = tok.lineno if tok is not None else 0
+            text = tok.text if tok is not None else "<eof>"
+            raise TurtleError(f"expected '.', got {text!r}", lineno)
+
+    def _parse_subject(self, sink: Graph) -> Subject:
+        tok = self.tokens.peek()
+        if tok.kind == "punct" and tok.text == "[":
+            return self._parse_bnode_property_list(sink)
+        if tok.kind == "punct" and tok.text == "(":
+            return self._parse_collection(sink)
+        term = self._parse_term(sink)
+        if not isinstance(term, (IRI, BlankNode)):
+            raise TurtleError("literal cannot be a subject", tok.lineno)
+        return term
+
+    def _parse_predicate_object_list(self, subject: Subject, sink: Graph):
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object(sink)
+                sink.add(Triple(subject, predicate, obj))
+                tok = self.tokens.peek()
+                if tok is not None and tok.kind == "punct" and tok.text == ",":
+                    self.tokens.next()
+                    continue
+                break
+            tok = self.tokens.peek()
+            if tok is not None and tok.kind == "punct" and tok.text == ";":
+                self.tokens.next()
+                nxt = self.tokens.peek()
+                # allow trailing ';' before '.', ']' or '}'
+                if nxt is not None and nxt.kind == "punct" and nxt.text in (".", "]", "}"):
+                    break
+                continue
+            break
+
+    def _parse_predicate(self) -> IRI:
+        tok = self.tokens.next()
+        if tok.kind == "a":
+            return RDF.type
+        if tok.kind == "iriref":
+            return self._resolve_iri(tok.text[1:-1], tok.lineno)
+        if tok.kind == "pname":
+            return self._expand_pname(tok)
+        raise TurtleError(f"invalid predicate {tok.text!r}", tok.lineno)
+
+    def _parse_object(self, sink: Graph) -> Object:
+        tok = self.tokens.peek()
+        if tok.kind == "punct" and tok.text == "[":
+            return self._parse_bnode_property_list(sink)
+        if tok.kind == "punct" and tok.text == "(":
+            return self._parse_collection(sink)
+        return self._parse_term(sink)
+
+    def _parse_bnode_property_list(self, sink: Graph) -> BlankNode:
+        open_tok = self.tokens.expect("punct", "[")
+        self._anon_count += 1
+        node = BlankNode(f"anon{self._anon_count}")
+        tok = self.tokens.peek()
+        if tok is not None and tok.kind == "punct" and tok.text == "]":
+            self.tokens.next()
+            return node
+        self._parse_predicate_object_list(node, sink)
+        self.tokens.expect("punct", "]")
+        return node
+
+    def _parse_collection(self, sink: Graph) -> Union[IRI, BlankNode]:
+        self.tokens.expect("punct", "(")
+        items: List[Object] = []
+        while True:
+            tok = self.tokens.peek()
+            if tok is None:
+                raise TurtleError("unterminated collection", 0)
+            if tok.kind == "punct" and tok.text == ")":
+                self.tokens.next()
+                break
+            items.append(self._parse_object(sink))
+        if not items:
+            return RDF.nil
+        head = None
+        prev = None
+        for item in items:
+            self._anon_count += 1
+            cell = BlankNode(f"list{self._anon_count}")
+            if head is None:
+                head = cell
+            if prev is not None:
+                sink.add(Triple(prev, RDF.rest, cell))
+            sink.add(Triple(cell, RDF.first, item))
+            prev = cell
+        sink.add(Triple(prev, RDF.rest, RDF.nil))
+        return head
+
+    # -- terms -------------------------------------------------------------------
+
+    def _parse_term(self, sink: Graph):
+        tok = self.tokens.next()
+        if tok.kind == "iriref":
+            return self._resolve_iri(tok.text[1:-1], tok.lineno)
+        if tok.kind == "pname":
+            return self._expand_pname(tok)
+        if tok.kind == "bnode":
+            return BlankNode(tok.text[2:])
+        if tok.kind in ("string", "string_long"):
+            return self._finish_literal(tok)
+        if tok.kind == "integer":
+            return Literal(tok.text, datatype=XSD.INTEGER)
+        if tok.kind == "decimal":
+            return Literal(tok.text, datatype=XSD.DECIMAL)
+        if tok.kind == "double":
+            return Literal(tok.text, datatype=XSD.DOUBLE)
+        if tok.kind == "boolean":
+            return Literal(tok.text, datatype=XSD.BOOLEAN)
+        if tok.kind == "a":
+            return RDF.type
+        raise TurtleError(f"unexpected token {tok.text!r}", tok.lineno)
+
+    def _finish_literal(self, tok: Token) -> Literal:
+        if tok.kind == "string_long":
+            raw = tok.text[3:-3]
+        else:
+            raw = tok.text[1:-1]
+        lexical = unescape_string(raw)
+        nxt = self.tokens.peek()
+        if nxt is not None and nxt.kind == "dtmark":
+            self.tokens.next()
+            dt_tok = self.tokens.next()
+            if dt_tok.kind == "iriref":
+                datatype = self._resolve_iri(dt_tok.text[1:-1], dt_tok.lineno)
+            elif dt_tok.kind == "pname":
+                datatype = self._expand_pname(dt_tok)
+            else:
+                raise TurtleError("expected datatype IRI after ^^", dt_tok.lineno)
+            return Literal(lexical, datatype=datatype)
+        if nxt is not None and nxt.kind == "langtag":
+            self.tokens.next()
+            return Literal(lexical, language=nxt.text[1:])
+        return Literal(lexical)
+
+    def _resolve_iri(self, value: str, lineno: int) -> IRI:
+        if self.base and "://" not in value and not value.startswith("urn:"):
+            value = self.base + value
+        try:
+            return IRI(value)
+        except ValueError as exc:
+            raise TurtleError(str(exc), lineno) from None
+
+    def _expand_pname(self, tok: Token) -> IRI:
+        prefix, _, local = tok.text.partition(":")
+        try:
+            return self.nsm.expand(f"{prefix}:{local}")
+        except KeyError:
+            raise TurtleError(f"unknown prefix {prefix!r}", tok.lineno) from None
+
+
+def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse Turtle text into *graph* (a new Graph when omitted)."""
+    return TurtleParser(text, graph=graph).parse()

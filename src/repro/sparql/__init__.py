@@ -1,0 +1,25 @@
+"""SPARQL engine: tokenizer, parser, algebra, and evaluator.
+
+The subset implemented covers everything the corpus's exemplar queries and
+coverage tooling need: SELECT/ASK, BGPs with join reordering, OPTIONAL,
+FILTER (full expression grammar + built-ins), UNION, MINUS, BIND, GRAPH,
+(NOT) EXISTS/IN, aggregates with GROUP BY/HAVING, ORDER BY and slicing.
+"""
+
+from .algebra import AskQuery, SelectQuery, Var
+from .evaluator import QueryEngine, plan_bgp
+from .parser import parse_query
+from .results import ResultRow, ResultTable
+from .tokenizer import SparqlSyntaxError
+
+__all__ = [
+    "QueryEngine",
+    "parse_query",
+    "plan_bgp",
+    "ResultTable",
+    "ResultRow",
+    "SelectQuery",
+    "AskQuery",
+    "Var",
+    "SparqlSyntaxError",
+]

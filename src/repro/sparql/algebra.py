@@ -1,0 +1,320 @@
+"""SPARQL algebra: the tree the parser builds and the evaluator walks.
+
+Patterns (graph-pattern algebra):
+
+* :class:`TriplePattern` / :class:`BGP` — basic graph patterns
+* :class:`Join`, :class:`LeftJoin` (OPTIONAL), :class:`Union`, :class:`Minus`
+* :class:`Filter`, :class:`Bind`, :class:`GraphPattern` (GRAPH ?g { ... })
+
+Expressions (FILTER / BIND / SELECT expressions):
+
+* :class:`VarExpr`, :class:`TermExpr` — leaves
+* :class:`And`, :class:`Or`, :class:`Not`, :class:`Compare`, :class:`Arithmetic`
+* :class:`FunctionCall` — built-ins (REGEX, BOUND, STR, ...)
+* :class:`ExistsExpr` — (NOT) EXISTS
+* :class:`Aggregate` — COUNT/SUM/MIN/MAX/AVG/SAMPLE/GROUP_CONCAT
+
+Queries:
+
+* :class:`SelectQuery` (projection, DISTINCT, GROUP BY, ORDER BY, slicing)
+* :class:`AskQuery`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union as TyUnion
+
+from ..rdf.terms import Term
+
+__all__ = [
+    "Var",
+    "TriplePattern",
+    "BGP",
+    "Join",
+    "LeftJoin",
+    "Union",
+    "Minus",
+    "Filter",
+    "Bind",
+    "GraphPattern",
+    "Values",
+    "Expression",
+    "VarExpr",
+    "TermExpr",
+    "And",
+    "Or",
+    "Not",
+    "Compare",
+    "Arithmetic",
+    "FunctionCall",
+    "ExistsExpr",
+    "InExpr",
+    "Aggregate",
+    "Projection",
+    "OrderCondition",
+    "SelectQuery",
+    "AskQuery",
+    "ConstructQuery",
+    "DescribeQuery",
+]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A SPARQL variable (name without the ``?`` sigil)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A position in a triple pattern: a concrete term or a variable.
+PatternTerm = TyUnion[Term, Var]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> set:
+        return {t.name for t in (self.subject, self.predicate, self.object) if isinstance(t, Var)}
+
+    def bound_count(self) -> int:
+        """Number of concrete (non-variable) positions — a selectivity proxy."""
+        return sum(1 for t in (self.subject, self.predicate, self.object) if not isinstance(t, Var))
+
+
+class Pattern:
+    """Marker base class for graph patterns."""
+
+    __slots__ = ()
+
+
+@dataclass
+class BGP(Pattern):
+    triples: List[TriplePattern] = field(default_factory=list)
+
+
+@dataclass
+class Join(Pattern):
+    left: Pattern
+    right: Pattern
+
+
+@dataclass
+class LeftJoin(Pattern):
+    """OPTIONAL: keep left solutions, extend with right where compatible."""
+
+    left: Pattern
+    right: Pattern
+    condition: Optional["Expression"] = None
+
+
+@dataclass
+class Union(Pattern):
+    left: Pattern
+    right: Pattern
+
+
+@dataclass
+class Minus(Pattern):
+    left: Pattern
+    right: Pattern
+
+
+@dataclass
+class Filter(Pattern):
+    pattern: Pattern
+    condition: "Expression"
+
+
+@dataclass
+class Bind(Pattern):
+    pattern: Pattern
+    var: Var
+    expression: "Expression"
+
+
+@dataclass
+class GraphPattern(Pattern):
+    """GRAPH name-or-var { pattern } — evaluated against named graphs."""
+
+    name: PatternTerm
+    pattern: Pattern
+
+
+@dataclass
+class Values(Pattern):
+    """VALUES inline data: joined against the surrounding pattern.
+
+    *rows* holds one term per variable, with None for UNDEF.
+    """
+
+    variables: List[Var]
+    rows: List[List[Optional[Term]]]
+    pattern: Optional[Pattern] = None  # the group the VALUES joins into
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expression:
+    """Marker base class for filter/select expressions."""
+
+    __slots__ = ()
+
+
+@dataclass
+class VarExpr(Expression):
+    var: Var
+
+
+@dataclass
+class TermExpr(Expression):
+    term: Term
+
+
+@dataclass
+class And(Expression):
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Not(Expression):
+    operand: Expression
+
+
+@dataclass
+class Compare(Expression):
+    op: str  # one of = != < <= > >=
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Arithmetic(Expression):
+    op: str  # one of + - * /
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class FunctionCall(Expression):
+    name: str  # canonical upper-case built-in name
+    args: List[Expression]
+
+
+@dataclass
+class ExistsExpr(Expression):
+    pattern: Pattern
+    negated: bool = False
+
+
+@dataclass
+class InExpr(Expression):
+    operand: Expression
+    choices: List[Expression]
+    negated: bool = False
+
+
+@dataclass
+class Aggregate(Expression):
+    """An aggregate over a group: COUNT(*), COUNT(?x), SUM(?x), ..."""
+
+    name: str  # COUNT, SUM, MIN, MAX, AVG, SAMPLE, GROUP_CONCAT
+    expression: Optional[Expression]  # None only for COUNT(*)
+    distinct: bool = False
+    separator: str = " "
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Projection:
+    """One SELECT item: a plain variable or ``(expr AS ?alias)``."""
+
+    var: Var
+    expression: Optional[Expression] = None  # None = project the variable
+
+
+@dataclass
+class OrderCondition:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    projections: List[Projection]  # empty list = SELECT *
+    where: Pattern
+    distinct: bool = False
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+    @property
+    def select_all(self) -> bool:
+        return not self.projections
+
+    def has_aggregates(self) -> bool:
+        if self.group_by:
+            return True
+        return any(
+            _contains_aggregate(p.expression) for p in self.projections if p.expression is not None
+        )
+
+
+@dataclass
+class AskQuery:
+    where: Pattern
+
+
+@dataclass
+class DescribeQuery:
+    """DESCRIBE target+ [WHERE { pattern }]: the concise bounded
+    description (subject triples, plus blank-node closure) of each target
+    resource — constants or variables bound by the pattern."""
+
+    targets: List[PatternTerm]
+    where: Optional[Pattern] = None
+
+
+@dataclass
+class ConstructQuery:
+    """CONSTRUCT { template } WHERE { pattern }: instantiate the template
+    for every solution, collecting the ground triples into a new graph."""
+
+    template: List[TriplePattern]
+    where: Pattern
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+def _contains_aggregate(expr: Optional[Expression]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, (And, Or, Compare, Arithmetic)):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, Not):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return any(_contains_aggregate(a) for a in expr.args)
+    return False

@@ -1,0 +1,631 @@
+"""SPARQL query evaluation over in-memory graphs and datasets.
+
+The evaluator walks the algebra tree with *lateral* semantics: every
+pattern is evaluated against a list of partial solutions and extends each
+one, which gives correct OPTIONAL/EXISTS behavior without a separate join
+machinery.  Basic graph patterns are reordered by a selectivity heuristic
+before evaluation (see :func:`plan_bgp`); the ablation bench compares this
+against the written order.
+
+Entry point: :class:`QueryEngine` — construct over a :class:`Graph` or a
+:class:`Dataset` and call :meth:`QueryEngine.query` with SPARQL text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union as TyUnion
+
+from ..rdf.graph import Dataset, Graph
+from ..rdf.namespace import CORE_PREFIXES, NamespaceManager
+from ..rdf.terms import BlankNode, IRI, Literal, Term
+from .algebra import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    Bind,
+    ConstructQuery,
+    DescribeQuery,
+    Expression,
+    Filter,
+    FunctionCall,
+    GraphPattern,
+    Join,
+    LeftJoin,
+    Minus,
+    Pattern,
+    Projection,
+    SelectQuery,
+    TriplePattern,
+    Union,
+    Values,
+    Var,
+    VarExpr,
+)
+from .functions import (
+    ExprError,
+    effective_boolean_value,
+    evaluate_expression,
+    order_key,
+)
+from .parser import parse_query
+from .paths import Path, eval_path
+from .results import ResultTable
+
+__all__ = ["QueryEngine", "plan_bgp"]
+
+Binding = Dict[str, Term]
+
+
+def plan_bgp(
+    patterns: List[TriplePattern],
+    bound_vars: Iterable[str] = (),
+    graph: Optional[Graph] = None,
+) -> List[TriplePattern]:
+    """Order triple patterns most-selective-first.
+
+    Greedy: repeatedly pick the pattern with the most bound positions
+    (constants plus variables already bound by previously chosen patterns),
+    preferring bound subjects over bound objects over bound predicates, and
+    using the graph's predicate cardinalities as a tiebreaker when
+    available.  This mirrors classic selectivity-based BGP reordering.
+    """
+    remaining = list(patterns)
+    bound = set(bound_vars)
+    ordered: List[TriplePattern] = []
+
+    # Predicate cardinalities are looked up once per distinct predicate;
+    # Graph.count reads the index sizes, so planning stays O(patterns²).
+    cardinality_cache: Dict[IRI, int] = {}
+
+    def predicate_cardinality(predicate: IRI) -> int:
+        cached = cardinality_cache.get(predicate)
+        if cached is None:
+            cached = graph.count(predicate=predicate) if graph is not None else 0
+            cardinality_cache[predicate] = cached
+        return cached
+
+    def position_bound(term) -> bool:
+        return not isinstance(term, Var) or term.name in bound
+
+    def score(tp: TriplePattern) -> tuple:
+        s = position_bound(tp.subject)
+        p = position_bound(tp.predicate)
+        o = position_bound(tp.object)
+        bound_count = sum((s, p, o))
+        cardinality = 0
+        if isinstance(tp.predicate, IRI) and p:
+            cardinality = predicate_cardinality(tp.predicate)
+        # Higher bound_count first; property paths (potentially expensive
+        # closures) after plain patterns; subject-bound beats object-bound
+        # beats predicate-only; smaller predicate cardinality first.
+        is_path = isinstance(tp.predicate, Path)
+        return (-bound_count, is_path, not s, not o, cardinality)
+
+    while remaining:
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+class QueryEngine:
+    """Evaluates SPARQL queries over a Graph or Dataset.
+
+    When constructed over a :class:`Dataset`, plain BGPs match the *union*
+    of the default and all named graphs (the behavior of most triple
+    stores' default configuration, and what the corpus queries expect),
+    while ``GRAPH`` patterns address individual named graphs.
+    """
+
+    def __init__(
+        self,
+        source: TyUnion[Graph, Dataset],
+        namespaces: Optional[NamespaceManager] = None,
+        optimize_joins: bool = True,
+    ):
+        if isinstance(source, Dataset):
+            self.dataset: Optional[Dataset] = source
+            self._default = source.union_graph()
+        elif isinstance(source, Graph):
+            self.dataset = None
+            self._default = source
+        else:
+            raise TypeError("QueryEngine requires a Graph or Dataset")
+        self.namespaces = namespaces if namespaces is not None else _corpus_namespaces(source)
+        self.optimize_joins = optimize_joins
+
+    # -- public API ----------------------------------------------------------
+
+    def query(self, query: TyUnion[str, SelectQuery, AskQuery]):
+        """Run a SELECT (→ ResultTable) or ASK (→ bool) query."""
+        if isinstance(query, str):
+            query = parse_query(query, namespaces=self.namespaces)
+        if isinstance(query, SelectQuery):
+            return self._run_select(query)
+        if isinstance(query, AskQuery):
+            return self._run_ask(query)
+        if isinstance(query, ConstructQuery):
+            return self._run_construct(query)
+        if isinstance(query, DescribeQuery):
+            return self._run_describe(query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def construct(self, text: str) -> Graph:
+        result = self.query(text)
+        if not isinstance(result, Graph):
+            raise TypeError("construct() requires a CONSTRUCT query")
+        return result
+
+    def ask(self, text: str) -> bool:
+        result = self.query(text)
+        if not isinstance(result, bool):
+            raise TypeError("ask() requires an ASK query")
+        return result
+
+    def select(self, text: str) -> ResultTable:
+        result = self.query(text)
+        if not isinstance(result, ResultTable):
+            raise TypeError("select() requires a SELECT query")
+        return result
+
+    # -- SELECT pipeline --------------------------------------------------------
+
+    def _run_select(self, query: SelectQuery) -> ResultTable:
+        solutions = self._eval(query.where, [{}], self._default)
+        if query.has_aggregates():
+            rows, variables = self._aggregate(query, solutions)
+            scopes = rows  # ORDER BY sees group keys and aggregate aliases
+        else:
+            rows, variables = self._project(query, solutions)
+            # ORDER BY is evaluated over the pre-projection solution
+            # extended with any computed projection aliases.
+            scopes = [dict(sol) | row for sol, row in zip(solutions, rows)]
+        if query.order_by:
+            paired = list(zip(scopes, rows))
+            for condition in reversed(query.order_by):
+                paired.sort(
+                    key=lambda pair: self._order_value(condition.expression, pair[0]),
+                    reverse=condition.descending,
+                )
+            rows = [row for _, row in paired]
+        if query.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                key = tuple(sorted((k, v) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return ResultTable(variables, rows)
+
+    def _run_ask(self, query: AskQuery) -> bool:
+        for _ in self._eval(query.where, [{}], self._default):
+            return True
+        return False
+
+    def _run_construct(self, query: ConstructQuery) -> Graph:
+        """Instantiate the template once per solution; ill-formed
+        instantiations (unbound positions, literal subjects) are skipped
+        per the SPARQL spec."""
+        solutions = self._eval(query.where, [{}], self._default)
+        if query.offset:
+            solutions = solutions[query.offset:]
+        if query.limit is not None:
+            solutions = solutions[: query.limit]
+        out = Graph(namespaces=self.namespaces.copy())
+        for sol in solutions:
+            for tp in query.template:
+                s = _resolve(tp.subject, sol)
+                p = _resolve(tp.predicate, sol)
+                o = _resolve(tp.object, sol)
+                if isinstance(s, Var) or isinstance(p, Var) or isinstance(o, Var):
+                    continue
+                if not isinstance(s, (IRI, BlankNode)) or not isinstance(p, IRI):
+                    continue
+                out.add((s, p, o))
+        return out
+
+    def _run_describe(self, query: DescribeQuery) -> Graph:
+        """Concise bounded description: every triple whose subject is a
+        described resource, expanded through blank-node objects."""
+        resources: List[Term] = []
+        constants = [t for t in query.targets if not isinstance(t, Var)]
+        variables = [t for t in query.targets if isinstance(t, Var)]
+        resources.extend(constants)
+        if variables:
+            solutions = self._eval(query.where, [{}], self._default) if query.where else []
+            for sol in solutions:
+                for var in variables:
+                    value = sol.get(var.name)
+                    if value is not None and value not in resources:
+                        resources.append(value)
+        out = Graph(namespaces=self.namespaces.copy())
+        frontier = list(resources)
+        seen = set()
+        while frontier:
+            resource = frontier.pop()
+            if resource in seen or isinstance(resource, Literal):
+                continue
+            seen.add(resource)
+            for t in self._default.triples(resource, None, None):
+                out.add(t)
+                if isinstance(t.object, BlankNode) and t.object not in seen:
+                    frontier.append(t.object)
+        return out
+
+    def _project(self, query: SelectQuery, solutions: List[Binding]):
+        if query.select_all:
+            variables = sorted({name for sol in solutions for name in sol})
+            return [dict(sol) for sol in solutions], variables
+        variables = [p.var.name for p in query.projections]
+        rows = []
+        for sol in solutions:
+            row: Binding = {}
+            for proj in query.projections:
+                if proj.expression is None:
+                    value = sol.get(proj.var.name)
+                else:
+                    try:
+                        value = evaluate_expression(proj.expression, sol, self._exists)
+                    except ExprError:
+                        value = None
+                if value is not None:
+                    row[proj.var.name] = value
+            rows.append(row)
+        return rows, variables
+
+    def _order_value(self, expression: Expression, row: Binding):
+        try:
+            return order_key(evaluate_expression(expression, row, self._exists))
+        except ExprError:
+            return order_key(None)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _aggregate(self, query: SelectQuery, solutions: List[Binding]):
+        groups: Dict[tuple, List[Binding]] = {}
+        for sol in solutions:
+            key_parts = []
+            for expr in query.group_by:
+                try:
+                    key_parts.append(evaluate_expression(expr, sol, self._exists))
+                except ExprError:
+                    key_parts.append(None)
+            groups.setdefault(tuple(key_parts), []).append(sol)
+        if not groups and not query.group_by:
+            groups[()] = []  # aggregates over an empty solution set yield one row
+        variables = [p.var.name for p in query.projections]
+        group_var_names = [
+            expr.var.name for expr in query.group_by if isinstance(expr, VarExpr)
+        ]
+        rows: List[Binding] = []
+        for key, members in sorted(groups.items(), key=lambda kv: tuple(order_key(k) for k in kv[0])):
+            group_binding: Binding = {}
+            for expr, value in zip(query.group_by, key):
+                if isinstance(expr, VarExpr) and value is not None:
+                    group_binding[expr.var.name] = value
+            if query.having is not None:
+                try:
+                    ok = effective_boolean_value(
+                        self._eval_group_expression(query.having, group_binding, members)
+                    )
+                except ExprError:
+                    ok = False
+                if not ok:
+                    continue
+            row: Binding = {}
+            for proj in query.projections:
+                if proj.expression is None:
+                    if proj.var.name not in group_var_names:
+                        raise ExprError(
+                            f"?{proj.var.name} must appear in GROUP BY or inside an aggregate"
+                        )
+                    value = group_binding.get(proj.var.name)
+                else:
+                    try:
+                        value = self._eval_group_expression(proj.expression, group_binding, members)
+                    except ExprError:
+                        value = None
+                if value is not None:
+                    row[proj.var.name] = value
+            rows.append(row)
+        return rows, variables
+
+    def _eval_group_expression(self, expr: Expression, group_binding: Binding, members: List[Binding]):
+        if isinstance(expr, Aggregate):
+            return self._eval_aggregate(expr, members)
+        if isinstance(expr, VarExpr):
+            value = group_binding.get(expr.var.name)
+            if value is None:
+                raise ExprError(f"?{expr.var.name} not bound at group level")
+            return value
+        # Rebuild composite expressions bottom-up over the group context.
+        from .algebra import And, Arithmetic, Compare, Not, Or, TermExpr
+
+        if isinstance(expr, TermExpr):
+            return expr.term
+        if isinstance(expr, Compare):
+            from .functions import compare_terms
+
+            left = self._eval_group_expression(expr.left, group_binding, members)
+            right = self._eval_group_expression(expr.right, group_binding, members)
+            return Literal(
+                "true" if compare_terms(expr.op, left, right) else "false",
+                datatype="http://www.w3.org/2001/XMLSchema#boolean",
+            )
+        if isinstance(expr, (And, Or, Not, Arithmetic, FunctionCall)):
+            # Aggregate-free subtrees evaluate under the group binding alone.
+            return evaluate_expression(expr, group_binding, self._exists)
+        raise ExprError(f"unsupported group-level expression {type(expr).__name__}")
+
+    def _eval_aggregate(self, agg: Aggregate, members: List[Binding]):
+        from ..rdf.terms import from_python
+
+        values: List[Term] = []
+        if agg.expression is None:  # COUNT(*)
+            count = len(members)
+            if agg.distinct:
+                count = len({tuple(sorted((k, v) for k, v in m.items())) for m in members})
+            return from_python(count)
+        for member in members:
+            try:
+                values.append(evaluate_expression(agg.expression, member, self._exists))
+            except ExprError:
+                continue
+        if agg.distinct:
+            unique: List[Term] = []
+            seen = set()
+            for value in values:
+                if value not in seen:
+                    seen.add(value)
+                    unique.append(value)
+            values = unique
+        if agg.name == "COUNT":
+            return from_python(len(values))
+        if agg.name == "SAMPLE":
+            return values[0] if values else None
+        if agg.name == "GROUP_CONCAT":
+            return Literal(agg.separator.join(_lexical(v) for v in values))
+        if not values:
+            return None
+        if agg.name in ("MIN", "MAX"):
+            chooser = min if agg.name == "MIN" else max
+            return chooser(values, key=order_key)
+        numbers = []
+        for value in values:
+            if isinstance(value, Literal) and value.is_numeric:
+                numbers.append(float(value.lexical))
+            else:
+                raise ExprError(f"{agg.name} over non-numeric value")
+        if agg.name == "SUM":
+            total = sum(numbers)
+            return from_python(int(total) if total == int(total) else total)
+        if agg.name == "AVG":
+            return from_python(sum(numbers) / len(numbers))
+        raise ExprError(f"unknown aggregate {agg.name}")
+
+    # -- pattern evaluation ---------------------------------------------------------
+
+    def _eval(self, pattern: Pattern, inputs: List[Binding], graph: Graph) -> List[Binding]:
+        if isinstance(pattern, BGP):
+            return self._eval_bgp(pattern, inputs, graph)
+        if isinstance(pattern, Join):
+            return self._eval(pattern.right, self._eval(pattern.left, inputs, graph), graph)
+        if isinstance(pattern, LeftJoin):
+            return self._eval_left_join(pattern, inputs, graph)
+        if isinstance(pattern, Union):
+            left = self._eval(pattern.left, inputs, graph)
+            right = self._eval(pattern.right, inputs, graph)
+            return left + right
+        if isinstance(pattern, Minus):
+            return self._eval_minus(pattern, inputs, graph)
+        if isinstance(pattern, Filter):
+            solutions = self._eval(pattern.pattern, inputs, graph)
+            kept = []
+            for sol in solutions:
+                try:
+                    if effective_boolean_value(
+                        evaluate_expression(pattern.condition, sol, self._exists)
+                    ):
+                        kept.append(sol)
+                except ExprError:
+                    continue
+            return kept
+        if isinstance(pattern, Bind):
+            solutions = self._eval(pattern.pattern, inputs, graph)
+            out = []
+            for sol in solutions:
+                extended = dict(sol)
+                try:
+                    value = evaluate_expression(pattern.expression, sol, self._exists)
+                    if pattern.var.name in extended and extended[pattern.var.name] != value:
+                        continue  # BIND clash: solution is incompatible
+                    extended[pattern.var.name] = value
+                except ExprError:
+                    pass  # errors leave the variable unbound
+                out.append(extended)
+            return out
+        if isinstance(pattern, GraphPattern):
+            return self._eval_graph_pattern(pattern, inputs)
+        if isinstance(pattern, Values):
+            return self._eval_values(pattern, inputs, graph)
+        raise TypeError(f"unknown pattern type {type(pattern).__name__}")
+
+    def _eval_values(self, pattern: Values, inputs: List[Binding], graph: Graph):
+        base = (
+            self._eval(pattern.pattern, inputs, graph)
+            if pattern.pattern is not None
+            else [dict(sol) for sol in inputs]
+        )
+        out: List[Binding] = []
+        for sol in base:
+            for row in pattern.rows:
+                merged = dict(sol)
+                compatible = True
+                for var, value in zip(pattern.variables, row):
+                    if value is None:
+                        continue  # UNDEF leaves the variable as-is
+                    existing = merged.get(var.name)
+                    if existing is None:
+                        merged[var.name] = value
+                    elif existing != value:
+                        compatible = False
+                        break
+                if compatible:
+                    out.append(merged)
+        return out
+
+    def _eval_bgp(self, bgp: BGP, inputs: List[Binding], graph: Graph) -> List[Binding]:
+        if not bgp.triples:
+            return [dict(sol) for sol in inputs]
+        bound = set(inputs[0]) if inputs else set()
+        if self.optimize_joins:
+            ordered = plan_bgp(bgp.triples, bound, graph)
+        else:
+            ordered = bgp.triples
+        solutions = [dict(sol) for sol in inputs]
+        for tp in ordered:
+            solutions = self._extend_with_pattern(tp, solutions, graph)
+            if not solutions:
+                return []
+        return solutions
+
+    @staticmethod
+    def _extend_with_pattern(
+        tp: TriplePattern, solutions: List[Binding], graph: Graph
+    ) -> List[Binding]:
+        out: List[Binding] = []
+        is_path = isinstance(tp.predicate, Path)
+        for sol in solutions:
+            s = _resolve(tp.subject, sol)
+            o = _resolve(tp.object, sol)
+            if is_path:
+                for s_val, o_val in eval_path(
+                    graph,
+                    tp.predicate,
+                    s if not isinstance(s, Var) else None,
+                    o if not isinstance(o, Var) else None,
+                ):
+                    extended = dict(sol)
+                    if _bind(extended, s, s_val) and _bind(extended, o, o_val):
+                        out.append(extended)
+                continue
+            p = _resolve(tp.predicate, sol)
+            # A variable repeated inside the pattern must match consistently.
+            for triple in graph.triples(
+                s if not isinstance(s, Var) else None,
+                p if not isinstance(p, Var) else None,
+                o if not isinstance(o, Var) else None,
+            ):
+                extended = dict(sol)
+                if not _bind(extended, s, triple.subject):
+                    continue
+                if not _bind(extended, p, triple.predicate):
+                    continue
+                if not _bind(extended, o, triple.object):
+                    continue
+                out.append(extended)
+        return out
+
+    def _eval_left_join(self, pattern: LeftJoin, inputs: List[Binding], graph: Graph):
+        lefts = self._eval(pattern.left, inputs, graph)
+        out: List[Binding] = []
+        for sol in lefts:
+            extensions = self._eval(pattern.right, [sol], graph)
+            if pattern.condition is not None:
+                kept = []
+                for ext in extensions:
+                    try:
+                        if effective_boolean_value(
+                            evaluate_expression(pattern.condition, ext, self._exists)
+                        ):
+                            kept.append(ext)
+                    except ExprError:
+                        continue
+                extensions = kept
+            if extensions:
+                out.extend(extensions)
+            else:
+                out.append(sol)
+        return out
+
+    def _eval_minus(self, pattern: Minus, inputs: List[Binding], graph: Graph):
+        lefts = self._eval(pattern.left, inputs, graph)
+        rights = self._eval(pattern.right, [{}], graph)
+        out = []
+        for sol in lefts:
+            excluded = False
+            for other in rights:
+                shared = set(sol) & set(other)
+                if shared and all(sol[v] == other[v] for v in shared):
+                    excluded = True
+                    break
+            if not excluded:
+                out.append(sol)
+        return out
+
+    def _eval_graph_pattern(self, pattern: GraphPattern, inputs: List[Binding]):
+        if self.dataset is None:
+            return []  # a bare graph has no named graphs
+        out: List[Binding] = []
+        if isinstance(pattern.name, Var):
+            var = pattern.name.name
+            for sol in inputs:
+                pre_bound = sol.get(var)
+                names = [pre_bound] if pre_bound is not None else self.dataset.graph_names()
+                for name in names:
+                    if not self.dataset.has_graph(name):
+                        continue
+                    seeded = dict(sol)
+                    seeded[var] = name
+                    out.extend(self._eval(pattern.pattern, [seeded], self.dataset.graph(name)))
+            return out
+        target_name = pattern.name
+        if not self.dataset.has_graph(target_name):
+            return []
+        target = self.dataset.graph(target_name)
+        return self._eval(pattern.pattern, inputs, target)
+
+    def _exists(self, pattern: Pattern, binding: Binding) -> bool:
+        """EXISTS probe: does *pattern* match under *binding*?"""
+        return bool(self._eval(pattern, [dict(binding)], self._default))
+
+
+def _resolve(term, binding: Binding):
+    if isinstance(term, Var):
+        bound = binding.get(term.name)
+        return bound if bound is not None else term
+    return term
+
+
+def _bind(binding: Binding, pattern_term, value: Term) -> bool:
+    """Record a variable match; False if it conflicts with an earlier one."""
+    if isinstance(pattern_term, Var):
+        existing = binding.get(pattern_term.name)
+        if existing is None:
+            binding[pattern_term.name] = value
+            return True
+        return existing == value
+    return True
+
+
+def _lexical(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    return str(term)
+
+
+def _corpus_namespaces(source) -> NamespaceManager:
+    nsm = source.namespaces.copy()
+    for prefix, base in CORE_PREFIXES.items():
+        if prefix not in nsm:
+            nsm.bind(prefix, base)
+    return nsm

@@ -1,0 +1,450 @@
+"""SPARQL expression evaluation: operators, built-ins, and type coercion.
+
+Expressions are evaluated against a *binding* (dict: variable name → RDF
+term).  SPARQL's error semantics are modeled with :class:`ExprError` —
+errors propagate through most operators but are absorbed by ``BOUND``,
+``COALESCE``, ``IF``, and the logical connectives per the spec.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+from ..rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    XSD,
+    format_datetime,
+    from_python,
+)
+from .algebra import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Compare,
+    ExistsExpr,
+    Expression,
+    FunctionCall,
+    InExpr,
+    Not,
+    Or,
+    TermExpr,
+    VarExpr,
+)
+
+__all__ = ["ExprError", "evaluate_expression", "effective_boolean_value", "order_key"]
+
+Binding = Dict[str, Any]
+
+
+class ExprError(Exception):
+    """A SPARQL expression evaluation error (type error, unbound var, ...)."""
+
+
+def evaluate_expression(expr: Expression, binding: Binding, exists_evaluator=None):
+    """Evaluate *expr* under *binding*; returns an RDF term.
+
+    *exists_evaluator* is a callable ``(pattern, binding) -> bool`` supplied
+    by the query evaluator so (NOT) EXISTS can re-enter pattern matching.
+    Raises :class:`ExprError` on evaluation errors.
+    """
+    if isinstance(expr, TermExpr):
+        return expr.term
+    if isinstance(expr, VarExpr):
+        value = binding.get(expr.var.name)
+        if value is None:
+            raise ExprError(f"unbound variable ?{expr.var.name}")
+        return value
+    if isinstance(expr, And):
+        return _eval_and(expr, binding, exists_evaluator)
+    if isinstance(expr, Or):
+        return _eval_or(expr, binding, exists_evaluator)
+    if isinstance(expr, Not):
+        value = effective_boolean_value(
+            evaluate_expression(expr.operand, binding, exists_evaluator)
+        )
+        return _boolean(not value)
+    if isinstance(expr, Compare):
+        return _eval_compare(expr, binding, exists_evaluator)
+    if isinstance(expr, Arithmetic):
+        return _eval_arithmetic(expr, binding, exists_evaluator)
+    if isinstance(expr, FunctionCall):
+        return _eval_function(expr, binding, exists_evaluator)
+    if isinstance(expr, InExpr):
+        return _eval_in(expr, binding, exists_evaluator)
+    if isinstance(expr, ExistsExpr):
+        if exists_evaluator is None:
+            raise ExprError("EXISTS is not available in this context")
+        found = exists_evaluator(expr.pattern, binding)
+        return _boolean(found != expr.negated)
+    if isinstance(expr, Aggregate):
+        raise ExprError("aggregate used outside of a GROUP BY context")
+    raise ExprError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+def _boolean(value: bool) -> Literal:
+    return Literal("true" if value else "false", datatype=XSD.BOOLEAN)
+
+
+def effective_boolean_value(term) -> bool:
+    """SPARQL 17.2.2 Effective Boolean Value."""
+    if isinstance(term, Literal):
+        dt = term.datatype.value
+        if dt == XSD.BOOLEAN:
+            return term.lexical in ("true", "1")
+        if dt == XSD.STRING or term.language is not None:
+            return len(term.lexical) > 0
+        if term.is_numeric:
+            try:
+                return float(term.lexical) != 0.0
+            except ValueError:
+                return False
+        raise ExprError(f"no boolean value for literal {term.n3()}")
+    raise ExprError("EBV of a non-literal is an error")
+
+
+def _eval_and(expr: And, binding: Binding, exists_evaluator) -> Literal:
+    # SPARQL: error && false = false; error && true = error.
+    left_err: Optional[ExprError] = None
+    try:
+        left = effective_boolean_value(evaluate_expression(expr.left, binding, exists_evaluator))
+    except ExprError as exc:
+        left, left_err = None, exc
+    try:
+        right = effective_boolean_value(evaluate_expression(expr.right, binding, exists_evaluator))
+    except ExprError:
+        if left is False:
+            return _boolean(False)
+        raise
+    if left_err is not None:
+        if right is False:
+            return _boolean(False)
+        raise left_err
+    return _boolean(left and right)
+
+
+def _eval_or(expr: Or, binding: Binding, exists_evaluator) -> Literal:
+    left_err: Optional[ExprError] = None
+    try:
+        left = effective_boolean_value(evaluate_expression(expr.left, binding, exists_evaluator))
+    except ExprError as exc:
+        left, left_err = None, exc
+    try:
+        right = effective_boolean_value(evaluate_expression(expr.right, binding, exists_evaluator))
+    except ExprError:
+        if left is True:
+            return _boolean(True)
+        raise
+    if left_err is not None:
+        if right is True:
+            return _boolean(True)
+        raise left_err
+    return _boolean(left or right)
+
+
+# -- comparison ---------------------------------------------------------------
+
+def _comparable_value(term):
+    """Map a term to a Python value usable with <, =, etc."""
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, _dt.datetime):
+            # Normalize naive/aware mix: treat naive as UTC for ordering.
+            if value.tzinfo is None:
+                value = value.replace(tzinfo=_dt.timezone.utc)
+            return ("datetime", value)
+        if isinstance(value, bool):
+            return ("boolean", value)
+        if isinstance(value, (int, float)):
+            return ("number", float(value))
+        return ("string", term.lexical)
+    if isinstance(term, IRI):
+        return ("iri", term.value)
+    if isinstance(term, BlankNode):
+        return ("bnode", term.id)
+    raise ExprError(f"cannot compare {term!r}")
+
+
+def compare_terms(op: str, left, right) -> bool:
+    """Apply a SPARQL comparison operator to two terms."""
+    if op == "=":
+        if left == right:
+            return True
+        lk, lv = _comparable_value(left)
+        rk, rv = _comparable_value(right)
+        if lk == rk and lk in ("number", "datetime", "boolean"):
+            return lv == rv
+        return False
+    if op == "!=":
+        return not compare_terms("=", left, right)
+    lk, lv = _comparable_value(left)
+    rk, rv = _comparable_value(right)
+    if lk != rk:
+        raise ExprError(f"type mismatch in comparison: {lk} {op} {rk}")
+    if lk in ("iri", "bnode"):
+        raise ExprError(f"order comparison not defined for {lk}")
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    if op == ">=":
+        return lv >= rv
+    raise ExprError(f"unknown comparison operator {op!r}")
+
+
+def _eval_compare(expr: Compare, binding: Binding, exists_evaluator) -> Literal:
+    left = evaluate_expression(expr.left, binding, exists_evaluator)
+    right = evaluate_expression(expr.right, binding, exists_evaluator)
+    return _boolean(compare_terms(expr.op, left, right))
+
+
+def _eval_in(expr: InExpr, binding: Binding, exists_evaluator) -> Literal:
+    operand = evaluate_expression(expr.operand, binding, exists_evaluator)
+    found = False
+    for choice in expr.choices:
+        try:
+            value = evaluate_expression(choice, binding, exists_evaluator)
+            if compare_terms("=", operand, value):
+                found = True
+                break
+        except ExprError:
+            continue
+    return _boolean(found != expr.negated)
+
+
+# -- arithmetic ---------------------------------------------------------------
+
+def _numeric(term) -> float:
+    if isinstance(term, Literal) and term.is_numeric:
+        try:
+            return float(term.lexical)
+        except ValueError as exc:
+            raise ExprError(str(exc)) from None
+    raise ExprError(f"not a numeric literal: {term!r}")
+
+
+def _eval_arithmetic(expr: Arithmetic, binding: Binding, exists_evaluator) -> Literal:
+    left = _numeric(evaluate_expression(expr.left, binding, exists_evaluator))
+    right = _numeric(evaluate_expression(expr.right, binding, exists_evaluator))
+    if expr.op == "+":
+        result = left + right
+    elif expr.op == "-":
+        result = left - right
+    elif expr.op == "*":
+        result = left * right
+    elif expr.op == "/":
+        if right == 0:
+            raise ExprError("division by zero")
+        result = left / right
+    else:
+        raise ExprError(f"unknown arithmetic operator {expr.op!r}")
+    if expr.op != "/" and result == int(result):
+        return Literal(str(int(result)), datatype=XSD.INTEGER)
+    return Literal(repr(result), datatype=XSD.DOUBLE)
+
+
+# -- built-in functions ---------------------------------------------------------
+
+def _eval_function(expr: FunctionCall, binding: Binding, exists_evaluator) -> Any:
+    name = expr.name
+
+    if name == "BOUND":
+        arg = expr.args[0]
+        if not isinstance(arg, VarExpr):
+            raise ExprError("BOUND requires a variable argument")
+        return _boolean(binding.get(arg.var.name) is not None)
+    if name == "COALESCE":
+        for arg in expr.args:
+            try:
+                return evaluate_expression(arg, binding, exists_evaluator)
+            except ExprError:
+                continue
+        raise ExprError("COALESCE: all arguments errored")
+    if name == "IF":
+        condition = effective_boolean_value(
+            evaluate_expression(expr.args[0], binding, exists_evaluator)
+        )
+        chosen = expr.args[1] if condition else expr.args[2]
+        return evaluate_expression(chosen, binding, exists_evaluator)
+
+    args = [evaluate_expression(a, binding, exists_evaluator) for a in expr.args]
+
+    if name == "STR":
+        term = args[0]
+        if isinstance(term, IRI):
+            return Literal(term.value)
+        if isinstance(term, Literal):
+            return Literal(term.lexical)
+        raise ExprError("STR of a blank node")
+    if name == "LANG":
+        term = args[0]
+        if isinstance(term, Literal):
+            return Literal(term.language or "")
+        raise ExprError("LANG of a non-literal")
+    if name == "LANGMATCHES":
+        tag = _string(args[0]).lower()
+        pattern = _string(args[1]).lower()
+        if pattern == "*":
+            return _boolean(bool(tag))
+        return _boolean(tag == pattern or tag.startswith(pattern + "-"))
+    if name == "DATATYPE":
+        term = args[0]
+        if isinstance(term, Literal):
+            return term.datatype
+        raise ExprError("DATATYPE of a non-literal")
+    if name in ("IRI", "URI"):
+        term = args[0]
+        if isinstance(term, IRI):
+            return term
+        if isinstance(term, Literal):
+            return IRI(term.lexical)
+        raise ExprError("IRI() of a blank node")
+    if name in ("ISIRI", "ISURI"):
+        return _boolean(isinstance(args[0], IRI))
+    if name == "ISBLANK":
+        return _boolean(isinstance(args[0], BlankNode))
+    if name == "ISLITERAL":
+        return _boolean(isinstance(args[0], Literal))
+    if name == "ISNUMERIC":
+        return _boolean(isinstance(args[0], Literal) and args[0].is_numeric)
+    if name == "SAMETERM":
+        return _boolean(args[0] == args[1])
+    if name == "REGEX":
+        text = _string(args[0])
+        pattern = _string(args[1])
+        flags = _regex_flags(_string(args[2])) if len(args) > 2 else 0
+        try:
+            return _boolean(re.search(pattern, text, flags) is not None)
+        except re.error as exc:
+            raise ExprError(f"invalid regex: {exc}") from None
+    if name == "REPLACE":
+        text = _string(args[0])
+        pattern = _string(args[1])
+        replacement = _string(args[2])
+        flags = _regex_flags(_string(args[3])) if len(args) > 3 else 0
+        try:
+            return Literal(re.sub(pattern, replacement, text, flags=flags))
+        except re.error as exc:
+            raise ExprError(f"invalid regex: {exc}") from None
+    if name == "STRLEN":
+        return from_python(len(_string(args[0])))
+    if name == "SUBSTR":
+        text = _string(args[0])
+        start = int(_numeric(args[1]))  # 1-based per XPath
+        if len(args) > 2:
+            length = int(_numeric(args[2]))
+            return Literal(text[start - 1 : start - 1 + length])
+        return Literal(text[start - 1 :])
+    if name == "UCASE":
+        return Literal(_string(args[0]).upper())
+    if name == "LCASE":
+        return Literal(_string(args[0]).lower())
+    if name == "STRSTARTS":
+        return _boolean(_string(args[0]).startswith(_string(args[1])))
+    if name == "STRENDS":
+        return _boolean(_string(args[0]).endswith(_string(args[1])))
+    if name == "CONTAINS":
+        return _boolean(_string(args[1]) in _string(args[0]))
+    if name == "STRBEFORE":
+        text, sep = _string(args[0]), _string(args[1])
+        head, found, _ = text.partition(sep)
+        return Literal(head if found else "")
+    if name == "STRAFTER":
+        text, sep = _string(args[0]), _string(args[1])
+        _, found, tail = text.partition(sep)
+        return Literal(tail if found else "")
+    if name == "CONCAT":
+        return Literal("".join(_string(a) for a in args))
+    if name == "ABS":
+        return from_python(abs(_numeric(args[0])))
+    if name == "ROUND":
+        return from_python(float(round(_numeric(args[0]))))
+    if name == "CEIL":
+        import math
+
+        return from_python(float(math.ceil(_numeric(args[0]))))
+    if name == "FLOOR":
+        import math
+
+        return from_python(float(math.floor(_numeric(args[0]))))
+    if name in ("YEAR", "MONTH", "DAY", "HOURS", "MINUTES", "SECONDS"):
+        value = _datetime(args[0])
+        field = {
+            "YEAR": value.year,
+            "MONTH": value.month,
+            "DAY": value.day,
+            "HOURS": value.hour,
+            "MINUTES": value.minute,
+            "SECONDS": value.second,
+        }[name]
+        return from_python(field)
+    if name == "NOW":
+        raise ExprError("NOW() is disabled: corpus queries must be deterministic")
+    raise ExprError(f"unimplemented function {name}")
+
+
+def _string(term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExprError("expected a string value")
+
+
+def _datetime(term) -> _dt.datetime:
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, _dt.datetime):
+            return value
+    raise ExprError(f"not an xsd:dateTime: {term!r}")
+
+
+def _regex_flags(letters: str) -> int:
+    flags = 0
+    for letter in letters:
+        if letter == "i":
+            flags |= re.IGNORECASE
+        elif letter == "s":
+            flags |= re.DOTALL
+        elif letter == "m":
+            flags |= re.MULTILINE
+        elif letter == "x":
+            flags |= re.VERBOSE
+        else:
+            raise ExprError(f"unsupported regex flag {letter!r}")
+    return flags
+
+
+# -- ordering -------------------------------------------------------------------
+
+def order_key(term) -> tuple:
+    """Total order over optional terms for ORDER BY.
+
+    SPARQL ordering: unbound < blank nodes < IRIs < literals; literals
+    order by natural value within comparable groups, lexically otherwise.
+    """
+    if term is None:
+        return (0, "")
+    if isinstance(term, BlankNode):
+        return (1, term.id)
+    if isinstance(term, IRI):
+        return (2, term.value)
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, bool):
+            return (3, "boolean", value)
+        if isinstance(value, (int, float)):
+            return (3, "number", float(value))
+        if isinstance(value, _dt.datetime):
+            if value.tzinfo is None:
+                value = value.replace(tzinfo=_dt.timezone.utc)
+            return (3, "datetime", value.timestamp())
+        if isinstance(value, _dt.date):
+            return (3, "date", value.toordinal())
+        return (4, term.lexical)
+    return (5, str(term))

@@ -1,0 +1,181 @@
+"""SPARQL 1.1 property paths.
+
+Provenance queries are path-shaped — "what did this output transitively
+derive from" is ``?out (prov:used|prov:wasGeneratedBy)+ ?src`` — so the
+engine supports the core path operators in the predicate position:
+
+* ``iri`` — a single step
+* ``^path`` — inverse
+* ``path1 / path2`` — sequence
+* ``path1 | path2`` — alternative
+* ``path*`` — zero or more (reflexive-transitive closure)
+* ``path+`` — one or more (transitive closure)
+* ``( path )`` — grouping
+
+Paths are evaluated by :func:`eval_path`, which yields ``(subject,
+object)`` pairs given optionally-bound endpoints; closures are computed
+with BFS over the graph, seeded from whichever endpoint is bound (both
+unbound falls back to iterating every node, as the spec requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Term
+
+__all__ = [
+    "Path",
+    "PathSequence",
+    "PathAlternative",
+    "PathInverse",
+    "PathClosure",
+    "eval_path",
+]
+
+
+class Path:
+    """Marker base class for compound path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PathSequence(Path):
+    steps: Tuple[object, ...]  # each an IRI or Path
+
+
+@dataclass(frozen=True)
+class PathAlternative(Path):
+    options: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class PathInverse(Path):
+    inner: object
+
+
+@dataclass(frozen=True)
+class PathClosure(Path):
+    """``inner*`` when *include_zero*, else ``inner+``."""
+
+    inner: object
+    include_zero: bool
+
+
+def eval_path(
+    graph: Graph,
+    path,
+    subject: Optional[Term] = None,
+    obj: Optional[Term] = None,
+) -> Iterator[Tuple[Term, Term]]:
+    """Yield (subject, object) pairs connected by *path*.
+
+    Either endpoint may be bound (a concrete term) or None.  Duplicate
+    pairs are suppressed.
+    """
+    seen: Set[Tuple[Term, Term]] = set()
+    for pair in _eval(graph, path, subject, obj):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _eval(graph: Graph, path, subject, obj) -> Iterator[Tuple[Term, Term]]:
+    if isinstance(path, IRI):
+        for t in graph.triples(subject, path, obj):
+            yield (t.subject, t.object)
+        return
+    if isinstance(path, PathInverse):
+        for s, o in _eval(graph, path.inner, obj, subject):
+            yield (o, s)
+        return
+    if isinstance(path, PathAlternative):
+        for option in path.options:
+            yield from _eval(graph, option, subject, obj)
+        return
+    if isinstance(path, PathSequence):
+        yield from _eval_sequence(graph, list(path.steps), subject, obj)
+        return
+    if isinstance(path, PathClosure):
+        yield from _eval_closure(graph, path, subject, obj)
+        return
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def _eval_sequence(graph: Graph, steps: List, subject, obj) -> Iterator[Tuple[Term, Term]]:
+    if len(steps) == 1:
+        yield from _eval(graph, steps[0], subject, obj)
+        return
+    # Chain from the bound side to keep intermediate sets small.
+    if subject is not None or obj is None:
+        head, rest = steps[0], steps[1:]
+        for s, mid in _eval(graph, head, subject, None):
+            for _, o in _eval_sequence(graph, rest, mid, obj):
+                yield (s, o)
+    else:
+        rest, last = steps[:-1], steps[-1]
+        for mid, o in _eval(graph, last, None, obj):
+            for s, _ in _eval_sequence(graph, rest, subject, mid):
+                yield (s, o)
+
+
+def _step_forward(graph: Graph, path, node: Term) -> Iterator[Term]:
+    for _, o in _eval(graph, path, node, None):
+        yield o
+
+
+def _step_backward(graph: Graph, path, node: Term) -> Iterator[Term]:
+    for s, _ in _eval(graph, path, None, node):
+        yield s
+
+
+def _closure_from(graph: Graph, path, start: Term, include_zero: bool,
+                  backward: bool = False) -> Iterator[Term]:
+    """BFS over *path* steps from *start*; yields reachable nodes."""
+    if include_zero:
+        yield start
+    step = _step_backward if backward else _step_forward
+    visited: Set[Term] = {start} if include_zero else set()
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in step(graph, path.inner, node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+                    yield neighbor
+        frontier = next_frontier
+
+
+def _all_nodes(graph: Graph) -> Set[Term]:
+    nodes: Set[Term] = set(graph.resources())
+    for t in graph:
+        nodes.add(t.object)
+    return nodes
+
+
+def _eval_closure(graph: Graph, path: PathClosure, subject, obj):
+    if subject is not None:
+        for node in _closure_from(graph, path, subject, path.include_zero):
+            if obj is None or node == obj:
+                yield (subject, node)
+        return
+    if obj is not None:
+        for node in _closure_from(graph, path, obj, path.include_zero, backward=True):
+            yield (node, obj)
+        return
+    # Both unbound: start from every node that can begin the path (for
+    # `*`, the spec says every node in the graph pairs with itself).
+    if path.include_zero:
+        for node in _all_nodes(graph):
+            yield from ((node, reached) for reached in
+                        _closure_from(graph, path, node, True))
+    else:
+        starts = {s for s, _ in _eval(graph, path.inner, None, None)}
+        for node in starts:
+            yield from ((node, reached) for reached in
+                        _closure_from(graph, path, node, False))

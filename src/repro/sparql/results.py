@@ -1,0 +1,181 @@
+"""SPARQL result tables: SELECT solutions with export helpers.
+
+Results are materialized (the corpus datasets are memory-resident), which
+keeps the API simple: a :class:`ResultTable` is a sequence of
+:class:`ResultRow` objects supporting name and index access, conversion to
+plain Python values, CSV, and the SPARQL 1.1 JSON results format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..rdf.terms import BlankNode, IRI, Literal
+
+__all__ = ["ResultRow", "ResultTable"]
+
+
+class ResultRow:
+    """One solution: variable name → RDF term (missing = unbound)."""
+
+    __slots__ = ("_vars", "_binding")
+
+    def __init__(self, variables: List[str], binding: Dict[str, Any]):
+        self._vars = variables
+        self._binding = binding
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            key = self._vars[key]
+        return self._binding.get(key)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._binding.get(name)
+
+    def get(self, key: str, default=None):
+        value = self._binding.get(key)
+        return value if value is not None else default
+
+    def asdict(self) -> Dict[str, Any]:
+        return dict(self._binding)
+
+    def python(self) -> Dict[str, Any]:
+        """Binding with literals converted to native Python values."""
+        out: Dict[str, Any] = {}
+        for name, term in self._binding.items():
+            if isinstance(term, Literal):
+                out[name] = term.to_python()
+            elif isinstance(term, IRI):
+                out[name] = term.value
+            elif isinstance(term, BlankNode):
+                out[name] = str(term)
+            else:
+                out[name] = term
+        return out
+
+    def __iter__(self):
+        return iter(self._binding.get(v) for v in self._vars)
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultRow):
+            return self._binding == other._binding
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self._binding.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"?{v}={self._binding.get(v)}" for v in self._vars)
+        return f"ResultRow({inner})"
+
+
+class ResultTable:
+    """An ordered collection of solutions to a SELECT query."""
+
+    def __init__(self, variables: List[str], rows: List[Dict[str, Any]]):
+        self.variables = variables
+        self._rows = [ResultRow(variables, row) for row in rows]
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __getitem__(self, index: int) -> ResultRow:
+        return self._rows[index]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dicts of native Python values."""
+        return [row.python() for row in self._rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one variable (native Python), unbound as None."""
+        out = []
+        for row in self._rows:
+            term = row.get(name)
+            if isinstance(term, Literal):
+                out.append(term.to_python())
+            elif isinstance(term, IRI):
+                out.append(term.value)
+            elif term is None:
+                out.append(None)
+            else:
+                out.append(str(term))
+        return out
+
+    def to_csv(self) -> str:
+        """SPARQL 1.1 CSV results (header row of variable names)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.variables)
+        for row in self._rows:
+            writer.writerow(["" if v is None else _plain(v) for v in row])
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """SPARQL 1.1 Query Results JSON format."""
+        bindings = []
+        for row in self._rows:
+            entry: Dict[str, Any] = {}
+            for name in self.variables:
+                term = row.get(name)
+                if term is None:
+                    continue
+                entry[name] = _json_term(term)
+            bindings.append(entry)
+        document = {
+            "head": {"vars": self.variables},
+            "results": {"bindings": bindings},
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    def pretty(self, max_width: int = 60) -> str:
+        """Fixed-width text table for console output."""
+        headers = [f"?{v}" for v in self.variables]
+        body = [["" if v is None else _plain(v) for v in row] for row in self._rows]
+        clipped = [[cell[:max_width] for cell in row] for row in body]
+        widths = [len(h) for h in headers]
+        for row in clipped:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+        for row in clipped:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ResultTable {len(self._rows)} rows x {len(self.variables)} vars>"
+
+
+def _plain(term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    return str(term)
+
+
+def _json_term(term) -> Dict[str, str]:
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.id}
+    entry = {"type": "literal", "value": term.lexical}
+    if term.language:
+        entry["xml:lang"] = term.language
+    elif term.datatype.value != "http://www.w3.org/2001/XMLSchema#string":
+        entry["datatype"] = term.datatype.value
+    return entry

@@ -1,0 +1,150 @@
+"""SPARQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive per the SPARQL 1.1 grammar; variable tokens keep
+their ``?``/``$`` sigil stripped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "Tokenizer", "SparqlSyntaxError", "KEYWORDS"]
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised on malformed SPARQL query text."""
+
+    def __init__(self, message: str, lineno: int = 0):
+        prefix = f"line {lineno}: " if lineno else ""
+        super().__init__(prefix + message)
+        self.lineno = lineno
+
+
+#: Reserved words recognised as keywords (upper-cased canonical form).
+KEYWORDS = frozenset(
+    """
+    SELECT ASK CONSTRUCT DESCRIBE WHERE FROM NAMED PREFIX BASE DISTINCT
+    REDUCED OPTIONAL FILTER UNION GRAPH ORDER BY ASC DESC LIMIT OFFSET
+    GROUP HAVING AS VALUES BIND MINUS EXISTS NOT IN COUNT SUM MIN MAX AVG
+    SAMPLE GROUP_CONCAT SEPARATOR TRUE FALSE A UNDEF
+    """.split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<iriref><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+    | (?P<string>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+    | (?P<langtag>@[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*)
+    | (?P<dtmark>\^\^)
+    | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.\-]*)
+    | (?P<double>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+    | (?P<decimal>[+-]?\d*\.\d+)
+    | (?P<integer>[+-]?\d+)
+    | (?P<pname_or_kw>[A-Za-z_][A-Za-z0-9_\-]*(?::[A-Za-z0-9_\-.%]*)?|:[A-Za-z0-9_\-.%]*)
+    | (?P<op>&&|\|\||!=|<=|>=|[=<>!*/+\-^|])
+    | (?P<punct>[{}().;,])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """A single lexical token with position info for error messages."""
+
+    __slots__ = ("kind", "text", "lineno")
+
+    def __init__(self, kind: str, text: str, lineno: int):
+        self.kind = kind
+        self.text = text
+        self.lineno = lineno
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind in ("punct", "op") and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.lineno})"
+
+
+class Tokenizer:
+    """Token stream with arbitrary lookahead over a SPARQL query string."""
+
+    def __init__(self, text: str):
+        self.tokens: List[Token] = list(self._scan(text))
+        self.pos = 0
+
+    @staticmethod
+    def _scan(text: str) -> Iterator[Token]:
+        lineno = 1
+        pos = 0
+        length = len(text)
+        while pos < length:
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                raise SparqlSyntaxError(f"unexpected character {text[pos]!r}", lineno)
+            lineno += text.count("\n", pos, match.end())
+            kind = match.lastgroup
+            token_text = match.group()
+            pos = match.end()
+            if kind in ("ws", "comment"):
+                continue
+            if kind == "var":
+                yield Token("var", token_text[1:], lineno)
+            elif kind == "pname_or_kw":
+                upper = token_text.upper()
+                if ":" not in token_text and upper in KEYWORDS:
+                    yield Token("keyword", upper, lineno)
+                else:
+                    yield Token("pname", token_text, lineno)
+            else:
+                yield Token(kind, token_text, lineno)
+
+    # -- navigation ---------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Optional[Token]:
+        index = self.pos + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            last = self.tokens[-1].lineno if self.tokens else 1
+            raise SparqlSyntaxError("unexpected end of query", last)
+        self.pos += 1
+        return tok
+
+    def expect_punct(self, text: str) -> Token:
+        tok = self.next()
+        if not tok.is_punct(text):
+            raise SparqlSyntaxError(f"expected {text!r}, got {tok.text!r}", tok.lineno)
+        return tok
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.next()
+        if not tok.is_keyword(word):
+            raise SparqlSyntaxError(f"expected {word}, got {tok.text!r}", tok.lineno)
+        return tok
+
+    def accept_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.is_keyword(word):
+            self.pos += 1
+            return True
+        return False
+
+    def accept_punct(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.is_punct(text):
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)

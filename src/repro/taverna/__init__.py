@@ -1,0 +1,23 @@
+"""The Taverna-like workflow system: engine, PROV export, t2flow I/O.
+
+Reproduces Taverna 2 as used by the corpus: a dataflow engine over the
+shared template model, the taverna-prov-style exporter (PROV-O + wfprov
+with Taverna's term-usage conventions), and a simplified t2flow XML
+serialization of templates.
+"""
+
+from .engine import TAVERNA_RUN_NS, TAVERNA_WF_NS, TavernaEngine, TavernaRun
+from .provexport import TAVERNAPROV, export_run, export_template_description
+from .t2flow import from_t2flow, to_t2flow
+
+__all__ = [
+    "TavernaEngine",
+    "TavernaRun",
+    "TAVERNA_RUN_NS",
+    "TAVERNA_WF_NS",
+    "TAVERNAPROV",
+    "export_run",
+    "export_template_description",
+    "to_t2flow",
+    "from_t2flow",
+]

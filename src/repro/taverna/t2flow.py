@@ -1,0 +1,205 @@
+"""Simplified t2flow XML serialization of workflow templates.
+
+Taverna 2 stores workflows as ``.t2flow`` XML bundles.  This module
+implements a compact dialect of that format, sufficient to round-trip our
+template model (ports with depths, processors with operations/services,
+data links, parameters, and nested dataflows for sub-workflows).  The
+corpus storage layer ships each Taverna workflow definition as a
+``.t2flow`` file alongside its traces, like the original ProvBench layout.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from ..workflow.errors import WorkflowDefinitionError
+from ..workflow.model import Port, Processor, WorkflowTemplate
+
+__all__ = ["to_t2flow", "from_t2flow"]
+
+T2FLOW_NS = "http://taverna.sf.net/2008/xml/t2flow"
+
+
+def to_t2flow(template: WorkflowTemplate) -> str:
+    """Serialize *template* to t2flow XML text."""
+    root = ET.Element("workflow", {
+        "xmlns": T2FLOW_NS,
+        "id": template.template_id,
+        "name": template.name,
+        "domain": template.domain,
+    })
+    if template.description:
+        ET.SubElement(root, "annotation").text = template.description
+    root.append(_dataflow_element(template, role="top"))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def _dataflow_element(template: WorkflowTemplate, role: str) -> ET.Element:
+    dataflow = ET.Element("dataflow", {"role": role})
+    _ports_element(dataflow, "inputPorts", template.inputs)
+    _ports_element(dataflow, "outputPorts", template.outputs)
+    if template.parameters:
+        params = ET.SubElement(dataflow, "parameters")
+        for parameter in template.parameters:
+            ET.SubElement(params, "parameter", {
+                "name": parameter.name,
+                "value": str(parameter.value),
+                "type": parameter.data_type,
+            })
+    processors = ET.SubElement(dataflow, "processors")
+    for processor in template.processors.values():
+        element = ET.SubElement(processors, "processor", {"name": processor.name})
+        if processor.is_subworkflow:
+            element.append(_dataflow_element(processor.subworkflow, role="nested"))
+        else:
+            activity_attrs = {"operation": processor.operation}
+            if processor.service is not None:
+                activity_attrs["service"] = processor.service
+            activity = ET.SubElement(element, "activity", activity_attrs)
+            for key, value in sorted(processor.config.items()):
+                ET.SubElement(activity, "config", {"key": key, "value": str(value)})
+        _ports_element(element, "inputPorts", processor.inputs)
+        _ports_element(element, "outputPorts", processor.outputs)
+    links = ET.SubElement(dataflow, "datalinks")
+    for link in template.links:
+        datalink = ET.SubElement(links, "datalink")
+        ET.SubElement(datalink, "source", _ref_attrs(link.source))
+        ET.SubElement(datalink, "sink", _ref_attrs(link.sink))
+    return dataflow
+
+
+def _ports_element(parent: ET.Element, tag: str, ports) -> None:
+    element = ET.SubElement(parent, tag)
+    for port in ports:
+        ET.SubElement(element, "port", {
+            "name": port.name,
+            "depth": str(port.depth),
+            "type": port.data_type,
+        })
+
+
+def _ref_attrs(ref) -> dict:
+    if ref.is_workflow():
+        return {"type": "dataflow", "port": ref.port}
+    return {"type": "processor", "processor": ref.processor, "port": ref.port}
+
+
+def from_t2flow(text: str) -> WorkflowTemplate:
+    """Parse t2flow XML text back into a validated template."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise WorkflowDefinitionError(f"malformed t2flow XML: {exc}") from None
+    if _local(root.tag) != "workflow":
+        raise WorkflowDefinitionError(f"expected <workflow> root, got <{_local(root.tag)}>")
+    template_id = root.get("id")
+    name = root.get("name")
+    if not template_id or not name:
+        raise WorkflowDefinitionError("workflow element requires id and name attributes")
+    dataflow = _child(root, "dataflow")
+    if dataflow is None:
+        raise WorkflowDefinitionError("workflow has no <dataflow>")
+    annotation = _child(root, "annotation")
+    template = _parse_dataflow(
+        dataflow,
+        template_id=template_id,
+        name=name,
+        domain=root.get("domain", "generic"),
+        description=annotation.text if annotation is not None and annotation.text else "",
+    )
+    return template.freeze()
+
+
+def _parse_dataflow(
+    dataflow: ET.Element,
+    template_id: str,
+    name: str,
+    domain: str,
+    description: str = "",
+) -> WorkflowTemplate:
+    template = WorkflowTemplate(template_id, name, "taverna", domain=domain,
+                                description=description)
+    for port in _ports(dataflow, "inputPorts"):
+        template.add_input(port.name, port.data_type, port.depth)
+    for port in _ports(dataflow, "outputPorts"):
+        template.add_output(port.name, port.data_type, port.depth)
+    parameters = _child(dataflow, "parameters")
+    if parameters is not None:
+        for parameter in parameters:
+            template.add_parameter(
+                parameter.get("name"), parameter.get("value"), parameter.get("type", "string")
+            )
+    processors = _child(dataflow, "processors")
+    if processors is not None:
+        for element in processors:
+            template.add_processor(_parse_processor(element, template_id))
+    links = _child(dataflow, "datalinks")
+    if links is not None:
+        for datalink in links:
+            source = _parse_ref(_child(datalink, "source"))
+            sink = _parse_ref(_child(datalink, "sink"))
+            template.connect(source, sink)
+    return template
+
+
+def _parse_processor(element: ET.Element, template_id: str) -> Processor:
+    name = element.get("name")
+    if not name:
+        raise WorkflowDefinitionError("processor element requires a name")
+    inputs = _ports(element, "inputPorts")
+    outputs = _ports(element, "outputPorts")
+    nested = _child(element, "dataflow")
+    if nested is not None:
+        subworkflow = _parse_dataflow(
+            nested, template_id=f"{template_id}.{name}", name=name, domain="nested"
+        )
+        subworkflow.freeze()
+        return Processor(name, inputs=inputs, outputs=outputs, subworkflow=subworkflow)
+    activity = _child(element, "activity")
+    if activity is None:
+        raise WorkflowDefinitionError(f"processor {name!r} has neither activity nor dataflow")
+    config = {}
+    for entry in activity:
+        if _local(entry.tag) == "config":
+            value = entry.get("value", "")
+            config[entry.get("key")] = int(value) if value.lstrip("-").isdigit() else value
+    return Processor(
+        name,
+        operation=activity.get("operation", "identity"),
+        inputs=inputs,
+        outputs=outputs,
+        service=activity.get("service"),
+        config=config,
+    )
+
+
+def _parse_ref(element: Optional[ET.Element]) -> str:
+    if element is None:
+        raise WorkflowDefinitionError("datalink missing source or sink")
+    port = element.get("port")
+    if element.get("type") == "dataflow":
+        return f":{port}"
+    return f"{element.get('processor')}:{port}"
+
+
+def _ports(parent: ET.Element, tag: str) -> list:
+    element = _child(parent, tag)
+    if element is None:
+        return []
+    return [
+        Port(p.get("name"), p.get("type", "any"), int(p.get("depth", "0")))
+        for p in element
+    ]
+
+
+def _child(parent: ET.Element, tag: str) -> Optional[ET.Element]:
+    for element in parent:
+        if _local(element.tag) == tag:
+            return element
+    return None
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]

@@ -1,0 +1,11 @@
+"""Workflow-provenance vocabularies layered on PROV-O.
+
+* :mod:`.wfprov` — Wf4Ever run-level terms (Taverna traces)
+* :mod:`.wfdesc` — Wf4Ever template-level terms (Taverna plans)
+* :mod:`.opmw` — Open Provenance Model for Workflows (Wings traces)
+* :mod:`.ro` — Research Object aggregation terms
+"""
+
+from . import opmw, ro, wfdesc, wfprov
+
+__all__ = ["wfprov", "wfdesc", "opmw", "ro"]

@@ -1,0 +1,65 @@
+"""OPMW — the Open Provenance Model for Workflows (used by Wings).
+
+http://www.opmw.org/ontology/ — OPMW describes both workflow templates
+(``opmw:WorkflowTemplate``, ``opmw:WorkflowTemplateProcess``,
+``opmw:WorkflowTemplateArtifact``) and executions
+(``opmw:WorkflowExecutionAccount``, ``opmw:WorkflowExecutionProcess``,
+``opmw:WorkflowExecutionArtifact``), with properties binding executions to
+the template elements they instantiate.  The Wings exporter publishes
+traces with these terms alongside PROV-O; the execution account is the
+``prov:Bundle`` of the run.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import OPMW
+
+__all__ = [
+    "OPMW",
+    "WorkflowTemplate",
+    "WorkflowTemplateProcess",
+    "WorkflowTemplateArtifact",
+    "ParameterVariable",
+    "DataVariable",
+    "WorkflowExecutionAccount",
+    "WorkflowExecutionProcess",
+    "WorkflowExecutionArtifact",
+    "correspondsToTemplate",
+    "correspondsToTemplateProcess",
+    "correspondsToTemplateArtifact",
+    "isGeneratedBy",
+    "uses",
+    "isStepOfTemplate",
+    "isVariableOfTemplate",
+    "executedInWorkflowSystem",
+    "hasExecutableComponent",
+    "hasStatus",
+    "overallStartTime",
+    "overallEndTime",
+    "hasSize",
+    "hasLocation",
+]
+
+WorkflowTemplate = OPMW.WorkflowTemplate
+WorkflowTemplateProcess = OPMW.WorkflowTemplateProcess
+WorkflowTemplateArtifact = OPMW.WorkflowTemplateArtifact
+ParameterVariable = OPMW.ParameterVariable
+DataVariable = OPMW.DataVariable
+WorkflowExecutionAccount = OPMW.WorkflowExecutionAccount
+WorkflowExecutionProcess = OPMW.WorkflowExecutionProcess
+WorkflowExecutionArtifact = OPMW.WorkflowExecutionArtifact
+
+correspondsToTemplate = OPMW.correspondsToTemplate
+correspondsToTemplateProcess = OPMW.correspondsToTemplateProcess
+correspondsToTemplateArtifact = OPMW.correspondsToTemplateArtifact
+isGeneratedBy = OPMW.isGeneratedBy
+uses = OPMW.uses
+isStepOfTemplate = OPMW.isStepOfTemplate
+isVariableOfTemplate = OPMW.isVariableOfTemplate
+executedInWorkflowSystem = OPMW.executedInWorkflowSystem
+hasExecutableComponent = OPMW.hasExecutableComponent
+hasStatus = OPMW.hasStatus
+overallStartTime = OPMW.overallStartTime
+overallEndTime = OPMW.overallEndTime
+hasSize = OPMW.hasSize
+hasLocation = OPMW.hasLocation

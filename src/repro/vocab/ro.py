@@ -1,0 +1,27 @@
+"""ro — the Wf4Ever Research Object core ontology.
+
+http://purl.org/wf4ever/ro# — Research Objects aggregate a workflow, its
+provenance traces, annotations, and related resources into one shareable
+unit.  The corpus uses RO terms to associate each provenance trace with
+the workflow it describes and the aggregation it is published in.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import RO
+
+__all__ = [
+    "RO",
+    "ResearchObject",
+    "Resource",
+    "AggregatedAnnotation",
+    "aggregates",
+    "annotatesAggregatedResource",
+]
+
+ResearchObject = RO.ResearchObject
+Resource = RO.Resource
+AggregatedAnnotation = RO.AggregatedAnnotation
+
+aggregates = RO.aggregates
+annotatesAggregatedResource = RO.annotatesAggregatedResource

@@ -1,0 +1,43 @@
+"""wfdesc — the Wf4Ever abstract workflow-description ontology.
+
+http://purl.org/wf4ever/wfdesc# — describes workflow *templates* (as
+opposed to wfprov, which describes *runs*): a ``wfdesc:Workflow`` has
+``wfdesc:Process`` steps connected by ``wfdesc:DataLink`` objects between
+``wfdesc:Input``/``wfdesc:Output`` parameters.  The Taverna exporter
+publishes each template as a wfdesc description and links run-level
+resources to it via the ``wfprov:describedBy*`` properties.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import WFDESC
+
+__all__ = [
+    "WFDESC",
+    "Workflow",
+    "Process",
+    "Parameter",
+    "Input",
+    "Output",
+    "DataLink",
+    "hasSubProcess",
+    "hasInput",
+    "hasOutput",
+    "hasDataLink",
+    "hasSource",
+    "hasSink",
+]
+
+Workflow = WFDESC.Workflow
+Process = WFDESC.Process
+Parameter = WFDESC.Parameter
+Input = WFDESC.Input
+Output = WFDESC.Output
+DataLink = WFDESC.DataLink
+
+hasSubProcess = WFDESC.hasSubProcess
+hasInput = WFDESC.hasInput
+hasOutput = WFDESC.hasOutput
+hasDataLink = WFDESC.hasDataLink
+hasSource = WFDESC.hasSource
+hasSink = WFDESC.hasSink

@@ -1,0 +1,74 @@
+"""wfprov — the Wf4Ever workflow-provenance ontology (used by Taverna).
+
+http://purl.org/wf4ever/wfprov# — wfprov extends PROV-O with
+workflow-specific classes and properties; Taverna's provenance plugin
+(taverna-prov) exports traces typed with these terms alongside the plain
+PROV-O statements.  Class → PROV superclass:
+
+* ``wfprov:WorkflowRun``  ⊑ prov:Activity (also a wfprov:ProcessRun)
+* ``wfprov:ProcessRun``   ⊑ prov:Activity
+* ``wfprov:Artifact``     ⊑ prov:Entity
+* ``wfprov:WorkflowEngine`` ⊑ prov:SoftwareAgent
+
+Property → PROV superproperty:
+
+* ``wfprov:usedInput``      ⊑ prov:used
+* ``wfprov:wasOutputFrom``  ⊑ prov:wasGeneratedBy
+* ``wfprov:wasPartOfWorkflowRun`` (process run → workflow run)
+* ``wfprov:wasEnactedBy``   ⊑ prov:wasAssociatedWith (run → engine)
+* ``wfprov:describedByProcess`` / ``wfprov:describedByWorkflow`` link runs
+  to their wfdesc descriptions (the plan).
+* ``wfprov:describedByParameter`` links artifacts to formal parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..rdf.namespace import WFPROV, PROV
+from ..rdf.terms import IRI
+
+__all__ = [
+    "WFPROV",
+    "WorkflowRun",
+    "ProcessRun",
+    "Artifact",
+    "WorkflowEngine",
+    "usedInput",
+    "wasOutputFrom",
+    "wasPartOfWorkflowRun",
+    "wasEnactedBy",
+    "describedByProcess",
+    "describedByWorkflow",
+    "describedByParameter",
+    "PROV_SUPERPROPERTIES",
+    "PROV_SUPERCLASSES",
+]
+
+WorkflowRun = WFPROV.WorkflowRun
+ProcessRun = WFPROV.ProcessRun
+Artifact = WFPROV.Artifact
+WorkflowEngine = WFPROV.WorkflowEngine
+
+usedInput = WFPROV.usedInput
+wasOutputFrom = WFPROV.wasOutputFrom
+wasPartOfWorkflowRun = WFPROV.wasPartOfWorkflowRun
+wasEnactedBy = WFPROV.wasEnactedBy
+describedByProcess = WFPROV.describedByProcess
+describedByWorkflow = WFPROV.describedByWorkflow
+describedByParameter = WFPROV.describedByParameter
+
+#: wfprov property → its PROV-O superproperty (for interoperable queries).
+PROV_SUPERPROPERTIES: Dict[IRI, IRI] = {
+    usedInput: PROV.used,
+    wasOutputFrom: PROV.wasGeneratedBy,
+    wasEnactedBy: PROV.wasAssociatedWith,
+}
+
+#: wfprov class → its PROV-O superclass.
+PROV_SUPERCLASSES: Dict[IRI, IRI] = {
+    WorkflowRun: PROV.Activity,
+    ProcessRun: PROV.Activity,
+    Artifact: PROV.Entity,
+    WorkflowEngine: PROV.SoftwareAgent,
+}

@@ -1,0 +1,32 @@
+"""The Wings-like semantic workflow system: catalogs, engine, OPMW export.
+
+Reproduces Wings as used by the corpus: semantic template validation
+against component/data catalogs, execution through the shared dataflow
+core, and OPMW/PROV-O export with execution-account bundles.
+"""
+
+from .catalog import (
+    Component,
+    ComponentCatalog,
+    DataCatalog,
+    Dataset,
+    DataType,
+    TypeHierarchy,
+)
+from .engine import OPMW_EXPORT_NS, WingsEngine, WingsRun, validate_against_catalog
+from .provexport import export_run, export_template
+
+__all__ = [
+    "WingsEngine",
+    "WingsRun",
+    "OPMW_EXPORT_NS",
+    "validate_against_catalog",
+    "Component",
+    "ComponentCatalog",
+    "DataCatalog",
+    "Dataset",
+    "DataType",
+    "TypeHierarchy",
+    "export_run",
+    "export_template",
+]

@@ -1,0 +1,183 @@
+"""Wings semantic catalogs: data types, components, and datasets.
+
+Wings is a *semantic* workflow system: workflow templates are validated
+against a component catalog (which component implements each step, with
+typed inputs/outputs) and a data catalog (typed, located datasets) before
+execution.  This module provides both catalogs plus the data-type
+hierarchy used for subtype checking.
+
+The data catalog is also where ``prov:atLocation`` values come from: every
+dataset (and every artifact derived from one) has a file location in the
+Wings workspace, which the OPMW exporter publishes — the Wings-only
+``prov:atLocation`` row of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..workflow.errors import WorkflowDefinitionError
+
+__all__ = ["DataType", "TypeHierarchy", "Component", "ComponentCatalog", "Dataset", "DataCatalog"]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A node of the Wings data-type ontology."""
+
+    name: str
+    parent: Optional[str] = None
+
+
+class TypeHierarchy:
+    """The data-type tree, rooted at ``any``."""
+
+    def __init__(self):
+        self._types: Dict[str, DataType] = {"any": DataType("any", None)}
+
+    def add(self, name: str, parent: str = "any") -> DataType:
+        if name in self._types:
+            raise ValueError(f"data type {name!r} already defined")
+        if parent not in self._types:
+            raise ValueError(f"unknown parent type {parent!r}")
+        data_type = DataType(name, parent)
+        self._types[name] = data_type
+        return data_type
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def is_subtype(self, name: str, ancestor: str) -> bool:
+        """True when *name* equals *ancestor* or descends from it."""
+        if ancestor == "any":
+            return name in self._types
+        current: Optional[str] = name
+        while current is not None:
+            if current == ancestor:
+                return True
+            node = self._types.get(current)
+            current = node.parent if node is not None else None
+        return False
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+
+@dataclass(frozen=True)
+class Component:
+    """A catalogued executable component.
+
+    *operation* names the behavior in the shared operation library;
+    *input_types* / *output_types* map port names to required data types.
+    """
+
+    name: str
+    operation: str
+    input_types: Dict[str, str] = field(default_factory=dict)
+    output_types: Dict[str, str] = field(default_factory=dict)
+    version: str = "1.0"
+    description: str = ""
+
+
+class ComponentCatalog:
+    """The registry the Wings engine validates templates against."""
+
+    def __init__(self, types: Optional[TypeHierarchy] = None):
+        self.types = types if types is not None else TypeHierarchy()
+        self._components: Dict[str, Component] = {}
+
+    def register(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ValueError(f"component {component.name!r} already registered")
+        for port, type_name in {**component.input_types, **component.output_types}.items():
+            if type_name not in self.types:
+                raise ValueError(
+                    f"component {component.name!r} port {port!r} uses unknown type {type_name!r}"
+                )
+        self._components[component.name] = component
+        return component
+
+    def get(self, name: str) -> Component:
+        component = self._components.get(name)
+        if component is None:
+            raise KeyError(f"unknown component {name!r}")
+        return component
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def names(self) -> List[str]:
+        return sorted(self._components)
+
+    def check_binding(self, component_name: str, port: str, data_type: str, direction: str) -> None:
+        """Raise unless *data_type* satisfies the component's port type."""
+        component = self.get(component_name)
+        table = component.input_types if direction == "input" else component.output_types
+        required = table.get(port)
+        if required is None:
+            raise WorkflowDefinitionError(
+                f"component {component_name!r} has no {direction} port {port!r}"
+            )
+        if not self.types.is_subtype(data_type, required):
+            raise WorkflowDefinitionError(
+                f"type mismatch on {component_name}.{port}: "
+                f"{data_type!r} is not a subtype of {required!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A catalogued dataset with its workspace location."""
+
+    dataset_id: str
+    data_type: str
+    value: Any
+    location: str
+
+    def __post_init__(self):
+        if not self.location.startswith("/"):
+            raise ValueError(f"dataset location must be an absolute path: {self.location!r}")
+
+
+class DataCatalog:
+    """Typed, located datasets available as workflow inputs."""
+
+    WORKSPACE = "/export/wings/workspace"
+
+    def __init__(self, types: Optional[TypeHierarchy] = None):
+        self.types = types if types is not None else TypeHierarchy()
+        self._datasets: Dict[str, Dataset] = {}
+
+    def add(self, dataset_id: str, data_type: str, value: Any,
+            location: Optional[str] = None) -> Dataset:
+        if dataset_id in self._datasets:
+            raise ValueError(f"dataset {dataset_id!r} already catalogued")
+        if data_type not in self.types:
+            raise ValueError(f"unknown data type {data_type!r}")
+        if location is None:
+            location = f"{self.WORKSPACE}/data/{dataset_id}"
+        dataset = Dataset(dataset_id, data_type, value, location)
+        self._datasets[dataset_id] = dataset
+        return dataset
+
+    def get(self, dataset_id: str) -> Dataset:
+        dataset = self._datasets.get(dataset_id)
+        if dataset is None:
+            raise KeyError(f"unknown dataset {dataset_id!r}")
+        return dataset
+
+    def __contains__(self, dataset_id: str) -> bool:
+        return dataset_id in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def of_type(self, data_type: str) -> List[Dataset]:
+        """Datasets whose type satisfies *data_type* (subtype-aware)."""
+        return [
+            d for d in self._datasets.values() if self.types.is_subtype(d.data_type, data_type)
+        ]

@@ -1,0 +1,172 @@
+"""The Wings-like semantic workflow engine.
+
+Wings differs from Taverna in two ways the corpus traces reflect:
+
+1. **Semantic validation** — before execution, every template step is
+   checked against the component catalog: the step's operation must name a
+   catalogued component and the port data types must satisfy the
+   component's declared types (subtype-aware).  Ill-typed workflows are
+   rejected at *plan* time, not run time.
+2. **Execution accounts** — each run is published as an OPMW
+   ``WorkflowExecutionAccount``; the account is a ``prov:Bundle``, and the
+   artifacts carry catalog locations.
+
+The engine executes through the shared dataflow core, so failure
+injection, the clock, and determinism behave identically to Taverna.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..rdf.namespace import Namespace
+from ..rdf.terms import IRI
+from ..workflow.dataflow import DataflowExecutor, RunResult, SimulatedClock
+from ..workflow.errors import WorkflowDefinitionError
+from ..workflow.model import WorkflowTemplate
+from ..workflow.services import FaultPlan, ServiceRegistry
+from .catalog import ComponentCatalog, DataCatalog
+
+__all__ = ["WingsEngine", "WingsRun", "OPMW_EXPORT_NS", "validate_against_catalog"]
+
+#: Resource namespace mirroring the OPMW public export.
+OPMW_EXPORT_NS = Namespace("http://www.opmw.org/export/resource/")
+
+WINGS_AGENT_IRI = IRI("http://www.opmw.org/export/resource/Agent/WINGS")
+
+
+@dataclass
+class WingsRun:
+    """One Wings execution: the neutral run record plus its OPMW IRIs."""
+
+    result: RunResult
+    account_iri: IRI
+    template_iri: IRI
+    system_iri: IRI = WINGS_AGENT_IRI
+    user: str = "researcher"
+
+    @property
+    def run_id(self) -> str:
+        return self.result.run_id
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
+
+    def process_iri(self, step_name: str) -> IRI:
+        return OPMW_EXPORT_NS.term(
+            f"WorkflowExecutionProcess/{self.result.run_id}_{step_name}"
+        )
+
+    def artifact_iri(self, checksum: str) -> IRI:
+        return OPMW_EXPORT_NS.term(
+            f"WorkflowExecutionArtifact/{self.result.run_id}_{checksum[:12]}"
+        )
+
+    def user_iri(self) -> IRI:
+        return OPMW_EXPORT_NS.term(f"Agent/{self.user}")
+
+
+def validate_against_catalog(template: WorkflowTemplate, catalog: ComponentCatalog) -> None:
+    """Semantic plan validation: every step must satisfy its component.
+
+    Raises :class:`WorkflowDefinitionError` on unknown components or type
+    mismatches — this happens before any execution, which is how Wings
+    avoids the runtime type failures Taverna can hit.
+    """
+    for processor in template.processors.values():
+        if processor.is_subworkflow:
+            validate_against_catalog(processor.subworkflow, catalog)
+            continue
+        if processor.operation not in catalog:
+            raise WorkflowDefinitionError(
+                f"step {processor.name!r}: no catalogued component {processor.operation!r}"
+            )
+        for port in processor.inputs:
+            catalog.check_binding(processor.operation, port.name, port.data_type, "input")
+        for port in processor.outputs:
+            catalog.check_binding(processor.operation, port.name, port.data_type, "output")
+
+
+class WingsEngine:
+    """Validates and executes Wings templates."""
+
+    system_name = "wings"
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        clock: SimulatedClock,
+        components: ComponentCatalog,
+        data: Optional[DataCatalog] = None,
+    ):
+        self.registry = registry
+        self.clock = clock
+        self.components = components
+        self.data = data if data is not None else DataCatalog(components.types)
+        self._executor = DataflowExecutor(registry, clock)
+
+    def run(
+        self,
+        template: WorkflowTemplate,
+        inputs: Dict[str, Any],
+        run_id: str,
+        fault_plan: Optional[FaultPlan] = None,
+        user: str = "researcher",
+    ) -> WingsRun:
+        """Validate then enact *template*.
+
+        *inputs* may bind workflow ports to dataset ids from the data
+        catalog (resolved to their values) or to raw values.
+        """
+        if template.system != self.system_name:
+            raise ValueError(
+                f"template {template.template_id} targets {template.system!r}, not wings"
+            )
+        validate_against_catalog(template, self.components)
+        resolved = {name: self._resolve_input(value) for name, value in inputs.items()}
+        component_ops = {
+            name: self.components.get(p.operation).operation
+            for name, p in template.processors.items()
+            if not p.is_subworkflow
+        }
+        runnable = self._bind_components(template, component_ops)
+        result = self._executor.execute(
+            runnable, resolved, run_id=run_id, fault_plan=fault_plan, user=user
+        )
+        result.template = template  # publish against the semantic template
+        return WingsRun(
+            result=result,
+            account_iri=OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{run_id}"),
+            template_iri=self.template_iri(template),
+            user=user,
+        )
+
+    def _resolve_input(self, value: Any) -> Any:
+        if isinstance(value, str) and value in self.data:
+            return self.data.get(value).value
+        return value
+
+    @staticmethod
+    def _bind_components(template: WorkflowTemplate, operations: Dict[str, str]) -> WorkflowTemplate:
+        """Clone the template with component names replaced by operations.
+
+        Wings templates name *components*; the execution layer needs the
+        underlying operation each component implements.
+        """
+        from copy import copy
+
+        runnable = copy(template)
+        runnable.processors = {}
+        for name, processor in template.processors.items():
+            bound = copy(processor)
+            if not processor.is_subworkflow:
+                bound.operation = operations[name]
+            runnable.processors[name] = bound
+        return runnable
+
+    @staticmethod
+    def template_iri(template: WorkflowTemplate) -> IRI:
+        return OPMW_EXPORT_NS.term(f"WorkflowTemplate/{template.template_id}")

@@ -1,0 +1,181 @@
+"""Wings/OPMW export: runs → OPMW + PROV-O RDF with bundles.
+
+Reproduces the Wings-side conventions of the paper's Tables 2 and 3:
+
+* each run is a ``prov:Bundle`` — the OPMW *execution account* — whose
+  statements live in a named graph (serialized as TriG);
+* execution processes are activities **without** ``prov:startedAtTime`` /
+  ``prov:endedAtTime`` ("Activity start and end not recorded in Wings
+  provenance traces"); the account instead carries OPMW's own
+  ``opmw:overallStartTime`` / ``opmw:overallEndTime``;
+* artifacts are ``prov:wasAttributedTo`` the user (Wings is the only
+  system with direct attribution) and carry ``prov:atLocation`` workspace
+  paths (Wings-only row of Table 3);
+* workflow outputs assert ``prov:hadPrimarySource`` against the run's
+  input datasets (Wings-only row) — never plain ``prov:wasDerivedFrom``;
+* ``prov:wasInfluencedBy`` is asserted **directly** between processes and
+  the artifacts that influenced them (unstarred Wings cell of Table 3);
+* the workflow template is published as ``opmw:WorkflowTemplate`` typed
+  ``prov:Plan`` (Wings asserts the Plan class directly, unlike Taverna),
+  and each process/artifact points back at its template element;
+* each execution process records its executable component via
+  ``opmw:hasExecutableComponent`` — this is what makes exemplar query 6
+  ("what services were executed") answerable *only* on Wings traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..prov.model import ProvBundle, ProvDocument
+from ..rdf.namespace import DCTERMS, NamespaceManager
+from ..rdf.terms import IRI, Literal
+from ..vocab import opmw
+from ..workflow.dataflow import RunResult, StepRun
+from ..workflow.model import WorkflowTemplate, WORKFLOW_SOURCE
+from .engine import OPMW_EXPORT_NS, WingsRun
+
+__all__ = ["export_run", "export_template"]
+
+
+def _bind_namespaces(nsm: NamespaceManager) -> None:
+    nsm.bind("opmw-export", OPMW_EXPORT_NS)
+
+
+def export_run(run: WingsRun, document: Optional[ProvDocument] = None) -> ProvDocument:
+    """Export one Wings run: account bundle + template linkage."""
+    if document is None:
+        document = ProvDocument()
+    _bind_namespaces(document.namespaces)
+    result = run.result
+
+    # The account itself is declared in the document (default graph): it is
+    # the bundle entity others refer to.
+    account_entity = document.entity(run.account_iri)
+    account_entity.add_type(opmw.WorkflowExecutionAccount)
+    account_entity.add_attribute(opmw.correspondsToTemplate, run.template_iri)
+    account_entity.add_attribute(opmw.overallStartTime, result.started)
+    if result.ended is not None:
+        account_entity.add_attribute(opmw.overallEndTime, result.ended)
+    account_entity.add_attribute(
+        opmw.hasStatus, Literal("FAILURE" if result.failed else "SUCCESS")
+    )
+    account_entity.add_attribute(opmw.executedInWorkflowSystem, run.system_iri)
+    document.agent(run.system_iri, agent_type="software")
+
+    bundle = document.bundle(run.account_iri)
+    user = bundle.agent(run.user_iri(), agent_type="person")
+    document.was_attributed_to(run.account_iri, run.user_iri())
+
+    artifacts: Dict[str, IRI] = {}
+
+    def artifact(item, template_role: Optional[str] = None) -> IRI:
+        iri = run.artifact_iri(item.checksum)
+        if item.checksum not in artifacts:
+            entity = bundle.entity(iri)
+            entity.add_type(opmw.WorkflowExecutionArtifact)
+            entity.add_attribute("prov:value", Literal(item.preview()))
+            entity.add_attribute(opmw.hasSize, item.size_bytes)
+            entity.add_attribute(
+                "prov:atLocation",
+                Literal(f"/export/wings/workspace/runs/{result.run_id}/{item.checksum[:12]}.dat"),
+            )
+            bundle.was_attributed_to(iri, run.user_iri())
+            artifacts[item.checksum] = iri
+        if template_role is not None:
+            bundle.elements[iri].add_attribute(
+                opmw.correspondsToTemplateArtifact,
+                _template_variable_iri(run.template_iri, template_role),
+            )
+        return artifacts[item.checksum]
+
+    input_iris = [artifact(item, template_role=name) for name, item in result.inputs.items()]
+
+    for step_run in result.step_runs:
+        _export_step(bundle, run, step_run, artifact)
+
+    for name, item in result.outputs.items():
+        output_iri = artifact(item, template_role=name)
+        # Wings-only: published results point at their primary data sources.
+        for input_iri in input_iris:
+            if input_iri != output_iri:
+                bundle.had_primary_source(output_iri, input_iri)
+    return document
+
+
+def _export_step(bundle: ProvBundle, run: WingsRun, step_run: StepRun, artifact) -> None:
+    process_iri = run.process_iri(step_run.name)
+    # Deliberately no start/end times: Wings does not record them (Table 2).
+    process = bundle.activity(process_iri)
+    process.add_type(opmw.WorkflowExecutionProcess)
+    process.add_attribute(opmw.isStepOfTemplate, run.account_iri)
+    process.add_attribute(
+        opmw.correspondsToTemplateProcess,
+        _template_process_iri(run.template_iri, step_run.name),
+    )
+    # The semantic template names the *component*; the step run only knows
+    # the underlying operation it was bound to.
+    semantic_step = run.result.template.processors.get(step_run.name)
+    component = semantic_step.operation if semantic_step is not None else step_run.operation
+    process.add_attribute(
+        opmw.hasExecutableComponent,
+        OPMW_EXPORT_NS.term(f"Component/{component}"),
+    )
+    if step_run.failed:
+        process.add_attribute(opmw.hasStatus, Literal("FAILURE"))
+        process.add_attribute(DCTERMS.description, Literal(step_run.failure_cause or ""))
+    else:
+        process.add_attribute(opmw.hasStatus, Literal("SUCCESS"))
+    bundle.was_associated_with(process_iri, run.user_iri())
+    for port, item in step_run.inputs.items():
+        input_iri = artifact(item)
+        bundle.used(process_iri, input_iri)
+        # Direct (unstarred) prov:wasInfluencedBy assertion — Wings idiom.
+        bundle.was_influenced_by(process_iri, input_iri)
+    for port, item in step_run.outputs.items():
+        output_iri = artifact(item)
+        bundle.was_generated_by(output_iri, process_iri)
+        bundle.was_influenced_by(output_iri, process_iri)
+
+
+def _template_process_iri(template_iri: IRI, step_name: str) -> IRI:
+    return IRI(f"{template_iri.value}_process_{step_name}")
+
+
+def _template_variable_iri(template_iri: IRI, variable: str) -> IRI:
+    return IRI(f"{template_iri.value}_variable_{variable}")
+
+
+def export_template(
+    template: WorkflowTemplate, document: Optional[ProvDocument] = None
+) -> ProvDocument:
+    """Publish the OPMW template description (typed prov:Plan — Wings
+    asserts the class directly, unlike Taverna)."""
+    if document is None:
+        document = ProvDocument()
+    _bind_namespaces(document.namespaces)
+    template_iri = OPMW_EXPORT_NS.term(f"WorkflowTemplate/{template.template_id}")
+    plan = document.plan(template_iri)
+    plan.add_type(opmw.WorkflowTemplate)
+    plan.add_attribute(DCTERMS.title, Literal(template.name))
+    plan.add_attribute(DCTERMS.description, Literal(template.description or template.name))
+    plan.add_attribute(DCTERMS.subject, Literal(template.domain))
+    for processor in template.processors.values():
+        step = document.entity(_template_process_iri(template_iri, processor.name))
+        step.add_type(opmw.WorkflowTemplateProcess)
+        step.add_attribute(opmw.isStepOfTemplate, template_iri)
+        step.add_attribute(DCTERMS.title, Literal(processor.name))
+        step.add_attribute(
+            opmw.hasExecutableComponent, OPMW_EXPORT_NS.term(f"Component/{processor.operation}")
+        )
+    for port in list(template.inputs) + list(template.outputs):
+        variable = document.entity(_template_variable_iri(template_iri, port.name))
+        variable.add_type(opmw.DataVariable)
+        variable.add_attribute(opmw.isVariableOfTemplate, template_iri)
+        variable.add_attribute(DCTERMS.title, Literal(port.name))
+    for parameter in template.parameters:
+        variable = document.entity(_template_variable_iri(template_iri, parameter.name))
+        variable.add_type(opmw.ParameterVariable)
+        variable.add_attribute(opmw.isVariableOfTemplate, template_iri)
+        variable.add_attribute("prov:value", Literal(str(parameter.value)))
+    return document

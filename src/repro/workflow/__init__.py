@@ -1,0 +1,55 @@
+"""Workflow substrate: templates, data, services, and dataflow execution.
+
+Engine-neutral machinery shared by :mod:`repro.taverna` and
+:mod:`repro.wings`: the template model (:mod:`.model`), data artifacts
+(:mod:`.data`), the deterministic operation library (:mod:`.operations`),
+the simulated service layer with fault injection (:mod:`.services`), and
+the dataflow executor producing :class:`RunResult` records
+(:mod:`.dataflow`).
+"""
+
+from .data import DataItem, make_item
+from .dataflow import DataflowExecutor, RunResult, SimulatedClock, StepRun
+from .errors import (
+    FAILURE_CAUSES,
+    IllegalInputError,
+    ServiceFaultError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+    StepExecutionError,
+    WorkflowDefinitionError,
+    WorkflowError,
+)
+from .model import DataLink, Parameter, Port, PortRef, Processor, WorkflowTemplate
+from .operations import OPERATIONS, apply_operation, register_operation
+from .services import FaultPlan, InjectedFault, Service, ServiceRegistry
+
+__all__ = [
+    "WorkflowTemplate",
+    "Processor",
+    "Port",
+    "PortRef",
+    "DataLink",
+    "Parameter",
+    "DataItem",
+    "make_item",
+    "DataflowExecutor",
+    "SimulatedClock",
+    "RunResult",
+    "StepRun",
+    "Service",
+    "ServiceRegistry",
+    "FaultPlan",
+    "InjectedFault",
+    "OPERATIONS",
+    "apply_operation",
+    "register_operation",
+    "WorkflowError",
+    "WorkflowDefinitionError",
+    "ServiceFaultError",
+    "ServiceUnavailableError",
+    "ServiceTimeoutError",
+    "IllegalInputError",
+    "StepExecutionError",
+    "FAILURE_CAUSES",
+]

@@ -1,0 +1,68 @@
+"""Data items flowing through workflow executions.
+
+A :class:`DataItem` wraps a value with the metadata the provenance
+exporters need: a stable content checksum, a byte size, and the semantic
+type label used by Wings.  Values are deterministic functions of the run
+seed and the operations applied, so re-building the corpus reproduces the
+exact same artifacts (and hence byte-identical traces).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, List, Union
+
+__all__ = ["DataItem", "make_item", "content_checksum"]
+
+
+def content_checksum(value: Any) -> str:
+    """Stable SHA-1 checksum of a JSON-serializable value."""
+    canonical = json.dumps(value, sort_keys=True, default=str)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """An immutable data artifact produced or consumed by a step."""
+
+    value: Any
+    data_type: str = "any"
+
+    @property
+    def checksum(self) -> str:
+        return content_checksum(self.value)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(json.dumps(self.value, default=str).encode("utf-8"))
+
+    @property
+    def is_list(self) -> bool:
+        return isinstance(self.value, list)
+
+    @property
+    def depth(self) -> int:
+        """List nesting depth of the value (0 for scalars)."""
+        depth = 0
+        value = self.value
+        while isinstance(value, list):
+            depth += 1
+            value = value[0] if value else None
+        return depth
+
+    def preview(self, limit: int = 48) -> str:
+        """Short human-readable rendering for trace labels."""
+        text = json.dumps(self.value, default=str)
+        return text if len(text) <= limit else text[: limit - 3] + "..."
+
+    def __repr__(self) -> str:
+        return f"DataItem({self.preview()}, type={self.data_type})"
+
+
+def make_item(value: Any, data_type: str = "any") -> DataItem:
+    """Wrap *value* (pass DataItem through unchanged)."""
+    if isinstance(value, DataItem):
+        return value
+    return DataItem(value, data_type)

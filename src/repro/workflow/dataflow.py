@@ -1,0 +1,387 @@
+"""Dataflow execution: the engine core shared by Taverna and Wings.
+
+:class:`DataflowExecutor` runs a :class:`WorkflowTemplate` over a
+:class:`SimulatedClock`, invoking each step through the service registry
+and producing a :class:`RunResult` — the neutral execution record both
+provenance exporters translate into their system's native RDF idiom.
+
+Failures follow the corpus semantics: a step fault stops the run, leaving
+downstream steps unexecuted, so failed runs yield exactly the truncated,
+"incomplete provenance" traces the paper deliberately kept.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .data import DataItem, make_item
+from .errors import ServiceFaultError, StepExecutionError, WorkflowError
+from .model import Processor, WorkflowTemplate, WORKFLOW_SOURCE
+from .operations import digest
+from .services import FaultPlan, ServiceRegistry
+
+__all__ = ["SimulatedClock", "StepRun", "RunResult", "DataflowExecutor"]
+
+
+class SimulatedClock:
+    """A deterministic clock: starts at a fixed instant, advances explicitly.
+
+    Using simulated time keeps corpus builds byte-reproducible while still
+    giving every activity realistic, strictly ordered timestamps.
+    """
+
+    def __init__(self, start: _dt.datetime):
+        self._now = start
+
+    @property
+    def now(self) -> _dt.datetime:
+        return self._now
+
+    def advance(self, seconds: float) -> _dt.datetime:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now = self._now + _dt.timedelta(seconds=seconds)
+        return self._now
+
+
+@dataclass
+class StepRun:
+    """The execution record of one processor invocation."""
+
+    name: str
+    operation: str
+    service: Optional[str]
+    started: _dt.datetime
+    ended: Optional[_dt.datetime] = None
+    inputs: Dict[str, DataItem] = field(default_factory=dict)
+    outputs: Dict[str, DataItem] = field(default_factory=dict)
+    status: str = "ok"  # ok | failed
+    failure_cause: Optional[str] = None
+    #: populated when the step is a nested sub-workflow
+    child_run: Optional["RunResult"] = None
+    #: populated when implicit iteration fired: one record per element
+    iterations: List["StepRun"] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def iterated(self) -> bool:
+        return bool(self.iterations)
+
+
+@dataclass
+class RunResult:
+    """The complete, engine-neutral record of one workflow run."""
+
+    run_id: str
+    template: WorkflowTemplate
+    started: _dt.datetime
+    ended: Optional[_dt.datetime] = None
+    status: str = "ok"  # ok | failed
+    step_runs: List[StepRun] = field(default_factory=list)
+    inputs: Dict[str, DataItem] = field(default_factory=dict)
+    outputs: Dict[str, DataItem] = field(default_factory=dict)
+    failed_step: Optional[str] = None
+    failure_cause: Optional[str] = None
+    user: str = "researcher"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "ok"
+
+    def step(self, name: str) -> StepRun:
+        for step_run in self.step_runs:
+            if step_run.name == name:
+                return step_run
+        raise KeyError(f"run {self.run_id} has no step {name!r}")
+
+    def executed_steps(self) -> List[str]:
+        return [s.name for s in self.step_runs]
+
+    def unexecuted_steps(self) -> List[str]:
+        """Template steps that never ran (downstream of a failure)."""
+        executed = set(self.executed_steps())
+        return [name for name in self.template.processors if name not in executed]
+
+
+class DataflowExecutor:
+    """Executes workflow templates step by step.
+
+    One executor can run many templates; per-run state lives in locals.
+    """
+
+    def __init__(self, registry: ServiceRegistry, clock: SimulatedClock):
+        self.registry = registry
+        self.clock = clock
+
+    def execute(
+        self,
+        template: WorkflowTemplate,
+        inputs: Dict[str, Any],
+        run_id: str,
+        fault_plan: Optional[FaultPlan] = None,
+        user: str = "researcher",
+    ) -> RunResult:
+        """Run *template* with workflow *inputs* (port name → value)."""
+        fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self._check_inputs(template, inputs)
+        wrapped_inputs = {
+            name: make_item(value, self._input_type(template, name))
+            for name, value in inputs.items()
+        }
+        run = RunResult(
+            run_id=run_id,
+            template=template,
+            started=self.clock.now,
+            inputs=wrapped_inputs,
+            user=user,
+        )
+        values: Dict[tuple, DataItem] = {
+            (WORKFLOW_SOURCE, name): item for name, item in wrapped_inputs.items()
+        }
+        for parameter in template.parameters:
+            values[("param", parameter.name)] = make_item(parameter.value, parameter.data_type)
+
+        try:
+            for processor in template.topological_order():
+                step_run = self._run_step(template, processor, values, run, fault_plan)
+                run.step_runs.append(step_run)
+                if step_run.failed:
+                    run.status = "failed"
+                    run.failed_step = step_run.name
+                    run.failure_cause = step_run.failure_cause
+                    break
+                for port, item in step_run.outputs.items():
+                    values[(processor.name, port)] = item
+        finally:
+            self.clock.advance(0.2)  # teardown
+            run.ended = self.clock.now
+        if run.succeeded:
+            run.outputs = self._collect_outputs(template, values)
+        return run
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_inputs(template: WorkflowTemplate, inputs: Dict[str, Any]) -> None:
+        expected = {p.name for p in template.inputs}
+        provided = set(inputs)
+        missing = expected - provided
+        if missing:
+            raise WorkflowError(f"missing workflow inputs: {sorted(missing)}")
+        unknown = provided - expected
+        if unknown:
+            raise WorkflowError(f"unknown workflow inputs: {sorted(unknown)}")
+
+    @staticmethod
+    def _input_type(template: WorkflowTemplate, name: str) -> str:
+        for port in template.inputs:
+            if port.name == name:
+                return port.data_type
+        return "any"
+
+    def _gather_step_inputs(
+        self,
+        template: WorkflowTemplate,
+        processor: Processor,
+        values: Dict[tuple, DataItem],
+    ) -> Dict[str, DataItem]:
+        gathered: Dict[str, DataItem] = {}
+        for link in template.links_into(processor.name):
+            key = (link.source.processor, link.source.port)
+            if key in values:
+                gathered[link.sink.port] = values[key]
+        parameter_names = {p.name for p in template.parameters}
+        for port in processor.inputs:
+            if port.name not in gathered and port.name in parameter_names:
+                gathered[port.name] = values[("param", port.name)]
+        return gathered
+
+    def _run_step(
+        self,
+        template: WorkflowTemplate,
+        processor: Processor,
+        values: Dict[tuple, DataItem],
+        run: RunResult,
+        fault_plan: FaultPlan,
+    ) -> StepRun:
+        self.clock.advance(0.1)  # dispatch overhead
+        step_inputs = self._gather_step_inputs(template, processor, values)
+        step_run = StepRun(
+            name=processor.name,
+            operation=processor.operation,
+            service=processor.service,
+            started=self.clock.now,
+            inputs=step_inputs,
+        )
+        iterated_ports = self._iterated_ports(processor, step_inputs)
+        if iterated_ports and not processor.is_subworkflow:
+            return self._run_iterated_step(
+                processor, step_inputs, iterated_ports, step_run, run, fault_plan
+            )
+        fault = fault_plan.fault_for(processor.name)
+        if processor.is_subworkflow:
+            if fault is not None:
+                # A fault scheduled on the sub-workflow step itself fails
+                # the dispatch before the child dataflow starts.
+                try:
+                    fault.raise_fault(processor.name)
+                except ServiceFaultError as exc:
+                    self.clock.advance(1.0)
+                    step_run.ended = self.clock.now
+                    step_run.status = "failed"
+                    step_run.failure_cause = exc.cause
+                    return step_run
+            return self._run_subworkflow(processor, step_inputs, step_run, run, fault_plan)
+        context = digest("invoke", run.run_id, processor.name)
+        try:
+            outputs, latency = self.registry.invoke(
+                processor.service,
+                processor.operation,
+                {k: v for k, v in step_inputs.items()},
+                processor.config,
+                context=context,
+                fault=fault,
+            )
+        except ServiceFaultError as exc:
+            self.clock.advance(1.0)  # time burnt before the failure surfaced
+            step_run.ended = self.clock.now
+            step_run.status = "failed"
+            step_run.failure_cause = exc.cause
+            return step_run
+        self.clock.advance(latency)
+        step_run.ended = self.clock.now
+        step_run.outputs = outputs
+        return step_run
+
+    @staticmethod
+    def _iterated_ports(processor: Processor, step_inputs: Dict[str, DataItem]) -> List[str]:
+        """Ports whose incoming value is one list-level deeper than declared.
+
+        This is Taverna's *implicit iteration*: a processor expecting a
+        scalar that receives a list runs once per element.
+        """
+        iterated = []
+        for port in processor.inputs:
+            item = step_inputs.get(port.name)
+            if item is not None and item.depth == port.depth + 1:
+                iterated.append(port.name)
+        return iterated
+
+    def _run_iterated_step(
+        self,
+        processor: Processor,
+        step_inputs: Dict[str, DataItem],
+        iterated_ports: List[str],
+        step_run: StepRun,
+        run: RunResult,
+        fault_plan: FaultPlan,
+    ) -> StepRun:
+        """Implicit iteration: invoke once per element (dot product across
+        multiple iterated ports), collecting outputs into lists.
+
+        Each element invocation is recorded as its own :class:`StepRun` in
+        ``step_run.iterations`` — taverna-prov publishes these as separate
+        process runs — while the parent step run carries the collected
+        list outputs.
+        """
+        lengths = [len(step_inputs[name].value) for name in iterated_ports]
+        count = min(lengths)
+        fault = fault_plan.fault_for(processor.name)
+        collected: Dict[str, List] = {}
+        for index in range(count):
+            element_inputs = dict(step_inputs)
+            for name in iterated_ports:
+                element_inputs[name] = make_item(step_inputs[name].value[index])
+            self.clock.advance(0.05)
+            iteration = StepRun(
+                name=f"{processor.name}_it{index}",
+                operation=processor.operation,
+                service=processor.service,
+                started=self.clock.now,
+                inputs=element_inputs,
+            )
+            context = digest("iterate", run.run_id, processor.name, index)
+            try:
+                outputs, latency = self.registry.invoke(
+                    processor.service,
+                    processor.operation,
+                    {k: v for k, v in element_inputs.items()},
+                    processor.config,
+                    context=context,
+                    fault=fault if index == 0 else None,
+                )
+            except ServiceFaultError as exc:
+                self.clock.advance(1.0)
+                iteration.ended = self.clock.now
+                iteration.status = "failed"
+                iteration.failure_cause = exc.cause
+                step_run.iterations.append(iteration)
+                step_run.ended = self.clock.now
+                step_run.status = "failed"
+                step_run.failure_cause = exc.cause
+                return step_run
+            self.clock.advance(latency)
+            iteration.ended = self.clock.now
+            iteration.outputs = outputs
+            step_run.iterations.append(iteration)
+            for port, item in outputs.items():
+                collected.setdefault(port, []).append(item.value)
+        step_run.ended = self.clock.now
+        step_run.outputs = {
+            port: make_item(values) for port, values in collected.items()
+        }
+        return step_run
+
+    def _run_subworkflow(
+        self,
+        processor: Processor,
+        step_inputs: Dict[str, DataItem],
+        step_run: StepRun,
+        run: RunResult,
+        fault_plan: FaultPlan,
+    ) -> StepRun:
+        child_template = processor.subworkflow
+        child_inputs = {name: item.value for name, item in step_inputs.items()}
+        child_faults = FaultPlan(
+            {
+                step: fault
+                for step, fault in fault_plan.faults.items()
+                if step in child_template.processors
+            }
+        )
+        child = self.execute(
+            child_template,
+            child_inputs,
+            run_id=f"{run.run_id}/{processor.name}",
+            fault_plan=child_faults,
+            user=run.user,
+        )
+        step_run.child_run = child
+        step_run.ended = self.clock.now
+        if child.failed:
+            step_run.status = "failed"
+            step_run.failure_cause = child.failure_cause
+            return step_run
+        # Map the child's workflow outputs onto this step's output ports.
+        step_run.outputs = {port.name: child.outputs[port.name] for port in processor.outputs}
+        return step_run
+
+    def _collect_outputs(
+        self, template: WorkflowTemplate, values: Dict[tuple, DataItem]
+    ) -> Dict[str, DataItem]:
+        outputs: Dict[str, DataItem] = {}
+        for link in template.links:
+            if link.sink.is_workflow():
+                key = (link.source.processor, link.source.port)
+                if key in values:
+                    outputs[link.sink.port] = values[key]
+        return outputs

@@ -1,0 +1,77 @@
+"""Failure taxonomy for workflow execution.
+
+Section 2 of the paper: "30 workflow runs out of 198 failed for different
+reasons: unavailability of third party resources, illegal input values,
+etc."  These exception types reproduce those failure causes; the corpus
+builder injects them at chosen dataflow positions so failed traces have
+the same truncated shape as the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "WorkflowError",
+    "WorkflowDefinitionError",
+    "ServiceFaultError",
+    "ServiceUnavailableError",
+    "ServiceTimeoutError",
+    "IllegalInputError",
+    "StepExecutionError",
+    "FAILURE_CAUSES",
+]
+
+
+class WorkflowError(Exception):
+    """Base class for all workflow errors."""
+
+
+class WorkflowDefinitionError(WorkflowError):
+    """The workflow template itself is malformed (bad link, cycle, ...)."""
+
+
+class ServiceFaultError(WorkflowError):
+    """Base class for runtime faults raised while invoking a service."""
+
+    #: machine-readable cause label recorded in the provenance trace
+    cause = "service-fault"
+
+
+class ServiceUnavailableError(ServiceFaultError):
+    """A third-party resource did not respond (paper's leading cause)."""
+
+    cause = "resource-unavailable"
+
+
+class ServiceTimeoutError(ServiceFaultError):
+    """A service accepted the request but exceeded its deadline."""
+
+    cause = "service-timeout"
+
+
+class IllegalInputError(ServiceFaultError):
+    """A service rejected an input value (paper's second failure cause)."""
+
+    cause = "illegal-input-value"
+
+
+class StepExecutionError(WorkflowError):
+    """A step failed; wraps the underlying fault and names the step."""
+
+    def __init__(self, step_name: str, fault: ServiceFaultError):
+        super().__init__(f"step {step_name!r} failed: {fault}")
+        self.step_name = step_name
+        self.fault = fault
+
+    @property
+    def cause(self) -> str:
+        return self.fault.cause
+
+
+#: Cause labels in the proportions used by the corpus builder.
+FAILURE_CAUSES = (
+    ServiceUnavailableError.cause,
+    IllegalInputError.cause,
+    ServiceTimeoutError.cause,
+)

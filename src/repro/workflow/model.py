@@ -1,0 +1,311 @@
+"""Workflow template model shared by the Taverna and Wings engines.
+
+A :class:`WorkflowTemplate` is a dataflow DAG:
+
+* workflow-level **input/output ports** (:class:`Port`);
+* **processors** (steps), each with named input/output ports, an
+  *operation* (resolved against the service registry at run time), and
+  optionally a nested sub-workflow (Taverna supports hierarchical
+  workflows; the paper notes ``prov:wasInformedBy`` "used to express the
+  connection between sub-workflows");
+* **data links** wiring ports together (:class:`DataLink`);
+* **parameters** (Wings parameter variables) with fixed values.
+
+Templates are engine-agnostic; engine-specific semantics (list handling,
+semantic type checking) live in :mod:`repro.taverna` / :mod:`repro.wings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .errors import WorkflowDefinitionError
+
+__all__ = ["Port", "PortRef", "Processor", "DataLink", "Parameter", "WorkflowTemplate"]
+
+#: Sentinel processor names for workflow-level ports in link endpoints.
+WORKFLOW_SOURCE = ""
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named input or output port.
+
+    *data_type* is a semantic type label used by the Wings engine's
+    constraint checking (Taverna ignores it); *depth* is the list depth of
+    values the port carries (0 = single value), Taverna-style.
+    """
+
+    name: str
+    data_type: str = "any"
+    depth: int = 0
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise WorkflowDefinitionError(f"invalid port name {self.name!r}")
+        if self.depth < 0:
+            raise WorkflowDefinitionError("port depth must be >= 0")
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A link endpoint: (processor name, port name).
+
+    An empty processor name refers to the workflow's own ports: as a link
+    source it is a workflow input, as a sink a workflow output.
+    """
+
+    processor: str
+    port: str
+
+    def is_workflow(self) -> bool:
+        return self.processor == WORKFLOW_SOURCE
+
+    def __str__(self) -> str:
+        return f"{self.processor or '<workflow>'}:{self.port}"
+
+
+@dataclass
+class Processor:
+    """One step of the workflow.
+
+    *operation* names the behavior to invoke through the service registry;
+    *service* optionally pins a specific registered service (third-party
+    endpoint) — steps bound to remote services are the ones vulnerable to
+    the availability faults the corpus injects.  *subworkflow* makes this
+    a nested-workflow step (the operation is then ignored).
+    """
+
+    name: str
+    operation: str = "identity"
+    inputs: List[Port] = field(default_factory=list)
+    outputs: List[Port] = field(default_factory=list)
+    service: Optional[str] = None
+    subworkflow: Optional["WorkflowTemplate"] = None
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def input_port(self, name: str) -> Port:
+        for port in self.inputs:
+            if port.name == name:
+                return port
+        raise WorkflowDefinitionError(f"processor {self.name!r} has no input port {name!r}")
+
+    def output_port(self, name: str) -> Port:
+        for port in self.outputs:
+            if port.name == name:
+                return port
+        raise WorkflowDefinitionError(f"processor {self.name!r} has no output port {name!r}")
+
+    @property
+    def is_subworkflow(self) -> bool:
+        return self.subworkflow is not None
+
+
+@dataclass(frozen=True)
+class DataLink:
+    """A directed wire from a source port to a sink port."""
+
+    source: PortRef
+    sink: PortRef
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A Wings-style parameter variable with a fixed value."""
+
+    name: str
+    value: object
+    data_type: str = "string"
+
+
+class WorkflowTemplate:
+    """A validated workflow DAG.
+
+    Construction wires up processors and links; :meth:`validate` (called
+    by :meth:`freeze`) checks referential integrity and acyclicity, and
+    :meth:`topological_order` yields processors in executable order.
+    """
+
+    def __init__(
+        self,
+        template_id: str,
+        name: str,
+        system: str,
+        domain: str = "generic",
+        description: str = "",
+    ):
+        if system not in ("taverna", "wings"):
+            raise WorkflowDefinitionError(f"unknown workflow system {system!r}")
+        self.template_id = template_id
+        self.name = name
+        self.system = system
+        self.domain = domain
+        self.description = description
+        self.inputs: List[Port] = []
+        self.outputs: List[Port] = []
+        self.parameters: List[Parameter] = []
+        self.processors: Dict[str, Processor] = {}
+        self.links: List[DataLink] = []
+        self._frozen = False
+
+    # -- construction -----------------------------------------------------------
+
+    def add_input(self, name: str, data_type: str = "any", depth: int = 0) -> Port:
+        port = Port(name, data_type, depth)
+        self._check_unique_workflow_port(name)
+        self.inputs.append(port)
+        return port
+
+    def add_output(self, name: str, data_type: str = "any", depth: int = 0) -> Port:
+        port = Port(name, data_type, depth)
+        self._check_unique_workflow_port(name)
+        self.outputs.append(port)
+        return port
+
+    def add_parameter(self, name: str, value: object, data_type: str = "string") -> Parameter:
+        parameter = Parameter(name, value, data_type)
+        if any(p.name == name for p in self.parameters):
+            raise WorkflowDefinitionError(f"duplicate parameter {name!r}")
+        self.parameters.append(parameter)
+        return parameter
+
+    def add_processor(self, processor: Processor) -> Processor:
+        if processor.name in self.processors:
+            raise WorkflowDefinitionError(f"duplicate processor {processor.name!r}")
+        if processor.name == WORKFLOW_SOURCE:
+            raise WorkflowDefinitionError("processor name must not be empty")
+        self.processors[processor.name] = processor
+        return processor
+
+    def connect(self, source: str, sink: str) -> DataLink:
+        """Wire ``"proc:port"`` → ``"proc:port"`` (empty proc = workflow)."""
+        link = DataLink(self._parse_ref(source), self._parse_ref(sink))
+        self.links.append(link)
+        return link
+
+    @staticmethod
+    def _parse_ref(text: str) -> PortRef:
+        if ":" not in text:
+            raise WorkflowDefinitionError(f"invalid port reference {text!r} (want 'proc:port')")
+        processor, port = text.rsplit(":", 1)
+        return PortRef(processor, port)
+
+    def _check_unique_workflow_port(self, name: str) -> None:
+        if any(p.name == name for p in self.inputs) or any(p.name == name for p in self.outputs):
+            raise WorkflowDefinitionError(f"duplicate workflow port {name!r}")
+
+    # -- validation ---------------------------------------------------------------
+
+    def freeze(self) -> "WorkflowTemplate":
+        """Validate and mark the template complete; returns self."""
+        self.validate()
+        self._frozen = True
+        return self
+
+    def validate(self) -> None:
+        self._validate_links()
+        self._validate_feeds()
+        self.topological_order()  # raises on cycles
+
+    def _validate_links(self) -> None:
+        for link in self.links:
+            self._resolve_source_port(link.source)
+            self._resolve_sink_port(link.sink)
+
+    def _resolve_source_port(self, ref: PortRef) -> Port:
+        if ref.is_workflow():
+            for port in self.inputs:
+                if port.name == ref.port:
+                    return port
+            raise WorkflowDefinitionError(f"link source {ref} is not a workflow input")
+        processor = self.processors.get(ref.processor)
+        if processor is None:
+            raise WorkflowDefinitionError(f"link source {ref}: unknown processor")
+        return processor.output_port(ref.port)
+
+    def _resolve_sink_port(self, ref: PortRef) -> Port:
+        if ref.is_workflow():
+            for port in self.outputs:
+                if port.name == ref.port:
+                    return port
+            raise WorkflowDefinitionError(f"link sink {ref} is not a workflow output")
+        processor = self.processors.get(ref.processor)
+        if processor is None:
+            raise WorkflowDefinitionError(f"link sink {ref}: unknown processor")
+        return processor.input_port(ref.port)
+
+    def _validate_feeds(self) -> None:
+        """Every processor input port and workflow output must be fed."""
+        fed = {(link.sink.processor, link.sink.port) for link in self.links}
+        parameter_names = {p.name for p in self.parameters}
+        for processor in self.processors.values():
+            for port in processor.inputs:
+                if (processor.name, port.name) in fed:
+                    continue
+                if port.name in parameter_names:
+                    continue  # fed by a parameter variable
+                raise WorkflowDefinitionError(
+                    f"input port {processor.name}:{port.name} is not connected"
+                )
+        for port in self.outputs:
+            if (WORKFLOW_SOURCE, port.name) not in fed:
+                raise WorkflowDefinitionError(f"workflow output {port.name!r} is not connected")
+
+    # -- analysis -------------------------------------------------------------------
+
+    def upstream_of(self, processor_name: str) -> List[str]:
+        """Names of processors that feed *processor_name* directly."""
+        names = []
+        for link in self.links:
+            if link.sink.processor == processor_name and not link.source.is_workflow():
+                if link.source.processor not in names:
+                    names.append(link.source.processor)
+        return names
+
+    def downstream_of(self, processor_name: str) -> List[str]:
+        """Names of processors directly fed by *processor_name*."""
+        names = []
+        for link in self.links:
+            if link.source.processor == processor_name and not link.sink.is_workflow():
+                if link.sink.processor not in names:
+                    names.append(link.sink.processor)
+        return names
+
+    def topological_order(self) -> List[Processor]:
+        """Processors in dependency order; raises on cycles."""
+        in_degree = {name: len(self.upstream_of(name)) for name in self.processors}
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: List[Processor] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self.processors[name])
+            for downstream in self.downstream_of(name):
+                in_degree[downstream] -= 1
+                if in_degree[downstream] == 0:
+                    ready.append(downstream)
+            ready.sort()
+        if len(order) != len(self.processors):
+            unresolved = sorted(set(self.processors) - {p.name for p in order})
+            raise WorkflowDefinitionError(f"workflow contains a cycle through {unresolved}")
+        return order
+
+    def links_into(self, processor_name: str) -> Iterator[DataLink]:
+        return (l for l in self.links if l.sink.processor == processor_name)
+
+    def links_out_of(self, processor_name: str) -> Iterator[DataLink]:
+        return (l for l in self.links if l.source.processor == processor_name)
+
+    def remote_steps(self) -> List[str]:
+        """Names of steps bound to external services (fault-injection sites)."""
+        return [p.name for p in self.processors.values() if p.service is not None]
+
+    def size(self) -> Tuple[int, int]:
+        """(number of processors, number of links)."""
+        return (len(self.processors), len(self.links))
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkflowTemplate {self.template_id} [{self.system}/{self.domain}] "
+            f"{len(self.processors)} steps, {len(self.links)} links>"
+        )

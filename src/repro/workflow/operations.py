@@ -1,0 +1,228 @@
+"""The operation library: deterministic behaviors for workflow steps.
+
+Real corpus workflows call bioinformatics services, astronomy pipelines,
+text miners, and so on.  What matters for the *provenance* corpus is not
+the science but that every step computes a deterministic output from its
+inputs, so traces are reproducible and derivations are real.  Each
+operation here is a pure function ``(inputs: dict, config: dict) -> dict``
+whose outputs mix the input checksums with the operation name — distinct
+inputs yield distinct outputs, identical inputs reproduce identical
+outputs.
+
+Operations validate their inputs and raise :class:`IllegalInputError` on
+bad values; the corpus's illegal-input failure injections exploit this by
+feeding values that fail validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, List
+
+from .data import DataItem, content_checksum, make_item
+from .errors import IllegalInputError
+
+__all__ = ["OPERATIONS", "apply_operation", "register_operation", "digest"]
+
+Inputs = Dict[str, DataItem]
+Outputs = Dict[str, Any]
+Operation = Callable[[Inputs, Dict[str, Any]], Outputs]
+
+
+def digest(*parts: Any) -> str:
+    """Short stable digest mixing arbitrary values."""
+    h = hashlib.sha1()
+    for part in parts:
+        if isinstance(part, DataItem):
+            h.update(part.checksum.encode())
+        else:
+            h.update(repr(part).encode())
+        h.update(b"|")
+    return h.hexdigest()[:12]
+
+
+def _single_output(name: str):
+    """Decorator: wrap a scalar-returning function into an Outputs dict."""
+
+    def wrap(fn):
+        def op(inputs: Inputs, config: Dict[str, Any]) -> Outputs:
+            return {name: fn(inputs, config)}
+
+        op.__name__ = fn.__name__
+        op.__doc__ = fn.__doc__
+        return op
+
+    return wrap
+
+
+def _require(inputs: Inputs, *names: str) -> None:
+    for name in names:
+        if name not in inputs:
+            raise IllegalInputError(f"missing required input {name!r}")
+
+
+# -- generic transformations -------------------------------------------------
+
+@_single_output("out")
+def _identity(inputs: Inputs, config):
+    """Pass the (single) input through unchanged."""
+    _require(inputs)
+    if len(inputs) != 1:
+        raise IllegalInputError(f"identity expects exactly one input, got {len(inputs)}")
+    return next(iter(inputs.values())).value
+
+
+@_single_output("out")
+def _transform(inputs: Inputs, config):
+    """Generic 1..n-ary transformation: digest of inputs + op label."""
+    label = config.get("label", "transform")
+    keys = sorted(inputs)
+    return f"{label}:{digest(label, *(inputs[k] for k in keys))}"
+
+
+@_single_output("merged")
+def _merge(inputs: Inputs, config):
+    """Merge all inputs into one composite record."""
+    keys = sorted(inputs)
+    return {k: inputs[k].value for k in keys} | {"_merged": digest("merge", *keys)}
+
+
+def _split(inputs: Inputs, config) -> Outputs:
+    """Split one input into *n* parts (default 2)."""
+    _require(inputs, "in")
+    n = int(config.get("parts", 2))
+    if n < 2:
+        raise IllegalInputError("split requires parts >= 2")
+    base = inputs["in"]
+    return {f"part{i + 1}": f"part{i + 1}:{digest('split', base, i)}" for i in range(n)}
+
+
+@_single_output("out")
+def _filter(inputs: Inputs, config):
+    """Filter a list input by a deterministic predicate on element digests."""
+    _require(inputs, "in")
+    value = inputs["in"].value
+    if not isinstance(value, list):
+        raise IllegalInputError("filter expects a list input")
+    keep_mod = int(config.get("keep_mod", 2))
+    return [v for i, v in enumerate(value) if (i + len(str(v))) % keep_mod == 0]
+
+
+@_single_output("items")
+def _expand(inputs: Inputs, config):
+    """Expand a scalar into a list of derived elements."""
+    _require(inputs, "in")
+    count = int(config.get("count", 3))
+    if count < 1 or count > 1000:
+        raise IllegalInputError(f"expand count out of range: {count}")
+    base = inputs["in"]
+    return [f"item{i}:{digest('expand', base, i)}" for i in range(count)]
+
+
+@_single_output("out")
+def _aggregate(inputs: Inputs, config):
+    """Reduce a list input to a single summary value."""
+    _require(inputs, "in")
+    value = inputs["in"].value
+    if not isinstance(value, list):
+        raise IllegalInputError("aggregate expects a list input")
+    return {"count": len(value), "summary": content_checksum(value)[:12]}
+
+
+# -- domain-flavoured operations ----------------------------------------------
+# These behave like _transform but validate domain-plausible input shapes,
+# so illegal-input failure injection has real validation to trip over.
+
+@_single_output("sequences")
+def _fetch_dataset(inputs: Inputs, config):
+    """Fetch a named dataset from a (simulated) repository."""
+    _require(inputs, "accession")
+    accession = str(inputs["accession"].value)
+    if not accession or accession.startswith("!"):
+        raise IllegalInputError(f"malformed accession {accession!r}")
+    count = int(config.get("records", 5))
+    return [f"record:{digest('fetch', accession, i)}" for i in range(count)]
+
+
+@_single_output("alignment")
+def _align(inputs: Inputs, config):
+    """Align a list of sequence records."""
+    _require(inputs, "sequences")
+    value = inputs["sequences"].value
+    if not isinstance(value, list) or len(value) < 2:
+        raise IllegalInputError("align needs a list of at least two records")
+    return {"aligned": len(value), "matrix": digest("align", *value)}
+
+
+@_single_output("model")
+def _train_model(inputs: Inputs, config):
+    """Fit a model on a feature table."""
+    _require(inputs, "features")
+    iterations = int(config.get("iterations", 10))
+    if iterations <= 0:
+        raise IllegalInputError("iterations must be positive")
+    return {"weights": digest("train", inputs["features"], iterations), "iterations": iterations}
+
+
+@_single_output("score")
+def _evaluate(inputs: Inputs, config):
+    """Score a model against a dataset; returns a deterministic metric."""
+    _require(inputs, "model", "testset")
+    seed_digest = digest("evaluate", inputs["model"], inputs["testset"])
+    return round(int(seed_digest[:6], 16) / 0xFFFFFF, 6)
+
+
+@_single_output("report")
+def _render_report(inputs: Inputs, config):
+    """Render the terminal report/plot artifact of a pipeline."""
+    keys = sorted(inputs)
+    return {
+        "title": config.get("title", "report"),
+        "body": digest("report", *(inputs[k] for k in keys)),
+        "sections": len(keys),
+    }
+
+
+@_single_output("annotated")
+def _annotate(inputs: Inputs, config):
+    """Attach ontology annotations to records."""
+    _require(inputs, "records")
+    value = inputs["records"].value
+    if not isinstance(value, list):
+        raise IllegalInputError("annotate expects a list of records")
+    ontology = str(config.get("ontology", "GO"))
+    return [f"{v}@{ontology}:{digest('annotate', v, ontology)[:6]}" for v in value]
+
+
+OPERATIONS: Dict[str, Operation] = {
+    "identity": _identity,
+    "transform": _transform,
+    "merge": _merge,
+    "split": _split,
+    "filter": _filter,
+    "expand": _expand,
+    "aggregate": _aggregate,
+    "fetch_dataset": _fetch_dataset,
+    "align": _align,
+    "train_model": _train_model,
+    "evaluate": _evaluate,
+    "render_report": _render_report,
+    "annotate": _annotate,
+}
+
+
+def register_operation(name: str, operation: Operation) -> None:
+    """Register a custom operation (domain libraries extend the base set)."""
+    if name in OPERATIONS:
+        raise ValueError(f"operation {name!r} already registered")
+    OPERATIONS[name] = operation
+
+
+def apply_operation(name: str, inputs: Dict[str, Any], config: Dict[str, Any]) -> Dict[str, DataItem]:
+    """Invoke operation *name*; returns outputs wrapped as DataItems."""
+    operation = OPERATIONS.get(name)
+    if operation is None:
+        raise IllegalInputError(f"unknown operation {name!r}")
+    wrapped = {k: make_item(v) for k, v in inputs.items()}
+    outputs = operation(wrapped, config)
+    return {k: make_item(v) for k, v in outputs.items()}

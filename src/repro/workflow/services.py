@@ -1,0 +1,159 @@
+"""Simulated service layer: the substitute for real third-party resources.
+
+The original corpus executed workflows against live web services and local
+components; 14 of its 30 failed runs were caused by third-party resource
+unavailability.  This registry reproduces that environment:
+
+* every :class:`Service` has a *kind* (``local`` components never fail on
+  availability; ``rest``/``soap`` endpoints can) and a deterministic
+  latency model derived from a digest of the invocation context;
+* faults are injected per-invocation through a :class:`FaultPlan`, so the
+  corpus builder can schedule exactly which run fails at which step and
+  why — reproducing the paper's 30-failure composition deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .data import DataItem
+from .errors import (
+    IllegalInputError,
+    ServiceFaultError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from .operations import apply_operation, digest
+
+__all__ = ["Service", "ServiceRegistry", "FaultPlan", "InjectedFault"]
+
+_FAULT_CLASSES = {
+    ServiceUnavailableError.cause: ServiceUnavailableError,
+    IllegalInputError.cause: IllegalInputError,
+    ServiceTimeoutError.cause: ServiceTimeoutError,
+}
+
+
+@dataclass(frozen=True)
+class Service:
+    """A callable resource: a local component or a remote endpoint."""
+
+    name: str
+    kind: str = "local"  # local | rest | soap | component
+    endpoint: Optional[str] = None
+    description: str = ""
+    #: deadline in simulated seconds for remote calls
+    timeout_s: float = 30.0
+
+    def __post_init__(self):
+        if self.kind not in ("local", "rest", "soap", "component"):
+            raise ValueError(f"unknown service kind {self.kind!r}")
+
+    @property
+    def is_remote(self) -> bool:
+        return self.kind in ("rest", "soap")
+
+    def latency_seconds(self, context: str) -> float:
+        """Deterministic pseudo-latency for one invocation."""
+        seed = int(digest("latency", self.name, context)[:6], 16) / 0xFFFFFF
+        if self.is_remote:
+            return round(0.8 + seed * 8.0, 3)  # 0.8 .. 8.8 s
+        return round(0.05 + seed * 1.5, 3)  # 0.05 .. 1.55 s
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A scheduled failure: *step* of one particular run fails with *cause*."""
+
+    step: str
+    cause: str  # one of errors.FAILURE_CAUSES
+
+    def raise_fault(self, service_name: str) -> None:
+        fault_cls = _FAULT_CLASSES.get(self.cause)
+        if fault_cls is None:
+            raise ValueError(f"unknown fault cause {self.cause!r}")
+        if fault_cls is ServiceUnavailableError:
+            raise fault_cls(f"service {service_name!r} did not respond")
+        if fault_cls is ServiceTimeoutError:
+            raise fault_cls(f"service {service_name!r} exceeded its deadline")
+        raise fault_cls(f"service {service_name!r} rejected an input value")
+
+
+@dataclass
+class FaultPlan:
+    """Faults scheduled for a single run (usually zero or one)."""
+
+    faults: Dict[str, InjectedFault] = field(default_factory=dict)
+
+    @classmethod
+    def single(cls, step: str, cause: str) -> "FaultPlan":
+        return cls({step: InjectedFault(step, cause)})
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls({})
+
+    def fault_for(self, step: str) -> Optional[InjectedFault]:
+        return self.faults.get(step)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+class ServiceRegistry:
+    """Named services plus the invocation path used by both engines."""
+
+    #: service name used when a step does not pin an explicit service
+    LOCAL = "local-component"
+
+    def __init__(self):
+        self._services: Dict[str, Service] = {}
+        self.register(Service(self.LOCAL, kind="local", description="in-process component"))
+
+    def register(self, service: Service) -> Service:
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+        return service
+
+    def get(self, name: str) -> Service:
+        service = self._services.get(name)
+        if service is None:
+            raise KeyError(f"unknown service {name!r}")
+        return service
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def names(self):
+        return sorted(self._services)
+
+    def invoke(
+        self,
+        service_name: Optional[str],
+        operation: str,
+        inputs: Dict[str, Any],
+        config: Dict[str, Any],
+        context: str = "",
+        fault: Optional[InjectedFault] = None,
+    ) -> tuple[Dict[str, DataItem], float]:
+        """Invoke *operation* through a service.
+
+        Returns ``(outputs, latency_seconds)``.  Raises a
+        :class:`ServiceFaultError` subclass when *fault* is scheduled or
+        the deterministic latency exceeds the service deadline.
+        """
+        service = self.get(service_name) if service_name is not None else self.get(self.LOCAL)
+        if fault is not None:
+            fault.raise_fault(service.name)
+        latency = service.latency_seconds(context or operation)
+        if service.is_remote and latency > service.timeout_s:
+            raise ServiceTimeoutError(
+                f"service {service.name!r} took {latency}s (deadline {service.timeout_s}s)"
+            )
+        outputs = apply_operation(operation, inputs, config)
+        return outputs, latency

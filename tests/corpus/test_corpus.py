@@ -1,0 +1,247 @@
+"""Tests for the corpus layer: domains, generator, builder, manifest."""
+
+import pytest
+
+from repro.corpus import (
+    DOMAINS,
+    CorpusBuilder,
+    FAILED_RUNS,
+    FAILURE_MIX,
+    TemplateGenerator,
+    TOTAL_RUNS,
+    domain_by_slug,
+    format_table1,
+    table1,
+    total_workflows,
+)
+from repro.wings import validate_against_catalog
+
+
+class TestDomains:
+    def test_twelve_domains(self):
+        assert len(DOMAINS) == 12
+
+    def test_counts_match_paper(self):
+        assert total_workflows() == (70, 50, 120)
+
+    def test_lookup(self):
+        assert domain_by_slug("bioinformatics").name == "Bioinformatics"
+        with pytest.raises(KeyError):
+            domain_by_slug("alchemy")
+
+    def test_every_domain_has_vocabulary(self):
+        for domain in DOMAINS:
+            assert len(domain.step_names) >= 5
+            assert domain.services
+            if domain.wings_workflows:
+                assert domain.data_types
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def gen(self):
+        return TemplateGenerator(seed=2013)
+
+    def test_all_templates_count(self, gen):
+        templates = gen.all_templates()
+        assert len(templates) == 120
+        assert sum(1 for t in templates if t.system == "taverna") == 70
+        assert sum(1 for t in templates if t.system == "wings") == 50
+
+    def test_unique_template_ids(self, gen):
+        ids = [t.template_id for t in gen.all_templates()]
+        assert len(set(ids)) == 120
+
+    def test_deterministic(self, gen):
+        other = TemplateGenerator(seed=2013)
+        a = [(t.template_id, t.size()) for t in gen.all_templates()]
+        b = [(t.template_id, t.size()) for t in other.all_templates()]
+        assert a == b
+
+    def test_every_template_validates(self, gen):
+        for template in gen.all_templates():
+            template.validate()
+
+    def test_wings_templates_satisfy_catalog(self, gen):
+        catalog = gen.build_component_catalog()
+        for template in gen.all_templates():
+            if template.system == "wings":
+                validate_against_catalog(template, catalog)
+
+    def test_taverna_templates_have_remote_steps(self, gen):
+        for template in gen.all_templates():
+            if template.system == "taverna":
+                assert template.remote_steps(), template.template_id
+
+    def test_nested_templates_present(self, gen):
+        nested = [t for t in gen.all_templates()
+                  if any(p.is_subworkflow for p in t.processors.values())]
+        assert len(nested) >= 5
+
+    def test_registry_covers_all_domain_services(self, gen):
+        registry = gen.build_registry()
+        for domain in DOMAINS:
+            for service in domain.services:
+                assert service in registry
+
+    def test_data_catalog_has_wings_inputs(self, gen):
+        data = gen.build_data_catalog()
+        assert len(data) == 50
+
+    def test_inputs_for_variants_differ(self, gen):
+        template = gen.all_templates()[0]
+        assert gen.inputs_for(template, 0) != gen.inputs_for(template, 1)
+        assert gen.inputs_for(template, 0) == gen.inputs_for(template, 0)
+
+
+class TestRunPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        builder = CorpusBuilder(seed=2013)
+        return builder.plan_runs(builder.generator.all_templates())
+
+    def test_total_runs(self, plan):
+        assert len(plan) == TOTAL_RUNS == 198
+
+    def test_every_template_runs_at_least_once(self, plan):
+        assert len({e.template_id for e in plan}) == 120
+
+    def test_failures_match_mix(self, plan):
+        failing = [e for e in plan if e.will_fail]
+        assert len(failing) == FAILED_RUNS == 30
+        causes = {}
+        for entry in failing:
+            causes[entry.fault_cause] = causes.get(entry.fault_cause, 0) + 1
+        assert causes == FAILURE_MIX
+
+    def test_run_ids_unique(self, plan):
+        assert len({e.run_id for e in plan}) == 198
+
+    def test_multi_run_templates_have_three(self, plan):
+        counts = {}
+        for entry in plan:
+            counts[entry.template_id] = counts.get(entry.template_id, 0) + 1
+        assert sorted(set(counts.values())) == [1, 3]
+        assert sum(1 for v in counts.values() if v == 3) == 39
+
+    def test_plan_deterministic(self):
+        b1, b2 = CorpusBuilder(seed=2013), CorpusBuilder(seed=2013)
+        p1 = b1.plan_runs(b1.generator.all_templates())
+        p2 = b2.plan_runs(b2.generator.all_templates())
+        assert p1 == p2
+
+    def test_different_seed_different_plan(self):
+        b1, b2 = CorpusBuilder(seed=2013), CorpusBuilder(seed=7)
+        p1 = b1.plan_runs(b1.generator.all_templates())
+        p2 = b2.plan_runs(b2.generator.all_templates())
+        assert p1 != p2
+
+
+class TestBuiltCorpus:
+    def test_paper_statistics(self, corpus):
+        stats = corpus.statistics()
+        assert stats["workflows"] == 120
+        assert stats["taverna_workflows"] == 70
+        assert stats["wings_workflows"] == 50
+        assert stats["runs"] == 198
+        assert stats["failed_runs"] == 30
+        assert stats["failure_causes"] == FAILURE_MIX
+        assert stats["domains"] == 12
+
+    def test_every_workflow_executed_at_least_once(self, corpus):
+        assert {t.template_id for t in corpus.traces} == set(corpus.templates)
+
+    def test_failed_traces_are_truncated(self, corpus):
+        for trace in corpus.failed_traces():
+            assert trace.result.unexecuted_steps() or trace.result.failed_step
+            assert trace.failure_cause in FAILURE_MIX
+
+    def test_traces_ordered_in_time(self, corpus):
+        starts = [t.started for t in corpus.traces]
+        assert starts == sorted(starts)
+
+    def test_runs_span_months(self, corpus):
+        span = corpus.traces[-1].started - corpus.traces[0].started
+        assert span.days > 60
+
+    def test_taverna_traces_are_turtle(self, corpus):
+        for trace in corpus.by_system("taverna")[:5]:
+            assert trace.rdf_format == "turtle"
+            assert "@prefix prov:" in trace.text
+
+    def test_wings_traces_are_trig_with_bundles(self, corpus):
+        for trace in corpus.by_system("wings")[:5]:
+            assert trace.rdf_format == "trig"
+            assert "GRAPH" in trace.text
+
+    def test_trace_text_parses_back(self, corpus):
+        from repro.rdf import parse_trig, parse_turtle
+
+        taverna = corpus.by_system("taverna")[0]
+        assert len(parse_turtle(taverna.text)) == len(taverna.graph())
+        wings = corpus.by_system("wings")[0]
+        assert len(parse_trig(wings.text).union_graph()) > 0
+
+    def test_multi_run_templates(self, corpus):
+        assert len(corpus.multi_run_templates()) == 39
+
+    def test_by_domain(self, corpus):
+        bio = corpus.by_domain("bioinformatics")
+        assert bio and all(t.domain == "bioinformatics" for t in bio)
+
+    def test_trace_lookup(self, corpus):
+        trace = corpus.traces[0]
+        assert corpus.trace(trace.run_id) is trace
+        with pytest.raises(KeyError):
+            corpus.trace("ghost-run")
+
+    def test_rebuild_is_byte_identical(self):
+        # Determinism across builds: the substituted corpus is reproducible.
+        a = CorpusBuilder(seed=99).build()
+        b = CorpusBuilder(seed=99).build()
+        assert [t.text for t in a.traces[:10]] == [t.text for t in b.traces[:10]]
+        assert a.statistics() == b.statistics()
+
+
+class TestTable1:
+    def test_rows_in_paper_order(self, corpus):
+        rows = table1(corpus)
+        assert [r.field for r in rows] == [
+            "Data format", "Data model", "Size",
+            "Tools used for generating provenance", "Domain",
+            "Submission group", "License",
+        ]
+
+    def test_fixed_rows_match_paper(self, corpus):
+        by_field = {r.field: r.value for r in table1(corpus)}
+        assert by_field["Data model"] == "PROV-O"
+        assert by_field["Submission group"] == "Wf4Ever-Wings"
+        assert "Creative Commons Attribution 3.0" in by_field["License"]
+        assert "RDF" in by_field["Data format"]
+
+    def test_size_row_is_measured(self, corpus):
+        by_field = {r.field: r.value for r in table1(corpus)}
+        expected_mb = corpus.statistics()["size_bytes"] / (1024 * 1024)
+        assert f"{expected_mb:.1f} Megabytes" in by_field["Size"]
+
+    def test_format_table1_mentions_counts(self, corpus):
+        text = format_table1(corpus)
+        assert "Workflows: 120" in text
+        assert "Runs: 198" in text
+        assert "Failed: 30" in text
+
+
+class TestFigure1:
+    def test_histogram_shape(self, corpus):
+        histogram = corpus.domain_histogram()
+        assert len(histogram) == 12
+        assert sum(t for _, t, _ in histogram) == 70
+        assert sum(w for _, _, w in histogram) == 50
+
+    def test_histogram_matches_trace_domains(self, corpus):
+        for name, taverna_count, wings_count in corpus.domain_histogram():
+            slug = domain_by_slug
+        for domain in DOMAINS:
+            templates = [t for t in corpus.templates.values() if t.domain == domain.slug]
+            assert sum(1 for t in templates if t.system == "taverna") == domain.taverna_workflows
+            assert sum(1 for t in templates if t.system == "wings") == domain.wings_workflows

@@ -1,0 +1,127 @@
+"""Tests for corpus maintenance checking and Research Object packaging."""
+
+import pytest
+
+from repro.corpus.maintenance import (
+    KNOWN_TERMS,
+    MaintenanceReport,
+    check_corpus,
+    check_trace,
+)
+from repro.corpus.research_objects import package_corpus, package_template
+from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.rdf.namespace import DCTERMS, WFPROV
+from repro.vocab import ro
+
+EX = Namespace("http://example.org/")
+
+
+class TestMaintenance:
+    def test_full_corpus_is_aligned(self, corpus):
+        report = check_corpus(corpus)
+        assert report.aligned, [str(i) for i in report.issues[:3]]
+        assert report.traces_checked == 198
+        assert report.terms_seen
+
+    def test_unknown_term_detected(self):
+        g = Graph()
+        g.add((EX.a, PROV.term("wasFrobnicatedBy"), EX.b))
+        g.add((EX.a, PROV.wasAssociatedWith, EX.agent))
+        report = MaintenanceReport()
+        check_trace(g, "run-x", report)
+        kinds = {i.kind for i in report.issues}
+        assert "unknown-term" in kinds
+
+    def test_unknown_class_detected(self):
+        g = Graph()
+        g.add((EX.a, RDF.type, WFPROV.term("QuantumRun")))
+        g.add((EX.a, PROV.wasAssociatedWith, EX.agent))
+        report = MaintenanceReport()
+        check_trace(g, "run-x", report)
+        assert any("QuantumRun" in i.detail for i in report.issues)
+
+    def test_foreign_namespaces_ignored(self):
+        g = Graph()
+        g.add((EX.a, EX.customProperty, EX.b))
+        g.add((EX.a, PROV.wasAssociatedWith, EX.agent))
+        report = MaintenanceReport()
+        check_trace(g, "run-x", report)
+        assert report.aligned
+
+    def test_missing_agent_detected(self):
+        g = Graph()
+        g.add((EX.a, PROV.used, EX.b))
+        report = MaintenanceReport()
+        check_trace(g, "run-x", report)
+        assert any(i.kind == "missing-agent" for i in report.issues)
+
+    def test_orphan_artifact_detected_in_successful_trace(self):
+        g = Graph()
+        g.add((EX.orphan, RDF.type, WFPROV.Artifact))
+        g.add((EX.a, PROV.wasAssociatedWith, EX.agent))
+        report = MaintenanceReport()
+        check_trace(g, "run-x", report, failed=False)
+        assert any(i.kind == "orphan-artifact" for i in report.issues)
+
+    def test_orphan_artifact_tolerated_in_failed_trace(self):
+        g = Graph()
+        g.add((EX.orphan, RDF.type, WFPROV.Artifact))
+        g.add((EX.a, PROV.wasAssociatedWith, EX.agent))
+        report = MaintenanceReport()
+        check_trace(g, "run-x", report, failed=True)
+        assert not any(i.kind == "orphan-artifact" for i in report.issues)
+
+    def test_summary_text(self, corpus):
+        report = check_corpus(corpus)
+        assert "corpus aligned" in report.summary()
+
+    def test_known_terms_registry_covers_core(self):
+        assert "used" in KNOWN_TERMS[PROV.base]
+        assert "WorkflowRun" in KNOWN_TERMS[WFPROV.base]
+
+
+class TestResearchObjects:
+    def test_package_multi_run_template(self, corpus):
+        template_id = corpus.multi_run_templates()[0]
+        manifest = package_template(corpus, template_id)
+        assert manifest.aggregated_count == 4  # workflow + 3 traces
+        assert manifest.template_id == template_id
+
+    def test_manifest_graph_structure(self, corpus):
+        template_id = corpus.multi_run_templates()[0]
+        manifest = package_template(corpus, template_id)
+        g = manifest.graph
+        assert (manifest.ro_iri, RDF.type, ro.ResearchObject) in g
+        aggregated = set(g.objects(manifest.ro_iri, ro.aggregates))
+        assert manifest.workflow_resource in aggregated
+        for resource in manifest.trace_resources:
+            assert resource in aggregated
+
+    def test_annotations_point_at_workflow(self, corpus):
+        template_id = corpus.multi_run_templates()[0]
+        manifest = package_template(corpus, template_id)
+        annotations = list(
+            manifest.graph.subjects(ro.annotatesAggregatedResource,
+                                    manifest.workflow_resource)
+        )
+        assert len(annotations) == len(manifest.trace_resources)
+
+    def test_metadata_rows(self, corpus):
+        template_id = sorted(corpus.templates)[0]
+        manifest = package_template(corpus, template_id)
+        title = manifest.graph.value(subject=manifest.ro_iri, predicate=DCTERMS.title)
+        assert title is not None
+
+    def test_wings_template_uses_opmw_iri(self, corpus):
+        wings_id = next(t for t in sorted(corpus.templates) if t.startswith("w-"))
+        manifest = package_template(corpus, wings_id)
+        assert "opmw.org" in manifest.workflow_resource.value
+
+    def test_unknown_template_rejected(self, corpus):
+        with pytest.raises(KeyError):
+            package_template(corpus, "ghost-template")
+
+    def test_package_corpus_counts(self, corpus):
+        manifests = package_corpus(corpus)
+        assert len(manifests) == 120
+        assert sum(len(m.trace_resources) for m in manifests) == 198

@@ -1,0 +1,79 @@
+"""Tests for the on-disk corpus layout (write + load)."""
+
+import json
+
+import pytest
+
+from repro.corpus import load_corpus, write_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory, corpus):
+    root = tmp_path_factory.mktemp("corpus")
+    write_corpus(corpus, root)
+    return root
+
+
+class TestWrite:
+    def test_layout_mirrors_provbench(self, corpus_dir):
+        assert (corpus_dir / "manifest.json").exists()
+        assert (corpus_dir / "Taverna").is_dir()
+        assert (corpus_dir / "Wings").is_dir()
+        ttl_files = list(corpus_dir.rglob("*.prov.ttl"))
+        trig_files = list(corpus_dir.rglob("*.prov.trig"))
+        assert len(ttl_files) + len(trig_files) == 198
+
+    def test_taverna_templates_shipped_as_t2flow(self, corpus_dir):
+        t2flows = list(corpus_dir.rglob("workflow.t2flow"))
+        assert len(t2flows) == 70
+
+    def test_domain_directories(self, corpus_dir):
+        assert (corpus_dir / "Taverna" / "bioinformatics").is_dir()
+        assert (corpus_dir / "Wings" / "machine-learning").is_dir()
+
+    def test_manifest_contents(self, corpus_dir):
+        manifest = json.loads((corpus_dir / "manifest.json").read_text())
+        assert manifest["statistics"]["runs"] == 198
+        assert len(manifest["traces"]) == 198
+        entry = manifest["traces"][0]
+        assert {"run_id", "system", "domain", "status", "path", "format"} <= set(entry)
+
+
+class TestLoad:
+    def test_roundtrip_counts(self, corpus_dir):
+        stored = load_corpus(corpus_dir)
+        assert len(stored.traces) == 198
+        assert len(stored.failed_traces()) == 30
+        assert len(stored.by_system("taverna")) + len(stored.by_system("wings")) == 198
+
+    def test_loaded_graphs_match_built(self, corpus_dir, corpus):
+        stored = load_corpus(corpus_dir)
+        for built, loaded in list(zip(corpus.traces, stored.traces))[:10]:
+            assert built.run_id == loaded.run_id
+            assert len(built.graph()) == len(loaded.graph())
+
+    def test_loaded_dataset_queryable(self, corpus_dir):
+        from repro.sparql import QueryEngine
+
+        stored = load_corpus(corpus_dir)
+        engine = QueryEngine(stored.dataset())
+        rows = engine.select(
+            "SELECT (COUNT(?r) AS ?n) WHERE { "
+            "?r a wfprov:WorkflowRun . "
+            "FILTER NOT EXISTS { ?r wfprov:wasPartOfWorkflowRun ?p } }"
+        )
+        assert rows[0].n.to_python() == 112
+
+    def test_wings_bundles_survive_loading(self, corpus_dir):
+        stored = load_corpus(corpus_dir)
+        wings = stored.by_system("wings")[0]
+        ds = wings.dataset()
+        assert len(ds.graph_names()) == 1
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path)
+
+    def test_system_graph_from_disk(self, corpus_dir, corpus):
+        stored = load_corpus(corpus_dir)
+        assert len(stored.system_graph("taverna")) == len(corpus.system_graph("taverna"))

@@ -1,0 +1,130 @@
+"""Unit tests for PROV-CONSTRAINTS validation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.prov.constraints import is_valid, validate_document
+from repro.prov.model import ProvDocument
+
+
+@pytest.fixture
+def doc():
+    document = ProvDocument()
+    document.namespaces.bind("ex", "http://example.org/")
+    return document
+
+
+def rules(violations):
+    return {v.rule for v in violations}
+
+
+class TestActivityIntervals:
+    def test_valid_interval(self, doc):
+        doc.activity("ex:a", start_time=dt.datetime(2013, 1, 1),
+                     end_time=dt.datetime(2013, 1, 2))
+        assert is_valid(doc)
+
+    def test_inverted_interval_flagged(self, doc):
+        # The factory guards this, so construct the state directly.
+        activity = doc.activity("ex:a", start_time=dt.datetime(2013, 1, 2))
+        activity.end_time = dt.datetime(2013, 1, 1)
+        assert "start-precedes-end" in rules(validate_document(doc))
+
+
+class TestGenerationUniqueness:
+    def test_single_generation_ok(self, doc):
+        doc.was_generated_by("ex:e", "ex:a1")
+        assert "generation-uniqueness" not in rules(validate_document(doc))
+
+    def test_double_generation_flagged(self, doc):
+        doc.was_generated_by("ex:e", "ex:a1")
+        doc.was_generated_by("ex:e", "ex:a2")
+        assert "generation-uniqueness" in rules(validate_document(doc))
+
+    def test_same_activity_twice_ok(self, doc):
+        doc.was_generated_by("ex:e", "ex:a1")
+        doc.was_generated_by("ex:e", "ex:a1")
+        assert "generation-uniqueness" not in rules(validate_document(doc))
+
+    def test_bundles_are_separate_scopes(self, doc):
+        doc.bundle("ex:b1").was_generated_by("ex:e", "ex:a1")
+        doc.bundle("ex:b2").was_generated_by("ex:e", "ex:a2")
+        assert "generation-uniqueness" not in rules(validate_document(doc))
+
+
+class TestTemporalOrdering:
+    def test_usage_before_generation_flagged(self, doc):
+        doc.was_generated_by("ex:e", "ex:a1", time=dt.datetime(2013, 1, 2))
+        doc.used("ex:a2", "ex:e", time=dt.datetime(2013, 1, 1))
+        assert "usage-after-generation" in rules(validate_document(doc))
+
+    def test_usage_after_generation_ok(self, doc):
+        doc.was_generated_by("ex:e", "ex:a1", time=dt.datetime(2013, 1, 1))
+        doc.used("ex:a2", "ex:e", time=dt.datetime(2013, 1, 2))
+        assert "usage-after-generation" not in rules(validate_document(doc))
+
+    def test_missing_times_not_flagged(self, doc):
+        doc.was_generated_by("ex:e", "ex:a1")
+        doc.used("ex:a2", "ex:e")
+        assert "usage-after-generation" not in rules(validate_document(doc))
+
+    def test_generation_outside_activity_flagged(self, doc):
+        doc.activity("ex:a", start_time=dt.datetime(2013, 1, 2),
+                     end_time=dt.datetime(2013, 1, 3))
+        doc.was_generated_by("ex:e", "ex:a", time=dt.datetime(2013, 1, 1))
+        assert "generation-within-activity" in rules(validate_document(doc))
+
+    def test_generation_after_activity_end_flagged(self, doc):
+        doc.activity("ex:a", start_time=dt.datetime(2013, 1, 1),
+                     end_time=dt.datetime(2013, 1, 2))
+        doc.was_generated_by("ex:e", "ex:a", time=dt.datetime(2013, 1, 5))
+        assert "generation-within-activity" in rules(validate_document(doc))
+
+    def test_generation_inside_activity_ok(self, doc):
+        doc.activity("ex:a", start_time=dt.datetime(2013, 1, 1),
+                     end_time=dt.datetime(2013, 1, 3))
+        doc.was_generated_by("ex:e", "ex:a", time=dt.datetime(2013, 1, 2))
+        assert "generation-within-activity" not in rules(validate_document(doc))
+
+
+class TestReferences:
+    def test_dangling_reference_is_warning(self, doc):
+        doc.used("ex:a", "ex:ghost")
+        violations = validate_document(doc)
+        dangling = [v for v in violations if v.rule == "dangling-reference"]
+        assert dangling and all(v.severity == "warning" for v in dangling)
+
+    def test_warnings_do_not_invalidate(self, doc):
+        doc.used("ex:a", "ex:ghost")
+        assert is_valid(doc)
+
+    def test_references_check_can_be_skipped(self, doc):
+        doc.used("ex:a", "ex:ghost")
+        assert validate_document(doc, check_references=False) == []
+
+    def test_bundle_sees_document_elements(self, doc):
+        doc.entity("ex:shared")
+        bundle = doc.bundle("ex:b")
+        bundle.activity("ex:a")
+        bundle.used("ex:a", "ex:shared")
+        assert "dangling-reference" not in rules(validate_document(doc))
+
+
+class TestDisjointness:
+    def test_entity_and_activity_conflict_across_bundles(self, doc):
+        doc.entity("ex:x")
+        doc.bundle("ex:b").activity("ex:x")
+        assert "entity-activity-disjoint" in rules(validate_document(doc))
+
+    def test_agent_overlap_allowed(self, doc):
+        doc.agent("ex:x")
+        doc.bundle("ex:b").entity("ex:x")
+        assert "entity-activity-disjoint" not in rules(validate_document(doc))
+
+
+class TestCorpusValidity:
+    def test_every_corpus_trace_is_valid(self, corpus):
+        for trace in corpus.traces[:40]:  # sample: full check is the integration test
+            errors = [v for v in validate_document(trace.document) if v.severity == "error"]
+            assert not errors, (trace.run_id, [str(e) for e in errors])

@@ -1,0 +1,146 @@
+"""Unit tests for PROV inference rules (the Table 3 stars)."""
+
+import pytest
+
+from repro.prov.inference import ProvInferencer, infer, inferred_graph
+from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.rdf.triple import Triple
+
+EX = Namespace("http://example.org/")
+
+
+class TestInfluenceSubproperties:
+    def test_used_entails_influence(self):
+        g = Graph([(EX.a, PROV.used, EX.e)])
+        infer(g)
+        assert (EX.a, PROV.wasInfluencedBy, EX.e) in g
+
+    def test_all_starting_point_relations_entail_influence(self):
+        g = Graph([
+            (EX.e, PROV.wasGeneratedBy, EX.a),
+            (EX.a, PROV.wasAssociatedWith, EX.ag),
+            (EX.e, PROV.wasAttributedTo, EX.ag),
+            (EX.a2, PROV.wasInformedBy, EX.a),
+        ])
+        infer(g)
+        assert g.count(None, PROV.wasInfluencedBy, None) == 4
+
+    def test_existing_influence_not_duplicated(self):
+        g = Graph([
+            (EX.a, PROV.used, EX.e),
+            (EX.a, PROV.wasInfluencedBy, EX.e),
+        ])
+        added = infer(g)
+        assert Triple(EX.a, PROV.wasInfluencedBy, EX.e) not in added
+
+
+class TestDerivationSubproperties:
+    def test_primary_source_entails_derivation(self):
+        g = Graph([(EX.b, PROV.hadPrimarySource, EX.a)])
+        infer(g)
+        assert (EX.b, PROV.wasDerivedFrom, EX.a) in g
+
+    def test_quotation_and_revision(self):
+        g = Graph([
+            (EX.b, PROV.wasQuotedFrom, EX.a),
+            (EX.c, PROV.wasRevisionOf, EX.a),
+        ])
+        infer(g)
+        assert g.count(None, PROV.wasDerivedFrom, None) == 2
+
+
+class TestPlanRule:
+    def test_hadplan_entails_plan_type(self):
+        g = Graph([(EX.assoc, PROV.hadPlan, EX.wf)])
+        infer(g)
+        assert (EX.wf, RDF.type, PROV.Plan) in g
+        assert (EX.wf, RDF.type, PROV.Entity) in g
+
+
+class TestCommunicationRule:
+    def test_use_of_generated_entails_informed(self):
+        g = Graph([
+            (EX.a2, PROV.used, EX.e),
+            (EX.e, PROV.wasGeneratedBy, EX.a1),
+        ])
+        infer(g)
+        assert (EX.a2, PROV.wasInformedBy, EX.a1) in g
+
+    def test_self_communication_not_inferred(self):
+        g = Graph([
+            (EX.a, PROV.used, EX.e),
+            (EX.e, PROV.wasGeneratedBy, EX.a),
+        ])
+        infer(g)
+        assert (EX.a, PROV.wasInformedBy, EX.a) not in g
+
+
+class TestDataflowDerivation:
+    def test_disabled_by_default(self):
+        g = Graph([
+            (EX.out, PROV.wasGeneratedBy, EX.a),
+            (EX.a, PROV.used, EX.inp),
+        ])
+        infer(g)
+        assert (EX.out, PROV.wasDerivedFrom, EX.inp) not in g
+
+    def test_enabled_heuristic(self):
+        g = Graph([
+            (EX.out, PROV.wasGeneratedBy, EX.a),
+            (EX.a, PROV.used, EX.inp),
+        ])
+        infer(g, enable_dataflow_derivation=True)
+        assert (EX.out, PROV.wasDerivedFrom, EX.inp) in g
+
+    def test_no_self_derivation(self):
+        g = Graph([
+            (EX.x, PROV.wasGeneratedBy, EX.a),
+            (EX.a, PROV.used, EX.x),
+        ])
+        infer(g, enable_dataflow_derivation=True)
+        assert (EX.x, PROV.wasDerivedFrom, EX.x) not in g
+
+
+class TestTyping:
+    def test_domain_range_typing(self):
+        g = Graph([(EX.a, PROV.used, EX.e)])
+        infer(g)
+        assert (EX.a, RDF.type, PROV.Activity) in g
+        assert (EX.e, RDF.type, PROV.Entity) in g
+
+    def test_agent_typing(self):
+        g = Graph([(EX.a, PROV.wasAssociatedWith, EX.ag)])
+        infer(g)
+        assert (EX.ag, RDF.type, PROV.Agent) in g
+
+
+class TestDriver:
+    def test_fixed_point_chains_rules(self):
+        # hadPrimarySource → wasDerivedFrom (round 1) → wasInfluencedBy needs
+        # the *derived* statement, so a second round is required.
+        g = Graph([(EX.b, PROV.hadPrimarySource, EX.a)])
+        infer(g)
+        assert (EX.b, PROV.wasInfluencedBy, EX.a) in g
+
+    def test_run_returns_added_triples_only(self):
+        g = Graph([(EX.a, PROV.used, EX.e)])
+        before = len(g)
+        added = infer(g)
+        assert len(g) == before + len(added)
+
+    def test_idempotent(self):
+        g = Graph([(EX.a, PROV.used, EX.e)])
+        infer(g)
+        assert infer(g) == set()
+
+    def test_inferred_graph_leaves_original_untouched(self):
+        g = Graph([(EX.a, PROV.used, EX.e)])
+        bigger = inferred_graph(g)
+        assert len(g) == 1
+        assert len(bigger) > 1
+
+    def test_rules_list_respects_flag(self):
+        g = Graph()
+        plain = ProvInferencer(g)
+        heuristic = ProvInferencer(g, enable_dataflow_derivation=True)
+        assert len(heuristic.rules()) == len(plain.rules()) + 1

@@ -1,0 +1,116 @@
+"""Tests for PROV-JSON serialization (W3C member-submission format)."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.prov.json_io import parse_provjson, serialize_provjson
+from repro.prov.model import Association, Derivation, ProvDocument, Usage
+from repro.rdf.terms import IRI
+
+
+@pytest.fixture
+def doc():
+    document = ProvDocument()
+    document.namespaces.bind("ex", "http://example.org/")
+    run = document.activity("ex:run", start_time=dt.datetime(2013, 1, 1, 10),
+                            end_time=dt.datetime(2013, 1, 1, 11))
+    document.agent("ex:engine", agent_type="software")
+    document.entity("ex:in", {"prov:value": "payload", "ex:count": 3})
+    document.entity("ex:out")
+    document.used(run, "ex:in", time=dt.datetime(2013, 1, 1, 10, 5))
+    document.was_generated_by("ex:out", run)
+    document.was_associated_with(run, "ex:engine", plan="ex:plan")
+    document.had_primary_source("ex:out", "ex:in")
+    bundle = document.bundle("ex:b1")
+    bundle.entity("ex:inner")
+    return document
+
+
+class TestStructure:
+    def test_sections(self, doc):
+        payload = json.loads(serialize_provjson(doc))
+        for section in ("prefix", "entity", "activity", "agent", "used",
+                        "wasGeneratedBy", "wasAssociatedWith", "hadPrimarySource",
+                        "bundle"):
+            assert section in payload, section
+
+    def test_qualified_names_compact(self, doc):
+        payload = json.loads(serialize_provjson(doc))
+        assert "ex:run" in payload["activity"]
+        assert payload["prefix"]["ex"] == "http://example.org/"
+
+    def test_activity_times_inline(self, doc):
+        payload = json.loads(serialize_provjson(doc))
+        attrs = payload["activity"]["ex:run"]
+        assert attrs["prov:startTime"] == "2013-01-01T10:00:00"
+        assert attrs["prov:endTime"] == "2013-01-01T11:00:00"
+
+    def test_typed_values(self, doc):
+        payload = json.loads(serialize_provjson(doc))
+        count = payload["entity"]["ex:in"]["ex:count"]
+        assert count == {"$": "3", "type": "xsd:integer"}
+
+    def test_agent_type_as_qualified_name(self, doc):
+        payload = json.loads(serialize_provjson(doc))
+        assert payload["agent"]["ex:engine"]["prov:type"] == {
+            "$": "prov:SoftwareAgent", "type": "prov:QUALIFIED_NAME"
+        }
+
+    def test_relation_bodies(self, doc):
+        payload = json.loads(serialize_provjson(doc))
+        used = next(iter(payload["used"].values()))
+        assert used == {"prov:activity": "ex:run", "prov:entity": "ex:in",
+                        "prov:time": "2013-01-01T10:05:00"}
+
+
+class TestRoundTrip:
+    def test_statistics(self, doc):
+        doc2 = parse_provjson(serialize_provjson(doc))
+        assert doc2.statistics() == doc.statistics()
+
+    def test_times(self, doc):
+        doc2 = parse_provjson(serialize_provjson(doc))
+        run = doc2.get_element("ex:run")
+        assert run.start_time == dt.datetime(2013, 1, 1, 10)
+        usage = next(iter(doc2.relations_of(Usage)))
+        assert usage.time == dt.datetime(2013, 1, 1, 10, 5)
+
+    def test_plan_and_subtype(self, doc):
+        doc2 = parse_provjson(serialize_provjson(doc))
+        assert next(iter(doc2.relations_of(Association))).plan == IRI("http://example.org/plan")
+        assert next(iter(doc2.relations_of(Derivation))).subtype == "primary_source"
+
+    def test_attributes(self, doc):
+        doc2 = parse_provjson(serialize_provjson(doc))
+        entity = doc2.get_element("ex:in")
+        assert entity.first_attribute("prov:value").lexical == "payload"
+        assert entity.first_attribute("ex:count").to_python() == 3
+
+    def test_bundle(self, doc):
+        doc2 = parse_provjson(serialize_provjson(doc))
+        assert len(doc2.bundles) == 1
+
+    def test_stable_after_one_cycle(self, doc):
+        """Relation ids are arbitrary, but the format is a fixed point
+        after one parse/serialize cycle."""
+        once = serialize_provjson(parse_provjson(serialize_provjson(doc)))
+        twice = serialize_provjson(parse_provjson(once))
+        assert once == twice
+
+    def test_corpus_traces(self, corpus):
+        for trace in corpus.traces[::40]:
+            doc2 = parse_provjson(serialize_provjson(trace.document))
+            assert doc2.statistics() == trace.document.statistics(), trace.run_id
+
+    def test_language_tagged(self):
+        from repro.rdf.terms import Literal
+
+        document = ProvDocument()
+        document.namespaces.bind("ex", "http://example.org/")
+        element = document.entity("ex:e")
+        element.add_attribute("ex:label", Literal("bonjour", language="fr"))
+        doc2 = parse_provjson(serialize_provjson(document))
+        value = doc2.get_element("ex:e").first_attribute("ex:label")
+        assert value.language == "fr"

@@ -1,0 +1,186 @@
+"""Unit tests for the PROV-DM model layer."""
+
+import datetime as dt
+
+import pytest
+
+from repro.prov.model import (
+    Association,
+    Attribution,
+    Derivation,
+    Generation,
+    ProvActivity,
+    ProvAgent,
+    ProvDocument,
+    ProvEntity,
+    ProvModelError,
+    Usage,
+)
+from repro.rdf.namespace import PROV
+from repro.rdf.terms import IRI, Literal
+
+
+@pytest.fixture
+def doc():
+    document = ProvDocument()
+    document.namespaces.bind("ex", "http://example.org/")
+    return document
+
+
+class TestIdentifiers:
+    def test_resolve_curie(self, doc):
+        assert doc.resolve("ex:thing") == IRI("http://example.org/thing")
+
+    def test_resolve_full_iri_string(self, doc):
+        assert doc.resolve("http://other.org/x") == IRI("http://other.org/x")
+
+    def test_resolve_iri_passthrough(self, doc):
+        iri = IRI("http://a/")
+        assert doc.resolve(iri) is iri
+
+    def test_resolve_urn(self, doc):
+        assert doc.resolve("urn:uuid:123").value == "urn:uuid:123"
+
+    def test_unresolvable_rejected(self, doc):
+        with pytest.raises(ProvModelError):
+            doc.resolve("noprefix")
+        with pytest.raises(ProvModelError):
+            doc.resolve("zz:unbound")
+
+
+class TestElements:
+    def test_entity_creation(self, doc):
+        e = doc.entity("ex:e1", {"prov:value": 42})
+        assert isinstance(e, ProvEntity)
+        assert e.first_attribute("prov:value") == Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer")
+
+    def test_entity_idempotent_merge(self, doc):
+        a = doc.entity("ex:e1")
+        b = doc.entity("ex:e1", {"prov:value": "x"})
+        assert a is b
+        assert b.get_attribute("prov:value")
+
+    def test_activity_times(self, doc):
+        a = doc.activity("ex:a1", start_time=dt.datetime(2013, 1, 1),
+                         end_time=dt.datetime(2013, 1, 2))
+        assert a.start_time < a.end_time
+
+    def test_activity_end_before_start_rejected(self, doc):
+        with pytest.raises(ProvModelError):
+            doc.activity("ex:a1", start_time=dt.datetime(2013, 1, 2),
+                         end_time=dt.datetime(2013, 1, 1))
+
+    def test_activity_merge_updates_times(self, doc):
+        doc.activity("ex:a1")
+        again = doc.activity("ex:a1", start_time=dt.datetime(2013, 1, 1))
+        assert again.start_time is not None
+
+    def test_agent_types(self, doc):
+        person = doc.agent("ex:alice", agent_type="person")
+        software = doc.agent("ex:tool", agent_type="software")
+        assert PROV.Person in person.all_types()
+        assert PROV.SoftwareAgent in software.all_types()
+
+    def test_unknown_agent_type(self, doc):
+        with pytest.raises(ProvModelError):
+            doc.agent("ex:x", agent_type="robot")
+
+    def test_plan_and_collection(self, doc):
+        assert PROV.Plan in doc.plan("ex:p").all_types()
+        assert PROV.Collection in doc.collection("ex:c").all_types()
+
+    def test_kind_conflict_rejected(self, doc):
+        doc.entity("ex:x")
+        with pytest.raises(ProvModelError):
+            doc.activity("ex:x")
+
+    def test_add_type_no_duplicates(self, doc):
+        e = doc.entity("ex:e")
+        e.add_type(PROV.Plan)
+        e.add_type(PROV.Plan)
+        assert e.all_types().count(PROV.Plan) == 1
+
+
+class TestRelations:
+    def test_used_accepts_elements_and_ids(self, doc):
+        a = doc.activity("ex:a")
+        e = doc.entity("ex:e")
+        r1 = doc.used(a, e)
+        r2 = doc.used("ex:a", "ex:e", time=dt.datetime(2013, 1, 1))
+        assert r1.activity == r2.activity == a.identifier
+        assert r2.time is not None
+
+    def test_generation(self, doc):
+        r = doc.was_generated_by("ex:e", "ex:a", role="ex:outputRole")
+        assert isinstance(r, Generation)
+        assert r.role == IRI("http://example.org/outputRole")
+
+    def test_association_with_plan(self, doc):
+        r = doc.was_associated_with("ex:a", "ex:agent", plan="ex:plan")
+        assert isinstance(r, Association) and r.plan is not None
+
+    def test_attribution_delegation_communication(self, doc):
+        assert isinstance(doc.was_attributed_to("ex:e", "ex:ag"), Attribution)
+        d = doc.acted_on_behalf_of("ex:worker", "ex:boss")
+        assert d.delegate == IRI("http://example.org/worker")
+        c = doc.was_informed_by("ex:a2", "ex:a1")
+        assert c.informed == IRI("http://example.org/a2")
+
+    def test_derivation_subtypes(self, doc):
+        plain = doc.was_derived_from("ex:b", "ex:a")
+        primary = doc.had_primary_source("ex:b", "ex:a")
+        assert plain.property_iri == PROV.wasDerivedFrom
+        assert primary.property_iri == PROV.hadPrimarySource
+
+    def test_unknown_derivation_subtype(self, doc):
+        with pytest.raises(ProvModelError):
+            doc.was_derived_from("ex:b", "ex:a", subtype="telepathy")
+
+    def test_relations_of_filter(self, doc):
+        doc.used("ex:a", "ex:e")
+        doc.was_generated_by("ex:e2", "ex:a")
+        assert len(list(doc.relations_of(Usage))) == 1
+        assert len(list(doc.relations_of(Generation))) == 1
+
+    def test_membership_and_influence(self, doc):
+        doc.had_member("ex:coll", "ex:item")
+        doc.was_influenced_by("ex:b", "ex:a")
+        assert len(doc.relations) == 2
+
+
+class TestBundles:
+    def test_bundle_creation_and_reuse(self, doc):
+        b1 = doc.bundle("ex:bundle1")
+        b2 = doc.bundle("ex:bundle1")
+        assert b1 is b2
+        assert b1.identifier == IRI("http://example.org/bundle1")
+
+    def test_bundle_shares_namespaces(self, doc):
+        b = doc.bundle("ex:bundle1")
+        assert b.resolve("ex:x") == IRI("http://example.org/x")
+
+    def test_bundle_records_isolated(self, doc):
+        b = doc.bundle("ex:bundle1")
+        b.entity("ex:inner")
+        assert doc.get_element("ex:inner") is None
+        assert b.get_element("ex:inner") is not None
+
+    def test_all_records_spans_bundles(self, doc):
+        doc.entity("ex:top")
+        doc.bundle("ex:b").entity("ex:inner")
+        records = list(doc.all_records())
+        bundle_ids = {bid for bid, _ in records}
+        assert None in bundle_ids and IRI("http://example.org/b") in bundle_ids
+
+    def test_statistics(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a")
+        doc.agent("ex:ag")
+        doc.used("ex:a", "ex:e")
+        b = doc.bundle("ex:b")
+        b.entity("ex:e2")
+        stats = doc.statistics()
+        assert stats == {
+            "entities": 2, "activities": 1, "agents": 1,
+            "relations": 1, "bundles": 1,
+        }

@@ -1,0 +1,111 @@
+"""Unit tests for PROV-N serialization and the networkx graph views."""
+
+import datetime as dt
+
+import networkx as nx
+import pytest
+
+from repro.prov.graph_api import activity_graph, dependency_graph, to_networkx
+from repro.prov.model import ProvDocument
+from repro.prov.provn import serialize_provn
+
+
+@pytest.fixture
+def doc():
+    document = ProvDocument()
+    document.namespaces.bind("ex", "http://example.org/")
+    run = document.activity("ex:run", start_time=dt.datetime(2013, 1, 1, 10),
+                            end_time=dt.datetime(2013, 1, 1, 11))
+    document.agent("ex:engine", agent_type="software")
+    document.entity("ex:in", {"prov:value": "x"})
+    document.entity("ex:out")
+    document.used(run, "ex:in", time=dt.datetime(2013, 1, 1, 10, 5))
+    document.was_generated_by("ex:out", run)
+    document.was_associated_with(run, "ex:engine", plan="ex:plan")
+    document.was_attributed_to("ex:out", "ex:engine")
+    return document
+
+
+class TestProvN:
+    def test_document_brackets(self, doc):
+        text = serialize_provn(doc)
+        assert text.startswith("document")
+        assert text.rstrip().endswith("endDocument")
+
+    def test_prefixes_listed(self, doc):
+        assert "prefix ex <http://example.org/>" in serialize_provn(doc)
+
+    def test_activity_with_times(self, doc):
+        text = serialize_provn(doc)
+        assert "activity(ex:run, 2013-01-01T10:00:00, 2013-01-01T11:00:00)" in text
+
+    def test_relations_rendered(self, doc):
+        text = serialize_provn(doc)
+        assert "used(ex:run, ex:in, 2013-01-01T10:05:00)" in text
+        assert "wasGeneratedBy(ex:out, ex:run)" in text
+        assert "wasAssociatedWith(ex:run, ex:engine, ex:plan)" in text
+        assert "wasAttributedTo(ex:out, ex:engine)" in text
+
+    def test_attributes_rendered(self, doc):
+        assert 'prov:value="x"' in serialize_provn(doc)
+
+    def test_agent_type_attribute(self, doc):
+        assert "agent(ex:engine, [prov:type='prov:SoftwareAgent'])" in serialize_provn(doc)
+
+    def test_bundle_block(self, doc):
+        bundle = doc.bundle("ex:b1")
+        bundle.entity("ex:inner")
+        text = serialize_provn(doc)
+        assert "bundle ex:b1" in text
+        assert "endBundle" in text
+
+    def test_deterministic(self, doc):
+        assert serialize_provn(doc) == serialize_provn(doc)
+
+
+class TestNetworkxViews:
+    def test_full_multigraph(self, doc):
+        g = to_networkx(doc)
+        assert g.nodes["http://example.org/run"]["kind"] == "activity"
+        assert g.nodes["http://example.org/in"]["kind"] == "entity"
+        relations = {d["relation"] for _, _, d in g.edges(data=True)}
+        assert {"used", "wasGeneratedBy", "wasAssociatedWith", "hadPlan",
+                "wasAttributedTo"} <= relations
+
+    def test_dependency_graph_edges(self, doc):
+        g = dependency_graph(doc)
+        assert g.has_edge("http://example.org/out", "http://example.org/in")
+        assert g["http://example.org/out"]["http://example.org/in"]["via"] == (
+            "http://example.org/run"
+        )
+
+    def test_dependency_graph_includes_asserted_derivations(self, doc):
+        doc.had_primary_source("ex:out", "ex:extra")
+        g = dependency_graph(doc)
+        assert g.has_edge("http://example.org/out", "http://example.org/extra")
+
+    def test_activity_graph_dataflow_communication(self):
+        doc = ProvDocument()
+        doc.namespaces.bind("ex", "http://example.org/")
+        doc.activity("ex:a1")
+        doc.activity("ex:a2")
+        doc.entity("ex:e")
+        doc.was_generated_by("ex:e", "ex:a1")
+        doc.used("ex:a2", "ex:e")
+        g = activity_graph(doc)
+        assert g.has_edge("http://example.org/a2", "http://example.org/a1")
+
+    def test_activity_graph_explicit_communication(self):
+        doc = ProvDocument()
+        doc.namespaces.bind("ex", "http://example.org/")
+        doc.was_informed_by("ex:a2", "ex:a1")
+        g = activity_graph(doc)
+        assert g.has_edge("http://example.org/a2", "http://example.org/a1")
+
+    def test_dependency_graph_is_dag_on_corpus_trace(self, corpus):
+        trace = next(t for t in corpus.traces if not t.failed)
+        from repro.prov.rdf_io import from_graph
+
+        doc = from_graph(trace.graph())
+        g = dependency_graph(doc)
+        assert nx.is_directed_acyclic_graph(g)

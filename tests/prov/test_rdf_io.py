@@ -1,0 +1,169 @@
+"""Unit tests for the PROV-O RDF mapping (serialize + parse)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.prov.model import Association, Generation, ProvDocument, Usage
+from repro.prov.rdf_io import from_dataset, from_graph, to_dataset, to_graph
+from repro.rdf.namespace import PROV, RDF
+from repro.rdf.terms import IRI, Literal
+
+
+@pytest.fixture
+def doc():
+    document = ProvDocument()
+    document.namespaces.bind("ex", "http://example.org/")
+    return document
+
+
+def full_document():
+    doc = ProvDocument()
+    doc.namespaces.bind("ex", "http://example.org/")
+    run = doc.activity("ex:run", start_time=dt.datetime(2013, 1, 1, 10),
+                       end_time=dt.datetime(2013, 1, 1, 11))
+    doc.plan("ex:plan")
+    doc.agent("ex:engine", agent_type="software")
+    doc.agent("ex:alice", agent_type="person")
+    doc.entity("ex:in", {"prov:value": "input"})
+    doc.entity("ex:out")
+    doc.used(run, "ex:in", time=dt.datetime(2013, 1, 1, 10, 5))
+    doc.was_generated_by("ex:out", run, time=dt.datetime(2013, 1, 1, 10, 55))
+    doc.was_associated_with(run, "ex:engine", plan="ex:plan")
+    doc.was_attributed_to("ex:out", "ex:alice")
+    doc.had_primary_source("ex:out", "ex:in")
+    doc.was_informed_by("ex:run", "ex:run")  # self-loop exercised separately
+    return doc
+
+
+class TestToGraph:
+    def test_element_typing(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a")
+        doc.agent("ex:g", agent_type="software")
+        g = to_graph(doc)
+        assert (doc.resolve("ex:e"), RDF.type, PROV.Entity) in g
+        assert (doc.resolve("ex:a"), RDF.type, PROV.Activity) in g
+        assert (doc.resolve("ex:g"), RDF.type, PROV.SoftwareAgent) in g
+
+    def test_activity_timestamps(self, doc):
+        doc.activity("ex:a", start_time=dt.datetime(2013, 1, 1))
+        g = to_graph(doc)
+        assert list(g.triples(None, PROV.startedAtTime, None))
+
+    def test_plain_usage_no_qualified_node(self, doc):
+        doc.used("ex:a", "ex:e")
+        g = to_graph(doc)
+        assert not list(g.triples(None, PROV.qualifiedUsage, None))
+
+    def test_timed_usage_emits_qualified_pattern(self, doc):
+        doc.used("ex:a", "ex:e", time=dt.datetime(2013, 1, 1))
+        g = to_graph(doc)
+        assert list(g.triples(None, PROV.qualifiedUsage, None))
+        assert list(g.triples(None, PROV.atTime, None))
+
+    def test_association_with_plan_emits_hadplan(self, doc):
+        doc.was_associated_with("ex:a", "ex:agent", plan="ex:plan")
+        g = to_graph(doc)
+        assert list(g.triples(None, PROV.hadPlan, None))
+        assert list(g.triples(None, PROV.qualifiedAssociation, None))
+
+    def test_association_without_plan_is_direct_only(self, doc):
+        doc.was_associated_with("ex:a", "ex:agent")
+        g = to_graph(doc)
+        assert list(g.triples(None, PROV.wasAssociatedWith, None))
+        assert not list(g.triples(None, PROV.qualifiedAssociation, None))
+
+    def test_derivation_subtype_emits_subproperty_only(self, doc):
+        doc.had_primary_source("ex:b", "ex:a")
+        g = to_graph(doc)
+        assert list(g.triples(None, PROV.hadPrimarySource, None))
+        assert not list(g.triples(None, PROV.wasDerivedFrom, None))
+
+    def test_bundle_merged_and_typed(self, doc):
+        bundle = doc.bundle("ex:b1")
+        bundle.entity("ex:inner")
+        g = to_graph(doc)
+        assert (doc.resolve("ex:b1"), RDF.type, PROV.Bundle) in g
+        assert (doc.resolve("ex:inner"), RDF.type, PROV.Entity) in g
+
+
+class TestToDataset:
+    def test_bundle_becomes_named_graph(self, doc):
+        bundle = doc.bundle("ex:b1")
+        bundle.entity("ex:inner")
+        doc.entity("ex:top")
+        ds = to_dataset(doc)
+        assert ds.has_graph(doc.resolve("ex:b1"))
+        assert (doc.resolve("ex:inner"), RDF.type, PROV.Entity) in ds.graph(doc.resolve("ex:b1"))
+        assert (doc.resolve("ex:top"), RDF.type, PROV.Entity) in ds.default
+
+    def test_bundle_typing_in_default_graph(self, doc):
+        doc.bundle("ex:b1").entity("ex:x")
+        ds = to_dataset(doc)
+        assert (doc.resolve("ex:b1"), RDF.type, PROV.Bundle) in ds.default
+
+
+class TestRoundTrip:
+    def test_statistics_preserved(self):
+        doc = full_document()
+        doc2 = from_graph(to_graph(doc))
+        assert doc2.statistics() == doc.statistics()
+
+    def test_activity_times_roundtrip(self):
+        doc2 = from_graph(to_graph(full_document()))
+        run = doc2.get_element("http://example.org/run")
+        assert run.start_time == dt.datetime(2013, 1, 1, 10)
+        assert run.end_time == dt.datetime(2013, 1, 1, 11)
+
+    def test_qualified_usage_time_roundtrip(self):
+        doc2 = from_graph(to_graph(full_document()))
+        usage = next(iter(doc2.relations_of(Usage)))
+        assert usage.time == dt.datetime(2013, 1, 1, 10, 5)
+
+    def test_plan_roundtrip(self):
+        doc2 = from_graph(to_graph(full_document()))
+        assoc = next(iter(doc2.relations_of(Association)))
+        assert assoc.plan == IRI("http://example.org/plan")
+
+    def test_derivation_subtype_roundtrip(self):
+        from repro.prov.model import Derivation
+
+        doc2 = from_graph(to_graph(full_document()))
+        derivation = next(iter(doc2.relations_of(Derivation)))
+        assert derivation.subtype == "primary_source"
+
+    def test_attributes_roundtrip(self):
+        doc2 = from_graph(to_graph(full_document()))
+        entity = doc2.get_element("http://example.org/in")
+        assert entity.first_attribute("prov:value") == Literal("input")
+
+    def test_reserialization_stable(self):
+        doc = full_document()
+        g1 = to_graph(doc)
+        g2 = to_graph(from_graph(g1))
+        assert g1 == g2
+
+    def test_dataset_roundtrip_with_bundles(self, doc):
+        bundle = doc.bundle("ex:b1")
+        run = bundle.activity("ex:run")
+        bundle.entity("ex:e")
+        bundle.used(run, "ex:e")
+        ds = to_dataset(doc)
+        doc2 = from_dataset(ds)
+        assert doc.resolve("ex:b1") in doc2.bundles
+        inner = doc2.bundles[doc.resolve("ex:b1")]
+        assert inner.get_element("ex:run") is not None
+        assert len(list(inner.relations_of(Usage))) == 1
+
+    def test_untyped_endpoints_get_kinds_from_relations(self):
+        from repro.rdf.graph import Graph
+
+        g = Graph()
+        a, e = IRI("http://x/a"), IRI("http://x/e")
+        g.add((a, PROV.used, e))
+        doc = from_graph(g)
+        from repro.prov.model import ProvActivity, ProvEntity
+
+        assert isinstance(doc.get_element(a), ProvActivity)
+        assert isinstance(doc.get_element(e), ProvEntity)

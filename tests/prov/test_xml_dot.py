@@ -1,0 +1,128 @@
+"""Tests for PROV-XML serialization and the Graphviz DOT exporter."""
+
+import datetime as dt
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.prov.dot import to_dot
+from repro.prov.model import Association, ProvDocument, Usage
+from repro.prov.xml_io import parse_provxml, serialize_provxml
+
+_PROV = "{http://www.w3.org/ns/prov#}"
+
+
+@pytest.fixture
+def doc():
+    document = ProvDocument()
+    document.namespaces.bind("ex", "http://example.org/")
+    run = document.activity("ex:run", start_time=dt.datetime(2013, 1, 1, 10),
+                            end_time=dt.datetime(2013, 1, 1, 11))
+    document.agent("ex:engine", agent_type="software")
+    document.entity("ex:in", {"prov:value": "payload"})
+    document.entity("ex:out")
+    document.used(run, "ex:in", time=dt.datetime(2013, 1, 1, 10, 5))
+    document.was_generated_by("ex:out", run)
+    document.was_associated_with(run, "ex:engine", plan="ex:plan")
+    document.was_attributed_to("ex:out", "ex:engine")
+    document.had_primary_source("ex:out", "ex:in")
+    bundle = document.bundle("ex:b1")
+    bundle.entity("ex:inner")
+    return document
+
+
+class TestProvXml:
+    def test_document_root(self, doc):
+        root = ET.fromstring(serialize_provxml(doc))
+        assert root.tag == f"{_PROV}document"
+
+    def test_element_ids(self, doc):
+        root = ET.fromstring(serialize_provxml(doc))
+        activities = root.findall(f"{_PROV}activity")
+        assert activities[0].get(f"{_PROV}id") == "http://example.org/run"
+
+    def test_activity_times_as_children(self, doc):
+        root = ET.fromstring(serialize_provxml(doc))
+        activity = root.find(f"{_PROV}activity")
+        assert activity.find(f"{_PROV}startTime").text == "2013-01-01T10:00:00"
+        assert activity.find(f"{_PROV}endTime").text == "2013-01-01T11:00:00"
+
+    def test_relation_refs(self, doc):
+        root = ET.fromstring(serialize_provxml(doc))
+        used = root.find(f"{_PROV}used")
+        assert used.find(f"{_PROV}activity").get(f"{_PROV}ref") == "http://example.org/run"
+        assert used.find(f"{_PROV}entity").get(f"{_PROV}ref") == "http://example.org/in"
+
+    def test_roundtrip_statistics(self, doc):
+        assert parse_provxml(serialize_provxml(doc)).statistics() == doc.statistics()
+
+    def test_roundtrip_times(self, doc):
+        doc2 = parse_provxml(serialize_provxml(doc))
+        usage = next(iter(doc2.relations_of(Usage)))
+        assert usage.time == dt.datetime(2013, 1, 1, 10, 5)
+        run = doc2.get_element("http://example.org/run")
+        assert run.start_time == dt.datetime(2013, 1, 1, 10)
+
+    def test_roundtrip_plan(self, doc):
+        doc2 = parse_provxml(serialize_provxml(doc))
+        assoc = next(iter(doc2.relations_of(Association)))
+        assert assoc.plan is not None
+
+    def test_roundtrip_attributes(self, doc):
+        doc2 = parse_provxml(serialize_provxml(doc))
+        entity = doc2.get_element("http://example.org/in")
+        assert entity.first_attribute("prov:value").lexical == "payload"
+
+    def test_roundtrip_bundle(self, doc):
+        doc2 = parse_provxml(serialize_provxml(doc))
+        assert len(doc2.bundles) == 1
+
+    def test_fixed_point(self, doc):
+        once = serialize_provxml(doc)
+        assert serialize_provxml(parse_provxml(once)) == once
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            parse_provxml("<wrong/>")
+
+    def test_corpus_traces_roundtrip(self, corpus):
+        for trace in corpus.traces[::40]:
+            doc2 = parse_provxml(serialize_provxml(trace.document))
+            assert doc2.statistics() == trace.document.statistics(), trace.run_id
+
+
+class TestDot:
+    def test_structure(self, doc):
+        dot = to_dot(doc, name="demo")
+        assert dot.startswith('digraph "demo" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_node_styles_by_kind(self, doc):
+        dot = to_dot(doc)
+        assert "shape=ellipse" in dot  # entities
+        assert "shape=box" in dot      # activities
+        assert "shape=house" in dot    # agents
+
+    def test_edge_labels(self, doc):
+        dot = to_dot(doc)
+        for label in ("used", "wasGeneratedBy", "wasAssociatedWith",
+                      "wasAttributedTo", "hadPrimarySource"):
+            assert f'label="{label}"' in dot
+
+    def test_plan_edge_dashed(self, doc):
+        dot = to_dot(doc)
+        assert 'label="hadPlan", style=dashed' in dot
+
+    def test_bundle_as_cluster(self, doc):
+        dot = to_dot(doc)
+        assert "subgraph cluster_0" in dot
+
+    def test_labels_use_curies(self, doc):
+        assert 'label="ex:run"' in to_dot(doc)
+
+    def test_quote_escaping(self):
+        document = ProvDocument()
+        document.namespaces.bind("ex", "http://example.org/")
+        document.entity("ex:e")
+        dot = to_dot(document, name='has "quotes"')
+        assert 'digraph "has \\"quotes\\""' in dot

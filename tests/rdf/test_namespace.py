@@ -1,0 +1,118 @@
+"""Unit tests for namespaces and prefix management."""
+
+import pytest
+
+from repro.rdf.namespace import (
+    CORE_PREFIXES,
+    Namespace,
+    NamespaceManager,
+    PROV,
+    WFPROV,
+)
+from repro.rdf.terms import IRI
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.thing == IRI("http://example.org/thing")
+
+    def test_item_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns["with-dash"] == IRI("http://example.org/with-dash")
+
+    def test_contains_iri(self):
+        assert PROV.Entity in PROV
+        assert IRI("http://other.org/x") not in PROV
+
+    def test_contains_string(self):
+        assert "http://www.w3.org/ns/prov#used" in PROV
+
+    def test_equality(self):
+        assert Namespace("http://a/") == Namespace("http://a/")
+        assert Namespace("http://a/") != Namespace("http://b/")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+
+class TestNamespaceManager:
+    def test_core_prefixes_bound_by_default(self):
+        nsm = NamespaceManager()
+        for prefix in ("prov", "wfprov", "opmw", "rdf", "xsd"):
+            assert prefix in nsm
+
+    def test_expand(self):
+        nsm = NamespaceManager()
+        assert nsm.expand("prov:Entity") == PROV.Entity
+
+    def test_expand_unknown_prefix(self):
+        nsm = NamespaceManager()
+        with pytest.raises(KeyError):
+            nsm.expand("nope:thing")
+
+    def test_expand_not_a_curie(self):
+        nsm = NamespaceManager()
+        with pytest.raises(ValueError):
+            nsm.expand("plainword")
+
+    def test_compact(self):
+        nsm = NamespaceManager()
+        assert nsm.compact(PROV.Entity) == "prov:Entity"
+        assert nsm.compact(WFPROV.WorkflowRun) == "wfprov:WorkflowRun"
+
+    def test_compact_unknown_returns_none(self):
+        nsm = NamespaceManager()
+        assert nsm.compact(IRI("http://nowhere.example/x")) is None
+
+    def test_compact_longest_match_wins(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("a", "http://example.org/")
+        nsm.bind("b", "http://example.org/deep/")
+        assert nsm.compact(IRI("http://example.org/deep/x")) == "b:x"
+
+    def test_compact_rejects_invalid_local(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("ex", "http://example.org/")
+        # a local part with '/' is not a valid PN_LOCAL in our profile
+        assert nsm.compact(IRI("http://example.org/a/b")) is None
+
+    def test_rebind_replaces(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("x", "http://one.example/")
+        nsm.bind("x", "http://two.example/")
+        assert nsm.expand("x:y") == IRI("http://two.example/y")
+
+    def test_bind_no_replace_conflict(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("x", "http://one.example/")
+        with pytest.raises(ValueError):
+            nsm.bind("x", "http://two.example/", replace=False)
+
+    def test_bind_no_replace_same_is_noop(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("x", "http://one.example/")
+        nsm.bind("x", "http://one.example/", replace=False)
+        assert len(nsm) == 1
+
+    def test_namespaces_sorted(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("zz", "http://z.example/")
+        nsm.bind("aa", "http://a.example/")
+        assert [p for p, _ in nsm.namespaces()] == ["aa", "zz"]
+
+    def test_copy_is_independent(self):
+        nsm = NamespaceManager(bind_core=False)
+        nsm.bind("x", "http://one.example/")
+        clone = nsm.copy()
+        clone.bind("y", "http://two.example/")
+        assert "y" not in nsm
+
+    def test_core_prefix_table_consistent(self):
+        assert CORE_PREFIXES["prov"] == PROV.base

@@ -1,0 +1,227 @@
+"""Unit tests for N-Triples, Turtle, TriG, and JSON-LD serializations."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf import (
+    Dataset,
+    Graph,
+    Namespace,
+    PROV,
+    RDF,
+    from_python,
+    parse_nquads,
+    parse_ntriples,
+    parse_trig,
+    parse_turtle,
+    serialize_nquads,
+    serialize_ntriples,
+    serialize_trig,
+    serialize_turtle,
+)
+from repro.rdf.jsonld import dumps as jsonld_dumps, loads as jsonld_loads
+from repro.rdf.ntriples import NTriplesError
+from repro.rdf.terms import BlankNode, IRI, Literal, XSD
+from repro.rdf.turtle import TurtleError
+
+EX = Namespace("http://example.org/")
+
+
+def rich_graph():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.run, RDF.type, PROV.Activity))
+    g.add((EX.run, PROV.startedAtTime, from_python(dt.datetime(2013, 1, 1, 12))))
+    g.add((EX.run, PROV.used, EX.data))
+    g.add((EX.data, RDF.type, PROV.Entity))
+    g.add((EX.data, EX.title, Literal('a "quoted" title', language="en")))
+    g.add((EX.data, EX.size, 42))
+    g.add((EX.data, EX.ratio, Literal("0.5", datatype=XSD.DECIMAL)))
+    g.add((EX.data, EX.ok, True))
+    g.add((BlankNode("n1"), PROV.used, EX.data))
+    return g
+
+
+class TestNTriples:
+    def test_roundtrip(self):
+        g = rich_graph()
+        assert parse_ntriples(serialize_ntriples(g)) == g
+
+    def test_sorted_output_is_stable(self):
+        assert serialize_ntriples(rich_graph()) == serialize_ntriples(rich_graph())
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# comment\n\n<http://a/> <http://p/> \"x\" .\n"
+        g = parse_ntriples(text)
+        assert len(g) == 1
+
+    def test_literal_forms(self):
+        text = (
+            '<http://a/> <http://p/> "plain" .\n'
+            '<http://a/> <http://p/> "tagged"@en .\n'
+            '<http://a/> <http://p/> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+        )
+        g = parse_ntriples(text)
+        assert len(g) == 3
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples('<http://a/> <http://p/> "x"')
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples('"x" <http://p/> <http://a/> .')
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples("<http://a/> _:b <http://c/> .")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError) as exc:
+            parse_ntriples('<http://a/> <http://p/> "ok" .\ngarbage\n')
+        assert exc.value.lineno == 2
+
+
+class TestNQuads:
+    def test_roundtrip_with_named_graphs(self):
+        ds = Dataset()
+        ds.default.add((EX.a, PROV.used, EX.b))
+        ds.graph(EX.g1).add((EX.c, PROV.used, EX.d))
+        text = serialize_nquads(ds)
+        ds2 = parse_nquads(text)
+        assert len(ds2) == 2
+        assert (EX.c, PROV.used, EX.d) in ds2.graph(EX.g1)
+
+    def test_triple_lines_go_to_default(self):
+        ds = parse_nquads("<http://a/> <http://p/> <http://b/> .\n")
+        assert len(ds.default) == 1
+
+
+class TestTurtle:
+    def test_roundtrip(self):
+        g = rich_graph()
+        assert parse_turtle(serialize_turtle(g)) == g
+
+    def test_deterministic_output(self):
+        assert serialize_turtle(rich_graph()) == serialize_turtle(rich_graph())
+
+    def test_uses_curies_and_a(self):
+        text = serialize_turtle(rich_graph())
+        assert "ex:run a prov:Activity" in text
+        assert "@prefix prov:" in text
+
+    def test_integer_shorthand(self):
+        text = serialize_turtle(rich_graph())
+        assert "ex:size 42" in text
+
+    def test_boolean_shorthand(self):
+        assert "ex:ok true" in serialize_turtle(rich_graph())
+
+    def test_parse_semicolon_comma_groups(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:p ex:o1, ex:o2 ;
+             ex:q "v" .
+        """
+        g = parse_turtle(text)
+        assert len(g) == 3
+
+    def test_parse_prefix_sparql_style(self):
+        g = parse_turtle("PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .")
+        assert len(g) == 1
+
+    def test_parse_base(self):
+        g = parse_turtle("@base <http://example.org/> .\n<a> <p> <b> .")
+        assert next(iter(g)).subject == IRI("http://example.org/a")
+
+    def test_parse_blank_node_property_list(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:s ex:p [ ex:q ex:o ] ."
+        )
+        assert len(g) == 2
+
+    def test_parse_collection(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:s ex:p (ex:a ex:b) ."
+        )
+        # head + 2x(first, rest)
+        assert len(g) == 5
+        assert len(list(g.triples(None, RDF.first, None))) == 2
+
+    def test_parse_empty_collection_is_nil(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:s ex:p () ."
+        )
+        assert (EX.s, EX.p, RDF.nil) in g
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(TurtleError):
+            parse_turtle("nope:a nope:b nope:c .")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(TurtleError):
+            parse_turtle("@prefix ex: <http://example.org/> .\nex:a ex:b ex:c")
+
+    def test_numeric_literals(self):
+        g = parse_turtle(
+            "@prefix ex: <http://e/> .\nex:s ex:a 5 ; ex:b 2.5 ; ex:c 1.0e3 ; ex:d true ."
+        )
+        datatypes = {t.object.datatype.value for t in g if isinstance(t.object, Literal)}
+        assert datatypes == {XSD.INTEGER, XSD.DECIMAL, XSD.DOUBLE, XSD.BOOLEAN}
+
+    def test_long_string(self):
+        g = parse_turtle('@prefix ex: <http://e/> .\nex:s ex:p """multi\nline""" .')
+        lit = next(iter(g)).object
+        assert "\n" in lit.lexical
+
+
+class TestTriG:
+    def test_roundtrip(self):
+        ds = Dataset()
+        ds.namespaces.bind("ex", EX)
+        ds.default.add((EX.bundle, RDF.type, PROV.Bundle))
+        ds.graph(EX.bundle).add((EX.run, RDF.type, PROV.Activity))
+        ds.graph(EX.bundle).add((EX.run, PROV.used, EX.data))
+        text = serialize_trig(ds)
+        ds2 = parse_trig(text)
+        assert len(ds2) == len(ds)
+        assert (EX.run, PROV.used, EX.data) in ds2.graph(EX.bundle)
+
+    def test_graph_keyword_optional(self):
+        text = (
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:g1 { ex:a ex:p ex:b . }\n"
+        )
+        ds = parse_trig(text)
+        assert (EX.a, EX.p, EX.b) in ds.graph(EX.g1)
+
+    def test_default_graph_statements(self):
+        text = (
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:x ex:p ex:y .\n"
+            "GRAPH ex:g1 { ex:a ex:p ex:b }\n"
+        )
+        ds = parse_trig(text)
+        assert (EX.x, EX.p, EX.y) in ds.default
+        assert (EX.a, EX.p, EX.b) in ds.graph(EX.g1)
+
+
+class TestJsonLd:
+    def test_roundtrip(self):
+        g = rich_graph()
+        assert jsonld_loads(jsonld_dumps(g)) == g
+
+    def test_type_key_used(self):
+        text = jsonld_dumps(rich_graph())
+        assert '"@type"' in text
+
+    def test_plain_values_for_common_datatypes(self):
+        from repro.rdf.jsonld import to_jsonld
+
+        doc = to_jsonld(rich_graph())
+        node = next(n for n in doc["@graph"] if n["@id"].endswith("/data"))
+        assert node["ex:size"] == 42
+        assert node["ex:ok"] is True

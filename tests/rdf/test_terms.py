@@ -1,0 +1,217 @@
+"""Unit tests for RDF terms: IRIs, blank nodes, literals, conversions."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf.terms import (
+    XSD,
+    BlankNode,
+    IRI,
+    Literal,
+    escape_string,
+    format_datetime,
+    from_python,
+    is_valid_iri,
+    parse_datetime,
+    unescape_string,
+)
+
+
+class TestIRI:
+    def test_construction_and_str(self):
+        iri = IRI("http://example.org/thing")
+        assert str(iri) == "http://example.org/thing"
+        assert iri.n3() == "<http://example.org/thing>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://a/") == IRI("http://a/")
+        assert IRI("http://a/") != IRI("http://b/")
+        assert hash(IRI("http://a/")) == hash(IRI("http://a/"))
+
+    def test_rejects_invalid_characters(self):
+        for bad in ("has space", "angle<bracket", 'quo"te', "back\\slash", ""):
+            with pytest.raises(ValueError):
+                IRI(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            IRI(42)
+
+    def test_immutable(self):
+        iri = IRI("http://a/")
+        with pytest.raises(AttributeError):
+            iri.value = "http://b/"
+
+    def test_local_name_hash(self):
+        assert IRI("http://www.w3.org/ns/prov#Entity").local_name == "Entity"
+
+    def test_local_name_slash(self):
+        assert IRI("http://example.org/data/item1").local_name == "item1"
+
+    def test_namespace(self):
+        iri = IRI("http://www.w3.org/ns/prov#Entity")
+        assert iri.namespace == "http://www.w3.org/ns/prov#"
+
+    def test_is_valid_iri(self):
+        assert is_valid_iri("urn:uuid:1234")
+        assert not is_valid_iri("bad iri")
+
+
+class TestBlankNode:
+    def test_explicit_id(self):
+        b = BlankNode("b1")
+        assert b.id == "b1"
+        assert b.n3() == "_:b1"
+
+    def test_auto_id_unique(self):
+        BlankNode.reset_counter()
+        a, b = BlankNode(), BlankNode()
+        assert a != b
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            BlankNode("has space")
+        with pytest.raises(ValueError):
+            BlankNode("")
+
+    def test_equality(self):
+        assert BlankNode("x") == BlankNode("x")
+        assert BlankNode("x") != BlankNode("y")
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        lit = Literal("hello")
+        assert lit.datatype.value == XSD.STRING
+        assert lit.language is None
+        assert lit.n3() == '"hello"'
+
+    def test_language_tagged(self):
+        lit = Literal("bonjour", language="FR")
+        assert lit.language == "fr"  # canonical lowercase
+        assert lit.n3() == '"bonjour"@fr'
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.STRING, language="en")
+
+    def test_invalid_language_tag(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="not a tag!")
+
+    def test_typed_n3(self):
+        lit = Literal("42", datatype=XSD.INTEGER)
+        assert lit.n3() == '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_escaping_in_n3(self):
+        lit = Literal('say "hi"\nplease')
+        assert lit.n3() == '"say \\"hi\\"\\nplease"'
+
+    def test_to_python_integer(self):
+        assert Literal("7", datatype=XSD.INTEGER).to_python() == 7
+
+    def test_to_python_double(self):
+        assert Literal("2.5", datatype=XSD.DOUBLE).to_python() == 2.5
+
+    def test_to_python_boolean(self):
+        assert Literal("true", datatype=XSD.BOOLEAN).to_python() is True
+        assert Literal("0", datatype=XSD.BOOLEAN).to_python() is False
+
+    def test_to_python_datetime(self):
+        value = Literal("2013-01-05T08:30:00", datatype=XSD.DATETIME).to_python()
+        assert value == dt.datetime(2013, 1, 5, 8, 30)
+
+    def test_to_python_malformed_falls_back_to_lexical(self):
+        assert Literal("not-a-number", datatype=XSD.INTEGER).to_python() == "not-a-number"
+
+    def test_to_python_unknown_datatype(self):
+        lit = Literal("x", datatype="http://example.org/custom")
+        assert lit.to_python() == "x"
+
+    def test_is_numeric(self):
+        assert Literal("1", datatype=XSD.INTEGER).is_numeric
+        assert not Literal("1").is_numeric
+
+    def test_equality_considers_datatype(self):
+        assert Literal("1", datatype=XSD.INTEGER) != Literal("1", datatype=XSD.DOUBLE)
+        assert Literal("1", datatype=XSD.INTEGER) == Literal("1", datatype=XSD.INTEGER)
+
+
+class TestDatetimeLexical:
+    def test_parse_with_utc(self):
+        value = parse_datetime("2013-03-01T12:00:00Z")
+        assert value.tzinfo == dt.timezone.utc
+
+    def test_parse_with_offset(self):
+        value = parse_datetime("2013-03-01T12:00:00+02:00")
+        assert value.utcoffset() == dt.timedelta(hours=2)
+
+    def test_parse_fraction(self):
+        value = parse_datetime("2013-03-01T12:00:00.250")
+        assert value.microsecond == 250000
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            parse_datetime("yesterday")
+
+    def test_format_roundtrip(self):
+        original = dt.datetime(2013, 3, 1, 12, 0, 0, 125000, tzinfo=dt.timezone.utc)
+        assert parse_datetime(format_datetime(original)) == original
+
+    def test_format_naive(self):
+        assert format_datetime(dt.datetime(2013, 3, 1, 12)) == "2013-03-01T12:00:00"
+
+
+class TestEscaping:
+    def test_roundtrip_control_characters(self):
+        original = "tab\t newline\n quote\" backslash\\ bell\x07"
+        assert unescape_string(escape_string(original)) == original
+
+    def test_unicode_escape(self):
+        assert unescape_string("\\u0041") == "A"
+        assert unescape_string("\\U00000042") == "B"
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(ValueError):
+            unescape_string("bad\\")
+
+
+class TestFromPython:
+    def test_bool_before_int(self):
+        lit = from_python(True)
+        assert lit.datatype.value == XSD.BOOLEAN
+        assert lit.lexical == "true"
+
+    def test_int(self):
+        assert from_python(5).datatype.value == XSD.INTEGER
+
+    def test_float(self):
+        assert from_python(1.5).datatype.value == XSD.DOUBLE
+
+    def test_datetime(self):
+        lit = from_python(dt.datetime(2013, 1, 1, 9))
+        assert lit.datatype.value == XSD.DATETIME
+
+    def test_date(self):
+        assert from_python(dt.date(2013, 1, 1)).datatype.value == XSD.DATE
+
+    def test_string(self):
+        assert from_python("x").datatype.value == XSD.STRING
+
+    def test_passthrough(self):
+        lit = Literal("x")
+        assert from_python(lit) is lit
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            from_python(object())
+
+
+class TestOrdering:
+    def test_kind_order(self):
+        b, i, l = BlankNode("a"), IRI("http://a/"), Literal("a")
+        assert sorted([l, i, b]) == [b, i, l]
+
+    def test_iri_lexicographic(self):
+        assert IRI("http://a/") < IRI("http://b/")

@@ -1,0 +1,98 @@
+"""Tests for DESCRIBE queries (concise bounded descriptions)."""
+
+import pytest
+
+from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.rdf.terms import BlankNode
+from repro.sparql import QueryEngine, parse_query
+from repro.sparql.algebra import DescribeQuery
+from repro.sparql.tokenizer import SparqlSyntaxError
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def engine():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.run, RDF.type, PROV.Activity))
+    g.add((EX.run, PROV.used, EX.data))
+    node = BlankNode("q1")
+    g.add((EX.run, PROV.qualifiedAssociation, node))
+    g.add((node, PROV.agent, EX.engine))
+    g.add((EX.data, RDF.type, PROV.Entity))
+    g.add((EX.other, RDF.type, PROV.Entity))
+    return QueryEngine(g)
+
+
+class TestParse:
+    def test_constant_target(self):
+        q = parse_query("PREFIX ex: <http://example.org/> DESCRIBE ex:run")
+        assert isinstance(q, DescribeQuery)
+        assert q.where is None
+
+    def test_variable_with_where(self):
+        q = parse_query("DESCRIBE ?x WHERE { ?x a prov:Activity }")
+        assert q.where is not None
+
+    def test_multiple_targets(self):
+        q = parse_query("PREFIX ex: <http://example.org/> DESCRIBE ex:a ex:b ?c WHERE { ?c a prov:Entity }")
+        assert len(q.targets) == 3
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("DESCRIBE WHERE { ?x ?p ?o }")
+
+
+class TestEvaluate:
+    def test_subject_triples_returned(self, engine):
+        graph = engine.query("PREFIX ex: <http://example.org/> DESCRIBE ex:run")
+        assert (EX.run, PROV.used, EX.data) in graph
+        assert (EX.run, RDF.type, PROV.Activity) in graph
+        # other resources' own descriptions are not included
+        assert not list(graph.triples(EX.data, None, None))
+
+    def test_bnode_closure_followed(self, engine):
+        graph = engine.query("PREFIX ex: <http://example.org/> DESCRIBE ex:run")
+        assert (BlankNode("q1"), PROV.agent, EX.engine) in graph
+
+    def test_variable_targets(self, engine):
+        graph = engine.query("DESCRIBE ?e WHERE { ?e a prov:Entity }")
+        subjects = {t.subject for t in graph}
+        assert subjects == {EX.data, EX.other}
+
+    def test_unknown_resource_empty(self, engine):
+        graph = engine.query("DESCRIBE <http://nowhere.example/x>")
+        assert len(graph) == 0
+
+    def test_describe_run_from_corpus(self, corpus_dataset, corpus):
+        from repro.taverna import TAVERNA_RUN_NS
+
+        trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+        engine = QueryEngine(corpus_dataset)
+        run_iri = TAVERNA_RUN_NS.term(f"{trace.run_id}/")
+        graph = engine.query(f"DESCRIBE <{run_iri.value}>")
+        assert len(graph) > 5
+        assert all(t.subject == run_iri or not isinstance(t.subject, type(run_iri))
+                   or t.subject.value.startswith("_:") is False for t in graph)
+
+
+class TestEndpointGraphResults:
+    def test_construct_served_as_turtle(self, engine):
+        import urllib.parse
+        import urllib.request
+
+        from repro.endpoint import SparqlEndpoint
+
+        g = Graph()
+        g.namespaces.bind("ex", EX)
+        g.add((EX.o, PROV.wasGeneratedBy, EX.a))
+        g.add((EX.a, PROV.used, EX.i))
+        with SparqlEndpoint(g) as server:
+            query = ("CONSTRUCT { ?o prov:wasDerivedFrom ?i } "
+                     "WHERE { ?o prov:wasGeneratedBy ?a . ?a prov:used ?i }")
+            url = server.query_url + "?" + urllib.parse.urlencode({"query": query})
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.headers.get_content_type() == "text/turtle"
+                body = response.read().decode()
+        assert "prov:wasDerivedFrom" in body

@@ -1,0 +1,249 @@
+"""Unit tests for SPARQL expression evaluation and built-in functions."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf.terms import BlankNode, IRI, Literal, XSD, from_python
+from repro.sparql.algebra import (
+    And,
+    Arithmetic,
+    Compare,
+    FunctionCall,
+    InExpr,
+    Not,
+    Or,
+    TermExpr,
+    Var,
+    VarExpr,
+)
+from repro.sparql.functions import (
+    ExprError,
+    effective_boolean_value,
+    evaluate_expression,
+    order_key,
+)
+
+
+def lit(value):
+    return from_python(value)
+
+
+def call(name, *args):
+    return FunctionCall(name, [TermExpr(a) if not isinstance(a, (VarExpr,)) else a
+                               for a in map(_wrap, args)])
+
+
+def _wrap(value):
+    if isinstance(value, (IRI, Literal, BlankNode)):
+        return value
+    return from_python(value)
+
+
+def ev(expr, binding=None):
+    return evaluate_expression(expr, binding or {})
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean(self):
+        assert effective_boolean_value(lit(True)) is True
+        assert effective_boolean_value(lit(False)) is False
+
+    def test_string_nonempty(self):
+        assert effective_boolean_value(Literal("x")) is True
+        assert effective_boolean_value(Literal("")) is False
+
+    def test_numeric(self):
+        assert effective_boolean_value(lit(5)) is True
+        assert effective_boolean_value(lit(0)) is False
+
+    def test_iri_is_error(self):
+        with pytest.raises(ExprError):
+            effective_boolean_value(IRI("http://a/"))
+
+
+class TestLogical:
+    def test_and_or(self):
+        t, f = TermExpr(lit(True)), TermExpr(lit(False))
+        assert ev(And(t, t)).lexical == "true"
+        assert ev(And(t, f)).lexical == "false"
+        assert ev(Or(f, t)).lexical == "true"
+        assert ev(Not(f)).lexical == "true"
+
+    def test_error_and_false_is_false(self):
+        err = VarExpr(Var("unbound"))
+        f = TermExpr(lit(False))
+        assert ev(And(err, f)).lexical == "false"
+        assert ev(And(f, err)).lexical == "false"
+
+    def test_error_and_true_propagates(self):
+        err = VarExpr(Var("unbound"))
+        t = TermExpr(lit(True))
+        with pytest.raises(ExprError):
+            ev(And(err, t))
+
+    def test_error_or_true_is_true(self):
+        err = VarExpr(Var("unbound"))
+        t = TermExpr(lit(True))
+        assert ev(Or(err, t)).lexical == "true"
+        assert ev(Or(t, err)).lexical == "true"
+
+
+class TestComparison:
+    def test_numeric_cross_type(self):
+        expr = Compare("=", TermExpr(lit(1)), TermExpr(Literal("1.0", datatype=XSD.DOUBLE)))
+        assert ev(expr).lexical == "true"
+
+    def test_ordering(self):
+        assert ev(Compare("<", TermExpr(lit(1)), TermExpr(lit(2)))).lexical == "true"
+        assert ev(Compare(">=", TermExpr(lit(2)), TermExpr(lit(2)))).lexical == "true"
+
+    def test_datetime_comparison(self):
+        a = TermExpr(lit(dt.datetime(2013, 1, 1)))
+        b = TermExpr(lit(dt.datetime(2013, 6, 1)))
+        assert ev(Compare("<", a, b)).lexical == "true"
+
+    def test_string_comparison(self):
+        assert ev(Compare("<", TermExpr(Literal("a")), TermExpr(Literal("b")))).lexical == "true"
+
+    def test_iri_equality_only(self):
+        a, b = TermExpr(IRI("http://a/")), TermExpr(IRI("http://b/"))
+        assert ev(Compare("!=", a, b)).lexical == "true"
+        with pytest.raises(ExprError):
+            ev(Compare("<", a, b))
+
+    def test_type_mismatch_ordering_error(self):
+        with pytest.raises(ExprError):
+            ev(Compare("<", TermExpr(lit(1)), TermExpr(Literal("x"))))
+
+    def test_in_expression(self):
+        expr = InExpr(TermExpr(lit(2)), [TermExpr(lit(1)), TermExpr(lit(2))])
+        assert ev(expr).lexical == "true"
+        negated = InExpr(TermExpr(lit(9)), [TermExpr(lit(1))], negated=True)
+        assert ev(negated).lexical == "true"
+
+
+class TestArithmetic:
+    def test_integer_result(self):
+        expr = Arithmetic("+", TermExpr(lit(2)), TermExpr(lit(3)))
+        out = ev(expr)
+        assert out.to_python() == 5 and out.datatype.value == XSD.INTEGER
+
+    def test_division_always_allowed_except_zero(self):
+        expr = Arithmetic("/", TermExpr(lit(7)), TermExpr(lit(2)))
+        assert ev(expr).to_python() == 3.5
+        with pytest.raises(ExprError):
+            ev(Arithmetic("/", TermExpr(lit(1)), TermExpr(lit(0))))
+
+    def test_non_numeric_error(self):
+        with pytest.raises(ExprError):
+            ev(Arithmetic("+", TermExpr(Literal("x")), TermExpr(lit(1))))
+
+
+class TestBuiltins:
+    def test_str_of_iri_and_literal(self):
+        assert ev(call("STR", IRI("http://a/"))).lexical == "http://a/"
+        assert ev(call("STR", lit(42))).lexical == "42"
+
+    def test_lang_and_datatype(self):
+        tagged = Literal("bonjour", language="fr")
+        assert ev(call("LANG", tagged)).lexical == "fr"
+        assert ev(call("DATATYPE", lit(1))) == IRI(XSD.INTEGER)
+
+    def test_langmatches(self):
+        assert ev(call("LANGMATCHES", Literal("en-GB"), Literal("en"))).lexical == "true"
+        assert ev(call("LANGMATCHES", Literal("fr"), Literal("*"))).lexical == "true"
+
+    def test_is_checks(self):
+        assert ev(call("ISIRI", IRI("http://a/"))).lexical == "true"
+        assert ev(call("ISLITERAL", Literal("x"))).lexical == "true"
+        assert ev(call("ISBLANK", BlankNode("b"))).lexical == "true"
+        assert ev(call("ISNUMERIC", lit(1))).lexical == "true"
+        assert ev(call("ISNUMERIC", Literal("1"))).lexical == "false"
+
+    def test_regex(self):
+        assert ev(call("REGEX", Literal("workflow"), Literal("^work"))).lexical == "true"
+        assert ev(call("REGEX", Literal("Workflow"), Literal("^work"), Literal("i"))).lexical == "true"
+
+    def test_regex_invalid_pattern(self):
+        with pytest.raises(ExprError):
+            ev(call("REGEX", Literal("x"), Literal("(")))
+
+    def test_string_functions(self):
+        assert ev(call("STRLEN", Literal("abc"))).to_python() == 3
+        assert ev(call("UCASE", Literal("ab"))).lexical == "AB"
+        assert ev(call("LCASE", Literal("AB"))).lexical == "ab"
+        assert ev(call("STRSTARTS", Literal("abc"), Literal("ab"))).lexical == "true"
+        assert ev(call("STRENDS", Literal("abc"), Literal("bc"))).lexical == "true"
+        assert ev(call("CONTAINS", Literal("abc"), Literal("b"))).lexical == "true"
+        assert ev(call("CONCAT", Literal("a"), Literal("b"))).lexical == "ab"
+        assert ev(call("SUBSTR", Literal("abcde"), lit(2), lit(3))).lexical == "bcd"
+        assert ev(call("STRBEFORE", Literal("a-b"), Literal("-"))).lexical == "a"
+        assert ev(call("STRAFTER", Literal("a-b"), Literal("-"))).lexical == "b"
+        assert ev(call("REPLACE", Literal("aaa"), Literal("a"), Literal("b"))).lexical == "bbb"
+
+    def test_strafter_no_match_empty(self):
+        assert ev(call("STRAFTER", Literal("abc"), Literal("-"))).lexical == ""
+
+    def test_numeric_functions(self):
+        assert ev(call("ABS", lit(-2.0))).to_python() == 2.0
+        assert ev(call("CEIL", lit(1.2))).to_python() == 2.0
+        assert ev(call("FLOOR", lit(1.8))).to_python() == 1.0
+        assert ev(call("ROUND", lit(1.5))).to_python() == 2.0
+
+    def test_datetime_accessors(self):
+        stamp = lit(dt.datetime(2013, 3, 5, 14, 30, 20))
+        assert ev(call("YEAR", stamp)).to_python() == 2013
+        assert ev(call("MONTH", stamp)).to_python() == 3
+        assert ev(call("DAY", stamp)).to_python() == 5
+        assert ev(call("HOURS", stamp)).to_python() == 14
+        assert ev(call("MINUTES", stamp)).to_python() == 30
+        assert ev(call("SECONDS", stamp)).to_python() == 20
+
+    def test_bound(self):
+        expr = FunctionCall("BOUND", [VarExpr(Var("x"))])
+        assert evaluate_expression(expr, {"x": lit(1)}).lexical == "true"
+        assert evaluate_expression(expr, {}).lexical == "false"
+
+    def test_coalesce(self):
+        expr = FunctionCall("COALESCE", [VarExpr(Var("missing")), TermExpr(lit(7))])
+        assert ev(expr).to_python() == 7
+
+    def test_if(self):
+        expr = FunctionCall("IF", [TermExpr(lit(True)), TermExpr(lit(1)), TermExpr(lit(2))])
+        assert ev(expr).to_python() == 1
+
+    def test_sameterm(self):
+        assert ev(call("SAMETERM", lit(1), lit(1))).lexical == "true"
+        double_one = Literal("1.0", datatype=XSD.DOUBLE)
+        assert ev(call("SAMETERM", lit(1), double_one)).lexical == "false"
+
+    def test_iri_constructor(self):
+        assert ev(call("IRI", Literal("http://a/"))) == IRI("http://a/")
+
+    def test_now_disabled_for_determinism(self):
+        with pytest.raises(ExprError):
+            ev(FunctionCall("NOW", []))
+
+    def test_unbound_variable_error(self):
+        with pytest.raises(ExprError):
+            ev(VarExpr(Var("nope")))
+
+
+class TestOrderKey:
+    def test_unbound_sorts_first(self):
+        keys = sorted([order_key(lit(1)), order_key(None), order_key(IRI("http://a/"))])
+        assert keys[0] == order_key(None)
+
+    def test_numbers_order_naturally(self):
+        assert order_key(lit(2)) < order_key(lit(10))
+
+    def test_datetimes_order_naturally(self):
+        early = lit(dt.datetime(2012, 1, 1))
+        late = lit(dt.datetime(2013, 1, 1))
+        assert order_key(early) < order_key(late)
+
+    def test_mixed_tz_handling(self):
+        naive = lit(dt.datetime(2013, 1, 1, 12))
+        aware = Literal("2013-01-01T11:00:00Z", datatype=XSD.DATETIME)
+        assert order_key(aware) < order_key(naive)

@@ -1,0 +1,170 @@
+"""Tests for SPARQL property paths (parser + evaluator)."""
+
+import pytest
+
+from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.sparql import QueryEngine, parse_query
+from repro.sparql.paths import (
+    PathAlternative,
+    PathClosure,
+    PathInverse,
+    PathSequence,
+    eval_path,
+)
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def chain():
+    """d1 -used-by- a1 -generates- d2 -used-by- a2 -generates- d3."""
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.a1, PROV.used, EX.d1))
+    g.add((EX.d2, PROV.wasGeneratedBy, EX.a1))
+    g.add((EX.a2, PROV.used, EX.d2))
+    g.add((EX.d3, PROV.wasGeneratedBy, EX.a2))
+    return g
+
+
+class TestParsing:
+    def test_plain_iri_stays_iri(self):
+        q = parse_query("SELECT ?x WHERE { ?x prov:used ?y }")
+        assert q.where.triples[0].predicate == PROV.used
+
+    def test_sequence(self):
+        q = parse_query("SELECT ?x WHERE { ?x prov:wasGeneratedBy/prov:used ?y }")
+        path = q.where.triples[0].predicate
+        assert isinstance(path, PathSequence)
+        assert path.steps == (PROV.wasGeneratedBy, PROV.used)
+
+    def test_alternative(self):
+        q = parse_query("SELECT ?x WHERE { ?x prov:used|prov:wasGeneratedBy ?y }")
+        assert isinstance(q.where.triples[0].predicate, PathAlternative)
+
+    def test_inverse(self):
+        q = parse_query("SELECT ?x WHERE { ?x ^prov:used ?y }")
+        path = q.where.triples[0].predicate
+        assert isinstance(path, PathInverse) and path.inner == PROV.used
+
+    def test_closures(self):
+        star = parse_query("SELECT ?x WHERE { ?x prov:used* ?y }")
+        plus = parse_query("SELECT ?x WHERE { ?x prov:used+ ?y }")
+        assert star.where.triples[0].predicate.include_zero is True
+        assert plus.where.triples[0].predicate.include_zero is False
+
+    def test_grouping(self):
+        q = parse_query("SELECT ?x WHERE { ?x (prov:wasGeneratedBy/prov:used)+ ?y }")
+        path = q.where.triples[0].predicate
+        assert isinstance(path, PathClosure)
+        assert isinstance(path.inner, PathSequence)
+
+    def test_a_in_path(self):
+        q = parse_query("SELECT ?x WHERE { ?x a/prov:used ?y }")
+        assert q.where.triples[0].predicate.steps[0] == RDF.type
+
+
+class TestEvaluation:
+    def test_sequence_forward(self, chain):
+        engine = QueryEngine(chain)
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?src WHERE { ex:d3 prov:wasGeneratedBy/prov:used ?src }"
+        )
+        assert rows.column("src") == ["http://example.org/d2"]
+
+    def test_plus_transitive(self, chain):
+        engine = QueryEngine(chain)
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?src WHERE { ex:d3 (prov:wasGeneratedBy/prov:used)+ ?src } ORDER BY ?src"
+        )
+        assert rows.column("src") == ["http://example.org/d1", "http://example.org/d2"]
+
+    def test_star_includes_self(self, chain):
+        engine = QueryEngine(chain)
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?src WHERE { ex:d3 (prov:wasGeneratedBy/prov:used)* ?src }"
+        )
+        assert "http://example.org/d3" in rows.column("src")
+
+    def test_inverse_direction(self, chain):
+        engine = QueryEngine(chain)
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> SELECT ?a WHERE { ex:d1 ^prov:used ?a }"
+        )
+        assert rows.column("a") == ["http://example.org/a1"]
+
+    def test_alternative_union_of_edges(self, chain):
+        engine = QueryEngine(chain)
+        rows = engine.select("SELECT ?x ?y WHERE { ?x (prov:used|prov:wasGeneratedBy) ?y }")
+        assert len(rows) == 4
+
+    def test_object_bound_closure(self, chain):
+        engine = QueryEngine(chain)
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?prod WHERE { ?prod (prov:wasGeneratedBy/prov:used)+ ex:d1 } ORDER BY ?prod"
+        )
+        assert rows.column("prod") == ["http://example.org/d2", "http://example.org/d3"]
+
+    def test_both_endpoints_bound(self, chain):
+        engine = QueryEngine(chain)
+        assert engine.ask(
+            "PREFIX ex: <http://example.org/> "
+            "ASK { ex:d3 (prov:wasGeneratedBy/prov:used)+ ex:d1 }"
+        )
+        assert not engine.ask(
+            "PREFIX ex: <http://example.org/> "
+            "ASK { ex:d1 (prov:wasGeneratedBy/prov:used)+ ex:d3 }"
+        )
+
+    def test_cycle_terminates(self):
+        g = Graph()
+        g.add((EX.a, EX.next, EX.b))
+        g.add((EX.b, EX.next, EX.a))
+        pairs = list(eval_path(g, PathClosure(EX.next, include_zero=False), EX.a, None))
+        assert (EX.a, EX.b) in pairs and (EX.a, EX.a) in pairs
+        assert len(pairs) == 2
+
+    def test_star_both_unbound_pairs_every_node(self):
+        g = Graph()
+        g.add((EX.a, EX.next, EX.b))
+        pairs = set(eval_path(g, PathClosure(EX.next, include_zero=True)))
+        assert (EX.a, EX.a) in pairs and (EX.b, EX.b) in pairs and (EX.a, EX.b) in pairs
+
+    def test_duplicate_suppression(self, chain):
+        chain.add((EX.a1, EX.alt, EX.d1))
+        path = PathAlternative((PROV.used, EX.alt))
+        pairs = list(eval_path(chain, path, EX.a1, None))
+        assert pairs.count((EX.a1, EX.d1)) == 1
+
+
+class TestOnCorpus:
+    def test_lineage_query_on_trace(self, corpus):
+        trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+        engine = QueryEngine(trace.graph())
+        # every workflow output reaches some used artifact transitively
+        rows = engine.select("""
+            SELECT DISTINCT ?out ?src WHERE {
+              ?out (prov:wasGeneratedBy/prov:used)+ ?src .
+            }
+        """)
+        assert len(rows) > 0
+
+    def test_path_equivalent_to_dependency_analyzer(self, corpus):
+        from repro.apps import DependencyAnalyzer
+        from repro.rdf.terms import IRI
+
+        trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+        graph = trace.graph()
+        engine = QueryEngine(graph)
+        analyzer = DependencyAnalyzer(graph)
+        output = next(iter(analyzer._generated_by))
+        expected = {iri.value for iri in analyzer.transitive_dependencies(output)}
+        rows = engine.select(
+            f"SELECT ?src WHERE {{ <{output.value}> "
+            f"((prov:wasGeneratedBy/prov:used)|prov:hadPrimarySource)+ ?src }}"
+        )
+        assert set(rows.column("src")) == expected

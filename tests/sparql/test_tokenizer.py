@@ -1,0 +1,93 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql.tokenizer import SparqlSyntaxError, Tokenizer
+
+
+def kinds(text):
+    return [t.kind for t in Tokenizer(text).tokens]
+
+
+def texts(text):
+    return [t.text for t in Tokenizer(text).tokens]
+
+
+class TestTokenKinds:
+    def test_variables(self):
+        toks = Tokenizer("?x $y").tokens
+        assert [t.kind for t in toks] == ["var", "var"]
+        assert [t.text for t in toks] == ["x", "y"]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Select SELECT") == ["keyword"] * 3
+        assert texts("select") == ["SELECT"]
+
+    def test_pname_vs_keyword(self):
+        toks = Tokenizer("prov:used select:ish regex").tokens
+        assert toks[0].kind == "pname"
+        assert toks[1].kind == "pname"  # colon makes it a pname
+        assert toks[2].kind == "pname"  # function names are not keywords
+
+    def test_iriref(self):
+        assert kinds("<http://example.org/x>") == ["iriref"]
+
+    def test_strings_single_and_double(self):
+        assert kinds("\"a\" 'b'") == ["string", "string"]
+
+    def test_string_with_escapes(self):
+        assert texts(r'"a\"b"') == [r'"a\"b"']
+
+    def test_numbers(self):
+        assert kinds("5 2.5 1e3 -7") == ["integer", "decimal", "double", "integer"]
+
+    def test_operators(self):
+        assert texts("= != <= >= && || !") == ["=", "!=", "<=", ">=", "&&", "||", "!"]
+
+    def test_punct(self):
+        assert kinds("{ } ( ) . ; ,") == ["punct"] * 7
+
+    def test_comments_stripped(self):
+        assert kinds("?x # a comment\n?y") == ["var", "var"]
+
+    def test_langtag_and_dtmark(self):
+        assert kinds('"x"@en "5"^^xsd:integer') == ["string", "langtag", "string", "dtmark", "pname"]
+
+    def test_bnode(self):
+        assert kinds("_:node1") == ["bnode"]
+
+    def test_line_numbers(self):
+        toks = Tokenizer("?a\n?b\n?c").tokens
+        assert [t.lineno for t in toks] == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SparqlSyntaxError):
+            Tokenizer("?x ~ ?y")
+
+
+class TestNavigation:
+    def test_peek_does_not_advance(self):
+        tk = Tokenizer("?x ?y")
+        assert tk.peek().text == "x"
+        assert tk.peek().text == "x"
+
+    def test_peek_ahead(self):
+        tk = Tokenizer("?x ?y")
+        assert tk.peek(1).text == "y"
+        assert tk.peek(5) is None
+
+    def test_next_past_end_raises(self):
+        tk = Tokenizer("?x")
+        tk.next()
+        with pytest.raises(SparqlSyntaxError):
+            tk.next()
+
+    def test_accept_keyword(self):
+        tk = Tokenizer("SELECT ?x")
+        assert tk.accept_keyword("SELECT") is True
+        assert tk.accept_keyword("WHERE") is False
+
+    def test_expect_punct_mismatch(self):
+        tk = Tokenizer("}")
+        with pytest.raises(SparqlSyntaxError):
+            tk.expect_punct("{")

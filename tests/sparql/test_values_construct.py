@@ -1,0 +1,154 @@
+"""Tests for VALUES inline data and CONSTRUCT queries."""
+
+import pytest
+
+from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import QueryEngine, parse_query
+from repro.sparql.algebra import ConstructQuery, Values
+from repro.sparql.tokenizer import SparqlSyntaxError
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def engine():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.a1, PROV.used, EX.d1))
+    g.add((EX.a2, PROV.used, EX.d2))
+    g.add((EX.d2, PROV.wasGeneratedBy, EX.a1))
+    g.add((EX.d3, PROV.wasGeneratedBy, EX.a2))
+    return QueryEngine(g)
+
+
+class TestValuesParsing:
+    def test_single_variable_form(self):
+        q = parse_query("SELECT ?x WHERE { VALUES ?x { ex:a ex:b } ?x ?p ?o }",
+                        namespaces=None) if False else parse_query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?x WHERE { ?x ?p ?o . VALUES ?x { ex:a ex:b } }"
+        )
+        assert isinstance(q.where, Values)
+        assert len(q.where.rows) == 2
+
+    def test_multi_variable_form(self):
+        q = parse_query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?x ?y WHERE { ?x ?p ?y . VALUES (?x ?y) { (ex:a ex:b) (ex:c UNDEF) } }"
+        )
+        values = q.where
+        assert [v.name for v in values.variables] == ["x", "y"]
+        assert values.rows[1][1] is None  # UNDEF
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                "PREFIX ex: <http://example.org/> "
+                "SELECT ?x WHERE { VALUES (?x ?y) { (ex:a) } }"
+            )
+
+    def test_variable_in_data_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?x WHERE { VALUES ?x { ?y } }")
+
+
+class TestValuesEvaluation:
+    def test_restricts_bindings(self, engine):
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?a ?d WHERE { ?a prov:used ?d . VALUES ?a { ex:a1 } }"
+        )
+        assert rows.column("a") == ["http://example.org/a1"]
+
+    def test_undef_leaves_variable_free(self, engine):
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?a ?d WHERE { ?a prov:used ?d . "
+            "VALUES (?a ?d) { (ex:a1 ex:d1) (ex:a2 UNDEF) } } ORDER BY ?a"
+        )
+        assert rows.column("a") == ["http://example.org/a1", "http://example.org/a2"]
+
+    def test_incompatible_rows_dropped(self, engine):
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?a WHERE { ?a prov:used ?d . VALUES (?a ?d) { (ex:a1 ex:d2) } }"
+        )
+        assert len(rows) == 0
+
+    def test_values_introduces_bindings(self, engine):
+        rows = engine.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?label WHERE { VALUES ?label { \"x\" \"y\" } }"
+        )
+        assert sorted(r.label.lexical for r in rows) == ["x", "y"]
+
+
+class TestConstruct:
+    def test_parse(self):
+        q = parse_query(
+            "CONSTRUCT { ?o prov:wasDerivedFrom ?i } "
+            "WHERE { ?o prov:wasGeneratedBy ?a . ?a prov:used ?i }"
+        )
+        assert isinstance(q, ConstructQuery)
+        assert len(q.template) == 1
+
+    def test_dataflow_derivation_materialization(self, engine):
+        graph = engine.construct(
+            "CONSTRUCT { ?out prov:wasDerivedFrom ?in } "
+            "WHERE { ?out prov:wasGeneratedBy ?a . ?a prov:used ?in }"
+        )
+        assert (EX.d2, PROV.wasDerivedFrom, EX.d1) in graph
+        assert (EX.d3, PROV.wasDerivedFrom, EX.d2) in graph
+        assert len(graph) == 2
+
+    def test_constant_template_triples(self, engine):
+        graph = engine.construct(
+            "PREFIX ex: <http://example.org/> "
+            "CONSTRUCT { ex:report ex:about ?a } WHERE { ?a prov:used ?d }"
+        )
+        assert len(graph) == 2
+        assert all(t.subject == EX.report for t in graph)
+
+    def test_unbound_positions_skipped(self, engine):
+        graph = engine.construct(
+            "CONSTRUCT { ?a prov:wasInfluencedBy ?ghost } WHERE { ?a prov:used ?d }"
+        )
+        assert len(graph) == 0
+
+    def test_literal_subject_skipped(self, engine):
+        graph = engine.construct(
+            'CONSTRUCT { ?v prov:value "x" } WHERE { ?a prov:used ?d . BIND(STR(?a) AS ?v) }'
+        )
+        assert len(graph) == 0
+
+    def test_limit(self, engine):
+        graph = engine.construct(
+            "CONSTRUCT { ?a prov:influenced ?d } WHERE { ?a prov:used ?d } LIMIT 1"
+        )
+        assert len(graph) == 1
+
+    def test_deduplication(self, engine):
+        graph = engine.construct(
+            "PREFIX ex: <http://example.org/> "
+            "CONSTRUCT { ex:one ex:thing ex:x } WHERE { ?a prov:used ?d }"
+        )
+        assert len(graph) == 1  # same triple instantiated twice, graph dedups
+
+    def test_construct_method_type_guard(self, engine):
+        with pytest.raises(TypeError):
+            engine.construct("SELECT ?a WHERE { ?a ?p ?o }")
+
+    def test_extract_prov_core_from_trace(self, corpus):
+        """CONSTRUCT as trace transformation: the pure PROV-O projection."""
+        trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+        engine = QueryEngine(trace.graph())
+        core = engine.construct("""
+            CONSTRUCT { ?a prov:used ?e . ?o prov:wasGeneratedBy ?a }
+            WHERE {
+              { ?a prov:used ?e } UNION { ?o prov:wasGeneratedBy ?a }
+            }
+        """)
+        assert len(core) > 0
+        predicates = set(core.predicates())
+        assert predicates <= {PROV.used, PROV.wasGeneratedBy}

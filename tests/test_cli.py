@@ -1,0 +1,76 @@
+"""Tests for the repro-corpus command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def built_dir(tmp_path_factory, corpus):
+    # Reuse the session corpus via write_corpus to avoid a second build.
+    from repro.corpus import write_corpus
+
+    root = tmp_path_factory.mktemp("cli-corpus")
+    write_corpus(corpus, root)
+    return root
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_args(self):
+        args = build_parser().parse_args(["build", "/tmp/x"])
+        assert args.command == "build"
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "table1"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_stats(self, built_dir, capsys):
+        assert main(["stats", str(built_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"] == 198
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert out.count("\n") >= 12
+        assert "(14 Taverna, 4 Wings)" in out
+
+    def test_query_table(self, built_dir, capsys):
+        code = main([
+            "query", str(built_dir),
+            "SELECT (COUNT(?b) AS ?n) WHERE { ?b a prov:Bundle }",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "86" in out
+
+    def test_query_csv(self, built_dir, capsys):
+        main([
+            "query", str(built_dir),
+            "ASK { ?x a prov:Bundle }",
+        ])
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_query_from_file(self, built_dir, tmp_path, capsys):
+        query_file = tmp_path / "q.rq"
+        query_file.write_text("SELECT (COUNT(?x) AS ?n) WHERE { ?x a prov:Agent }")
+        assert main(["query", str(built_dir), f"@{query_file}", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["head"]["vars"] == ["n"]
+
+    def test_build_command(self, tmp_path, capsys):
+        # Smallest end-to-end check of the build path (uses the real builder).
+        target = tmp_path / "out"
+        assert main(["build", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "workflows: 120" in out
+        assert (target / "manifest.json").exists()

@@ -1,0 +1,108 @@
+"""Tests for the coverage analysis (Tables 2 and 3)."""
+
+import pytest
+
+from repro.coverage import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SUPPORT_ABSENT,
+    SUPPORT_DIRECT,
+    SUPPORT_INFERRED,
+    TermCoverage,
+    coverage_report,
+    format_table2,
+    format_table3,
+    scan_term,
+)
+from repro.prov.constants import ADDITIONAL_TERMS, STARTING_POINT_TERMS, ProvTerm
+from repro.rdf import Graph, Namespace, PROV, RDF
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(scope="module")
+def report(taverna_graph, wings_graph):
+    return coverage_report(taverna_graph, wings_graph)
+
+
+class TestScanTerm:
+    def test_class_presence(self):
+        g = Graph([(EX.x, RDF.type, PROV.Entity)])
+        entity_term = next(t for t in STARTING_POINT_TERMS if t.name == "prov:Entity")
+        agent_term = next(t for t in STARTING_POINT_TERMS if t.name == "prov:Agent")
+        assert scan_term(g, entity_term)
+        assert not scan_term(g, agent_term)
+
+    def test_property_presence(self):
+        g = Graph([(EX.a, PROV.used, EX.e)])
+        used = next(t for t in STARTING_POINT_TERMS if t.name == "prov:used")
+        gen = next(t for t in STARTING_POINT_TERMS if t.name == "prov:wasGeneratedBy")
+        assert scan_term(g, used)
+        assert not scan_term(g, gen)
+
+
+class TestTable2:
+    """Cell-for-cell against the paper."""
+
+    @pytest.mark.parametrize("term_name,expected", sorted(PAPER_TABLE2.items()))
+    def test_cell(self, report, term_name, expected):
+        entry = report.cell(term_name)
+        assert entry is not None
+        measured = (
+            SUPPORT_ABSENT if entry.taverna == SUPPORT_INFERRED else entry.taverna,
+            SUPPORT_ABSENT if entry.wings == SUPPORT_INFERRED else entry.wings,
+        )
+        assert measured == expected
+
+    def test_row_order_matches_paper(self, report):
+        assert [e.term.name for e in report.starting_point] == list(
+            t.name for t in STARTING_POINT_TERMS
+        )
+
+
+class TestTable3:
+    @pytest.mark.parametrize("term_name,expected", sorted(PAPER_TABLE3.items()))
+    def test_cell(self, report, term_name, expected):
+        entry = report.cell(term_name)
+        assert (entry.taverna, entry.wings) == expected
+
+    def test_stars_are_inference_backed(self, report):
+        plan = report.cell("prov:Plan")
+        influence = report.cell("prov:wasInfluencedBy")
+        assert plan.taverna == SUPPORT_INFERRED
+        assert influence.taverna == SUPPORT_INFERRED
+
+
+class TestReportAPI:
+    def test_matches_paper(self, report):
+        assert report.matches_paper()
+        assert report.differences() == []
+
+    def test_support_labels(self):
+        term = ProvTerm("prov:x", PROV.used, is_class=False)
+        assert TermCoverage(term, SUPPORT_DIRECT, SUPPORT_DIRECT).support_label == "Taverna and Wings"
+        assert TermCoverage(term, SUPPORT_INFERRED, SUPPORT_DIRECT).support_label == "Taverna* and Wings"
+        assert TermCoverage(term, SUPPORT_ABSENT, SUPPORT_DIRECT).support_label == "Wings"
+        assert TermCoverage(term, SUPPORT_ABSENT, SUPPORT_ABSENT).support_label == "-"
+
+    def test_difference_detection(self, taverna_graph):
+        # Scanning Taverna traces as both systems must deviate from the paper
+        # (e.g. prov:wasAttributedTo would be absent for "Wings").
+        broken = coverage_report(taverna_graph, taverna_graph)
+        assert not broken.matches_paper()
+        assert any("wasAttributedTo" in d for d in broken.differences())
+
+    def test_formatting_contains_paper_comments(self, report):
+        t2 = format_table2(report)
+        assert "prov:startedAtTime" in t2
+        assert "Activity start and end not recorded in Wings" in t2
+        t3 = format_table3(report)
+        assert "Taverna* and Wings" in t3
+        assert "prov:hadPlan is used in Taverna" in t3
+
+    def test_table2_output_never_shows_stars(self, report):
+        assert "*" not in format_table2(report).replace("Terms.", "")
+
+    def test_all_seventeen_terms_covered(self, report):
+        assert len(report.starting_point) == 12
+        assert len(report.additional) == 5

@@ -1,0 +1,104 @@
+"""Tests for the SPARQL endpoint (server + client)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.endpoint import SparqlClient, SparqlEndpoint
+from repro.rdf import Graph, Namespace, PROV, RDF
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.r1, RDF.type, PROV.Activity))
+    g.add((EX.r2, RDF.type, PROV.Activity))
+    g.add((EX.e1, RDF.type, PROV.Entity))
+    server = SparqlEndpoint(g).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def client(endpoint):
+    return SparqlClient(endpoint.query_url)
+
+
+class TestProtocol:
+    def test_get_select(self, client):
+        rows = client.query("SELECT ?x WHERE { ?x a prov:Activity } ORDER BY ?x")
+        assert [r["x"] for r in rows] == ["http://example.org/r1", "http://example.org/r2"]
+
+    def test_post_sparql_query_body(self, client):
+        rows = client.query("SELECT (COUNT(?x) AS ?n) WHERE { ?x a prov:Activity }",
+                            method="POST")
+        assert rows[0]["n"] == 2
+
+    def test_post_form_encoded(self, endpoint):
+        import urllib.parse
+
+        body = urllib.parse.urlencode({"query": "ASK { ?x a prov:Entity }"}).encode()
+        request = urllib.request.Request(
+            endpoint.query_url, data=body,
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert json.loads(response.read())["boolean"] is True
+
+    def test_ask(self, client):
+        assert client.query("ASK { ?x a prov:Activity }") is True
+        assert client.query("ASK { ?x prov:used ?y }") is False
+
+    def test_csv_accept_header(self, endpoint):
+        import urllib.parse
+
+        url = endpoint.query_url + "?" + urllib.parse.urlencode(
+            {"query": "SELECT ?x WHERE { ?x a prov:Entity }"}
+        )
+        request = urllib.request.Request(url, headers={"Accept": "text/csv"})
+        with urllib.request.urlopen(request, timeout=5) as response:
+            text = response.read().decode()
+        assert text.splitlines()[0] == "x"
+
+    def test_service_description(self, endpoint):
+        with urllib.request.urlopen(endpoint.url + "/", timeout=5) as response:
+            payload = json.loads(response.read())
+        assert payload["sparql"] == "/sparql"
+        assert payload["triples"] == 3
+
+    def test_malformed_query_400(self, endpoint):
+        import urllib.parse
+
+        url = endpoint.query_url + "?" + urllib.parse.urlencode({"query": "SELEC bogus"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(url, timeout=5)
+        assert err.value.code == 400
+
+    def test_missing_query_param_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(endpoint.query_url, timeout=5)
+        assert err.value.code == 400
+
+    def test_unknown_path_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(endpoint.url + "/other", timeout=5)
+        assert err.value.code == 404
+
+    def test_client_decodes_numbers(self, client):
+        rows = client.query("SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?o }")
+        assert isinstance(rows[0]["n"], int)
+
+
+class TestCorpusEndpoint:
+    def test_exemplar_query_over_http(self, corpus_dataset):
+        from repro.queries import Q1_WORKFLOW_RUNS
+
+        with SparqlEndpoint(corpus_dataset) as server:
+            client = SparqlClient(server.query_url)
+            rows = client.query(Q1_WORKFLOW_RUNS)
+        assert len(rows) == 198

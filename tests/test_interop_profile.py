@@ -1,0 +1,130 @@
+"""Tests for the interoperability view and the corpus profiler."""
+
+import datetime as dt
+
+import pytest
+
+from repro.corpus.profile import profile_corpus
+from repro.interop import InteropView, UNIFIED_RUNS_QUERY
+from repro.queries import taverna_workflow_iri, wings_template_iri
+
+
+@pytest.fixture(scope="module")
+def view(corpus_dataset):
+    return InteropView(corpus_dataset)
+
+
+class TestInteropView:
+    def test_all_runs_unified(self, view):
+        assert len(view.runs()) == 198
+
+    def test_system_split(self, view):
+        grouped = view.by_system()
+        assert len(grouped["taverna"]) == 112
+        assert len(grouped["wings"]) == 86
+
+    def test_failed_runs_cross_system(self, view, corpus):
+        failed = view.failed_runs()
+        assert len(failed) == 30
+        systems = {r.system for r in failed}
+        assert systems == {"taverna", "wings"}
+
+    def test_every_run_has_times_and_agent(self, view):
+        for run in view.runs():
+            assert run.start is not None
+            assert run.end is not None
+            assert run.agent is not None
+            assert run.duration is not None and run.duration > dt.timedelta(0)
+
+    def test_status_matches_corpus(self, view, corpus):
+        failed_ids = {t.run_id for t in corpus.failed_traces()}
+        for run in view.runs():
+            run_tail = run.run.value.rstrip("/").rsplit("/", 1)[-1]
+            is_failed = any(fid in run.run.value for fid in failed_ids)
+            assert run.failed == is_failed, run_tail
+
+    def test_template_links_resolve(self, view, corpus):
+        multi = corpus.multi_run_templates()[0]
+        template = corpus.templates[multi]
+        if template.system == "taverna":
+            iri = taverna_workflow_iri(template.template_id, template.name)
+        else:
+            iri = wings_template_iri(template.template_id)
+        assert len(view.runs_of_template(iri)) == 3
+
+    def test_failure_rate(self, view):
+        assert abs(view.failure_rate() - 30 / 198) < 1e-9
+
+    def test_mean_durations_positive(self, view):
+        assert view.mean_duration("taverna") > dt.timedelta(0)
+        assert view.mean_duration("wings") > dt.timedelta(0)
+        assert view.mean_duration() > dt.timedelta(0)
+
+    def test_timeline_sorted(self, view):
+        timeline = view.timeline()
+        assert len(timeline) == 198
+        starts = [r.start for r in timeline]
+        assert starts == sorted(starts)
+
+    def test_query_text_is_single_interoperable_query(self):
+        assert "UNION" in UNIFIED_RUNS_QUERY
+        assert "wfprov:WorkflowRun" in UNIFIED_RUNS_QUERY
+        assert "opmw:WorkflowExecutionAccount" in UNIFIED_RUNS_QUERY
+
+
+class TestCorpusProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, corpus):
+        return profile_corpus(corpus)
+
+    def test_trace_count(self, profile):
+        assert len(profile.traces) == 198
+
+    def test_summary_shape(self, profile):
+        summary = profile.summary()
+        assert summary["traces"] == 198
+        assert summary["total_triples"] > 30_000
+        assert summary["triples_per_trace"]["min"] > 0
+        assert summary["triples_per_trace"]["min"] <= summary["triples_per_trace"]["max"]
+
+    def test_failed_traces_are_smaller_on_average(self, profile):
+        summary = profile.summary()
+        assert summary["failed_trace_mean_triples"] < summary["successful_trace_mean_triples"]
+
+    def test_top_properties_are_prov(self, profile):
+        top = profile.summary()["top_prov_properties"]
+        assert top and all(entry["property"].startswith("prov:") for entry in top)
+        names = [entry["property"] for entry in top]
+        assert "prov:used" in names
+        assert "prov:wasGeneratedBy" in names
+
+    def test_by_domain_rollup(self, profile, corpus):
+        rollup = profile.by_domain()
+        assert len(rollup) == 12
+        assert sum(d["traces"] for d in rollup.values()) == 198
+        assert sum(d["failed"] for d in rollup.values()) == 30
+
+    def test_per_trace_counts_consistent(self, profile, corpus):
+        by_id = {t.run_id: t for t in profile.traces}
+        sample = corpus.traces[0]
+        assert by_id[sample.run_id].triples == len(sample.graph())
+        assert by_id[sample.run_id].size_bytes == sample.size_bytes
+
+
+class TestTavernaCollections:
+    def test_list_artifacts_are_collections(self, corpus):
+        from repro.rdf import PROV, RDF
+
+        trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+        graph = trace.graph()
+        collections = list(graph.subjects(RDF.type, PROV.Collection))
+        assert collections
+        for collection in collections:
+            members = list(graph.objects(collection, PROV.hadMember))
+            assert members, "a collection must have members"
+
+    def test_wings_traces_have_no_collections(self, corpus):
+        from repro.rdf import PROV, RDF
+
+        trace = next(t for t in corpus.by_system("wings") if not t.failed)
+        assert not list(trace.graph().subjects(RDF.type, PROV.Collection))

@@ -1,0 +1,163 @@
+"""Tests for the six exemplar queries (Section 4 of the paper)."""
+
+import pytest
+
+from repro.queries import (
+    CorpusQueries,
+    q6_services_executed,
+    taverna_workflow_iri,
+    wings_template_iri,
+)
+from repro.taverna import TAVERNA_RUN_NS
+from repro.wings import OPMW_EXPORT_NS
+
+
+@pytest.fixture(scope="module")
+def queries(corpus_dataset):
+    return CorpusQueries(corpus_dataset)
+
+
+@pytest.fixture(scope="module")
+def taverna_run_iri(corpus):
+    trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+    return TAVERNA_RUN_NS.term(f"{trace.run_id}/"), trace
+
+
+@pytest.fixture(scope="module")
+def wings_account_iri(corpus):
+    trace = next(t for t in corpus.by_system("wings") if not t.failed)
+    return OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{trace.run_id}"), trace
+
+
+class TestQ1WorkflowRuns:
+    def test_returns_all_198_runs(self, queries):
+        assert len(queries.workflow_runs()) == 198
+
+    def test_all_runs_have_start_time(self, queries):
+        assert all(row.start is not None for row in queries.workflow_runs())
+
+    def test_all_runs_have_end_time(self, queries):
+        # Taverna via prov:endedAtTime, Wings via opmw:overallEndTime.
+        assert all(row.end is not None for row in queries.workflow_runs())
+
+    def test_ordered_by_start(self, queries):
+        starts = [row.start.to_python() for row in queries.workflow_runs()]
+        assert starts == sorted(starts)
+
+    def test_nested_runs_excluded(self, queries, corpus):
+        runs = {row.run.value for row in queries.workflow_runs()}
+        assert not any("/nested/" in r for r in runs)
+
+
+class TestQ2RunsOfTemplate:
+    def test_taverna_multi_run_template(self, queries, corpus):
+        template_id = next(t for t in corpus.multi_run_templates() if t.startswith("t-"))
+        template = corpus.templates[template_id]
+        counts = queries.runs_of_template(taverna_workflow_iri(template_id, template.name))
+        expected_failed = sum(1 for t in corpus.by_template(template_id) if t.failed)
+        assert counts == {"total": 3, "failed": expected_failed}
+
+    def test_wings_failed_template(self, queries, corpus):
+        trace = next(t for t in corpus.failed_traces() if t.system == "wings")
+        counts = queries.runs_of_template(wings_template_iri(trace.template_id))
+        assert counts["failed"] >= 1
+        assert counts["total"] == len(corpus.by_template(trace.template_id))
+
+    def test_unknown_template_zero(self, queries):
+        counts = queries.runs_of_template("http://nowhere.example/wf")
+        assert counts["total"] == 0
+
+    def test_totals_sum_to_198_and_30(self, queries, corpus):
+        total = failed = 0
+        for template in corpus.templates.values():
+            if template.system == "taverna":
+                iri = taverna_workflow_iri(template.template_id, template.name)
+            else:
+                iri = wings_template_iri(template.template_id)
+            counts = queries.runs_of_template(iri)
+            total += counts["total"]
+            failed += counts["failed"]
+        assert total == 198
+        assert failed == 30
+
+
+class TestQ3TemplateIO:
+    def test_taverna_io(self, queries, corpus, taverna_run_iri):
+        _, trace = taverna_run_iri
+        template = corpus.templates[trace.template_id]
+        io = queries.template_io(taverna_workflow_iri(template.template_id, template.name))
+        assert io, "expected at least one run"
+        for run_entry in io.values():
+            assert run_entry["inputs"]
+        run_key = TAVERNA_RUN_NS.term(f"{trace.run_id}/").value
+        assert len(io[run_key]["outputs"]) == len(trace.result.outputs)
+
+    def test_wings_io(self, queries, corpus, wings_account_iri):
+        _, trace = wings_account_iri
+        io = queries.template_io(wings_template_iri(trace.template_id))
+        account_key = OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{trace.run_id}").value
+        assert account_key in io
+        assert io[account_key]["inputs"]
+        assert io[account_key]["outputs"]
+
+
+class TestQ4ProcessRuns:
+    def test_taverna_has_timestamps(self, queries, taverna_run_iri, corpus):
+        iri, trace = taverna_run_iri
+        rows = queries.process_runs(iri)
+        assert len(rows) > 0
+        processes = {row.process.value for row in rows}
+        # one process run per step, plus one per implicit-iteration element
+        expected = len(trace.result.step_runs) + sum(
+            len(s.iterations) for s in trace.result.step_runs
+        )
+        assert len(processes) == expected
+        assert all(row.start is not None and row.end is not None for row in rows)
+
+    def test_wings_has_no_timestamps(self, queries, wings_account_iri, corpus):
+        iri, trace = wings_account_iri
+        rows = queries.process_runs(iri)
+        assert len(rows) > 0
+        assert all(row.start is None and row.end is None for row in rows)
+
+    def test_io_columns_populated(self, queries, taverna_run_iri):
+        iri, _ = taverna_run_iri
+        rows = queries.process_runs(iri)
+        assert any(row.input is not None for row in rows)
+        assert any(row.output is not None for row in rows)
+
+
+class TestQ5WhoExecuted:
+    def test_taverna_engine_agent(self, queries, taverna_run_iri):
+        iri, _ = taverna_run_iri
+        agents = queries.who_executed(iri)
+        assert agents == ["http://ns.taverna.org.uk/2011/software/taverna-2.4.0"]
+
+    def test_wings_user_agent(self, queries, wings_account_iri):
+        iri, trace = wings_account_iri
+        agents = queries.who_executed(iri)
+        assert agents == [f"http://www.opmw.org/export/resource/Agent/{trace.user}"]
+
+    def test_unknown_run_empty(self, queries):
+        assert queries.who_executed("http://nowhere.example/run") == []
+
+
+class TestQ6Services:
+    def test_wings_only(self, queries, taverna_run_iri, wings_account_iri):
+        taverna_iri, _ = taverna_run_iri
+        wings_iri, _ = wings_account_iri
+        assert queries.services_executed(taverna_iri) == []
+        assert queries.services_executed(wings_iri)
+
+    def test_components_match_template(self, queries, wings_account_iri, corpus):
+        iri, trace = wings_account_iri
+        services = queries.services_executed(iri)
+        template = corpus.templates[trace.template_id]
+        expected = {p.operation for p in template.processors.values()}
+        got = {s.rsplit("/", 1)[1] for s in services}
+        assert got <= expected
+
+    def test_sparql_text_exposed(self):
+        text = q6_services_executed("http://a/run")
+        assert "opmw:hasExecutableComponent" in text
+        assert "GRAPH" in text

@@ -1,0 +1,73 @@
+"""Tests for the Markdown reproduction report and the new CLI commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report_text(corpus):
+    return build_report(corpus)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Table 1",
+            "## Figure 1",
+            "## Section 2",
+            "## Table 2",
+            "## Table 3",
+            "## Section 3",
+            "## Corpus profile",
+        ):
+            assert heading in report_text, heading
+
+    def test_no_deviations(self, report_text):
+        assert "DEVIATES" not in report_text
+        assert "**identical to the paper**" in report_text
+
+    def test_paper_numbers_present(self, report_text):
+        assert "| Workflows | 120 | 120 |" in report_text
+        assert "| Workflow runs | 198 | 198 |" in report_text
+        assert "| Failed runs | 30 | 30 |" in report_text
+        assert "| **Total** | **70** | **50** | **120** |" in report_text
+
+    def test_starred_cells_rendered(self, report_text):
+        assert "inferred (*)" in report_text
+
+    def test_maintenance_verdict(self, report_text):
+        assert "corpus aligned" in report_text
+
+    def test_is_valid_markdown_tables(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|"), line
+
+
+class TestNewCliCommands:
+    def test_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+
+    def test_maintenance_command(self, capsys):
+        assert main(["maintenance"]) == 0
+        assert "corpus aligned" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traces"] == 198
+
+    def test_ro_command(self, capsys):
+        assert main(["ro", "t-bioinformatics-01"]) == 0
+        out = capsys.readouterr().out
+        assert "ro:ResearchObject" in out
+
+    def test_ro_unknown_template(self, capsys):
+        assert main(["ro", "ghost"]) == 1

@@ -1,0 +1,173 @@
+"""Unit tests for the dataflow executor: scheduling, failure, nesting."""
+
+import datetime as dt
+
+import pytest
+
+from repro.workflow import (
+    DataflowExecutor,
+    FaultPlan,
+    Port,
+    Processor,
+    Service,
+    ServiceRegistry,
+    SimulatedClock,
+    WorkflowError,
+    WorkflowTemplate,
+)
+from tests.conftest import make_linear_template
+
+
+@pytest.fixture
+def executor(registry, clock):
+    return DataflowExecutor(registry, clock)
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimulatedClock(dt.datetime(2012, 1, 1))
+        clock.advance(90)
+        assert clock.now == dt.datetime(2012, 1, 1, 0, 1, 30)
+
+    def test_no_backwards(self):
+        clock = SimulatedClock(dt.datetime(2012, 1, 1))
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestExecution:
+    def test_successful_run(self, executor, linear_template):
+        run = executor.execute(linear_template, {"accession": "P1"}, run_id="r1")
+        assert run.succeeded
+        assert run.executed_steps() == ["fetch", "shape", "publish"]
+        assert "report" in run.outputs
+
+    def test_timestamps_strictly_ordered(self, executor, linear_template):
+        run = executor.execute(linear_template, {"accession": "P1"}, run_id="r1")
+        assert run.started <= run.step_runs[0].started
+        for earlier, later in zip(run.step_runs, run.step_runs[1:]):
+            assert earlier.ended <= later.started
+        assert run.step_runs[-1].ended <= run.ended
+
+    def test_deterministic_outputs(self, registry, linear_template):
+        def one_run():
+            clock = SimulatedClock(dt.datetime(2012, 6, 1, 9))
+            return DataflowExecutor(registry, clock).execute(
+                linear_template, {"accession": "P1"}, run_id="r1"
+            )
+
+        assert one_run().outputs["report"].checksum == one_run().outputs["report"].checksum
+
+    def test_missing_input_rejected(self, executor, linear_template):
+        with pytest.raises(WorkflowError):
+            executor.execute(linear_template, {}, run_id="r1")
+
+    def test_unknown_input_rejected(self, executor, linear_template):
+        with pytest.raises(WorkflowError):
+            executor.execute(linear_template, {"accession": "x", "extra": 1}, run_id="r1")
+
+    def test_step_inputs_recorded(self, executor, linear_template):
+        run = executor.execute(linear_template, {"accession": "P1"}, run_id="r1")
+        fetch = run.step("fetch")
+        assert fetch.inputs["accession"].value == "P1"
+        shape = run.step("shape")
+        assert shape.inputs["in"].checksum == fetch.outputs["sequences"].checksum
+
+    def test_step_lookup_missing(self, executor, linear_template):
+        run = executor.execute(linear_template, {"accession": "P1"}, run_id="r1")
+        with pytest.raises(KeyError):
+            run.step("ghost")
+
+
+class TestFailures:
+    def test_fault_truncates_run(self, executor, linear_template):
+        run = executor.execute(
+            linear_template, {"accession": "P1"}, run_id="r1",
+            fault_plan=FaultPlan.single("shape", "illegal-input-value"),
+        )
+        assert run.failed
+        assert run.failed_step == "shape"
+        assert run.failure_cause == "illegal-input-value"
+        assert run.executed_steps() == ["fetch", "shape"]
+        assert run.unexecuted_steps() == ["publish"]
+        assert run.outputs == {}
+
+    def test_failed_step_has_end_time(self, executor, linear_template):
+        run = executor.execute(
+            linear_template, {"accession": "P1"}, run_id="r1",
+            fault_plan=FaultPlan.single("fetch", "resource-unavailable"),
+        )
+        failed = run.step("fetch")
+        assert failed.failed and failed.ended is not None
+        assert failed.outputs == {}
+
+    def test_run_end_set_even_on_failure(self, executor, linear_template):
+        run = executor.execute(
+            linear_template, {"accession": "P1"}, run_id="r1",
+            fault_plan=FaultPlan.single("fetch", "service-timeout"),
+        )
+        assert run.ended is not None and run.ended > run.started
+
+
+class TestParameters:
+    def test_parameter_feeds_step(self, executor):
+        t = WorkflowTemplate("p1", "param", "wings")
+        t.add_input("x")
+        t.add_output("y")
+        t.add_parameter("threshold", 0.7)
+        t.add_processor(Processor(
+            "tune", operation="transform",
+            inputs=[Port("in"), Port("threshold")], outputs=[Port("out")],
+        ))
+        t.connect(":x", "tune:in")
+        t.connect("tune:out", ":y")
+        t.freeze()
+        run = executor.execute(t, {"x": "data"}, run_id="r1")
+        assert run.succeeded
+        assert run.step("tune").inputs["threshold"].value == 0.7
+
+
+class TestNestedWorkflows:
+    def make_nested(self):
+        inner = WorkflowTemplate("inner", "inner", "taverna")
+        inner.add_input("v")
+        inner.add_output("w")
+        inner.add_processor(Processor("stage", operation="transform",
+                                      inputs=[Port("in")], outputs=[Port("out")]))
+        inner.connect(":v", "stage:in")
+        inner.connect("stage:out", ":w")
+        inner.freeze()
+        outer = WorkflowTemplate("outer", "outer", "taverna")
+        outer.add_input("x")
+        outer.add_output("y")
+        outer.add_processor(Processor("sub", inputs=[Port("v")], outputs=[Port("w")],
+                                      subworkflow=inner))
+        outer.connect(":x", "sub:v")
+        outer.connect("sub:w", ":y")
+        return outer.freeze()
+
+    def test_nested_run_recorded(self, executor):
+        run = executor.execute(self.make_nested(), {"x": "d"}, run_id="r1")
+        assert run.succeeded
+        sub = run.step("sub")
+        assert sub.child_run is not None
+        assert sub.child_run.run_id == "r1/sub"
+        assert sub.child_run.executed_steps() == ["stage"]
+        assert run.outputs["y"].checksum == sub.child_run.outputs["w"].checksum
+
+    def test_fault_inside_nested_propagates(self, executor):
+        run = executor.execute(
+            self.make_nested(), {"x": "d"}, run_id="r1",
+            fault_plan=FaultPlan.single("stage", "illegal-input-value"),
+        )
+        assert run.failed
+        assert run.failed_step == "sub"
+        assert run.step("sub").child_run.failed
+
+    def test_fault_on_subworkflow_step_itself(self, executor):
+        run = executor.execute(
+            self.make_nested(), {"x": "d"}, run_id="r1",
+            fault_plan=FaultPlan.single("sub", "resource-unavailable"),
+        )
+        assert run.failed and run.failed_step == "sub"
+        assert run.step("sub").child_run is None

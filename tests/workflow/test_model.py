@@ -1,0 +1,163 @@
+"""Unit tests for the workflow template model."""
+
+import pytest
+
+from repro.workflow.errors import WorkflowDefinitionError
+from repro.workflow.model import (
+    DataLink,
+    Parameter,
+    Port,
+    PortRef,
+    Processor,
+    WorkflowTemplate,
+)
+
+
+def diamond():
+    t = WorkflowTemplate("d1", "diamond", "taverna")
+    t.add_input("x")
+    t.add_output("y")
+    t.add_processor(Processor("src", operation="split",
+                              inputs=[Port("in")], outputs=[Port("part1"), Port("part2")]))
+    t.add_processor(Processor("l", inputs=[Port("in")], outputs=[Port("out")]))
+    t.add_processor(Processor("r", inputs=[Port("in")], outputs=[Port("out")]))
+    t.add_processor(Processor("join", operation="merge",
+                              inputs=[Port("left"), Port("right")], outputs=[Port("merged")]))
+    t.connect(":x", "src:in")
+    t.connect("src:part1", "l:in")
+    t.connect("src:part2", "r:in")
+    t.connect("l:out", "join:left")
+    t.connect("r:out", "join:right")
+    t.connect("join:merged", ":y")
+    return t
+
+
+class TestPorts:
+    def test_port_validation(self):
+        assert Port("ok_name").depth == 0
+        with pytest.raises(WorkflowDefinitionError):
+            Port("bad name")
+        with pytest.raises(WorkflowDefinitionError):
+            Port("x", depth=-1)
+
+    def test_portref_workflow(self):
+        assert PortRef("", "x").is_workflow()
+        assert not PortRef("p", "x").is_workflow()
+
+
+class TestConstruction:
+    def test_duplicate_processor_rejected(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_processor(Processor("p"))
+        with pytest.raises(WorkflowDefinitionError):
+            t.add_processor(Processor("p"))
+
+    def test_duplicate_workflow_port_rejected(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_input("x")
+        with pytest.raises(WorkflowDefinitionError):
+            t.add_output("x")
+
+    def test_duplicate_parameter_rejected(self):
+        t = WorkflowTemplate("t", "t", "wings")
+        t.add_parameter("k", 1)
+        with pytest.raises(WorkflowDefinitionError):
+            t.add_parameter("k", 2)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(WorkflowDefinitionError):
+            WorkflowTemplate("t", "t", "galaxy")
+
+    def test_bad_port_reference_syntax(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        with pytest.raises(WorkflowDefinitionError):
+            t.connect("noport", "other:port")
+
+    def test_processor_port_lookup(self):
+        p = Processor("p", inputs=[Port("a")], outputs=[Port("b")])
+        assert p.input_port("a").name == "a"
+        assert p.output_port("b").name == "b"
+        with pytest.raises(WorkflowDefinitionError):
+            p.input_port("zz")
+
+
+class TestValidation:
+    def test_valid_diamond_freezes(self):
+        diamond().freeze()
+
+    def test_link_to_unknown_processor(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_input("x")
+        t.connect(":x", "ghost:in")
+        with pytest.raises(WorkflowDefinitionError):
+            t.validate()
+
+    def test_link_to_unknown_port(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_input("x")
+        t.add_processor(Processor("p", inputs=[Port("in")], outputs=[Port("out")]))
+        t.connect(":x", "p:wrongport")
+        with pytest.raises(WorkflowDefinitionError):
+            t.validate()
+
+    def test_unfed_input_port_rejected(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_processor(Processor("p", inputs=[Port("in")], outputs=[Port("out")]))
+        with pytest.raises(WorkflowDefinitionError):
+            t.validate()
+
+    def test_parameter_feeds_port(self):
+        t = WorkflowTemplate("t", "t", "wings")
+        t.add_parameter("threshold", 0.5)
+        t.add_output("y")
+        t.add_processor(Processor("p", inputs=[Port("threshold")], outputs=[Port("out")]))
+        t.connect("p:out", ":y")
+        t.validate()  # threshold port fed by parameter
+
+    def test_unfed_workflow_output_rejected(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_output("y")
+        with pytest.raises(WorkflowDefinitionError):
+            t.validate()
+
+    def test_cycle_rejected(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_processor(Processor("a", inputs=[Port("in")], outputs=[Port("out")]))
+        t.add_processor(Processor("b", inputs=[Port("in")], outputs=[Port("out")]))
+        t.connect("a:out", "b:in")
+        t.connect("b:out", "a:in")
+        with pytest.raises(WorkflowDefinitionError):
+            t.validate()
+
+
+class TestAnalysis:
+    def test_topological_order_respects_dependencies(self):
+        order = [p.name for p in diamond().topological_order()]
+        assert order.index("src") < order.index("l")
+        assert order.index("l") < order.index("join")
+        assert order.index("r") < order.index("join")
+
+    def test_topological_order_deterministic(self):
+        assert [p.name for p in diamond().topological_order()] == [
+            p.name for p in diamond().topological_order()
+        ]
+
+    def test_upstream_downstream(self):
+        t = diamond()
+        assert set(t.upstream_of("join")) == {"l", "r"}
+        assert set(t.downstream_of("src")) == {"l", "r"}
+        assert t.upstream_of("src") == []
+
+    def test_remote_steps(self):
+        t = WorkflowTemplate("t", "t", "taverna")
+        t.add_processor(Processor("local", outputs=[Port("out")]))
+        t.add_processor(Processor("remote", outputs=[Port("out")], service="svc"))
+        assert t.remote_steps() == ["remote"]
+
+    def test_size(self):
+        assert diamond().size() == (4, 6)
+
+    def test_links_into_out_of(self):
+        t = diamond()
+        assert len(list(t.links_into("join"))) == 2
+        assert len(list(t.links_out_of("src"))) == 2

@@ -1,0 +1,194 @@
+"""Unit tests for the operation library and the simulated service layer."""
+
+import pytest
+
+from repro.workflow.data import DataItem, content_checksum, make_item
+from repro.workflow.errors import (
+    IllegalInputError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from repro.workflow.operations import OPERATIONS, apply_operation, digest, register_operation
+from repro.workflow.services import FaultPlan, InjectedFault, Service, ServiceRegistry
+
+
+class TestDataItem:
+    def test_checksum_stable(self):
+        assert DataItem([1, 2]).checksum == DataItem([1, 2]).checksum
+        assert DataItem([1, 2]).checksum != DataItem([2, 1]).checksum
+
+    def test_size_bytes(self):
+        assert DataItem("abc").size_bytes == len('"abc"')
+
+    def test_depth(self):
+        assert DataItem("x").depth == 0
+        assert DataItem(["x"]).depth == 1
+        assert DataItem([["x"]]).depth == 2
+        assert DataItem([]).depth == 1
+
+    def test_preview_truncates(self):
+        item = DataItem("y" * 200)
+        assert len(item.preview()) <= 48
+        assert item.preview().endswith("...")
+
+    def test_make_item_passthrough(self):
+        item = DataItem("x")
+        assert make_item(item) is item
+        assert make_item("y").value == "y"
+
+    def test_content_checksum_order_insensitive_keys(self):
+        assert content_checksum({"a": 1, "b": 2}) == content_checksum({"b": 2, "a": 1})
+
+
+class TestOperations:
+    def test_determinism(self):
+        out1 = apply_operation("transform", {"in": "x"}, {"label": "t"})
+        out2 = apply_operation("transform", {"in": "x"}, {"label": "t"})
+        assert out1["out"].checksum == out2["out"].checksum
+
+    def test_distinct_inputs_distinct_outputs(self):
+        a = apply_operation("transform", {"in": "x"}, {})
+        b = apply_operation("transform", {"in": "y"}, {})
+        assert a["out"].checksum != b["out"].checksum
+
+    def test_identity(self):
+        out = apply_operation("identity", {"in": "val"}, {})
+        assert out["out"].value == "val"
+
+    def test_identity_requires_single_input(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("identity", {"a": 1, "b": 2}, {})
+
+    def test_fetch_dataset_record_count(self):
+        out = apply_operation("fetch_dataset", {"accession": "P1"}, {"records": 4})
+        assert len(out["sequences"].value) == 4
+
+    def test_fetch_dataset_rejects_malformed_accession(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("fetch_dataset", {"accession": "!bad"}, {})
+
+    def test_split_parts(self):
+        out = apply_operation("split", {"in": "x"}, {"parts": 3})
+        assert set(out) == {"part1", "part2", "part3"}
+
+    def test_split_requires_two_parts(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("split", {"in": "x"}, {"parts": 1})
+
+    def test_merge_combines_all(self):
+        out = apply_operation("merge", {"left": "a", "right": "b"}, {})
+        merged = out["merged"].value
+        assert merged["left"] == "a" and merged["right"] == "b"
+
+    def test_filter_requires_list(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("filter", {"in": "scalar"}, {})
+
+    def test_filter_keeps_subset(self):
+        items = [f"i{n}" for n in range(10)]
+        out = apply_operation("filter", {"in": items}, {"keep_mod": 2})
+        assert 0 < len(out["out"].value) < 10
+
+    def test_expand_and_aggregate(self):
+        expanded = apply_operation("expand", {"in": "seed"}, {"count": 5})
+        assert len(expanded["items"].value) == 5
+        summary = apply_operation("aggregate", {"in": expanded["items"].value}, {})
+        assert summary["out"].value["count"] == 5
+
+    def test_align_needs_two_records(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("align", {"sequences": ["one"]}, {})
+
+    def test_missing_required_input(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("align", {}, {})
+
+    def test_unknown_operation(self):
+        with pytest.raises(IllegalInputError):
+            apply_operation("teleport", {"in": 1}, {})
+
+    def test_register_operation(self):
+        def double(inputs, config):
+            return {"out": inputs["in"].value * 2}
+
+        register_operation("double_test", double)
+        try:
+            out = apply_operation("double_test", {"in": 3}, {})
+            assert out["out"].value == 6
+            with pytest.raises(ValueError):
+                register_operation("double_test", double)
+        finally:
+            del OPERATIONS["double_test"]
+
+    def test_digest_distinguishes_dataitems(self):
+        assert digest(DataItem("a")) != digest(DataItem("b"))
+
+
+class TestServices:
+    def test_registry_has_local_component(self):
+        reg = ServiceRegistry()
+        assert ServiceRegistry.LOCAL in reg
+
+    def test_register_and_get(self):
+        reg = ServiceRegistry()
+        svc = reg.register(Service("api", kind="rest"))
+        assert reg.get("api") is svc
+        with pytest.raises(ValueError):
+            reg.register(Service("api", kind="rest"))
+        with pytest.raises(KeyError):
+            reg.get("ghost")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Service("x", kind="carrier-pigeon")
+
+    def test_latency_deterministic_and_remote_slower(self):
+        local = Service("l", kind="local")
+        remote = Service("r", kind="rest")
+        assert local.latency_seconds("ctx") == local.latency_seconds("ctx")
+        assert remote.latency_seconds("ctx") > 0.5
+
+    def test_invoke_local(self):
+        reg = ServiceRegistry()
+        outputs, latency = reg.invoke(None, "transform", {"in": "x"}, {})
+        assert "out" in outputs and latency > 0
+
+    def test_invoke_with_injected_unavailability(self):
+        reg = ServiceRegistry()
+        reg.register(Service("api", kind="rest"))
+        fault = InjectedFault("step", "resource-unavailable")
+        with pytest.raises(ServiceUnavailableError):
+            reg.invoke("api", "transform", {"in": "x"}, {}, fault=fault)
+
+    def test_invoke_with_injected_timeout(self):
+        reg = ServiceRegistry()
+        with pytest.raises(ServiceTimeoutError):
+            reg.invoke(None, "transform", {"in": "x"}, {},
+                       fault=InjectedFault("s", "service-timeout"))
+
+    def test_invoke_with_injected_illegal_input(self):
+        reg = ServiceRegistry()
+        with pytest.raises(IllegalInputError):
+            reg.invoke(None, "transform", {"in": "x"}, {},
+                       fault=InjectedFault("s", "illegal-input-value"))
+
+    def test_unknown_fault_cause(self):
+        with pytest.raises(ValueError):
+            InjectedFault("s", "gremlins").raise_fault("svc")
+
+    def test_deadline_exceeded_raises_timeout(self):
+        reg = ServiceRegistry()
+        reg.register(Service("slow", kind="rest", timeout_s=0.001))
+        with pytest.raises(ServiceTimeoutError):
+            reg.invoke("slow", "transform", {"in": "x"}, {}, context="c")
+
+
+class TestFaultPlan:
+    def test_single(self):
+        plan = FaultPlan.single("step1", "resource-unavailable")
+        assert plan.fault_for("step1") is not None
+        assert plan.fault_for("other") is None
+        assert bool(plan)
+
+    def test_none(self):
+        assert not FaultPlan.none()

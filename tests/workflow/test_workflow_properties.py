@@ -1,0 +1,127 @@
+"""Property-based tests for the workflow substrate.
+
+Invariants:
+
+* topological order of randomly generated DAGs respects every edge;
+* execution is deterministic: same template + inputs → same output checksums;
+* a fault at any step truncates the run exactly at that step's level:
+  no step downstream of the failed one executes;
+* step timestamps are consistent with the template's dependency order.
+"""
+
+import datetime as dt
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workflow import (
+    DataflowExecutor,
+    FaultPlan,
+    Port,
+    Processor,
+    ServiceRegistry,
+    SimulatedClock,
+    WorkflowTemplate,
+)
+
+
+@st.composite
+def layered_templates(draw):
+    """A random layered DAG template (always valid and executable).
+
+    Layer 0 is a fetch step fed by the workflow input; each later step
+    consumes the output of one random earlier step (transform), keeping
+    every port fed and the graph acyclic by construction.
+    """
+    n_steps = draw(st.integers(min_value=2, max_value=7))
+    t = WorkflowTemplate("prop-wf", "prop_wf", "taverna")
+    t.add_input("seed")
+    t.add_output("result")
+    t.add_processor(Processor(
+        "step0", operation="fetch_dataset",
+        inputs=[Port("accession")], outputs=[Port("sequences", depth=1)],
+    ))
+    t.connect(":seed", "step0:accession")
+    outputs = {"step0": "sequences"}
+    for index in range(1, n_steps):
+        feeder_index = draw(st.integers(min_value=0, max_value=index - 1))
+        feeder = f"step{feeder_index}"
+        name = f"step{index}"
+        t.add_processor(Processor(
+            name, operation="transform",
+            inputs=[Port("in")], outputs=[Port("out")],
+            config={"label": name},
+        ))
+        t.connect(f"{feeder}:{outputs[feeder]}", f"{name}:in")
+        outputs[name] = "out"
+    last = f"step{n_steps - 1}"
+    t.connect(f"{last}:{outputs[last]}", ":result")
+    return t.freeze()
+
+
+def run_template(template, fault_plan=None):
+    clock = SimulatedClock(dt.datetime(2012, 6, 1, 9))
+    executor = DataflowExecutor(ServiceRegistry(), clock)
+    return executor.execute(template, {"seed": "S1"}, run_id="prop-run",
+                            fault_plan=fault_plan)
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_templates())
+def test_topological_order_respects_edges(template):
+    order = [p.name for p in template.topological_order()]
+    position = {name: i for i, name in enumerate(order)}
+    for link in template.links:
+        if not link.source.is_workflow() and not link.sink.is_workflow():
+            assert position[link.source.processor] < position[link.sink.processor]
+
+
+@settings(max_examples=25, deadline=None)
+@given(layered_templates())
+def test_execution_deterministic(template):
+    first = run_template(template)
+    second = run_template(template)
+    assert first.succeeded and second.succeeded
+    assert first.outputs["result"].checksum == second.outputs["result"].checksum
+
+
+@settings(max_examples=25, deadline=None)
+@given(layered_templates(), st.data())
+def test_fault_truncates_downstream(template, data):
+    step_names = [p.name for p in template.topological_order()]
+    victim = data.draw(st.sampled_from(step_names))
+    run = run_template(template, FaultPlan.single(victim, "illegal-input-value"))
+    assert run.failed and run.failed_step == victim
+    executed = set(run.executed_steps())
+    # nothing transitively downstream of the victim executed
+    frontier = [victim]
+    downstream = set()
+    while frontier:
+        current = frontier.pop()
+        for name in template.downstream_of(current):
+            if name not in downstream:
+                downstream.add(name)
+                frontier.append(name)
+    assert not downstream & executed
+
+
+@settings(max_examples=25, deadline=None)
+@given(layered_templates())
+def test_step_times_follow_dependencies(template):
+    run = run_template(template)
+    end_of = {s.name: s.ended for s in run.step_runs}
+    start_of = {s.name: s.started for s in run.step_runs}
+    for link in template.links:
+        if link.source.is_workflow() or link.sink.is_workflow():
+            continue
+        assert end_of[link.source.processor] <= start_of[link.sink.processor]
+
+
+@settings(max_examples=25, deadline=None)
+@given(layered_templates())
+def test_every_step_input_has_producer_output(template):
+    run = run_template(template)
+    produced = {item.checksum for step in run.step_runs for item in step.outputs.values()}
+    produced |= {item.checksum for item in run.inputs.values()}
+    for step in run.step_runs:
+        for item in step.inputs.values():
+            assert item.checksum in produced
