@@ -1,0 +1,162 @@
+"""Experiment QC — the versioned-graph query acceleration layer.
+
+Measures what the caching layer buys on the paper's payoff path:
+
+* cold vs. warm latency for the six Section 4 exemplar queries over the
+  full corpus (warm = LRU result-cache hit at an unchanged version);
+* that a mutation between runs provably invalidates the cache, observed
+  from the outside via the endpoint's ``/stats`` version counter;
+* concurrent endpoint throughput with 16 client threads on a warm cache.
+
+Numbers land in ``_artifacts/query_cache.json``; ``bench_report.py``
+appends them to the cross-PR trajectory file.
+"""
+
+import json
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.endpoint import SparqlClient, SparqlEndpoint
+from repro.queries import (
+    Q1_WORKFLOW_RUNS,
+    q2_runs_of_template,
+    q3_template_io,
+    q4_process_runs,
+    q5_who_executed,
+    q6_services_executed,
+    taverna_workflow_iri,
+)
+from repro.sparql import QueryEngine
+from repro.taverna import TAVERNA_RUN_NS
+from repro.wings import OPMW_EXPORT_NS
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def exemplar_queries(corpus):
+    """The six exemplar queries as SPARQL text, bound to real corpus IRIs."""
+    template_id = next(t for t in corpus.multi_run_templates() if t.startswith("t-"))
+    template = corpus.templates[template_id]
+    taverna_trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+    wings_trace = next(t for t in corpus.by_system("wings") if not t.failed)
+    template_iri = taverna_workflow_iri(template_id, template.name)
+    taverna_run = TAVERNA_RUN_NS.term(f"{taverna_trace.run_id}/")
+    wings_run = OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{wings_trace.run_id}")
+    return {
+        "Q1": Q1_WORKFLOW_RUNS,
+        "Q2": q2_runs_of_template(template_iri),
+        "Q3": q3_template_io(template_iri),
+        "Q4": q4_process_runs(taverna_run),
+        "Q5": q5_who_executed(taverna_run),
+        "Q6": q6_services_executed(wings_run),
+    }
+
+
+def test_cold_vs_warm_q1_q6(corpus_dataset, exemplar_queries, artifacts_dir):
+    """Warm-cache evaluation of Q1–Q6 must be ≥ 5× faster than cold."""
+    engine = QueryEngine(corpus_dataset)
+    timings = {}
+    for name, sparql in exemplar_queries.items():
+        started = time.perf_counter()
+        engine.query(sparql)
+        cold_s = time.perf_counter() - started
+        warm_rounds = 10
+        started = time.perf_counter()
+        for _ in range(warm_rounds):
+            engine.query(sparql)
+        warm_s = (time.perf_counter() - started) / warm_rounds
+        timings[name] = {
+            "cold_ms": round(cold_s * 1000, 3),
+            "warm_ms": round(warm_s * 1000, 6),
+            "speedup": round(cold_s / warm_s, 1) if warm_s else float("inf"),
+        }
+    cold_total = sum(t["cold_ms"] for t in timings.values())
+    warm_total = sum(t["warm_ms"] for t in timings.values())
+    info = engine.cache_info()
+    assert info["misses"] == 6 and info["hits"] == 60
+    assert warm_total * 5 <= cold_total, (
+        f"warm Q1–Q6 {warm_total:.3f} ms not ≥5× faster than cold {cold_total:.3f} ms"
+    )
+    artifact = {
+        "cold_total_ms": round(cold_total, 3),
+        "warm_total_ms": round(warm_total, 6),
+        "overall_speedup": round(cold_total / warm_total, 1),
+        "per_query": timings,
+    }
+    test_cold_vs_warm_q1_q6.artifact = artifact  # picked up by throughput test
+    write_artifact(artifacts_dir, "query_cache.json", json.dumps(artifact, indent=2))
+
+
+def test_mutation_invalidation_visible_via_stats(corpus_dataset):
+    """Version bump from a write is observable at /stats and forces a miss."""
+    from repro.rdf import Namespace, PROV, RDF
+
+    EX = Namespace("http://example.org/bench-cache/")
+    with SparqlEndpoint(corpus_dataset) as server:
+        client = SparqlClient(server.query_url)
+        client.query(Q1_WORKFLOW_RUNS)
+        client.query(Q1_WORKFLOW_RUNS)
+        before = client.stats()
+        assert before["result_cache"]["hits"] >= 1
+        # net-zero mutation: add then remove, so sibling benches sharing
+        # the session corpus see identical content afterwards
+        corpus_dataset.default.add((EX.probe, RDF.type, PROV.Entity))
+        corpus_dataset.default.remove((EX.probe, RDF.type, PROV.Entity))
+        rows = client.query(Q1_WORKFLOW_RUNS)
+        after = client.stats()
+        assert len(rows) == 198
+        assert after["version"] >= before["version"] + 2  # both writes observed
+        assert after["result_cache"]["misses"] > before["result_cache"]["misses"]
+
+
+def test_concurrent_endpoint_throughput(corpus_dataset, exemplar_queries, artifacts_dir):
+    """16 threads hammering a warm endpoint; records queries/second."""
+    n_threads = 16
+    requests_per_thread = 25
+    queries = list(exemplar_queries.values())
+    with SparqlEndpoint(corpus_dataset) as server:
+        client_queries = [
+            server.query_url + "?" + urllib.parse.urlencode({"query": q}) for q in queries
+        ]
+        for url in client_queries:  # warm the cache once
+            with urllib.request.urlopen(url, timeout=30) as response:
+                response.read()
+        errors = []
+
+        def worker(index: int):
+            for k in range(requests_per_thread):
+                url = client_queries[(index + k) % len(client_queries)]
+                try:
+                    with urllib.request.urlopen(url, timeout=30) as response:
+                        response.read()
+                except Exception as exc:  # noqa: BLE001 - fail the bench
+                    errors.append(repr(exc))
+                    return
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - started
+        stats = server.stats()
+    assert not errors, errors[:3]
+    total = n_threads * requests_per_thread
+    throughput = {
+        "threads": n_threads,
+        "requests": total,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_qps": round(total / elapsed, 1),
+        "cache_hits": stats["result_cache"]["hits"],
+        "cache_misses": stats["result_cache"]["misses"],
+    }
+    assert stats["result_cache"]["hits"] >= total  # warm path stayed warm
+    artifact = getattr(test_cold_vs_warm_q1_q6, "artifact", {})
+    artifact["concurrent_endpoint"] = throughput
+    write_artifact(artifacts_dir, "query_cache.json", json.dumps(artifact, indent=2))

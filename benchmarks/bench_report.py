@@ -5,7 +5,10 @@ one reviewable document — and measures the end-to-end report build (all
 tables, coverage with inference, applications, profile, maintenance).
 """
 
+import datetime as dt
 import json
+
+import pytest
 
 from repro.corpus import profile_corpus
 from repro.report import build_report
@@ -28,3 +31,30 @@ def test_corpus_profile_artifact(corpus, benchmark, artifacts_dir):
     assert summary["traces"] == 198
     write_artifact(artifacts_dir, "corpus_profile.json",
                    json.dumps(summary, indent=2, sort_keys=True))
+
+
+def test_query_cache_trajectory(artifacts_dir):
+    """Fold this run's query-cache numbers into the cross-PR trajectory.
+
+    ``bench_query_cache.py`` (collected before this file) writes
+    ``query_cache.json``; here we append its headline numbers to
+    ``query_cache_trajectory.json`` so future PRs can see whether the
+    cold/warm latencies and concurrent throughput move.
+    """
+    current = artifacts_dir / "query_cache.json"
+    if not current.exists():
+        pytest.skip("bench_query_cache.py did not run in this session")
+    data = json.loads(current.read_text())
+    assert data["overall_speedup"] >= 5
+    entry = {
+        "recorded_at": dt.datetime.now().isoformat(timespec="seconds"),
+        "cold_total_ms": data["cold_total_ms"],
+        "warm_total_ms": data["warm_total_ms"],
+        "overall_speedup": data["overall_speedup"],
+        "throughput_qps": data.get("concurrent_endpoint", {}).get("throughput_qps"),
+    }
+    trajectory_path = artifacts_dir / "query_cache_trajectory.json"
+    trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    trajectory.append(entry)
+    write_artifact(artifacts_dir, "query_cache_trajectory.json",
+                   json.dumps(trajectory[-50:], indent=2))

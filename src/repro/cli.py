@@ -51,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("directory", type=Path)
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8890)
+    p_serve.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="query-result cache capacity (0 disables; default 128)",
+    )
 
     sub.add_parser("maintenance", help="run the vocabulary-alignment maintenance pass")
     sub.add_parser("profile", help="print the structural profile of the corpus")
@@ -165,11 +169,16 @@ def _cmd_query(args) -> int:
 def _cmd_serve(args) -> int:
     from .corpus import load_corpus
     from .endpoint import SparqlEndpoint
+    from .sparql import DEFAULT_RESULT_CACHE_SIZE
 
     stored = load_corpus(args.directory)
-    endpoint = SparqlEndpoint(stored.dataset(), host=args.host, port=args.port)
+    cache_size = args.cache_size if args.cache_size is not None else DEFAULT_RESULT_CACHE_SIZE
+    endpoint = SparqlEndpoint(
+        stored.dataset(), host=args.host, port=args.port, cache_size=cache_size
+    )
     endpoint.start()
     print(f"serving corpus SPARQL endpoint at {endpoint.query_url} (Ctrl-C to stop)")
+    print(f"  cache: {cache_size} entries  stats: {endpoint.stats_url}")
     try:
         import time
 

@@ -23,6 +23,16 @@ class SparqlClient:
         self.query_url = query_url
         self.timeout = timeout
 
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the endpoint's ``/stats`` counters (cache + timing).
+
+        Only meaningful against :class:`repro.endpoint.server.SparqlEndpoint`;
+        other SPARQL endpoints will 404.
+        """
+        base = self.query_url.rsplit("/sparql", 1)[0]
+        with urllib.request.urlopen(f"{base}/stats", timeout=self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
     def query(self, sparql: str, method: str = "GET") -> Union[bool, List[Dict[str, Any]]]:
         """Run a query; SELECT → list of binding dicts, ASK → bool."""
         if method == "GET":

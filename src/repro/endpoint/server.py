@@ -6,11 +6,19 @@ an extension.  A :class:`SparqlEndpoint` wraps a graph or dataset with a
 minimal SPARQL 1.1 Protocol surface on stdlib ``http.server``:
 
 * ``GET /sparql?query=...`` and ``POST /sparql`` (form-encoded or
-  ``application/sparql-query``) evaluate a query;
+  ``application/sparql-query``, any declared charset) evaluate a query;
 * SELECT results return the SPARQL JSON results format
   (``application/sparql-results+json``), or CSV with ``Accept: text/csv``;
 * ASK results return the JSON boolean form;
-* ``GET /`` returns a small service description with corpus statistics.
+* ``GET /`` returns a small service description with corpus statistics;
+* ``GET /stats`` exposes the query-result cache counters, the source's
+  version, and per-request timing so cache effectiveness is observable.
+
+The server is a ``ThreadingHTTPServer`` sharing one
+:class:`~repro.sparql.evaluator.QueryEngine` across worker threads — the
+engine's result/statistics caches are lock-protected, and the endpoint's
+own timing accumulators are guarded here.  Every response carries an
+``X-Query-Duration-ms`` header.
 
 The server runs on a background thread (:meth:`SparqlEndpoint.start`) so
 tests and examples can exercise it in-process.
@@ -20,13 +28,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
 from ..rdf.graph import Dataset, Graph
 from ..rdf.turtle import serialize_turtle
-from ..sparql.evaluator import QueryEngine
+from ..sparql.evaluator import DEFAULT_RESULT_CACHE_SIZE, QueryEngine
 from ..sparql.results import ResultTable
 from ..sparql.tokenizer import SparqlSyntaxError
 
@@ -36,7 +45,7 @@ __all__ = ["SparqlEndpoint"]
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to an engine via the server instance."""
 
-    server_version = "ProvBenchSPARQL/1.0"
+    server_version = "ProvBenchSPARQL/1.1"
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep test output clean
@@ -47,6 +56,9 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urllib.parse.urlparse(self.path)
         if parsed.path in ("", "/"):
             self._send_service_description()
+            return
+        if parsed.path == "/stats":
+            self._send_stats()
             return
         if parsed.path != "/sparql":
             self._send_error(404, "not found: use /sparql")
@@ -63,9 +75,27 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path != "/sparql":
             self._send_error(404, "not found: use /sparql")
             return
-        length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length).decode("utf-8")
-        content_type = self.headers.get("Content-Type", "").split(";")[0].strip()
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error(400, "malformed Content-Length header")
+            return
+        raw = self.rfile.read(length)
+        if len(raw) != length:
+            # A short read means the client hung up or lied about the
+            # length — a client error, not a server failure.
+            self._send_error(
+                400,
+                f"incomplete body: Content-Length {length}, received {len(raw)} bytes",
+            )
+            return
+        content_type, type_params = self._parse_content_type()
+        charset = type_params.get("charset", "utf-8")
+        try:
+            body = raw.decode(charset)
+        except (LookupError, UnicodeDecodeError) as exc:
+            self._send_error(400, f"cannot decode body as {charset!r}: {exc}")
+            return
         if content_type == "application/sparql-query":
             query = body
         else:
@@ -77,10 +107,22 @@ class _Handler(BaseHTTPRequestHandler):
             query = queries[0]
         self._run_query(query)
 
+    def _parse_content_type(self):
+        """Split Content-Type into (media type, {param: value})."""
+        header = self.headers.get("Content-Type", "")
+        parts = header.split(";")
+        params = {}
+        for part in parts[1:]:
+            name, _, value = part.partition("=")
+            params[name.strip().lower()] = value.strip().strip('"')
+        return parts[0].strip().lower(), params
+
     # -- internals ----------------------------------------------------------------
 
     def _run_query(self, query: str):
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
         engine: QueryEngine = self.server.engine  # type: ignore[attr-defined]
+        started = time.perf_counter()
         try:
             result = engine.query(query)
         except SparqlSyntaxError as exc:
@@ -89,18 +131,21 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             self._send_error(500, f"query evaluation failed: {exc}")
             return
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        endpoint._record_request(elapsed_ms)
         accept = self.headers.get("Accept", "")
+        extra = {"X-Query-Duration-ms": f"{elapsed_ms:.3f}"}
         if isinstance(result, bool):
             payload = json.dumps({"head": {}, "boolean": result})
-            self._send(200, "application/sparql-results+json", payload)
+            self._send(200, "application/sparql-results+json", payload, extra)
         elif isinstance(result, ResultTable):
             if "text/csv" in accept:
-                self._send(200, "text/csv", result.to_csv())
+                self._send(200, "text/csv", result.to_csv(), extra)
             else:
-                self._send(200, "application/sparql-results+json", result.to_json())
+                self._send(200, "application/sparql-results+json", result.to_json(), extra)
         elif isinstance(result, Graph):
             # CONSTRUCT / DESCRIBE results are graphs, served as Turtle.
-            self._send(200, "text/turtle", serialize_turtle(result))
+            self._send(200, "text/turtle", serialize_turtle(result), extra)
         else:
             self._send_error(500, "unsupported result type")
 
@@ -110,6 +155,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "service": "ProvBench Wf4Ever-PROV corpus SPARQL endpoint",
                 "sparql": "/sparql",
+                "stats": "/stats",
                 "triples": endpoint.triple_count,
                 "named_graphs": endpoint.named_graph_count,
             },
@@ -117,11 +163,17 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._send(200, "application/json", payload)
 
-    def _send(self, status: int, content_type: str, body: str):
+    def _send_stats(self):
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        self._send(200, "application/json", json.dumps(endpoint.stats(), indent=2))
+
+    def _send(self, status: int, content_type: str, body: str, extra_headers=None):
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -132,18 +184,53 @@ class _Handler(BaseHTTPRequestHandler):
 class SparqlEndpoint:
     """An HTTP SPARQL endpoint over a corpus graph or dataset."""
 
-    def __init__(self, source: Union[Graph, Dataset], host: str = "127.0.0.1", port: int = 0):
-        self.engine = QueryEngine(source)
+    def __init__(
+        self,
+        source: Union[Graph, Dataset],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ):
+        self.source = source
+        self.engine = QueryEngine(source, cache_size=cache_size)
         if isinstance(source, Dataset):
             self.triple_count = len(source)
             self.named_graph_count = len(source.graph_names())
         else:
             self.triple_count = len(source)
             self.named_graph_count = 0
+        self._timing_lock = threading.Lock()
+        self._request_count = 0
+        self._total_ms = 0.0
+        self._max_ms = 0.0
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.engine = self.engine  # type: ignore[attr-defined]
         self._server.endpoint = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    def _record_request(self, elapsed_ms: float) -> None:
+        with self._timing_lock:
+            self._request_count += 1
+            self._total_ms += elapsed_ms
+            if elapsed_ms > self._max_ms:
+                self._max_ms = elapsed_ms
+
+    def stats(self) -> dict:
+        """Cache + timing counters served at ``GET /stats``."""
+        with self._timing_lock:
+            count = self._request_count
+            total_ms = self._total_ms
+            max_ms = self._max_ms
+        return {
+            "version": self.engine.source_version(),
+            "result_cache": self.engine.cache_info(),
+            "requests": {
+                "count": count,
+                "total_ms": round(total_ms, 3),
+                "avg_ms": round(total_ms / count, 3) if count else 0.0,
+                "max_ms": round(max_ms, 3),
+            },
+        }
 
     @property
     def url(self) -> str:
@@ -153,6 +240,10 @@ class SparqlEndpoint:
     @property
     def query_url(self) -> str:
         return f"{self.url}/sparql"
+
+    @property
+    def stats_url(self) -> str:
+        return f"{self.url}/stats"
 
     def start(self) -> "SparqlEndpoint":
         """Serve on a daemon thread; returns self for chaining."""

@@ -7,6 +7,7 @@ JSON-LD-flavoured JSON profile).
 """
 
 from .graph import Dataset, Graph
+from .statistics import GraphStatistics
 from .namespace import (
     CORE_PREFIXES,
     DCTERMS,
@@ -41,6 +42,7 @@ __all__ = [
     "Quad",
     "Graph",
     "Dataset",
+    "GraphStatistics",
     "Namespace",
     "NamespaceManager",
     "CORE_PREFIXES",

@@ -9,6 +9,12 @@ against the linear fallback (:meth:`Graph.triples_scan`).
 
 :class:`Dataset` adds named graphs, which the corpus uses for Wings bundles
 (one ``prov:Bundle`` per workflow execution account) serialized as TriG.
+
+Both carry a monotonic :attr:`Graph.version` counter that is bumped on
+every effective mutation; the SPARQL layer keys its statistics and
+query-result caches on it, so cache invalidation is a version comparison
+instead of a rebuild-per-query (see ``repro.rdf.statistics`` and
+``repro.sparql.evaluator``).
 """
 
 from __future__ import annotations
@@ -54,9 +60,32 @@ class Graph:
         self._pos: Dict[Predicate, Dict[Object, Set[Subject]]] = {}
         self._osp: Dict[Object, Dict[Subject, Set[Predicate]]] = {}
         self._size = 0
+        self._version = 0
+        self._statistics = None
         if triples is not None:
             for t in triples:
                 self.add(t)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped on every effective change.
+
+        Two reads returning the same version guarantee the graph content
+        did not change in between — the cache layers key on this.
+        """
+        return self._version
+
+    def statistics(self):
+        """The (lazily created) per-graph statistics cache.
+
+        Returns a :class:`repro.rdf.statistics.GraphStatistics` bound to
+        this graph; it invalidates itself by comparing :attr:`version`.
+        """
+        if self._statistics is None:
+            from .statistics import GraphStatistics
+
+            self._statistics = GraphStatistics(self)
+        return self._statistics
 
     # -- mutation ---------------------------------------------------------
 
@@ -71,6 +100,7 @@ class Graph:
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Union[Triple, Tuple]]) -> int:
@@ -80,39 +110,105 @@ class Graph:
     def remove(self, triple: Union[Triple, Tuple]) -> bool:
         """Remove a triple; returns True if it was present."""
         s, p, o = self._as_terms(triple)
-        try:
-            self._spo[s][p].remove(o)
-        except KeyError:
+        objs = self._spo.get(s, {}).get(p)
+        if objs is None or o not in objs:
             return False
-        if not self._spo[s][p]:
+        self._remove_present(s, p, o)
+        self._version += 1
+        return True
+
+    def _remove_present(self, s: Subject, p: Predicate, o: Object) -> None:
+        """Delete a triple known to be present from all three indexes.
+
+        All three paths use strict ``set.remove`` so that index skew (a
+        triple present in one index but not another) raises instead of
+        silently corrupting size accounting.
+        """
+        objs = self._spo[s][p]
+        objs.remove(o)
+        if not objs:
             del self._spo[s][p]
             if not self._spo[s]:
                 del self._spo[s]
-        self._pos[p][o].discard(s)
-        if not self._pos[p][o]:
+        subs = self._pos[p][o]
+        subs.remove(s)
+        if not subs:
             del self._pos[p][o]
             if not self._pos[p]:
                 del self._pos[p]
-        self._osp[o][s].discard(p)
-        if not self._osp[o][s]:
+        preds = self._osp[o][s]
+        preds.remove(p)
+        if not preds:
             del self._osp[o][s]
             if not self._osp[o]:
                 del self._osp[o]
         self._size -= 1
-        return True
 
     def remove_pattern(self, subject=None, predicate=None, obj=None) -> int:
-        """Remove every triple matching the pattern; returns the count."""
-        victims = list(self.triples(subject, predicate, obj))
-        for t in victims:
-            self.remove(t)
+        """Remove every triple matching the pattern; returns the count.
+
+        Victim keys are collected with direct index cursors (no
+        :class:`Triple` objects, no per-triple pattern re-matching) and
+        deleted via the known-present fast path.
+        """
+        if subject is None and predicate is None and obj is None:
+            count = self._size
+            self.clear()
+            return count
+        victims: List[_TripleKey]
+        if subject is not None:
+            po = self._spo.get(subject, {})
+            if predicate is not None:
+                objs = po.get(predicate, ())
+                if obj is not None:
+                    victims = [(subject, predicate, obj)] if obj in objs else []
+                else:
+                    victims = [(subject, predicate, o) for o in objs]
+            elif obj is not None:
+                preds = self._osp.get(obj, {}).get(subject, ())
+                victims = [(subject, p, obj) for p in preds]
+            else:
+                victims = [(subject, p, o) for p, objs in po.items() for o in objs]
+        elif predicate is not None:
+            os_ = self._pos.get(predicate, {})
+            if obj is not None:
+                victims = [(s, predicate, obj) for s in os_.get(obj, ())]
+            else:
+                victims = [(s, predicate, o) for o, subs in os_.items() for s in subs]
+        else:
+            sp = self._osp.get(obj, {})
+            victims = [(s, p, obj) for s, preds in sp.items() for p in preds]
+        for s, p, o in victims:
+            self._remove_present(s, p, o)
+        if victims:
+            self._version += 1
         return len(victims)
 
     def clear(self) -> None:
+        if self._size:
+            self._version += 1
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+
+    def check_invariants(self) -> None:
+        """Assert the three indexes agree with each other and with _size.
+
+        A debugging/testing aid: raises AssertionError on any skew
+        (orphaned empty buckets, triples missing from an index, or a
+        size-accounting drift).
+        """
+        spo = {(s, p, o) for s, po in self._spo.items() for p, objs in po.items() for o in objs}
+        pos = {(s, p, o) for p, os_ in self._pos.items() for o, subs in os_.items() for s in subs}
+        osp = {(s, p, o) for o, sp in self._osp.items() for s, preds in sp.items() for p in preds}
+        assert spo == pos == osp, "index skew between SPO/POS/OSP"
+        assert len(spo) == self._size, f"size accounting drift: {len(spo)} != {self._size}"
+        for index in (self._spo, self._pos, self._osp):
+            for inner in index.values():
+                assert inner, "orphaned empty second-level bucket"
+                for leaf in inner.values():
+                    assert leaf, "orphaned empty leaf set"
 
     @staticmethod
     def _as_terms(triple: Union[Triple, Tuple]) -> _TripleKey:
@@ -330,6 +426,21 @@ class Dataset:
         self.namespaces = namespaces if namespaces is not None else NamespaceManager()
         self.default = Graph(namespaces=self.namespaces)
         self._named: Dict[Union[IRI, BlankNode], Graph] = {}
+        self._structure_version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic dataset version: structural changes (graphs added or
+        removed) plus the versions of every member graph.
+
+        Removing a graph bumps the structural counter by more than the
+        removed graph's version so the sum can never move backwards.
+        """
+        return (
+            self._structure_version
+            + self.default.version
+            + sum(g.version for g in self._named.values())
+        )
 
     def graph(self, name: Optional[Union[IRI, BlankNode]] = None) -> Graph:
         """Return (creating if needed) the graph with the given name."""
@@ -339,13 +450,18 @@ class Dataset:
         if g is None:
             g = Graph(identifier=name, namespaces=self.namespaces)
             self._named[name] = g
+            self._structure_version += 1
         return g
 
     def has_graph(self, name: Union[IRI, BlankNode]) -> bool:
         return name in self._named
 
     def remove_graph(self, name: Union[IRI, BlankNode]) -> bool:
-        return self._named.pop(name, None) is not None
+        g = self._named.pop(name, None)
+        if g is None:
+            return False
+        self._structure_version += g.version + 1
+        return True
 
     def graph_names(self) -> List[Union[IRI, BlankNode]]:
         return sorted(self._named, key=lambda t: t.sort_key())

@@ -7,13 +7,14 @@ FILTER (full expression grammar + built-ins), UNION, MINUS, BIND, GRAPH,
 """
 
 from .algebra import AskQuery, SelectQuery, Var
-from .evaluator import QueryEngine, plan_bgp
+from .evaluator import DEFAULT_RESULT_CACHE_SIZE, QueryEngine, plan_bgp
 from .parser import parse_query
 from .results import ResultRow, ResultTable
 from .tokenizer import SparqlSyntaxError
 
 __all__ = [
     "QueryEngine",
+    "DEFAULT_RESULT_CACHE_SIZE",
     "parse_query",
     "plan_bgp",
     "ResultTable",

@@ -9,10 +9,21 @@ against the written order.
 
 Entry point: :class:`QueryEngine` — construct over a :class:`Graph` or a
 :class:`Dataset` and call :meth:`QueryEngine.query` with SPARQL text.
+
+Acceleration layer: the engine keeps a bounded LRU cache of query results
+keyed by ``(query text, source version)`` — the version is the source's
+monotonic mutation counter, so any write to the graph/dataset implicitly
+invalidates every cached entry without bookkeeping.  Predicate
+cardinalities used by the planner live in the per-graph
+:class:`~repro.rdf.statistics.GraphStatistics` object instead of being
+rebuilt per query.  Both caches are lock-protected: the endpoint serves
+one shared engine from many threads.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Union as TyUnion
 
 from ..rdf.graph import Dataset, Graph
@@ -51,9 +62,14 @@ from .parser import parse_query
 from .paths import Path, eval_path
 from .results import ResultTable
 
-__all__ = ["QueryEngine", "plan_bgp"]
+__all__ = ["QueryEngine", "plan_bgp", "DEFAULT_RESULT_CACHE_SIZE"]
 
 Binding = Dict[str, Term]
+
+#: Default capacity of the per-engine LRU query-result cache.
+DEFAULT_RESULT_CACHE_SIZE = 128
+
+_MISS = object()  # sentinel: cached-None must be distinguishable
 
 
 def plan_bgp(
@@ -73,16 +89,13 @@ def plan_bgp(
     bound = set(bound_vars)
     ordered: List[TriplePattern] = []
 
-    # Predicate cardinalities are looked up once per distinct predicate;
-    # Graph.count reads the index sizes, so planning stays O(patterns²).
-    cardinality_cache: Dict[IRI, int] = {}
+    # Predicate cardinalities come from the graph's version-keyed
+    # statistics cache: they survive across queries and are invalidated
+    # wholesale when the graph's version counter moves.
+    statistics = graph.statistics() if graph is not None else None
 
     def predicate_cardinality(predicate: IRI) -> int:
-        cached = cardinality_cache.get(predicate)
-        if cached is None:
-            cached = graph.count(predicate=predicate) if graph is not None else 0
-            cardinality_cache[predicate] = cached
-        return cached
+        return statistics.predicate_cardinality(predicate) if statistics is not None else 0
 
     def position_bound(term) -> bool:
         return not isinstance(term, Var) or term.name in bound
@@ -123,33 +136,140 @@ class QueryEngine:
         source: TyUnion[Graph, Dataset],
         namespaces: Optional[NamespaceManager] = None,
         optimize_joins: bool = True,
+        cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
     ):
         if isinstance(source, Dataset):
             self.dataset: Optional[Dataset] = source
+            self._union_version = source.version
             self._default = source.union_graph()
         elif isinstance(source, Graph):
             self.dataset = None
+            self._union_version = None
             self._default = source
         else:
             raise TypeError("QueryEngine requires a Graph or Dataset")
         self.namespaces = namespaces if namespaces is not None else _corpus_namespaces(source)
         self.optimize_joins = optimize_joins
+        # Result cache: (query text, source version) → result.  The lock
+        # also guards the lazy union-graph refresh; the endpoint shares
+        # one engine across ThreadingHTTPServer worker threads.
+        self.cache_size = max(0, cache_size)
+        self._lock = threading.RLock()
+        self._tlocal = threading.local()
+        self._result_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+
+    # -- versioning / caching -------------------------------------------------
+
+    def source_version(self) -> int:
+        """The source's current monotonic version (cache-key component)."""
+        return self.dataset.version if self.dataset is not None else self._default.version
+
+    def _refresh_default_locked(self) -> None:
+        """Rebuild the union-graph snapshot if the dataset has moved.
+
+        Before versioning existed the snapshot was built once in the
+        constructor and silently served stale data after any dataset
+        mutation; now staleness is detected by version comparison.  The
+        copy retries until it observes the same version before and after
+        (and no mid-iteration RuntimeError), so a concurrent writer can
+        never leave a torn snapshot behind.  The snapshot graph itself is
+        only ever *replaced*, never mutated, which is what lets queries
+        evaluate on it outside the engine lock.
+        """
+        if self.dataset is None:
+            return
+        while True:
+            version = self.dataset.version
+            if version == self._union_version:
+                return
+            try:
+                snapshot = self.dataset.union_graph()
+            except RuntimeError:
+                continue  # raced a writer mid-iteration; re-copy
+            if self.dataset.version == version:
+                self._default = snapshot
+                self._union_version = version
+                return
+
+    def _default_graph(self) -> Graph:
+        """The default graph for the query running on this thread.
+
+        :meth:`_dispatch` pins the current snapshot in a thread-local so
+        a concurrent refresh cannot swap graphs mid-evaluation (which
+        would mix two dataset versions inside one result).
+        """
+        pinned = getattr(self._tlocal, "default", None)
+        return pinned if pinned is not None else self._default
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current size and version."""
+        with self._lock:
+            return {
+                "size": len(self._result_cache),
+                "maxsize": self.cache_size,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "evictions": self._cache_evictions,
+                "version": self.source_version(),
+            }
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._result_cache.clear()
 
     # -- public API ----------------------------------------------------------
 
     def query(self, query: TyUnion[str, SelectQuery, AskQuery]):
-        """Run a SELECT (→ ResultTable) or ASK (→ bool) query."""
-        if isinstance(query, str):
-            query = parse_query(query, namespaces=self.namespaces)
-        if isinstance(query, SelectQuery):
-            return self._run_select(query)
-        if isinstance(query, AskQuery):
-            return self._run_ask(query)
-        if isinstance(query, ConstructQuery):
-            return self._run_construct(query)
-        if isinstance(query, DescribeQuery):
-            return self._run_describe(query)
-        raise TypeError(f"unsupported query type {type(query).__name__}")
+        """Run a SELECT (→ ResultTable) or ASK (→ bool) query.
+
+        String queries go through the LRU result cache: a hit returns
+        the previously computed result object as long as the source's
+        version is unchanged.  Any mutation bumps the version, which
+        makes every older cache entry unreachable (logical invalidation
+        — entries age out of the LRU without explicit purging).
+        """
+        if not isinstance(query, str):
+            with self._lock:
+                self._refresh_default_locked()
+            return self._dispatch(query)
+        key = None
+        with self._lock:
+            self._refresh_default_locked()
+            if self.cache_size:
+                key = (query, self.source_version())
+                cached = self._result_cache.get(key, _MISS)
+                if cached is not _MISS:
+                    self._result_cache.move_to_end(key)
+                    self._cache_hits += 1
+                    return cached
+                self._cache_misses += 1
+        parsed = parse_query(query, namespaces=self.namespaces)
+        result = self._dispatch(parsed)
+        if key is not None:
+            with self._lock:
+                self._result_cache[key] = result
+                while len(self._result_cache) > self.cache_size:
+                    self._result_cache.popitem(last=False)
+                    self._cache_evictions += 1
+        return result
+
+    def _dispatch(self, query):
+        self._tlocal.default = self._default  # pin the snapshot for this query
+        try:
+            if isinstance(query, SelectQuery):
+                return self._run_select(query)
+            if isinstance(query, AskQuery):
+                return self._run_ask(query)
+            if isinstance(query, ConstructQuery):
+                return self._run_construct(query)
+            if isinstance(query, DescribeQuery):
+                return self._run_describe(query)
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        finally:
+            self._tlocal.default = None
 
     def construct(self, text: str) -> Graph:
         result = self.query(text)
@@ -172,7 +292,7 @@ class QueryEngine:
     # -- SELECT pipeline --------------------------------------------------------
 
     def _run_select(self, query: SelectQuery) -> ResultTable:
-        solutions = self._eval(query.where, [{}], self._default)
+        solutions = self._eval(query.where, [{}], self._default_graph())
         if query.has_aggregates():
             rows, variables = self._aggregate(query, solutions)
             scopes = rows  # ORDER BY sees group keys and aggregate aliases
@@ -205,7 +325,7 @@ class QueryEngine:
         return ResultTable(variables, rows)
 
     def _run_ask(self, query: AskQuery) -> bool:
-        for _ in self._eval(query.where, [{}], self._default):
+        for _ in self._eval(query.where, [{}], self._default_graph()):
             return True
         return False
 
@@ -213,7 +333,7 @@ class QueryEngine:
         """Instantiate the template once per solution; ill-formed
         instantiations (unbound positions, literal subjects) are skipped
         per the SPARQL spec."""
-        solutions = self._eval(query.where, [{}], self._default)
+        solutions = self._eval(query.where, [{}], self._default_graph())
         if query.offset:
             solutions = solutions[query.offset:]
         if query.limit is not None:
@@ -239,7 +359,7 @@ class QueryEngine:
         variables = [t for t in query.targets if isinstance(t, Var)]
         resources.extend(constants)
         if variables:
-            solutions = self._eval(query.where, [{}], self._default) if query.where else []
+            solutions = self._eval(query.where, [{}], self._default_graph()) if query.where else []
             for sol in solutions:
                 for var in variables:
                     value = sol.get(var.name)
@@ -253,7 +373,7 @@ class QueryEngine:
             if resource in seen or isinstance(resource, Literal):
                 continue
             seen.add(resource)
-            for t in self._default.triples(resource, None, None):
+            for t in self._default_graph().triples(resource, None, None):
                 out.add(t)
                 if isinstance(t.object, BlankNode) and t.object not in seen:
                     frontier.append(t.object)
@@ -594,7 +714,7 @@ class QueryEngine:
 
     def _exists(self, pattern: Pattern, binding: Binding) -> bool:
         """EXISTS probe: does *pattern* match under *binding*?"""
-        return bool(self._eval(pattern, [dict(binding)], self._default))
+        return bool(self._eval(pattern, [dict(binding)], self._default_graph()))
 
 
 def _resolve(term, binding: Binding):

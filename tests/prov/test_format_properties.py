@@ -55,18 +55,31 @@ def documents(draw):
         kind = draw(st.sampled_from(["used", "gen", "assoc", "attr", "derive"]))
         entity = draw(st.sampled_from(entities))
         activity = draw(st.sampled_from(activities))
-        key = (kind, entity, activity)
-        if key in emitted:
-            continue
+        # The dedup key must mirror the *emitted statement's* identity —
+        # e.g. an association only involves (activity, agent), so keying
+        # it on the sampled entity would let two draws emit the same
+        # statement twice, which collapses in the RDF mapping.
         if kind == "used":
+            key = (kind, activity, entity)
+            if key in emitted:
+                continue
             doc.used(activity, entity)
         elif kind == "gen":
+            key = (kind, entity)
+            if key in emitted:
+                continue
             if any(g.entity == doc.resolve(entity) for g in doc.relations_of(Generation)):
                 continue  # generation-uniqueness
             doc.was_generated_by(entity, activity)
         elif kind == "assoc":
+            key = (kind, activity)
+            if key in emitted:
+                continue
             doc.was_associated_with(activity, "ex:agent")
         elif kind == "attr":
+            key = (kind, entity)
+            if key in emitted:
+                continue
             doc.was_attributed_to(entity, "ex:agent")
         elif kind == "derive":
             other = draw(st.sampled_from(entities))

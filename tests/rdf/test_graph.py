@@ -61,10 +61,108 @@ class TestGraphMutation:
         assert removed == 2
         assert g.count(EX.a, PROV.used, None) == 0
 
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ((None, None, None), 5),
+            ((EX.a, None, None), 3),
+            ((None, PROV.used, None), 2),
+            ((None, None, PROV.Entity), 2),
+            ((EX.a, PROV.used, None), 2),
+            ((EX.a, None, EX.e1), 1),
+            ((None, RDF.type, PROV.Entity), 2),
+            ((EX.a, PROV.used, EX.e1), 1),
+            ((EX.zz, None, None), 0),
+        ],
+    )
+    def test_remove_pattern_all_cursor_paths(self, pattern, expected):
+        g = small_graph()
+        before = len(g)
+        assert g.remove_pattern(*pattern) == expected
+        assert len(g) == before - expected
+        for t in g.triples(*pattern):
+            raise AssertionError(f"pattern survivor {t}")
+        g.check_invariants()
+
+    def test_remove_pattern_wildcard_clears(self):
+        g = small_graph()
+        assert g.remove_pattern() == 5
+        assert len(g) == 0
+        g.check_invariants()
+
     def test_clear(self):
         g = small_graph()
         g.clear()
         assert len(g) == 0 and not g
+
+    def test_remove_keeps_indexes_symmetric(self):
+        g = small_graph()
+        g.remove((EX.a, PROV.used, EX.e1))
+        g.remove((EX.e1, RDF.type, PROV.Entity))
+        g.check_invariants()
+        assert g.remove((EX.a, PROV.used, EX.e1)) is False  # already gone
+        g.check_invariants()
+
+    def test_size_invariant_under_mixed_mutations(self):
+        g = Graph()
+        for i in range(20):
+            g.add((EX[f"s{i % 5}"], EX[f"p{i % 3}"], EX[f"o{i}"]))
+        g.remove_pattern(None, EX.p0, None)
+        g.remove((EX.s1, EX.p1, EX.o1))
+        g.add((EX.s1, EX.p1, EX.o1))
+        g.remove_pattern(EX.s2, None, None)
+        g.check_invariants()
+        assert len(g) == len(list(g.triples()))
+
+
+class TestVersioning:
+    def test_add_bumps_version_once(self):
+        g = Graph()
+        v0 = g.version
+        g.add((EX.a, PROV.used, EX.b))
+        assert g.version == v0 + 1
+        g.add((EX.a, PROV.used, EX.b))  # duplicate: no effective change
+        assert g.version == v0 + 1
+
+    def test_remove_bumps_only_when_present(self):
+        g = small_graph()
+        v = g.version
+        assert g.remove((EX.zz, PROV.used, EX.e1)) is False
+        assert g.version == v
+        g.remove((EX.a, PROV.used, EX.e1))
+        assert g.version > v
+
+    def test_remove_pattern_and_clear_bump(self):
+        g = small_graph()
+        v = g.version
+        assert g.remove_pattern(EX.zz, None, None) == 0
+        assert g.version == v  # no-op pattern: version unchanged
+        g.remove_pattern(EX.a, PROV.used, None)
+        assert g.version > v
+        v = g.version
+        g.clear()
+        assert g.version > v
+        v = g.version
+        g.clear()  # clearing an empty graph is a no-op
+        assert g.version == v
+
+    def test_dataset_version_tracks_member_graphs(self):
+        ds = Dataset()
+        v0 = ds.version
+        ds.default.add((EX.a, PROV.used, EX.b))
+        assert ds.version > v0
+        v1 = ds.version
+        ds.graph(EX.g1).add((EX.c, PROV.used, EX.d))
+        assert ds.version > v1
+
+    def test_dataset_version_monotonic_across_graph_removal(self):
+        ds = Dataset()
+        ds.graph(EX.g1).add_all(
+            [(EX.a, PROV.used, EX.b), (EX.c, PROV.used, EX.d)]
+        )
+        v = ds.version
+        ds.remove_graph(EX.g1)
+        assert ds.version > v  # dropping triples must not rewind the clock
 
 
 class TestPatternMatching:

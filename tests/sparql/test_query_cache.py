@@ -1,0 +1,170 @@
+"""Tests for the query acceleration layer: graph statistics + result cache."""
+
+import threading
+
+import pytest
+
+from repro.rdf import Dataset, Graph, Namespace, PROV, RDF
+from repro.sparql import QueryEngine
+
+EX = Namespace("http://example.org/")
+
+Q_ACTIVITIES = "SELECT ?x WHERE { ?x a prov:Activity } ORDER BY ?x"
+
+
+def small_graph():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.a, RDF.type, PROV.Activity))
+    g.add((EX.a, PROV.used, EX.e1))
+    g.add((EX.e1, RDF.type, PROV.Entity))
+    return g
+
+
+class TestGraphStatistics:
+    def test_cardinality_matches_count(self):
+        g = small_graph()
+        stats = g.statistics()
+        assert stats.predicate_cardinality(RDF.type) == g.count(predicate=RDF.type)
+        assert stats.predicate_cardinality(PROV.used) == 1
+
+    def test_statistics_instance_is_shared(self):
+        g = small_graph()
+        assert g.statistics() is g.statistics()
+
+    def test_second_lookup_hits(self):
+        g = small_graph()
+        stats = g.statistics()
+        stats.predicate_cardinality(RDF.type)
+        before = stats.snapshot()
+        stats.predicate_cardinality(RDF.type)
+        after = stats.snapshot()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_version_bump_invalidates(self):
+        g = small_graph()
+        stats = g.statistics()
+        assert stats.predicate_cardinality(RDF.type) == 2
+        g.add((EX.e2, RDF.type, PROV.Entity))
+        assert stats.predicate_cardinality(RDF.type) == 3
+        assert stats.snapshot()["invalidations"] >= 1
+
+    def test_noop_mutation_keeps_cache(self):
+        g = small_graph()
+        stats = g.statistics()
+        stats.predicate_cardinality(RDF.type)
+        g.add((EX.a, RDF.type, PROV.Activity))  # duplicate: version unchanged
+        stats.predicate_cardinality(RDF.type)
+        assert stats.snapshot()["invalidations"] == 0
+
+
+class TestResultCache:
+    def test_repeat_query_hits_cache(self):
+        engine = QueryEngine(small_graph())
+        first = engine.select(Q_ACTIVITIES)
+        second = engine.select(Q_ACTIVITIES)
+        assert second is first  # same object: served from cache
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_mutation_invalidates(self):
+        g = small_graph()
+        engine = QueryEngine(g)
+        assert len(engine.select(Q_ACTIVITIES)) == 1
+        g.add((EX.b, RDF.type, PROV.Activity))
+        table = engine.select(Q_ACTIVITIES)
+        assert len(table) == 2
+        assert engine.cache_info()["misses"] == 2
+
+    def test_dataset_mutation_refreshes_union_snapshot(self):
+        ds = Dataset()
+        ds.default.add((EX.a, RDF.type, PROV.Activity))
+        engine = QueryEngine(ds)
+        assert len(engine.select(Q_ACTIVITIES)) == 1
+        # Mutating a *named* graph after engine construction must be
+        # visible: the stale-union-snapshot bug served 1 row forever.
+        ds.graph(EX.g1).add((EX.b, RDF.type, PROV.Activity))
+        assert len(engine.select(Q_ACTIVITIES)) == 2
+
+    def test_ask_and_construct_cached(self):
+        engine = QueryEngine(small_graph())
+        assert engine.ask("ASK { ?x a prov:Activity }") is True
+        assert engine.ask("ASK { ?x a prov:Activity }") is True
+        g1 = engine.construct("CONSTRUCT { ?x a prov:Agent } WHERE { ?x a prov:Activity }")
+        g2 = engine.construct("CONSTRUCT { ?x a prov:Agent } WHERE { ?x a prov:Activity }")
+        assert g2 is g1
+        assert engine.cache_info()["hits"] == 2
+
+    def test_lru_eviction(self):
+        engine = QueryEngine(small_graph(), cache_size=2)
+        engine.ask("ASK { ?x a prov:Activity }")
+        engine.select(Q_ACTIVITIES)
+        engine.ask("ASK { ?x a prov:Entity }")  # evicts the oldest entry
+        info = engine.cache_info()
+        assert info["size"] == 2
+        assert info["evictions"] == 1
+        # the first query was evicted: running it again is a miss
+        engine.ask("ASK { ?x a prov:Activity }")
+        assert engine.cache_info()["misses"] == 4
+
+    def test_cache_disabled(self):
+        engine = QueryEngine(small_graph(), cache_size=0)
+        a = engine.select(Q_ACTIVITIES)
+        b = engine.select(Q_ACTIVITIES)
+        assert a is not b
+        info = engine.cache_info()
+        assert info["size"] == 0 and info["hits"] == 0 and info["misses"] == 0
+
+    def test_clear_cache(self):
+        engine = QueryEngine(small_graph())
+        engine.select(Q_ACTIVITIES)
+        engine.clear_cache()
+        assert engine.cache_info()["size"] == 0
+
+    def test_source_version_reported(self):
+        g = small_graph()
+        engine = QueryEngine(g)
+        v = engine.cache_info()["version"]
+        g.add((EX.n, RDF.type, PROV.Entity))
+        assert engine.cache_info()["version"] > v
+
+
+class TestConcurrency:
+    @pytest.mark.slow
+    def test_concurrent_readers_and_writer_never_see_stale_counts(self):
+        """Readers must never observe fewer activities than already committed.
+
+        Uses a Dataset source: readers evaluate on immutable union-graph
+        snapshots (refreshed with a consistency retry loop), which is the
+        engine's supported concurrent read/write configuration.
+        """
+        ds = Dataset()
+        ds.namespaces.bind("ex", EX)
+        g = ds.default
+        g.add((EX.act0, RDF.type, PROV.Activity))
+        engine = QueryEngine(ds)
+        committed = [1]  # activities inserted so far (writer appends)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            query = "SELECT (COUNT(?x) AS ?n) WHERE { ?x a prov:Activity }"
+            while not stop.is_set():
+                floor = committed[-1]
+                table = engine.select(query)
+                n = int(table[0].n.to_python())
+                if n < floor:
+                    errors.append(f"stale read: {n} < committed floor {floor}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for i in range(1, 60):
+            g.add((EX[f"act{i}"], RDF.type, PROV.Activity))
+            committed.append(i + 1)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors, errors

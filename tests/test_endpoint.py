@@ -1,13 +1,16 @@
 """Tests for the SPARQL endpoint (server + client)."""
 
 import json
+import socket
+import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
 
 from repro.endpoint import SparqlClient, SparqlEndpoint
-from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.rdf import Dataset, Graph, Namespace, PROV, RDF
 
 EX = Namespace("http://example.org/")
 
@@ -93,6 +96,70 @@ class TestProtocol:
         rows = client.query("SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?o }")
         assert isinstance(rows[0]["n"], int)
 
+    def test_post_honors_declared_charset(self, endpoint):
+        query = "SELECT ?x WHERE { ?x a prov:Activity } ORDER BY ?x"
+        request = urllib.request.Request(
+            endpoint.query_url,
+            data=query.encode("utf-16"),
+            headers={"Content-Type": "application/sparql-query; charset=utf-16"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            payload = json.loads(response.read())
+        assert len(payload["results"]["bindings"]) == 2
+
+    def test_post_undecodable_body_400(self, endpoint):
+        request = urllib.request.Request(
+            endpoint.query_url,
+            data=b"\xff\xfe\xff invalid",
+            headers={"Content-Type": "application/sparql-query; charset=utf-8"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5)
+        assert err.value.code == 400
+
+    def test_post_content_length_mismatch_400(self, endpoint):
+        """A body shorter than its declared Content-Length is a client error."""
+        host, port = endpoint._server.server_address[:2]
+        body = b"query=ASK%20%7B%20%3Fx%20a%20prov%3AEntity%20%7D"
+        request = (
+            b"POST /sparql HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Type: application/x-www-form-urlencoded\r\n"
+            + f"Content-Length: {len(body) + 50}\r\n".encode()
+            + b"Connection: close\r\n\r\n"
+            + body
+        )
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(request)
+            sock.shutdown(socket.SHUT_WR)  # short body: server sees EOF early
+            response = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line, status_line
+
+    def test_stats_route(self, endpoint, client):
+        client.query("ASK { ?x a prov:Activity }")
+        client.query("ASK { ?x a prov:Activity }")
+        stats = client.stats()
+        assert stats["result_cache"]["hits"] >= 1
+        assert stats["result_cache"]["maxsize"] > 0
+        assert stats["requests"]["count"] >= 2
+        assert stats["requests"]["avg_ms"] >= 0
+        assert stats["version"] >= 0
+
+    def test_query_duration_header(self, endpoint):
+        url = endpoint.query_url + "?" + urllib.parse.urlencode(
+            {"query": "ASK { ?x a prov:Entity }"}
+        )
+        with urllib.request.urlopen(url, timeout=5) as response:
+            assert float(response.headers["X-Query-Duration-ms"]) >= 0
+
 
 class TestCorpusEndpoint:
     def test_exemplar_query_over_http(self, corpus_dataset):
@@ -102,3 +169,116 @@ class TestCorpusEndpoint:
             client = SparqlClient(server.query_url)
             rows = client.query(Q1_WORKFLOW_RUNS)
         assert len(rows) == 198
+
+
+def _run_dataset(n_runs: int) -> Dataset:
+    """A miniature wfprov dataset: n top-level runs with start times."""
+    from repro.rdf import WFPROV, from_python
+    import datetime as dt
+
+    ds = Dataset()
+    ds.namespaces.bind("ex", EX)
+    for i in range(n_runs):
+        _add_run(ds, i)
+    return ds
+
+
+def _add_run(ds: Dataset, i: int) -> None:
+    from repro.rdf import WFPROV, from_python
+    import datetime as dt
+
+    run = EX[f"run{i}"]
+    ds.default.add((run, RDF.type, WFPROV.WorkflowRun))
+    ds.default.add((run, PROV.startedAtTime, from_python(dt.datetime(2013, 1, 1) + dt.timedelta(minutes=i))))
+    ds.default.add((run, PROV.wasAssociatedWith, EX.engine))
+    ds.default.add((EX[f"out{i}"], PROV.wasGeneratedBy, run))
+
+
+class TestCacheInvalidationOverHttp:
+    def test_mutation_between_requests_observed_via_stats(self):
+        """A write between two identical requests must bump the version
+        seen at /stats and force a recompute (miss), never a stale hit."""
+        from repro.queries import Q1_WORKFLOW_RUNS
+
+        ds = _run_dataset(3)
+        with SparqlEndpoint(ds) as server:
+            client = SparqlClient(server.query_url)
+            assert len(client.query(Q1_WORKFLOW_RUNS)) == 3
+            assert len(client.query(Q1_WORKFLOW_RUNS)) == 3  # warm hit
+            stats_before = client.stats()
+            assert stats_before["result_cache"]["hits"] == 1
+            _add_run(ds, 3)  # writer mutates the live dataset
+            assert len(client.query(Q1_WORKFLOW_RUNS)) == 4  # not stale
+            stats_after = client.stats()
+            assert stats_after["version"] > stats_before["version"]
+            assert stats_after["result_cache"]["hits"] == 1  # miss, not hit
+            assert stats_after["result_cache"]["misses"] > stats_before["result_cache"]["misses"]
+
+
+@pytest.mark.slow
+class TestConcurrentEndpoint:
+    def test_sixteen_readers_with_live_writer(self):
+        """16 threads hammer /sparql with mixed exemplar-style queries
+        while a writer keeps adding runs; nobody may see a result older
+        than the committed state at the time their request started."""
+        ds = _run_dataset(4)
+        queries = [
+            # Q1-style: runs with start times
+            "SELECT ?run ?start WHERE { ?run a wfprov:WorkflowRun ; prov:startedAtTime ?start } ORDER BY ?start",
+            # Q2-style: aggregate count of runs
+            "SELECT (COUNT(?run) AS ?n) WHERE { ?run a wfprov:WorkflowRun }",
+            # Q3-style: runs with outputs
+            "SELECT ?run ?out WHERE { ?run a wfprov:WorkflowRun . OPTIONAL { ?out prov:wasGeneratedBy ?run } }",
+            # Q5-style: who executed
+            "SELECT DISTINCT ?agent WHERE { ?run prov:wasAssociatedWith ?agent }",
+            # ASK flavor
+            "ASK { ?run a wfprov:WorkflowRun }",
+            # CONSTRUCT flavor
+            "CONSTRUCT { ?run a prov:Activity } WHERE { ?run a wfprov:WorkflowRun }",
+        ]
+        committed = [4]
+        errors = []
+        stop = threading.Event()
+
+        with SparqlEndpoint(ds) as server:
+            count_url = server.query_url + "?" + urllib.parse.urlencode(
+                {"query": "SELECT (COUNT(?run) AS ?n) WHERE { ?run a wfprov:WorkflowRun }"}
+            )
+
+            def reader(worker: int):
+                client = SparqlClient(server.query_url)
+                k = 0
+                while not stop.is_set():
+                    floor = committed[-1]
+                    query = queries[(worker + k) % len(queries)]
+                    k += 1
+                    try:
+                        if query.startswith("CONSTRUCT"):
+                            url = server.query_url + "?" + urllib.parse.urlencode({"query": query})
+                            with urllib.request.urlopen(url, timeout=10) as response:
+                                response.read()  # Turtle body, not JSON-decodable
+                        else:
+                            client.query(query, method="GET" if k % 2 else "POST")
+                        with urllib.request.urlopen(count_url, timeout=10) as response:
+                            payload = json.loads(response.read())
+                        n = int(payload["results"]["bindings"][0]["n"]["value"])
+                    except Exception as exc:  # noqa: BLE001 - fail the test
+                        errors.append(f"worker {worker}: {exc!r}")
+                        return
+                    if n < floor:
+                        errors.append(f"worker {worker}: stale count {n} < {floor}")
+                        return
+
+            threads = [threading.Thread(target=reader, args=(w,)) for w in range(16)]
+            for t in threads:
+                t.start()
+            for i in range(4, 40):
+                _add_run(ds, i)
+                committed.append(i + 1)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors, errors[:5]
+            stats = server.stats()
+            assert stats["requests"]["count"] > 0
+            assert stats["result_cache"]["hits"] + stats["result_cache"]["misses"] > 0
