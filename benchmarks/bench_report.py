@@ -58,3 +58,32 @@ def test_query_cache_trajectory(artifacts_dir):
     trajectory.append(entry)
     write_artifact(artifacts_dir, "query_cache_trajectory.json",
                    json.dumps(trajectory[-50:], indent=2))
+
+
+def test_store_trajectory(artifacts_dir):
+    """Fold this run's persistent-store numbers into the trajectory.
+
+    ``bench_store.py`` writes ``store_bench.json``; its headline numbers
+    (cold ingest, no-op re-ingest, store-backed Q1) are appended to
+    ``store_trajectory.json`` so future PRs can see whether ingest cost
+    or the mmap read path move.
+    """
+    current = artifacts_dir / "store_bench.json"
+    if not current.exists():
+        pytest.skip("bench_store.py did not run in this session")
+    data = json.loads(current.read_text())
+    assert data["cold_ingest"]["parsed_files"] == 198
+    assert data["noop_reingest"]["parsed_files"] == 0
+    entry = {
+        "recorded_at": dt.datetime.now().isoformat(timespec="seconds"),
+        "cold_ingest_s": data["cold_ingest"]["duration_s"],
+        "noop_reingest_s": data["noop_reingest"]["duration_s"],
+        "quads": data.get("query", {}).get("quads"),
+        "q1_cold_ms": data.get("query", {}).get("q1_cold_ms"),
+        "q1_warm_ms": data.get("query", {}).get("q1_warm_ms"),
+    }
+    trajectory_path = artifacts_dir / "store_trajectory.json"
+    trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    trajectory.append(entry)
+    write_artifact(artifacts_dir, "store_trajectory.json",
+                   json.dumps(trajectory[-50:], indent=2))

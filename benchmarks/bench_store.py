@@ -1,0 +1,103 @@
+"""Persistent store benchmarks: ingest cost, incremental no-op, queries.
+
+Measures what the dictionary-encoded quad store buys on the corpus
+lifecycle path:
+
+* cold ingest of the full 198-run ProvBench directory (parse + WAL +
+  compaction into the four sorted segments);
+* the incremental no-op: re-ingesting an unchanged corpus must skip all
+  198 files by content hash, at a small fraction of the cold cost;
+* store-backed query latency: a fresh process answering Q1 straight off
+  the mmap'd segments (cold) vs. the engine's warm result cache, checked
+  against the in-memory dataset's answer.
+
+Numbers land in ``_artifacts/store_bench.json``; ``bench_report.py``
+appends them to the cross-PR trajectory file.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.corpus import load_corpus, write_corpus
+from repro.queries import Q1_WORKFLOW_RUNS
+from repro.sparql import QueryEngine
+from repro.store import QuadStore, ingest_corpus
+
+from .conftest import write_artifact
+
+_ARTIFACT = {}
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory, corpus):
+    root = tmp_path_factory.mktemp("bench-store-corpus")
+    write_corpus(corpus, root)
+    return root
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory, corpus_dir):
+    """A store built once, reused by the no-op and query benches."""
+    store_path = tmp_path_factory.mktemp("bench-store") / "store"
+    with QuadStore(store_path) as store:
+        ingest_corpus(store, corpus_dir)
+    return store_path
+
+
+def test_cold_ingest(corpus_dir, tmp_path_factory, benchmark, artifacts_dir):
+    def ingest():
+        with QuadStore(tmp_path_factory.mktemp("cold") / "store") as store:
+            return ingest_corpus(store, corpus_dir)
+
+    report = benchmark.pedantic(ingest, rounds=2, iterations=1)
+    assert len(report.parsed) == 198
+    assert not report.rebuilt
+    _ARTIFACT["cold_ingest"] = report.summary()
+    write_artifact(artifacts_dir, "store_bench.json", json.dumps(_ARTIFACT, indent=2))
+
+
+def test_noop_reingest(corpus_dir, store_dir, benchmark, artifacts_dir):
+    """Unchanged corpus: every file skipped by hash, zero files parsed."""
+    with QuadStore(store_dir) as store:
+        report = benchmark.pedantic(
+            ingest_corpus, args=(store, corpus_dir), rounds=3, iterations=1
+        )
+    assert report.no_op
+    assert len(report.skipped) == 198
+    cold_s = _ARTIFACT.get("cold_ingest", {}).get("duration_s")
+    if cold_s:
+        # hashing 198 small files must be far cheaper than parsing them
+        assert report.duration_s * 5 <= cold_s
+    _ARTIFACT["noop_reingest"] = report.summary()
+    write_artifact(artifacts_dir, "store_bench.json", json.dumps(_ARTIFACT, indent=2))
+
+
+def test_store_cold_vs_warm_q1(corpus_dir, store_dir, corpus_dataset, artifacts_dir):
+    """Q1 over the mmap'd store, cold open vs. warm result cache."""
+    opened = time.perf_counter()
+    stored = load_corpus(corpus_dir, store=store_dir)
+    open_s = time.perf_counter() - opened
+    with stored:
+        engine = QueryEngine(stored.dataset())
+        started = time.perf_counter()
+        rows = engine.query(Q1_WORKFLOW_RUNS)
+        cold_s = time.perf_counter() - started
+        warm_rounds = 10
+        started = time.perf_counter()
+        for _ in range(warm_rounds):
+            engine.query(Q1_WORKFLOW_RUNS)
+        warm_s = (time.perf_counter() - started) / warm_rounds
+        info = stored.store.store_info()
+    assert len(rows) == 198
+    assert len(QueryEngine(corpus_dataset).query(Q1_WORKFLOW_RUNS)) == len(rows)
+    _ARTIFACT["query"] = {
+        "store_open_ms": round(open_s * 1000, 3),
+        "q1_cold_ms": round(cold_s * 1000, 3),
+        "q1_warm_ms": round(warm_s * 1000, 6),
+        "quads": info["quads"],
+        "terms": info["terms"],
+        "segment_bytes": sum(s["bytes"] for s in info["segments"].values()),
+    }
+    write_artifact(artifacts_dir, "store_bench.json", json.dumps(_ARTIFACT, indent=2))

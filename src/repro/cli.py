@@ -11,7 +11,14 @@ Sub-commands:
 * ``query <dir> <sparql or @file>`` — run a SPARQL query over a stored
   corpus;
 * ``serve <dir> [--port N]`` — start the SPARQL endpoint over a stored
-  corpus.
+  corpus;
+* ``store ingest <dir>`` — incrementally ingest a stored corpus into a
+  persistent quad store (only new/changed traces are parsed);
+* ``store info <store-dir>`` — print a quad store's manifest summary.
+
+``query`` and ``serve`` accept ``--store PATH`` to answer from the
+persistent store (mmap'd dictionary-encoded segments) instead of
+re-parsing every trace file on startup.
 """
 
 from __future__ import annotations
@@ -34,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_build = sub.add_parser("build", help="build the corpus and write it to disk")
     p_build.add_argument("directory", type=Path)
+    p_build.add_argument(
+        "--store", type=Path, nargs="?", const=True, default=None, metavar="DIR",
+        help="also ingest the written traces into a persistent quad store "
+             "(default location: <directory>/.store)",
+    )
 
     p_stats = sub.add_parser("stats", help="print statistics of a stored corpus")
     p_stats.add_argument("directory", type=Path)
@@ -46,15 +58,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("directory", type=Path)
     p_query.add_argument("sparql", help="query text, or @path/to/file.rq")
     p_query.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    p_query.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="answer from a persistent quad store (synced with the corpus first)",
+    )
 
     p_serve = sub.add_parser("serve", help="serve a stored corpus over SPARQL")
-    p_serve.add_argument("directory", type=Path)
+    p_serve.add_argument(
+        "directory", type=Path, nargs="?", default=None,
+        help="corpus directory (optional when --store points at a built store)",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8890)
     p_serve.add_argument(
         "--cache-size", type=int, default=None, metavar="N",
         help="query-result cache capacity (0 disables; default 128)",
     )
+    p_serve.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="serve from a persistent quad store (ingests the corpus first "
+             "when a corpus directory is also given)",
+    )
+    p_serve.add_argument(
+        "--decode-cache", type=int, default=None, metavar="N",
+        help="bounded decoded-term cache capacity for --store (default 65536)",
+    )
+
+    p_store = sub.add_parser("store", help="persistent quad store operations")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_ingest = store_sub.add_parser(
+        "ingest", help="incrementally ingest a stored corpus into a quad store"
+    )
+    p_ingest.add_argument("directory", type=Path, help="corpus directory")
+    p_ingest.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="store directory (default: <corpus>/.store)",
+    )
+    p_info = store_sub.add_parser("info", help="print a quad store's summary")
+    p_info.add_argument("store_dir", type=Path)
 
     sub.add_parser("maintenance", help="run the vocabulary-alignment maintenance pass")
     sub.add_parser("profile", help="print the structural profile of the corpus")
@@ -75,6 +116,7 @@ def main(argv=None) -> int:
         "coverage": _cmd_coverage,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "store": _cmd_store,
         "maintenance": _cmd_maintenance,
         "profile": _cmd_profile,
         "report": _cmd_report,
@@ -87,9 +129,12 @@ def _cmd_build(args) -> int:
     from .corpus import CorpusBuilder, write_corpus
 
     corpus = CorpusBuilder(seed=args.seed).build()
-    manifest = write_corpus(corpus, args.directory)
+    store_dir = args.directory / ".store" if args.store is True else args.store
+    manifest = write_corpus(corpus, args.directory, store=store_dir)
     stats = corpus.statistics()
     print(f"built corpus under {args.directory}")
+    if store_dir is not None:
+        print(f"  quad store: {store_dir}")
     print(f"  workflows: {stats['workflows']}  runs: {stats['runs']}  "
           f"failed: {stats['failed_runs']}")
     print(f"  size: {stats['size_bytes'] / (1024 * 1024):.1f} MB "
@@ -150,34 +195,54 @@ def _cmd_query(args) -> int:
     sparql = args.sparql
     if sparql.startswith("@"):
         sparql = Path(sparql[1:]).read_text()
-    stored = load_corpus(args.directory)
-    engine = QueryEngine(stored.dataset())
-    result = engine.query(sparql)
-    if isinstance(result, bool):
-        print("true" if result else "false")
-        return 0
-    if args.format == "csv":
-        print(result.to_csv(), end="")
-    elif args.format == "json":
-        print(result.to_json())
-    else:
-        print(result.pretty())
-        print(f"({len(result)} rows)")
+    stored = load_corpus(args.directory, store=args.store)
+    with stored:
+        engine = QueryEngine(stored.dataset())
+        result = engine.query(sparql)
+        if isinstance(result, bool):
+            print("true" if result else "false")
+            return 0
+        if args.format == "csv":
+            print(result.to_csv(), end="")
+        elif args.format == "json":
+            print(result.to_json())
+        else:
+            print(result.pretty())
+            print(f"({len(result)} rows)")
     return 0
 
 
 def _cmd_serve(args) -> int:
-    from .corpus import load_corpus
     from .endpoint import SparqlEndpoint
     from .sparql import DEFAULT_RESULT_CACHE_SIZE
 
-    stored = load_corpus(args.directory)
+    store = None
+    if args.store is not None:
+        from .store import QuadStore, StoreDataset, ingest_corpus
+
+        kwargs = {}
+        if args.decode_cache is not None:
+            kwargs["decode_cache_size"] = args.decode_cache
+        store = QuadStore(args.store, **kwargs)
+        if args.directory is not None:
+            report = ingest_corpus(store, args.directory)
+            if not report.no_op:
+                print(f"store synced: {json.dumps(report.summary())}")
+        source = StoreDataset(store)
+    elif args.directory is not None:
+        from .corpus import load_corpus
+
+        source = load_corpus(args.directory).dataset()
+    else:
+        print("error: serve needs a corpus directory, --store, or both", file=sys.stderr)
+        return 2
     cache_size = args.cache_size if args.cache_size is not None else DEFAULT_RESULT_CACHE_SIZE
     endpoint = SparqlEndpoint(
-        stored.dataset(), host=args.host, port=args.port, cache_size=cache_size
+        source, host=args.host, port=args.port, cache_size=cache_size
     )
     endpoint.start()
-    print(f"serving corpus SPARQL endpoint at {endpoint.query_url} (Ctrl-C to stop)")
+    backing = f"store {args.store}" if store is not None else f"corpus {args.directory}"
+    print(f"serving SPARQL endpoint over {backing} at {endpoint.query_url} (Ctrl-C to stop)")
     print(f"  cache: {cache_size} entries  stats: {endpoint.stats_url}")
     try:
         import time
@@ -186,6 +251,34 @@ def _cmd_serve(args) -> int:
             time.sleep(3600)
     except KeyboardInterrupt:
         endpoint.stop()
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from .store import QuadStore, ingest_corpus
+
+    if args.store_command == "ingest":
+        # validate before QuadStore mkdirs: a typo'd corpus path must not
+        # leave an empty store directory behind
+        if not args.directory.is_dir():
+            print(f"error: no corpus directory at {args.directory}", file=sys.stderr)
+            return 1
+        store_dir = args.store if args.store is not None else args.directory / ".store"
+        with QuadStore(store_dir) as store:
+            report = ingest_corpus(store, args.directory)
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+        if report.no_op:
+            print("store already up to date (no files re-parsed)")
+        return 0
+    # info — refuse to silently create a store at a mistyped path
+    if not (args.store_dir / "store.json").exists():
+        print(f"error: no quad store at {args.store_dir}", file=sys.stderr)
+        return 1
+    with QuadStore(args.store_dir) as store:
+        print(json.dumps(store.store_info(), indent=2, sort_keys=True))
     return 0
 
 

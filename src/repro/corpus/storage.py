@@ -32,12 +32,33 @@ from .builder import Corpus, CorpusTrace
 
 __all__ = ["write_corpus", "load_corpus", "StoredTrace", "StoredCorpus"]
 
+# Imported lazily where needed so `repro.corpus` stays importable even if
+# the optional persistent-store layer is stripped from a deployment.
+
+
+def _open_store(store_path: Path, corpus_root: Path):
+    """Open (or create) a quad store and sync it with the corpus files."""
+    from ..store import QuadStore, ingest_corpus
+
+    store = QuadStore(Path(store_path))
+    try:
+        ingest_corpus(store, corpus_root)
+    except Exception:
+        store.close()
+        raise
+    return store
+
 _SYSTEM_DIR = {"taverna": "Taverna", "wings": "Wings"}
 _EXTENSION = {"turtle": ".prov.ttl", "trig": ".prov.trig"}
 
 
-def write_corpus(corpus: Corpus, root: Path) -> Path:
-    """Write the corpus under *root*; returns the manifest path."""
+def write_corpus(corpus: Corpus, root: Path, store: Optional[Path] = None) -> Path:
+    """Write the corpus under *root*; returns the manifest path.
+
+    When *store* names a directory, the freshly written traces are also
+    ingested into a persistent :class:`repro.store.QuadStore` there (built
+    incrementally — unchanged traces are skipped by content hash).
+    """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     written_templates = set()
@@ -76,6 +97,8 @@ def write_corpus(corpus: Corpus, root: Path) -> Path:
     }
     manifest_path = root / "manifest.json"
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    if store is not None:
+        _open_store(store, root).close()
     return manifest_path
 
 
@@ -92,32 +115,47 @@ class StoredTrace:
     rdf_format: str
     path: Path
     text: str = ""
+    relpath: str = ""
 
     @property
     def failed(self) -> bool:
         return self.status == "failed"
 
+    @property
+    def _source(self) -> str:
+        """Document name used in parse error messages."""
+        return self.relpath or str(self.path)
+
     def graph(self) -> Graph:
         """The trace merged into one graph (named graphs collapsed)."""
         if self.rdf_format == "trig":
             return self.dataset().union_graph()
-        return parse_turtle(self.text)
+        return parse_turtle(self.text, source=self._source)
 
     def dataset(self) -> Dataset:
         if self.rdf_format == "trig":
-            return parse_trig(self.text)
+            return parse_trig(self.text, source=self._source)
         dataset = Dataset()
-        parse_turtle(self.text, graph=dataset.default)
+        parse_turtle(self.text, graph=dataset.default, source=self._source)
         return dataset
 
 
 @dataclass
 class StoredCorpus:
-    """A corpus loaded from disk."""
+    """A corpus loaded from disk.
+
+    When *store* is attached (``load_corpus(root, store=...)``), queries
+    run against the persistent quad store instead of re-parsing every
+    trace: :meth:`dataset` returns a read-only
+    :class:`repro.store.StoreDataset` view.  Call :meth:`close` (or use
+    the instance as a context manager) when done with a store-backed
+    corpus.
+    """
 
     root: Path
     manifest: Dict
     traces: List[StoredTrace] = field(default_factory=list)
+    store: Optional[object] = None
 
     @property
     def statistics(self) -> Dict:
@@ -131,15 +169,30 @@ class StoredCorpus:
 
     def dataset(self) -> Dataset:
         """All traces merged into one queryable dataset."""
+        if self.store is not None:
+            from ..store import StoreDataset
+
+            return StoreDataset(self.store)
         merged = Dataset()
         for trace in self.traces:
-            ds = trace.dataset()
+            ds = trace.dataset()  # parse errors carry trace.relpath as source
             merged.default.add_all(ds.default)
             for name in ds.graph_names():
                 merged.graph(name).add_all(ds.graph(name))
             for prefix, base in ds.namespaces.namespaces():
                 merged.namespaces.bind(prefix, base, replace=False)
         return merged
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def __enter__(self) -> "StoredCorpus":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def system_graph(self, system: str) -> Graph:
         merged = Graph()
@@ -148,8 +201,14 @@ class StoredCorpus:
         return merged
 
 
-def load_corpus(root: Path) -> StoredCorpus:
-    """Read a corpus directory written by :func:`write_corpus`."""
+def load_corpus(root: Path, store: Optional[Path] = None) -> StoredCorpus:
+    """Read a corpus directory written by :func:`write_corpus`.
+
+    With *store*, a persistent quad store at that path is opened (created
+    and synced incrementally if needed) and attached, so
+    :meth:`StoredCorpus.dataset` serves queries from disk segments instead
+    of re-parsing all traces.
+    """
     root = Path(root)
     manifest_path = root / "manifest.json"
     if not manifest_path.exists():
@@ -169,6 +228,9 @@ def load_corpus(root: Path) -> StoredCorpus:
                 rdf_format=entry["format"],
                 path=path,
                 text=path.read_text(),
+                relpath=entry["path"],
             )
         )
+    if store is not None:
+        stored.store = _open_store(store, root)
     return stored

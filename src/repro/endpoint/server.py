@@ -181,6 +181,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(status, "application/json", json.dumps({"error": message}))
 
 
+class _EndpointServer(ThreadingHTTPServer):
+    # TCPServer's default backlog of 5 drops connections when many clients
+    # connect at once; size it for the concurrent workloads we advertise.
+    request_queue_size = 128
+
+
 class SparqlEndpoint:
     """An HTTP SPARQL endpoint over a corpus graph or dataset."""
 
@@ -203,7 +209,7 @@ class SparqlEndpoint:
         self._request_count = 0
         self._total_ms = 0.0
         self._max_ms = 0.0
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server = _EndpointServer((host, port), _Handler)
         self._server.engine = self.engine  # type: ignore[attr-defined]
         self._server.endpoint = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -221,7 +227,7 @@ class SparqlEndpoint:
             count = self._request_count
             total_ms = self._total_ms
             max_ms = self._max_ms
-        return {
+        payload = {
             "version": self.engine.source_version(),
             "result_cache": self.engine.cache_info(),
             "requests": {
@@ -231,6 +237,12 @@ class SparqlEndpoint:
                 "max_ms": round(max_ms, 3),
             },
         }
+        # Store-backed sources (repro.store.StoreDataset) report segment,
+        # dictionary, and decoded-term-cache sizes alongside cache counters.
+        store_info = getattr(self.source, "store_info", None)
+        if callable(store_info):
+            payload["store"] = store_info()
+        return payload
 
     @property
     def url(self) -> str:

@@ -59,10 +59,16 @@ def _used_prefixes(dataset: Dataset, nsm: NamespaceManager) -> set:
     return used
 
 
-def parse_trig(text: str, dataset: Optional[Dataset] = None) -> Dataset:
-    """Parse TriG text into *dataset* (a new Dataset when omitted)."""
+def parse_trig(
+    text: str, dataset: Optional[Dataset] = None, source: Optional[str] = None
+) -> Dataset:
+    """Parse TriG text into *dataset* (a new Dataset when omitted).
+
+    *source* names the document in error messages, as in
+    :func:`repro.rdf.turtle.parse_turtle`.
+    """
     if dataset is None:
         dataset = Dataset()
-    parser = TurtleParser(text, dataset=dataset, allow_graphs=True)
+    parser = TurtleParser(text, dataset=dataset, allow_graphs=True, source=source)
     parser.parse()
     return dataset

@@ -26,11 +26,35 @@ __all__ = ["serialize_turtle", "parse_turtle", "TurtleError", "Tokenizer", "Turt
 
 
 class TurtleError(ValueError):
-    """Raised on malformed Turtle/TriG input."""
+    """Raised on malformed Turtle/TriG input.
 
-    def __init__(self, message: str, lineno: int):
-        super().__init__(f"line {lineno}: {message}")
+    Carries the parse location so corpus loading can tell the user
+    *which* trace file broke and where: ``lineno``/``column`` locate the
+    failure inside the document, ``source`` names the document (a corpus
+    relative path when parsing came through :func:`repro.corpus.storage.
+    load_corpus`, or whatever the caller passed to ``parse_turtle``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lineno: int,
+        column: Optional[int] = None,
+        source: Optional[str] = None,
+    ):
+        self.raw_message = message
         self.lineno = lineno
+        self.column = column
+        self.source = source
+        location = f"line {lineno}"
+        if column is not None:
+            location += f", column {column}"
+        prefix = f"{source}: " if source else ""
+        super().__init__(f"{prefix}{location}: {message}")
+
+    def with_source(self, source: str) -> "TurtleError":
+        """A copy of this error attributed to a named document."""
+        return TurtleError(self.raw_message, self.lineno, self.column, source)
 
 
 # ---------------------------------------------------------------------------
@@ -146,12 +170,13 @@ _TOKEN_RE = re.compile(
 
 
 class Token:
-    __slots__ = ("kind", "text", "lineno")
+    __slots__ = ("kind", "text", "lineno", "column")
 
-    def __init__(self, kind: str, text: str, lineno: int):
+    def __init__(self, kind: str, text: str, lineno: int, column: int = 0):
         self.kind = kind
         self.text = text
         self.lineno = lineno
+        self.column = column
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r}, line {self.lineno})"
@@ -167,13 +192,20 @@ class Tokenizer:
     @staticmethod
     def _scan(text: str) -> Iterator[Token]:
         lineno = 1
+        line_start = 0  # offset of the current line's first character
         pos = 0
         length = len(text)
         while pos < length:
             match = _TOKEN_RE.match(text, pos)
             if match is None or match.end() == pos:
-                raise TurtleError(f"unexpected character {text[pos]!r}", lineno)
-            lineno += text.count("\n", pos, match.end())
+                raise TurtleError(
+                    f"unexpected character {text[pos]!r}", lineno, pos - line_start + 1
+                )
+            column = pos - line_start + 1
+            newlines = text.count("\n", pos, match.end())
+            if newlines:
+                lineno += newlines
+                line_start = text.rindex("\n", pos, match.end()) + 1
             kind = match.lastgroup
             token_text = match.group()
             pos = match.end()
@@ -182,7 +214,7 @@ class Tokenizer:
             if kind is None:
                 # pname group may match with lastgroup None when prefix part absent
                 kind = "pname"
-            yield Token(kind, token_text, lineno)
+            yield Token(kind, token_text, lineno, column)
 
     def peek(self) -> Optional[Token]:
         return self._tokens[self._pos] if self._pos < len(self._tokens) else None
@@ -199,7 +231,9 @@ class Tokenizer:
         tok = self.next()
         if tok.kind != kind or (text is not None and tok.text != text):
             want = text if text is not None else kind
-            raise TurtleError(f"expected {want!r}, got {tok.text!r}", tok.lineno)
+            raise TurtleError(
+                f"expected {want!r}, got {tok.text!r}", tok.lineno, tok.column
+            )
         return tok
 
     def at_end(self) -> bool:
@@ -223,13 +257,18 @@ class TurtleParser:
         graph: Optional[Graph] = None,
         dataset: Optional[Dataset] = None,
         allow_graphs: bool = False,
+        source: Optional[str] = None,
     ):
-        self.tokens = Tokenizer(text)
+        self.source = source
+        try:
+            self.tokens = Tokenizer(text)
+        except TurtleError as exc:
+            raise self._attribute(exc) from None
         self.dataset = dataset
         self.allow_graphs = allow_graphs
         if allow_graphs:
             if dataset is None:
-                raise ValueError("TriG parsing requires a dataset sink")
+                raise TurtleError("TriG parsing requires a dataset sink", 0)
             self.nsm = dataset.namespaces
             self.sink = dataset.default
         else:
@@ -239,9 +278,35 @@ class TurtleParser:
         self.base = ""
         self._anon_count = 0
 
+    def _attribute(self, exc: TurtleError) -> TurtleError:
+        """Attach this parser's document name to an unattributed error."""
+        if self.source and exc.source is None:
+            return exc.with_source(self.source)
+        return exc
+
+    def _last_location(self) -> Tuple[int, Optional[int]]:
+        """Position of the most recently consumed token (best effort)."""
+        idx = min(self.tokens._pos, len(self.tokens._tokens)) - 1
+        if idx >= 0:
+            tok = self.tokens._tokens[idx]
+            return tok.lineno, tok.column
+        return 1, None
+
     # -- entry point --------------------------------------------------------
 
     def parse(self):
+        try:
+            self._parse_document()
+        except TurtleError as exc:
+            raise self._attribute(exc) from None
+        except ValueError as exc:
+            # Term constructors (Literal, unescape_string, ...) raise bare
+            # ValueError; normalize so callers see one typed parse error.
+            lineno, column = self._last_location()
+            raise self._attribute(TurtleError(str(exc), lineno, column)) from None
+        return self.dataset if self.allow_graphs else self.graph
+
+    def _parse_document(self):
         while not self.tokens.at_end():
             tok = self.tokens.peek()
             if tok.kind == "prefix_decl":
@@ -257,7 +322,6 @@ class TurtleParser:
                 self._parse_graph_block()
             else:
                 self._parse_statement(self.sink)
-        return self.dataset if self.allow_graphs else self.graph
 
     def _parse_at_directive(self):
         tok = self.tokens.next()
@@ -271,7 +335,9 @@ class TurtleParser:
     def _parse_prefix_binding(self, require_dot: bool):
         pname = self.tokens.next()
         if pname.kind != "pname" or not pname.text.endswith(":"):
-            raise TurtleError(f"expected prefix name, got {pname.text!r}", pname.lineno)
+            raise TurtleError(
+                f"expected prefix name, got {pname.text!r}", pname.lineno, pname.column
+            )
         prefix = pname.text[:-1]
         iri_tok = self.tokens.expect("iriref")
         self.nsm.bind(prefix, iri_tok.text[1:-1])
@@ -324,7 +390,7 @@ class TurtleParser:
             return self._expand_pname(tok)
         if tok.kind == "bnode":
             return BlankNode(tok.text[2:])
-        raise TurtleError(f"invalid graph name {tok.text!r}", tok.lineno)
+        raise TurtleError(f"invalid graph name {tok.text!r}", tok.lineno, tok.column)
 
     # -- statements ------------------------------------------------------------
 
@@ -340,8 +406,9 @@ class TurtleParser:
             raise TurtleError("missing '.' at end of statement", 0)
         else:
             lineno = tok.lineno if tok is not None else 0
+            column = tok.column if tok is not None else None
             text = tok.text if tok is not None else "<eof>"
-            raise TurtleError(f"expected '.', got {text!r}", lineno)
+            raise TurtleError(f"expected '.', got {text!r}", lineno, column)
 
     def _parse_subject(self, sink: Graph) -> Subject:
         tok = self.tokens.peek()
@@ -351,7 +418,7 @@ class TurtleParser:
             return self._parse_collection(sink)
         term = self._parse_term(sink)
         if not isinstance(term, (IRI, BlankNode)):
-            raise TurtleError("literal cannot be a subject", tok.lineno)
+            raise TurtleError("literal cannot be a subject", tok.lineno, tok.column)
         return term
 
     def _parse_predicate_object_list(self, subject: Subject, sink: Graph):
@@ -380,10 +447,10 @@ class TurtleParser:
         if tok.kind == "a":
             return RDF.type
         if tok.kind == "iriref":
-            return self._resolve_iri(tok.text[1:-1], tok.lineno)
+            return self._resolve_iri(tok.text[1:-1], tok.lineno, tok.column)
         if tok.kind == "pname":
             return self._expand_pname(tok)
-        raise TurtleError(f"invalid predicate {tok.text!r}", tok.lineno)
+        raise TurtleError(f"invalid predicate {tok.text!r}", tok.lineno, tok.column)
 
     def _parse_object(self, sink: Graph) -> Object:
         tok = self.tokens.peek()
@@ -437,7 +504,7 @@ class TurtleParser:
     def _parse_term(self, sink: Graph):
         tok = self.tokens.next()
         if tok.kind == "iriref":
-            return self._resolve_iri(tok.text[1:-1], tok.lineno)
+            return self._resolve_iri(tok.text[1:-1], tok.lineno, tok.column)
         if tok.kind == "pname":
             return self._expand_pname(tok)
         if tok.kind == "bnode":
@@ -454,46 +521,62 @@ class TurtleParser:
             return Literal(tok.text, datatype=XSD.BOOLEAN)
         if tok.kind == "a":
             return RDF.type
-        raise TurtleError(f"unexpected token {tok.text!r}", tok.lineno)
+        raise TurtleError(f"unexpected token {tok.text!r}", tok.lineno, tok.column)
 
     def _finish_literal(self, tok: Token) -> Literal:
         if tok.kind == "string_long":
             raw = tok.text[3:-3]
         else:
             raw = tok.text[1:-1]
-        lexical = unescape_string(raw)
+        try:
+            lexical = unescape_string(raw)
+        except ValueError as exc:
+            raise TurtleError(str(exc), tok.lineno, tok.column) from None
         nxt = self.tokens.peek()
         if nxt is not None and nxt.kind == "dtmark":
             self.tokens.next()
             dt_tok = self.tokens.next()
             if dt_tok.kind == "iriref":
-                datatype = self._resolve_iri(dt_tok.text[1:-1], dt_tok.lineno)
+                datatype = self._resolve_iri(dt_tok.text[1:-1], dt_tok.lineno, dt_tok.column)
             elif dt_tok.kind == "pname":
                 datatype = self._expand_pname(dt_tok)
             else:
-                raise TurtleError("expected datatype IRI after ^^", dt_tok.lineno)
+                raise TurtleError(
+                    "expected datatype IRI after ^^", dt_tok.lineno, dt_tok.column
+                )
             return Literal(lexical, datatype=datatype)
         if nxt is not None and nxt.kind == "langtag":
             self.tokens.next()
-            return Literal(lexical, language=nxt.text[1:])
+            try:
+                return Literal(lexical, language=nxt.text[1:])
+            except ValueError as exc:
+                raise TurtleError(str(exc), nxt.lineno, nxt.column) from None
         return Literal(lexical)
 
-    def _resolve_iri(self, value: str, lineno: int) -> IRI:
+    def _resolve_iri(self, value: str, lineno: int, column: Optional[int] = None) -> IRI:
         if self.base and "://" not in value and not value.startswith("urn:"):
             value = self.base + value
         try:
             return IRI(value)
         except ValueError as exc:
-            raise TurtleError(str(exc), lineno) from None
+            raise TurtleError(str(exc), lineno, column) from None
 
     def _expand_pname(self, tok: Token) -> IRI:
         prefix, _, local = tok.text.partition(":")
         try:
             return self.nsm.expand(f"{prefix}:{local}")
         except KeyError:
-            raise TurtleError(f"unknown prefix {prefix!r}", tok.lineno) from None
+            raise TurtleError(
+                f"unknown prefix {prefix!r}", tok.lineno, tok.column
+            ) from None
 
 
-def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
-    """Parse Turtle text into *graph* (a new Graph when omitted)."""
-    return TurtleParser(text, graph=graph).parse()
+def parse_turtle(
+    text: str, graph: Optional[Graph] = None, source: Optional[str] = None
+) -> Graph:
+    """Parse Turtle text into *graph* (a new Graph when omitted).
+
+    *source* names the document in error messages — pass a file path so a
+    :class:`TurtleError` pinpoints which trace broke and where.
+    """
+    return TurtleParser(text, graph=graph, source=source).parse()

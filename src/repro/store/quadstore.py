@@ -1,0 +1,384 @@
+"""The persistent quad store: dictionary + WAL + sorted segments.
+
+One :class:`QuadStore` owns a directory:
+
+    <store>/
+      store.json   manifest: generation, counts, graph ids, prefixes,
+                   ingested-file content hashes, segment record counts
+      wal.log      append-only write-ahead log (see repro.store.wal)
+      dict.heap / dict.off / dict.hash    term dictionary files
+      spog.seg / posg.seg / ospg.seg / gspo.seg   sorted id-quad segments
+
+Lifecycle
+---------
+``QuadStore(path)`` opens (creating an empty store if needed), replays
+any committed WAL tail, and — if the WAL was non-empty — immediately
+compacts it into fresh segments.  That replay-then-compact *is* the
+crash-recovery path: a process that died mid-ingest left committed
+per-file records in the WAL, and the next open folds them in; an
+uncommitted tail (no trailing FILE marker, short write, bad CRC) is
+truncated away and the affected source file re-ingested later because
+its hash never reached the manifest.
+
+Writes go through :meth:`begin_file` / :meth:`commit_file`; readers use
+the pattern-matching accessors, which the view layer
+(:mod:`repro.store.views`) adapts to the ``Graph``/``Dataset`` API.
+
+Compaction (:meth:`compact`, called from :meth:`close`) merges the
+segment records with the WAL quads, rewrites the four orderings and the
+dictionary files (tmp + atomic rename each), then commits the new
+generation by atomically replacing ``store.json`` and clearing the WAL.
+The manifest write is the commit point; a crash anywhere before it
+leaves the previous generation fully intact.
+
+Invariants the readers rely on:
+
+* term ids are dense, start at 1, and are never reassigned; id 0 is the
+  default graph in quad position ``g``;
+* every segment holds the same quad set, permuted per ordering, sorted,
+  and duplicate-free;
+* ``manifest["generation"]`` increases on every compaction that changed
+  anything — the SPARQL result cache keys on it via
+  :attr:`~repro.store.views.StoreDataset.version`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..rdf.terms import Term
+from .dictionary import DEFAULT_DECODE_CACHE_SIZE, TermDictionary, decode_term
+from .segments import ORDERINGS, SegmentReader, permute, segment_filename, write_segment
+from .wal import WriteAheadLog
+
+__all__ = ["QuadStore", "StoreError", "MANIFEST_FILE", "FORMAT_VERSION"]
+
+MANIFEST_FILE = "store.json"
+FORMAT_VERSION = 1
+
+Quad = Tuple[int, int, int, int]  # (s, p, o, g); g == 0 means default graph
+
+
+class StoreError(RuntimeError):
+    """Raised on store misuse or an unreadable/incompatible store."""
+
+
+def _empty_manifest() -> Dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "generation": 0,
+        "term_count": 0,
+        "quad_count": 0,
+        "graphs": [],
+        "prefixes": {},
+        "files": {},
+        "segments": {},
+    }
+
+
+class QuadStore:
+    """A single-directory persistent quad store (see module docstring)."""
+
+    def __init__(
+        self,
+        path: Path,
+        decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE,
+    ):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._closed = False
+        manifest_path = self.path / MANIFEST_FILE
+        if manifest_path.exists():
+            self.manifest = json.loads(manifest_path.read_text())
+            if self.manifest.get("format_version") != FORMAT_VERSION:
+                raise StoreError(
+                    f"unsupported store format {self.manifest.get('format_version')!r} "
+                    f"at {self.path} (expected {FORMAT_VERSION})"
+                )
+        else:
+            self.manifest = _empty_manifest()
+        self.dictionary = TermDictionary(self.path, decode_cache_size=decode_cache_size)
+        self.wal = WriteAheadLog(self.path)
+        self._segments: Dict[str, SegmentReader] = {}
+        self._open_segments()
+        # Pending (WAL-committed but uncompacted) state.
+        self._pending_quads: List[Quad] = []
+        self._pending_files: Dict[str, str] = {}
+        self._pending_prefixes: List[Tuple[str, str]] = []
+        # In-flight file (begun, not committed).
+        self._file_quads: Optional[Set[Quad]] = None
+        self._file_relpath: Optional[str] = None
+        self._file_digest: Optional[str] = None
+        self._file_term_watermark = 0
+        self._recover()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _open_segments(self) -> None:
+        for reader in self._segments.values():
+            reader.close()
+        self._segments = {
+            name: SegmentReader(self.path / segment_filename(name)) for name in ORDERINGS
+        }
+
+    def _recover(self) -> None:
+        replay = self.wal.replay()
+        if replay.truncated:
+            self.wal.truncate_to(replay.committed_bytes)
+        if replay.empty:
+            return
+        for encoded in replay.terms:
+            self.dictionary.add_encoded(encoded)
+        self._pending_quads.extend(replay.quads)
+        self._pending_files.update(replay.files)
+        self._pending_prefixes.extend(replay.prefixes)
+        self.compact()
+
+    def close(self) -> None:
+        """Compact any pending state and release all file handles."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._file_relpath is not None:
+                raise StoreError(
+                    f"close() during uncommitted ingest of {self._file_relpath!r}"
+                )
+            if self._pending_quads or self._pending_files or self._pending_prefixes:
+                self.compact()
+            self.wal.close()
+            self.dictionary.close()
+            for reader in self._segments.values():
+                reader.close()
+            self._closed = True
+
+    def __enter__(self) -> "QuadStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- identity / observability -------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self.manifest["generation"]
+
+    @property
+    def quad_count(self) -> int:
+        return self.manifest["quad_count"]
+
+    @property
+    def graph_ids(self) -> List[int]:
+        return list(self.manifest["graphs"])
+
+    @property
+    def prefixes(self) -> Dict[str, str]:
+        return dict(self.manifest["prefixes"])
+
+    @property
+    def files(self) -> Dict[str, str]:
+        """Ingested source files: relative path → sha256 content hash."""
+        return dict(self.manifest["files"])
+
+    def store_info(self) -> Dict:
+        """Sizes and counters for the endpoint's ``/stats`` route."""
+        segment_sizes = {
+            name: {
+                "records": len(self._segments[name]),
+                "bytes": (self.path / segment_filename(name)).stat().st_size
+                if (self.path / segment_filename(name)).exists()
+                else 0,
+            }
+            for name in ORDERINGS
+        }
+        return {
+            "path": str(self.path),
+            "generation": self.generation,
+            "quads": self.quad_count,
+            "graphs": len(self.manifest["graphs"]),
+            "files": len(self.manifest["files"]),
+            "terms": len(self.dictionary),
+            "dictionary_bytes": self.dictionary.file_sizes(),
+            "decoded_term_cache": self.dictionary.cache_info(),
+            "segments": segment_sizes,
+        }
+
+    # -- ingest (single-writer) ---------------------------------------------
+
+    def begin_file(self, relpath: str, sha256_hex: str) -> None:
+        """Start the atomic ingest of one source file."""
+        with self._lock:
+            if self._file_relpath is not None:
+                raise StoreError(f"file ingest already in progress: {self._file_relpath!r}")
+            self._file_relpath = relpath
+            self._file_digest = sha256_hex
+            self._file_quads = set()
+            self._file_term_watermark = len(self.dictionary)
+
+    def add_term(self, term: Term) -> int:
+        """Intern a term, WAL-logging it if new; returns its id."""
+        encoded_before = len(self.dictionary)
+        term_id = self.dictionary.add(term)
+        if len(self.dictionary) != encoded_before:  # newly allocated
+            self.wal.append_term(self.dictionary.encoded(term_id))
+        return term_id
+
+    def add_quad(self, s: int, p: int, o: int, g: int = 0) -> bool:
+        """Add an id-quad to the in-flight file; returns True if new."""
+        if self._file_quads is None:
+            raise StoreError("add_quad() outside begin_file()/commit_file()")
+        quad = (s, p, o, g)
+        if quad in self._file_quads:
+            return False
+        self._file_quads.add(quad)
+        self.wal.append_quad(s, p, o, g)
+        return True
+
+    def add_prefix(self, prefix: str, base: str) -> None:
+        """Record a namespace binding (first binding of a prefix wins)."""
+        if prefix in self.manifest["prefixes"]:
+            return
+        if any(p == prefix for p, _ in self._pending_prefixes):
+            return
+        self._pending_prefixes.append((prefix, base))
+        self.wal.append_prefix(prefix, base)
+
+    def commit_file(self) -> int:
+        """Commit the in-flight file (WAL FILE marker + fsync)."""
+        with self._lock:
+            if self._file_relpath is None or self._file_quads is None:
+                raise StoreError("commit_file() without begin_file()")
+            self.wal.commit_file(self._file_relpath, self._file_digest)
+            added = len(self._file_quads)
+            self._pending_quads.extend(sorted(self._file_quads))
+            self._pending_files[self._file_relpath] = self._file_digest
+            self._file_relpath = None
+            self._file_digest = None
+            self._file_quads = None
+            return added
+
+    def abort_file(self) -> None:
+        """Drop the in-flight file: truncate the WAL back to the last
+        committed FILE marker so its TERM/QUAD records never replay."""
+        with self._lock:
+            self._file_relpath = None
+            self._file_digest = None
+            self._file_quads = None
+            self.dictionary.rollback_to(self._file_term_watermark)
+            self.wal.close()
+            replay = self.wal.replay()
+            self.wal.truncate_to(replay.committed_bytes)
+
+    def reset(self) -> None:
+        """Wipe the store to empty (used when source files changed or
+        disappeared and incremental append can no longer be correct)."""
+        with self._lock:
+            if self._file_relpath is not None:
+                raise StoreError("reset() during an in-flight file ingest")
+            generation = self.generation
+            self.wal.close()
+            self.dictionary.close()
+            for reader in self._segments.values():
+                reader.close()
+            for name in list(os.listdir(self.path)):
+                if name == MANIFEST_FILE:
+                    continue
+                target = self.path / name
+                if target.is_file():
+                    target.unlink()
+            self.manifest = _empty_manifest()
+            # Keep the generation moving forward so version-keyed caches
+            # over the old contents can never collide with the rebuild.
+            self.manifest["generation"] = generation + 1
+            self._write_manifest()
+            self.dictionary = TermDictionary(
+                self.path, decode_cache_size=self.dictionary.decode_cache_size
+            )
+            self.wal = WriteAheadLog(self.path)
+            self._open_segments()
+            self._pending_quads = []
+            self._pending_files = {}
+            self._pending_prefixes = []
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> None:
+        """Fold WAL state into the segment + dictionary files and commit a
+        new generation.  A no-op when nothing is pending."""
+        with self._lock:
+            if self._file_relpath is not None:
+                raise StoreError("compact() during an in-flight file ingest")
+            if not (self._pending_quads or self._pending_files or self._pending_prefixes):
+                return
+            quads: Set[Quad] = set(self._segments["spog"].scan())
+            quads.update(self._pending_quads)
+            ordered = {
+                name: sorted(permute(q, name) for q in quads) for name in ORDERINGS
+            }
+            # spog records are already (s, p, o, g); the other orderings
+            # permute on write so their sort order is their field order.
+            for reader in self._segments.values():
+                reader.close()
+            for name, records in ordered.items():
+                write_segment(self.path / segment_filename(name), records)
+            self.dictionary.compact()
+            graphs = sorted({q[3] for q in quads if q[3] != 0})
+            prefixes = dict(self.manifest["prefixes"])
+            for prefix, base in self._pending_prefixes:
+                prefixes.setdefault(prefix, base)
+            files = dict(self.manifest["files"])
+            files.update(self._pending_files)
+            self.manifest = {
+                "format_version": FORMAT_VERSION,
+                "generation": self.generation + 1,
+                "term_count": len(self.dictionary),
+                "quad_count": len(quads),
+                "graphs": graphs,
+                "prefixes": prefixes,
+                "files": files,
+                "segments": {name: len(records) for name, records in ordered.items()},
+            }
+            self._write_manifest()
+            self.wal.clear()
+            self._pending_quads = []
+            self._pending_files = {}
+            self._pending_prefixes = []
+            self._open_segments()
+
+    def drop_files(self, relpaths: Iterable[str]) -> None:
+        """Forget manifest entries for vanished source files (their quads
+        are handled by the caller via :meth:`reset` + re-ingest)."""
+        with self._lock:
+            files = dict(self.manifest["files"])
+            for relpath in relpaths:
+                files.pop(relpath, None)
+            self.manifest["files"] = files
+            self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        tmp = self.path / (MANIFEST_FILE + ".tmp")
+        tmp.write_text(json.dumps(self.manifest, indent=2, sort_keys=True) + "\n")
+        with open(tmp, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path / MANIFEST_FILE)
+
+    # -- read path -----------------------------------------------------------
+
+    def segment(self, name: str) -> SegmentReader:
+        return self._segments[name]
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """Read-only term → id lookup (None when the term is unknown)."""
+        return self.dictionary.lookup(term)
+
+    def term(self, term_id: int) -> Term:
+        """id → term through the bounded decode cache."""
+        return self.dictionary.decode(term_id)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending_quads or self._pending_files or self._pending_prefixes)

@@ -1,0 +1,385 @@
+"""Read-only Graph/Dataset views over a :class:`~repro.store.quadstore.QuadStore`.
+
+The SPARQL evaluator, the join planner's :class:`GraphStatistics`, the
+property-path machinery, and the HTTP endpoint all program against the
+:class:`~repro.rdf.graph.Graph` / :class:`~repro.rdf.graph.Dataset`
+surface.  These views subclass both so every one of those layers runs on
+a disk-backed store *unchanged*:
+
+* :class:`StoreGraph` answers ``triples()`` / ``count()`` / ``predicates()``
+  etc. by binary search over the store's sorted segments, decoding ids
+  back to terms through the dictionary's bounded LRU;
+* :class:`StoreDataset` maps named-graph access (``GRAPH`` patterns,
+  ``quads()``) onto the ``gspo`` ordering and hands the evaluator a
+  :class:`StoreGraph` union view from :meth:`union_graph`.
+
+Views are read-only: every mutating method raises
+:class:`StoreWriteError`.  ``version`` is the store's compaction
+generation, so the engine's version-keyed result cache and the per-graph
+statistics cache invalidate correctly if the store is ever re-ingested
+behind a running endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..rdf.graph import Dataset, Graph
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import BlankNode, IRI, Term
+from ..rdf.triple import Object, Predicate, Quad, Subject, Triple
+from .quadstore import QuadStore
+
+__all__ = ["StoreGraph", "StoreDataset", "StoreWriteError"]
+
+#: Sentinel graph id for the union view (StoreGraph over all graphs).
+_UNION = None
+
+
+class StoreWriteError(TypeError):
+    """Raised when code tries to mutate a store-backed view."""
+
+
+def _read_only(*_args, **_kwargs):
+    raise StoreWriteError(
+        "store-backed graphs are read-only; ingest through the QuadStore API"
+    )
+
+
+class StoreGraph(Graph):
+    """A Graph whose triples live in a QuadStore.
+
+    ``graph_id`` selects the scope: ``None`` is the union of the default
+    and all named graphs (what plain BGPs match), ``0`` the default
+    graph, any other id one named graph.
+    """
+
+    def __init__(
+        self,
+        store: QuadStore,
+        graph_id: Optional[int] = _UNION,
+        identifier: Optional[Union[IRI, BlankNode]] = None,
+        namespaces: Optional[NamespaceManager] = None,
+    ):
+        super().__init__(identifier=identifier, namespaces=namespaces)
+        self._store = store
+        self._graph_id = graph_id
+        self._union_size: Optional[Tuple[int, int]] = None  # (generation, size)
+
+    # -- version / statistics ------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._store.generation
+
+    # -- read-only enforcement ----------------------------------------------
+
+    add = _read_only
+    add_all = _read_only
+    remove = _read_only
+    remove_pattern = _read_only
+    clear = _read_only
+
+    # -- id plumbing ---------------------------------------------------------
+
+    def _encode_pattern(self, subject, predicate, obj):
+        """Bound terms → ids; returns None when a bound term is unknown
+        to the dictionary (the pattern can then match nothing)."""
+        ids = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self._store.term_id(term)
+                if term_id is None:
+                    return None
+                ids.append(term_id)
+        return tuple(ids)
+
+    def _decode_triple(self, s: int, p: int, o: int) -> Triple:
+        store = self._store
+        return Triple(store.term(s), store.term(p), store.term(o))
+
+    # -- pattern matching ----------------------------------------------------
+
+    def _match_ids(self, s, p, o) -> Iterator[Tuple[int, int, int]]:
+        """Yield distinct (s, p, o) id triples matching the bound ids."""
+        store = self._store
+        gid = self._graph_id
+        if gid is _UNION:
+            # Orderings keep the graph id last, so duplicates across
+            # graphs are adjacent: scan_distinct_triples collapses them.
+            if s is not None:
+                if p is not None:
+                    prefix = (s, p, o) if o is not None else (s, p)
+                    yield from store.segment("spog").scan_distinct_triples(prefix)
+                elif o is not None:
+                    for o_, s_, p_ in store.segment("ospg").scan_distinct_triples((o, s)):
+                        yield (s_, p_, o_)
+                else:
+                    yield from store.segment("spog").scan_distinct_triples((s,))
+            elif p is not None:
+                prefix = (p, o) if o is not None else (p,)
+                for p_, o_, s_ in store.segment("posg").scan_distinct_triples(prefix):
+                    yield (s_, p_, o_)
+            elif o is not None:
+                for o_, s_, p_ in store.segment("ospg").scan_distinct_triples((o,)):
+                    yield (s_, p_, o_)
+            else:
+                yield from store.segment("spog").scan_distinct_triples(())
+            return
+        # Single-graph scope: gspo gives a contiguous range whenever the
+        # bound fields form a (g, s[, p[, o]]) prefix; otherwise the union
+        # orderings narrow the range and the graph id is filtered.
+        if s is not None:
+            if p is None and o is not None:
+                # (s, ?, o): gspo can't include o in the prefix, ospg can.
+                for o_, s_, p_, g_ in store.segment("ospg").scan((o, s)):
+                    if g_ == gid:
+                        yield (s_, p_, o_)
+                return
+            prefix = (gid, s)
+            if p is not None:
+                prefix += (p,)
+                if o is not None:
+                    prefix += (o,)
+            for _, s_, p_, o_ in store.segment("gspo").scan(prefix):
+                yield (s_, p_, o_)
+        elif p is not None:
+            prefix = (p, o) if o is not None else (p,)
+            for p_, o_, s_, g_ in store.segment("posg").scan(prefix):
+                if g_ == gid:
+                    yield (s_, p_, o_)
+        elif o is not None:
+            for o_, s_, p_, g_ in store.segment("ospg").scan((o,)):
+                if g_ == gid:
+                    yield (s_, p_, o_)
+        else:
+            for _, s_, p_, o_ in store.segment("gspo").scan((gid,)):
+                yield (s_, p_, o_)
+
+    def triples(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[Predicate] = None,
+        obj: Optional[Object] = None,
+    ) -> Iterator[Triple]:
+        encoded = self._encode_pattern(subject, predicate, obj)
+        if encoded is None:
+            return
+        for s, p, o in self._match_ids(*encoded):
+            yield self._decode_triple(s, p, o)
+
+    def triples_scan(self, subject=None, predicate=None, obj=None) -> Iterator[Triple]:
+        # The linear-scan ablation baseline has no meaning on sorted
+        # segments; serve the indexed path.
+        return self.triples(subject, predicate, obj)
+
+    def count(self, subject=None, predicate=None, obj=None) -> int:
+        encoded = self._encode_pattern(subject, predicate, obj)
+        if encoded is None:
+            return 0
+        s, p, o = encoded
+        store = self._store
+        gid = self._graph_id
+        if gid is _UNION:
+            if s is None and p is None and o is None:
+                return len(self)
+            # Count distinct (s, p, o): O(range) lookbehind dedup, with a
+            # fast path when the pattern is fully bound.
+            if s is not None and p is not None and o is not None:
+                return 1 if store.segment("spog").count_prefix((s, p, o)) else 0
+            return sum(1 for _ in self._match_ids(s, p, o))
+        if s is not None and (p is not None or o is None):
+            prefix = (gid, s)
+            if p is not None:
+                prefix += (p,)
+                if o is not None:
+                    prefix += (o,)
+            return store.segment("gspo").count_prefix(prefix)
+        if s is None and p is None and o is None:
+            return store.segment("gspo").count_prefix((gid,))
+        return sum(1 for _ in self._match_ids(s, p, o))
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        store = self._store
+        if self._graph_id is _UNION:
+            cached = self._union_size
+            if cached is not None and cached[0] == store.generation:
+                return cached[1]
+            size = store.segment("spog").count_distinct_triples(())
+            self._union_size = (store.generation, size)
+            return size
+        return store.segment("gspo").count_prefix((self._graph_id,))
+
+    def __bool__(self) -> bool:
+        if self._graph_id is _UNION:
+            return len(self._store.segment("spog")) > 0
+        return bool(self._store.segment("gspo").count_prefix((self._graph_id,)))
+
+    def __contains__(self, triple) -> bool:
+        s, p, o = Graph._as_terms(triple)
+        return self.count(s, p, o) > 0
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __repr__(self) -> str:
+        if self._graph_id is _UNION:
+            scope = "union"
+        elif self._graph_id == 0:
+            scope = "default"
+        else:
+            scope = self.identifier.n3() if self.identifier is not None else str(self._graph_id)
+        return f"<StoreGraph {scope} @{self._store.path} gen={self.version}>"
+
+    # -- enumeration helpers -------------------------------------------------
+
+    def predicates(self, subject: Optional[Subject] = None) -> Iterator[Predicate]:
+        if subject is not None:
+            encoded = self._encode_pattern(subject, None, None)
+            if encoded is None:
+                return
+            seen: Set[int] = set()
+            for _, p, _ in self._match_ids(encoded[0], None, None):
+                if p not in seen:
+                    seen.add(p)
+                    yield self._store.term(p)
+            return
+        if self._graph_id is _UNION:
+            for p in self._store.segment("posg").distinct(()):
+                yield self._store.term(p)
+            return
+        seen = set()
+        for _, p, _ in self._match_ids(None, None, None):
+            if p not in seen:
+                seen.add(p)
+                yield self._store.term(p)
+
+    def resources(self) -> Set[Subject]:
+        if self._graph_id is _UNION:
+            return {self._store.term(s) for s in self._store.segment("spog").distinct(())}
+        return {
+            self._store.term(s)
+            for s in self._store.segment("gspo").distinct((self._graph_id,))
+        }
+
+    def predicate_histogram(self) -> Dict[IRI, int]:
+        histogram: Dict[IRI, int] = {}
+        for _, p, _ in self._match_ids(None, None, None):
+            term = self._store.term(p)
+            histogram[term] = histogram.get(term, 0) + 1
+        return histogram
+
+
+class StoreDataset(Dataset):
+    """A Dataset served from a QuadStore (read-only).
+
+    Satisfies everything :class:`~repro.sparql.evaluator.QueryEngine`
+    and :class:`~repro.endpoint.server.SparqlEndpoint` need from a
+    dataset; named-graph views are created lazily and cached per name.
+    """
+
+    def __init__(self, store: QuadStore):
+        namespaces = NamespaceManager()
+        for prefix, base in store.prefixes.items():
+            namespaces.bind(prefix, base, replace=False)
+        super().__init__(namespaces=namespaces)
+        self._store = store
+        self.default = StoreGraph(store, graph_id=0, namespaces=self.namespaces)
+        self._union: Optional[Tuple[int, StoreGraph]] = None
+        self._view_cache: Dict[int, StoreGraph] = {}
+
+    @property
+    def store(self) -> QuadStore:
+        return self._store
+
+    @property
+    def version(self) -> int:
+        return self._store.generation
+
+    def store_info(self) -> Dict:
+        """Forwarded to the endpoint's ``/stats`` route."""
+        return self._store.store_info()
+
+    # -- read-only enforcement ----------------------------------------------
+
+    add = _read_only
+    remove_graph = _read_only
+
+    # -- graph access --------------------------------------------------------
+
+    def _graph_id_for(self, name: Union[IRI, BlankNode]) -> Optional[int]:
+        term_id = self._store.term_id(name)
+        if term_id is None or term_id not in self._store.manifest["graphs"]:
+            return None
+        return term_id
+
+    def graph(self, name: Optional[Union[IRI, BlankNode]] = None) -> Graph:
+        if name is None:
+            return self.default
+        gid = self._graph_id_for(name)
+        if gid is None:
+            # Unknown names yield an empty read-only graph; a store
+            # cannot create graphs on first access the way an in-memory
+            # Dataset does.
+            empty = Graph(identifier=name, namespaces=self.namespaces)
+            empty.add = _read_only  # type: ignore[method-assign]
+            return empty
+        view = self._view_cache.get(gid)
+        if view is None:
+            view = StoreGraph(
+                self._store, graph_id=gid, identifier=name, namespaces=self.namespaces
+            )
+            self._view_cache[gid] = view
+        return view
+
+    def has_graph(self, name: Union[IRI, BlankNode]) -> bool:
+        return self._graph_id_for(name) is not None
+
+    def graph_names(self) -> List[Union[IRI, BlankNode]]:
+        names = [self._store.term(gid) for gid in self._store.manifest["graphs"]]
+        return sorted(names, key=lambda t: t.sort_key())
+
+    def named_graphs(self) -> Iterator[Graph]:
+        for name in self.graph_names():
+            yield self.graph(name)
+
+    def quads(
+        self,
+        subject=None,
+        predicate=None,
+        obj=None,
+        graph: Optional[Union[IRI, BlankNode, bool]] = None,
+    ) -> Iterator[Quad]:
+        if graph is False:
+            sources: List[Tuple[Optional[Union[IRI, BlankNode]], Graph]] = [
+                (None, self.default)
+            ]
+        elif graph is None:
+            sources = [(None, self.default)]
+            sources.extend((name, self.graph(name)) for name in self.graph_names())
+        else:
+            sources = [(graph, self.graph(graph))] if self.has_graph(graph) else []
+        for name, g in sources:
+            for t in g.triples(subject, predicate, obj):
+                yield Quad(t.subject, t.predicate, t.object, name)
+
+    def union_graph(self) -> Graph:
+        cached = self._union
+        if cached is not None and cached[0] == self._store.generation:
+            return cached[1]
+        union = StoreGraph(self._store, graph_id=None, namespaces=self.namespaces)
+        self._union = (self._store.generation, union)
+        return union
+
+    def __len__(self) -> int:
+        return self._store.quad_count
+
+    def __repr__(self) -> str:
+        return (
+            f"<StoreDataset {self._store.path} quads={len(self)} "
+            f"named_graphs={len(self._store.manifest['graphs'])} gen={self.version}>"
+        )

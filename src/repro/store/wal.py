@@ -1,0 +1,167 @@
+"""Append-only write-ahead log for the quad store.
+
+All ingest mutations — new dictionary terms, quads, prefix bindings, and
+per-source-file commit markers — are appended here before compaction
+folds them into the sorted segment files.  The log is the store's sole
+durability mechanism between compactions, so its format is defensive:
+
+    [u32 payload length][u8 record type][payload][u32 crc32]
+
+where the CRC covers the type byte plus the payload.  Replay stops at
+the first short or corrupt record (a crash mid-append leaves exactly
+that), and everything after the last committed ``FILE`` record is
+discarded: the ``FILE`` marker is the *commit point* of one ingested
+source file, so recovery is atomic per file.  Terms and quads belonging
+to a file whose marker never made it to disk are dropped, and the file
+is simply re-ingested next time (its content hash is absent from the
+store manifest).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["WriteAheadLog", "WalReplay", "WAL_FILE"]
+
+WAL_FILE = "wal.log"
+
+REC_TERM = 1  # payload: encoded term bytes (ids are implicit: sequential)
+REC_QUAD = 2  # payload: 4 x u32 (s, p, o, g)
+REC_PREFIX = 3  # payload: u16 prefix len + prefix + namespace IRI
+REC_FILE = 4  # payload: u16 path len + path + 32-byte sha256 digest
+
+_HEADER = struct.Struct("<IB")
+_CRC = struct.Struct("<I")
+_QUAD = struct.Struct("<4I")
+_LEN16 = struct.Struct("<H")
+
+
+@dataclass
+class WalReplay:
+    """The committed state recovered from a WAL replay."""
+
+    terms: List[bytes] = field(default_factory=list)
+    quads: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    prefixes: List[Tuple[str, str]] = field(default_factory=list)
+    files: Dict[str, str] = field(default_factory=dict)  # relpath -> sha256 hex
+    committed_bytes: int = 0  # offset of the last committed FILE record end
+    truncated: bool = False  # True if an uncommitted/corrupt tail was dropped
+
+    @property
+    def empty(self) -> bool:
+        return not (self.terms or self.quads or self.prefixes or self.files)
+
+
+class WriteAheadLog:
+    """Writer/replayer for one store's ``wal.log``."""
+
+    def __init__(self, directory: Path):
+        self.path = Path(directory) / WAL_FILE
+        self._handle = None
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self) -> WalReplay:
+        """Recover committed records; see the module docstring for the
+        per-file atomicity rule."""
+        replay = WalReplay()
+        if not self.path.exists():
+            return replay
+        data = self.path.read_bytes()
+        pos = 0
+        total = len(data)
+        pending_terms: List[bytes] = []
+        pending_quads: List[Tuple[int, int, int, int]] = []
+        pending_prefixes: List[Tuple[str, str]] = []
+        while pos + _HEADER.size <= total:
+            length, rec_type = _HEADER.unpack_from(data, pos)
+            end = pos + _HEADER.size + length + _CRC.size
+            if end > total:
+                break  # short tail: crash mid-append
+            payload = data[pos + _HEADER.size : pos + _HEADER.size + length]
+            (crc,) = _CRC.unpack_from(data, pos + _HEADER.size + length)
+            if crc != zlib.crc32(bytes([rec_type]) + payload):
+                break  # corrupt tail
+            if rec_type == REC_TERM:
+                pending_terms.append(payload)
+            elif rec_type == REC_QUAD:
+                pending_quads.append(_QUAD.unpack(payload))
+            elif rec_type == REC_PREFIX:
+                (plen,) = _LEN16.unpack_from(payload, 0)
+                prefix = payload[2 : 2 + plen].decode("utf-8")
+                base = payload[2 + plen :].decode("utf-8")
+                pending_prefixes.append((prefix, base))
+            elif rec_type == REC_FILE:
+                (plen,) = _LEN16.unpack_from(payload, 0)
+                relpath = payload[2 : 2 + plen].decode("utf-8")
+                digest = payload[2 + plen :].hex()
+                replay.terms.extend(pending_terms)
+                replay.quads.extend(pending_quads)
+                replay.prefixes.extend(pending_prefixes)
+                pending_terms, pending_quads, pending_prefixes = [], [], []
+                replay.files[relpath] = digest
+                replay.committed_bytes = end
+            else:
+                break  # unknown record type: treat as corruption
+            pos = end
+        replay.truncated = replay.committed_bytes < total
+        return replay
+
+    def truncate_to(self, size: int) -> None:
+        """Drop an uncommitted tail before resuming appends."""
+        if self.path.exists() and self.path.stat().st_size > size:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(size)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # -- append -------------------------------------------------------------
+
+    def _writer(self):
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def _append(self, rec_type: int, payload: bytes) -> None:
+        record = (
+            _HEADER.pack(len(payload), rec_type)
+            + payload
+            + _CRC.pack(zlib.crc32(bytes([rec_type]) + payload))
+        )
+        self._writer().write(record)
+
+    def append_term(self, encoded: bytes) -> None:
+        self._append(REC_TERM, encoded)
+
+    def append_quad(self, s: int, p: int, o: int, g: int) -> None:
+        self._append(REC_QUAD, _QUAD.pack(s, p, o, g))
+
+    def append_prefix(self, prefix: str, base: str) -> None:
+        raw = prefix.encode("utf-8")
+        self._append(REC_PREFIX, _LEN16.pack(len(raw)) + raw + base.encode("utf-8"))
+
+    def commit_file(self, relpath: str, sha256_hex: str) -> None:
+        """Append the FILE marker and fsync: the per-file commit point."""
+        raw = relpath.encode("utf-8")
+        self._append(REC_FILE, _LEN16.pack(len(raw)) + raw + bytes.fromhex(sha256_hex))
+        handle = self._writer()
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Reset the log after a successful compaction."""
+        self.close()
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None

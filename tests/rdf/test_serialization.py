@@ -225,3 +225,54 @@ class TestJsonLd:
         node = next(n for n in doc["@graph"] if n["@id"].endswith("/data"))
         assert node["ex:size"] == 42
         assert node["ex:ok"] is True
+
+
+class TestParseErrorContext:
+    """Turtle/TriG parse failures carry file, line and column context."""
+
+    def test_lineno_and_column_attributes(self):
+        with pytest.raises(TurtleError) as exc:
+            parse_turtle("@prefix ex: <http://e/> .\nex:a ex:b $ .")
+        assert exc.value.lineno == 2
+        assert exc.value.column == 11
+        assert "line 2, column 11" in str(exc.value)
+
+    def test_source_prefixes_message(self):
+        with pytest.raises(TurtleError) as exc:
+            parse_turtle("nope:a nope:b nope:c .", source="Taverna/d/t/run.prov.ttl")
+        assert exc.value.source == "Taverna/d/t/run.prov.ttl"
+        assert str(exc.value).startswith("Taverna/d/t/run.prov.ttl: line 1")
+
+    def test_no_source_keeps_plain_message(self):
+        with pytest.raises(TurtleError) as exc:
+            parse_turtle("nope:a nope:b nope:c .")
+        assert exc.value.source is None
+        assert str(exc.value).startswith("line 1")
+
+    def test_trig_error_carries_source(self):
+        from repro.rdf.trig import parse_trig
+
+        bad = "@prefix ex: <http://e/> .\nGRAPH ex:g { ex:a ex:b }"
+        with pytest.raises(TurtleError) as exc:
+            parse_trig(bad, source="Wings/d/t/run.prov.trig")
+        assert exc.value.source == "Wings/d/t/run.prov.trig"
+
+    def test_bad_string_escape_is_turtle_error(self):
+        # unescape_string raises bare ValueError; the parser must wrap it
+        text = '@prefix ex: <http://e/> .\nex:s ex:p "bad \\q escape" .'
+        with pytest.raises(TurtleError) as exc:
+            parse_turtle(text)
+        assert exc.value.lineno == 2
+
+    def test_trig_without_dataset_is_typed_error(self):
+        from repro.rdf.turtle import TurtleParser
+
+        with pytest.raises(TurtleError):
+            TurtleParser("ex:a ex:b ex:c .", allow_graphs=True)
+
+    def test_with_source_copies(self):
+        err = TurtleError("boom", 3, 7)
+        attributed = err.with_source("x.ttl")
+        assert (attributed.lineno, attributed.column) == (3, 7)
+        assert attributed.source == "x.ttl"
+        assert err.source is None

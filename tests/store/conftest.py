@@ -1,0 +1,52 @@
+"""Fixtures for the persistent quad store tests.
+
+`tiny_corpus_dir` is a hand-written two-file corpus (one Turtle trace,
+one TriG trace with a named graph) cheap enough to rebuild per test;
+`built_corpus_dir` reuses the session-scoped 198-run corpus written once
+to disk, shared by the durability/parity tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+TINY_TTL = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+
+ex:run1 a prov:Activity ;
+    prov:used ex:data1, ex:data2 ;
+    prov:startedAtTime "2013-01-01T00:00:00Z"^^<http://www.w3.org/2001/XMLSchema#dateTime> .
+ex:data1 a prov:Entity ; ex:label "input one" .
+ex:data2 a prov:Entity ; ex:label "entrada"@es .
+"""
+
+TINY_TRIG = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+
+ex:bundle1 a prov:Bundle .
+GRAPH ex:bundle1 {
+    ex:run2 a prov:Activity ; prov:used ex:data1 .
+    ex:out1 a prov:Entity ; prov:wasGeneratedBy ex:run2 .
+}
+"""
+
+
+@pytest.fixture
+def tiny_corpus_dir(tmp_path):
+    root = tmp_path / "corpus"
+    (root / "Taverna" / "dom" / "t-1").mkdir(parents=True)
+    (root / "Taverna" / "dom" / "t-1" / "run1.prov.ttl").write_text(TINY_TTL)
+    (root / "Wings" / "dom" / "w-1").mkdir(parents=True)
+    (root / "Wings" / "dom" / "w-1" / "run2.prov.trig").write_text(TINY_TRIG)
+    return root
+
+
+@pytest.fixture(scope="session")
+def built_corpus_dir(tmp_path_factory, corpus):
+    from repro.corpus import write_corpus
+
+    root = tmp_path_factory.mktemp("store-corpus")
+    write_corpus(corpus, root)
+    return root

@@ -1,0 +1,142 @@
+"""Durability + parity over the full corpus (acceptance criteria).
+
+Build the store from the full 198-run corpus, then check:
+
+* Q1-Q6 answered through the store match the in-memory `Dataset` answers
+  (row-canonicalized: ORDER BY ties may legitimately differ between
+  insertion-order and sorted-id iteration);
+* close -> reopen preserves those answers exactly;
+* a truncated WAL tail (simulated crash) recovers to the last per-file
+  commit point and a follow-up ingest completes the corpus.
+"""
+
+import pytest
+
+from repro.queries import (
+    Q1_WORKFLOW_RUNS,
+    q2_runs_of_template,
+    q3_template_io,
+    q4_process_runs,
+    q5_who_executed,
+    q6_services_executed,
+    taverna_workflow_iri,
+    wings_template_iri,
+)
+from repro.sparql import QueryEngine
+from repro.store import QuadStore, StoreDataset, ingest_corpus
+from repro.taverna import TAVERNA_RUN_NS
+from repro.wings import OPMW_EXPORT_NS
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory, built_corpus_dir):
+    path = tmp_path_factory.mktemp("quadstore") / "store"
+    with QuadStore(path) as store:
+        report = ingest_corpus(store, built_corpus_dir)
+        assert len(report.parsed) == 198
+    return path
+
+
+@pytest.fixture(scope="module")
+def exemplar_queries(corpus):
+    taverna = next(t for t in corpus.by_system("taverna") if not t.failed)
+    wings = next(t for t in corpus.by_system("wings") if not t.failed)
+    taverna_template = corpus.templates[taverna.template_id]
+    queries = {
+        "q1": Q1_WORKFLOW_RUNS,
+        "q2": q2_runs_of_template(
+            taverna_workflow_iri(taverna.template_id, taverna_template.name)
+        ),
+        "q3": q3_template_io(wings_template_iri(wings.template_id)),
+        "q4": q4_process_runs(TAVERNA_RUN_NS.term(f"{taverna.run_id}/")),
+        "q5": q5_who_executed(
+            OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{wings.run_id}")
+        ),
+        "q6": q6_services_executed(
+            OPMW_EXPORT_NS.term(f"WorkflowExecutionAccount/{wings.run_id}")
+        ),
+    }
+    return queries
+
+
+def _canonical(result):
+    """Row-order-independent form of a SELECT result."""
+    return sorted(
+        tuple(row[v].n3() if row[v] is not None else "" for v in result.variables)
+        for row in result
+    )
+
+
+def _answers(source, queries):
+    engine = QueryEngine(source)
+    return {name: _canonical(engine.query(text)) for name, text in queries.items()}
+
+
+class TestQueryParity:
+    def test_q1_to_q6_match_in_memory(self, store_dir, corpus_dataset, exemplar_queries):
+        with QuadStore(store_dir) as store:
+            store_answers = _answers(StoreDataset(store), exemplar_queries)
+        memory_answers = _answers(corpus_dataset, exemplar_queries)
+        for name in exemplar_queries:
+            assert store_answers[name] == memory_answers[name], name
+        assert len(store_answers["q1"]) == 198
+
+    def test_reopen_roundtrip_identical(self, store_dir, exemplar_queries):
+        with QuadStore(store_dir) as store:
+            first = _answers(StoreDataset(store), exemplar_queries)
+            generation = store.generation
+            info = store.store_info()
+        with QuadStore(store_dir) as store:
+            assert store.generation == generation
+            reopened_info = store.store_info()
+            for key in ("quads", "graphs", "files", "terms", "segments", "dictionary_bytes"):
+                assert reopened_info[key] == info[key], key
+            assert _answers(StoreDataset(store), exemplar_queries) == first
+
+
+class TestCrashRecovery:
+    def test_truncated_wal_tail_recovers(self, built_corpus_dir, tmp_path):
+        # Ingest without compaction so everything still lives in the WAL,
+        # then chop the tail mid-record to simulate a crash.
+        path = tmp_path / "store"
+        store = QuadStore(path)
+        report = ingest_corpus(store, built_corpus_dir, compact=False)
+        assert store.has_pending()
+        committed_files = dict(store._pending_files)
+        store.wal.close()
+        store.dictionary.close()  # drop handles without compacting (crash)
+        wal_path = path / "wal.log"
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[: len(data) - 37])  # tear the last record
+        # Reopen: replay folds in every file whose FILE marker survived.
+        with QuadStore(path) as recovered:
+            files_after = recovered.files
+            assert 0 < len(files_after) < len(committed_files) + 1
+            for relpath in files_after:
+                assert committed_files[relpath] == files_after[relpath]
+            # the torn file is simply re-ingested
+            followup = ingest_corpus(recovered, built_corpus_dir)
+            assert not followup.rebuilt
+            assert len(followup.parsed) == 198 - len(files_after)
+            assert len(recovered.files) == 198
+            total = recovered.quad_count
+        with QuadStore(path) as final, QuadStore(tmp_path / "fresh") as fresh:
+            ingest_corpus(fresh, built_corpus_dir)
+            assert final.quad_count == fresh.quad_count == total
+
+    def test_segment_bytes_identical_after_recovery(self, built_corpus_dir, tmp_path):
+        # A recovered store compacts to byte-identical segments vs a
+        # clean build: sorted id-quads are deterministic given the same
+        # ingest order (ids are allocated in file order).
+        crashed = tmp_path / "crashed"
+        store = QuadStore(crashed)
+        ingest_corpus(store, built_corpus_dir, compact=False)
+        store.wal.close()
+        store.dictionary.close()
+        with QuadStore(crashed) as recovered:  # replay + compact
+            ingest_corpus(recovered, built_corpus_dir)
+        clean = tmp_path / "clean"
+        with QuadStore(clean) as fresh:
+            ingest_corpus(fresh, built_corpus_dir)
+        for name in ("spog.seg", "posg.seg", "ospg.seg", "gspo.seg", "dict.heap"):
+            assert (crashed / name).read_bytes() == (clean / name).read_bytes(), name

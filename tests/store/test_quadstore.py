@@ -1,0 +1,237 @@
+"""Tests for QuadStore lifecycle and the StoreGraph/StoreDataset views.
+
+The parity tests ingest the tiny corpus into both a QuadStore-backed
+StoreDataset and a plain in-memory Dataset, then check every bound/free
+combination of triple patterns returns the same triple sets.
+"""
+
+import itertools
+
+import pytest
+
+from repro.rdf import Dataset, Namespace, PROV, RDF
+from repro.store import (
+    QuadStore,
+    StoreDataset,
+    StoreError,
+    StoreWriteError,
+    ingest_corpus,
+)
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def pair(tiny_corpus_dir, tmp_path):
+    """(StoreDataset, in-memory Dataset) over the same tiny corpus."""
+    store = QuadStore(tmp_path / "store")
+    ingest_corpus(store, tiny_corpus_dir)
+    yield StoreDataset(store), _memory_dataset(tiny_corpus_dir)
+    store.close()
+
+
+def _memory_dataset(corpus_dir):
+    from repro.rdf.trig import parse_trig
+    from repro.rdf.turtle import parse_turtle
+
+    merged = Dataset()
+    for path in sorted(corpus_dir.rglob("*.prov.ttl")):
+        parse_turtle(path.read_text(), graph=merged.default)
+    for path in sorted(corpus_dir.rglob("*.prov.trig")):
+        ds = parse_trig(path.read_text())
+        merged.default.add_all(ds.default)
+        for name in ds.graph_names():
+            merged.graph(name).add_all(ds.graph(name))
+    return merged
+
+
+def _canon(triples):
+    return sorted((t.subject.n3(), t.predicate.n3(), t.object.n3()) for t in triples)
+
+
+class TestPatternParity:
+    BOUND = {
+        "s": EX.run1,
+        "p": PROV.used,
+        "o": EX.data1,
+    }
+
+    @pytest.mark.parametrize(
+        "mask", list(itertools.product([False, True], repeat=3)),
+        ids=lambda m: "".join("spo"[i] if b else "-" for i, b in enumerate(m)),
+    )
+    def test_union_patterns(self, pair, mask):
+        store_ds, mem_ds = pair
+        args = [
+            self.BOUND[name] if bound else None
+            for name, bound in zip("spo", mask)
+        ]
+        got = _canon(store_ds.union_graph().triples(*args))
+        want = _canon(mem_ds.union_graph().triples(*args))
+        assert got == want
+
+    @pytest.mark.parametrize(
+        "mask", list(itertools.product([False, True], repeat=3)),
+        ids=lambda m: "".join("spo"[i] if b else "-" for i, b in enumerate(m)),
+    )
+    def test_default_graph_patterns(self, pair, mask):
+        store_ds, mem_ds = pair
+        args = [
+            self.BOUND[name] if bound else None
+            for name, bound in zip("spo", mask)
+        ]
+        assert _canon(store_ds.default.triples(*args)) == _canon(
+            mem_ds.default.triples(*args)
+        )
+
+    def test_named_graph_patterns(self, pair):
+        store_ds, mem_ds = pair
+        name = EX.bundle1
+        assert _canon(store_ds.graph(name)) == _canon(mem_ds.graph(name))
+        assert _canon(store_ds.graph(name).triples(None, RDF.type, None)) == _canon(
+            mem_ds.graph(name).triples(None, RDF.type, None)
+        )
+
+    def test_counts_match(self, pair):
+        store_ds, mem_ds = pair
+        for args in [(), (EX.run1, None, None), (None, PROV.used, None),
+                     (None, None, EX.data1), (EX.run1, PROV.used, EX.data1)]:
+            args = args or (None, None, None)
+            assert store_ds.union_graph().count(*args) == mem_ds.union_graph().count(*args)
+
+    def test_unknown_term_matches_nothing(self, pair):
+        store_ds, _ = pair
+        assert list(store_ds.union_graph().triples(EX.never_seen, None, None)) == []
+        assert store_ds.union_graph().count(None, EX.never_seen, None) == 0
+
+    def test_contains_and_iter(self, pair):
+        store_ds, mem_ds = pair
+        triple = next(iter(mem_ds.union_graph()))
+        assert triple in store_ds.union_graph()
+        assert len(list(store_ds.union_graph())) == len(store_ds.union_graph())
+
+    def test_predicates_and_resources(self, pair):
+        store_ds, mem_ds = pair
+        assert set(store_ds.union_graph().predicates()) == set(
+            mem_ds.union_graph().predicates()
+        )
+        assert store_ds.union_graph().resources() == mem_ds.union_graph().resources()
+
+    def test_quads_match(self, pair):
+        store_ds, mem_ds = pair
+        def canon_quads(ds):
+            return sorted(
+                (q.subject.n3(), q.predicate.n3(), q.object.n3(),
+                 q.graph.n3() if q.graph is not None else "")
+                for q in ds.quads()
+            )
+        assert canon_quads(store_ds) == canon_quads(mem_ds)
+
+    def test_graph_names_and_has_graph(self, pair):
+        store_ds, mem_ds = pair
+        assert store_ds.graph_names() == mem_ds.graph_names()
+        assert store_ds.has_graph(EX.bundle1)
+        assert not store_ds.has_graph(EX.bundle99)
+
+    def test_unknown_graph_is_empty(self, pair):
+        store_ds, _ = pair
+        g = store_ds.graph(EX.bundle99)
+        assert len(g) == 0
+        # and a store cannot create graphs on access
+        assert not store_ds.has_graph(EX.bundle99)
+
+
+class TestReadOnly:
+    def test_graph_mutators_raise(self, pair):
+        store_ds, _ = pair
+        triple = (EX.x, RDF.type, PROV.Entity)
+        with pytest.raises(StoreWriteError):
+            store_ds.default.add(triple)
+        with pytest.raises(StoreWriteError):
+            store_ds.union_graph().remove(triple)
+        with pytest.raises(StoreWriteError):
+            store_ds.default.clear()
+
+    def test_dataset_mutators_raise(self, pair):
+        store_ds, _ = pair
+        with pytest.raises(StoreWriteError):
+            store_ds.add((EX.x, RDF.type, PROV.Entity))
+        with pytest.raises(StoreWriteError):
+            store_ds.graph(EX.bundle99).add((EX.x, RDF.type, PROV.Entity))
+
+
+class TestLifecycle:
+    def test_reopen_preserves_contents(self, tiny_corpus_dir, tmp_path):
+        with QuadStore(tmp_path / "s") as store:
+            ingest_corpus(store, tiny_corpus_dir)
+            before = _canon(StoreDataset(store).union_graph())
+            generation = store.generation
+        with QuadStore(tmp_path / "s") as store:
+            assert store.generation == generation
+            assert _canon(StoreDataset(store).union_graph()) == before
+
+    def test_generation_bumps_on_change_only(self, tiny_corpus_dir, tmp_path):
+        with QuadStore(tmp_path / "s") as store:
+            ingest_corpus(store, tiny_corpus_dir)
+            g1 = store.generation
+            ingest_corpus(store, tiny_corpus_dir)  # no-op
+            assert store.generation == g1
+
+    def test_format_version_guard(self, tiny_corpus_dir, tmp_path):
+        import json
+
+        with QuadStore(tmp_path / "s") as store:
+            ingest_corpus(store, tiny_corpus_dir)
+        manifest = tmp_path / "s" / "store.json"
+        payload = json.loads(manifest.read_text())
+        payload["format_version"] = 99
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(StoreError):
+            QuadStore(tmp_path / "s")
+
+    def test_abort_file_rolls_back(self, tmp_path):
+        store = QuadStore(tmp_path / "s")
+        store.begin_file("a.ttl", "00" * 32)
+        store.add_quad(store.add_term(EX.s), store.add_term(EX.p), store.add_term(EX.o))
+        store.commit_file()
+        terms_before = len(store.dictionary)
+        store.begin_file("b.ttl", "11" * 32)
+        store.add_quad(
+            store.add_term(EX.s2), store.add_term(EX.p2), store.add_term(EX.o2)
+        )
+        store.abort_file()
+        assert len(store.dictionary) == terms_before
+        assert store.dictionary.lookup(EX.s2) is None
+        store.compact()
+        assert store.files == {"a.ttl": "00" * 32}
+        assert store.quad_count == 1
+        store.close()
+
+    def test_close_during_ingest_rejected(self, tmp_path):
+        store = QuadStore(tmp_path / "s")
+        store.begin_file("a.ttl", "00" * 32)
+        with pytest.raises(StoreError):
+            store.close()
+        store.abort_file()
+        store.close()
+
+    def test_reset_clears_but_advances_generation(self, tiny_corpus_dir, tmp_path):
+        store = QuadStore(tmp_path / "s")
+        ingest_corpus(store, tiny_corpus_dir)
+        generation = store.generation
+        store.reset()
+        assert store.quad_count == 0
+        assert store.files == {}
+        assert store.generation > generation
+        store.close()
+
+    def test_store_info_shape(self, tiny_corpus_dir, tmp_path):
+        with QuadStore(tmp_path / "s") as store:
+            ingest_corpus(store, tiny_corpus_dir)
+            info = store.store_info()
+        assert info["quads"] == store.quad_count
+        assert set(info["segments"]) == {"spog", "posg", "ospg", "gspo"}
+        for segment in info["segments"].values():
+            assert segment["records"] == info["quads"]
+            assert segment["bytes"] == info["quads"] * 16
+        assert info["dictionary_bytes"]["dict.heap"] > 0

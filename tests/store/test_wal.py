@@ -1,0 +1,103 @@
+"""Tests for the write-ahead log: replay, per-file atomicity, corruption."""
+
+from repro.store import WriteAheadLog
+from repro.store.wal import WalReplay
+
+DIGEST = "ab" * 32
+
+
+def _log_one_file(wal, relpath="a.ttl", terms=(b"\x01t1", b"\x01t2"), quads=((1, 2, 3, 0),)):
+    for t in terms:
+        wal.append_term(t)
+    for q in quads:
+        wal.append_quad(*q)
+    wal.commit_file(relpath, DIGEST)
+
+
+class TestReplay:
+    def test_empty_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        replay = wal.replay()
+        assert replay.empty
+        assert not replay.truncated
+
+    def test_committed_file_replays(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _log_one_file(wal)
+        wal.append_prefix("ex", "http://example.org/")
+        wal.commit_file("b.ttl", DIGEST)
+        wal.close()
+        replay = WriteAheadLog(tmp_path).replay()
+        assert replay.terms == [b"\x01t1", b"\x01t2"]
+        assert replay.quads == [(1, 2, 3, 0)]
+        assert replay.prefixes == [("ex", "http://example.org/")]
+        assert replay.files == {"a.ttl": DIGEST, "b.ttl": DIGEST}
+        assert not replay.truncated
+
+    def test_uncommitted_tail_dropped(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _log_one_file(wal)
+        # terms + quads with no FILE marker: crash before commit
+        wal.append_term(b"\x01orphan")
+        wal.append_quad(9, 9, 9, 0)
+        wal.close()
+        replay = WriteAheadLog(tmp_path).replay()
+        assert replay.files == {"a.ttl": DIGEST}
+        assert b"\x01orphan" not in replay.terms
+        assert (9, 9, 9, 0) not in replay.quads
+        assert replay.truncated
+
+    def test_short_tail_dropped(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _log_one_file(wal)
+        wal.close()
+        committed = (tmp_path / "wal.log").stat().st_size
+        _log_one_file(WriteAheadLog(tmp_path), relpath="b.ttl")
+        # chop mid-record, halfway into the second file's bytes
+        full = (tmp_path / "wal.log").read_bytes()
+        (tmp_path / "wal.log").write_bytes(full[: committed + (len(full) - committed) // 2])
+        replay = WriteAheadLog(tmp_path).replay()
+        assert replay.files == {"a.ttl": DIGEST}
+        assert replay.truncated
+        assert replay.committed_bytes == committed
+
+    def test_corrupt_crc_tail_dropped(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _log_one_file(wal)
+        wal.close()
+        committed = (tmp_path / "wal.log").stat().st_size
+        wal2 = WriteAheadLog(tmp_path)
+        _log_one_file(wal2, relpath="b.ttl")
+        wal2.close()
+        data = bytearray((tmp_path / "wal.log").read_bytes())
+        data[committed + 6] ^= 0xFF  # flip a byte inside the second batch
+        (tmp_path / "wal.log").write_bytes(bytes(data))
+        replay = WriteAheadLog(tmp_path).replay()
+        assert replay.files == {"a.ttl": DIGEST}
+        assert replay.truncated
+
+    def test_truncate_to_makes_replay_clean(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _log_one_file(wal)
+        wal.append_term(b"\x01orphan")
+        wal.close()
+        replay = WriteAheadLog(tmp_path).replay()
+        assert replay.truncated
+        wal2 = WriteAheadLog(tmp_path)
+        wal2.truncate_to(replay.committed_bytes)
+        clean = wal2.replay()
+        assert not clean.truncated
+        assert clean.files == {"a.ttl": DIGEST}
+
+    def test_clear_resets_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _log_one_file(wal)
+        wal.clear()
+        assert (tmp_path / "wal.log").stat().st_size == 0
+        assert WriteAheadLog(tmp_path).replay().empty
+
+
+class TestWalReplayModel:
+    def test_empty_property(self):
+        assert WalReplay().empty
+        assert not WalReplay(files={"x": DIGEST}).empty

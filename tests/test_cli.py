@@ -74,3 +74,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "workflows: 120" in out
         assert (target / "manifest.json").exists()
+
+
+class TestStoreCommands:
+    @pytest.fixture(scope="class")
+    def store_dir(self, built_dir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-store") / "store"
+        assert main(["store", "ingest", str(built_dir), "--store", str(path)]) == 0
+        return path
+
+    def test_ingest_reports_parsed_files(self, built_dir, store_dir, capsys):
+        # store_dir fixture already ingested; a second run is a no-op
+        assert main(["store", "ingest", str(built_dir), "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["parsed_files"] == 0
+        assert payload["skipped_files"] == 198
+        assert "no files re-parsed" in out
+
+    def test_info(self, store_dir, capsys):
+        assert main(["store", "info", str(store_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 198
+        assert payload["segments"]["spog"]["records"] == payload["quads"] > 0
+
+    def test_info_missing_store_errors(self, tmp_path, capsys):
+        assert main(["store", "info", str(tmp_path / "nope")]) == 1
+        assert "no quad store" in capsys.readouterr().err
+
+    def test_query_with_store(self, built_dir, store_dir, capsys):
+        code = main([
+            "query", str(built_dir),
+            "SELECT (COUNT(?b) AS ?n) WHERE { ?b a prov:Bundle }",
+            "--store", str(store_dir),
+        ])
+        assert code == 0
+        assert "86" in capsys.readouterr().out
+
+    def test_serve_requires_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "corpus directory" in capsys.readouterr().err
+
+    def test_ingest_missing_corpus_errors_without_side_effects(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["store", "ingest", str(missing)]) == 1
+        assert "no corpus directory" in capsys.readouterr().err
+        assert not missing.exists()  # must not mkdir a store at the typo'd path
+
+    def test_build_store_flag_defaults_next_to_corpus(self, tmp_path, capsys):
+        root = tmp_path / "corpus"
+        assert main(["build", str(root), "--store"]) == 0
+        assert f"quad store: {root / '.store'}" in capsys.readouterr().out
+        assert (root / ".store" / "store.json").exists()

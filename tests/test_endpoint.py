@@ -282,3 +282,40 @@ class TestConcurrentEndpoint:
             stats = server.stats()
             assert stats["requests"]["count"] > 0
             assert stats["result_cache"]["hits"] + stats["result_cache"]["misses"] > 0
+
+
+class TestStoreBackedEndpoint:
+    """The endpoint served from a persistent quad store (read path only)."""
+
+    @pytest.fixture()
+    def store_endpoint(self, tmp_path):
+        from repro.store import QuadStore, StoreDataset
+
+        store = QuadStore(tmp_path / "store")
+        store.begin_file("t.ttl", "00" * 32)
+        ids = [store.add_term(t) for t in (EX.r1, RDF.type, PROV.Activity, EX.e1, PROV.Entity)]
+        store.add_quad(ids[0], ids[1], ids[2])
+        store.add_quad(ids[3], ids[1], ids[4])
+        store.commit_file()
+        store.compact()
+        with SparqlEndpoint(StoreDataset(store)) as server:
+            yield server
+        store.close()
+
+    def test_queries_answer_from_store(self, store_endpoint):
+        client = SparqlClient(store_endpoint.query_url)
+        rows = client.query("SELECT ?x WHERE { ?x a prov:Activity }")
+        assert [r["x"] for r in rows] == ["http://example.org/r1"]
+        assert client.query("ASK { ?x a prov:Entity }") is True
+
+    def test_stats_reports_store_section(self, store_endpoint):
+        client = SparqlClient(store_endpoint.query_url)
+        client.query("ASK { ?x a prov:Activity }")
+        stats = client.stats()
+        assert stats["store"]["quads"] == 2
+        assert stats["store"]["segments"]["spog"]["records"] == 2
+        assert stats["store"]["decoded_term_cache"]["maxsize"] > 0
+        assert stats["version"] == stats["store"]["generation"]
+
+    def test_in_memory_endpoint_has_no_store_section(self, endpoint, client):
+        assert "store" not in client.stats()
