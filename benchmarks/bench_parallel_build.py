@@ -1,0 +1,124 @@
+"""Parallel pipeline benchmark: serial vs. multiprocess build + ingest.
+
+Measures the two process-parallel hot paths side by side with their
+serial baselines — the full 198-run corpus build (execute + export +
+serialize per run) and the store ingest (parse + intern + WAL) — and
+verifies the headline guarantee while doing so: the parallel corpus
+tree and store segments are byte-identical to serial output.
+
+Speedup depends on the machine: the schedule pre-pass and the
+single-writer commit loop are serial by design, and on a single-CPU
+runner the pool only adds overhead, so ``cpu_count`` is recorded next
+to the timings rather than asserting a ratio.  Numbers land in
+``_artifacts/parallel_build.json``; ``bench_report.py`` folds them into
+the cross-PR trajectory.
+
+Also runnable standalone as the CI determinism smoke::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_build.py --smoke
+"""
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+
+def _tree_digests(root: Path) -> dict:
+    return {
+        path.relative_to(root).as_posix(): hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(Path(root).rglob("*"))
+        if path.is_file()
+    }
+
+
+def measure_parallel_pipeline(workdir: Path, jobs: int) -> dict:
+    """Time serial vs. parallel build and ingest; verify byte-identity."""
+    from repro.corpus import CorpusBuilder, write_corpus
+    from repro.store import QuadStore, ingest_corpus
+
+    started = time.perf_counter()
+    serial_corpus = CorpusBuilder(seed=2013).build()
+    serial_build_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_corpus = CorpusBuilder(seed=2013).build(jobs=jobs)
+    parallel_build_s = time.perf_counter() - started
+
+    serial_root = workdir / "corpus-serial"
+    parallel_root = workdir / "corpus-parallel"
+    write_corpus(serial_corpus, serial_root)
+    write_corpus(parallel_corpus, parallel_root)
+    corpus_identical = _tree_digests(serial_root) == _tree_digests(parallel_root)
+
+    started = time.perf_counter()
+    with QuadStore(workdir / "store-serial") as store:
+        serial_report = ingest_corpus(store, serial_root)
+    serial_ingest_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with QuadStore(workdir / "store-parallel") as store:
+        parallel_report = ingest_corpus(store, serial_root, jobs=jobs)
+    parallel_ingest_s = time.perf_counter() - started
+
+    store_identical = _tree_digests(workdir / "store-serial") == _tree_digests(
+        workdir / "store-parallel"
+    )
+    return {
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "runs": len(serial_corpus.traces),
+        "serial_build_s": round(serial_build_s, 3),
+        "parallel_build_s": round(parallel_build_s, 3),
+        "build_speedup": round(serial_build_s / parallel_build_s, 3),
+        "serial_ingest_s": round(serial_ingest_s, 3),
+        "parallel_ingest_s": round(parallel_ingest_s, 3),
+        "ingest_speedup": round(serial_ingest_s / parallel_ingest_s, 3),
+        "quads_ingested": serial_report.quads_added,
+        "corpus_identical": corpus_identical,
+        "store_identical": store_identical and (
+            parallel_report.quads_added == serial_report.quads_added
+        ),
+    }
+
+
+def test_parallel_build_and_ingest(tmp_path_factory, artifacts_dir):
+    from .conftest import write_artifact
+
+    jobs = min(4, max(2, os.cpu_count() or 1))
+    result = measure_parallel_pipeline(tmp_path_factory.mktemp("parallel-bench"), jobs)
+    assert result["corpus_identical"], "parallel build diverged from serial"
+    assert result["store_identical"], "parallel ingest diverged from serial"
+    write_artifact(artifacts_dir, "parallel_build.json", json.dumps(result, indent=2))
+
+
+def _main() -> int:
+    import argparse
+    import sys
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one measurement round; exit non-zero unless parallel output "
+             "is byte-identical to serial",
+    )
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (default: min(4, CPUs))")
+    args = parser.parse_args()
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    jobs = args.jobs if args.jobs > 0 else min(4, max(2, os.cpu_count() or 1))
+    with tempfile.TemporaryDirectory(prefix="parallel-bench-") as tmp:
+        result = measure_parallel_pipeline(Path(tmp), jobs)
+    print(json.dumps(result, indent=2))
+    if not (result["corpus_identical"] and result["store_identical"]):
+        print("FAIL: parallel output diverged from serial", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("smoke OK: parallel pipeline byte-identical to serial")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

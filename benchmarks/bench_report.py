@@ -60,6 +60,38 @@ def test_query_cache_trajectory(artifacts_dir):
                    json.dumps(trajectory[-50:], indent=2))
 
 
+def test_parallel_build_trajectory(artifacts_dir):
+    """Fold this run's parallel-pipeline numbers into the trajectory.
+
+    ``bench_parallel_build.py`` writes ``parallel_build.json``; its
+    headline numbers (serial/parallel build and ingest wall time, the
+    speedups, and the CPU count they were measured on) are appended to
+    ``parallel_build_trajectory.json`` so future PRs can see whether the
+    parallel fan-out or the serial baselines move.
+    """
+    current = artifacts_dir / "parallel_build.json"
+    if not current.exists():
+        pytest.skip("bench_parallel_build.py did not run in this session")
+    data = json.loads(current.read_text())
+    assert data["corpus_identical"] and data["store_identical"]
+    entry = {
+        "recorded_at": dt.datetime.now().isoformat(timespec="seconds"),
+        "cpu_count": data["cpu_count"],
+        "jobs": data["jobs"],
+        "serial_build_s": data["serial_build_s"],
+        "parallel_build_s": data["parallel_build_s"],
+        "build_speedup": data["build_speedup"],
+        "serial_ingest_s": data["serial_ingest_s"],
+        "parallel_ingest_s": data["parallel_ingest_s"],
+        "ingest_speedup": data["ingest_speedup"],
+    }
+    trajectory_path = artifacts_dir / "parallel_build_trajectory.json"
+    trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    trajectory.append(entry)
+    write_artifact(artifacts_dir, "parallel_build_trajectory.json",
+                   json.dumps(trajectory[-50:], indent=2))
+
+
 def test_store_trajectory(artifacts_dir):
     """Fold this run's persistent-store numbers into the trajectory.
 

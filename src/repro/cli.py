@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also ingest the written traces into a persistent quad store "
              "(default location: <directory>/.store)",
     )
+    p_build.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the build (and store ingest, with "
+             "--store); 0 = one per CPU.  Output is byte-identical to "
+             "--jobs 1 (default: 1)",
+    )
 
     p_stats = sub.add_parser("stats", help="print statistics of a stored corpus")
     p_stats.add_argument("directory", type=Path)
@@ -94,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", type=Path, default=None, metavar="DIR",
         help="store directory (default: <corpus>/.store)",
     )
+    p_ingest.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for trace parsing; 0 = one per CPU.  "
+             "Segments are byte-identical to --jobs 1 (default: 1)",
+    )
     p_info = store_sub.add_parser("info", help="print a quad store's summary")
     p_info.add_argument("store_dir", type=Path)
 
@@ -128,9 +139,9 @@ def main(argv=None) -> int:
 def _cmd_build(args) -> int:
     from .corpus import CorpusBuilder, write_corpus
 
-    corpus = CorpusBuilder(seed=args.seed).build()
+    corpus = CorpusBuilder(seed=args.seed).build(jobs=args.jobs)
     store_dir = args.directory / ".store" if args.store is True else args.store
-    manifest = write_corpus(corpus, args.directory, store=store_dir)
+    manifest = write_corpus(corpus, args.directory, store=store_dir, jobs=args.jobs)
     stats = corpus.statistics()
     print(f"built corpus under {args.directory}")
     if store_dir is not None:
@@ -268,7 +279,7 @@ def _cmd_store(args) -> int:
             return 1
         store_dir = args.store if args.store is not None else args.directory / ".store"
         with QuadStore(store_dir) as store:
-            report = ingest_corpus(store, args.directory)
+            report = ingest_corpus(store, args.directory, jobs=args.jobs)
         print(json.dumps(report.summary(), indent=2, sort_keys=True))
         if report.no_op:
             print("store already up to date (no files re-parsed)")

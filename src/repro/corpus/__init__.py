@@ -15,6 +15,7 @@ from .builder import (
     FAILURE_MIX,
     RunPlanEntry,
     TOTAL_RUNS,
+    build_corpus,
 )
 from .domains import DOMAINS, Domain, domain_by_slug, total_workflows
 from .generator import TemplateGenerator
@@ -28,6 +29,7 @@ __all__ = [
     "Corpus",
     "CorpusBuilder",
     "CorpusTrace",
+    "build_corpus",
     "RunPlanEntry",
     "TOTAL_RUNS",
     "FAILED_RUNS",

@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..parallel import resolve_jobs as _resolve_jobs
 from ..prov.model import ProvDocument
 from ..prov.rdf_io import to_dataset, to_graph
 from ..rdf.graph import Dataset, Graph
@@ -37,13 +38,13 @@ from ..wings import WingsEngine
 from ..wings import export_run as wings_export
 from ..wings import export_template
 from ..workflow.dataflow import RunResult, SimulatedClock
-from ..workflow.errors import FAILURE_CAUSES
+from ..workflow.errors import FAILURE_CAUSES, WorkflowError
 from ..workflow.model import WorkflowTemplate
 from ..workflow.services import FaultPlan
 from .domains import DOMAINS, domain_by_slug
 from .generator import TemplateGenerator
 
-__all__ = ["RunPlanEntry", "CorpusTrace", "Corpus", "CorpusBuilder"]
+__all__ = ["RunPlanEntry", "CorpusTrace", "Corpus", "CorpusBuilder", "build_corpus"]
 
 #: Paper constants (Section 2).
 TOTAL_RUNS = 198
@@ -128,26 +129,54 @@ class Corpus:
         self.generator = generator
         self._merged: Optional[Dataset] = None
         self._system_graphs: Dict[str, Graph] = {}
+        # Lazy selection indexes; traces are immutable after construction.
+        self._by_run_id: Optional[Dict[str, CorpusTrace]] = None
+        self._by_template: Optional[Dict[str, List[CorpusTrace]]] = None
+        self._by_domain: Optional[Dict[str, List[CorpusTrace]]] = None
+        self._by_system: Optional[Dict[str, List[CorpusTrace]]] = None
 
     # -- selection -------------------------------------------------------------
 
+    def _build_indexes(self) -> None:
+        by_run_id: Dict[str, CorpusTrace] = {}
+        by_template: Dict[str, List[CorpusTrace]] = {}
+        by_domain: Dict[str, List[CorpusTrace]] = {}
+        by_system: Dict[str, List[CorpusTrace]] = {}
+        for t in self.traces:
+            by_run_id[t.run_id] = t
+            by_template.setdefault(t.template_id, []).append(t)
+            by_domain.setdefault(t.domain, []).append(t)
+            by_system.setdefault(t.system, []).append(t)
+        self._by_run_id = by_run_id
+        self._by_template = by_template
+        self._by_domain = by_domain
+        self._by_system = by_system
+
     def by_system(self, system: str) -> List[CorpusTrace]:
-        return [t for t in self.traces if t.system == system]
+        if self._by_system is None:
+            self._build_indexes()
+        return list(self._by_system.get(system, ()))
 
     def by_template(self, template_id: str) -> List[CorpusTrace]:
-        return [t for t in self.traces if t.template_id == template_id]
+        if self._by_template is None:
+            self._build_indexes()
+        return list(self._by_template.get(template_id, ()))
 
     def by_domain(self, domain_slug: str) -> List[CorpusTrace]:
-        return [t for t in self.traces if t.domain == domain_slug]
+        if self._by_domain is None:
+            self._build_indexes()
+        return list(self._by_domain.get(domain_slug, ()))
 
     def failed_traces(self) -> List[CorpusTrace]:
         return [t for t in self.traces if t.failed]
 
     def trace(self, run_id: str) -> CorpusTrace:
-        for t in self.traces:
-            if t.run_id == run_id:
-                return t
-        raise KeyError(f"no trace for run {run_id!r}")
+        if self._by_run_id is None:
+            self._build_indexes()
+        try:
+            return self._by_run_id[run_id]
+        except KeyError:
+            raise KeyError(f"no trace for run {run_id!r}") from None
 
     def multi_run_templates(self) -> List[str]:
         """Template ids with more than one run (the decay-study set)."""
@@ -296,66 +325,145 @@ class CorpusBuilder:
 
     # -- building ----------------------------------------------------------------------
 
-    def build(self) -> Corpus:
-        """Execute the full plan and export every trace."""
+    def build(self, jobs: int = 1) -> Corpus:
+        """Execute the full plan and export every trace.
+
+        With ``jobs > 1`` the per-run work (engine execution, PROV
+        export, RDF serialization) fans out over a process pool; results
+        merge back in plan order, so the returned corpus — trace order,
+        timestamps, serialized bytes — is identical to a ``jobs=1``
+        build.  ``jobs=None`` or ``0`` means one worker per CPU.
+        """
         templates = self.generator.all_templates()
         by_id = {t.template_id: t for t in templates}
         plan = self.plan_runs(templates)
+        effective = jobs if jobs == 1 else min(_resolve_jobs(jobs), len(plan))
+        if effective <= 1:
+            traces = self._build_serial(plan, by_id)
+        else:
+            from .parallel import build_traces_parallel
 
+            traces = build_traces_parallel(self, plan, by_id, effective)
+        return Corpus(self.seed, by_id, traces, plan, self.generator)
+
+    def _build_serial(
+        self, plan: List[RunPlanEntry], by_id: Dict[str, WorkflowTemplate]
+    ) -> List[CorpusTrace]:
+        """The sequential path: one clock threaded through all 198 runs."""
+        clock = SimulatedClock(self.start)
+        taverna, wings = self._make_engines(clock)
+        traces: List[CorpusTrace] = []
+        for entry in plan:
+            clock.advance(self._gap_seconds(entry))
+            traces.append(self._trace_for(entry, by_id[entry.template_id], taverna, wings))
+        return traces
+
+    def _make_engines(self, clock: SimulatedClock) -> Tuple[TavernaEngine, WingsEngine]:
+        """Fresh engines over generator-derived infrastructure."""
         registry = self.generator.build_registry()
         components = self.generator.build_component_catalog()
         data_catalog = self.generator.build_data_catalog()
-        clock = SimulatedClock(self.start)
         taverna = TavernaEngine(registry, clock)
         wings = WingsEngine(registry, clock, components, data_catalog)
+        return taverna, wings
 
-        traces: List[CorpusTrace] = []
+    def _gap_seconds(self, entry: RunPlanEntry) -> int:
+        """Simulated idle time before *entry*: 6h..72h, seeded per run."""
+        return (6 + hash_of(entry.run_id, self.seed) % 67) * 3600
+
+    def _execute_entry(
+        self,
+        entry: RunPlanEntry,
+        template: WorkflowTemplate,
+        taverna: TavernaEngine,
+        wings: WingsEngine,
+    ):
+        """Enact one planned run on whichever engine owns the template."""
+        fault_plan = (
+            FaultPlan.single(entry.fault_step, entry.fault_cause)
+            if entry.will_fail
+            else FaultPlan.none()
+        )
+        inputs = self.generator.inputs_for(template, variant=entry.variant)
+        engine = taverna if template.system == "taverna" else wings
+        return engine.run(
+            template, inputs, run_id=entry.run_id, fault_plan=fault_plan, user=entry.user
+        )
+
+    def _trace_for(
+        self,
+        entry: RunPlanEntry,
+        template: WorkflowTemplate,
+        taverna: TavernaEngine,
+        wings: WingsEngine,
+    ) -> CorpusTrace:
+        """Execute one run and export its provenance trace."""
+        run = self._execute_entry(entry, template, taverna, wings)
+        if template.system == "taverna":
+            document = taverna_export(run)
+            export_template_description(template, document)
+            text = serialize_turtle(to_graph(document))
+            rdf_format = "turtle"
+        else:
+            document = wings_export(run)
+            export_template(template, document)
+            text = serialize_trig(to_dataset(document))
+            rdf_format = "trig"
+        result = run.result
+        return CorpusTrace(
+            run_id=entry.run_id,
+            system=template.system,
+            domain=template.domain,
+            template_id=template.template_id,
+            template_name=template.name,
+            status=result.status,
+            started=result.started,
+            ended=result.ended,
+            user=entry.user,
+            document=document,
+            text=text,
+            rdf_format=rdf_format,
+            failed_step=result.failed_step,
+            failure_cause=result.failure_cause,
+            result=result,
+        )
+
+    def plan_start_times(
+        self, plan: List[RunPlanEntry], by_id: Dict[str, WorkflowTemplate]
+    ) -> List[_dt.datetime]:
+        """The exact clock instant each planned run starts at.
+
+        Run *n* starts after every earlier run's simulated duration plus
+        its own idle gap, so start times form a serial dependency chain.
+        Durations are pure functions of each run (latencies derive from
+        content digests, never from the absolute clock), so a cheap
+        execute-only pass — no PROV export, no serialization, under 5%
+        of full build cost — resolves the whole chain; workers can then
+        replay any run at its exact start time, independently.
+        """
+        clock = SimulatedClock(self.start)
+        taverna, wings = self._make_engines(clock)
+        starts: List[_dt.datetime] = []
         for entry in plan:
-            template = by_id[entry.template_id]
-            # Spread runs over simulated months: 6h..72h between runs.
-            gap_hours = 6 + hash_of(entry.run_id, self.seed) % 67
-            clock.advance(gap_hours * 3600)
-            fault_plan = (
-                FaultPlan.single(entry.fault_step, entry.fault_cause)
-                if entry.will_fail
-                else FaultPlan.none()
-            )
-            inputs = self.generator.inputs_for(template, variant=entry.variant)
-            if template.system == "taverna":
-                run = taverna.run(template, inputs, run_id=entry.run_id,
-                                  fault_plan=fault_plan, user=entry.user)
-                document = taverna_export(run)
-                export_template_description(template, document)
-                text = serialize_turtle(to_graph(document))
-                rdf_format = "turtle"
-            else:
-                run = wings.run(template, inputs, run_id=entry.run_id,
-                                fault_plan=fault_plan, user=entry.user)
-                document = wings_export(run)
-                export_template(template, document)
-                text = serialize_trig(to_dataset(document))
-                rdf_format = "trig"
-            result = run.result
-            traces.append(
-                CorpusTrace(
-                    run_id=entry.run_id,
-                    system=template.system,
-                    domain=template.domain,
-                    template_id=template.template_id,
-                    template_name=template.name,
-                    status=result.status,
-                    started=result.started,
-                    ended=result.ended,
-                    user=entry.user,
-                    document=document,
-                    text=text,
-                    rdf_format=rdf_format,
-                    failed_step=result.failed_step,
-                    failure_cause=result.failure_cause,
-                    result=result,
-                )
-            )
-        return Corpus(self.seed, by_id, traces, plan, self.generator)
+            clock.advance(self._gap_seconds(entry))
+            starts.append(clock.now)
+            try:
+                self._execute_entry(entry, by_id[entry.template_id], taverna, wings)
+            except WorkflowError as exc:
+                message = f"run {entry.run_id} (template {entry.template_id}): {exc}"
+                try:
+                    wrapped = type(exc)(message)
+                except Exception:
+                    wrapped = WorkflowError(message)
+                raise wrapped from exc
+        return starts
+
+
+def build_corpus(
+    seed: int = 2013, jobs: int = 1, start: Optional[_dt.datetime] = None
+) -> Corpus:
+    """Build the full 198-run corpus; ``jobs`` fans runs over processes."""
+    return CorpusBuilder(seed=seed, start=start).build(jobs=jobs)
 
 
 def hash_of(*parts: object) -> int:

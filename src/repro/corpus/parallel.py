@@ -1,0 +1,88 @@
+"""Process-parallel corpus build with a deterministic merge.
+
+The serial build threads one :class:`~repro.workflow.dataflow.SimulatedClock`
+through all 198 runs: each run starts where the previous run's teardown
+left off, plus a seeded idle gap.  That chain is the only cross-run
+coupling — everything else (service latencies, inputs, faults) is a pure
+function of the run itself — so the build parallelizes in two phases:
+
+1. **Schedule** (parent, cheap): an execute-only pass over the plan
+   resolves every run's exact start instant
+   (:meth:`CorpusBuilder.plan_start_times`).  No export, no
+   serialization — a few percent of total build cost.
+2. **Produce** (workers): each worker owns a private engine set seeded
+   identically to the parent's, seats its clock at the run's exact start
+   time, re-executes the run, exports PROV, and serializes Turtle/TriG.
+   Results stream back via ``imap`` in plan order.
+
+Because a run's outcome depends only on (template, inputs, run id,
+fault plan, user, clock start), every worker reproduces byte-for-byte
+what the serial build would have produced at that position, and the
+merged trace list is identical to a ``jobs=1`` build.
+
+A worker failure is captured as a :class:`~repro.parallel.RemoteError`
+and re-raised in the parent as the original exception class with the
+failing run and template named in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..parallel import RemoteError, pool_context, resolve_jobs
+from ..workflow.dataflow import SimulatedClock
+from ..workflow.errors import WorkflowError
+
+__all__ = ["build_traces_parallel"]
+
+# Per-worker state: (builder, template index, clock, taverna, wings).
+# Built once per worker by _init_worker; tasks only carry (entry, start).
+_WORKER_STATE = None
+
+
+def _init_worker(seed, start) -> None:
+    global _WORKER_STATE
+    from .builder import CorpusBuilder
+
+    builder = CorpusBuilder(seed=seed, start=start)
+    templates = builder.generator.all_templates()
+    by_id = {t.template_id: t for t in templates}
+    clock = SimulatedClock(start)
+    taverna, wings = builder._make_engines(clock)
+    _WORKER_STATE = (builder, by_id, clock, taverna, wings)
+
+
+def _build_one(task) -> Tuple[str, object]:
+    entry, started = task
+    builder, by_id, clock, taverna, wings = _WORKER_STATE
+    try:
+        clock.reset(started)
+        trace = builder._trace_for(entry, by_id[entry.template_id], taverna, wings)
+        return ("ok", trace)
+    except Exception as exc:
+        context = f"run {entry.run_id} (template {entry.template_id}) failed in worker"
+        return ("error", RemoteError.capture(exc, context))
+
+
+def build_traces_parallel(
+    builder,
+    plan,
+    by_id: Dict[str, object],
+    jobs: Optional[int],
+) -> List[object]:
+    """Fan the run plan over a process pool; merge traces in plan order."""
+    jobs = min(resolve_jobs(jobs), len(plan))
+    starts = builder.plan_start_times(plan, by_id)
+    ctx = pool_context()
+    chunksize = max(1, len(plan) // (jobs * 4))
+    traces = []
+    with ctx.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(builder.seed, builder.start)
+    ) as pool:
+        for status, payload in pool.imap(
+            _build_one, list(zip(plan, starts)), chunksize=chunksize
+        ):
+            if status == "error":
+                payload.reraise(fallback=WorkflowError)
+            traces.append(payload)
+    return traces

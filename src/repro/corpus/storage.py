@@ -36,13 +36,13 @@ __all__ = ["write_corpus", "load_corpus", "StoredTrace", "StoredCorpus"]
 # the optional persistent-store layer is stripped from a deployment.
 
 
-def _open_store(store_path: Path, corpus_root: Path):
+def _open_store(store_path: Path, corpus_root: Path, jobs: int = 1):
     """Open (or create) a quad store and sync it with the corpus files."""
     from ..store import QuadStore, ingest_corpus
 
     store = QuadStore(Path(store_path))
     try:
-        ingest_corpus(store, corpus_root)
+        ingest_corpus(store, corpus_root, jobs=jobs)
     except Exception:
         store.close()
         raise
@@ -52,12 +52,17 @@ _SYSTEM_DIR = {"taverna": "Taverna", "wings": "Wings"}
 _EXTENSION = {"turtle": ".prov.ttl", "trig": ".prov.trig"}
 
 
-def write_corpus(corpus: Corpus, root: Path, store: Optional[Path] = None) -> Path:
+def write_corpus(
+    corpus: Corpus, root: Path, store: Optional[Path] = None, jobs: int = 1
+) -> Path:
     """Write the corpus under *root*; returns the manifest path.
 
     When *store* names a directory, the freshly written traces are also
     ingested into a persistent :class:`repro.store.QuadStore` there (built
-    incrementally — unchanged traces are skipped by content hash).
+    incrementally — unchanged traces are skipped by content hash).  *jobs*
+    is forwarded to :func:`repro.store.ingest_corpus`, which parses trace
+    files in worker processes when it is greater than one; the resulting
+    segments are byte-identical either way.
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
@@ -98,7 +103,7 @@ def write_corpus(corpus: Corpus, root: Path, store: Optional[Path] = None) -> Pa
     manifest_path = root / "manifest.json"
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     if store is not None:
-        _open_store(store, root).close()
+        _open_store(store, root, jobs=jobs).close()
     return manifest_path
 
 

@@ -1,0 +1,126 @@
+"""Shared multiprocessing utilities for the parallel pipelines.
+
+Both process-parallel hot paths — the corpus build
+(:mod:`repro.corpus.parallel`) and store ingest
+(:mod:`repro.store.ingest`) — fan pure-CPU work out over a
+``multiprocessing`` pool and merge results back in a deterministic
+order.  This module owns the pieces they share:
+
+* :func:`pool_context` — the start-method policy (``fork`` where the
+  platform offers it: workers inherit imported modules, which keeps
+  per-worker startup cheap and lets tests monkeypatch engine behavior
+  into children; elsewhere the platform default);
+* :func:`resolve_jobs` — ``jobs`` argument normalization (``None``/``0``
+  → one worker per CPU);
+* :class:`RemoteError` — a picklable record of an exception raised in a
+  worker.  Pool workers catch their own failures and return one of
+  these instead of letting ``multiprocessing`` pickle the live
+  exception, so the parent can re-raise the *original* exception class
+  with task context (which run, which file) prepended to the message
+  rather than surfacing a bare pool traceback.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Optional, Type
+
+__all__ = ["pool_context", "resolve_jobs", "RemoteError"]
+
+
+def pool_context():
+    """The multiprocessing context used by all parallel pipelines."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` argument: ``None`` or ``<= 0`` means one
+    worker per available CPU."""
+    if jobs is None or jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+@dataclass
+class RemoteError:
+    """An exception captured in a worker process, ready to re-raise.
+
+    The worker records the exception's type (by module/qualname), its
+    message, the formatted worker-side traceback, and — when the
+    exception instance pickles cleanly — the instance itself.  The
+    parent re-raises the original class with *context* prepended, so a
+    failure inside a pool surfaces as e.g.::
+
+        WorkflowError: run t-gen-01-run2 (template t-gen-01): missing
+        workflow inputs: ['accession']
+
+    instead of a ``multiprocessing.pool.RemoteTraceback`` wall.
+    """
+
+    exc_module: str
+    exc_type: str
+    message: str
+    traceback_text: str
+    context: str = ""
+    pickled: Optional[bytes] = None
+
+    @classmethod
+    def capture(cls, exc: BaseException, context: str = "") -> "RemoteError":
+        payload: Optional[bytes] = None
+        try:
+            payload = pickle.dumps(exc)
+            pickle.loads(payload)
+        except Exception:
+            payload = None
+        return cls(
+            exc_module=type(exc).__module__,
+            exc_type=type(exc).__qualname__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+            context=context,
+            pickled=payload,
+        )
+
+    def _resolve_type(self) -> Optional[Type[BaseException]]:
+        try:
+            module = importlib.import_module(self.exc_module)
+            resolved = getattr(module, self.exc_type)
+        except Exception:
+            return None
+        if isinstance(resolved, type) and issubclass(resolved, BaseException):
+            return resolved
+        return None
+
+    def reraise(self, fallback: Type[BaseException] = RuntimeError) -> None:
+        """Re-raise in the parent: original class, context-prefixed message.
+
+        Falls back to the pickled instance when the class cannot be
+        rebuilt from a single message (multi-argument ``__init__``), and
+        to *fallback* when neither works.  The worker-side traceback is
+        attached as ``remote_traceback`` either way.
+        """
+        message = f"{self.context}: {self.message}" if self.context else self.message
+        exc: Optional[BaseException] = None
+        resolved = self._resolve_type()
+        if resolved is not None:
+            try:
+                exc = resolved(message)
+            except Exception:
+                exc = None
+        if exc is None and self.pickled is not None:
+            try:
+                exc = pickle.loads(self.pickled)
+                exc.remote_context = self.context
+            except Exception:
+                exc = None
+        if exc is None:
+            exc = fallback(message)
+        exc.remote_traceback = self.traceback_text
+        raise exc from None

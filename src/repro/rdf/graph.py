@@ -56,9 +56,13 @@ class Graph:
     ):
         self.identifier = identifier
         self.namespaces = namespaces if namespaces is not None else NamespaceManager()
-        self._spo: Dict[Subject, Dict[Predicate, Set[Object]]] = {}
-        self._pos: Dict[Predicate, Dict[Object, Set[Subject]]] = {}
-        self._osp: Dict[Object, Dict[Subject, Set[Predicate]]] = {}
+        # Leaf level is a dict-as-ordered-set (term -> None): iteration
+        # follows insertion order, so graph traversal is deterministic
+        # across processes regardless of PYTHONHASHSEED — the store
+        # ingest's byte-identical-segments guarantee depends on this.
+        self._spo: Dict[Subject, Dict[Predicate, Dict[Object, None]]] = {}
+        self._pos: Dict[Predicate, Dict[Object, Dict[Subject, None]]] = {}
+        self._osp: Dict[Object, Dict[Subject, Dict[Predicate, None]]] = {}
         self._size = 0
         self._version = 0
         self._statistics = None
@@ -93,12 +97,12 @@ class Graph:
         """Add a triple; returns True if it was not already present."""
         s, p, o = self._as_terms(triple)
         po = self._spo.setdefault(s, {})
-        objs = po.setdefault(p, set())
+        objs = po.setdefault(p, {})
         if o in objs:
             return False
-        objs.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        objs[o] = None
+        self._pos.setdefault(p, {}).setdefault(o, {})[s] = None
+        self._osp.setdefault(o, {}).setdefault(s, {})[p] = None
         self._size += 1
         self._version += 1
         return True
@@ -120,24 +124,24 @@ class Graph:
     def _remove_present(self, s: Subject, p: Predicate, o: Object) -> None:
         """Delete a triple known to be present from all three indexes.
 
-        All three paths use strict ``set.remove`` so that index skew (a
-        triple present in one index but not another) raises instead of
-        silently corrupting size accounting.
+        All three paths use strict ``del`` so that index skew (a triple
+        present in one index but not another) raises instead of silently
+        corrupting size accounting.
         """
         objs = self._spo[s][p]
-        objs.remove(o)
+        del objs[o]
         if not objs:
             del self._spo[s][p]
             if not self._spo[s]:
                 del self._spo[s]
         subs = self._pos[p][o]
-        subs.remove(s)
+        del subs[s]
         if not subs:
             del self._pos[p][o]
             if not self._pos[p]:
                 del self._pos[p]
         preds = self._osp[o][s]
-        preds.remove(p)
+        del preds[p]
         if not preds:
             del self._osp[o][s]
             if not self._osp[o]:

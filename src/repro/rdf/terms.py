@@ -111,6 +111,12 @@ class IRI(Term):
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("IRI is immutable")
 
+    def __reduce__(self):
+        # __slots__ + a blocking __setattr__ defeat the default pickle
+        # path; rebuild through __init__ (terms cross process boundaries
+        # in the parallel corpus build).
+        return (IRI, (self.value,))
+
     def __str__(self) -> str:
         return self.value
 
@@ -167,6 +173,9 @@ class BlankNode(Term):
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("BlankNode is immutable")
+
+    def __reduce__(self):
+        return (BlankNode, (self.id,))
 
     def __str__(self) -> str:
         return f"_:{self.id}"
@@ -230,6 +239,11 @@ class Literal(Term):
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Literal is immutable")
+
+    def __reduce__(self):
+        if self.language is not None:
+            return (Literal, (self.lexical, None, self.language))
+        return (Literal, (self.lexical, self.datatype.value))
 
     def __str__(self) -> str:
         return self.lexical

@@ -52,6 +52,13 @@ class TurtleError(ValueError):
         prefix = f"{source}: " if source else ""
         super().__init__(f"{prefix}{location}: {message}")
 
+    def __reduce__(self):
+        # Exception's default reduce replays args=(formatted message,)
+        # against our four-argument __init__; rebuild from the real
+        # fields so instances survive pickling (pool workers return
+        # parse failures across process boundaries).
+        return (TurtleError, (self.raw_message, self.lineno, self.column, self.source))
+
     def with_source(self, source: str) -> "TurtleError":
         """A copy of this error attributed to a named document."""
         return TurtleError(self.raw_message, self.lineno, self.column, source)

@@ -213,7 +213,15 @@ class TermDictionary:
 
     def add(self, term: Term) -> int:
         """The id of *term*, allocating the next id if it is new."""
-        data = encode_term(term)
+        return self.add_bytes(encode_term(term))
+
+    def add_bytes(self, data: bytes) -> int:
+        """The id of an already-encoded term, allocating if it is new.
+
+        The encode step is pure (:func:`encode_term`), so parallel
+        ingest workers encode terms off-process and the single-writer
+        parent interns the raw bytes here.
+        """
         existing = self._delta_lookup.get(data)
         if existing is not None:
             return existing

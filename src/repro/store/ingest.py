@@ -27,11 +27,13 @@ import hashlib
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..parallel import RemoteError, pool_context, resolve_jobs
 from ..rdf.graph import Dataset
 from ..rdf.trig import parse_trig
 from ..rdf.turtle import TurtleError, parse_turtle
+from .dictionary import encode_term
 from .quadstore import QuadStore
 
 __all__ = ["ingest_corpus", "IngestReport", "TRACE_SUFFIXES"]
@@ -85,7 +87,12 @@ def _discover_traces(root: Path) -> List[Tuple[str, str]]:
 
 
 def _file_digest(path: Path) -> str:
-    return hashlib.sha256(path.read_bytes()).hexdigest()
+    """Streaming sha256 — constant memory regardless of trace size."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _trace_quads(text: str, rdf_format: str, relpath: str, store: QuadStore):
@@ -133,13 +140,115 @@ def _ingest_file(store: QuadStore, root: Path, relpath: str, rdf_format: str, di
     return added
 
 
-def ingest_corpus(store: QuadStore, corpus_root: Path, compact: bool = True) -> IngestReport:
+@dataclass
+class _ParsedBatch:
+    """One trace file parsed off-process into an encoded quad batch.
+
+    ``terms`` holds the dictionary-encoded bytes of every distinct term,
+    in **first-encounter order under the serial traversal** (TriG graph
+    names first, then subject/predicate/object per triple) — the parent
+    interns them in that exact order, so id assignment matches a serial
+    ingest byte for byte.  ``quads`` reference terms by local index;
+    graph position ``-1`` marks the default graph.
+    """
+
+    relpath: str
+    digest: str
+    terms: List[bytes]
+    quads: List[Tuple[int, int, int, int]]
+    prefixes: List[Tuple[str, str]]
+
+
+# Worker state: the corpus root, set once per pool worker.
+_INGEST_ROOT: Optional[Path] = None
+
+
+def _init_ingest_worker(root: str) -> None:
+    global _INGEST_ROOT
+    _INGEST_ROOT = Path(root)
+
+
+def _parse_batch(root: Path, relpath: str, rdf_format: str, digest: str) -> _ParsedBatch:
+    """Tokenize + parse one trace into encoded terms and local-id quads.
+
+    Mirrors :func:`_trace_quads` exactly — same traversal, same term
+    encounter order — but against a process-local interner instead of
+    the store, so it can run anywhere.
+    """
+    text = (root / relpath).read_text()
+    terms: List[bytes] = []
+    index: Dict[bytes, int] = {}
+
+    def intern(term) -> int:
+        data = encode_term(term)
+        local = index.get(data)
+        if local is None:
+            local = len(terms)
+            index[data] = local
+            terms.append(data)
+        return local
+
+    if rdf_format == "turtle":
+        graph = parse_turtle(text, source=relpath)
+        sources = [(-1, graph)]
+        namespaces = graph.namespaces
+    else:
+        dataset: Dataset = parse_trig(text, source=relpath)
+        sources = [(-1, dataset.default)]
+        for name in dataset.graph_names():
+            sources.append((intern(name), dataset.graph(name)))
+        namespaces = dataset.namespaces
+    prefixes = list(namespaces.namespaces())
+    quads: List[Tuple[int, int, int, int]] = []
+    for gid, graph in sources:
+        for t in graph:
+            quads.append((intern(t.subject), intern(t.predicate), intern(t.object), gid))
+    return _ParsedBatch(relpath, digest, terms, quads, prefixes)
+
+
+def _parse_batch_task(task) -> Tuple[str, object]:
+    relpath, rdf_format, digest = task
+    try:
+        return ("ok", _parse_batch(_INGEST_ROOT, relpath, rdf_format, digest))
+    except Exception as exc:
+        return ("error", RemoteError.capture(exc, f"while ingesting {relpath}"))
+
+
+def _apply_batch(store: QuadStore, batch: _ParsedBatch) -> int:
+    """Commit one worker-parsed batch: single-writer intern + WAL."""
+    store.begin_file(batch.relpath, batch.digest)
+    try:
+        ids = [store.add_term_encoded(data) for data in batch.terms]
+        for prefix, base in batch.prefixes:
+            store.add_prefix(prefix, base)
+        added = 0
+        for s, p, o, g in batch.quads:
+            gid = 0 if g < 0 else ids[g]
+            if store.add_quad(ids[s], ids[p], ids[o], gid):
+                added += 1
+    except Exception:
+        store.abort_file()
+        raise
+    store.commit_file()
+    return added
+
+
+def ingest_corpus(
+    store: QuadStore, corpus_root: Path, compact: bool = True, jobs: int = 1
+) -> IngestReport:
     """Bring *store* up to date with the trace files under *corpus_root*.
 
     With ``compact=True`` (the default) the new state is folded into the
     segment files before returning, so the store is immediately
     queryable; pass ``False`` to batch several ingests into one
     compaction (``store.close()`` always compacts).
+
+    With ``jobs > 1`` (``None``/``0`` = one worker per CPU), trace files
+    are tokenized and parsed into encoded quad batches in worker
+    processes — parsing is pure CPU — while this process stays the
+    single writer: it owns the :class:`TermDictionary` and WAL, interning
+    and committing each batch in deterministic file order, so segments
+    come out byte-identical to a serial ingest.
     """
     started = time.perf_counter()
     root = Path(corpus_root)
@@ -159,12 +268,33 @@ def ingest_corpus(store: QuadStore, corpus_root: Path, compact: bool = True) -> 
         report.removed = removed
         store.reset()
         known = {}
-    for relpath, rdf_format in traces:
-        if known.get(relpath) == digests[relpath]:
-            report.skipped.append(relpath)
-            continue
-        report.quads_added += _ingest_file(store, root, relpath, rdf_format, digests[relpath])
-        report.parsed.append(relpath)
+    pending = [
+        (relpath, rdf_format)
+        for relpath, rdf_format in traces
+        if known.get(relpath) != digests[relpath]
+    ]
+    report.skipped = [rp for rp, _ in traces if known.get(rp) == digests[rp]]
+    effective = jobs if jobs == 1 else min(resolve_jobs(jobs), max(1, len(pending)))
+    if effective <= 1 or len(pending) < 2:
+        for relpath, rdf_format in pending:
+            report.quads_added += _ingest_file(
+                store, root, relpath, rdf_format, digests[relpath]
+            )
+            report.parsed.append(relpath)
+    else:
+        ctx = pool_context()
+        tasks = [(relpath, fmt, digests[relpath]) for relpath, fmt in pending]
+        chunksize = max(1, len(tasks) // (effective * 4))
+        with ctx.Pool(
+            processes=effective, initializer=_init_ingest_worker, initargs=(str(root),)
+        ) as pool:
+            # imap preserves task order: batches commit in the same
+            # deterministic file order a serial ingest uses.
+            for status, payload in pool.imap(_parse_batch_task, tasks, chunksize=chunksize):
+                if status == "error":
+                    payload.reraise(fallback=TurtleError)
+                report.quads_added += _apply_batch(store, payload)
+                report.parsed.append(payload.relpath)
     if compact and store.has_pending():
         store.compact()
     report.duration_s = time.perf_counter() - started

@@ -228,6 +228,15 @@ class QuadStore:
             self.wal.append_term(self.dictionary.encoded(term_id))
         return term_id
 
+    def add_term_encoded(self, data: bytes) -> int:
+        """Intern a pre-encoded term (parallel ingest workers encode
+        off-process; see :func:`repro.store.dictionary.encode_term`)."""
+        encoded_before = len(self.dictionary)
+        term_id = self.dictionary.add_bytes(data)
+        if len(self.dictionary) != encoded_before:
+            self.wal.append_term(data)
+        return term_id
+
     def add_quad(self, s: int, p: int, o: int, g: int = 0) -> bool:
         """Add an id-quad to the in-flight file; returns True if new."""
         if self._file_quads is None:

@@ -45,6 +45,17 @@ class SimulatedClock:
         self._now = self._now + _dt.timedelta(seconds=seconds)
         return self._now
 
+    def reset(self, instant: _dt.datetime) -> _dt.datetime:
+        """Re-seat the clock at an absolute instant.
+
+        Used by the parallel corpus build: a worker reuses one engine
+        set (and therefore one clock) across many runs, seating the
+        clock at each run's exact serial-schedule start time so the
+        produced timestamps are byte-identical to a sequential build.
+        """
+        self._now = instant
+        return self._now
+
 
 @dataclass
 class StepRun:

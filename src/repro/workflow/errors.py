@@ -64,6 +64,11 @@ class StepExecutionError(WorkflowError):
         self.step_name = step_name
         self.fault = fault
 
+    def __reduce__(self):
+        # args holds the formatted message, not (step_name, fault);
+        # rebuild from the real fields so pickling round-trips.
+        return (StepExecutionError, (self.step_name, self.fault))
+
     @property
     def cause(self) -> str:
         return self.fault.cause
