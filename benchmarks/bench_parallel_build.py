@@ -83,6 +83,53 @@ def measure_parallel_pipeline(workdir: Path, jobs: int) -> dict:
     }
 
 
+def measure_instrumentation_overhead(rounds: int = 2) -> dict:
+    """Best-of-N serial build with metrics disabled vs. fully traced.
+
+    The observability layer promises that instrumentation is cheap: every
+    registry mutation starts with a single enabled-flag check, and hot
+    loops count into plain ints that collectors mirror later.  This
+    measures that promise on the heaviest instrumented path — the full
+    198-run build — with the registry disabled versus enabled *plus* an
+    active span tracer, and reports the wall-clock ratio.
+    """
+    from repro.corpus import CorpusBuilder
+    from repro.obs import metrics
+    from repro.obs.trace import Tracer
+
+    registry = metrics.get_registry()
+    was_enabled = registry.enabled
+    span_events = 0
+    try:
+        registry.set_enabled(False)
+        disabled_s = min(
+            _timed(lambda: CorpusBuilder(seed=2013).build()) for _ in range(rounds)
+        )
+        registry.set_enabled(True)
+        instrumented_s = None
+        for _ in range(rounds):
+            tracer = Tracer()
+            elapsed = _timed(lambda: CorpusBuilder(seed=2013).build(tracer=tracer))
+            span_events = len(tracer.events())
+            if instrumented_s is None or elapsed < instrumented_s:
+                instrumented_s = elapsed
+    finally:
+        registry.set_enabled(was_enabled)
+    return {
+        "rounds": rounds,
+        "disabled_s": round(disabled_s, 3),
+        "instrumented_s": round(instrumented_s, 3),
+        "overhead_ratio": round(instrumented_s / disabled_s, 4),
+        "span_events": span_events,
+    }
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
 def test_parallel_build_and_ingest(tmp_path_factory, artifacts_dir):
     from .conftest import write_artifact
 
@@ -90,6 +137,8 @@ def test_parallel_build_and_ingest(tmp_path_factory, artifacts_dir):
     result = measure_parallel_pipeline(tmp_path_factory.mktemp("parallel-bench"), jobs)
     assert result["corpus_identical"], "parallel build diverged from serial"
     assert result["store_identical"], "parallel ingest diverged from serial"
+    result["instrumentation"] = measure_instrumentation_overhead()
+    assert result["instrumentation"]["span_events"] > 0
     write_artifact(artifacts_dir, "parallel_build.json", json.dumps(result, indent=2))
 
 
@@ -102,7 +151,8 @@ def _main() -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help="one measurement round; exit non-zero unless parallel output "
-             "is byte-identical to serial",
+             "is byte-identical to serial and instrumentation overhead "
+             "stays within 5%%",
     )
     parser.add_argument("--jobs", type=int, default=0, metavar="N",
                         help="worker processes (default: min(4, CPUs))")
@@ -111,12 +161,21 @@ def _main() -> int:
     jobs = args.jobs if args.jobs > 0 else min(4, max(2, os.cpu_count() or 1))
     with tempfile.TemporaryDirectory(prefix="parallel-bench-") as tmp:
         result = measure_parallel_pipeline(Path(tmp), jobs)
+    result["instrumentation"] = measure_instrumentation_overhead(
+        rounds=3 if args.smoke else 2
+    )
     print(json.dumps(result, indent=2))
     if not (result["corpus_identical"] and result["store_identical"]):
         print("FAIL: parallel output diverged from serial", file=sys.stderr)
         return 1
     if args.smoke:
-        print("smoke OK: parallel pipeline byte-identical to serial")
+        ratio = result["instrumentation"]["overhead_ratio"]
+        if ratio > 1.05:
+            print(f"FAIL: instrumentation overhead {ratio:.3f}x exceeds 1.05x",
+                  file=sys.stderr)
+            return 1
+        print("smoke OK: parallel pipeline byte-identical to serial; "
+              f"instrumentation overhead {ratio:.3f}x")
     return 0
 
 

@@ -33,6 +33,30 @@ def test_corpus_profile_artifact(corpus, benchmark, artifacts_dir):
                    json.dumps(summary, indent=2, sort_keys=True))
 
 
+def _registry_metrics() -> dict:
+    """Headline observability counters at trajectory-record time.
+
+    The benchmark session runs everything in one process, so the global
+    metrics registry has accumulated the WAL fsyncs and query-cache
+    traffic of every bench that ran before this file was collected.
+    Recording the snapshot next to the timings lets future PRs correlate
+    a latency move with a behavioural one (e.g. hit ratio collapsed).
+    """
+    from repro.obs import metrics
+
+    hits = metrics.value("repro_query_cache_total", {"event": "hit"}) or 0
+    misses = metrics.value("repro_query_cache_total", {"event": "miss"}) or 0
+    evictions = metrics.value("repro_query_cache_total", {"event": "eviction"}) or 0
+    lookups = hits + misses
+    return {
+        "wal_fsyncs": metrics.value("repro_store_wal_fsync_total") or 0,
+        "query_cache_hits": hits,
+        "query_cache_misses": misses,
+        "query_cache_evictions": evictions,
+        "query_cache_hit_ratio": round(hits / lookups, 4) if lookups else None,
+    }
+
+
 def test_query_cache_trajectory(artifacts_dir):
     """Fold this run's query-cache numbers into the cross-PR trajectory.
 
@@ -52,6 +76,7 @@ def test_query_cache_trajectory(artifacts_dir):
         "warm_total_ms": data["warm_total_ms"],
         "overall_speedup": data["overall_speedup"],
         "throughput_qps": data.get("concurrent_endpoint", {}).get("throughput_qps"),
+        "metrics": _registry_metrics(),
     }
     trajectory_path = artifacts_dir / "query_cache_trajectory.json"
     trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
@@ -84,6 +109,7 @@ def test_parallel_build_trajectory(artifacts_dir):
         "serial_ingest_s": data["serial_ingest_s"],
         "parallel_ingest_s": data["parallel_ingest_s"],
         "ingest_speedup": data["ingest_speedup"],
+        "metrics": _registry_metrics(),
     }
     trajectory_path = artifacts_dir / "parallel_build_trajectory.json"
     trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
@@ -113,6 +139,7 @@ def test_store_trajectory(artifacts_dir):
         "quads": data.get("query", {}).get("quads"),
         "q1_cold_ms": data.get("query", {}).get("q1_cold_ms"),
         "q1_warm_ms": data.get("query", {}).get("q1_warm_ms"),
+        "metrics": _registry_metrics(),
     }
     trajectory_path = artifacts_dir / "store_trajectory.json"
     trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []

@@ -14,11 +14,20 @@ Sub-commands:
   corpus;
 * ``store ingest <dir>`` — incrementally ingest a stored corpus into a
   persistent quad store (only new/changed traces are parsed);
-* ``store info <store-dir>`` — print a quad store's manifest summary.
+* ``store info <store-dir>`` — print a quad store's manifest summary;
+* ``obs summary <trace>`` — aggregate a span trace file per phase;
+* ``obs scrape <url>`` — fetch and print ``/metrics`` from a running
+  endpoint;
+* ``obs metrics`` — render this process's metrics registry.
 
 ``query`` and ``serve`` accept ``--store PATH`` to answer from the
 persistent store (mmap'd dictionary-encoded segments) instead of
 re-parsing every trace file on startup.
+
+``build``, ``store ingest``, ``query``, and ``serve`` accept
+``--trace FILE`` to write a Chrome ``trace_event`` file (open it in
+``chrome://tracing`` or https://ui.perfetto.dev) covering the command's
+phase spans — including spans forwarded from ``--jobs N`` pool workers.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
              "--store); 0 = one per CPU.  Output is byte-identical to "
              "--jobs 1 (default: 1)",
     )
+    _add_trace_flag(p_build)
 
     p_stats = sub.add_parser("stats", help="print statistics of a stored corpus")
     p_stats.add_argument("directory", type=Path)
@@ -68,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", type=Path, default=None, metavar="DIR",
         help="answer from a persistent quad store (synced with the corpus first)",
     )
+    _add_trace_flag(p_query)
 
     p_serve = sub.add_parser("serve", help="serve a stored corpus over SPARQL")
     p_serve.add_argument(
@@ -89,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--decode-cache", type=int, default=None, metavar="N",
         help="bounded decoded-term cache capacity for --store (default 65536)",
     )
+    _add_trace_flag(p_serve, "endpoint request/query spans, written on shutdown")
 
     p_store = sub.add_parser("store", help="persistent quad store operations")
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
@@ -105,8 +117,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for trace parsing; 0 = one per CPU.  "
              "Segments are byte-identical to --jobs 1 (default: 1)",
     )
+    _add_trace_flag(p_ingest)
     p_info = store_sub.add_parser("info", help="print a quad store's summary")
     p_info.add_argument("store_dir", type=Path)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_summary = obs_sub.add_parser(
+        "summary", help="aggregate a --trace file per (category, span name)"
+    )
+    p_obs_summary.add_argument("trace", type=Path, help="trace file written by --trace")
+    p_obs_summary.add_argument("--json", action="store_true", help="print JSON")
+    p_obs_scrape = obs_sub.add_parser(
+        "scrape", help="fetch and print /metrics from a running endpoint"
+    )
+    p_obs_scrape.add_argument("url", help="endpoint base URL or .../metrics URL")
+    obs_sub.add_parser("metrics", help="render this process's metrics registry")
 
     sub.add_parser("maintenance", help="run the vocabulary-alignment maintenance pass")
     sub.add_parser("profile", help="print the structural profile of the corpus")
@@ -115,6 +141,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_ro = sub.add_parser("ro", help="print the Research Object manifest of a template")
     p_ro.add_argument("template_id")
     return parser
+
+
+def _add_trace_flag(parser, what: str = "phase spans for this command") -> None:
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help=f"write a Chrome trace_event file of {what} "
+             "(open in chrome://tracing or Perfetto)",
+    )
+
+
+def _make_tracer(args):
+    """A Tracer when ``--trace`` was given, else None."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from .obs.trace import Tracer
+
+    return Tracer()
+
+
+def _write_trace(tracer, args) -> None:
+    if tracer is None:
+        return
+    count = tracer.write(args.trace)
+    print(f"  trace: {args.trace} ({count} spans)")
 
 
 def main(argv=None) -> int:
@@ -128,6 +178,7 @@ def main(argv=None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "store": _cmd_store,
+        "obs": _cmd_obs,
         "maintenance": _cmd_maintenance,
         "profile": _cmd_profile,
         "report": _cmd_report,
@@ -139,9 +190,12 @@ def main(argv=None) -> int:
 def _cmd_build(args) -> int:
     from .corpus import CorpusBuilder, write_corpus
 
-    corpus = CorpusBuilder(seed=args.seed).build(jobs=args.jobs)
+    tracer = _make_tracer(args)
+    corpus = CorpusBuilder(seed=args.seed).build(jobs=args.jobs, tracer=tracer)
     store_dir = args.directory / ".store" if args.store is True else args.store
-    manifest = write_corpus(corpus, args.directory, store=store_dir, jobs=args.jobs)
+    manifest = write_corpus(
+        corpus, args.directory, store=store_dir, jobs=args.jobs, tracer=tracer
+    )
     stats = corpus.statistics()
     print(f"built corpus under {args.directory}")
     if store_dir is not None:
@@ -151,6 +205,7 @@ def _cmd_build(args) -> int:
     print(f"  size: {stats['size_bytes'] / (1024 * 1024):.1f} MB "
           f"({stats['triples']} triples)")
     print(f"  manifest: {manifest}")
+    _write_trace(tracer, args)
     return 0
 
 
@@ -206,9 +261,10 @@ def _cmd_query(args) -> int:
     sparql = args.sparql
     if sparql.startswith("@"):
         sparql = Path(sparql[1:]).read_text()
+    tracer = _make_tracer(args)
     stored = load_corpus(args.directory, store=args.store)
     with stored:
-        engine = QueryEngine(stored.dataset())
+        engine = QueryEngine(stored.dataset(), tracer=tracer)
         result = engine.query(sparql)
         if isinstance(result, bool):
             print("true" if result else "false")
@@ -220,6 +276,7 @@ def _cmd_query(args) -> int:
         else:
             print(result.pretty())
             print(f"({len(result)} rows)")
+    _write_trace(tracer, args)
     return 0
 
 
@@ -248,13 +305,15 @@ def _cmd_serve(args) -> int:
         print("error: serve needs a corpus directory, --store, or both", file=sys.stderr)
         return 2
     cache_size = args.cache_size if args.cache_size is not None else DEFAULT_RESULT_CACHE_SIZE
+    tracer = _make_tracer(args)
     endpoint = SparqlEndpoint(
-        source, host=args.host, port=args.port, cache_size=cache_size
+        source, host=args.host, port=args.port, cache_size=cache_size, tracer=tracer
     )
     endpoint.start()
     backing = f"store {args.store}" if store is not None else f"corpus {args.directory}"
     print(f"serving SPARQL endpoint over {backing} at {endpoint.query_url} (Ctrl-C to stop)")
     print(f"  cache: {cache_size} entries  stats: {endpoint.stats_url}")
+    print(f"  metrics: {endpoint.metrics_url}  healthz: {endpoint.healthz_url}")
     try:
         import time
 
@@ -265,6 +324,7 @@ def _cmd_serve(args) -> int:
     finally:
         if store is not None:
             store.close()
+        _write_trace(tracer, args)
     return 0
 
 
@@ -278,11 +338,13 @@ def _cmd_store(args) -> int:
             print(f"error: no corpus directory at {args.directory}", file=sys.stderr)
             return 1
         store_dir = args.store if args.store is not None else args.directory / ".store"
+        tracer = _make_tracer(args)
         with QuadStore(store_dir) as store:
-            report = ingest_corpus(store, args.directory, jobs=args.jobs)
+            report = ingest_corpus(store, args.directory, jobs=args.jobs, tracer=tracer)
         print(json.dumps(report.summary(), indent=2, sort_keys=True))
         if report.no_op:
             print("store already up to date (no files re-parsed)")
+        _write_trace(tracer, args)
         return 0
     # info — refuse to silently create a store at a mistyped path
     if not (args.store_dir / "store.json").exists():
@@ -290,6 +352,45 @@ def _cmd_store(args) -> int:
         return 1
     with QuadStore(args.store_dir) as store:
         print(json.dumps(store.store_info(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "summary":
+        from .obs.trace import read_trace, summarize
+
+        if not args.trace.exists():
+            print(f"error: no trace file at {args.trace}", file=sys.stderr)
+            return 1
+        rows = summarize(read_trace(args.trace))
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        if not rows:
+            print("(empty trace)")
+            return 0
+        header = f"{'cat':<10} {'span':<16} {'count':>7} {'total_ms':>10} {'mean_ms':>9} {'max_ms':>9}"
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(f"{row['cat']:<10} {row['name']:<16} {row['count']:>7} "
+                  f"{row['total_ms']:>10.3f} {row['mean_ms']:>9.3f} {row['max_ms']:>9.3f}")
+        return 0
+    if args.obs_command == "scrape":
+        import urllib.request
+
+        url = args.url
+        if not url.rstrip("/").endswith("/metrics"):
+            url = url.rstrip("/") + "/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+    # metrics — render this process's registry (mostly zeros unless the
+    # command that populated it ran in-process; useful to eyeball the
+    # exposition format and the declared metric families)
+    from .obs import metrics
+
+    sys.stdout.write(metrics.render())
     return 0
 
 

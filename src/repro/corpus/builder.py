@@ -25,6 +25,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..parallel import resolve_jobs as _resolve_jobs
 from ..prov.model import ProvDocument
 from ..prov.rdf_io import to_dataset, to_graph
@@ -55,6 +57,10 @@ RUNS_PER_MULTI_TEMPLATE = 3
 
 TAVERNA_USERS = ("soiland-reyes", "kbelhajjame", "palper", "jzhao")
 WINGS_USERS = ("dgarijo", "agarrido", "ocorcho", "vratnakar")
+
+_BUILD_RUNS = _metrics.counter(
+    "repro_build_runs_total", "Corpus runs built", labels=("system", "status")
+)
 
 
 @dataclass(frozen=True)
@@ -325,7 +331,7 @@ class CorpusBuilder:
 
     # -- building ----------------------------------------------------------------------
 
-    def build(self, jobs: int = 1) -> Corpus:
+    def build(self, jobs: int = 1, tracer=None) -> Corpus:
         """Execute the full plan and export every trace.
 
         With ``jobs > 1`` the per-run work (engine execution, PROV
@@ -333,21 +339,26 @@ class CorpusBuilder:
         merge back in plan order, so the returned corpus — trace order,
         timestamps, serialized bytes — is identical to a ``jobs=1``
         build.  ``jobs=None`` or ``0`` means one worker per CPU.
+
+        With a *tracer*, every run emits a ``run`` span wrapping its
+        ``execute`` / ``export`` / ``serialize`` phases; pool workers
+        forward their spans with each result, merged in plan order.
         """
         templates = self.generator.all_templates()
         by_id = {t.template_id: t for t in templates}
         plan = self.plan_runs(templates)
         effective = jobs if jobs == 1 else min(_resolve_jobs(jobs), len(plan))
         if effective <= 1:
-            traces = self._build_serial(plan, by_id)
+            traces = self._build_serial(plan, by_id, tracer=tracer)
         else:
             from .parallel import build_traces_parallel
 
-            traces = build_traces_parallel(self, plan, by_id, effective)
+            traces = build_traces_parallel(self, plan, by_id, effective, tracer=tracer)
         return Corpus(self.seed, by_id, traces, plan, self.generator)
 
     def _build_serial(
-        self, plan: List[RunPlanEntry], by_id: Dict[str, WorkflowTemplate]
+        self, plan: List[RunPlanEntry], by_id: Dict[str, WorkflowTemplate],
+        tracer=None,
     ) -> List[CorpusTrace]:
         """The sequential path: one clock threaded through all 198 runs."""
         clock = SimulatedClock(self.start)
@@ -355,7 +366,12 @@ class CorpusBuilder:
         traces: List[CorpusTrace] = []
         for entry in plan:
             clock.advance(self._gap_seconds(entry))
-            traces.append(self._trace_for(entry, by_id[entry.template_id], taverna, wings))
+            if tracer is not None:
+                tracer.reset_clock()
+            traces.append(
+                self._trace_for(entry, by_id[entry.template_id], taverna, wings,
+                                tracer=tracer)
+            )
         return traces
 
     def _make_engines(self, clock: SimulatedClock) -> Tuple[TavernaEngine, WingsEngine]:
@@ -396,20 +412,30 @@ class CorpusBuilder:
         template: WorkflowTemplate,
         taverna: TavernaEngine,
         wings: WingsEngine,
+        tracer=None,
     ) -> CorpusTrace:
         """Execute one run and export its provenance trace."""
-        run = self._execute_entry(entry, template, taverna, wings)
-        if template.system == "taverna":
-            document = taverna_export(run)
-            export_template_description(template, document)
-            text = serialize_turtle(to_graph(document))
-            rdf_format = "turtle"
-        else:
-            document = wings_export(run)
-            export_template(template, document)
-            text = serialize_trig(to_dataset(document))
-            rdf_format = "trig"
-        result = run.result
+        with _span(tracer, "run", cat="build", run=entry.run_id,
+                   template=entry.template_id, system=template.system) as run_span:
+            with _span(tracer, "execute", cat="build", run=entry.run_id):
+                run = self._execute_entry(entry, template, taverna, wings)
+            if template.system == "taverna":
+                with _span(tracer, "export", cat="build", run=entry.run_id):
+                    document = taverna_export(run)
+                    export_template_description(template, document)
+                with _span(tracer, "serialize", cat="build", run=entry.run_id):
+                    text = serialize_turtle(to_graph(document))
+                rdf_format = "turtle"
+            else:
+                with _span(tracer, "export", cat="build", run=entry.run_id):
+                    document = wings_export(run)
+                    export_template(template, document)
+                with _span(tracer, "serialize", cat="build", run=entry.run_id):
+                    text = serialize_trig(to_dataset(document))
+                rdf_format = "trig"
+            result = run.result
+            run_span.set(status=result.status)
+            _BUILD_RUNS.labels(template.system, result.status).inc()
         return CorpusTrace(
             run_id=entry.run_id,
             system=template.system,
@@ -460,10 +486,10 @@ class CorpusBuilder:
 
 
 def build_corpus(
-    seed: int = 2013, jobs: int = 1, start: Optional[_dt.datetime] = None
+    seed: int = 2013, jobs: int = 1, start: Optional[_dt.datetime] = None, tracer=None
 ) -> Corpus:
     """Build the full 198-run corpus; ``jobs`` fans runs over processes."""
-    return CorpusBuilder(seed=seed, start=start).build(jobs=jobs)
+    return CorpusBuilder(seed=seed, start=start).build(jobs=jobs, tracer=tracer)
 
 
 def hash_of(*parts: object) -> int:

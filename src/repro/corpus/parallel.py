@@ -29,18 +29,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..parallel import RemoteError, pool_context, resolve_jobs
+from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..workflow.dataflow import SimulatedClock
 from ..workflow.errors import WorkflowError
 
 __all__ = ["build_traces_parallel"]
 
-# Per-worker state: (builder, template index, clock, taverna, wings).
-# Built once per worker by _init_worker; tasks only carry (entry, start).
+# Per-worker state: (builder, template index, clock, taverna, wings,
+# tracer).  Built once per worker by _init_worker; tasks only carry
+# (entry, start).
 _WORKER_STATE = None
 
 
-def _init_worker(seed, start) -> None:
+def _init_worker(seed, start, obs: ObsConfig = ObsConfig()) -> None:
     global _WORKER_STATE
     from .builder import CorpusBuilder
 
@@ -49,19 +50,32 @@ def _init_worker(seed, start) -> None:
     by_id = {t.template_id: t for t in templates}
     clock = SimulatedClock(start)
     taverna, wings = builder._make_engines(clock)
-    _WORKER_STATE = (builder, by_id, clock, taverna, wings)
+    _WORKER_STATE = (builder, by_id, clock, taverna, wings, obs.make_tracer())
 
 
-def _build_one(task) -> Tuple[str, object]:
+def _build_one(task) -> Tuple[str, object, Optional[list]]:
+    """Pool task: build one run; ship the trace plus any span events.
+
+    The worker drains its tracer per task, so each result carries
+    exactly that run's spans; the parent absorbs them in plan order,
+    which makes the merged trace ordering independent of which worker
+    built which run.
+    """
     entry, started = task
-    builder, by_id, clock, taverna, wings = _WORKER_STATE
+    builder, by_id, clock, taverna, wings, tracer = _WORKER_STATE
     try:
         clock.reset(started)
-        trace = builder._trace_for(entry, by_id[entry.template_id], taverna, wings)
-        return ("ok", trace)
+        if tracer is not None:
+            tracer.reset_clock()
+        trace = builder._trace_for(
+            entry, by_id[entry.template_id], taverna, wings, tracer=tracer
+        )
+        return ("ok", trace, tracer.drain() if tracer is not None else None)
     except Exception as exc:
+        if tracer is not None:
+            tracer.drain()
         context = f"run {entry.run_id} (template {entry.template_id}) failed in worker"
-        return ("error", RemoteError.capture(exc, context))
+        return ("error", RemoteError.capture(exc, context), None)
 
 
 def build_traces_parallel(
@@ -69,6 +83,7 @@ def build_traces_parallel(
     plan,
     by_id: Dict[str, object],
     jobs: Optional[int],
+    tracer=None,
 ) -> List[object]:
     """Fan the run plan over a process pool; merge traces in plan order."""
     jobs = min(resolve_jobs(jobs), len(plan))
@@ -77,12 +92,17 @@ def build_traces_parallel(
     chunksize = max(1, len(plan) // (jobs * 4))
     traces = []
     with ctx.Pool(
-        processes=jobs, initializer=_init_worker, initargs=(builder.seed, builder.start)
+        processes=jobs,
+        initializer=_init_worker,
+        initargs=(builder.seed, builder.start, ObsConfig.from_tracer(tracer)),
     ) as pool:
-        for status, payload in pool.imap(
+        for status, payload, events in pool.imap(
             _build_one, list(zip(plan, starts)), chunksize=chunksize
         ):
             if status == "error":
                 payload.reraise(fallback=WorkflowError)
+            if tracer is not None:
+                tracer.reset_clock()
+                tracer.add_events(events or ())
             traces.append(payload)
     return traces

@@ -36,13 +36,13 @@ __all__ = ["write_corpus", "load_corpus", "StoredTrace", "StoredCorpus"]
 # the optional persistent-store layer is stripped from a deployment.
 
 
-def _open_store(store_path: Path, corpus_root: Path, jobs: int = 1):
+def _open_store(store_path: Path, corpus_root: Path, jobs: int = 1, tracer=None):
     """Open (or create) a quad store and sync it with the corpus files."""
     from ..store import QuadStore, ingest_corpus
 
     store = QuadStore(Path(store_path))
     try:
-        ingest_corpus(store, corpus_root, jobs=jobs)
+        ingest_corpus(store, corpus_root, jobs=jobs, tracer=tracer)
     except Exception:
         store.close()
         raise
@@ -53,7 +53,8 @@ _EXTENSION = {"turtle": ".prov.ttl", "trig": ".prov.trig"}
 
 
 def write_corpus(
-    corpus: Corpus, root: Path, store: Optional[Path] = None, jobs: int = 1
+    corpus: Corpus, root: Path, store: Optional[Path] = None, jobs: int = 1,
+    tracer=None,
 ) -> Path:
     """Write the corpus under *root*; returns the manifest path.
 
@@ -103,7 +104,7 @@ def write_corpus(
     manifest_path = root / "manifest.json"
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     if store is not None:
-        _open_store(store, root, jobs=jobs).close()
+        _open_store(store, root, jobs=jobs, tracer=tracer).close()
     return manifest_path
 
 

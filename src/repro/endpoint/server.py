@@ -12,13 +12,19 @@ minimal SPARQL 1.1 Protocol surface on stdlib ``http.server``:
 * ASK results return the JSON boolean form;
 * ``GET /`` returns a small service description with corpus statistics;
 * ``GET /stats`` exposes the query-result cache counters, the source's
-  version, and per-request timing so cache effectiveness is observable.
+  version, per-request timing, and a snapshot of the metrics registry;
+* ``GET /metrics`` serves the process metrics registry in Prometheus
+  text exposition format (query cache, WAL fsyncs, store cache mirrors,
+  per-route/status request counters);
+* ``GET /healthz`` is the liveness probe: 200 plus the store generation.
 
 The server is a ``ThreadingHTTPServer`` sharing one
 :class:`~repro.sparql.evaluator.QueryEngine` across worker threads — the
 engine's result/statistics caches are lock-protected, and the endpoint's
 own timing accumulators are guarded here.  Every response carries an
-``X-Query-Duration-ms`` header.
+``X-Query-Duration-ms`` header.  Request timing is recorded at the
+response choke point (:meth:`_Handler._finish_request`), so 4xx/5xx
+responses count toward the ``/stats`` averages exactly like successes.
 
 The server runs on a background thread (:meth:`SparqlEndpoint.start`) so
 tests and examples can exercise it in-process.
@@ -33,6 +39,9 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
+from ..store import wal as _wal  # noqa: F401  (declares the WAL metric families)
 from ..rdf.graph import Dataset, Graph
 from ..rdf.turtle import serialize_turtle
 from ..sparql.evaluator import DEFAULT_RESULT_CACHE_SIZE, QueryEngine
@@ -40,6 +49,45 @@ from ..sparql.results import ResultTable
 from ..sparql.tokenizer import SparqlSyntaxError
 
 __all__ = ["SparqlEndpoint"]
+
+_KNOWN_ROUTES = ("/", "/sparql", "/stats", "/metrics", "/healthz")
+
+_HTTP_REQUESTS = _metrics.counter(
+    "repro_http_requests_total", "HTTP requests served", labels=("route", "status")
+)
+_HTTP_SECONDS = _metrics.histogram(
+    "repro_http_request_seconds", "HTTP request wall time in seconds",
+    labels=("route",),
+)
+
+# Mirrors of the store's plain-int counters (decode LRU, dictionary
+# intern/lookup, segment bisect probes).  Those ints live on the hot
+# read path where per-op registry locking would be measurable, so a
+# collector copies them in just before each /metrics render or
+# /stats snapshot — both views read the same underlying numbers.
+_STORE_DECODE_CACHE = _metrics.counter(
+    "repro_store_decode_cache_total", "Store decode-LRU lookups", labels=("result",)
+)
+_STORE_INTERN = _metrics.counter(
+    "repro_store_dictionary_intern_total",
+    "Term dictionary intern operations",
+    labels=("result",),
+)
+_STORE_LOOKUP = _metrics.counter(
+    "repro_store_dictionary_lookup_total",
+    "Term dictionary read-path lookups",
+    labels=("result",),
+)
+_STORE_PROBES = _metrics.counter(
+    "repro_store_segment_probes_total",
+    "Segment binary-search record probes",
+    labels=("segment",),
+)
+_STORE_QUADS = _metrics.gauge("repro_store_quads", "Quads in the attached store")
+_STORE_TERMS = _metrics.gauge("repro_store_terms", "Terms in the attached store dictionary")
+_STORE_GENERATION = _metrics.gauge(
+    "repro_store_generation", "Compaction generation of the attached store"
+)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -54,24 +102,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self):
         parsed = urllib.parse.urlparse(self.path)
-        if parsed.path in ("", "/"):
-            self._send_service_description()
-            return
-        if parsed.path == "/stats":
-            self._send_stats()
-            return
-        if parsed.path != "/sparql":
-            self._send_error(404, "not found: use /sparql")
-            return
-        params = urllib.parse.parse_qs(parsed.query)
-        queries = params.get("query")
-        if not queries:
-            self._send_error(400, "missing 'query' parameter")
-            return
-        self._run_query(queries[0])
+        self._begin_request("GET", parsed.path)
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        with _span(endpoint.tracer, "http.request", cat="endpoint",
+                   method="GET", route=self._route) as request_span:
+            if parsed.path in ("", "/"):
+                self._send_service_description()
+            elif parsed.path == "/stats":
+                self._send_stats()
+            elif parsed.path == "/metrics":
+                self._send_metrics()
+            elif parsed.path == "/healthz":
+                self._send_healthz()
+            elif parsed.path != "/sparql":
+                self._send_error(404, "not found: use /sparql")
+            else:
+                params = urllib.parse.parse_qs(parsed.query)
+                queries = params.get("query")
+                if not queries:
+                    self._send_error(400, "missing 'query' parameter")
+                else:
+                    self._run_query(queries[0])
+            request_span.set(status=self._status)
 
     def do_POST(self):
         parsed = urllib.parse.urlparse(self.path)
+        self._begin_request("POST", parsed.path)
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        with _span(endpoint.tracer, "http.request", cat="endpoint",
+                   method="POST", route=self._route) as request_span:
+            self._do_post(parsed)
+            request_span.set(status=self._status)
+
+    def _do_post(self, parsed):
         if parsed.path != "/sparql":
             self._send_error(404, "not found: use /sparql")
             return
@@ -119,8 +182,33 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- internals ----------------------------------------------------------------
 
+    def _begin_request(self, method: str, path: str) -> None:
+        """Stamp per-request state consumed by :meth:`_finish_request`."""
+        self._started = time.perf_counter()
+        self._route = path if path in _KNOWN_ROUTES else ("/" if path == "" else "other")
+        self._status: Optional[int] = None
+
+    def _finish_request(self, status: int) -> None:
+        """Record the request exactly once, whatever status it ends with.
+
+        This is the fix for the old timing hole: error responses used to
+        bypass ``_record_request`` entirely, so ``/stats`` averages only
+        ever saw successful queries.  ``_send`` funnels every response —
+        success and error alike — through here.
+        """
+        if getattr(self, "_status", None) is not None:
+            return
+        self._status = status
+        route = getattr(self, "_route", "other")
+        started = getattr(self, "_started", None)
+        elapsed_s = (time.perf_counter() - started) if started is not None else 0.0
+        _HTTP_REQUESTS.labels(route, status).inc()
+        _HTTP_SECONDS.labels(route).observe(elapsed_s)
+        if route == "/sparql":
+            endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+            endpoint._record_request(elapsed_s * 1000.0, error=status >= 400)
+
     def _run_query(self, query: str):
-        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
         engine: QueryEngine = self.server.engine  # type: ignore[attr-defined]
         started = time.perf_counter()
         try:
@@ -132,7 +220,6 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(500, f"query evaluation failed: {exc}")
             return
         elapsed_ms = (time.perf_counter() - started) * 1000.0
-        endpoint._record_request(elapsed_ms)
         accept = self.headers.get("Accept", "")
         extra = {"X-Query-Duration-ms": f"{elapsed_ms:.3f}"}
         if isinstance(result, bool):
@@ -167,7 +254,20 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
         self._send(200, "application/json", json.dumps(endpoint.stats(), indent=2))
 
+    def _send_metrics(self):
+        # Record this request *before* rendering so the scrape that asks
+        # for the counters is itself included in them.
+        self._finish_request(200)
+        body = _metrics.get_registry().render_prometheus()
+        self._send(200, "text/plain; version=0.0.4", body)
+
+    def _send_healthz(self):
+        engine: QueryEngine = self.server.engine  # type: ignore[attr-defined]
+        payload = json.dumps({"status": "ok", "generation": engine.source_version()})
+        self._send(200, "application/json", payload)
+
     def _send(self, status: int, content_type: str, body: str, extra_headers=None):
+        self._finish_request(status)
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
@@ -196,9 +296,11 @@ class SparqlEndpoint:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        tracer=None,
     ):
         self.source = source
-        self.engine = QueryEngine(source, cache_size=cache_size)
+        self.tracer = tracer
+        self.engine = QueryEngine(source, cache_size=cache_size, tracer=tracer)
         if isinstance(source, Dataset):
             self.triple_count = len(source)
             self.named_graph_count = len(source.graph_names())
@@ -207,16 +309,45 @@ class SparqlEndpoint:
             self.named_graph_count = 0
         self._timing_lock = threading.Lock()
         self._request_count = 0
+        self._error_count = 0
         self._total_ms = 0.0
         self._max_ms = 0.0
         self._server = _EndpointServer((host, port), _Handler)
         self._server.engine = self.engine  # type: ignore[attr-defined]
         self._server.endpoint = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._collector = None
+        if callable(getattr(source, "store_info", None)):
+            self._collector = self._make_store_collector()
+            _metrics.get_registry().register_collector(self._collector)
 
-    def _record_request(self, elapsed_ms: float) -> None:
+    def _make_store_collector(self):
+        """A registry collector mirroring the store's plain-int counters."""
+        source = self.source
+
+        def collect(registry) -> None:
+            info = source.store_info()
+            decode = info["decoded_term_cache"]
+            _STORE_DECODE_CACHE.labels("hit").set_total(decode["hits"])
+            _STORE_DECODE_CACHE.labels("miss").set_total(decode["misses"])
+            dictionary = info["term_dictionary"]
+            _STORE_INTERN.labels("hit").set_total(dictionary["intern_hits"])
+            _STORE_INTERN.labels("miss").set_total(dictionary["intern_misses"])
+            _STORE_LOOKUP.labels("hit").set_total(dictionary["lookup_hits"])
+            _STORE_LOOKUP.labels("miss").set_total(dictionary["lookup_misses"])
+            for name, probes in info["segment_probes"].items():
+                _STORE_PROBES.labels(name).set_total(probes)
+            _STORE_QUADS.set(info["quads"])
+            _STORE_TERMS.set(info["terms"])
+            _STORE_GENERATION.set(info["generation"])
+
+        return collect
+
+    def _record_request(self, elapsed_ms: float, error: bool = False) -> None:
         with self._timing_lock:
             self._request_count += 1
+            if error:
+                self._error_count += 1
             self._total_ms += elapsed_ms
             if elapsed_ms > self._max_ms:
                 self._max_ms = elapsed_ms
@@ -225,6 +356,7 @@ class SparqlEndpoint:
         """Cache + timing counters served at ``GET /stats``."""
         with self._timing_lock:
             count = self._request_count
+            errors = self._error_count
             total_ms = self._total_ms
             max_ms = self._max_ms
         payload = {
@@ -232,10 +364,12 @@ class SparqlEndpoint:
             "result_cache": self.engine.cache_info(),
             "requests": {
                 "count": count,
+                "errors": errors,
                 "total_ms": round(total_ms, 3),
                 "avg_ms": round(total_ms / count, 3) if count else 0.0,
                 "max_ms": round(max_ms, 3),
             },
+            "metrics": _metrics.snapshot(),
         }
         # Store-backed sources (repro.store.StoreDataset) report segment,
         # dictionary, and decoded-term-cache sizes alongside cache counters.
@@ -257,6 +391,14 @@ class SparqlEndpoint:
     def stats_url(self) -> str:
         return f"{self.url}/stats"
 
+    @property
+    def metrics_url(self) -> str:
+        return f"{self.url}/metrics"
+
+    @property
+    def healthz_url(self) -> str:
+        return f"{self.url}/healthz"
+
     def start(self) -> "SparqlEndpoint":
         """Serve on a daemon thread; returns self for chaining."""
         if self._thread is not None:
@@ -271,6 +413,9 @@ class SparqlEndpoint:
             self._thread.join(timeout=5)
             self._thread = None
         self._server.server_close()
+        if self._collector is not None:
+            _metrics.get_registry().unregister_collector(self._collector)
+            self._collector = None
 
     def __enter__(self) -> "SparqlEndpoint":
         return self.start()

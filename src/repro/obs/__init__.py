@@ -1,0 +1,19 @@
+"""Dependency-free observability layer: metrics registry + span tracing.
+
+``repro.obs.metrics`` holds the process-wide metrics registry (counters,
+gauges, fixed-bucket histograms, Prometheus text exposition).
+``repro.obs.trace`` holds the span tracer (Chrome ``trace_event``
+output, deterministic logical-clock mode for byte-stable test traces).
+"""
+
+from . import metrics
+from .trace import NULL_SPAN, Tracer, read_trace, span, summarize
+
+__all__ = [
+    "metrics",
+    "NULL_SPAN",
+    "Tracer",
+    "read_trace",
+    "span",
+    "summarize",
+]

@@ -17,7 +17,12 @@ order.  This module owns the pieces they share:
   these instead of letting ``multiprocessing`` pickle the live
   exception, so the parent can re-raise the *original* exception class
   with task context (which run, which file) prepended to the message
-  rather than surfacing a bare pool traceback.
+  rather than surfacing a bare pool traceback;
+* :class:`ObsConfig` — the observability settings a parent passes to
+  pool initializers so each worker can build its own
+  :class:`~repro.obs.trace.Tracer` (tracers hold locks and event
+  buffers, so they never cross the process boundary themselves —
+  workers drain their events back with each result instead).
 """
 
 from __future__ import annotations
@@ -30,7 +35,34 @@ import traceback
 from dataclasses import dataclass
 from typing import Optional, Type
 
-__all__ = ["pool_context", "resolve_jobs", "RemoteError"]
+__all__ = ["pool_context", "resolve_jobs", "ObsConfig", "RemoteError"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Picklable tracing settings for pool workers.
+
+    ``from_tracer`` snapshots the parent's tracer (or ``None``) at pool
+    spawn time; ``make_tracer`` rebuilds an equivalent worker-side
+    tracer inside the pool initializer.
+    """
+
+    trace: bool = False
+    deterministic: bool = False
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "ObsConfig":
+        return cls(
+            trace=tracer is not None,
+            deterministic=bool(getattr(tracer, "deterministic", False)),
+        )
+
+    def make_tracer(self):
+        if not self.trace:
+            return None
+        from .obs.trace import Tracer
+
+        return Tracer(deterministic=self.deterministic)
 
 
 def pool_context():

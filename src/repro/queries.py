@@ -175,8 +175,8 @@ ORDER BY ?component
 class CorpusQueries:
     """Typed access to the six exemplar queries over a corpus dataset."""
 
-    def __init__(self, source: Union[Graph, Dataset]):
-        self.engine = QueryEngine(source)
+    def __init__(self, source: Union[Graph, Dataset], tracer=None):
+        self.engine = QueryEngine(source, tracer=tracer)
         # The queries rely on the exporters' extension prefixes even when
         # the source graph was built without them.
         self.engine.namespaces.bind(

@@ -23,6 +23,7 @@ one shared engine from many threads.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Union as TyUnion
 
@@ -58,6 +59,8 @@ from .functions import (
     evaluate_expression,
     order_key,
 )
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from .parser import parse_query
 from .paths import Path, eval_path
 from .results import ResultTable
@@ -68,6 +71,22 @@ Binding = Dict[str, Term]
 
 #: Default capacity of the per-engine LRU query-result cache.
 DEFAULT_RESULT_CACHE_SIZE = 128
+
+_CACHE_EVENTS = _metrics.counter(
+    "repro_query_cache_total", "Query result cache events", labels=("event",)
+)
+_QUERY_SECONDS = _metrics.histogram(
+    "repro_query_seconds", "SPARQL query phase wall time in seconds",
+    labels=("phase",),
+)
+# The label sets are fixed and small, so materialise every series up
+# front — scrapes see them at zero instead of the family appearing to
+# have no data until the first event.
+for _event in ("hit", "miss", "eviction"):
+    _CACHE_EVENTS.labels(_event)
+for _phase in ("parse", "execute"):
+    _QUERY_SECONDS.labels(_phase)
+del _event, _phase
 
 _MISS = object()  # sentinel: cached-None must be distinguishable
 
@@ -137,6 +156,7 @@ class QueryEngine:
         namespaces: Optional[NamespaceManager] = None,
         optimize_joins: bool = True,
         cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        tracer=None,
     ):
         if isinstance(source, Dataset):
             self.dataset: Optional[Dataset] = source
@@ -150,6 +170,7 @@ class QueryEngine:
             raise TypeError("QueryEngine requires a Graph or Dataset")
         self.namespaces = namespaces if namespaces is not None else _corpus_namespaces(source)
         self.optimize_joins = optimize_joins
+        self.tracer = tracer
         # Result cache: (query text, source version) → result.  The lock
         # also guards the lazy union-graph refresh; the endpoint shares
         # one engine across ThreadingHTTPServer worker threads.
@@ -231,30 +252,45 @@ class QueryEngine:
         makes every older cache entry unreachable (logical invalidation
         — entries age out of the LRU without explicit purging).
         """
+        tracer = self.tracer
         if not isinstance(query, str):
             with self._lock:
                 self._refresh_default_locked()
-            return self._dispatch(query)
-        key = None
-        with self._lock:
-            self._refresh_default_locked()
-            if self.cache_size:
-                key = (query, self.source_version())
-                cached = self._result_cache.get(key, _MISS)
-                if cached is not _MISS:
-                    self._result_cache.move_to_end(key)
-                    self._cache_hits += 1
-                    return cached
-                self._cache_misses += 1
-        parsed = parse_query(query, namespaces=self.namespaces)
-        result = self._dispatch(parsed)
-        if key is not None:
+            with _span(tracer, "sparql.execute", cat="query"):
+                return self._dispatch(query)
+        with _span(tracer, "sparql.query", cat="query",
+                   query=query[:120]) as query_span:
+            key = None
             with self._lock:
-                self._result_cache[key] = result
-                while len(self._result_cache) > self.cache_size:
-                    self._result_cache.popitem(last=False)
-                    self._cache_evictions += 1
-        return result
+                self._refresh_default_locked()
+                if self.cache_size:
+                    key = (query, self.source_version())
+                    cached = self._result_cache.get(key, _MISS)
+                    if cached is not _MISS:
+                        self._result_cache.move_to_end(key)
+                        self._cache_hits += 1
+                        _CACHE_EVENTS.labels("hit").inc()
+                        query_span.set(cache="hit")
+                        return cached
+                    self._cache_misses += 1
+                    _CACHE_EVENTS.labels("miss").inc()
+                    query_span.set(cache="miss")
+            phase_started = time.perf_counter()
+            with _span(tracer, "sparql.parse", cat="query"):
+                parsed = parse_query(query, namespaces=self.namespaces)
+            _QUERY_SECONDS.labels("parse").observe(time.perf_counter() - phase_started)
+            phase_started = time.perf_counter()
+            with _span(tracer, "sparql.execute", cat="query"):
+                result = self._dispatch(parsed)
+            _QUERY_SECONDS.labels("execute").observe(time.perf_counter() - phase_started)
+            if key is not None:
+                with self._lock:
+                    self._result_cache[key] = result
+                    while len(self._result_cache) > self.cache_size:
+                        self._result_cache.popitem(last=False)
+                        self._cache_evictions += 1
+                        _CACHE_EVENTS.labels("eviction").inc()
+            return result
 
     def _dispatch(self, query):
         self._tlocal.default = self._default  # pin the snapshot for this query
@@ -606,7 +642,12 @@ class QueryEngine:
             return [dict(sol) for sol in inputs]
         bound = set(inputs[0]) if inputs else set()
         if self.optimize_joins:
-            ordered = plan_bgp(bgp.triples, bound, graph)
+            if self.tracer is not None:
+                with _span(self.tracer, "sparql.plan", cat="query",
+                           patterns=len(bgp.triples)):
+                    ordered = plan_bgp(bgp.triples, bound, graph)
+            else:
+                ordered = plan_bgp(bgp.triples, bound, graph)
         else:
             ordered = bgp.triples
         solutions = [dict(sol) for sol in inputs]

@@ -126,6 +126,12 @@ class TermDictionary:
         self.decode_cache_size = max(0, decode_cache_size)
         self.cache_hits = 0
         self.cache_misses = 0
+        # Intern/lookup counters: plain ints on the hot path; mirrored
+        # into the metrics registry by the endpoint's collector.
+        self.intern_hits = 0  # add()/add_bytes() found an existing id
+        self.intern_misses = 0  # a new id was allocated
+        self.lookup_hits = 0
+        self.lookup_misses = 0
         # Persisted state (mmap'd; refreshed by _open_files).
         self._heap: Optional[mmap.mmap] = None
         self._offsets: Optional[mmap.mmap] = None
@@ -194,6 +200,16 @@ class TermDictionary:
                 "misses": self.cache_misses,
             }
 
+    def intern_info(self) -> Dict[str, int]:
+        """Intern/lookup hit-miss counters (process-lifetime, not persisted)."""
+        return {
+            "terms": len(self),
+            "intern_hits": self.intern_hits,
+            "intern_misses": self.intern_misses,
+            "lookup_hits": self.lookup_hits,
+            "lookup_misses": self.lookup_misses,
+        }
+
     def file_sizes(self) -> Dict[str, int]:
         sizes = {}
         for name in (HEAP_FILE, OFFSETS_FILE, HASH_FILE):
@@ -207,9 +223,13 @@ class TermDictionary:
         """The id of *term*, or None if it has never been added."""
         data = encode_term(term)
         delta_id = self._delta_lookup.get(data)
-        if delta_id is not None:
-            return delta_id
-        return self._probe(data)
+        if delta_id is None:
+            delta_id = self._probe(data)
+        if delta_id is None:
+            self.lookup_misses += 1
+        else:
+            self.lookup_hits += 1
+        return delta_id
 
     def add(self, term: Term) -> int:
         """The id of *term*, allocating the next id if it is new."""
@@ -223,11 +243,12 @@ class TermDictionary:
         parent interns the raw bytes here.
         """
         existing = self._delta_lookup.get(data)
+        if existing is None:
+            existing = self._probe(data)
         if existing is not None:
+            self.intern_hits += 1
             return existing
-        existing = self._probe(data)
-        if existing is not None:
-            return existing
+        self.intern_misses += 1
         return self.add_encoded(data)
 
     def add_encoded(self, data: bytes) -> int:

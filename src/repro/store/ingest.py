@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from ..parallel import RemoteError, pool_context, resolve_jobs
+from ..obs import metrics as _metrics
+from ..obs.trace import span
+from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..rdf.graph import Dataset
 from ..rdf.trig import parse_trig
 from ..rdf.turtle import TurtleError, parse_turtle
@@ -37,6 +39,16 @@ from .dictionary import encode_term
 from .quadstore import QuadStore
 
 __all__ = ["ingest_corpus", "IngestReport", "TRACE_SUFFIXES"]
+
+_INGEST_FILES = _metrics.counter(
+    "repro_ingest_files_total", "Trace files seen by ingest", labels=("result",)
+)
+for _result in ("parsed", "skipped"):
+    _INGEST_FILES.labels(_result)
+del _result
+_INGEST_QUADS = _metrics.counter(
+    "repro_ingest_quads_total", "Quads added to the store by ingest"
+)
 
 #: Trace file suffixes recognized by the ingester, mapped to RDF format.
 TRACE_SUFFIXES = {".prov.ttl": "turtle", ".prov.trig": "trig"}
@@ -95,51 +107,6 @@ def _file_digest(path: Path) -> str:
     return digest.hexdigest()
 
 
-def _trace_quads(text: str, rdf_format: str, relpath: str, store: QuadStore):
-    """Parse one trace and yield term-quads; collects prefixes into the store.
-
-    Turtle traces land in the default graph (graph id 0), matching how
-    :meth:`repro.corpus.storage.StoredCorpus.dataset` merges them; TriG
-    traces contribute their default-graph triples plus one graph per
-    bundle.
-    """
-    if rdf_format == "turtle":
-        graph = parse_turtle(text, source=relpath)
-        sources = [(0, graph)]
-        namespaces = graph.namespaces
-    else:
-        dataset: Dataset = parse_trig(text, source=relpath)
-        sources = [(0, dataset.default)]
-        for name in dataset.graph_names():
-            sources.append((store.add_term(name), dataset.graph(name)))
-        namespaces = dataset.namespaces
-    for prefix, base in namespaces.namespaces():
-        store.add_prefix(prefix, base)
-    for gid, graph in sources:
-        for t in graph:
-            yield (
-                store.add_term(t.subject),
-                store.add_term(t.predicate),
-                store.add_term(t.object),
-                gid,
-            )
-
-
-def _ingest_file(store: QuadStore, root: Path, relpath: str, rdf_format: str, digest: str) -> int:
-    store.begin_file(relpath, digest)
-    try:
-        added = 0
-        text = (root / relpath).read_text()
-        for s, p, o, g in _trace_quads(text, rdf_format, relpath, store):
-            if store.add_quad(s, p, o, g):
-                added += 1
-    except Exception:
-        store.abort_file()
-        raise
-    store.commit_file()
-    return added
-
-
 @dataclass
 class _ParsedBatch:
     """One trace file parsed off-process into an encoded quad batch.
@@ -159,22 +126,34 @@ class _ParsedBatch:
     prefixes: List[Tuple[str, str]]
 
 
-# Worker state: the corpus root, set once per pool worker.
+# Worker state: the corpus root and tracer, set once per pool worker.
 _INGEST_ROOT: Optional[Path] = None
+_INGEST_TRACER = None
 
 
-def _init_ingest_worker(root: str) -> None:
-    global _INGEST_ROOT
+def _init_ingest_worker(root: str, obs: ObsConfig = ObsConfig()) -> None:
+    global _INGEST_ROOT, _INGEST_TRACER
     _INGEST_ROOT = Path(root)
+    _INGEST_TRACER = obs.make_tracer()
 
 
-def _parse_batch(root: Path, relpath: str, rdf_format: str, digest: str) -> _ParsedBatch:
+def _parse_batch(
+    root: Path, relpath: str, rdf_format: str, digest: str, tracer=None
+) -> _ParsedBatch:
     """Tokenize + parse one trace into encoded terms and local-id quads.
 
-    Mirrors :func:`_trace_quads` exactly — same traversal, same term
-    encounter order — but against a process-local interner instead of
-    the store, so it can run anywhere.
+    Uses the same traversal and term encounter order as the writer-side
+    :func:`_apply_batch` intern loop, but against a process-local
+    interner instead of the store, so it can run anywhere — the serial
+    path calls it in-process, the parallel path in pool workers.
     """
+    with span(tracer, "parse", cat="ingest", file=relpath) as parse_span:
+        batch = _parse_batch_inner(root, relpath, rdf_format, digest)
+        parse_span.set(terms=len(batch.terms), quads=len(batch.quads))
+    return batch
+
+
+def _parse_batch_inner(root: Path, relpath: str, rdf_format: str, digest: str) -> _ParsedBatch:
     text = (root / relpath).read_text()
     terms: List[bytes] = []
     index: Dict[bytes, int] = {}
@@ -206,35 +185,51 @@ def _parse_batch(root: Path, relpath: str, rdf_format: str, digest: str) -> _Par
     return _ParsedBatch(relpath, digest, terms, quads, prefixes)
 
 
-def _parse_batch_task(task) -> Tuple[str, object]:
+def _parse_batch_task(task) -> Tuple[str, object, Optional[list]]:
+    """Pool task: parse one file, ship the batch plus any trace events.
+
+    Workers drain their tracer per task; the parent absorbs the events
+    in plan (file) order, so the merged trace is ordered like a serial
+    run no matter which worker parsed what.
+    """
     relpath, rdf_format, digest = task
+    tracer = _INGEST_TRACER
+    if tracer is not None:
+        tracer.reset_clock()
     try:
-        return ("ok", _parse_batch(_INGEST_ROOT, relpath, rdf_format, digest))
+        batch = _parse_batch(_INGEST_ROOT, relpath, rdf_format, digest, tracer=tracer)
+        return ("ok", batch, tracer.drain() if tracer is not None else None)
     except Exception as exc:
-        return ("error", RemoteError.capture(exc, f"while ingesting {relpath}"))
+        if tracer is not None:
+            tracer.drain()
+        return ("error", RemoteError.capture(exc, f"while ingesting {relpath}"), None)
 
 
-def _apply_batch(store: QuadStore, batch: _ParsedBatch) -> int:
-    """Commit one worker-parsed batch: single-writer intern + WAL."""
+def _apply_batch(store: QuadStore, batch: _ParsedBatch, tracer=None) -> int:
+    """Commit one parsed batch: single-writer intern + WAL."""
     store.begin_file(batch.relpath, batch.digest)
     try:
-        ids = [store.add_term_encoded(data) for data in batch.terms]
-        for prefix, base in batch.prefixes:
-            store.add_prefix(prefix, base)
-        added = 0
-        for s, p, o, g in batch.quads:
-            gid = 0 if g < 0 else ids[g]
-            if store.add_quad(ids[s], ids[p], ids[o], gid):
-                added += 1
+        with span(tracer, "intern", cat="ingest", file=batch.relpath) as intern_span:
+            ids = [store.add_term_encoded(data) for data in batch.terms]
+            for prefix, base in batch.prefixes:
+                store.add_prefix(prefix, base)
+            added = 0
+            for s, p, o, g in batch.quads:
+                gid = 0 if g < 0 else ids[g]
+                if store.add_quad(ids[s], ids[p], ids[o], gid):
+                    added += 1
+            intern_span.set(terms=len(batch.terms), quads=added)
     except Exception:
         store.abort_file()
         raise
-    store.commit_file()
+    with span(tracer, "wal-commit", cat="ingest", file=batch.relpath):
+        store.commit_file()
     return added
 
 
 def ingest_corpus(
-    store: QuadStore, corpus_root: Path, compact: bool = True, jobs: int = 1
+    store: QuadStore, corpus_root: Path, compact: bool = True, jobs: int = 1,
+    tracer=None,
 ) -> IngestReport:
     """Bring *store* up to date with the trace files under *corpus_root*.
 
@@ -249,6 +244,11 @@ def ingest_corpus(
     single writer: it owns the :class:`TermDictionary` and WAL, interning
     and committing each batch in deterministic file order, so segments
     come out byte-identical to a serial ingest.
+
+    With a *tracer*, each file emits ``parse`` / ``intern`` /
+    ``wal-commit`` spans (plus one ``compact`` span per run); parallel
+    workers forward their parse spans with each batch, so the merged
+    trace covers every file regardless of job count.
     """
     started = time.perf_counter()
     root = Path(corpus_root)
@@ -277,25 +277,37 @@ def ingest_corpus(
     effective = jobs if jobs == 1 else min(resolve_jobs(jobs), max(1, len(pending)))
     if effective <= 1 or len(pending) < 2:
         for relpath, rdf_format in pending:
-            report.quads_added += _ingest_file(
-                store, root, relpath, rdf_format, digests[relpath]
-            )
+            if tracer is not None:
+                tracer.reset_clock()
+            batch = _parse_batch(root, relpath, rdf_format, digests[relpath], tracer=tracer)
+            report.quads_added += _apply_batch(store, batch, tracer=tracer)
             report.parsed.append(relpath)
     else:
         ctx = pool_context()
         tasks = [(relpath, fmt, digests[relpath]) for relpath, fmt in pending]
         chunksize = max(1, len(tasks) // (effective * 4))
         with ctx.Pool(
-            processes=effective, initializer=_init_ingest_worker, initargs=(str(root),)
+            processes=effective,
+            initializer=_init_ingest_worker,
+            initargs=(str(root), ObsConfig.from_tracer(tracer)),
         ) as pool:
             # imap preserves task order: batches commit in the same
             # deterministic file order a serial ingest uses.
-            for status, payload in pool.imap(_parse_batch_task, tasks, chunksize=chunksize):
+            for status, payload, events in pool.imap(
+                _parse_batch_task, tasks, chunksize=chunksize
+            ):
                 if status == "error":
                     payload.reraise(fallback=TurtleError)
-                report.quads_added += _apply_batch(store, payload)
+                if tracer is not None:
+                    tracer.reset_clock()
+                    tracer.add_events(events or ())
+                report.quads_added += _apply_batch(store, payload, tracer=tracer)
                 report.parsed.append(payload.relpath)
     if compact and store.has_pending():
-        store.compact()
+        with span(tracer, "compact", cat="ingest", files=len(report.parsed)):
+            store.compact()
     report.duration_s = time.perf_counter() - started
+    _INGEST_FILES.labels("parsed").inc(len(report.parsed))
+    _INGEST_FILES.labels("skipped").inc(len(report.skipped))
+    _INGEST_QUADS.inc(report.quads_added)
     return report

@@ -47,9 +47,11 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import metrics as _metrics
 from ..rdf.terms import Term
 from .dictionary import DEFAULT_DECODE_CACHE_SIZE, TermDictionary, decode_term
 from .segments import ORDERINGS, SegmentReader, permute, segment_filename, write_segment
@@ -59,6 +61,13 @@ __all__ = ["QuadStore", "StoreError", "MANIFEST_FILE", "FORMAT_VERSION"]
 
 MANIFEST_FILE = "store.json"
 FORMAT_VERSION = 1
+
+_COMPACTION_TOTAL = _metrics.counter(
+    "repro_store_compaction_total", "Store compactions that rewrote segments"
+)
+_COMPACTION_SECONDS = _metrics.histogram(
+    "repro_store_compaction_seconds", "Store compaction wall time in seconds"
+)
 
 Quad = Tuple[int, int, int, int]  # (s, p, o, g); g == 0 means default graph
 
@@ -105,6 +114,9 @@ class QuadStore:
         self.dictionary = TermDictionary(self.path, decode_cache_size=decode_cache_size)
         self.wal = WriteAheadLog(self.path)
         self._segments: Dict[str, SegmentReader] = {}
+        # Cumulative bisect probes from readers retired by compaction;
+        # keeps store_info() monotonic across segment rewrites.
+        self._probe_totals: Dict[str, int] = dict.fromkeys(ORDERINGS, 0)
         self._open_segments()
         # Pending (WAL-committed but uncompacted) state.
         self._pending_quads: List[Quad] = []
@@ -120,7 +132,8 @@ class QuadStore:
     # -- lifecycle ----------------------------------------------------------
 
     def _open_segments(self) -> None:
-        for reader in self._segments.values():
+        for name, reader in self._segments.items():
+            self._probe_totals[name] += reader.probes
             reader.close()
         self._segments = {
             name: SegmentReader(self.path / segment_filename(name)) for name in ORDERINGS
@@ -196,6 +209,13 @@ class QuadStore:
             }
             for name in ORDERINGS
         }
+        # Runtime counters live apart from the structural sizes above:
+        # "segments" must be reproducible across reopen, probe counts are
+        # a property of the queries this process happened to run.
+        segment_probes = {
+            name: self._probe_totals[name] + self._segments[name].probes
+            for name in ORDERINGS
+        }
         return {
             "path": str(self.path),
             "generation": self.generation,
@@ -205,7 +225,10 @@ class QuadStore:
             "terms": len(self.dictionary),
             "dictionary_bytes": self.dictionary.file_sizes(),
             "decoded_term_cache": self.dictionary.cache_info(),
+            "term_dictionary": self.dictionary.intern_info(),
+            "wal": {"fsyncs": self.wal.fsync_count},
             "segments": segment_sizes,
+            "segment_probes": segment_probes,
         }
 
     # -- ingest (single-writer) ---------------------------------------------
@@ -324,6 +347,7 @@ class QuadStore:
                 raise StoreError("compact() during an in-flight file ingest")
             if not (self._pending_quads or self._pending_files or self._pending_prefixes):
                 return
+            compact_started = time.perf_counter()
             quads: Set[Quad] = set(self._segments["spog"].scan())
             quads.update(self._pending_quads)
             ordered = {
@@ -358,6 +382,8 @@ class QuadStore:
             self._pending_files = {}
             self._pending_prefixes = []
             self._open_segments()
+            _COMPACTION_TOTAL.inc()
+            _COMPACTION_SECONDS.observe(time.perf_counter() - compact_started)
 
     def drop_files(self, relpaths: Iterable[str]) -> None:
         """Forget manifest entries for vanished source files (their quads

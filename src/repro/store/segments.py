@@ -73,6 +73,12 @@ class SegmentReader:
         self.path = Path(path)
         self._map: Optional[mmap.mmap] = None
         self.record_count = 0
+        # Binary-search record probes (comparisons). A plain int rather
+        # than a registry counter: bisect runs in the innermost query
+        # loop, and per-op registry locking would be measurable.  The
+        # store aggregates these into store_info(); the endpoint mirrors
+        # them into /metrics via a collector.
+        self.probes = 0
         if self.path.exists() and self.path.stat().st_size:
             with open(self.path, "rb") as handle:
                 self._map = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
@@ -93,12 +99,15 @@ class SegmentReader:
         """First index whose record (prefix) is >= *key*."""
         lo, hi = 0, self.record_count
         width = len(key)
+        probes = 0
         while lo < hi:
+            probes += 1
             mid = (lo + hi) // 2
             if self.record(mid)[:width] < key:
                 lo = mid + 1
             else:
                 hi = mid
+        self.probes += probes
         return lo
 
     def range_for_prefix(self, prefix: Tuple[int, ...]) -> Tuple[int, int]:

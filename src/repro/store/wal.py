@@ -21,12 +21,22 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import metrics as _metrics
+
 __all__ = ["WriteAheadLog", "WalReplay", "WAL_FILE"]
+
+_FSYNC_TOTAL = _metrics.counter(
+    "repro_store_wal_fsync_total", "WAL fsync calls (commit markers, clear, truncate)"
+)
+_FSYNC_SECONDS = _metrics.histogram(
+    "repro_store_wal_fsync_seconds", "WAL fsync latency in seconds"
+)
 
 WAL_FILE = "wal.log"
 
@@ -63,6 +73,14 @@ class WriteAheadLog:
     def __init__(self, directory: Path):
         self.path = Path(directory) / WAL_FILE
         self._handle = None
+        self.fsync_count = 0  # per-log plain counter, surfaced via store_info()
+
+    def _fsync(self, handle) -> None:
+        started = time.perf_counter()
+        os.fsync(handle.fileno())
+        self.fsync_count += 1
+        _FSYNC_TOTAL.inc()
+        _FSYNC_SECONDS.observe(time.perf_counter() - started)
 
     # -- replay -------------------------------------------------------------
 
@@ -118,7 +136,7 @@ class WriteAheadLog:
             with open(self.path, "r+b") as handle:
                 handle.truncate(size)
                 handle.flush()
-                os.fsync(handle.fileno())
+                self._fsync(handle)
 
     # -- append -------------------------------------------------------------
 
@@ -151,14 +169,14 @@ class WriteAheadLog:
         self._append(REC_FILE, _LEN16.pack(len(raw)) + raw + bytes.fromhex(sha256_hex))
         handle = self._writer()
         handle.flush()
-        os.fsync(handle.fileno())
+        self._fsync(handle)
 
     def clear(self) -> None:
         """Reset the log after a successful compaction."""
         self.close()
         with open(self.path, "wb") as handle:
             handle.flush()
-            os.fsync(handle.fileno())
+            self._fsync(handle)
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,51 @@
+"""Fixtures for the observability tests.
+
+`tiny_corpus_dir` is a hand-written three-file corpus (two Turtle
+traces and one TriG trace) — big enough to exercise more than one pool
+worker, cheap enough to rebuild per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TTL_ONE = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+
+ex:run1 a prov:Activity ;
+    prov:used ex:data1, ex:data2 .
+ex:data1 a prov:Entity ; ex:label "input one" .
+ex:data2 a prov:Entity ; ex:label "entrada"@es .
+"""
+
+_TTL_TWO = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+
+ex:run2 a prov:Activity ; prov:used ex:data1 .
+ex:out1 a prov:Entity ; prov:wasGeneratedBy ex:run2 .
+"""
+
+_TRIG = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+
+ex:bundle1 a prov:Bundle .
+GRAPH ex:bundle1 {
+    ex:run3 a prov:Activity ; prov:used ex:out1 .
+    ex:out2 a prov:Entity ; prov:wasGeneratedBy ex:run3 .
+}
+"""
+
+
+@pytest.fixture
+def tiny_corpus_dir(tmp_path):
+    root = tmp_path / "corpus"
+    (root / "Taverna" / "dom" / "t-1").mkdir(parents=True)
+    (root / "Taverna" / "dom" / "t-1" / "run1.prov.ttl").write_text(_TTL_ONE)
+    (root / "Taverna" / "dom" / "t-2").mkdir(parents=True)
+    (root / "Taverna" / "dom" / "t-2" / "run2.prov.ttl").write_text(_TTL_TWO)
+    (root / "Wings" / "dom" / "w-1").mkdir(parents=True)
+    (root / "Wings" / "dom" / "w-1" / "run3.prov.trig").write_text(_TRIG)
+    return root

@@ -1,0 +1,228 @@
+"""Metrics registry unit tests.
+
+Every test here builds its own :class:`MetricsRegistry` so counts are
+exact; the process-global registry (shared with the rest of the suite)
+is only exercised in ``test_exposition.py`` with delta assertions.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import DURATION_BUCKETS, MetricsError, MetricsRegistry
+
+_HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$")
+_TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})?'
+    r' (-?[0-9].*|[+-]Inf|NaN)$'
+)
+
+
+def assert_prometheus_valid(text: str) -> None:
+    """Every line of a rendered exposition matches the 0.0.4 text format."""
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            assert _HELP_RE.match(line), line
+        elif line.startswith("# TYPE"):
+            assert _TYPE_RE.match(line), line
+        else:
+            assert _SAMPLE_RE.match(line), line
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs processed")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs processed")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "Requests", labels=("route", "status"))
+        c.labels("/sparql", "200").inc()
+        c.labels("/sparql", "200").inc()
+        c.labels("/sparql", "400").inc()
+        assert c.labels("/sparql", "200").value == 2
+        assert reg.value("req_total", {"route": "/sparql", "status": "400"}) == 1
+
+    def test_set_total_supports_collector_mirroring(self):
+        reg = MetricsRegistry()
+        c = reg.counter("probes_total", "Probes")
+        c.set_total(41)
+        c.set_total(57)
+        assert c.value == 57
+
+    def test_thread_safety_16_writers(self):
+        reg = MetricsRegistry()
+        shared = reg.counter("shared_total", "Shared")
+        labeled = reg.counter("per_lane_total", "Per lane", labels=("lane",))
+        per_thread = 2000
+
+        def work(i: int) -> None:
+            child = labeled.labels(str(i % 4))
+            for _ in range(per_thread):
+                shared.inc()
+                child.inc()
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert shared.value == 16 * per_thread
+        assert sum(labeled.labels(str(lane)).value for lane in range(4)) == 16 * per_thread
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "Queue depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_and_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency", buckets=(0.01, 0.1, 1.0))
+        for observation in (0.01, 0.05, 0.5, 5.0):
+            h.observe(observation)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.56)
+        # le is inclusive: the 0.01 observation lands in the 0.01 bucket.
+        assert snap["buckets"]["0.01"] == 1
+        assert snap["buckets"]["0.1"] == 2
+        assert snap["buckets"]["1"] == 3
+        # 5.0 overflows every finite edge and only counts under +Inf.
+        assert snap["buckets"]["+Inf"] == 4
+
+    def test_unsorted_buckets_are_sorted(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("x_seconds", "X", buckets=(1.0, 0.1))
+        h.observe(0.05)
+        assert list(h.snapshot()["buckets"]) == ["0.1", "1", "+Inf"]
+
+    def test_default_duration_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("y_seconds", "Y")
+        assert list(h.snapshot()["buckets"])[:-1] == [
+            "0.001", "0.0025", "0.005", "0.01", "0.025", "0.05", "0.1",
+            "0.25", "0.5", "1", "2.5", "5", "10",
+        ]
+        assert len(DURATION_BUCKETS) == 13
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total", "A") is reg.counter("a_total", "A")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "A")
+        with pytest.raises(MetricsError):
+            reg.gauge("a_total", "A")
+
+    def test_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "A", labels=("x",))
+        with pytest.raises(MetricsError):
+            reg.counter("a_total", "A", labels=("y",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("0bad", "bad name")
+        with pytest.raises(MetricsError):
+            reg.counter("ok_total", "bad label", labels=("0bad",))
+
+    def test_disabled_registry_ignores_mutations(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("a_total", "A")
+        g = reg.gauge("b", "B")
+        h = reg.histogram("c_seconds", "C")
+        c.inc()
+        g.set(7)
+        h.observe(0.1)
+        assert c.value == 0
+        assert g.value == 0
+        assert h.snapshot()["count"] == 0
+        reg.set_enabled(True)
+        c.inc()
+        assert c.value == 1
+
+    def test_collector_runs_on_render_and_unregisters(self):
+        reg = MetricsRegistry()
+        mirrored = reg.counter("mirror_total", "Mirrored plain int")
+        calls = []
+
+        def collector(registry):
+            calls.append(1)
+            mirrored.set_total(42)
+
+        reg.register_collector(collector)
+        assert "mirror_total 42" in reg.render_prometheus()
+        assert reg.value("mirror_total") == 42
+        assert len(calls) == 2
+        reg.unregister_collector(collector)
+        reg.render_prometheus()
+        assert len(calls) == 2
+
+    def test_render_prometheus_is_valid_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "Requests", labels=("route",)).labels("/x").inc()
+        reg.gauge("depth", "Depth").set(2)
+        reg.histogram("lat_seconds", "Latency", buckets=(0.1,)).observe(0.05)
+        text = reg.render_prometheus()
+        assert_prometheus_valid(text)
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{route="/x"} 1' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_declared_series_render_at_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("quiet_total", "Never incremented")
+        assert "quiet_total 0" in reg.render_prometheus()
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("esc_total", "Escapes", labels=("q",))
+        c.labels('he said "hi"\\\n').inc()
+        text = reg.render_prometheus()
+        assert 'esc_total{q="he said \\"hi\\"\\\\\\n"} 1' in text
+        assert_prometheus_valid(text)
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "A", labels=("k",)).labels("v").inc()
+        snap = reg.snapshot()
+        assert snap["a_total"]["type"] == "counter"
+        (sample,) = snap["a_total"]["samples"]
+        assert sample["labels"] == {"k": "v"}
+        assert sample["value"] == 1
+
+    def test_value_accessor_misses(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", "H")
+        assert reg.value("h_seconds") is None
+        assert reg.value("no_such_metric") is None

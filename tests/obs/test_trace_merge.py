@@ -1,0 +1,62 @@
+"""Worker-span forwarding: ``--jobs N`` traces merge deterministically.
+
+The contract mirrors the corpus/store byte-identity guarantee: with the
+logical clock, the trace file from a parallel build or ingest is
+*byte-identical* to the serial one — workers drain their spans per
+task, the parent absorbs them in plan/file order, and the merged
+timeline is indistinguishable from a single-process run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.obs.trace import Tracer, read_trace
+
+
+def _build_trace(jobs, path):
+    from repro.corpus import CorpusBuilder
+
+    tracer = Tracer(deterministic=True)
+    CorpusBuilder(seed=2013).build(jobs=jobs, tracer=tracer)
+    tracer.write(path)
+
+
+def _ingest_trace(corpus_root, store_dir, jobs, path):
+    from repro.store import QuadStore, ingest_corpus
+
+    tracer = Tracer(deterministic=True)
+    with QuadStore(store_dir) as store:
+        ingest_corpus(store, corpus_root, jobs=jobs, tracer=tracer)
+    tracer.write(path)
+
+
+def test_build_trace_byte_identical_across_jobs(tmp_path):
+    serial, parallel = tmp_path / "build-j1.trace", tmp_path / "build-j2.trace"
+    _build_trace(1, serial)
+    _build_trace(2, parallel)
+    assert serial.read_bytes() == parallel.read_bytes()
+
+    events = read_trace(serial)
+    counts = Counter(event["name"] for event in events)
+    assert counts == {"run": 198, "execute": 198, "export": 198, "serialize": 198}
+    runs = {e["args"]["run"] for e in events if e["name"] == "run"}
+    assert len(runs) == 198
+    statuses = {e["args"]["status"] for e in events if e["name"] == "run"}
+    assert "ok" in statuses and "failed" in statuses
+
+
+def test_ingest_trace_byte_identical_across_jobs(tiny_corpus_dir, tmp_path):
+    serial, parallel = tmp_path / "ingest-j1.trace", tmp_path / "ingest-j2.trace"
+    _ingest_trace(tiny_corpus_dir, tmp_path / "store-j1", 1, serial)
+    _ingest_trace(tiny_corpus_dir, tmp_path / "store-j2", 2, parallel)
+    assert serial.read_bytes() == parallel.read_bytes()
+
+    events = read_trace(serial)
+    counts = Counter(event["name"] for event in events)
+    assert counts == {"parse": 3, "intern": 3, "wal-commit": 3, "compact": 1}
+    parsed = [e["args"]["file"] for e in events if e["name"] == "parse"]
+    assert parsed == sorted(parsed), "spans must merge in file order"
+    for event in events:
+        if event["name"] == "parse":
+            assert event["args"]["quads"] > 0
