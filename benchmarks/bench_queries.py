@@ -5,9 +5,12 @@ the full corpus dataset, asserting the paper-documented behavior (incl.
 the system restrictions: Q4 timestamps Taverna-only, Q6 Wings-only).
 """
 
+import json
+
 import pytest
 
-from repro.queries import CorpusQueries, taverna_workflow_iri, wings_template_iri
+from repro.queries import CorpusQueries, exemplar_queries, taverna_workflow_iri, \
+    wings_template_iri
 from repro.taverna import TAVERNA_RUN_NS
 from repro.wings import OPMW_EXPORT_NS
 from .conftest import write_artifact
@@ -82,6 +85,29 @@ def test_q5_who_executed(queries, taverna_trace, wings_trace, benchmark):
     assert queries.who_executed(wings_iri) == [
         f"http://www.opmw.org/export/resource/Agent/{wings_trace.user}"
     ]
+
+
+def test_query_plan_digests(queries, corpus, artifacts_dir):
+    """EXPLAIN every exemplar query and pin the plan digests.
+
+    The digests are deterministic for a given corpus build, so this
+    artifact (``query_plans.json``) turns silent planner changes into a
+    visible diff in the cross-PR trajectory (see ``bench_report.py``).
+    """
+    texts = exemplar_queries(corpus)
+    plans = {name: queries.engine.explain(text) for name, text in texts.items()}
+    again = {name: queries.engine.explain(text) for name, text in texts.items()}
+    assert {n: p.digest for n, p in plans.items()} == \
+        {n: p.digest for n, p in again.items()}
+    payload = {
+        name: {
+            "digest": plan.digest,
+            "operators": plan.trace_args()["plan_operators"],
+            "text": plan.to_text(),
+        }
+        for name, plan in sorted(plans.items())
+    }
+    write_artifact(artifacts_dir, "query_plans.json", json.dumps(payload, indent=2))
 
 
 def test_q6_services_wings_only(queries, taverna_trace, wings_trace, benchmark):

@@ -118,6 +118,30 @@ def test_parallel_build_trajectory(artifacts_dir):
                    json.dumps(trajectory[-50:], indent=2))
 
 
+def test_query_plan_trajectory(artifacts_dir):
+    """Fold this run's EXPLAIN plan digests into the trajectory.
+
+    ``bench_queries.py`` writes ``query_plans.json``; recording the
+    Q1–Q6 digests per PR makes planner changes show up as an explicit
+    digest flip in ``query_plan_trajectory.json`` instead of only as an
+    unexplained latency move.
+    """
+    current = artifacts_dir / "query_plans.json"
+    if not current.exists():
+        pytest.skip("bench_queries.py did not run in this session")
+    data = json.loads(current.read_text())
+    assert sorted(data) == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+    entry = {
+        "recorded_at": dt.datetime.now().isoformat(timespec="seconds"),
+        "digests": {name: payload["digest"] for name, payload in sorted(data.items())},
+    }
+    trajectory_path = artifacts_dir / "query_plan_trajectory.json"
+    trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    trajectory.append(entry)
+    write_artifact(artifacts_dir, "query_plan_trajectory.json",
+                   json.dumps(trajectory[-50:], indent=2))
+
+
 def test_store_trajectory(artifacts_dir):
     """Fold this run's persistent-store numbers into the trajectory.
 

@@ -78,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", type=Path, default=None, metavar="DIR",
         help="answer from a persistent quad store (synced with the corpus first)",
     )
+    p_query.add_argument(
+        "--explain", action="store_true",
+        help="print the query plan (EXPLAIN) instead of evaluating; the "
+             "digest is deterministic for a given query + corpus",
+    )
+    p_query.add_argument(
+        "--profile", action="store_true",
+        help="evaluate with per-operator statistics (PROFILE) and print "
+             "the merged plan + stats report",
+    )
     _add_trace_flag(p_query)
 
     p_serve = sub.add_parser("serve", help="serve a stored corpus over SPARQL")
@@ -99,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--decode-cache", type=int, default=None, metavar="N",
         help="bounded decoded-term cache capacity for --store (default 65536)",
+    )
+    p_serve.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="record queries slower than MS in the /slowlog ring buffer "
+             "(0 records every query; default: disabled)",
+    )
+    p_serve.add_argument(
+        "--slowlog-capacity", type=int, default=128, metavar="N",
+        help="slow-query ring-buffer capacity (default: 128)",
     )
     _add_trace_flag(p_serve, "endpoint request/query spans, written on shutdown")
 
@@ -133,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_scrape.add_argument("url", help="endpoint base URL or .../metrics URL")
     obs_sub.add_parser("metrics", help="render this process's metrics registry")
+    p_obs_slowlog = obs_sub.add_parser(
+        "slowlog", help="print a slow-query log (live endpoint URL or JSONL file)"
+    )
+    p_obs_slowlog.add_argument(
+        "source", help="endpoint base URL, .../slowlog URL, or slowlog JSONL file"
+    )
+    p_obs_slowlog.add_argument("--json", action="store_true", help="print raw JSON")
 
     sub.add_parser("maintenance", help="run the vocabulary-alignment maintenance pass")
     sub.add_parser("profile", help="print the structural profile of the corpus")
@@ -265,6 +291,16 @@ def _cmd_query(args) -> int:
     stored = load_corpus(args.directory, store=args.store)
     with stored:
         engine = QueryEngine(stored.dataset(), tracer=tracer)
+        if args.explain:
+            plan = engine.explain(sparql)
+            print(plan.to_json() if args.format == "json" else plan.to_text())
+            _write_trace(tracer, args)
+            return 0
+        if args.profile:
+            profile = engine.profile(sparql)
+            print(profile.to_json() if args.format == "json" else profile.to_text())
+            _write_trace(tracer, args)
+            return 0
         result = engine.query(sparql)
         if isinstance(result, bool):
             print("true" if result else "false")
@@ -307,13 +343,17 @@ def _cmd_serve(args) -> int:
     cache_size = args.cache_size if args.cache_size is not None else DEFAULT_RESULT_CACHE_SIZE
     tracer = _make_tracer(args)
     endpoint = SparqlEndpoint(
-        source, host=args.host, port=args.port, cache_size=cache_size, tracer=tracer
+        source, host=args.host, port=args.port, cache_size=cache_size, tracer=tracer,
+        slow_query_ms=args.slow_query_ms, slowlog_capacity=args.slowlog_capacity,
     )
     endpoint.start()
     backing = f"store {args.store}" if store is not None else f"corpus {args.directory}"
     print(f"serving SPARQL endpoint over {backing} at {endpoint.query_url} (Ctrl-C to stop)")
     print(f"  cache: {cache_size} entries  stats: {endpoint.stats_url}")
     print(f"  metrics: {endpoint.metrics_url}  healthz: {endpoint.healthz_url}")
+    if endpoint.slow_log is not None:
+        print(f"  slowlog: {endpoint.slowlog_url} "
+              f"(threshold {endpoint.slow_log.threshold_ms:g} ms)")
     try:
         import time
 
@@ -385,12 +425,55 @@ def _cmd_obs(args) -> int:
         with urllib.request.urlopen(url, timeout=10) as response:
             sys.stdout.write(response.read().decode("utf-8"))
         return 0
+    if args.obs_command == "slowlog":
+        return _obs_slowlog(args)
     # metrics — render this process's registry (mostly zeros unless the
     # command that populated it ran in-process; useful to eyeball the
     # exposition format and the declared metric families)
     from .obs import metrics
 
     sys.stdout.write(metrics.render())
+    return 0
+
+
+def _obs_slowlog(args) -> int:
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        url = source
+        if not url.rstrip("/").endswith("/slowlog"):
+            url = url.rstrip("/") + "/slowlog"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        entries = payload.get("entries", [])
+        if not payload.get("enabled", False):
+            print("slow-query log disabled on this endpoint "
+                  "(start serve with --slow-query-ms)", file=sys.stderr)
+    else:
+        from .obs.slowlog import read_jsonl
+
+        if not Path(source).exists():
+            print(f"error: no slowlog file at {source}", file=sys.stderr)
+            return 1
+        entries = read_jsonl(source)
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print("(no slow queries recorded)")
+        return 0
+    header = (f"{'duration_ms':>12} {'cache':<5} {'plan_digest':<17} "
+              f"{'span':>6}  query")
+    print(header)
+    print("-" * len(header))
+    for entry in entries:
+        digest = entry.get("plan_digest") or "-"
+        span_id = entry.get("span_id")
+        query = " ".join((entry.get("query") or "").split())
+        print(f"{entry.get('duration_ms', 0):>12.3f} {entry.get('cache', '?'):<5} "
+              f"{digest:<17} {span_id if span_id is not None else '-':>6}  "
+              f"{query[:80]}")
     return 0
 
 

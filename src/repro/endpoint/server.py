@@ -16,7 +16,9 @@ minimal SPARQL 1.1 Protocol surface on stdlib ``http.server``:
 * ``GET /metrics`` serves the process metrics registry in Prometheus
   text exposition format (query cache, WAL fsyncs, store cache mirrors,
   per-route/status request counters);
-* ``GET /healthz`` is the liveness probe: 200 plus the store generation.
+* ``GET /healthz`` is the liveness probe: 200 plus the store generation;
+* ``GET /slowlog`` returns the structured slow-query ring buffer (enabled
+  by constructing the endpoint with ``slow_query_ms``).
 
 The server is a ``ThreadingHTTPServer`` sharing one
 :class:`~repro.sparql.evaluator.QueryEngine` across worker threads — the
@@ -40,6 +42,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
 from ..obs import metrics as _metrics
+from ..obs.slowlog import SlowQueryLog
 from ..obs.trace import span as _span
 from ..store import wal as _wal  # noqa: F401  (declares the WAL metric families)
 from ..rdf.graph import Dataset, Graph
@@ -50,7 +53,7 @@ from ..sparql.tokenizer import SparqlSyntaxError
 
 __all__ = ["SparqlEndpoint"]
 
-_KNOWN_ROUTES = ("/", "/sparql", "/stats", "/metrics", "/healthz")
+_KNOWN_ROUTES = ("/", "/sparql", "/stats", "/metrics", "/healthz", "/slowlog")
 
 _HTTP_REQUESTS = _metrics.counter(
     "repro_http_requests_total", "HTTP requests served", labels=("route", "status")
@@ -58,6 +61,10 @@ _HTTP_REQUESTS = _metrics.counter(
 _HTTP_SECONDS = _metrics.histogram(
     "repro_http_request_seconds", "HTTP request wall time in seconds",
     labels=("route",),
+)
+_HTTP_INFLIGHT = _metrics.gauge(
+    "repro_endpoint_inflight_requests",
+    "HTTP requests currently being handled",
 )
 
 # Mirrors of the store's plain-int counters (decode LRU, dictionary
@@ -114,6 +121,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_metrics()
             elif parsed.path == "/healthz":
                 self._send_healthz()
+            elif parsed.path == "/slowlog":
+                self._send_slowlog()
             elif parsed.path != "/sparql":
                 self._send_error(404, "not found: use /sparql")
             else:
@@ -187,6 +196,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._started = time.perf_counter()
         self._route = path if path in _KNOWN_ROUTES else ("/" if path == "" else "other")
         self._status: Optional[int] = None
+        _HTTP_INFLIGHT.inc()
 
     def _finish_request(self, status: int) -> None:
         """Record the request exactly once, whatever status it ends with.
@@ -199,6 +209,7 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self, "_status", None) is not None:
             return
         self._status = status
+        _HTTP_INFLIGHT.dec()
         route = getattr(self, "_route", "other")
         started = getattr(self, "_started", None)
         elapsed_s = (time.perf_counter() - started) if started is not None else 0.0
@@ -261,6 +272,15 @@ class _Handler(BaseHTTPRequestHandler):
         body = _metrics.get_registry().render_prometheus()
         self._send(200, "text/plain; version=0.0.4", body)
 
+    def _send_slowlog(self):
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        slow_log = endpoint.slow_log
+        if slow_log is None:
+            payload = {"enabled": False, "entries": []}
+        else:
+            payload = {"enabled": True, **slow_log.info(), "entries": slow_log.entries()}
+        self._send(200, "application/json", json.dumps(payload, indent=2))
+
     def _send_healthz(self):
         engine: QueryEngine = self.server.engine  # type: ignore[attr-defined]
         payload = json.dumps({"status": "ok", "generation": engine.source_version()})
@@ -297,10 +317,19 @@ class SparqlEndpoint:
         port: int = 0,
         cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         tracer=None,
+        slow_query_ms: Optional[float] = None,
+        slowlog_capacity: int = 128,
     ):
         self.source = source
         self.tracer = tracer
-        self.engine = QueryEngine(source, cache_size=cache_size, tracer=tracer)
+        # Slow-query log: opt-in via threshold; 0 records every query.
+        self.slow_log = (
+            SlowQueryLog(threshold_ms=slow_query_ms, capacity=slowlog_capacity)
+            if slow_query_ms is not None
+            else None
+        )
+        self.engine = QueryEngine(source, cache_size=cache_size, tracer=tracer,
+                                  slow_log=self.slow_log)
         if isinstance(source, Dataset):
             self.triple_count = len(source)
             self.named_graph_count = len(source.graph_names())
@@ -371,6 +400,8 @@ class SparqlEndpoint:
             },
             "metrics": _metrics.snapshot(),
         }
+        if self.slow_log is not None:
+            payload["slow_queries"] = self.slow_log.info()
         # Store-backed sources (repro.store.StoreDataset) report segment,
         # dictionary, and decoded-term-cache sizes alongside cache counters.
         store_info = getattr(self.source, "store_info", None)
@@ -398,6 +429,10 @@ class SparqlEndpoint:
     @property
     def healthz_url(self) -> str:
         return f"{self.url}/healthz"
+
+    @property
+    def slowlog_url(self) -> str:
+        return f"{self.url}/slowlog"
 
     def start(self) -> "SparqlEndpoint":
         """Serve on a daemon thread; returns self for chaining."""

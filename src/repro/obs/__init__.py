@@ -1,18 +1,23 @@
-"""Dependency-free observability layer: metrics registry + span tracing.
+"""Dependency-free observability layer: metrics, spans, slow-query log.
 
 ``repro.obs.metrics`` holds the process-wide metrics registry (counters,
 gauges, fixed-bucket histograms, Prometheus text exposition).
 ``repro.obs.trace`` holds the span tracer (Chrome ``trace_event``
 output, deterministic logical-clock mode for byte-stable test traces).
+``repro.obs.slowlog`` holds the structured slow-query ring buffer the
+query engine and endpoint feed (``GET /slowlog``, ``obs slowlog``).
 """
 
 from . import metrics
+from .slowlog import SlowQueryLog, read_jsonl
 from .trace import NULL_SPAN, Tracer, read_trace, span, summarize
 
 __all__ = [
     "metrics",
     "NULL_SPAN",
+    "SlowQueryLog",
     "Tracer",
+    "read_jsonl",
     "read_trace",
     "span",
     "summarize",

@@ -1,0 +1,116 @@
+"""Structured slow-query log: a thread-safe ring buffer of JSONL records.
+
+The query engine records one dict per query whose wall time crosses the
+configured threshold (``SlowQueryLog.threshold_ms``); the ring buffer
+(``capacity`` entries, oldest evicted first) bounds memory however hot
+the endpoint runs.  Records are plain JSON-serializable dicts so the
+buffer round-trips losslessly through JSONL files, ``GET /slowlog``,
+and the ``obs slowlog`` CLI.
+
+Record schema (produced by
+:meth:`repro.sparql.evaluator.QueryEngine.query`):
+
+=================  =====================================================
+``ts``             wall-clock UNIX timestamp when the record was made
+``query_sha256``   SHA-256 of the full query text (stable join key)
+``query``          query text, truncated to 200 chars for readability
+``duration_ms``    end-to-end wall time of the query
+``cache``          ``"hit"`` or ``"miss"`` on the result cache
+``plan_digest``    deterministic EXPLAIN digest (``None`` on cache hits)
+``generation``     source version / store generation at query time
+``span_id``        id of the ``sparql.query`` span when tracing — the
+                   same id appears as ``args.span_id`` in the ``--trace``
+                   JSONL, so a Perfetto trace and a slow-log record
+                   cross-reference
+``operators``      flat per-operator profile rows: op, rows in/out,
+                   wall ms, and for scans bisect probes / decode-LRU
+                   hits / estimate-vs-actual error
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["SlowQueryLog", "read_jsonl"]
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe buffer of slow-query records.
+
+    ``threshold_ms`` is the recording gate: callers ask
+    :meth:`should_record` with a measured duration and only build the
+    (comparatively expensive) record when it answers ``True``.  A
+    threshold of ``0`` records every query — useful in tests and when
+    hunting a regression.
+    """
+
+    def __init__(self, threshold_ms: float = 100.0, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError("slow-query log capacity must be positive")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: deque = deque(maxlen=self.capacity)
+        self._recorded = 0
+        self._evicted = 0
+
+    def should_record(self, duration_ms: float) -> bool:
+        return duration_ms >= self.threshold_ms
+
+    def add(self, record: Dict) -> None:
+        """Append one record, evicting the oldest at capacity."""
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self._evicted += 1
+            self._entries.append(record)
+            self._recorded += 1
+
+    def entries(self) -> List[Dict]:
+        """Current records, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def info(self) -> Dict:
+        """Summary counters for ``/stats`` and ``/slowlog``."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "current": len(self._entries),
+                "recorded": self._recorded,
+                "evicted": self._evicted,
+            }
+
+    # -- JSONL round-trip ---------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Write the buffer as JSONL (one record per line); returns the
+        number of records written."""
+        entries = self.entries()
+        lines = [json.dumps(e, sort_keys=True, separators=(",", ":")) for e in entries]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+        return len(entries)
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Parse a slow-query JSONL file back into record dicts."""
+    text = Path(path).read_text(encoding="utf-8")
+    records: List[Dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

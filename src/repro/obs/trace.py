@@ -51,6 +51,10 @@ class _NullSpan:
 
     __slots__ = ()
 
+    @property
+    def id(self) -> None:
+        return None
+
     def set(self, **attrs: object) -> None:
         pass
 
@@ -74,7 +78,7 @@ def span(tracer: Optional["Tracer"], name: str, cat: str = "repro", **attrs: obj
 class Span:
     """A single timed region; records one complete event on exit."""
 
-    __slots__ = ("_tracer", "name", "cat", "args", "_ts", "_cpu_start")
+    __slots__ = ("_tracer", "name", "cat", "args", "_ts", "_cpu_start", "_span_id")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
         self._tracer = tracer
@@ -83,6 +87,22 @@ class Span:
         self.args = args
         self._ts = 0
         self._cpu_start = 0.0
+        self._span_id: object = None
+
+    @property
+    def id(self) -> int:
+        """A tracer-unique id, allocated lazily on first access.
+
+        Allocation stamps ``span_id`` into the span's args, so any
+        record that stores this id (a slow-query-log entry, say) can be
+        cross-referenced against the trace JSONL.  Spans that never ask
+        for their id carry no ``span_id`` arg — existing byte-identical
+        trace expectations are unaffected.
+        """
+        if self._span_id is None:
+            self._span_id = self._tracer._allocate_span_id()
+            self.args["span_id"] = self._span_id
+        return self._span_id
 
     def set(self, **attrs: object) -> None:
         self.args.update(attrs)
@@ -115,6 +135,12 @@ class Tracer:
         self._lock = threading.Lock()
         self._events: List[dict] = []
         self._logical = 0
+        self._next_span_id = 0
+
+    def _allocate_span_id(self) -> int:
+        with self._lock:
+            self._next_span_id += 1
+            return self._next_span_id
 
     # -- clock --------------------------------------------------------
     def _now_us(self) -> int:

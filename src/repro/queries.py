@@ -33,6 +33,7 @@ from .wings.engine import OPMW_EXPORT_NS
 
 __all__ = [
     "CorpusQueries",
+    "exemplar_queries",
     "taverna_workflow_iri",
     "wings_template_iri",
     "Q1_WORKFLOW_RUNS",
@@ -170,6 +171,36 @@ SELECT DISTINCT ?component WHERE {{
 }}
 ORDER BY ?component
 """
+
+
+def exemplar_queries(corpus) -> Dict[str, str]:
+    """All six exemplar queries instantiated against one corpus.
+
+    Q2–Q6 are query *templates*; this picks the same canonical fixtures
+    the benchmark suite uses (the first multi-run ``t-`` template, the
+    first non-failed Taverna and Wings traces), so the returned query
+    texts — and therefore their EXPLAIN plan digests — are deterministic
+    for a given corpus build.
+    """
+    template_id = next(t for t in corpus.multi_run_templates() if t.startswith("t-"))
+    template = corpus.templates[template_id]
+    taverna_trace = next(t for t in corpus.by_system("taverna") if not t.failed)
+    wings_trace = next(t for t in corpus.by_system("wings") if not t.failed)
+    from .taverna.engine import TAVERNA_RUN_NS
+
+    taverna_template_iri = taverna_workflow_iri(template_id, template.name)
+    taverna_run_iri = TAVERNA_RUN_NS.term(f"{taverna_trace.run_id}/")
+    wings_run_iri = OPMW_EXPORT_NS.term(
+        f"WorkflowExecutionAccount/{wings_trace.run_id}"
+    )
+    return {
+        "Q1": Q1_WORKFLOW_RUNS,
+        "Q2": q2_runs_of_template(taverna_template_iri),
+        "Q3": q3_template_io(taverna_template_iri),
+        "Q4": q4_process_runs(taverna_run_iri),
+        "Q5": q5_who_executed(taverna_run_iri),
+        "Q6": q6_services_executed(wings_run_iri),
+    }
 
 
 class CorpusQueries:

@@ -1,14 +1,22 @@
-"""SPARQL engine: tokenizer, parser, algebra, and evaluator.
+"""SPARQL engine: tokenizer, parser, algebra, evaluator, introspection.
 
 The subset implemented covers everything the corpus's exemplar queries and
 coverage tooling need: SELECT/ASK, BGPs with join reordering, OPTIONAL,
 FILTER (full expression grammar + built-ins), UNION, MINUS, BIND, GRAPH,
 (NOT) EXISTS/IN, aggregates with GROUP BY/HAVING, ORDER BY and slicing.
+``repro.sparql.plan`` adds EXPLAIN/PROFILE: serializable plan trees with
+deterministic digests and per-operator execution statistics.
 """
 
 from .algebra import AskQuery, SelectQuery, Var
-from .evaluator import DEFAULT_RESULT_CACHE_SIZE, QueryEngine, plan_bgp
+from .evaluator import (
+    DEFAULT_RESULT_CACHE_SIZE,
+    QueryEngine,
+    plan_bgp,
+    plan_bgp_steps,
+)
 from .parser import parse_query
+from .plan import QueryPlan, QueryProfile, build_plan
 from .results import ResultRow, ResultTable
 from .tokenizer import SparqlSyntaxError
 
@@ -17,6 +25,10 @@ __all__ = [
     "DEFAULT_RESULT_CACHE_SIZE",
     "parse_query",
     "plan_bgp",
+    "plan_bgp_steps",
+    "build_plan",
+    "QueryPlan",
+    "QueryProfile",
     "ResultTable",
     "ResultRow",
     "SelectQuery",

@@ -22,6 +22,7 @@ one shared engine from many threads.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -63,9 +64,17 @@ from ..obs import metrics as _metrics
 from ..obs.trace import span as _span
 from .parser import parse_query
 from .paths import Path, eval_path
+from .plan import (
+    ProfileCollector,
+    QueryPlan,
+    QueryProfile,
+    build_plan,
+    plan_bgp_steps,
+    written_order_steps,
+)
 from .results import ResultTable
 
-__all__ = ["QueryEngine", "plan_bgp", "DEFAULT_RESULT_CACHE_SIZE"]
+__all__ = ["QueryEngine", "plan_bgp", "plan_bgp_steps", "DEFAULT_RESULT_CACHE_SIZE"]
 
 Binding = Dict[str, Term]
 
@@ -103,42 +112,12 @@ def plan_bgp(
     preferring bound subjects over bound objects over bound predicates, and
     using the graph's predicate cardinalities as a tiebreaker when
     available.  This mirrors classic selectivity-based BGP reordering.
+
+    Thin wrapper over :func:`repro.sparql.plan.plan_bgp_steps` — the
+    annotated planner EXPLAIN renders — so the plan shown and the plan
+    executed can never diverge.
     """
-    remaining = list(patterns)
-    bound = set(bound_vars)
-    ordered: List[TriplePattern] = []
-
-    # Predicate cardinalities come from the graph's version-keyed
-    # statistics cache: they survive across queries and are invalidated
-    # wholesale when the graph's version counter moves.
-    statistics = graph.statistics() if graph is not None else None
-
-    def predicate_cardinality(predicate: IRI) -> int:
-        return statistics.predicate_cardinality(predicate) if statistics is not None else 0
-
-    def position_bound(term) -> bool:
-        return not isinstance(term, Var) or term.name in bound
-
-    def score(tp: TriplePattern) -> tuple:
-        s = position_bound(tp.subject)
-        p = position_bound(tp.predicate)
-        o = position_bound(tp.object)
-        bound_count = sum((s, p, o))
-        cardinality = 0
-        if isinstance(tp.predicate, IRI) and p:
-            cardinality = predicate_cardinality(tp.predicate)
-        # Higher bound_count first; property paths (potentially expensive
-        # closures) after plain patterns; subject-bound beats object-bound
-        # beats predicate-only; smaller predicate cardinality first.
-        is_path = isinstance(tp.predicate, Path)
-        return (-bound_count, is_path, not s, not o, cardinality)
-
-    while remaining:
-        best = min(remaining, key=score)
-        remaining.remove(best)
-        ordered.append(best)
-        bound.update(best.variables())
-    return ordered
+    return [step.pattern for step in plan_bgp_steps(patterns, bound_vars, graph)]
 
 
 class QueryEngine:
@@ -157,6 +136,7 @@ class QueryEngine:
         optimize_joins: bool = True,
         cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         tracer=None,
+        slow_log=None,
     ):
         if isinstance(source, Dataset):
             self.dataset: Optional[Dataset] = source
@@ -171,6 +151,14 @@ class QueryEngine:
         self.namespaces = namespaces if namespaces is not None else _corpus_namespaces(source)
         self.optimize_joins = optimize_joins
         self.tracer = tracer
+        #: Optional :class:`repro.obs.slowlog.SlowQueryLog`; when set,
+        #: string queries are profiled (cheap batch-level collection) so
+        #: threshold-crossing queries log full operator statistics.
+        self.slow_log = slow_log
+        # Count of active per-thread profilers.  The evaluator's hot
+        # paths gate on its truthiness — a single attribute check when
+        # no profile (and no slow log) is in play.
+        self._profiling = 0
         # Result cache: (query text, source version) → result.  The lock
         # also guards the lazy union-graph refresh; the endpoint shares
         # one engine across ThreadingHTTPServer worker threads.
@@ -258,6 +246,8 @@ class QueryEngine:
                 self._refresh_default_locked()
             with _span(tracer, "sparql.execute", cat="query"):
                 return self._dispatch(query)
+        slow_log = self.slow_log
+        started = time.perf_counter()
         with _span(tracer, "sparql.query", cat="query",
                    query=query[:120]) as query_span:
             key = None
@@ -271,6 +261,11 @@ class QueryEngine:
                         self._cache_hits += 1
                         _CACHE_EVENTS.labels("hit").inc()
                         query_span.set(cache="hit")
+                        if slow_log is not None:
+                            elapsed_ms = (time.perf_counter() - started) * 1000.0
+                            if slow_log.should_record(elapsed_ms):
+                                slow_log.add(self._slow_record(
+                                    query, elapsed_ms, "hit", None, None, query_span))
                         return cached
                     self._cache_misses += 1
                     _CACHE_EVENTS.labels("miss").inc()
@@ -279,9 +274,21 @@ class QueryEngine:
             with _span(tracer, "sparql.parse", cat="query"):
                 parsed = parse_query(query, namespaces=self.namespaces)
             _QUERY_SECONDS.labels("parse").observe(time.perf_counter() - phase_started)
+            # With a slow log attached every miss runs under a profile
+            # collector: collection is batch-level (per operator call,
+            # not per row), so a threshold-crossing query can log full
+            # operator statistics without a costly re-execution.
+            collector = ProfileCollector() if slow_log is not None else None
             phase_started = time.perf_counter()
             with _span(tracer, "sparql.execute", cat="query"):
-                result = self._dispatch(parsed)
+                if collector is not None:
+                    self._install_profiler(collector)
+                    try:
+                        result = self._dispatch(parsed)
+                    finally:
+                        self._uninstall_profiler()
+                else:
+                    result = self._dispatch(parsed)
             _QUERY_SECONDS.labels("execute").observe(time.perf_counter() - phase_started)
             if key is not None:
                 with self._lock:
@@ -290,7 +297,107 @@ class QueryEngine:
                         self._result_cache.popitem(last=False)
                         self._cache_evictions += 1
                         _CACHE_EVENTS.labels("eviction").inc()
+            if slow_log is not None:
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                if slow_log.should_record(elapsed_ms):
+                    slow_log.add(self._slow_record(
+                        query, elapsed_ms, "miss", parsed, collector, query_span))
             return result
+
+    # -- introspection -------------------------------------------------------
+
+    def explain(self, query: TyUnion[str, SelectQuery, AskQuery]) -> QueryPlan:
+        """EXPLAIN: the plan this engine would execute right now.
+
+        Static — nothing is evaluated.  The returned
+        :class:`~repro.sparql.plan.QueryPlan` renders as text, JSON, or
+        Chrome-trace args; its ``digest`` is deterministic for a given
+        query + source contents, so plan regressions diff cleanly.
+        """
+        text = query if isinstance(query, str) else None
+        if isinstance(query, str):
+            parsed = parse_query(query, namespaces=self.namespaces)
+        else:
+            parsed = query
+        with self._lock:
+            self._refresh_default_locked()
+        return build_plan(parsed, self._default, text=text,
+                          optimize=self.optimize_joins)
+
+    def profile(self, query: TyUnion[str, SelectQuery, AskQuery]) -> QueryProfile:
+        """PROFILE: execute with per-operator statistics collection.
+
+        Bypasses the result cache in both directions (a cached answer
+        would produce an empty profile; a profiled run should not
+        poison timings either).  Returns a
+        :class:`~repro.sparql.plan.QueryProfile` carrying the result,
+        the plan, and the merged stats report.
+        """
+        text = query if isinstance(query, str) else None
+        if isinstance(query, str):
+            with _span(self.tracer, "sparql.parse", cat="query"):
+                parsed = parse_query(query, namespaces=self.namespaces)
+        else:
+            parsed = query
+        with self._lock:
+            self._refresh_default_locked()
+        plan = build_plan(parsed, self._default, text=text,
+                          optimize=self.optimize_joins)
+        collector = ProfileCollector()
+        self._install_profiler(collector)
+        started = time.perf_counter()
+        try:
+            with _span(self.tracer, "sparql.execute", cat="query"):
+                result = self._dispatch(parsed)
+        finally:
+            self._uninstall_profiler()
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        report = plan.profile_report(collector, duration_ms)
+        return QueryProfile(result=result, plan=plan, report=report,
+                            duration_ms=duration_ms)
+
+    def _slow_record(self, text: str, duration_ms: float, cache: str,
+                     parsed, collector, query_span) -> dict:
+        """Build one structured slow-query-log record (JSON-serializable)."""
+        record = {
+            "ts": round(time.time(), 3),
+            "query_sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            "query": text[:200],
+            "duration_ms": round(duration_ms, 3),
+            "cache": cache,
+            "plan_digest": None,
+            "generation": self.source_version(),
+            "span_id": query_span.id if self.tracer is not None else None,
+            "operators": [],
+        }
+        if parsed is not None:
+            plan = build_plan(parsed, self._default, text=text,
+                              optimize=self.optimize_joins)
+            record["plan_digest"] = plan.digest
+            if collector is not None:
+                report = plan.profile_report(collector, duration_ms)
+                record["operators"] = report["operators"]
+                record["misestimates"] = report["misestimates"]
+        return record
+
+    # -- profiler plumbing ---------------------------------------------------
+
+    def _install_profiler(self, collector: ProfileCollector) -> None:
+        self._tlocal.profiler = collector
+        with self._lock:
+            self._profiling += 1
+
+    def _uninstall_profiler(self) -> None:
+        self._tlocal.profiler = None
+        with self._lock:
+            self._profiling -= 1
+
+    def _profiler(self):
+        """The profiler active on this thread, or ``None`` (hot path:
+        one attribute check when no profile is running anywhere)."""
+        if not self._profiling:
+            return None
+        return getattr(self._tlocal, "profiler", None)
 
     def _dispatch(self, query):
         self._tlocal.default = self._default  # pin the snapshot for this query
@@ -569,6 +676,21 @@ class QueryEngine:
     # -- pattern evaluation ---------------------------------------------------------
 
     def _eval(self, pattern: Pattern, inputs: List[Binding], graph: Graph) -> List[Binding]:
+        # Hot path: one int check when nobody is profiling anywhere.
+        if not self._profiling:
+            return self._eval_node(pattern, inputs, graph)
+        profiler = getattr(self._tlocal, "profiler", None)
+        if profiler is None:
+            return self._eval_node(pattern, inputs, graph)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        out = self._eval_node(pattern, inputs, graph)
+        profiler.record_operator(
+            pattern, len(inputs), len(out),
+            time.perf_counter() - wall0, time.process_time() - cpu0)
+        return out
+
+    def _eval_node(self, pattern: Pattern, inputs: List[Binding], graph: Graph) -> List[Binding]:
         if isinstance(pattern, BGP):
             return self._eval_bgp(pattern, inputs, graph)
         if isinstance(pattern, Join):
@@ -645,14 +767,20 @@ class QueryEngine:
             if self.tracer is not None:
                 with _span(self.tracer, "sparql.plan", cat="query",
                            patterns=len(bgp.triples)):
-                    ordered = plan_bgp(bgp.triples, bound, graph)
+                    steps = plan_bgp_steps(bgp.triples, bound, graph)
             else:
-                ordered = plan_bgp(bgp.triples, bound, graph)
+                steps = plan_bgp_steps(bgp.triples, bound, graph)
         else:
-            ordered = bgp.triples
+            steps = written_order_steps(bgp.triples)
+        profiler = (getattr(self._tlocal, "profiler", None)
+                    if self._profiling else None)
         solutions = [dict(sol) for sol in inputs]
-        for tp in ordered:
-            solutions = self._extend_with_pattern(tp, solutions, graph)
+        for step in steps:
+            if profiler is not None:
+                solutions = profiler.run_pattern(
+                    step, solutions, graph, self._extend_with_pattern)
+            else:
+                solutions = self._extend_with_pattern(step.pattern, solutions, graph)
             if not solutions:
                 return []
         return solutions

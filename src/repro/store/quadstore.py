@@ -231,6 +231,19 @@ class QuadStore:
             "segment_probes": segment_probes,
         }
 
+    def runtime_counters(self) -> Tuple[int, int]:
+        """``(total bisect probes, decode-LRU hits)`` as plain ints.
+
+        The query profiler samples this before/after each scan batch to
+        attribute store work to individual triple patterns; both values
+        are monotonically increasing process-lifetime counters, so a
+        delta between two samples is the cost of the work in between.
+        """
+        probes = 0
+        for name in ORDERINGS:
+            probes += self._probe_totals[name] + self._segments[name].probes
+        return probes, self.dictionary.cache_hits
+
     # -- ingest (single-writer) ---------------------------------------------
 
     def begin_file(self, relpath: str, sha256_hex: str) -> None:

@@ -72,6 +72,11 @@ class StoreGraph(Graph):
     def version(self) -> int:
         return self._store.generation
 
+    def runtime_counters(self):
+        """``(bisect probes, decode-LRU hits)`` — the query profiler
+        duck-types on this to attribute store work per triple pattern."""
+        return self._store.runtime_counters()
+
     # -- read-only enforcement ----------------------------------------------
 
     add = _read_only

@@ -1,0 +1,174 @@
+"""Slow-query log: ring buffer, engine integration, /slowlog route."""
+
+import json
+import threading
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.endpoint import SparqlEndpoint
+from repro.obs import SlowQueryLog, Tracer, read_jsonl
+from repro.rdf import Graph, Namespace, PROV, RDF
+from repro.sparql import QueryEngine
+
+EX = Namespace("http://example.org/")
+
+
+def _tiny_graph():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    for i in range(4):
+        g.add((EX[f"run{i}"], RDF.type, PROV.Activity))
+        g.add((EX[f"run{i}"], PROV.used, EX[f"data{i}"]))
+        g.add((EX[f"data{i}"], RDF.type, PROV.Entity))
+    return g
+
+
+ACTIVITY_QUERY = "SELECT ?r WHERE { ?r a prov:Activity } ORDER BY ?r"
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_in_order(self):
+        log = SlowQueryLog(threshold_ms=0, capacity=3)
+        for i in range(5):
+            log.add({"n": i})
+        assert [e["n"] for e in log.entries()] == [2, 3, 4]
+        info = log.info()
+        assert info["recorded"] == 5
+        assert info["evicted"] == 2
+        assert info["current"] == len(log) == 3
+
+    def test_threshold_gate(self):
+        log = SlowQueryLog(threshold_ms=50)
+        assert log.should_record(50.0)
+        assert log.should_record(51.0)
+        assert not log.should_record(49.9)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = SlowQueryLog(threshold_ms=0, capacity=8)
+        log.add({"query_sha256": "ab", "duration_ms": 1.5, "operators": [{"op": "bgp"}]})
+        log.add({"query_sha256": "cd", "duration_ms": 2.5, "operators": []})
+        path = tmp_path / "slow.jsonl"
+        assert log.write_jsonl(path) == 2
+        assert read_jsonl(path) == log.entries()
+
+    def test_empty_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert SlowQueryLog().write_jsonl(path) == 0
+        assert read_jsonl(path) == []
+
+
+class TestEngineIntegration:
+    def test_threshold_zero_records_every_query(self):
+        log = SlowQueryLog(threshold_ms=0)
+        engine = QueryEngine(_tiny_graph(), slow_log=log)
+        engine.query(ACTIVITY_QUERY)
+        entries = log.entries()
+        assert len(entries) == 1
+        record = entries[0]
+        assert record["cache"] == "miss"
+        assert record["plan_digest"]
+        assert record["query_sha256"]
+        assert record["duration_ms"] >= 0
+        # miss records carry full operator statistics with row counts
+        scans = [op for op in record["operators"] if op["op"] == "scan"]
+        assert scans and scans[-1]["rows_out"] == 4
+
+    def test_high_threshold_records_nothing(self):
+        log = SlowQueryLog(threshold_ms=60_000)
+        engine = QueryEngine(_tiny_graph(), slow_log=log)
+        engine.query(ACTIVITY_QUERY)
+        assert log.entries() == []
+
+    def test_cache_hit_recorded_as_hit(self):
+        log = SlowQueryLog(threshold_ms=0)
+        engine = QueryEngine(_tiny_graph(), slow_log=log)
+        engine.query(ACTIVITY_QUERY)
+        engine.query(ACTIVITY_QUERY)
+        caches = [e["cache"] for e in log.entries()]
+        assert caches == ["miss", "hit"]
+        hit = log.entries()[-1]
+        # a hit skipped evaluation: no plan, no operator rows
+        assert hit["plan_digest"] is None
+        assert hit["operators"] == []
+
+    def test_record_digest_matches_explain(self):
+        log = SlowQueryLog(threshold_ms=0)
+        engine = QueryEngine(_tiny_graph(), slow_log=log)
+        engine.query(ACTIVITY_QUERY)
+        assert log.entries()[0]["plan_digest"] == engine.explain(ACTIVITY_QUERY).digest
+
+    def test_span_id_cross_references_trace(self, tmp_path):
+        tracer = Tracer()
+        log = SlowQueryLog(threshold_ms=0)
+        engine = QueryEngine(_tiny_graph(), tracer=tracer, slow_log=log)
+        engine.query(ACTIVITY_QUERY)
+        span_id = log.entries()[0]["span_id"]
+        assert span_id is not None
+        trace_path = tmp_path / "trace.json"
+        tracer.write(trace_path)
+        from repro.obs import read_trace
+
+        matching = [e for e in read_trace(trace_path)
+                    if e["args"].get("span_id") == span_id]
+        assert len(matching) == 1
+        assert matching[0]["name"] == "sparql.query"
+
+    def test_no_span_id_without_tracer(self):
+        log = SlowQueryLog(threshold_ms=0)
+        engine = QueryEngine(_tiny_graph(), slow_log=log)
+        engine.query(ACTIVITY_QUERY)
+        assert log.entries()[0]["span_id"] is None
+
+
+class TestSlowlogRoute:
+    def test_disabled_endpoint_reports_disabled(self):
+        with SparqlEndpoint(_tiny_graph()) as server:
+            with urllib.request.urlopen(server.slowlog_url, timeout=5) as response:
+                payload = json.loads(response.read())
+        assert payload == {"enabled": False, "entries": []}
+
+    def test_route_parity_with_buffer_under_concurrency(self):
+        with SparqlEndpoint(_tiny_graph(), slow_query_ms=0) as server:
+            queries = [
+                f"SELECT ?r WHERE {{ ?r a prov:Activity }} LIMIT {n}"
+                for n in range(1, 9)
+            ]
+
+            def run(q):
+                url = server.query_url + "?" + urllib.parse.urlencode({"query": q})
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    response.read()
+
+            threads = [threading.Thread(target=run, args=(q,)) for q in queries]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with urllib.request.urlopen(server.slowlog_url, timeout=5) as response:
+                payload = json.loads(response.read())
+            assert payload["enabled"] is True
+            assert payload["recorded"] == len(queries)
+            assert payload["entries"] == server.slow_log.entries()
+            hashes = {e["query_sha256"] for e in payload["entries"]}
+            assert len(hashes) == len(queries)
+            # every record carries the introspection fields
+            for entry in payload["entries"]:
+                assert entry["plan_digest"]
+                assert entry["operators"]
+
+    def test_stats_reports_slowlog_section(self):
+        with SparqlEndpoint(_tiny_graph(), slow_query_ms=0, slowlog_capacity=7) as server:
+            url = server.query_url + "?" + urllib.parse.urlencode(
+                {"query": ACTIVITY_QUERY})
+            with urllib.request.urlopen(url, timeout=5) as response:
+                response.read()
+            with urllib.request.urlopen(server.stats_url, timeout=5) as response:
+                stats = json.loads(response.read())
+        assert stats["slow_queries"]["capacity"] == 7
+        assert stats["slow_queries"]["recorded"] == 1

@@ -160,6 +160,23 @@ class TestProtocol:
         with urllib.request.urlopen(url, timeout=5) as response:
             assert float(response.headers["X-Query-Duration-ms"]) >= 0
 
+    def test_slowlog_route_disabled_by_default(self, endpoint):
+        with urllib.request.urlopen(endpoint.url + "/slowlog", timeout=5) as response:
+            payload = json.loads(response.read())
+        assert payload["enabled"] is False
+        assert payload["entries"] == []
+
+    def test_inflight_gauge_zero_at_rest(self, endpoint):
+        # The handler already dec'd by the time the body is written, so a
+        # scrape observing itself still reports 0 once responses finish.
+        with urllib.request.urlopen(endpoint.url + "/metrics", timeout=5) as response:
+            body = response.read().decode()
+        lines = [l for l in body.splitlines()
+                 if l.startswith("repro_endpoint_inflight_requests")
+                 and not l.startswith("repro_endpoint_inflight_requests{")]
+        values = [float(l.split()[-1]) for l in lines if not l.startswith("#")]
+        assert values == [0.0]
+
 
 class TestCorpusEndpoint:
     def test_exemplar_query_over_http(self, corpus_dataset):
