@@ -1,0 +1,149 @@
+"""Query-parity gate: every execution configuration must agree on Q1–Q6.
+
+Builds the deterministic corpus, ingests it into two stores (``--jobs 1``
+and ``--jobs 2``), then evaluates all six exemplar queries across the
+full configuration grid:
+
+    source    ∈ {in-memory dataset, store (jobs=1), store (jobs=2)}
+    optimizer ∈ {on, off}
+    pipeline  ∈ {encoded id-space, decoded per-binding}
+
+For each query the canonical row multiset must be identical in every
+configuration, and the EXPLAIN plan digest must be identical between the
+two store builds (plan determinism across parallel ingest) and across
+the encoded toggle (the digest keys the plan, not the runtime pipeline).
+
+Run as a script (CI gate)::
+
+    PYTHONPATH=src python benchmarks/query_parity.py [workdir]
+
+Exits non-zero on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.corpus import CorpusBuilder, write_corpus
+from repro.queries import OPMW_EXPORT_NS, exemplar_queries
+from repro.sparql import QueryEngine
+from repro.store import QuadStore, StoreDataset, ingest_corpus
+
+SEED = 2013
+
+
+def _engine(source, optimize: bool, encoded: bool) -> QueryEngine:
+    engine = QueryEngine(source, optimize_joins=optimize, encoded=encoded)
+    # The exemplar queries rely on the exporters' extension prefixes
+    # (mirrors CorpusQueries).
+    engine.namespaces.bind(
+        "tavernaprov", "http://ns.taverna.org.uk/2012/tavernaprov/", replace=False
+    )
+    engine.namespaces.bind("opmw-export", OPMW_EXPORT_NS.base, replace=False)
+    return engine
+
+
+def _canon_rows(table):
+    """Order-insensitive canonical form: sorted tuples of (var, n3)."""
+    return sorted(
+        tuple(
+            sorted((name, term.n3()) for name, term in row.asdict().items())
+        )
+        for row in table
+    )
+
+
+def run_parity(workdir: Path) -> int:
+    corpus = CorpusBuilder(seed=SEED).build()
+    corpus_dir = workdir / "corpus"
+    write_corpus(corpus, corpus_dir)
+    queries = exemplar_queries(corpus)
+
+    stores = {}
+    for jobs in (1, 2):
+        store = QuadStore(workdir / f"store-j{jobs}")
+        report = ingest_corpus(store, corpus_dir, jobs=jobs)
+        print(f"ingested store-j{jobs}: {len(report.parsed)} files")
+        stores[jobs] = store
+
+    sources = {
+        "memory": corpus.dataset(),
+        "store-j1": StoreDataset(stores[1]),
+        "store-j2": StoreDataset(stores[2]),
+    }
+
+    failures = 0
+    summary = {}
+    try:
+        for name, text in sorted(queries.items()):
+            results = {}
+            digests = {}
+            for source_name, source in sources.items():
+                for optimize in (True, False):
+                    for encoded in (True, False):
+                        config = (
+                            f"{source_name}/opt={'on' if optimize else 'off'}"
+                            f"/enc={'on' if encoded else 'off'}"
+                        )
+                        engine = _engine(source, optimize, encoded)
+                        results[config] = _canon_rows(engine.query(text))
+                        digests[config] = engine.explain(text).digest
+
+            baseline_config, baseline = next(iter(results.items()))
+            mismatched = [
+                config for config, rows in results.items() if rows != baseline
+            ]
+            if mismatched:
+                failures += 1
+                print(f"FAIL {name}: rows diverge from {baseline_config}: "
+                      f"{', '.join(mismatched)}")
+            else:
+                print(f"ok   {name}: {len(baseline)} rows identical "
+                      f"across {len(results)} configurations")
+
+            # Digest checks: per optimizer setting, the two store builds
+            # and the encoded toggle must agree (the digest keys the
+            # plan; the optimizer legitimately changes it).
+            for optimize in ("on", "off"):
+                store_digests = {
+                    config: digest for config, digest in digests.items()
+                    if config.startswith("store-") and f"/opt={optimize}/" in config
+                }
+                if len(set(store_digests.values())) > 1:
+                    failures += 1
+                    print(f"FAIL {name}: store plan digests diverge "
+                          f"(opt={optimize}): {store_digests}")
+            summary[name] = {
+                "rows": len(baseline),
+                "digests": {
+                    "store_opt_on": digests["store-j1/opt=on/enc=on"],
+                    "store_opt_off": digests["store-j1/opt=off/enc=on"],
+                    "memory_opt_on": digests["memory/opt=on/enc=on"],
+                },
+            }
+    finally:
+        for store in stores.values():
+            store.close()
+
+    print(json.dumps(summary, indent=2))
+    if failures:
+        print(f"query parity FAILED: {failures} mismatch(es)")
+        return 1
+    print("query parity OK")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) > 1:
+        workdir = Path(argv[1])
+        workdir.mkdir(parents=True, exist_ok=True)
+        return run_parity(workdir)
+    with tempfile.TemporaryDirectory(prefix="query-parity-") as tmp:
+        return run_parity(Path(tmp))
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

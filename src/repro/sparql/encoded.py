@@ -1,0 +1,271 @@
+"""Encoded-ID BGP execution over store-backed graphs.
+
+The decoded pipeline resolves every pattern against a solution's *terms*
+and re-encodes them per binding inside ``StoreGraph.triples()`` — paying
+a dictionary lookup, a fresh binary search, and a per-record decode for
+every partial solution.  This module keeps the whole BGP in u32 term
+ids instead:
+
+* constants are resolved to ids once per pattern (an unknown constant
+  empties the batch immediately);
+* each input solution carries a parallel ``{var: id}`` dict, extended
+  batch-at-a-time as patterns execute;
+* ids are decoded back to terms only once, when the finished batch
+  leaves the BGP.
+
+Patterns probe the same four sorted segment orderings the decoded path
+uses (the ordering choice replicates ``StoreGraph._match_ids`` exactly,
+so row order is byte-identical), but batch execution unlocks two
+operators the per-binding path cannot express:
+
+* **bisect** — when no join-bound variable sits in the ordering's sort
+  prefix, every solution in the group shares one probe key, so the
+  range is located and materialized *once* for the whole batch;
+* **merge** — when a join-bound variable is in the prefix, the group's
+  keys are sorted and a monotone cursor advances with galloping search
+  (:meth:`SegmentReader.gallop_left`), making a batch of k probes cost
+  O(k · log(gap)) instead of O(k · log n).
+
+The executor is created per BGP via :func:`encoded_executor`, which
+duck-types on ``graph.encoded_scope()`` — in-memory graphs (no encoded
+surface) and BGPs containing property paths fall back to the decoded
+pipeline.  Paths must: a zero-length closure (``p*``) yields ``(t, t)``
+even for a term the dictionary has never seen, which id space cannot
+represent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import metrics as _metrics
+from ..rdf.terms import Term
+from .algebra import TriplePattern, Var
+from .paths import Path
+from .plan import PlanStep, SEGMENT_ORDERINGS, choose_access
+
+__all__ = ["encoded_executor", "EncodedExecutor"]
+
+_SCAN_STRATEGY = _metrics.counter(
+    "repro_query_scan_strategy_total",
+    "Encoded BGP scan batches by chosen operator",
+    labels=("strategy",),
+)
+for _strategy in ("merge", "bisect"):
+    _SCAN_STRATEGY.labels(_strategy)
+del _strategy
+
+#: (orig solution, encoded bindings). ``enc`` maps a variable to its
+#: term id, or None when the bound term is unknown to the dictionary —
+#: such a solution dies at the first step that uses the variable.
+EncodedSolution = Tuple[Dict[str, Term], Dict[str, Optional[int]]]
+
+_ABSENT = object()
+
+
+def encoded_executor(graph, patterns: List[TriplePattern]):
+    """An :class:`EncodedExecutor` for *graph*, or ``None`` when the
+    graph has no encoded surface or the BGP contains a property path."""
+    scope_of = getattr(graph, "encoded_scope", None)
+    if scope_of is None:
+        return None
+    if any(isinstance(tp.predicate, Path) for tp in patterns):
+        return None
+    return EncodedExecutor(graph, scope_of(), patterns)
+
+
+class EncodedExecutor:
+    """Executes one BGP's steps batch-at-a-time in id space."""
+
+    __slots__ = ("graph", "scope", "_bgp_vars")
+
+    def __init__(self, graph, scope: Optional[int], patterns: List[TriplePattern]):
+        self.graph = graph
+        self.scope = scope
+        self._bgp_vars = set()
+        for tp in patterns:
+            self._bgp_vars |= tp.variables()
+
+    # -- batch lifecycle -----------------------------------------------------
+
+    def encode_inputs(self, inputs: List[Dict[str, Term]]) -> List[EncodedSolution]:
+        """Encode only the variables this BGP's patterns touch."""
+        graph = self.graph
+        needed = self._bgp_vars
+        batch: List[EncodedSolution] = []
+        for sol in inputs:
+            enc: Dict[str, Optional[int]] = {}
+            for name, value in sol.items():
+                if name in needed:
+                    enc[name] = graph.term_to_id(value)
+            batch.append((sol, enc))
+        return batch
+
+    def decode(self, batch: List[EncodedSolution]) -> List[Dict[str, Term]]:
+        """Materialize terms for variables bound during the BGP."""
+        graph = self.graph
+        out = []
+        for orig, enc in batch:
+            sol = dict(orig)
+            for name, term_id in enc.items():
+                if name not in sol and term_id is not None:
+                    sol[name] = graph.id_to_term(term_id)
+            out.append(sol)
+        return out
+
+    # -- one pattern step ----------------------------------------------------
+
+    def extend(self, step: PlanStep, batch: List[EncodedSolution], graph=None):
+        """Extend every solution in *batch* through *step*'s pattern.
+
+        Outputs preserve input order (each solution's extensions are
+        emitted in segment-record order, matching the decoded path
+        byte for byte); an empty return short-circuits the BGP.
+        """
+        tp = step.pattern
+        terms = (tp.subject, tp.predicate, tp.object)
+        names = [t.name if isinstance(t, Var) else None for t in terms]
+        const_ids: List[Optional[int]] = [None, None, None]
+        for position, term in enumerate(terms):
+            if names[position] is None:
+                const_id = self.graph.term_to_id(term)
+                if const_id is None:
+                    return []  # unknown constant: nothing can match
+                const_ids[position] = const_id
+
+        # Group solutions by their *actual* bound signature — after
+        # OPTIONAL/UNION the batch is heterogeneous and each group may
+        # need a different ordering (mirroring the decoded path, which
+        # re-chose per solution).
+        groups: Dict[str, List[int]] = {}
+        for index, (_, enc) in enumerate(batch):
+            mask_chars = []
+            dead = False
+            for position in (0, 1, 2):
+                name = names[position]
+                if name is None:
+                    mask_chars.append("b")
+                    continue
+                value = enc.get(name, _ABSENT)
+                if value is _ABSENT:
+                    mask_chars.append("?")
+                elif value is None:
+                    dead = True  # bound to a term the store never saw
+                    break
+                else:
+                    mask_chars.append("j")
+            if not dead:
+                groups.setdefault("".join(mask_chars), []).append(index)
+
+        extensions: List[List[EncodedSolution]] = [[] for _ in batch]
+        for mask, indices in groups.items():
+            self._run_group(mask, indices, batch, names, const_ids, extensions)
+        out: List[EncodedSolution] = []
+        for per_input in extensions:
+            out.extend(per_input)
+        return out
+
+    def _run_group(self, mask, indices, batch, names, const_ids, extensions):
+        scope = self.scope
+        operator, ordering = choose_access(mask, scope)
+        perm = SEGMENT_ORDERINGS[ordering]
+        reader = self.graph.segment_reader(ordering)
+        graph_filter = scope if (scope is not None and ordering != "gspo") else None
+        deduplicate = scope is None  # union: same triple in several graphs
+        free_positions = [p for p in (0, 1, 2) if mask[p] == "?"]
+
+        def key_of(enc) -> Tuple[int, ...]:
+            key = []
+            for field in range(4):
+                position = perm[field]
+                if position == 3:
+                    if ordering == "gspo":
+                        key.append(scope)
+                        continue
+                    break  # union orderings never bind the graph field
+                state = mask[position]
+                if state == "?":
+                    break
+                key.append(
+                    const_ids[position] if state == "b" else enc[names[position]]
+                )
+            return tuple(key)
+
+        solution_keys = [(index, key_of(batch[index][1])) for index in indices]
+        unique_keys = {key for _, key in solution_keys}
+        if operator == "merge" and len(unique_keys) < 2:
+            # A merge over one key *is* a bisect probe — and galloping
+            # to it from record 0 would cost ~2× the comparisons.  This
+            # is the common case for per-solution sub-evaluations
+            # (EXISTS, OPTIONAL right sides seeded one binding at a
+            # time), so dispatch on the runtime key count, not just the
+            # static mask.
+            operator = "bisect"
+        _SCAN_STRATEGY.labels(operator).inc()
+        matches: Dict[Tuple[int, ...], List[Tuple[int, int, int]]] = {}
+        if operator == "merge":
+            # Sorted keys + a monotone galloping cursor: each range
+            # starts at or after the previous one's end.
+            cursor = 0
+            for key in sorted(unique_keys):
+                lo = reader.gallop_left(key, cursor)
+                hi = reader.gallop_left(key[:-1] + (key[-1] + 1,), lo)
+                matches[key] = self._materialize(
+                    reader, lo, hi, perm, graph_filter, deduplicate
+                )
+                cursor = hi
+        else:
+            # Either no join-bound prefix position (every solution in
+            # the group shares the constants-only key) or a single-key
+            # merge demoted above: one bisect per distinct key.
+            for key in unique_keys:
+                lo, hi = reader.range_for_prefix(key)
+                matches[key] = self._materialize(
+                    reader, lo, hi, perm, graph_filter, deduplicate
+                )
+
+        for index, key in solution_keys:
+            orig, enc = batch[index]
+            slot = extensions[index]
+            for triple in matches[key]:
+                new_enc = enc
+                compatible = True
+                for position in free_positions:
+                    name = names[position]
+                    value = triple[position]
+                    current = new_enc.get(name, _ABSENT)
+                    if current is _ABSENT:
+                        if new_enc is enc:
+                            new_enc = dict(enc)
+                        new_enc[name] = value
+                    elif current != value:
+                        compatible = False  # repeated variable mismatch
+                        break
+                if compatible:
+                    slot.append((orig, new_enc))
+
+    @staticmethod
+    def _materialize(reader, lo, hi, perm, graph_filter, deduplicate):
+        """Record range → (s, p, o) id triples, permuted back, with the
+        graph id filtered (single-graph over a union ordering) or
+        adjacent duplicates collapsed (union scope: graph sorts last, so
+        the same triple from several graphs is adjacent)."""
+        triples: List[Tuple[int, int, int]] = []
+        record = reader.record
+        last = None
+        for index in range(lo, hi):
+            rec = record(index)
+            if graph_filter is not None and rec[3] != graph_filter:
+                continue
+            if deduplicate:
+                head = rec[:3]
+                if head == last:
+                    continue
+                last = head
+            ids = [0, 0, 0]
+            for field in range(4):
+                position = perm[field]
+                if position != 3:
+                    ids[position] = rec[field]
+            triples.append((ids[0], ids[1], ids[2]))
+        return triples

@@ -62,6 +62,7 @@ from .functions import (
 )
 from ..obs import metrics as _metrics
 from ..obs.trace import span as _span
+from .encoded import encoded_executor
 from .parser import parse_query
 from .paths import Path, eval_path
 from .plan import (
@@ -137,6 +138,7 @@ class QueryEngine:
         cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         tracer=None,
         slow_log=None,
+        encoded: bool = True,
     ):
         if isinstance(source, Dataset):
             self.dataset: Optional[Dataset] = source
@@ -150,6 +152,10 @@ class QueryEngine:
             raise TypeError("QueryEngine requires a Graph or Dataset")
         self.namespaces = namespaces if namespaces is not None else _corpus_namespaces(source)
         self.optimize_joins = optimize_joins
+        #: Run BGPs in id space over store-backed graphs (merge/bisect
+        #: batch scans, decode at BGP egress).  ``False`` forces the
+        #: per-binding decoded pipeline — the parity baseline.
+        self.encoded = encoded
         self.tracer = tracer
         #: Optional :class:`repro.obs.slowlog.SlowQueryLog`; when set,
         #: string queries are profiled (cheap batch-level collection) so
@@ -762,7 +768,16 @@ class QueryEngine:
     def _eval_bgp(self, bgp: BGP, inputs: List[Binding], graph: Graph) -> List[Binding]:
         if not bgp.triples:
             return [dict(sol) for sol in inputs]
-        bound = set(inputs[0]) if inputs else set()
+        # After OPTIONAL/UNION the inputs are heterogeneous: only a
+        # variable bound in *every* input solution may seed the planner
+        # as bound, or patterns get ordered for bindings most solutions
+        # don't have.
+        if inputs:
+            bound = set(inputs[0])
+            for sol in inputs[1:]:
+                bound.intersection_update(sol)
+        else:
+            bound = set()
         if self.optimize_joins:
             if self.tracer is not None:
                 with _span(self.tracer, "sparql.plan", cat="query",
@@ -771,19 +786,47 @@ class QueryEngine:
             else:
                 steps = plan_bgp_steps(bgp.triples, bound, graph)
         else:
-            steps = written_order_steps(bgp.triples)
+            steps = written_order_steps(bgp.triples, graph)
         profiler = (getattr(self._tlocal, "profiler", None)
                     if self._profiling else None)
+        # The encoded pipeline pays off when a step can see more than
+        # one binding — a multi-pattern BGP (the batch grows step to
+        # step) or a multi-solution input.  A single-pattern BGP over a
+        # single solution (EXISTS checks, OPTIONAL right sides seeded
+        # one binding at a time) has exactly one scan range either way,
+        # so the leaner per-binding path wins.
+        batchable = len(bgp.triples) > 1 or len(inputs) > 1
+        executor = (encoded_executor(graph, bgp.triples)
+                    if self.encoded and batchable else None)
+        if executor is not None:
+            # Id-space pipeline: encode once, extend batches of encoded
+            # bindings (merge/bisect scans), decode once at egress.
+            batch = executor.encode_inputs(inputs)
+            for step in steps:
+                if profiler is not None:
+                    batch = profiler.run_pattern(step, batch, graph, executor.extend)
+                else:
+                    batch = executor.extend(step, batch, graph)
+                if not batch:
+                    return []
+            return executor.decode(batch)
         solutions = [dict(sol) for sol in inputs]
         for step in steps:
             if profiler is not None:
                 solutions = profiler.run_pattern(
-                    step, solutions, graph, self._extend_with_pattern)
+                    step, solutions, graph, self._extend_step)
             else:
                 solutions = self._extend_with_pattern(step.pattern, solutions, graph)
             if not solutions:
                 return []
         return solutions
+
+    @staticmethod
+    def _extend_step(step, solutions: List[Binding], graph: Graph) -> List[Binding]:
+        """Profiler callback for the decoded pipeline (the profiler hands
+        the full :class:`PlanStep` so encoded execution can reuse its
+        annotations; here only the pattern matters)."""
+        return QueryEngine._extend_with_pattern(step.pattern, solutions, graph)
 
     @staticmethod
     def _extend_with_pattern(

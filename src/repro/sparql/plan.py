@@ -80,7 +80,9 @@ __all__ = [
     "QueryPlan",
     "QueryProfile",
     "ProfileCollector",
+    "SEGMENT_ORDERINGS",
     "build_plan",
+    "choose_access",
     "plan_bgp_steps",
     "render_term",
     "render_expression",
@@ -176,6 +178,77 @@ class PlanStep:
     bound_mask: str  # 'b' constant, 'j' join-bound var, '?' free — s/p/o
     estimate: int  # predicate cardinality estimate (0 = unknown)
     reason: str  # which score component won the tiebreak
+    #: Scan operator for encoded (store-backed) execution: "merge" when
+    #: a join-bound variable sits in the chosen ordering's sort prefix
+    #: (batch sorted, monotone galloping cursor), "bisect" otherwise.
+    #: ``None`` on graphs without an encoded surface, and for BGPs
+    #: containing property paths (those run on the decoded pipeline).
+    access: Optional[str] = None
+    #: Segment ordering the scan ranges over (spog/posg/ospg/gspo).
+    ordering: Optional[str] = None
+
+
+#: Mirrors :data:`repro.store.segments.ORDERINGS`.  The planner must
+#: stay store-agnostic (sparql does not import from repro.store), so the
+#: permutations are restated here; a test pins the two in lockstep.
+SEGMENT_ORDERINGS = {
+    "spog": (0, 1, 2, 3),
+    "posg": (1, 2, 0, 3),
+    "ospg": (2, 0, 1, 3),
+    "gspo": (3, 0, 1, 2),
+}
+
+#: Union-scope ordering preference: first ordering whose sort prefix
+#: covers the pattern's bound positions wins.  Mirrors the dispatch in
+#: ``StoreGraph._match_ids`` — every subset of {s, p, o} is a prefix of
+#: exactly one entry when probed in this order.
+_UNION_PREFERENCE = (
+    ("spog", (0, 1, 2)),
+    ("posg", (1, 2, 0)),
+    ("ospg", (2, 0, 1)),
+)
+
+
+def choose_access(mask: str, scope: Optional[int]) -> Tuple[str, str]:
+    """(operator, ordering) for one pattern under a graph scope.
+
+    *mask* is the s/p/o bound mask ('b' constant, 'j' join-bound, '?'
+    free); *scope* is ``None`` for the union of all graphs or a graph id
+    for a single-graph view.  The ordering is the one whose sort prefix
+    covers every bound position — single-graph scopes prefer ``gspo``
+    when the bound set is an (s, p, o) chain prefix (the graph id leads
+    the key), else fall back to a union ordering with the graph id
+    filtered per record.  The operator is "merge" when any prefix
+    position is join-bound: the executor sorts the batch's keys and
+    advances a monotone galloping cursor instead of bisecting from
+    scratch per binding.
+    """
+    bound = [i for i, c in enumerate(mask) if c != "?"]
+    bound_set = set(bound)
+    if scope is not None and bound_set == set(range(len(bound))):
+        prefix_positions: Tuple[int, ...] = tuple(range(len(bound)))
+        ordering = "gspo"
+    else:
+        for ordering, prefix in _UNION_PREFERENCE:
+            if set(prefix[: len(bound)]) == bound_set:
+                prefix_positions = prefix[: len(bound)]
+                break
+    operator = "merge" if any(mask[i] == "j" for i in prefix_positions) else "bisect"
+    return operator, ordering
+
+
+def _access_annotator(patterns: List[TriplePattern], graph):
+    """mask → (access, ordering) when *graph* supports encoded
+    execution and the BGP is path-free; else a constant (None, None).
+
+    Annotating only encoded-capable graphs keeps in-memory plan digests
+    byte-identical to earlier releases.
+    """
+    scope_of = getattr(graph, "encoded_scope", None)
+    if scope_of is None or any(isinstance(tp.predicate, Path) for tp in patterns):
+        return lambda mask: (None, None)
+    scope = scope_of()
+    return lambda mask: choose_access(mask, scope)
 
 
 #: Score-tuple component index → human-readable tiebreak reason.  Must
@@ -217,6 +290,7 @@ def plan_bgp_steps(
     remaining = list(patterns)
     bound = set(bound_vars)
     statistics = graph.statistics() if graph is not None else None
+    annotate = _access_annotator(patterns, graph)
     steps: List[PlanStep] = []
 
     def score(tp: TriplePattern) -> tuple:
@@ -252,15 +326,31 @@ def plan_bgp_steps(
         estimate = 0
         if isinstance(best.predicate, IRI) and statistics is not None:
             estimate = statistics.predicate_cardinality(best.predicate)
-        steps.append(PlanStep(best, _mask(best, bound), estimate, reason))
+        mask = _mask(best, bound)
+        access, ordering = annotate(mask)
+        steps.append(PlanStep(best, mask, estimate, reason, access, ordering))
         remaining.pop(best_index)
         bound.update(best.variables())
     return steps
 
 
-def written_order_steps(patterns: List[TriplePattern]) -> List[PlanStep]:
-    """Steps for an engine with join optimization disabled."""
-    return [PlanStep(tp, _mask(tp, set()), 0, "written order") for tp in patterns]
+def written_order_steps(
+    patterns: List[TriplePattern], graph=None
+) -> List[PlanStep]:
+    """Steps for an engine with join optimization disabled.
+
+    Masks are computed with no assumed bindings (matching historical
+    EXPLAIN output for optimizer-off engines), so the static operator
+    choice here can only be "bisect"; the encoded executor still picks
+    merge at runtime from the solutions' actual bound sets.
+    """
+    annotate = _access_annotator(patterns, graph)
+    steps = []
+    for tp in patterns:
+        mask = _mask(tp, set())
+        access, ordering = annotate(mask)
+        steps.append(PlanStep(tp, mask, 0, "written order", access, ordering))
+    return steps
 
 
 # ---------------------------------------------------------------------------
@@ -384,7 +474,7 @@ class QueryPlan:
             for field_name in (
                 "calls", "rows_in", "rows_out", "wall_ms", "cpu_ms",
                 "probes", "decode_hits", "estimate", "error_ratio",
-                "misestimate",
+                "misestimate", "join", "ordering",
             ):
                 if field_name in out:
                     row[field_name] = out[field_name]
@@ -488,23 +578,23 @@ def _pattern_node(
         steps = (
             plan_bgp_steps(pattern.triples, bound, graph)
             if optimize
-            else written_order_steps(pattern.triples)
+            else written_order_steps(pattern.triples, graph)
         )
         children = []
         for index, step in enumerate(steps):
-            children.append(
-                PlanNode(
-                    "scan",
-                    {
-                        "index": index,
-                        "pattern": render_triple_pattern(step.pattern),
-                        "mask": step.bound_mask,
-                        "estimate": step.estimate,
-                        "reason": step.reason,
-                    },
-                    key=id(step.pattern),
-                )
-            )
+            detail: Dict[str, object] = {
+                "index": index,
+                "pattern": render_triple_pattern(step.pattern),
+                "mask": step.bound_mask,
+                "estimate": step.estimate,
+                "reason": step.reason,
+            }
+            if step.access is not None:
+                # Only encoded-capable graphs annotate, so in-memory
+                # digests are unaffected.
+                detail["join"] = step.access
+                detail["ordering"] = step.ordering
+            children.append(PlanNode("scan", detail, key=id(step.pattern)))
         out = set(bound)
         for tp in pattern.triples:
             out |= tp.variables()
@@ -619,10 +709,14 @@ class ProfileCollector:
         graph,
         extend: Callable,
     ) -> List[dict]:
-        """Run one pattern-extension batch, attributing its cost."""
+        """Run one pattern-extension batch, attributing its cost.
+
+        *extend* takes ``(step, solutions, graph)`` — the full step, so
+        the encoded executor can reuse the planned mask annotations.
+        """
         probes_before, decode_before = _runtime_counters(graph)
         started = time.perf_counter()
-        out = extend(step.pattern, solutions, graph)
+        out = extend(step, solutions, graph)
         wall_s = time.perf_counter() - started
         probes_after, decode_after = _runtime_counters(graph)
         key = id(step.pattern)
@@ -718,7 +812,8 @@ class QueryProfile:
         ]
         header = (
             f"{'op':<10} {'label':<46} {'calls':>6} {'rows_in':>8} "
-            f"{'rows_out':>8} {'wall_ms':>9} {'probes':>8} {'est':>8}"
+            f"{'rows_out':>8} {'wall_ms':>9} {'probes':>8} {'est':>8} "
+            f"{'join':>6}"
         )
         lines.append(header)
         lines.append("-" * len(header))
@@ -731,7 +826,8 @@ class QueryProfile:
                 f"{row['op']:<10} {label:<46} {row.get('calls', 0):>6} "
                 f"{row.get('rows_in', 0):>8} {row.get('rows_out', 0):>8} "
                 f"{wall if wall is not None else 0:>9} "
-                f"{row.get('probes', 0):>8} {row.get('estimate', ''):>8}"
+                f"{row.get('probes', 0):>8} {row.get('estimate', ''):>8} "
+                f"{row.get('join', ''):>6}"
             )
         if self.report.get("misestimates"):
             lines.append(f"misestimated patterns: {self.report['misestimates']}")

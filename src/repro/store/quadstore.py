@@ -117,6 +117,12 @@ class QuadStore:
         # Cumulative bisect probes from readers retired by compaction;
         # keeps store_info() monotonic across segment rewrites.
         self._probe_totals: Dict[str, int] = dict.fromkeys(ORDERINGS, 0)
+        # Readers superseded by a compaction/reset but possibly still
+        # iterated by an in-flight scan.  Their mmaps stay valid after
+        # the segment file is atomically replaced (the mapping pins the
+        # old inode), so retiring instead of closing gives every scan a
+        # consistent snapshot; close() releases them all.
+        self._retired_readers: List[SegmentReader] = []
         self._open_segments()
         # Pending (WAL-committed but uncompacted) state.
         self._pending_quads: List[Quad] = []
@@ -127,6 +133,7 @@ class QuadStore:
         self._file_relpath: Optional[str] = None
         self._file_digest: Optional[str] = None
         self._file_term_watermark = 0
+        self._file_prefix_watermark = 0
         self._recover()
 
     # -- lifecycle ----------------------------------------------------------
@@ -134,7 +141,8 @@ class QuadStore:
     def _open_segments(self) -> None:
         for name, reader in self._segments.items():
             self._probe_totals[name] += reader.probes
-            reader.close()
+            reader.probes = 0  # harvested; avoid double counting at close
+            self._retired_readers.append(reader)
         self._segments = {
             name: SegmentReader(self.path / segment_filename(name)) for name in ORDERINGS
         }
@@ -167,6 +175,9 @@ class QuadStore:
             self.dictionary.close()
             for reader in self._segments.values():
                 reader.close()
+            for reader in self._retired_readers:
+                reader.close()
+            self._retired_readers = []
             self._closed = True
 
     def __enter__(self) -> "QuadStore":
@@ -199,7 +210,17 @@ class QuadStore:
         return dict(self.manifest["files"])
 
     def store_info(self) -> Dict:
-        """Sizes and counters for the endpoint's ``/stats`` route."""
+        """Sizes and counters for the endpoint's ``/stats`` route.
+
+        Holds the store lock: ``compact()``/``reset()`` swap the reader
+        dict and rewrite the files this reads, so an unlocked snapshot
+        could mix generations (or, before readers were retired instead
+        of closed, hit a closed mmap).
+        """
+        with self._lock:
+            return self._store_info_locked()
+
+    def _store_info_locked(self) -> Dict:
         segment_sizes = {
             name: {
                 "records": len(self._segments[name]),
@@ -239,10 +260,11 @@ class QuadStore:
         are monotonically increasing process-lifetime counters, so a
         delta between two samples is the cost of the work in between.
         """
-        probes = 0
-        for name in ORDERINGS:
-            probes += self._probe_totals[name] + self._segments[name].probes
-        return probes, self.dictionary.cache_hits
+        with self._lock:
+            probes = 0
+            for name in ORDERINGS:
+                probes += self._probe_totals[name] + self._segments[name].probes
+            return probes, self.dictionary.cache_hits
 
     # -- ingest (single-writer) ---------------------------------------------
 
@@ -255,6 +277,7 @@ class QuadStore:
             self._file_digest = sha256_hex
             self._file_quads = set()
             self._file_term_watermark = len(self.dictionary)
+            self._file_prefix_watermark = len(self._pending_prefixes)
 
     def add_term(self, term: Term) -> int:
         """Intern a term, WAL-logging it if new; returns its id."""
@@ -315,6 +338,10 @@ class QuadStore:
             self._file_digest = None
             self._file_quads = None
             self.dictionary.rollback_to(self._file_term_watermark)
+            # Prefixes recorded during the aborted file must roll back
+            # with their (truncated) WAL records, or the next compact()
+            # would persist state a crash-replay would not reproduce.
+            del self._pending_prefixes[self._file_prefix_watermark:]
             self.wal.close()
             replay = self.wal.replay()
             self.wal.truncate_to(replay.committed_bytes)
@@ -328,8 +355,8 @@ class QuadStore:
             generation = self.generation
             self.wal.close()
             self.dictionary.close()
-            for reader in self._segments.values():
-                reader.close()
+            # Readers are retired (not closed) by _open_segments() below;
+            # unlinking a mapped segment file leaves the mapping valid.
             for name in list(os.listdir(self.path)):
                 if name == MANIFEST_FILE:
                     continue
@@ -368,8 +395,10 @@ class QuadStore:
             }
             # spog records are already (s, p, o, g); the other orderings
             # permute on write so their sort order is their field order.
-            for reader in self._segments.values():
-                reader.close()
+            # The current readers stay open across the rewrite: the tmp
+            # file + atomic rename in write_segment leaves their mapped
+            # inode intact, and _open_segments() retires them after the
+            # new generation is committed.
             for name, records in ordered.items():
                 write_segment(self.path / segment_filename(name), records)
             self.dictionary.compact()
@@ -418,7 +447,11 @@ class QuadStore:
     # -- read path -----------------------------------------------------------
 
     def segment(self, name: str) -> SegmentReader:
-        return self._segments[name]
+        """The current reader for *name* — a stable snapshot: even if a
+        compaction supersedes it mid-scan, the reader stays open (and
+        its mmap valid) until :meth:`close`."""
+        with self._lock:
+            return self._segments[name]
 
     def term_id(self, term: Term) -> Optional[int]:
         """Read-only term → id lookup (None when the term is unknown)."""

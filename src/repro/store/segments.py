@@ -110,6 +110,41 @@ class SegmentReader:
         self.probes += probes
         return lo
 
+    def gallop_left(self, key: Tuple[int, ...], lo: int = 0) -> int:
+        """First index >= *lo* whose record (prefix) is >= *key*.
+
+        Exponential (galloping) search from *lo*, then bisect inside the
+        bracket.  A merge join probes successive sorted keys with the
+        previous hit as *lo*, so each probe costs O(log distance) rather
+        than O(log n) — the monotone-cursor counterpart to
+        :meth:`_bisect_left`.  Probes are counted identically.
+        """
+        n = self.record_count
+        if lo >= n:
+            return n
+        width = len(key)
+        probes = 1
+        if self.record(lo)[:width] >= key:
+            self.probes += probes
+            return lo
+        offset = 1
+        while lo + offset < n:
+            probes += 1
+            if self.record(lo + offset)[:width] >= key:
+                break
+            offset <<= 1
+        left = lo + (offset >> 1) + 1
+        right = min(lo + offset, n)
+        while left < right:
+            probes += 1
+            mid = (left + right) // 2
+            if self.record(mid)[:width] < key:
+                left = mid + 1
+            else:
+                right = mid
+        self.probes += probes
+        return left
+
     def range_for_prefix(self, prefix: Tuple[int, ...]) -> Tuple[int, int]:
         """The [lo, hi) record range matching a bound-field prefix."""
         if not prefix:

@@ -65,6 +65,10 @@ class StoreGraph(Graph):
         self._store = store
         self._graph_id = graph_id
         self._union_size: Optional[Tuple[int, int]] = None  # (generation, size)
+        # term → id cache for the encoded executor; generation-keyed so a
+        # re-ingest behind a live engine can never serve stale ids.
+        self._encode_cache: Dict[Term, Optional[int]] = {}
+        self._encode_cache_generation = store.generation
 
     # -- version / statistics ------------------------------------------------
 
@@ -87,6 +91,45 @@ class StoreGraph(Graph):
 
     # -- id plumbing ---------------------------------------------------------
 
+    #: Encode-cache capacity; cleared wholesale on overflow (queries
+    #: re-touch a small working set of constants, so simple wins).
+    _ENCODE_CACHE_LIMIT = 65536
+
+    def encoded_scope(self) -> Optional[int]:
+        """The scope the encoded BGP executor plans against: ``None``
+        for the union view, else the graph id (0 = default graph).
+
+        The *presence* of this method is the capability signal — the
+        SPARQL layer duck-types on it and never imports repro.store.
+        """
+        return self._graph_id
+
+    def segment_reader(self, name: str):
+        """The store's current :class:`SegmentReader` for *name*."""
+        return self._store.segment(name)
+
+    def term_to_id(self, term: Term) -> Optional[int]:
+        """term → id through a bounded generation-keyed cache; ``None``
+        (also cached) when the dictionary has never seen the term."""
+        cache = self._encode_cache
+        generation = self._store.generation
+        if generation != self._encode_cache_generation:
+            cache.clear()
+            self._encode_cache_generation = generation
+        try:
+            return cache[term]
+        except KeyError:
+            pass
+        term_id = self._store.term_id(term)
+        if len(cache) >= self._ENCODE_CACHE_LIMIT:
+            cache.clear()
+        cache[term] = term_id
+        return term_id
+
+    def id_to_term(self, term_id: int) -> Term:
+        """id → term through the store's bounded decode LRU."""
+        return self._store.term(term_id)
+
     def _encode_pattern(self, subject, predicate, obj):
         """Bound terms → ids; returns None when a bound term is unknown
         to the dictionary (the pattern can then match nothing)."""
@@ -95,7 +138,7 @@ class StoreGraph(Graph):
             if term is None:
                 ids.append(None)
             else:
-                term_id = self._store.term_id(term)
+                term_id = self.term_to_id(term)
                 if term_id is None:
                     return None
                 ids.append(term_id)

@@ -1,0 +1,472 @@
+"""Encoded-ID execution: planner seeding, parity with the decoded path.
+
+The planner-seeding test reproduces a latent bug: `_eval_bgp` seeded
+`plan_bgp_steps` with `set(inputs[0])`, so after an OPTIONAL (or UNION)
+a variable bound in only *some* input solutions was planned as bound for
+all of them.  The correct seed is the intersection of bound-variable
+sets across the inputs.
+"""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, Namespace, PROV, RDF
+from repro.sparql import QueryEngine
+
+EX = Namespace("http://example.org/")
+
+PARITY_TTL = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:run0 a prov:Activity ;
+    prov:used ex:data0, ex:data1 ;
+    prov:endedAtTime "2013-01-01T11:00:00"^^xsd:dateTime .
+ex:run1 a prov:Activity ;
+    prov:used ex:data1 ;
+    prov:endedAtTime "2013-01-01T12:00:00"^^xsd:dateTime .
+ex:run2 a prov:Activity .
+ex:data0 a prov:Entity ; ex:size 10 .
+ex:data1 a prov:Entity ; ex:size 20 .
+ex:loop ex:self ex:loop .
+ex:a1 prov:used ex:d1 .
+ex:d2 prov:wasGeneratedBy ex:a1 .
+ex:a2 prov:used ex:d2 .
+ex:d3 prov:wasGeneratedBy ex:a2 .
+"""
+
+PARITY_TRIG = """\
+@prefix ex: <http://example.org/> .
+@prefix prov: <http://www.w3.org/ns/prov#> .
+ex:bundle1 {
+    ex:run0 a prov:Activity .
+    ex:run0 prov:wasAssociatedWith ex:alice .
+    ex:alice a prov:Agent .
+}
+"""
+
+PARITY_QUERIES = {
+    "join": """
+        SELECT ?run ?data WHERE {
+          ?run a prov:Activity .
+          ?run prov:used ?data .
+          ?data a prov:Entity .
+        } ORDER BY ?run ?data
+    """,
+    "optional": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?run ?end ?data WHERE {
+          ?run a prov:Activity .
+          OPTIONAL { ?run prov:endedAtTime ?end }
+          ?run prov:used ?data .
+        } ORDER BY ?run ?data
+    """,
+    "heterogeneous-join-var": """
+        SELECT ?run ?end ?other WHERE {
+          ?run a prov:Activity .
+          OPTIONAL { ?run prov:endedAtTime ?end }
+          ?other prov:endedAtTime ?end .
+        } ORDER BY ?run ?other
+    """,
+    "union": """
+        SELECT ?x WHERE {
+          { ?x a prov:Activity } UNION { ?x a prov:Entity }
+        } ORDER BY ?x
+    """,
+    "named-graph": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?s ?p ?o WHERE { GRAPH ex:bundle1 { ?s ?p ?o } } ORDER BY ?s ?p ?o
+    """,
+    "graph-var": """
+        SELECT ?g ?s WHERE { GRAPH ?g { ?s a prov:Activity } } ORDER BY ?g ?s
+    """,
+    "repeated-var": """
+        SELECT ?x ?p WHERE { ?x ?p ?x } ORDER BY ?x ?p
+    """,
+    "filter-not-exists": """
+        SELECT ?run WHERE {
+          ?run a prov:Activity .
+          FILTER NOT EXISTS { ?run prov:endedAtTime ?end }
+        } ORDER BY ?run
+    """,
+    "unknown-constant": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?o WHERE { ex:never-seen ?p ?o }
+    """,
+    "values-unknown-binding": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?s ?o WHERE {
+          VALUES ?s { ex:never-seen ex:run1 }
+          ?s prov:used ?o .
+        } ORDER BY ?s ?o
+    """,
+    "full-scan": """
+        SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o
+    """,
+}
+
+
+def _build_parity_corpus(root):
+    corpus = root / "corpus"
+    corpus.mkdir()
+    (corpus / "data.prov.ttl").write_text(PARITY_TTL)
+    (corpus / "named.prov.trig").write_text(PARITY_TRIG)
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def parity_pair(tmp_path_factory):
+    """(StoreDataset, in-memory Dataset) over the same parity corpus."""
+    from repro.rdf.trig import parse_trig
+    from repro.rdf.turtle import parse_turtle
+    from repro.store import QuadStore, StoreDataset, ingest_corpus
+
+    root = tmp_path_factory.mktemp("encoded-parity")
+    corpus = _build_parity_corpus(root)
+    store = QuadStore(root / "store")
+    ingest_corpus(store, corpus)
+    memory = Dataset()
+    parse_turtle(PARITY_TTL, graph=memory.default)
+    trig = parse_trig(PARITY_TRIG)
+    for name in trig.graph_names():
+        memory.graph(name).add_all(trig.graph(name))
+    yield StoreDataset(store), memory
+    store.close()
+
+
+def _rows(engine, query):
+    return [row.asdict() for row in engine.select(query)]
+
+HETEROGENEOUS_QUERY = """
+PREFIX prov: <http://www.w3.org/ns/prov#>
+SELECT ?run ?end ?data WHERE {
+  ?run a prov:Activity .
+  OPTIONAL { ?run prov:endedAtTime ?end }
+  ?run prov:used ?data .
+}
+ORDER BY ?run
+"""
+
+
+class TestPlannerSeeding:
+    def _captured_seeds(self, monkeypatch, graph):
+        from repro.sparql import evaluator as evaluator_mod
+        from repro.sparql.plan import plan_bgp_steps as real_plan
+
+        captured = []
+
+        def spy(patterns, bound_vars=(), graph=None):
+            captured.append((list(patterns), set(bound_vars)))
+            return real_plan(patterns, bound_vars, graph)
+
+        monkeypatch.setattr(evaluator_mod, "plan_bgp_steps", spy)
+        QueryEngine(graph).query(HETEROGENEOUS_QUERY)
+        return captured
+
+    def test_seed_is_intersection_after_optional(self, monkeypatch, sample_graph):
+        captured = self._captured_seeds(monkeypatch, sample_graph)
+        trailing = [
+            bound for patterns, bound in captured
+            if len(patterns) == 1 and patterns[0].predicate == PROV.used
+        ]
+        assert trailing, "trailing BGP never reached the planner"
+        # ?end is bound for run0/run1 but not run2, so it must not be
+        # part of the planner seed for the trailing pattern.
+        assert trailing == [{"run"}]
+
+    def test_results_unchanged_by_seeding(self, sample_graph):
+        rows = QueryEngine(sample_graph).query(HETEROGENEOUS_QUERY)
+        runs = [row["run"] for row in rows]
+        assert runs == [EX.run0, EX.run1, EX.run2]
+        assert rows[2].get("end") is None
+
+
+class TestOrderingLockstep:
+    def test_plan_orderings_match_segment_orderings(self):
+        """plan.py restates the segment permutations so the sparql layer
+        never imports repro.store; this pins the two copies together."""
+        from repro.sparql.plan import SEGMENT_ORDERINGS
+        from repro.store.segments import ORDERINGS
+
+        assert SEGMENT_ORDERINGS == ORDERINGS
+
+
+class TestChooseAccess:
+    """choose_access must replicate StoreGraph._match_ids dispatch."""
+
+    @pytest.mark.parametrize(
+        "mask,expected",
+        [
+            ("???", ("bisect", "spog")),
+            ("b??", ("bisect", "spog")),
+            ("j??", ("merge", "spog")),
+            ("?b?", ("bisect", "posg")),
+            ("??b", ("bisect", "ospg")),
+            ("??j", ("merge", "ospg")),
+            ("bb?", ("bisect", "spog")),
+            ("bj?", ("merge", "spog")),
+            ("b?b", ("bisect", "ospg")),
+            ("j?b", ("merge", "ospg")),
+            ("?bb", ("bisect", "posg")),
+            ("bbb", ("bisect", "spog")),
+            ("bbj", ("merge", "spog")),
+        ],
+    )
+    def test_union_scope(self, mask, expected):
+        from repro.sparql.plan import choose_access
+
+        assert choose_access(mask, None) == expected
+
+    @pytest.mark.parametrize(
+        "mask,expected",
+        [
+            # (s), (s, p), (s, p, o) chains ride gspo's (g, s, p, o) prefix.
+            ("???", ("bisect", "gspo")),
+            ("b??", ("bisect", "gspo")),
+            ("j??", ("merge", "gspo")),
+            ("bb?", ("bisect", "gspo")),
+            ("bj?", ("merge", "gspo")),
+            ("bbb", ("bisect", "gspo")),
+            # Non-chain bound sets fall back to a union ordering with a
+            # per-record graph filter.
+            ("?b?", ("bisect", "posg")),
+            ("??b", ("bisect", "ospg")),
+            ("??j", ("merge", "ospg")),
+            ("?bb", ("bisect", "posg")),
+            ("b?b", ("bisect", "ospg")),
+        ],
+    )
+    def test_single_graph_scope(self, mask, expected):
+        from repro.sparql.plan import choose_access
+
+        assert choose_access(mask, 7) == expected
+
+
+class TestQueryParity:
+    """Encoded pipeline vs decoded pipeline vs in-memory evaluator must
+    agree byte for byte on every query shape the executor dispatches on."""
+
+    @pytest.mark.parametrize("optimize", [True, False], ids=["opt", "literal"])
+    @pytest.mark.parametrize("name", sorted(PARITY_QUERIES))
+    def test_three_way_parity(self, parity_pair, name, optimize):
+        store_ds, mem_ds = parity_pair
+        query = PARITY_QUERIES[name]
+        encoded = _rows(QueryEngine(store_ds, optimize_joins=optimize), query)
+        decoded = _rows(
+            QueryEngine(store_ds, optimize_joins=optimize, encoded=False), query
+        )
+        memory = _rows(QueryEngine(mem_ds, optimize_joins=optimize), query)
+        assert encoded == decoded
+        assert encoded == memory
+
+    NO_ORDER_QUERY = """
+        SELECT ?run ?end ?data WHERE {
+          ?run a prov:Activity .
+          OPTIONAL { ?run prov:endedAtTime ?end }
+          ?run prov:used ?data .
+        }
+    """
+
+    @pytest.mark.parametrize("optimize", [True, False], ids=["opt", "literal"])
+    def test_row_order_byte_identity_without_order_by(self, parity_pair, optimize):
+        """Without ORDER BY the encoded pipeline must reproduce the
+        decoded pipeline's row *order*, not just its row set — the
+        heterogeneous batch (?end bound for run0/run1 only) exercises
+        per-group dispatch with outputs re-flattened in input order."""
+        store_ds, _ = parity_pair
+        encoded = _rows(QueryEngine(store_ds, optimize_joins=optimize), self.NO_ORDER_QUERY)
+        decoded = _rows(
+            QueryEngine(store_ds, optimize_joins=optimize, encoded=False),
+            self.NO_ORDER_QUERY,
+        )
+        assert encoded == decoded
+
+    def test_ask_parity(self, parity_pair):
+        store_ds, mem_ds = parity_pair
+        query = """
+            PREFIX ex: <http://example.org/>
+            ASK { ex:run1 prov:used ?d . ?d a prov:Entity }
+        """
+        assert QueryEngine(store_ds).ask(query) is True
+        assert QueryEngine(mem_ds).ask(query) is True
+        assert QueryEngine(store_ds).ask(
+            "PREFIX ex: <http://example.org/> ASK { ex:never-seen ?p ?o }"
+        ) is False
+
+
+PATH_QUERIES = {
+    "sequence": """
+        SELECT ?a ?b WHERE { ?a prov:wasGeneratedBy/prov:used ?b } ORDER BY ?a ?b
+    """,
+    "alternative": """
+        SELECT ?a ?b WHERE { ?a (prov:used|prov:wasGeneratedBy) ?b } ORDER BY ?a ?b
+    """,
+    "inverse": """
+        SELECT ?a ?b WHERE { ?a ^prov:used ?b } ORDER BY ?a ?b
+    """,
+    "plus-both-free": """
+        SELECT ?a ?b WHERE { ?a (prov:wasGeneratedBy/prov:used)+ ?b } ORDER BY ?a ?b
+    """,
+    "star-subject-bound": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?b WHERE { ex:d3 (prov:wasGeneratedBy/prov:used)* ?b } ORDER BY ?b
+    """,
+    "plus-object-bound": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?a WHERE { ?a (prov:wasGeneratedBy/prov:used)+ ex:d1 } ORDER BY ?a
+    """,
+    "star-ghost-subject": """
+        PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE { ex:ghost prov:used* ?x }
+    """,
+}
+
+
+class TestPathParity:
+    """Property paths fall back to the decoded pipeline; store-backed and
+    in-memory evaluation must still agree for every endpoint mask."""
+
+    @pytest.mark.parametrize("name", sorted(PATH_QUERIES))
+    def test_store_matches_memory(self, parity_pair, name):
+        store_ds, mem_ds = parity_pair
+        query = PATH_QUERIES[name]
+        assert _rows(QueryEngine(store_ds), query) == _rows(QueryEngine(mem_ds), query)
+
+    def test_ghost_zero_length_closure(self, parity_pair):
+        """p* must yield the zero-length match (t, t) even for a subject
+        the store dictionary has never seen — the reason path BGPs
+        cannot run in id space."""
+        store_ds, _ = parity_pair
+        rows = _rows(QueryEngine(store_ds), PATH_QUERIES["star-ghost-subject"])
+        assert rows == [{"x": EX.ghost}]
+
+    def test_both_endpoints_bound_ask(self, parity_pair):
+        store_ds, mem_ds = parity_pair
+        query = """
+            PREFIX ex: <http://example.org/>
+            ASK { ex:d3 (prov:wasGeneratedBy/prov:used)+ ex:d1 }
+        """
+        assert QueryEngine(store_ds).ask(query) is True
+        assert QueryEngine(mem_ds).ask(query) is True
+
+
+class TestScanStrategyMetrics:
+    def test_merge_counter_increments_on_join(self, parity_pair):
+        from repro.sparql.encoded import _SCAN_STRATEGY
+
+        store_ds, _ = parity_pair
+        before = _SCAN_STRATEGY.labels("merge").value
+        QueryEngine(store_ds).select(PARITY_QUERIES["join"])
+        assert _SCAN_STRATEGY.labels("merge").value > before
+
+    def test_bisect_counter_increments_on_constant_scan(self, parity_pair):
+        from repro.sparql.encoded import _SCAN_STRATEGY
+
+        store_ds, _ = parity_pair
+        before = _SCAN_STRATEGY.labels("bisect").value
+        # The first step's mask has no join-bound position, so its
+        # (single-key) scan is a bisect batch.
+        QueryEngine(store_ds).select(
+            "SELECT ?run ?data WHERE { ?run a prov:Activity . ?run prov:used ?data }"
+            " ORDER BY ?run ?data"
+        )
+        assert _SCAN_STRATEGY.labels("bisect").value > before
+
+    def test_single_pattern_singleton_input_skips_encoded(self, parity_pair):
+        """A one-pattern BGP over one input solution has exactly one
+        scan range — the executor must not engage (no batch to win on)."""
+        from repro.sparql.encoded import _SCAN_STRATEGY
+
+        store_ds, _ = parity_pair
+        merge = _SCAN_STRATEGY.labels("merge").value
+        bisect = _SCAN_STRATEGY.labels("bisect").value
+        rows = _rows(
+            QueryEngine(store_ds),
+            "SELECT ?run WHERE { ?run a prov:Activity } ORDER BY ?run",
+        )
+        assert rows == [{"run": EX.run0}, {"run": EX.run1}, {"run": EX.run2}]
+        assert _SCAN_STRATEGY.labels("merge").value == merge
+        assert _SCAN_STRATEGY.labels("bisect").value == bisect
+
+
+class TestPlanRendering:
+    def test_store_plan_annotates_join_and_ordering(self, parity_pair):
+        store_ds, _ = parity_pair
+        text = QueryEngine(store_ds).explain(PARITY_QUERIES["join"]).to_text()
+        assert "join=merge" in text
+        assert "ordering=" in text
+
+    def test_memory_plan_is_unannotated(self, sample_graph):
+        text = QueryEngine(sample_graph).explain(PARITY_QUERIES["join"]).to_text()
+        assert "join=" not in text
+        assert "ordering=" not in text
+
+    def test_path_bgp_scans_are_unannotated(self, parity_pair):
+        store_ds, _ = parity_pair
+        text = QueryEngine(store_ds).explain(PATH_QUERIES["sequence"]).to_text()
+        assert "join=" not in text
+
+    def test_digest_stable_across_encoded_toggle(self, parity_pair):
+        """The digest keys the plan, not the runtime pipeline — flipping
+        ``encoded`` must not change it."""
+        store_ds, _ = parity_pair
+        query = PARITY_QUERIES["join"]
+        on = QueryEngine(store_ds).explain(query).digest
+        off = QueryEngine(store_ds, encoded=False).explain(query).digest
+        assert on == off
+
+    def test_profile_reports_operator(self, parity_pair):
+        store_ds, _ = parity_pair
+        profile = QueryEngine(store_ds).profile(PARITY_QUERIES["join"])
+        assert "merge" in profile.to_text()
+
+
+@pytest.fixture(scope="module")
+def big_pair(tmp_path_factory):
+    """A ~200-run synthetic store (and the store itself, for counters):
+    large enough that merge-join galloping measurably beats per-binding
+    bisect."""
+    from repro.store import QuadStore, StoreDataset
+
+    store = QuadStore(tmp_path_factory.mktemp("encoded-big") / "store")
+    store.begin_file("big.prov.ttl", "0" * 64)
+    rdf_type = store.add_term(RDF.type)
+    activity = store.add_term(PROV.Activity)
+    entity = store.add_term(PROV.Entity)
+    used = store.add_term(PROV.used)
+    for i in range(200):
+        run = store.add_term(EX[f"run{i}"])
+        data = store.add_term(EX[f"data{i}"])
+        store.add_quad(run, rdf_type, activity)
+        store.add_quad(run, used, data)
+        store.add_quad(data, rdf_type, entity)
+    store.commit_file()
+    store.compact()
+    yield StoreDataset(store), store
+    store.close()
+
+
+class TestProbeReduction:
+    JOIN_QUERY = """
+        SELECT ?run ?data WHERE {
+          ?run a prov:Activity .
+          ?run prov:used ?data .
+          ?data a prov:Entity .
+        }
+    """
+
+    def test_encoded_probes_fewer_than_decoded(self, big_pair):
+        store_ds, store = big_pair
+        decoded_engine = QueryEngine(store_ds, encoded=False)
+        encoded_engine = QueryEngine(store_ds)
+
+        before = store.runtime_counters()[0]
+        decoded_rows = _rows(decoded_engine, self.JOIN_QUERY)
+        decoded_probes = store.runtime_counters()[0] - before
+
+        before = store.runtime_counters()[0]
+        encoded_rows = _rows(encoded_engine, self.JOIN_QUERY)
+        encoded_probes = store.runtime_counters()[0] - before
+
+        assert encoded_rows == decoded_rows
+        assert len(encoded_rows) == 200
+        assert encoded_probes < decoded_probes

@@ -1,0 +1,117 @@
+"""Regression tests for store abort/read-path correctness bugs.
+
+Three latent bugs fixed in the same PR:
+
+* ``abort_file()`` left prefixes recorded during the aborted file in
+  ``_pending_prefixes`` even though their WAL records were truncated —
+  the next ``compact()`` persisted state a crash-replay would not have.
+* ``store_info()`` / ``runtime_counters()`` / ``segment()`` read
+  ``_segments`` without the store lock while ``compact()``/``reset()``
+  closed those readers and swapped the dict, so a concurrent ``/stats``
+  scrape or an in-flight segment scan could hit a closed mmap.
+"""
+
+import threading
+
+import pytest
+
+from repro.rdf import Namespace
+from repro.store import QuadStore, ingest_corpus
+
+EX = Namespace("http://example.org/")
+
+
+def _ingest_one(store, relpath, digest, subject):
+    store.begin_file(relpath, digest)
+    store.add_quad(
+        store.add_term(subject), store.add_term(EX.p), store.add_term(EX.o)
+    )
+    store.commit_file()
+
+
+class TestAbortPrefixRollback:
+    def test_abort_file_rolls_back_prefixes(self, tmp_path):
+        store = QuadStore(tmp_path / "s")
+        store.begin_file("a.ttl", "00" * 32)
+        store.add_prefix("keep", "http://keep.example/")
+        store.add_quad(
+            store.add_term(EX.s), store.add_term(EX.p), store.add_term(EX.o)
+        )
+        store.commit_file()
+        store.begin_file("b.ttl", "11" * 32)
+        store.add_prefix("leak", "http://leak.example/")
+        store.abort_file()
+        # The aborted file's prefix must not survive to the manifest: its
+        # WAL record was truncated, so a crash right here would replay to
+        # a store without it — in-memory state has to agree.
+        store.compact()
+        assert store.prefixes == {"keep": "http://keep.example/"}
+        store.close()
+        with QuadStore(tmp_path / "s") as reopened:
+            assert reopened.prefixes == {"keep": "http://keep.example/"}
+
+    def test_abort_then_commit_other_file_keeps_later_prefix(self, tmp_path):
+        store = QuadStore(tmp_path / "s")
+        store.begin_file("a.ttl", "00" * 32)
+        store.add_prefix("dead", "http://dead.example/")
+        store.abort_file()
+        store.begin_file("b.ttl", "11" * 32)
+        store.add_prefix("live", "http://live.example/")
+        store.add_quad(
+            store.add_term(EX.s), store.add_term(EX.p), store.add_term(EX.o)
+        )
+        store.commit_file()
+        store.compact()
+        assert store.prefixes == {"live": "http://live.example/"}
+        store.close()
+
+
+class TestReadPathsDuringCompaction:
+    def test_segment_scan_survives_compaction(self, tiny_corpus_dir, tmp_path):
+        """A scan started before a compaction must finish on its snapshot
+        instead of crashing on a closed mmap."""
+        store = QuadStore(tmp_path / "s")
+        ingest_corpus(store, tiny_corpus_dir)
+        reader = store.segment("spog")
+        records_before = len(reader)
+        scan = reader.scan()
+        first = next(scan)
+        _ingest_one(store, "extra.ttl", "22" * 32, EX.s9)
+        store.compact()  # swaps in fresh readers for the new generation
+        rest = list(scan)  # must not raise "mmap closed or invalid"
+        assert [first] + rest == sorted([first] + rest)
+        assert 1 + len(rest) == records_before
+        store.close()
+
+    def test_store_info_concurrent_with_compaction(self, tmp_path):
+        """Hammer the /stats read path while compactions swap readers."""
+        store = QuadStore(tmp_path / "s")
+        _ingest_one(store, "seed.ttl", "00" * 32, EX.s0)
+        store.compact()
+        errors = []
+        stop = threading.Event()
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    info = store.store_info()
+                    assert info["quads"] >= 1
+                    store.runtime_counters()
+                    store.segment("spog").count_prefix(())
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(30):
+                _ingest_one(store, f"f{i}.ttl", f"{i:02d}" * 32, EX[f"s{i}"])
+                store.compact()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+        store.close()
