@@ -29,7 +29,7 @@ def test_a1_dependency_extraction(ok_trace, benchmark):
 
 def test_a1_transitive_closure(ok_trace, benchmark):
     analyzer = DependencyAnalyzer(ok_trace.graph())
-    output = next(iter(analyzer._generated_by))
+    output = analyzer.generated_entities()[0]
 
     deps = benchmark(analyzer.transitive_dependencies, output)
     assert isinstance(deps, set)

@@ -142,6 +142,36 @@ def test_query_plan_trajectory(artifacts_dir):
                    json.dumps(trajectory[-50:], indent=2))
 
 
+def test_paths_trajectory(artifacts_dir):
+    """Fold this run's path-index numbers into the trajectory.
+
+    ``bench_paths.py`` writes ``paths_bench.json``; the deep-lineage
+    speedup, the closure-eval timings, and the trie mining cost are
+    appended to ``paths_trajectory.json`` so future PRs can see whether
+    the index keeps paying for itself.
+    """
+    current = artifacts_dir / "paths_bench.json"
+    if not current.exists():
+        pytest.skip("bench_paths.py did not run in this session")
+    data = json.loads(current.read_text())
+    assert data["deep_lineage"]["speedup"] >= 5
+    entry = {
+        "recorded_at": dt.datetime.now().isoformat(timespec="seconds"),
+        "deep_lineage_speedup": data["deep_lineage"]["speedup"],
+        "deep_lineage_queries": data["deep_lineage"]["queries"],
+        "closure_eval_speedup": data["closure_eval"]["speedup"],
+        "closure_rows": data["closure_eval"]["rows"],
+        "frequent_patterns": data["frequent_patterns"]["patterns"],
+        "trie_mine_s": data["frequent_patterns"]["trie_mine_s"],
+        "metrics": _registry_metrics(),
+    }
+    trajectory_path = artifacts_dir / "paths_trajectory.json"
+    trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    trajectory.append(entry)
+    write_artifact(artifacts_dir, "paths_trajectory.json",
+                   json.dumps(trajectory[-50:], indent=2))
+
+
 def test_store_trajectory(artifacts_dir):
     """Fold this run's persistent-store numbers into the trajectory.
 

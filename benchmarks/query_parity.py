@@ -13,6 +13,11 @@ configuration, and the EXPLAIN plan digest must be identical between the
 two store builds (plan determinism across parallel ingest) and across
 the encoded toggle (the digest keys the plan, not the runtime pipeline).
 
+A second matrix covers property-path queries with the persisted path
+index toggled on/off (index-served closures must be byte-identical to
+graph BFS), and the three index files themselves must be byte-identical
+between the ``--jobs 1`` and ``--jobs 2`` stores.
+
 Run as a script (CI gate)::
 
     PYTHONPATH=src python benchmarks/query_parity.py [workdir]
@@ -33,6 +38,27 @@ from repro.sparql import QueryEngine
 from repro.store import QuadStore, StoreDataset, ingest_corpus
 
 SEED = 2013
+
+#: Property-path parity queries: the closure/sequence/inverse shapes the
+#: path index serves, plus the `p*` shape that must fall back to BFS.
+PATH_QUERIES = {
+    "P1-lineage": """
+        PREFIX prov: <http://www.w3.org/ns/prov#>
+        SELECT ?out ?src WHERE { ?out (prov:used|^prov:wasGeneratedBy)+ ?src }
+    """,
+    "P2-sequence": """
+        PREFIX prov: <http://www.w3.org/ns/prov#>
+        SELECT ?a ?b WHERE { ?a (prov:used/prov:wasGeneratedBy)+ ?b }
+    """,
+    "P3-star": """
+        PREFIX prov: <http://www.w3.org/ns/prov#>
+        SELECT ?a ?b WHERE { ?a prov:used* ?b }
+    """,
+    "P4-inverse": """
+        PREFIX prov: <http://www.w3.org/ns/prov#>
+        SELECT ?e ?act WHERE { ?act ^prov:wasGeneratedBy ?e }
+    """,
+}
 
 
 def _engine(source, optimize: bool, encoded: bool) -> QueryEngine:
@@ -124,6 +150,49 @@ def run_parity(workdir: Path) -> int:
                     "memory_opt_on": digests["memory/opt=on/enc=on"],
                 },
             }
+        # Property-path matrix: the path index must be invisible in the
+        # results, whichever sources/optimizer it combines with.
+        for name, text in sorted(PATH_QUERIES.items()):
+            results = {}
+            for source_name, source in sources.items():
+                for optimize in (True, False):
+                    for use_index in (True, False):
+                        config = (
+                            f"{source_name}/opt={'on' if optimize else 'off'}"
+                            f"/idx={'on' if use_index else 'off'}"
+                        )
+                        engine = QueryEngine(
+                            source, optimize_joins=optimize,
+                            path_index=use_index, cache_size=0,
+                        )
+                        results[config] = _canon_rows(engine.query(text))
+            baseline_config, baseline = next(iter(results.items()))
+            mismatched = [
+                config for config, rows in results.items() if rows != baseline
+            ]
+            if mismatched:
+                failures += 1
+                print(f"FAIL {name}: rows diverge from {baseline_config}: "
+                      f"{', '.join(mismatched)}")
+            else:
+                print(f"ok   {name}: {len(baseline)} rows identical "
+                      f"across {len(results)} configurations")
+            summary[name] = {"rows": len(baseline)}
+
+        # The index derives purely from the (byte-identical) segments,
+        # so its own files must not depend on the ingest job count.
+        from repro.pathindex import FWD_FILE, INV_FILE, TRIE_FILE
+
+        for file_name in (FWD_FILE, INV_FILE, TRIE_FILE):
+            bytes_j1 = (stores[1].path / file_name).read_bytes()
+            bytes_j2 = (stores[2].path / file_name).read_bytes()
+            if bytes_j1 != bytes_j2:
+                failures += 1
+                print(f"FAIL path index {file_name} differs between "
+                      f"--jobs 1 and --jobs 2 builds")
+            else:
+                print(f"ok   path index {file_name}: "
+                      f"{len(bytes_j1)} bytes identical across job counts")
     finally:
         for store in stores.values():
             store.close()

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 from ..rdf.graph import Graph
-from ..rdf.namespace import DCTERMS, OPMW, WFDESC, WFPROV, RDF
+from ..rdf.namespace import DCTERMS, OPMW, PROV, WFDESC, WFPROV, RDF
 from ..rdf.terms import IRI, Literal
 from ..taverna.provexport import TAVERNAPROV
 
@@ -133,6 +133,33 @@ class RunDebugger:
         report.executed_steps = sorted(report.executed_steps)
         report.affected_steps = sorted(report.affected_steps)
         return report
+
+    # -- downstream impact -------------------------------------------------------
+
+    def failure_impact(self, run_iri: IRI) -> List[IRI]:
+        """Data products tainted by the run's failure, sorted.
+
+        The responsible processes' outputs plus everything transitively
+        derived from them — the entity-level complement of
+        ``affected_steps``.  Dependency traversal goes through
+        :class:`~repro.apps.dependencies.DependencyAnalyzer`, so on a
+        store-backed union graph it rides the persisted derivation DAG.
+        """
+        from .dependencies import DependencyAnalyzer
+
+        report = self.debug(run_iri)
+        analyzer = DependencyAnalyzer(self.graph)
+        tainted: Set[IRI] = set()
+        for process in report.responsible_processes:
+            for t in self.graph.triples(None, PROV.wasGeneratedBy, process):
+                if not isinstance(t.subject, IRI):
+                    continue
+                tainted.add(t.subject)
+                tainted.update(
+                    d for d in analyzer.dependents_of(t.subject)
+                    if isinstance(d, IRI)
+                )
+        return sorted(tainted, key=lambda term: term.value)
 
     # -- helpers -----------------------------------------------------------------
 

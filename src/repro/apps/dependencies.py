@@ -9,6 +9,14 @@ applies equally to Taverna and Wings traces (both assert ``prov:used`` and
 ``prov:wasGeneratedBy``; the analyzer derives entity→entity dependencies
 through the shared activity, plus any explicitly asserted derivation
 subproperties such as the Wings ``prov:hadPrimarySource``).
+
+Over a store-backed union graph the analyzer detects the persisted path
+index (the duck-typed ``path_index()`` capability) and answers the
+transitive questions — dependencies, dependents, lineage paths — by BFS
+over the pre-composed derivation DAG in u32 id space, skipping both the
+per-trace adjacency scan and per-step ``prov:used`` lookups.  The
+derivation relation in the index is built by the same composition rule
+as :meth:`DependencyAnalyzer.direct_dependencies`, so both routes agree.
 """
 
 from __future__ import annotations
@@ -40,26 +48,54 @@ class DependencyAnalyzer:
 
     def __init__(self, graph: Graph):
         self.graph = graph
-        self._generated_by: Dict[IRI, List[IRI]] = {}
-        self._used_by: Dict[IRI, List[IRI]] = {}
-        for t in graph.triples(None, PROV.wasGeneratedBy, None):
-            self._generated_by.setdefault(t.subject, []).append(t.object)
-        for t in graph.triples(None, PROV.used, None):
-            self._used_by.setdefault(t.subject, []).append(t.object)
+        probe = getattr(graph, "path_index", None)
+        #: Persisted derivation DAG, when the graph is a store-backed
+        #: union view with a live index; None otherwise.
+        self._index = probe() if callable(probe) else None
+        # Adjacency maps are built lazily: the index fast paths never
+        # need them, so an analyzer used only for transitive questions
+        # over a store skips the two full predicate scans entirely.
+        self._generated_by: Optional[Dict[IRI, List[IRI]]] = None
+        self._used_by: Optional[Dict[IRI, List[IRI]]] = None
+
+    @property
+    def uses_index(self) -> bool:
+        """True when transitive questions ride the persisted path index."""
+        return self._index is not None
+
+    def _ensure_maps(self) -> None:
+        if self._generated_by is not None:
+            return
+        generated_by: Dict[IRI, List[IRI]] = {}
+        used_by: Dict[IRI, List[IRI]] = {}
+        for t in self.graph.triples(None, PROV.wasGeneratedBy, None):
+            generated_by.setdefault(t.subject, []).append(t.object)
+        for t in self.graph.triples(None, PROV.used, None):
+            used_by.setdefault(t.subject, []).append(t.object)
+        self._generated_by = generated_by
+        self._used_by = used_by
 
     # -- the paper's core question -------------------------------------------
 
     def generating_process(self, entity: IRI) -> Optional[IRI]:
         """The process that generated *entity* (None for workflow inputs)."""
+        self._ensure_maps()
         activities = self._generated_by.get(entity, [])
         return activities[0] if activities else None
 
+    def generated_entities(self) -> List[IRI]:
+        """Every entity with a ``prov:wasGeneratedBy`` assertion, sorted."""
+        self._ensure_maps()
+        return sorted(self._generated_by, key=lambda t: t.value)
+
     def inputs_of(self, activity: IRI) -> List[IRI]:
         """Entities the activity used, sorted for determinism."""
+        self._ensure_maps()
         return sorted(self._used_by.get(activity, []), key=lambda t: t.value)
 
     def direct_dependencies(self, entity: IRI) -> List[Derivation]:
         """The entities *entity* was directly derived from."""
+        self._ensure_maps()
         out: List[Derivation] = []
         for activity in self._generated_by.get(entity, []):
             for source in self.inputs_of(activity):
@@ -73,6 +109,8 @@ class DependencyAnalyzer:
 
     def transitive_dependencies(self, entity: IRI) -> Set[IRI]:
         """Every data product *entity* transitively depends on."""
+        if self._index is not None:
+            return self._transitive_ids(entity, inverse=False)
         seen: Set[IRI] = set()
         frontier = [entity]
         while frontier:
@@ -85,17 +123,50 @@ class DependencyAnalyzer:
 
     def dependents_of(self, entity: IRI) -> Set[IRI]:
         """Every data product that transitively depends on *entity*."""
+        if self._index is not None:
+            return self._transitive_ids(entity, inverse=True)
         graph = self.dependency_graph()
         if entity.value not in graph:
             return set()
         return {IRI(n) for n in nx.ancestors(graph, entity.value)}
 
+    def _transitive_ids(self, entity: IRI, inverse: bool) -> Set[IRI]:
+        """Reachable set over the index's derivation DAG (forward =
+        sources the entity depends on, inverse = dependent products)."""
+        index = self._index
+        entity_id = self.graph.term_to_id(entity)
+        if entity_id is None:
+            return set()
+        step = index.neighbors_inv if inverse else index.neighbors
+        seen: Set[int] = set()
+        frontier = [entity_id]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in step(index.DERIVATION, current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        decode = self.graph.id_to_term
+        return {decode(node) for node in seen}
+
     # -- graph views -------------------------------------------------------------
+
+    def _products(self) -> List[IRI]:
+        """Entities with at least one outgoing derivation: generated
+        entities plus subjects of asserted derivation (sub)properties —
+        products of the latter kind carry no ``prov:wasGeneratedBy``."""
+        self._ensure_maps()
+        products: Dict[IRI, None] = dict.fromkeys(self._generated_by)
+        for prop in [PROV.wasDerivedFrom] + list(DERIVATION_SUBPROPERTIES):
+            for t in self.graph.triples(None, prop, None):
+                if isinstance(t.object, IRI):
+                    products.setdefault(t.subject, None)
+        return list(products)
 
     def dependency_graph(self) -> "nx.DiGraph":
         """Entity DAG: edge product → source, annotated with the activity."""
         graph = nx.DiGraph()
-        for entity in self._generated_by:
+        for entity in self._products():
             for dep in self.direct_dependencies(entity):
                 graph.add_edge(
                     dep.product.value,
@@ -107,13 +178,15 @@ class DependencyAnalyzer:
     def all_dependency_pairs(self) -> List[Tuple[IRI, IRI]]:
         """Every (product, source) pair in the trace, sorted."""
         pairs = set()
-        for entity in list(self._generated_by):
+        for entity in self._products():
             for dep in self.direct_dependencies(entity):
                 pairs.add((dep.product, dep.source))
         return sorted(pairs, key=lambda p: (p[0].value, p[1].value))
 
     def derivation_path(self, product: IRI, source: IRI) -> Optional[List[IRI]]:
         """A derivation chain product → ... → source, or None."""
+        if self._index is not None:
+            return self._derivation_path_ids(product, source)
         graph = self.dependency_graph()
         if product.value not in graph or source.value not in graph:
             return None
@@ -122,3 +195,46 @@ class DependencyAnalyzer:
         except nx.NetworkXNoPath:
             return None
         return [IRI(node) for node in path]
+
+    def _derivation_path_ids(self, product: IRI, source: IRI) -> Optional[List[IRI]]:
+        """Shortest chain over the index DAG, BFS with parent pointers.
+
+        Mirrors the decoded route's membership contract: both endpoints
+        must participate in the derivation DAG at all (as product *or*
+        source of some edge), even for the trivial product == source
+        chain.
+        """
+        index = self._index
+        product_id = self.graph.term_to_id(product)
+        source_id = self.graph.term_to_id(source)
+        if product_id is None or source_id is None:
+            return None
+        rel = index.DERIVATION
+        if not index.in_dag(rel, product_id) or not index.in_dag(rel, source_id):
+            return None
+        if product_id == source_id:
+            return [product]
+        parents: Dict[int, int] = {}
+        frontier = [product_id]
+        found = False
+        while frontier and not found:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor in index.neighbors(rel, node):
+                    if neighbor in parents or neighbor == product_id:
+                        continue
+                    parents[neighbor] = node
+                    if neighbor == source_id:
+                        found = True
+                        break
+                    next_frontier.append(neighbor)
+                if found:
+                    break
+            frontier = next_frontier
+        if not found:
+            return None
+        chain = [source_id]
+        while chain[-1] != product_id:
+            chain.append(parents[chain[-1]])
+        decode = self.graph.id_to_term
+        return [decode(node) for node in reversed(chain)]

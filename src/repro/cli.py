@@ -10,6 +10,10 @@ Sub-commands:
 * ``coverage`` — print Tables 2 and 3;
 * ``query <dir> <sparql or @file>`` — run a SPARQL query over a stored
   corpus;
+* ``lineage <dir> <entity>`` — trace an entity's derivation lineage
+  (ancestors by default, ``--descendants`` for dependents, ``--to IRI``
+  for a chain between two entities); with ``--store`` the traversal runs
+  over the store's persisted path index;
 * ``serve <dir> [--port N]`` — start the SPARQL endpoint over a stored
   corpus;
 * ``store ingest <dir>`` — incrementally ingest a stored corpus into a
@@ -89,6 +93,27 @@ def build_parser() -> argparse.ArgumentParser:
              "the merged plan + stats report",
     )
     _add_trace_flag(p_query)
+
+    p_lineage = sub.add_parser(
+        "lineage", help="trace an entity's derivation lineage in a stored corpus"
+    )
+    p_lineage.add_argument("directory", type=Path, help="corpus directory")
+    p_lineage.add_argument("entity", help="entity IRI to trace")
+    p_lineage.add_argument(
+        "--to", metavar="IRI", default=None,
+        help="print a derivation chain from the entity to this source IRI",
+    )
+    p_lineage.add_argument(
+        "--descendants", action="store_true",
+        help="list transitive dependents (what was derived from the entity) "
+             "instead of its transitive dependencies",
+    )
+    p_lineage.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="answer from a persistent quad store; lineage then runs over "
+             "the store's persisted path index",
+    )
+    p_lineage.add_argument("--json", action="store_true", help="print JSON")
 
     p_serve = sub.add_parser("serve", help="serve a stored corpus over SPARQL")
     p_serve.add_argument(
@@ -202,6 +227,7 @@ def main(argv=None) -> int:
         "figure1": _cmd_figure1,
         "coverage": _cmd_coverage,
         "query": _cmd_query,
+        "lineage": _cmd_lineage,
         "serve": _cmd_serve,
         "store": _cmd_store,
         "obs": _cmd_obs,
@@ -313,6 +339,54 @@ def _cmd_query(args) -> int:
             print(result.pretty())
             print(f"({len(result)} rows)")
     _write_trace(tracer, args)
+    return 0
+
+
+def _cmd_lineage(args) -> int:
+    from .apps.dependencies import DependencyAnalyzer
+    from .corpus import load_corpus
+    from .rdf.terms import IRI
+
+    entity = IRI(args.entity)
+    stored = load_corpus(args.directory, store=args.store)
+    with stored:
+        analyzer = DependencyAnalyzer(stored.dataset().union_graph())
+        if args.to is not None:
+            mode = "path"
+            chain = analyzer.derivation_path(entity, IRI(args.to))
+            results = [term.value for term in chain] if chain is not None else None
+        elif args.descendants:
+            mode = "descendants"
+            results = sorted(
+                term.value for term in analyzer.dependents_of(entity)
+            )
+        else:
+            mode = "ancestors"
+            results = sorted(
+                term.value for term in analyzer.transitive_dependencies(entity)
+            )
+        indexed = analyzer.uses_index
+    if args.json:
+        print(json.dumps({
+            "entity": entity.value,
+            "mode": mode,
+            "indexed": indexed,
+            "results": results,
+        }, indent=2))
+        # An empty ancestor/dependent list is a valid answer; only a
+        # requested-but-absent chain is a failure.
+        return 0 if args.to is None or results is not None else 1
+    if args.to is not None:
+        if results is None:
+            print(f"no derivation chain from {entity.value} to {args.to}")
+            return 1
+        print("  ->  ".join(results))
+        return 0
+    for value in results:
+        print(value)
+    label = "dependent(s)" if mode == "descendants" else "ancestor(s)"
+    via = "path index" if indexed else "graph traversal"
+    print(f"({len(results)} {label} of {entity.value}, via {via})")
     return 0
 
 

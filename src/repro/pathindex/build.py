@@ -1,0 +1,222 @@
+"""Build the persistent path/pattern index from a store's segments.
+
+:func:`build_path_index` derives everything from the store's **current
+compacted generation** — sorted segment scans in id space plus a handful
+of label/timestamp decodes — and writes the three index files followed
+by the manifest (the commit point).  Because segment files are
+byte-identical across serial and parallel ingest, so is the index.
+
+Edge derivation (see :mod:`repro.pathindex.format` for the relation
+table):
+
+* relations 0–5 copy the raw predicate extensions — ``prov:used``,
+  ``prov:wasGeneratedBy``, asserted ``prov:wasDerivedFrom`` and its
+  subproperties — over the union scope (distinct (s, o) pairs across
+  graphs, exactly what a plain BGP matches);
+* relation 6 (``derivation``) composes usage through generation:
+  ``product --wasGeneratedBy--> activity --used--> source`` yields
+  product → source for every source ≠ product, merged with every
+  asserted derivation (sub)property edge whose object is an IRI — the
+  same relation :class:`repro.apps.dependencies.DependencyAnalyzer`
+  derives per query, materialized once.
+
+Sequence extraction for the trie groups process activities by their
+**run**: Taverna processes via ``wfprov:wasPartOfWorkflowRun`` (typed
+``wfprov:ProcessRun``), Wings processes via ``opmw:isStepOfTemplate``
+pointing at a ``opmw:WorkflowExecutionAccount``.  Runs are keyed by the
+run/account term id — graph ids cannot do this job, because Turtle
+traces all land in the default graph.  Within a run, activities sort by
+(``prov:startedAtTime`` lexical, template-step IRI), which is temporal
+order for Taverna and stable step order for Wings (whose exports carry
+no per-process timestamps).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..prov.constants import DERIVATION_SUBPROPERTIES
+from ..rdf.namespace import OPMW, PROV, RDF, WFPROV
+from ..rdf.terms import IRI
+from .format import (
+    FWD_FILE,
+    INDEX_FORMAT_VERSION,
+    INV_FILE,
+    REL_DERIVATION,
+    REL_GENERATED_BY,
+    REL_HAD_PRIMARY_SOURCE,
+    REL_USED,
+    REL_WAS_DERIVED_FROM,
+    REL_WAS_QUOTED_FROM,
+    REL_WAS_REVISION_OF,
+    RELATION_NAMES,
+    TRIE_FILE,
+    write_edges,
+    write_index_manifest,
+)
+from .trie import write_trie
+
+__all__ = ["build_path_index", "run_sequences", "store_files_sha"]
+
+#: Asserted derivation predicates → relation code (wasDerivedFrom plus
+#: its PROV-O subproperties, in the constants' order).
+_ASSERTED_RELS: List[Tuple[IRI, int]] = [
+    (PROV.wasDerivedFrom, REL_WAS_DERIVED_FROM),
+    (DERIVATION_SUBPROPERTIES[0], REL_HAD_PRIMARY_SOURCE),   # hadPrimarySource
+    (DERIVATION_SUBPROPERTIES[1], REL_WAS_QUOTED_FROM),      # wasQuotedFrom
+    (DERIVATION_SUBPROPERTIES[2], REL_WAS_REVISION_OF),      # wasRevisionOf
+]
+
+
+def store_files_sha(store) -> str:
+    """sha256 over the store's ingested-file hash map — the incremental
+    rebuild key: an unchanged corpus re-ingest keeps it (and the store
+    generation) fixed, so the index stays valid without a rebuild."""
+    canonical = json.dumps(store.files, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _union_pairs(store, predicate: IRI) -> List[Tuple[int, int]]:
+    """Distinct (s, o) id pairs of *predicate* over the union scope, in
+    the posg segment's (o, s) sort order."""
+    pid = store.term_id(predicate)
+    if pid is None:
+        return []
+    return [
+        (s, o)
+        for _, o, s in store.segment("posg").scan_distinct_triples((pid,))
+    ]
+
+
+def _first_object(store, spog, subject_id: int, predicate_id: Optional[int]) -> Optional[int]:
+    if predicate_id is None:
+        return None
+    for _, _, o in spog.scan_distinct_triples((subject_id, predicate_id)):
+        return o
+    return None
+
+
+def _has(spog, s: int, p: Optional[int], o: Optional[int]) -> bool:
+    if p is None or o is None:
+        return False
+    return spog.count_prefix((s, p, o)) > 0
+
+
+def run_sequences(store) -> Dict[int, List[int]]:
+    """Per-run activity-label sequences, keyed by run/account term id.
+
+    Exposed separately from :func:`build_path_index` so parity tests and
+    benchmarks can brute-force pattern support against the raw sequences
+    the trie was built from.
+    """
+    tid = store.term_id
+    spog = store.segment("spog")
+    type_id = tid(RDF.type)
+
+    # (run id → [(sort key, label id)]) — labels are template-step ids.
+    grouped: Dict[int, List[Tuple[Tuple[str, str, int], int]]] = {}
+
+    def decoded_value(term_id: int) -> str:
+        term = store.term(term_id)
+        return getattr(term, "value", None) or getattr(term, "lexical", str(term))
+
+    def add(run_id: int, proc_id: int, label_id: Optional[int], start_pid) -> None:
+        label = label_id if label_id is not None else proc_id
+        start = ""
+        started = _first_object(store, spog, proc_id, start_pid)
+        if started is not None:
+            start = getattr(store.term(started), "lexical", "")
+        key = (start, decoded_value(label), proc_id)
+        grouped.setdefault(run_id, []).append((key, label))
+
+    # Taverna: ProcessRun --wasPartOfWorkflowRun--> run.
+    process_run = tid(WFPROV.ProcessRun)
+    described_by = tid(WFPROV.describedByProcess)
+    started_at = tid(PROV.startedAtTime)
+    for proc, run in _union_pairs(store, WFPROV.wasPartOfWorkflowRun):
+        if not _has(spog, proc, type_id, process_run):
+            continue  # nested WorkflowRun activities are not steps
+        add(run, proc, _first_object(store, spog, proc, described_by), started_at)
+
+    # Wings: WorkflowExecutionProcess --isStepOfTemplate--> account.
+    exec_process = tid(OPMW.WorkflowExecutionProcess)
+    exec_account = tid(OPMW.WorkflowExecutionAccount)
+    corresponds = tid(OPMW.correspondsToTemplateProcess)
+    for proc, account in _union_pairs(store, OPMW.isStepOfTemplate):
+        # The same predicate also links template steps to templates;
+        # keep only execution-process → execution-account edges.
+        if not _has(spog, proc, type_id, exec_process):
+            continue
+        if not _has(spog, account, type_id, exec_account):
+            continue
+        add(account, proc, _first_object(store, spog, proc, corresponds), started_at)
+
+    return {
+        run_id: [label for _, label in sorted(entries)]
+        for run_id, entries in sorted(grouped.items())
+    }
+
+
+def build_path_index(store) -> Dict:
+    """Derive and persist the index for the store's current generation;
+    returns the committed manifest.
+
+    Requires a compacted store (no pending WAL state): the index is a
+    pure function of the segment files it scans.
+    """
+    if store.has_pending():
+        raise RuntimeError("build_path_index() requires a compacted store")
+
+    edges: Set[Tuple[int, int, int]] = set()
+    used_of: Dict[int, List[int]] = {}
+
+    for activity, entity in _union_pairs(store, PROV.used):
+        edges.add((REL_USED, activity, entity))
+        used_of.setdefault(activity, []).append(entity)
+    for entities in used_of.values():
+        entities.sort()
+
+    generated: List[Tuple[int, int]] = _union_pairs(store, PROV.wasGeneratedBy)
+    for entity, activity in generated:
+        edges.add((REL_GENERATED_BY, entity, activity))
+
+    derivation: Set[Tuple[int, int]] = set()
+    for entity, activity in generated:
+        for source in used_of.get(activity, ()):
+            if source != entity:
+                derivation.add((entity, source))
+    for predicate, rel in _ASSERTED_RELS:
+        for subject, obj in _union_pairs(store, predicate):
+            edges.add((rel, subject, obj))
+            # The apps-layer DAG only follows IRI-valued derivations.
+            if isinstance(store.term(obj), IRI):
+                derivation.add((subject, obj))
+    edges.update((REL_DERIVATION, a, b) for a, b in derivation)
+
+    fwd = sorted(edges)
+    inv = sorted((rel, dst, src) for rel, src, dst in edges)
+    write_edges(store.path / FWD_FILE, fwd)
+    write_edges(store.path / INV_FILE, inv)
+
+    sequences = run_sequences(store)
+    trie_bytes = write_trie(store.path / TRIE_FILE, sequences)
+
+    relations = {}
+    for predicate, rel in [(PROV.used, REL_USED), (PROV.wasGeneratedBy, REL_GENERATED_BY)] + _ASSERTED_RELS:
+        relations[predicate.value] = rel
+    manifest = {
+        "format_version": INDEX_FORMAT_VERSION,
+        "generation": store.generation,
+        "files_sha": store_files_sha(store),
+        "edge_count": len(fwd),
+        "relations": relations,
+        "relation_names": {name: code for code, name in RELATION_NAMES.items()},
+        "trie": {
+            "bytes": len(trie_bytes),
+            "sequences": len(sequences),
+        },
+    }
+    write_index_manifest(store.path, manifest)
+    return manifest

@@ -1,0 +1,220 @@
+"""On-disk format of the persistent path/pattern index.
+
+The index lives beside a store's segment files as three flat files plus
+a JSON manifest, all derived purely from the current segment generation:
+
+    pathindex.json   manifest: format version, the store generation the
+                     index was built from, a sha over the store's
+                     ingested-file hashes, relation table, record counts
+    paths.fwd        sorted edge records (rel, src, dst) — forward
+                     adjacency per relation
+    paths.inv        sorted edge records (rel, dst, src) — inverse
+                     adjacency per relation
+    paths.trie       generalized trie over per-run activity sequences
+                     (see :mod:`repro.pathindex.trie`)
+
+Edge records are fixed-width 12-byte rows of three little-endian ``u32``
+values, sorted lexicographically — the same mmap + binary-search access
+discipline as the store's quad segments, so a ``(rel, node)`` prefix maps
+to one contiguous neighbor range.  All writes go through a tmp file +
+fsync + atomic rename; the manifest is written last and is the commit
+point, mirroring the store's own manifest protocol.
+
+Relations are small integer codes, fixed by the format:
+
+====  =======================  ========================================
+code  name                     edge direction
+====  =======================  ========================================
+0     used                     activity → entity (``prov:used``)
+1     wasGeneratedBy           entity → activity (``prov:wasGeneratedBy``)
+2     wasDerivedFrom           asserted ``prov:wasDerivedFrom`` only
+3     hadPrimarySource         asserted subproperty
+4     wasQuotedFrom            asserted subproperty
+5     wasRevisionOf            asserted subproperty
+6     derivation               product → source: the usage→generation
+                               composition plus every asserted
+                               derivation (sub)property with an IRI
+                               object — the apps-layer dependency DAG
+====  =======================  ========================================
+
+Codes 0–5 mirror raw predicates one-to-one so the SPARQL property-path
+evaluator can replay its BFS discovery order in id space byte for byte;
+code 6 is the pre-composed relation the applications traverse.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "FWD_FILE",
+    "INV_FILE",
+    "TRIE_FILE",
+    "REL_USED",
+    "REL_GENERATED_BY",
+    "REL_WAS_DERIVED_FROM",
+    "REL_HAD_PRIMARY_SOURCE",
+    "REL_WAS_QUOTED_FROM",
+    "REL_WAS_REVISION_OF",
+    "REL_DERIVATION",
+    "RELATION_NAMES",
+    "AdjacencyReader",
+    "write_edges",
+    "write_index_manifest",
+    "read_index_manifest",
+]
+
+INDEX_FORMAT_VERSION = 1
+
+MANIFEST_FILE = "pathindex.json"
+FWD_FILE = "paths.fwd"
+INV_FILE = "paths.inv"
+TRIE_FILE = "paths.trie"
+
+REL_USED = 0
+REL_GENERATED_BY = 1
+REL_WAS_DERIVED_FROM = 2
+REL_HAD_PRIMARY_SOURCE = 3
+REL_WAS_QUOTED_FROM = 4
+REL_WAS_REVISION_OF = 5
+REL_DERIVATION = 6
+
+#: code → stable name (manifest and diagnostics).
+RELATION_NAMES = {
+    REL_USED: "used",
+    REL_GENERATED_BY: "wasGeneratedBy",
+    REL_WAS_DERIVED_FROM: "wasDerivedFrom",
+    REL_HAD_PRIMARY_SOURCE: "hadPrimarySource",
+    REL_WAS_QUOTED_FROM: "wasQuotedFrom",
+    REL_WAS_REVISION_OF: "wasRevisionOf",
+    REL_DERIVATION: "derivation",
+}
+
+_EDGE = struct.Struct("<3I")
+EDGE_SIZE = _EDGE.size
+
+
+def write_edges(path: Path, records: Sequence[Tuple[int, int, int]]) -> None:
+    """Write pre-sorted edge records via tmp file + fsync + atomic rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        for record in records:
+            handle.write(_EDGE.pack(*record))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class AdjacencyReader:
+    """Binary-search access to one sorted edge file.
+
+    The record layout mirrors :class:`repro.store.segments.SegmentReader`
+    at width three: ``(rel, a, b)`` sorted lexicographically, so the
+    neighbors of ``a`` under ``rel`` are the contiguous ``(rel, a)``
+    prefix range, already in ascending ``b`` order.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._map: Optional[mmap.mmap] = None
+        self.record_count = 0
+        # Plain-int probe counter, same rationale as SegmentReader.probes:
+        # this sits in the BFS inner loop.
+        self.probes = 0
+        if self.path.exists() and self.path.stat().st_size:
+            with open(self.path, "rb") as handle:
+                self._map = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            self.record_count = len(self._map) // EDGE_SIZE
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+
+    def record(self, index: int) -> Tuple[int, int, int]:
+        return _EDGE.unpack_from(self._map, index * EDGE_SIZE)
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    def _bisect_left(self, key: Tuple[int, ...]) -> int:
+        lo, hi = 0, self.record_count
+        width = len(key)
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if self.record(mid)[:width] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.probes += probes
+        return lo
+
+    def range_for_prefix(self, prefix: Tuple[int, ...]) -> Tuple[int, int]:
+        if not prefix:
+            return (0, self.record_count)
+        lo = self._bisect_left(prefix)
+        hi = self._bisect_left(prefix[:-1] + (prefix[-1] + 1,))
+        return (lo, hi)
+
+    def neighbors(self, rel: int, node: int) -> Iterator[int]:
+        """Ascending third-field values of the ``(rel, node)`` range."""
+        lo, hi = self.range_for_prefix((rel, node))
+        for index in range(lo, hi):
+            yield self.record(index)[2]
+
+    def pairs(self, rel: int) -> Iterator[Tuple[int, int]]:
+        """All ``(a, b)`` pairs of one relation, in (a, b) sort order."""
+        lo, hi = self.range_for_prefix((rel,))
+        for index in range(lo, hi):
+            record = self.record(index)
+            yield (record[1], record[2])
+
+    def has(self, rel: int, a: int, b: int) -> bool:
+        lo, hi = self.range_for_prefix((rel, a, b))
+        return hi > lo
+
+    def firsts(self, rel: int) -> Iterator[int]:
+        """Distinct second-field values under *rel*, by bisect jumps."""
+        lo, hi = self.range_for_prefix((rel,))
+        while lo < hi:
+            value = self.record(lo)[1]
+            yield value
+            lo = self._bisect_left((rel, value + 1))
+
+    def degree(self, rel: int, node: int) -> int:
+        lo, hi = self.range_for_prefix((rel, node))
+        return hi - lo
+
+
+def write_index_manifest(directory: Path, manifest: dict) -> None:
+    """Atomically commit the index manifest (the index's commit point)."""
+    tmp = directory / (MANIFEST_FILE + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    with open(tmp, "rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / MANIFEST_FILE)
+
+
+def read_index_manifest(directory: Path) -> Optional[dict]:
+    """The committed manifest, or None when absent/unreadable/foreign."""
+    path = Path(directory) / MANIFEST_FILE
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    if manifest.get("format_version") != INDEX_FORMAT_VERSION:
+        return None
+    return manifest

@@ -139,6 +139,7 @@ class QueryEngine:
         tracer=None,
         slow_log=None,
         encoded: bool = True,
+        path_index: bool = True,
     ):
         if isinstance(source, Dataset):
             self.dataset: Optional[Dataset] = source
@@ -156,6 +157,10 @@ class QueryEngine:
         #: batch scans, decode at BGP egress).  ``False`` forces the
         #: per-binding decoded pipeline — the parity baseline.
         self.encoded = encoded
+        #: Serve property-path closures from the persisted path index on
+        #: index-capable graphs.  ``False`` forces graph-API BFS — the
+        #: parity baseline for path queries.
+        self.path_index = path_index
         self.tracer = tracer
         #: Optional :class:`repro.obs.slowlog.SlowQueryLog`; when set,
         #: string queries are profiled (cheap batch-level collection) so
@@ -821,16 +826,14 @@ class QueryEngine:
                 return []
         return solutions
 
-    @staticmethod
-    def _extend_step(step, solutions: List[Binding], graph: Graph) -> List[Binding]:
+    def _extend_step(self, step, solutions: List[Binding], graph: Graph) -> List[Binding]:
         """Profiler callback for the decoded pipeline (the profiler hands
         the full :class:`PlanStep` so encoded execution can reuse its
         annotations; here only the pattern matters)."""
-        return QueryEngine._extend_with_pattern(step.pattern, solutions, graph)
+        return self._extend_with_pattern(step.pattern, solutions, graph)
 
-    @staticmethod
     def _extend_with_pattern(
-        tp: TriplePattern, solutions: List[Binding], graph: Graph
+        self, tp: TriplePattern, solutions: List[Binding], graph: Graph
     ) -> List[Binding]:
         out: List[Binding] = []
         is_path = isinstance(tp.predicate, Path)
@@ -843,6 +846,7 @@ class QueryEngine:
                     tp.predicate,
                     s if not isinstance(s, Var) else None,
                     o if not isinstance(o, Var) else None,
+                    use_index=self.path_index,
                 ):
                     extended = dict(sol)
                     if _bind(extended, s, s_val) and _bind(extended, o, o_val):

@@ -14,8 +14,23 @@ engine supports the core path operators in the predicate position:
 
 Paths are evaluated by :func:`eval_path`, which yields ``(subject,
 object)`` pairs given optionally-bound endpoints; closures are computed
-with BFS over the graph, seeded from whichever endpoint is bound (both
-unbound falls back to iterating every node, as the spec requires).
+with BFS over the graph, seeded from whichever endpoint is bound.  With
+both endpoints unbound, BFS is seeded from the nodes that can actually
+begin the path (the subjects/objects of its predicates) — zero-length
+``*`` pairs still cover every node, as the spec requires, but no BFS
+runs from nodes with no outgoing step.
+
+Store-backed graphs can advertise a persisted reachability index via a
+duck-typed ``path_index()`` capability (the same pattern as
+``encoded_scope()`` — this module never imports ``repro.store`` or
+``repro.pathindex``).  When the path's predicates all map to indexed
+relations, the whole evaluation runs in u32 id space over mmap'd sorted
+adjacency — same BFS, no per-step term decode — and decodes pairs only
+at egress.  The id-space mirror replays the decoded evaluator's
+discovery order operation for operation, so results are byte-identical;
+anything unmappable (unknown predicates, ``GRAPH``-scoped views,
+``p*`` with both endpoints unbound) falls back to graph-API BFS.  The
+``repro_pathindex_total{outcome}`` counter tallies the dispatch.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Set, Tuple
 
+from ..obs import metrics as _metrics
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Term
 
@@ -33,7 +49,17 @@ __all__ = [
     "PathInverse",
     "PathClosure",
     "eval_path",
+    "index_supported",
 ]
+
+_PATHINDEX_TOTAL = _metrics.counter(
+    "repro_pathindex_total",
+    "Property-path evaluations by path-index dispatch outcome",
+    labels=("outcome",),
+)
+for _outcome in ("hit", "fallback", "no-index"):
+    _PATHINDEX_TOTAL.labels(_outcome)
+del _outcome
 
 
 class Path:
@@ -70,17 +96,232 @@ def eval_path(
     path,
     subject: Optional[Term] = None,
     obj: Optional[Term] = None,
+    use_index: bool = True,
 ) -> Iterator[Tuple[Term, Term]]:
     """Yield (subject, object) pairs connected by *path*.
 
     Either endpoint may be bound (a concrete term) or None.  Duplicate
-    pairs are suppressed.
+    pairs are suppressed.  With ``use_index=False`` the persisted path
+    index is bypassed even on index-capable graphs — the BFS parity
+    baseline.
     """
     seen: Set[Tuple[Term, Term]] = set()
-    for pair in _eval(graph, path, subject, obj):
+    for pair in _dispatch(graph, path, subject, obj, use_index):
         if pair not in seen:
             seen.add(pair)
             yield pair
+
+
+# ---------------------------------------------------------------------------
+# Index dispatch
+# ---------------------------------------------------------------------------
+
+
+def _live_index(graph: Graph):
+    probe = getattr(graph, "path_index", None)
+    return probe() if callable(probe) else None
+
+
+def _compile(index, path):
+    """Map *path* onto index relations; an op tree, or None when any
+    predicate is not an indexed relation."""
+    if isinstance(path, IRI):
+        rel = index.rel_for(path.value)
+        return None if rel is None else ("rel", rel)
+    if isinstance(path, PathInverse):
+        sub = _compile(index, path.inner)
+        return None if sub is None else ("inv", sub)
+    if isinstance(path, PathAlternative):
+        subs = tuple(_compile(index, option) for option in path.options)
+        return None if any(sub is None for sub in subs) else ("alt", subs)
+    if isinstance(path, PathSequence):
+        subs = tuple(_compile(index, step) for step in path.steps)
+        return None if any(sub is None for sub in subs) else ("seq", subs)
+    if isinstance(path, PathClosure):
+        sub = _compile(index, path.inner)
+        return None if sub is None else ("closure", sub, path.include_zero)
+    return None
+
+
+def _safe(op, s_bound: bool, o_bound: bool) -> bool:
+    """Can *op* run fully in id space under these endpoint bindings?
+
+    The one hole is ``p*`` reached with both endpoints unbound: its
+    zero-length pairs range over every node in the *graph*, which the
+    edge index cannot enumerate.
+    """
+    kind = op[0]
+    if kind == "rel":
+        return True
+    if kind == "inv":
+        return _safe(op[1], o_bound, s_bound)
+    if kind == "alt":
+        return all(_safe(sub, s_bound, o_bound) for sub in op[1])
+    if kind == "seq":
+        return _safe_seq(list(op[1]), s_bound, o_bound)
+    # closure
+    sub, include_zero = op[1], op[2]
+    if s_bound:
+        return _safe(sub, True, False)
+    if o_bound:
+        return _safe(sub, False, True)
+    if include_zero:
+        return False
+    return _safe(sub, False, False) and _safe(sub, True, False)
+
+
+def _safe_seq(ops: List, s_bound: bool, o_bound: bool) -> bool:
+    if len(ops) == 1:
+        return _safe(ops[0], s_bound, o_bound)
+    if s_bound or not o_bound:
+        return _safe(ops[0], s_bound, False) and _safe_seq(ops[1:], True, o_bound)
+    return _safe(ops[-1], False, True) and _safe_seq(ops[:-1], False, True)
+
+
+def index_supported(path, index) -> bool:
+    """Would the index serve *path* (some endpoint binding permitting)?
+
+    The planner's EXPLAIN annotation: true when every predicate in the
+    path maps to an indexed relation.  Endpoint-shape holes (``p*`` both
+    unbound) still fall back at runtime; the static answer keys the plan
+    the way ``choose_access`` does for plain patterns.
+    """
+    return index is not None and _compile(index, path) is not None
+
+
+def _dispatch(graph, path, subject, obj, use_index):
+    index = _live_index(graph) if use_index else None
+    if use_index:
+        if index is None:
+            _PATHINDEX_TOTAL.labels("no-index").inc()
+        else:
+            ops = _compile(index, path)
+            sid = graph.term_to_id(subject) if subject is not None else None
+            oid = graph.term_to_id(obj) if obj is not None else None
+            servable = (
+                ops is not None
+                and _safe(ops, subject is not None, obj is not None)
+                # A bound endpoint the dictionary has never seen matches
+                # nothing (or only a zero-length pair) — the decoded
+                # evaluator already handles that cheaply.
+                and not (subject is not None and sid is None)
+                and not (obj is not None and oid is None)
+            )
+            if servable:
+                _PATHINDEX_TOTAL.labels("hit").inc()
+                decode = graph.id_to_term
+                for s_id, o_id in _ieval(index, ops, sid, oid):
+                    yield (decode(s_id), decode(o_id))
+                return
+            _PATHINDEX_TOTAL.labels("fallback").inc()
+    yield from _eval(graph, path, subject, obj)
+
+
+# ---------------------------------------------------------------------------
+# Id-space evaluation (index-backed; mirrors the decoded evaluator's
+# iteration order operation for operation)
+# ---------------------------------------------------------------------------
+
+
+def _ieval(index, op, s: Optional[int], o: Optional[int]) -> Iterator[Tuple[int, int]]:
+    kind = op[0]
+    if kind == "rel":
+        rel = op[1]
+        if s is not None:
+            if o is not None:
+                if index.has_edge(rel, s, o):
+                    yield (s, o)
+            else:
+                for neighbor in index.neighbors(rel, s):
+                    yield (s, neighbor)
+        elif o is not None:
+            for neighbor in index.neighbors_inv(rel, o):
+                yield (neighbor, o)
+        else:
+            # pairs() yields in (dst, src) order — the order a union
+            # posg scan hands the decoded evaluator the same triples.
+            yield from index.pairs(rel)
+        return
+    if kind == "inv":
+        for s2, o2 in _ieval(index, op[1], o, s):
+            yield (o2, s2)
+        return
+    if kind == "alt":
+        for sub in op[1]:
+            yield from _ieval(index, sub, s, o)
+        return
+    if kind == "seq":
+        yield from _ieval_seq(index, list(op[1]), s, o)
+        return
+    yield from _ieval_closure(index, op, s, o)
+
+
+def _ieval_seq(index, ops: List, s, o) -> Iterator[Tuple[int, int]]:
+    if len(ops) == 1:
+        yield from _ieval(index, ops[0], s, o)
+        return
+    if s is not None or o is None:
+        head, rest = ops[0], ops[1:]
+        for s1, mid in _ieval(index, head, s, None):
+            for _, o1 in _ieval_seq(index, rest, mid, o):
+                yield (s1, o1)
+    else:
+        rest, last = ops[:-1], ops[-1]
+        for mid, o1 in _ieval(index, last, None, o):
+            for s1, _ in _ieval_seq(index, rest, None, mid):
+                yield (s1, o1)
+
+
+def _istep_forward(index, op, node: int) -> Iterator[int]:
+    for _, neighbor in _ieval(index, op, node, None):
+        yield neighbor
+
+
+def _istep_backward(index, op, node: int) -> Iterator[int]:
+    for neighbor, _ in _ieval(index, op, None, node):
+        yield neighbor
+
+
+def _iclosure_from(index, op, start: int, include_zero: bool,
+                   backward: bool = False) -> Iterator[int]:
+    if include_zero:
+        yield start
+    step = _istep_backward if backward else _istep_forward
+    visited: Set[int] = {start} if include_zero else set()
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in step(index, op, node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+                    yield neighbor
+        frontier = next_frontier
+
+
+def _ieval_closure(index, op, s, o) -> Iterator[Tuple[int, int]]:
+    sub, include_zero = op[1], op[2]
+    if s is not None:
+        for node in _iclosure_from(index, sub, s, include_zero):
+            if o is None or node == o:
+                yield (s, node)
+        return
+    if o is not None:
+        for node in _iclosure_from(index, sub, o, include_zero, backward=True):
+            yield (node, o)
+        return
+    # Both unbound (`+` only; `*` is rejected by _safe): seed from the
+    # nodes that can begin the path, in their discovery order.
+    starts = dict.fromkeys(s1 for s1, _ in _ieval(index, sub, None, None))
+    for node in starts:
+        for reached in _iclosure_from(index, sub, node, False):
+            yield (node, reached)
+
+
+# ---------------------------------------------------------------------------
+# Graph-API evaluation (the BFS fallback and in-memory path)
+# ---------------------------------------------------------------------------
 
 
 def _eval(graph: Graph, path, subject, obj) -> Iterator[Tuple[Term, Term]]:
@@ -151,11 +392,25 @@ def _closure_from(graph: Graph, path, start: Term, include_zero: bool,
         frontier = next_frontier
 
 
-def _all_nodes(graph: Graph) -> Set[Term]:
-    nodes: Set[Term] = set(graph.resources())
+def _all_nodes(graph: Graph) -> Iterator[Term]:
+    """Every subject/object node, deduplicated in encounter order (a
+    set would iterate in hash order — nondeterministic across runs)."""
+    seen: Set[Term] = set()
     for t in graph:
-        nodes.add(t.object)
-    return nodes
+        for node in (t.subject, t.object):
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+
+def _start_nodes(graph: Graph, inner) -> Iterator[Term]:
+    """Nodes with at least one outgoing *inner* step — the only useful
+    BFS seeds — deduplicated in encounter order."""
+    seen: Set[Term] = set()
+    for s, _ in _eval(graph, inner, None, None):
+        if s not in seen:
+            seen.add(s)
+            yield s
 
 
 def _eval_closure(graph: Graph, path: PathClosure, subject, obj):
@@ -168,14 +423,12 @@ def _eval_closure(graph: Graph, path: PathClosure, subject, obj):
         for node in _closure_from(graph, path, obj, path.include_zero, backward=True):
             yield (node, obj)
         return
-    # Both unbound: start from every node that can begin the path (for
-    # `*`, the spec says every node in the graph pairs with itself).
+    # Both unbound: BFS only from nodes that can begin the path (the
+    # subjects of its predicates), never from every node in the graph.
     if path.include_zero:
+        # Zero-length: the spec pairs every node with itself.
         for node in _all_nodes(graph):
-            yield from ((node, reached) for reached in
-                        _closure_from(graph, path, node, True))
-    else:
-        starts = {s for s, _ in _eval(graph, path.inner, None, None)}
-        for node in starts:
-            yield from ((node, reached) for reached in
-                        _closure_from(graph, path, node, False))
+            yield (node, node)
+    for node in _start_nodes(graph, path.inner):
+        for reached in _closure_from(graph, path, node, False):
+            yield (node, reached)

@@ -72,7 +72,14 @@ from .algebra import (
     Var,
     VarExpr,
 )
-from .paths import Path, PathAlternative, PathClosure, PathInverse, PathSequence
+from .paths import (
+    Path,
+    PathAlternative,
+    PathClosure,
+    PathInverse,
+    PathSequence,
+    index_supported,
+)
 
 __all__ = [
     "PlanStep",
@@ -238,17 +245,39 @@ def choose_access(mask: str, scope: Optional[int]) -> Tuple[str, str]:
 
 
 def _access_annotator(patterns: List[TriplePattern], graph):
-    """mask → (access, ordering) when *graph* supports encoded
-    execution and the BGP is path-free; else a constant (None, None).
+    """(mask, tp) → (access, ordering) annotation for one plan step.
 
-    Annotating only encoded-capable graphs keeps in-memory plan digests
-    byte-identical to earlier releases.
+    Plain patterns annotate via :func:`choose_access` when *graph*
+    supports encoded execution and the BGP is path-free (a path in the
+    BGP disables the encoded executor, so advertising merge/bisect there
+    would describe a pipeline that never runs).  Property-path steps
+    annotate ``("pathindex", "fwd"|"inv")`` when the graph's persisted
+    path index can serve the path — the direction the closure BFS walks
+    given the mask's bound endpoint.  Annotating only capability-bearing
+    graphs keeps in-memory plan digests byte-identical to earlier
+    releases.
     """
     scope_of = getattr(graph, "encoded_scope", None)
-    if scope_of is None or any(isinstance(tp.predicate, Path) for tp in patterns):
-        return lambda mask: (None, None)
-    scope = scope_of()
-    return lambda mask: choose_access(mask, scope)
+    has_path = any(isinstance(tp.predicate, Path) for tp in patterns)
+    index = None
+    if has_path:
+        probe = getattr(graph, "path_index", None)
+        index = probe() if callable(probe) else None
+    if scope_of is None and index is None:
+        return lambda mask, tp: (None, None)
+    scope = scope_of() if scope_of is not None else None
+
+    def annotate(mask, tp):
+        if isinstance(tp.predicate, Path):
+            if index is not None and index_supported(tp.predicate, index):
+                direction = "fwd" if mask[0] != "?" or mask[2] == "?" else "inv"
+                return ("pathindex", direction)
+            return (None, None)
+        if scope_of is None or has_path:
+            return (None, None)
+        return choose_access(mask, scope)
+
+    return annotate
 
 
 #: Score-tuple component index → human-readable tiebreak reason.  Must
@@ -327,7 +356,7 @@ def plan_bgp_steps(
         if isinstance(best.predicate, IRI) and statistics is not None:
             estimate = statistics.predicate_cardinality(best.predicate)
         mask = _mask(best, bound)
-        access, ordering = annotate(mask)
+        access, ordering = annotate(mask, best)
         steps.append(PlanStep(best, mask, estimate, reason, access, ordering))
         remaining.pop(best_index)
         bound.update(best.variables())
@@ -348,7 +377,7 @@ def written_order_steps(
     steps = []
     for tp in patterns:
         mask = _mask(tp, set())
-        access, ordering = annotate(mask)
+        access, ordering = annotate(mask, tp)
         steps.append(PlanStep(tp, mask, 0, "written order", access, ordering))
     return steps
 

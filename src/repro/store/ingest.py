@@ -66,6 +66,10 @@ class IngestReport:
     rebuilt: bool = False
     quads_added: int = 0
     duration_s: float = 0.0
+    #: What happened to the path/pattern index: "built" (derived fresh
+    #: for this generation), "fresh" (already valid, untouched),
+    #: "deferred" (store left uncompacted), or "skipped" (disabled).
+    path_index: str = "skipped"
 
     @property
     def no_op(self) -> bool:
@@ -82,6 +86,7 @@ class IngestReport:
             "rebuilt": self.rebuilt,
             "quads_added": self.quads_added,
             "duration_s": round(self.duration_s, 3),
+            "path_index": self.path_index,
         }
 
 
@@ -229,7 +234,7 @@ def _apply_batch(store: QuadStore, batch: _ParsedBatch, tracer=None) -> int:
 
 def ingest_corpus(
     store: QuadStore, corpus_root: Path, compact: bool = True, jobs: int = 1,
-    tracer=None,
+    tracer=None, path_index: bool = True,
 ) -> IngestReport:
     """Bring *store* up to date with the trace files under *corpus_root*.
 
@@ -249,6 +254,12 @@ def ingest_corpus(
     ``wal-commit`` spans (plus one ``compact`` span per run); parallel
     workers forward their parse spans with each batch, so the merged
     trace covers every file regardless of job count.
+
+    With ``path_index=True`` (the default) the path/pattern index is
+    (re)built after compaction whenever the committed generation has no
+    valid index — an unchanged corpus keeps generation and index alike,
+    so the no-op re-ingest stays a no-op.  The index derives purely from
+    the segment files, so it is byte-identical at any job count.
     """
     started = time.perf_counter()
     root = Path(corpus_root)
@@ -306,6 +317,22 @@ def ingest_corpus(
     if compact and store.has_pending():
         with span(tracer, "compact", cat="ingest", files=len(report.parsed)):
             store.compact()
+    if path_index:
+        if store.has_pending():
+            # Compaction was deferred; the index can only describe a
+            # committed generation, so it is built at the next compacted
+            # ingest (or stays stale-and-invisible until then).
+            report.path_index = "deferred"
+        elif store.path_index() is not None:
+            # Generation unchanged (sha-incremental no-op or already
+            # indexed) — the committed index is still valid as-is.
+            report.path_index = "fresh"
+        else:
+            from ..pathindex import build_path_index
+
+            with span(tracer, "path-index", cat="ingest"):
+                build_path_index(store)
+            report.path_index = "built"
     report.duration_s = time.perf_counter() - started
     _INGEST_FILES.labels("parsed").inc(len(report.parsed))
     _INGEST_FILES.labels("skipped").inc(len(report.skipped))

@@ -128,6 +128,9 @@ class QuadStore:
         self._pending_quads: List[Quad] = []
         self._pending_files: Dict[str, str] = {}
         self._pending_prefixes: List[Tuple[str, str]] = []
+        # Lazily opened path/pattern index for the current generation
+        # (see path_index()); stale handles are closed and re-probed.
+        self._path_index = None
         # In-flight file (begun, not committed).
         self._file_quads: Optional[Set[Quad]] = None
         self._file_relpath: Optional[str] = None
@@ -171,6 +174,9 @@ class QuadStore:
                 )
             if self._pending_quads or self._pending_files or self._pending_prefixes:
                 self.compact()
+            if self._path_index is not None:
+                self._path_index.close()
+                self._path_index = None
             self.wal.close()
             self.dictionary.close()
             for reader in self._segments.values():
@@ -221,6 +227,7 @@ class QuadStore:
             return self._store_info_locked()
 
     def _store_info_locked(self) -> Dict:
+        index = self.path_index()
         segment_sizes = {
             name: {
                 "records": len(self._segments[name]),
@@ -250,6 +257,7 @@ class QuadStore:
             "wal": {"fsyncs": self.wal.fsync_count},
             "segments": segment_sizes,
             "segment_probes": segment_probes,
+            "path_index": index.info() if index is not None else None,
         }
 
     def runtime_counters(self) -> Tuple[int, int]:
@@ -353,6 +361,11 @@ class QuadStore:
             if self._file_relpath is not None:
                 raise StoreError("reset() during an in-flight file ingest")
             generation = self.generation
+            if self._path_index is not None:
+                # Index files are unlinked with everything else below;
+                # the handle would only ever report itself stale.
+                self._path_index.close()
+                self._path_index = None
             self.wal.close()
             self.dictionary.close()
             # Readers are retired (not closed) by _open_segments() below;
@@ -452,6 +465,33 @@ class QuadStore:
         its mmap valid) until :meth:`close`."""
         with self._lock:
             return self._segments[name]
+
+    def path_index(self):
+        """The live :class:`~repro.pathindex.index.PathIndex` for the
+        current generation, or None when absent or stale.
+
+        Generation keying is the whole consistency story: the index
+        manifest records the generation it was built from, compaction
+        and reset move the store's generation, so a stale index can
+        never be served — it is simply invisible until
+        :func:`~repro.pathindex.build.build_path_index` runs again
+        (``ingest_corpus`` does this after its compaction).
+        """
+        with self._lock:
+            cached = self._path_index
+            if cached is not None:
+                if cached.generation == self.generation:
+                    return cached
+                cached.close()
+                self._path_index = None
+            from ..pathindex import load_path_index
+
+            index = load_path_index(self.path)
+            if index is not None and index.generation != self.generation:
+                index.close()
+                index = None
+            self._path_index = index
+            return index
 
     def term_id(self, term: Term) -> Optional[int]:
         """Read-only term → id lookup (None when the term is unknown)."""

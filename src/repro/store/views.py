@@ -108,6 +108,19 @@ class StoreGraph(Graph):
         """The store's current :class:`SegmentReader` for *name*."""
         return self._store.segment(name)
 
+    def path_index(self):
+        """The store's live path/pattern index, or None.
+
+        Like :meth:`encoded_scope`, the *presence* of this method is the
+        capability signal the property-path evaluator duck-types on.
+        The index covers the union scope only — single-graph views
+        return None and keep the per-graph BFS fallback, because index
+        edges carry no graph attribution.
+        """
+        if self._graph_id is not _UNION:
+            return None
+        return self._store.path_index()
+
     def term_to_id(self, term: Term) -> Optional[int]:
         """term → id through a bounded generation-keyed cache; ``None``
         (also cached) when the dictionary has never seen the term."""

@@ -31,7 +31,7 @@ class TestDependencies:
         return DependencyAnalyzer(ok_taverna.graph())
 
     def test_generating_process_of_output(self, analyzer, ok_taverna):
-        output = next(iter(analyzer._generated_by))
+        output = analyzer.generated_entities()[0]
         process = analyzer.generating_process(output)
         assert process is not None
 

@@ -54,7 +54,8 @@ def test_ingest_trace_byte_identical_across_jobs(tiny_corpus_dir, tmp_path):
 
     events = read_trace(serial)
     counts = Counter(event["name"] for event in events)
-    assert counts == {"parse": 3, "intern": 3, "wal-commit": 3, "compact": 1}
+    assert counts == {"parse": 3, "intern": 3, "wal-commit": 3, "compact": 1,
+                      "path-index": 1}
     parsed = [e["args"]["file"] for e in events if e["name"] == "parse"]
     assert parsed == sorted(parsed), "spans must merge in file order"
     for event in events:

@@ -1,0 +1,60 @@
+"""Fixtures for the path/pattern index tests.
+
+The session corpus is written to disk once and ingested twice — serially
+and with two workers — so byte-level determinism of the index can be
+asserted directly.  `indexed_store` / `store_union` serve the read-side
+tests from the serial store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def pathindex_corpus_dir(tmp_path_factory, corpus):
+    from repro.corpus import write_corpus
+
+    root = tmp_path_factory.mktemp("pathindex-corpus")
+    write_corpus(corpus, root)
+    return root
+
+
+def _ingest(tmp_path_factory, corpus_dir, jobs: int):
+    from repro.store import QuadStore, ingest_corpus
+
+    directory = tmp_path_factory.mktemp(f"pathindex-store-j{jobs}") / "store"
+    with QuadStore(directory) as store:
+        report = ingest_corpus(store, corpus_dir, jobs=jobs)
+        assert report.path_index == "built"
+    return directory
+
+
+@pytest.fixture(scope="session")
+def store_dir_j1(tmp_path_factory, pathindex_corpus_dir):
+    return _ingest(tmp_path_factory, pathindex_corpus_dir, jobs=1)
+
+
+@pytest.fixture(scope="session")
+def store_dir_j2(tmp_path_factory, pathindex_corpus_dir):
+    return _ingest(tmp_path_factory, pathindex_corpus_dir, jobs=2)
+
+
+@pytest.fixture(scope="session")
+def indexed_store(store_dir_j1):
+    from repro.store import QuadStore
+
+    with QuadStore(store_dir_j1) as store:
+        yield store
+
+
+@pytest.fixture(scope="session")
+def store_union(indexed_store):
+    from repro.store import StoreDataset
+
+    return StoreDataset(indexed_store).union_graph()
+
+
+@pytest.fixture(scope="session")
+def memory_union(corpus_dataset):
+    return corpus_dataset.union_graph()

@@ -1,0 +1,87 @@
+"""Engine-level parity and introspection for index-served path queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sparql import QueryEngine
+
+LINEAGE = """
+PREFIX prov: <http://www.w3.org/ns/prov#>
+SELECT ?out ?src WHERE { ?out (prov:used|^prov:wasGeneratedBy)+ ?src }
+"""
+SEQUENCE = """
+PREFIX prov: <http://www.w3.org/ns/prov#>
+SELECT ?a ?b WHERE { ?a (prov:used/prov:wasGeneratedBy)+ ?b }
+"""
+STAR = """
+PREFIX prov: <http://www.w3.org/ns/prov#>
+SELECT ?a ?b WHERE { ?a prov:used* ?b }
+"""
+QUERIES = {"lineage": LINEAGE, "sequence": SEQUENCE, "star": STAR}
+
+
+def _rows(engine, text):
+    return [str(row) for row in engine.query(text)]
+
+
+@pytest.fixture(scope="module")
+def store_dataset(indexed_store):
+    from repro.store import StoreDataset
+
+    return StoreDataset(indexed_store)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+@pytest.mark.parametrize("optimize", [True, False], ids=["opt", "noopt"])
+def test_rows_identical_index_on_off(store_dataset, name, optimize):
+    on = QueryEngine(store_dataset, optimize_joins=optimize, path_index=True,
+                     cache_size=0)
+    off = QueryEngine(store_dataset, optimize_joins=optimize, path_index=False,
+                      cache_size=0)
+    assert _rows(on, QUERIES[name]) == _rows(off, QUERIES[name])
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_rows_match_memory(store_dataset, corpus_dataset, name):
+    stored = QueryEngine(store_dataset, cache_size=0)
+    memory = QueryEngine(corpus_dataset, cache_size=0)
+    assert sorted(_rows(stored, QUERIES[name])) == sorted(_rows(memory, QUERIES[name]))
+
+
+def test_explain_annotates_index_step(store_dataset, corpus_dataset):
+    plan = QueryEngine(store_dataset).explain(SEQUENCE).to_text()
+    assert "join=pathindex" in plan
+    assert "ordering=fwd" in plan
+    # In-memory plans are unchanged: no index, no annotation.
+    assert "pathindex" not in QueryEngine(corpus_dataset).explain(SEQUENCE).to_text()
+
+
+def test_profile_annotates_index_step(store_dataset):
+    profile = QueryEngine(store_dataset).profile(SEQUENCE)
+    assert "pathindex" in profile.to_text()
+
+
+def test_metrics_counter_counts_dispatch(store_dataset, corpus_dataset):
+    from repro.obs import metrics
+
+    def counts():
+        out = {}
+        for line in metrics.render().splitlines():
+            if line.startswith("repro_pathindex_total{"):
+                label, value = line.split(" ")
+                out[label.split('"')[1]] = float(value)
+        return out
+
+    before = counts()
+    list(QueryEngine(store_dataset, cache_size=0).query(SEQUENCE))
+    after_hit = counts()
+    assert after_hit["hit"] == before.get("hit", 0) + 1
+
+    list(QueryEngine(store_dataset, cache_size=0).query(STAR))
+    after_star = counts()  # p* both unbound: index cannot serve it
+    assert after_star["fallback"] == after_hit.get("fallback", 0) + 1
+
+    list(QueryEngine(corpus_dataset, cache_size=0).query(SEQUENCE))
+    after_memory = counts()
+    assert after_memory["no-index"] == after_star.get("no-index", 0) + 1

@@ -1,0 +1,105 @@
+"""The generalized trie over per-run activity sequences.
+
+Every query the trie answers is brute-forced against the raw sequences
+it was built from — `run_sequences` is the shared ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pathindex import build_trie_bytes, run_sequences
+from repro.pathindex.trie import TrieReader
+
+
+@pytest.fixture(scope="module")
+def sequences(indexed_store):
+    return run_sequences(indexed_store)
+
+
+@pytest.fixture(scope="module")
+def trie(indexed_store):
+    return indexed_store.path_index().trie
+
+
+def _contains(sequence, pattern):
+    n, m = len(sequence), len(pattern)
+    return any(sequence[i:i + m] == pattern for i in range(n - m + 1))
+
+
+def test_sequences_cover_the_corpus(sequences):
+    assert len(sequences) > 100  # one per run/account with linked steps
+    assert all(seq for seq in sequences.values())
+
+
+def test_single_step_patterns(trie, sequences):
+    labels = {label for seq in sequences.values() for label in seq}
+    sample = sorted(labels)[::17]
+    for label in sample:
+        expected = sorted(r for r, seq in sequences.items() if label in seq)
+        assert trie.runs_matching([label]) == expected
+
+
+def test_contiguous_subpatterns_from_real_runs(trie, sequences):
+    checked = 0
+    for run_id, seq in sorted(sequences.items())[::13]:
+        for length in (2, 3, len(seq)):
+            if length > len(seq):
+                continue
+            pattern = list(seq[:length])
+            matches = trie.runs_matching(pattern)
+            expected = sorted(
+                r for r, s in sequences.items() if _contains(list(s), pattern)
+            )
+            assert matches == expected
+            assert run_id in matches
+            checked += 1
+    assert checked > 10
+
+
+def test_non_prefix_subpattern_matches(trie, sequences):
+    """Generalized (all-suffixes) insertion: any mid-sequence window is a
+    prefix walk, not just sequence heads."""
+    run_id, seq = next(
+        (r, s) for r, s in sorted(sequences.items()) if len(s) >= 3
+    )
+    middle = list(seq[1:3])
+    assert run_id in trie.runs_matching(middle)
+
+
+def test_empty_and_absent_patterns(trie, sequences):
+    assert trie.runs_matching([]) == sorted(sequences)
+    assert trie.runs_matching([2**31]) == []
+
+
+def test_support_counts(trie, sequences):
+    labels = sorted({label for seq in sequences.values() for label in seq})
+    label = labels[len(labels) // 2]
+    expected = sum(1 for seq in sequences.values() if label in seq)
+    assert trie.support([label]) == expected
+
+
+def test_frequent_patterns_against_bruteforce(trie, sequences):
+    patterns = trie.frequent_patterns(min_support=3, min_length=2, max_patterns=25)
+    assert patterns, "the corpus reruns templates, so shared patterns must exist"
+    supports = [support for _, support in patterns]
+    assert supports == sorted(supports, reverse=True)
+    for pattern, support in patterns:
+        expected = sum(
+            1 for seq in sequences.values() if _contains(list(seq), list(pattern))
+        )
+        assert support == expected >= 3
+        assert len(pattern) >= 2
+
+
+def test_trie_round_trip(tmp_path, sequences):
+    target = tmp_path / "trie.bin"
+    target.write_bytes(build_trie_bytes(sequences))
+    reader = TrieReader(target)
+    assert reader.ok
+    assert reader.runs_matching([]) == sorted(sequences)
+    reader.close()
+
+
+def test_build_is_deterministic(sequences):
+    assert build_trie_bytes(sequences) == build_trie_bytes(sequences)

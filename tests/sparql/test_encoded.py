@@ -400,10 +400,15 @@ class TestPlanRendering:
         assert "join=" not in text
         assert "ordering=" not in text
 
-    def test_path_bgp_scans_are_unannotated(self, parity_pair):
+    def test_path_bgp_scans_never_claim_batch_operators(self, parity_pair):
+        """Path-containing BGPs decline the encoded executor, so their
+        scans must not advertise merge/bisect; an index-served path step
+        advertises ``pathindex`` instead."""
         store_ds, _ = parity_pair
         text = QueryEngine(store_ds).explain(PATH_QUERIES["sequence"]).to_text()
-        assert "join=" not in text
+        assert "join=merge" not in text
+        assert "join=bisect" not in text
+        assert "join=pathindex" in text
 
     def test_digest_stable_across_encoded_toggle(self, parity_pair):
         """The digest keys the plan, not the runtime pipeline — flipping

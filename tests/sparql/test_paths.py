@@ -161,7 +161,7 @@ class TestOnCorpus:
         graph = trace.graph()
         engine = QueryEngine(graph)
         analyzer = DependencyAnalyzer(graph)
-        output = next(iter(analyzer._generated_by))
+        output = analyzer.generated_entities()[0]
         expected = {iri.value for iri in analyzer.transitive_dependencies(output)}
         rows = engine.select(
             f"SELECT ?src WHERE {{ <{output.value}> "
