@@ -172,6 +172,50 @@ def test_paths_trajectory(artifacts_dir):
                    json.dumps(trajectory[-50:], indent=2))
 
 
+def test_scale_trajectory(artifacts_dir):
+    """Fold this run's scale-out numbers into the trajectory.
+
+    ``bench_scale.py`` writes ``scale_bench.json``; the per-scale ingest
+    throughput, peak RSS, and Q1–Q6 cold latencies are appended to
+    ``scale_trajectory.json`` so future PRs can see whether the
+    streaming pipeline keeps its flat-memory, flat-throughput promise as
+    the corpus grows.
+    """
+    current = artifacts_dir / "scale_bench.json"
+    if not current.exists():
+        pytest.skip("bench_scale.py did not run in this session")
+    data = json.loads(current.read_text())
+    assert len(data["points"]) >= 3
+    assert data["rss_ratio"] < data["size_ratio"], "peak RSS grew superlinearly"
+    entry = {
+        "recorded_at": dt.datetime.now().isoformat(timespec="seconds"),
+        "cpu_count": data["cpu_count"],
+        "scales": data["scales"],
+        "rss_ratio": data["rss_ratio"],
+        "size_ratio": data["size_ratio"],
+        "points": [
+            {
+                "scale": point["scale"],
+                "quads": point["quads"],
+                "ingest_quads_per_s": point["ingest_quads_per_s"],
+                "peak_rss_mb": point["peak_rss_mb"],
+                "q_cold_ms": {
+                    name: q["cold_ms"] for name, q in sorted(point["queries"].items())
+                },
+            }
+            for point in data["points"]
+        ],
+        "intern_terms_per_s": data["intern"]["terms_per_s"],
+        "max_fold_s": data["intern"]["max_fold_s"],
+        "metrics": _registry_metrics(),
+    }
+    trajectory_path = artifacts_dir / "scale_trajectory.json"
+    trajectory = json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    trajectory.append(entry)
+    write_artifact(artifacts_dir, "scale_trajectory.json",
+                   json.dumps(trajectory[-50:], indent=2))
+
+
 def test_store_trajectory(artifacts_dir):
     """Fold this run's persistent-store numbers into the trajectory.
 

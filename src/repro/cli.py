@@ -3,7 +3,9 @@
 Sub-commands:
 
 * ``build <dir>`` — build the corpus (seeded) and write the ProvBench
-  directory layout;
+  directory layout; ``--scale N`` multiplies workflows/runs for a
+  deterministic N×-sized corpus, streamed run-at-a-time so memory stays
+  flat at any scale;
 * ``stats <dir>`` — print the Section 2 statistics of a stored corpus;
 * ``table1`` — build in memory and print Table 1;
 * ``figure1`` — print the Figure 1 domain histogram;
@@ -65,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
              "--store); 0 = one per CPU.  Output is byte-identical to "
              "--jobs 1 (default: 1)",
     )
+    p_build.add_argument(
+        "--scale", type=int, default=1, metavar="N",
+        help="corpus scale multiplier: N× workflows and runs per domain, "
+             "deterministically seeded; --scale 1 reproduces the paper's "
+             "corpus byte for byte (default: 1)",
+    )
+    _add_spill_budget_flag(p_build)
     _add_trace_flag(p_build)
 
     p_stats = sub.add_parser("stats", help="print statistics of a stored corpus")
@@ -161,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for trace parsing; 0 = one per CPU.  "
              "Segments are byte-identical to --jobs 1 (default: 1)",
     )
+    _add_spill_budget_flag(p_ingest)
     _add_trace_flag(p_ingest)
     p_info = store_sub.add_parser("info", help="print a quad store's summary")
     p_info.add_argument("store_dir", type=Path)
@@ -202,6 +212,42 @@ def _add_trace_flag(parser, what: str = "phase spans for this command") -> None:
     )
 
 
+def _add_spill_budget_flag(parser) -> None:
+    parser.add_argument(
+        "--spill-budget", type=int, default=None, metavar="QUADS",
+        help="pending-quad budget before the store ingest spills sorted "
+             "runs to disk (0 disables spilling; default: 500000).  "
+             "Segment bytes are identical at any budget",
+    )
+
+
+def _progress_hook(label: str, unit: str, work_unit: str, work_of=None):
+    """An ``on_*(done, total, payload)`` callback driving a one-line
+    stderr :class:`~repro.obs.Progress` (silent unless stderr is a TTY).
+
+    *work_of* extracts the cumulative work count from the payload;
+    without it the payload itself is the count.
+    """
+    from .obs.progress import Progress
+
+    state = {}
+
+    def on_event(done, total, payload):
+        progress = state.get("progress")
+        if progress is None:
+            progress = state["progress"] = Progress(
+                label, total=total, unit=unit, work_unit=work_unit
+            )
+        progress.total = total
+        work = work_of(payload) if work_of is not None else payload
+        if done >= total:
+            progress.finish(done, work=work)
+        else:
+            progress.update(done, work=work)
+
+    return on_event
+
+
 def _make_tracer(args):
     """A Tracer when ``--trace`` was given, else None."""
     if getattr(args, "trace", None) is None:
@@ -240,15 +286,24 @@ def main(argv=None) -> int:
 
 
 def _cmd_build(args) -> int:
-    from .corpus import CorpusBuilder, write_corpus
+    from .corpus import CorpusBuilder, build_and_write
 
     tracer = _make_tracer(args)
-    corpus = CorpusBuilder(seed=args.seed).build(jobs=args.jobs, tracer=tracer)
+    builder = CorpusBuilder(seed=args.seed, scale=args.scale)
     store_dir = args.directory / ".store" if args.store is True else args.store
-    manifest = write_corpus(
-        corpus, args.directory, store=store_dir, jobs=args.jobs, tracer=tracer
+    store_kwargs = None
+    if args.spill_budget is not None:
+        store_kwargs = {"spill_quad_budget": args.spill_budget}
+    # Streaming build: traces go straight to disk run-at-a-time, so a
+    # --scale 50 corpus never holds more than one trace in memory.
+    manifest = build_and_write(
+        builder, args.directory, store=store_dir, jobs=args.jobs, tracer=tracer,
+        on_trace=_progress_hook("build", "runs", "triples",
+                                work_of=lambda writer: writer.triples),
+        store_kwargs=store_kwargs,
+        on_ingest_file=_progress_hook("ingest", "files", "quads"),
     )
-    stats = corpus.statistics()
+    stats = json.loads(manifest.read_text())["statistics"]
     print(f"built corpus under {args.directory}")
     if store_dir is not None:
         print(f"  quad store: {store_dir}")
@@ -453,8 +508,14 @@ def _cmd_store(args) -> int:
             return 1
         store_dir = args.store if args.store is not None else args.directory / ".store"
         tracer = _make_tracer(args)
-        with QuadStore(store_dir) as store:
-            report = ingest_corpus(store, args.directory, jobs=args.jobs, tracer=tracer)
+        kwargs = {}
+        if args.spill_budget is not None:
+            kwargs["spill_quad_budget"] = args.spill_budget
+        with QuadStore(store_dir, **kwargs) as store:
+            report = ingest_corpus(
+                store, args.directory, jobs=args.jobs, tracer=tracer,
+                on_file=_progress_hook("ingest", "files", "quads"),
+            )
         print(json.dumps(report.summary(), indent=2, sort_keys=True))
         if report.no_op:
             print("store already up to date (no files re-parsed)")

@@ -23,7 +23,13 @@ from .maintenance import MaintenanceIssue, MaintenanceReport, check_corpus
 from .manifest import Table1Row, format_table1, table1
 from .profile import CorpusProfile, TraceProfile, profile_corpus
 from .research_objects import ResearchObjectManifest, package_corpus, package_template
-from .storage import StoredCorpus, StoredTrace, load_corpus, write_corpus
+from .storage import (
+    StoredCorpus,
+    StoredTrace,
+    build_and_write,
+    load_corpus,
+    write_corpus,
+)
 
 __all__ = [
     "Corpus",
@@ -43,6 +49,7 @@ __all__ = [
     "format_table1",
     "Table1Row",
     "write_corpus",
+    "build_and_write",
     "load_corpus",
     "StoredCorpus",
     "StoredTrace",

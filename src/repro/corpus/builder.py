@@ -23,7 +23,7 @@ from __future__ import annotations
 import datetime as _dt
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..obs import metrics as _metrics
 from ..obs.trace import span as _span
@@ -48,11 +48,14 @@ from .generator import TemplateGenerator
 
 __all__ = ["RunPlanEntry", "CorpusTrace", "Corpus", "CorpusBuilder", "build_corpus"]
 
-#: Paper constants (Section 2).
+#: Paper constants (Section 2).  A ``scale`` factor multiplies each of
+#: these linearly (templates, runs, failures, and the cause mix), so a
+#: scale-N corpus is N seeded copies of the paper's proportions.
 TOTAL_RUNS = 198
 FAILED_RUNS = 30
 FAILURE_MIX = {"resource-unavailable": 14, "illegal-input-value": 10, "service-timeout": 6}
 MULTI_RUN_TEMPLATES = 39
+MULTI_RUN_FAILURES = 6
 RUNS_PER_MULTI_TEMPLATE = 3
 
 TAVERNA_USERS = ("soiland-reyes", "kbelhajjame", "palper", "jzhao")
@@ -254,30 +257,37 @@ class Corpus:
 class CorpusBuilder:
     """Plans and executes the whole corpus build."""
 
-    def __init__(self, seed: int = 2013, start: Optional[_dt.datetime] = None):
+    def __init__(self, seed: int = 2013, start: Optional[_dt.datetime] = None,
+                 scale: int = 1):
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
         self.seed = seed
+        self.scale = int(scale)
         self.start = start if start is not None else _dt.datetime(2012, 5, 7, 9, 0, 0)
-        self.generator = TemplateGenerator(seed=seed)
+        self.generator = TemplateGenerator(seed=seed, scale=self.scale)
 
     # -- planning -------------------------------------------------------------------
 
     def plan_runs(self, templates: List[WorkflowTemplate]) -> List[RunPlanEntry]:
-        """The deterministic 198-run plan with the 30-failure schedule."""
+        """The deterministic 198·scale-run plan with its failure schedule."""
         rng = random.Random(self.seed)
         template_ids = [t.template_id for t in templates]
         shuffled = list(template_ids)
         rng.shuffle(shuffled)
-        multi = set(shuffled[:MULTI_RUN_TEMPLATES])
+        multi = set(shuffled[:MULTI_RUN_TEMPLATES * self.scale])
         single = [tid for tid in template_ids if tid not in multi]
 
-        # Most failures land on single-run templates; 6 hit the *last* run
-        # of a multi-run template, leaving two earlier successful runs —
-        # the donor material the decay application repairs from.
-        multi_failing = set(rng.sample(sorted(multi), 6))
-        failing = set(rng.sample(single, FAILED_RUNS - len(multi_failing)))
+        # Most failures land on single-run templates; 6·scale hit the
+        # *last* run of a multi-run template, leaving two earlier
+        # successful runs — the donor material the decay application
+        # repairs from.
+        multi_failing = set(rng.sample(sorted(multi), MULTI_RUN_FAILURES * self.scale))
+        failing = set(
+            rng.sample(single, FAILED_RUNS * self.scale - len(multi_failing))
+        )
         cause_pool: List[str] = []
         for cause, count in FAILURE_MIX.items():
-            cause_pool.extend([cause] * count)
+            cause_pool.extend([cause] * (count * self.scale))
         rng.shuffle(cause_pool)
         cause_of = dict(zip(sorted(failing | multi_failing), cause_pool))
 
@@ -308,8 +318,9 @@ class CorpusBuilder:
                         fault_cause=fault_cause,
                     )
                 )
-        assert len(entries) == TOTAL_RUNS, f"planned {len(entries)} runs, expected {TOTAL_RUNS}"
-        assert sum(1 for e in entries if e.will_fail) == FAILED_RUNS
+        expected = TOTAL_RUNS * self.scale
+        assert len(entries) == expected, f"planned {len(entries)} runs, expected {expected}"
+        assert sum(1 for e in entries if e.will_fail) == FAILED_RUNS * self.scale
         return entries
 
     @staticmethod
@@ -331,6 +342,12 @@ class CorpusBuilder:
 
     # -- building ----------------------------------------------------------------------
 
+    def plan(self) -> Tuple[Dict[str, WorkflowTemplate], List[RunPlanEntry]]:
+        """Generate all templates and the run plan (no execution)."""
+        templates = self.generator.all_templates()
+        by_id = {t.template_id: t for t in templates}
+        return by_id, self.plan_runs(templates)
+
     def build(self, jobs: int = 1, tracer=None) -> Corpus:
         """Execute the full plan and export every trace.
 
@@ -344,35 +361,54 @@ class CorpusBuilder:
         ``execute`` / ``export`` / ``serialize`` phases; pool workers
         forward their spans with each result, merged in plan order.
         """
-        templates = self.generator.all_templates()
-        by_id = {t.template_id: t for t in templates}
-        plan = self.plan_runs(templates)
+        by_id, plan = self.plan()
+        traces = list(self.iter_traces(jobs=jobs, tracer=tracer, plan=plan, by_id=by_id))
+        return Corpus(self.seed, by_id, traces, plan, self.generator)
+
+    def iter_traces(
+        self,
+        jobs: int = 1,
+        tracer=None,
+        plan: Optional[List[RunPlanEntry]] = None,
+        by_id: Optional[Dict[str, WorkflowTemplate]] = None,
+    ) -> Iterator[CorpusTrace]:
+        """Yield traces one at a time, in plan order.
+
+        The streaming face of :meth:`build`: the same plan, the same
+        bytes per trace at any worker count, but runs are produced
+        lazily so a scale-N corpus never has to exist in RAM at once.
+        Consumers that hold no reference to a yielded trace keep memory
+        flat in the corpus size.
+        """
+        if plan is None or by_id is None:
+            by_id, plan = self.plan()
         effective = jobs if jobs == 1 else min(_resolve_jobs(jobs), len(plan))
         if effective <= 1:
-            traces = self._build_serial(plan, by_id, tracer=tracer)
+            yield from self._iter_serial(plan, by_id, tracer=tracer)
         else:
-            from .parallel import build_traces_parallel
+            from .parallel import iter_traces_parallel
 
-            traces = build_traces_parallel(self, plan, by_id, effective, tracer=tracer)
-        return Corpus(self.seed, by_id, traces, plan, self.generator)
+            yield from iter_traces_parallel(self, plan, by_id, effective, tracer=tracer)
 
     def _build_serial(
         self, plan: List[RunPlanEntry], by_id: Dict[str, WorkflowTemplate],
         tracer=None,
     ) -> List[CorpusTrace]:
-        """The sequential path: one clock threaded through all 198 runs."""
+        """The sequential path: one clock threaded through all runs."""
+        return list(self._iter_serial(plan, by_id, tracer=tracer))
+
+    def _iter_serial(
+        self, plan: List[RunPlanEntry], by_id: Dict[str, WorkflowTemplate],
+        tracer=None,
+    ) -> Iterator[CorpusTrace]:
         clock = SimulatedClock(self.start)
         taverna, wings = self._make_engines(clock)
-        traces: List[CorpusTrace] = []
         for entry in plan:
             clock.advance(self._gap_seconds(entry))
             if tracer is not None:
                 tracer.reset_clock()
-            traces.append(
-                self._trace_for(entry, by_id[entry.template_id], taverna, wings,
-                                tracer=tracer)
-            )
-        return traces
+            yield self._trace_for(entry, by_id[entry.template_id], taverna, wings,
+                                  tracer=tracer)
 
     def _make_engines(self, clock: SimulatedClock) -> Tuple[TavernaEngine, WingsEngine]:
         """Fresh engines over generator-derived infrastructure."""
@@ -486,10 +522,11 @@ class CorpusBuilder:
 
 
 def build_corpus(
-    seed: int = 2013, jobs: int = 1, start: Optional[_dt.datetime] = None, tracer=None
+    seed: int = 2013, jobs: int = 1, start: Optional[_dt.datetime] = None, tracer=None,
+    scale: int = 1,
 ) -> Corpus:
-    """Build the full 198-run corpus; ``jobs`` fans runs over processes."""
-    return CorpusBuilder(seed=seed, start=start).build(jobs=jobs, tracer=tracer)
+    """Build the full 198·scale-run corpus; ``jobs`` fans runs over processes."""
+    return CorpusBuilder(seed=seed, start=start, scale=scale).build(jobs=jobs, tracer=tracer)
 
 
 def hash_of(*parts: object) -> int:

@@ -10,6 +10,11 @@ are preserved (DESIGN.md §2).
 Everything is a pure function of the template's (domain, index) pair, so
 re-building the corpus regenerates byte-identical templates.
 
+The ``scale`` knob multiplies the per-domain template counts (and, for
+the linear Taverna family, widens the trace-depth rotation) without
+perturbing the scale-1 output: template ``(domain, index)`` produces the
+same bytes at every scale, extra scale only extends the index range.
+
 Topology mix per system:
 
 * Taverna (index mod 5): linear · diamond (split/merge) · list processing
@@ -34,8 +39,11 @@ __all__ = ["TemplateGenerator"]
 class TemplateGenerator:
     """Builds templates, catalogs, and the service registry for one corpus."""
 
-    def __init__(self, seed: int = 2013):
+    def __init__(self, seed: int = 2013, scale: int = 1):
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
         self.seed = seed
+        self.scale = int(scale)
         self.types = TypeHierarchy()
         self.types.add("ReportArtifact")
         self.types.add("ParameterValue")
@@ -109,7 +117,7 @@ class TemplateGenerator:
         """Input datasets for every Wings template (typed + located)."""
         catalog = DataCatalog(self.types)
         for domain in DOMAINS:
-            for index in range(domain.wings_workflows):
+            for index in range(domain.wings_workflows * self.scale):
                 template_id = self.wings_template_id(domain, index)
                 catalog.add(
                     f"{template_id}-input",
@@ -169,7 +177,9 @@ class TemplateGenerator:
             service=self._service(domain, index),
             config={"records": 3 + index % 4},
         ))
-        depth = 2 + index % 3  # 2..4 transform stages
+        # 2..4 transform stages at scale 1; wider rotation (up to 2..8)
+        # as the corpus scales so deep lineage chains appear.
+        depth = 2 + index % (2 + min(self.scale, 6))
         previous = (self._step_name(domain, 0), "sequences")
         for stage in range(depth):
             name = f"{self._step_name(domain, stage + 1)}_{stage + 1}"
@@ -499,12 +509,12 @@ class TemplateGenerator:
     # -- batch access ---------------------------------------------------------------
 
     def all_templates(self) -> List[WorkflowTemplate]:
-        """All 120 templates in deterministic (domain, system, index) order."""
+        """All 120·scale templates in deterministic (domain, system, index) order."""
         templates: List[WorkflowTemplate] = []
         for domain in DOMAINS:
-            for index in range(domain.taverna_workflows):
+            for index in range(domain.taverna_workflows * self.scale):
                 templates.append(self.taverna_template(domain, index))
-            for index in range(domain.wings_workflows):
+            for index in range(domain.wings_workflows * self.scale):
                 templates.append(self.wings_template(domain, index))
         return templates
 

@@ -27,13 +27,13 @@ failing run and template named in the message.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..workflow.dataflow import SimulatedClock
 from ..workflow.errors import WorkflowError
 
-__all__ = ["build_traces_parallel"]
+__all__ = ["build_traces_parallel", "iter_traces_parallel"]
 
 # Per-worker state: (builder, template index, clock, taverna, wings,
 # tracer).  Built once per worker by _init_worker; tasks only carry
@@ -41,11 +41,11 @@ __all__ = ["build_traces_parallel"]
 _WORKER_STATE = None
 
 
-def _init_worker(seed, start, obs: ObsConfig = ObsConfig()) -> None:
+def _init_worker(seed, start, obs: ObsConfig = ObsConfig(), scale: int = 1) -> None:
     global _WORKER_STATE
     from .builder import CorpusBuilder
 
-    builder = CorpusBuilder(seed=seed, start=start)
+    builder = CorpusBuilder(seed=seed, start=start, scale=scale)
     templates = builder.generator.all_templates()
     by_id = {t.template_id: t for t in templates}
     clock = SimulatedClock(start)
@@ -86,15 +86,32 @@ def build_traces_parallel(
     tracer=None,
 ) -> List[object]:
     """Fan the run plan over a process pool; merge traces in plan order."""
+    return list(iter_traces_parallel(builder, plan, by_id, jobs, tracer=tracer))
+
+
+def iter_traces_parallel(
+    builder,
+    plan,
+    by_id: Dict[str, object],
+    jobs: Optional[int],
+    tracer=None,
+) -> Iterator[object]:
+    """Streaming face of :func:`build_traces_parallel`.
+
+    ``imap`` yields results in submission (= plan) order while workers
+    run ahead, so the consumer sees the exact serial trace sequence with
+    only the pool's in-flight chunk buffered — memory stays flat in the
+    corpus size.
+    """
     jobs = min(resolve_jobs(jobs), len(plan))
     starts = builder.plan_start_times(plan, by_id)
     ctx = pool_context()
     chunksize = max(1, len(plan) // (jobs * 4))
-    traces = []
     with ctx.Pool(
         processes=jobs,
         initializer=_init_worker,
-        initargs=(builder.seed, builder.start, ObsConfig.from_tracer(tracer)),
+        initargs=(builder.seed, builder.start, ObsConfig.from_tracer(tracer),
+                  builder.scale),
     ) as pool:
         for status, payload, events in pool.imap(
             _build_one, list(zip(plan, starts)), chunksize=chunksize
@@ -104,5 +121,4 @@ def build_traces_parallel(
             if tracer is not None:
                 tracer.reset_clock()
                 tracer.add_events(events or ())
-            traces.append(payload)
-    return traces
+            yield payload

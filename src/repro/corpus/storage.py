@@ -28,21 +28,24 @@ from ..rdf.graph import Dataset, Graph
 from ..rdf.trig import parse_trig
 from ..rdf.turtle import parse_turtle
 from ..taverna.t2flow import to_t2flow
-from .builder import Corpus, CorpusTrace
+from .builder import Corpus, CorpusBuilder, CorpusTrace
+from .domains import DOMAINS
 
-__all__ = ["write_corpus", "load_corpus", "StoredTrace", "StoredCorpus"]
+__all__ = ["write_corpus", "build_and_write", "load_corpus", "StoredTrace",
+           "StoredCorpus"]
 
 # Imported lazily where needed so `repro.corpus` stays importable even if
 # the optional persistent-store layer is stripped from a deployment.
 
 
-def _open_store(store_path: Path, corpus_root: Path, jobs: int = 1, tracer=None):
+def _open_store(store_path: Path, corpus_root: Path, jobs: int = 1, tracer=None,
+                store_kwargs: Optional[Dict] = None, on_file=None):
     """Open (or create) a quad store and sync it with the corpus files."""
     from ..store import QuadStore, ingest_corpus
 
-    store = QuadStore(Path(store_path))
+    store = QuadStore(Path(store_path), **(store_kwargs or {}))
     try:
-        ingest_corpus(store, corpus_root, jobs=jobs, tracer=tracer)
+        ingest_corpus(store, corpus_root, jobs=jobs, tracer=tracer, on_file=on_file)
     except Exception:
         store.close()
         raise
@@ -52,34 +55,38 @@ _SYSTEM_DIR = {"taverna": "Taverna", "wings": "Wings"}
 _EXTENSION = {"turtle": ".prov.ttl", "trig": ".prov.trig"}
 
 
-def write_corpus(
-    corpus: Corpus, root: Path, store: Optional[Path] = None, jobs: int = 1,
-    tracer=None,
-) -> Path:
-    """Write the corpus under *root*; returns the manifest path.
+class _TraceWriter:
+    """Writes traces to the ProvBench layout one at a time.
 
-    When *store* names a directory, the freshly written traces are also
-    ingested into a persistent :class:`repro.store.QuadStore` there (built
-    incrementally — unchanged traces are skipped by content hash).  *jobs*
-    is forwarded to :func:`repro.store.ingest_corpus`, which parses trace
-    files in worker processes when it is greater than one; the resulting
-    segments are byte-identical either way.
+    Shared by the materialized (:func:`write_corpus`) and streaming
+    (:func:`build_and_write`) paths so both produce byte-identical trees
+    and manifests.  Holds only manifest entries and running statistics —
+    never the traces themselves — so memory stays flat in corpus size.
     """
-    root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
-    written_templates = set()
-    manifest_traces = []
-    for trace in corpus.traces:
+
+    def __init__(self, root: Path, templates: Dict[str, object]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.templates = templates
+        self._written_templates = set()
+        self.manifest_traces: List[Dict] = []
+        self._runs_by_system = {"taverna": 0, "wings": 0}
+        self._failed = 0
+        self._causes: Dict[str, int] = {}
+        self._size_bytes = 0
+        self._triples = 0
+
+    def add(self, trace: CorpusTrace) -> None:
         system_dir = _SYSTEM_DIR[trace.system]
-        template_dir = root / system_dir / trace.domain / trace.template_id
+        template_dir = self.root / system_dir / trace.domain / trace.template_id
         template_dir.mkdir(parents=True, exist_ok=True)
-        if trace.system == "taverna" and trace.template_id not in written_templates:
-            template = corpus.templates[trace.template_id]
+        if trace.system == "taverna" and trace.template_id not in self._written_templates:
+            template = self.templates[trace.template_id]
             (template_dir / "workflow.t2flow").write_text(to_t2flow(template))
-            written_templates.add(trace.template_id)
+            self._written_templates.add(trace.template_id)
         filename = trace.run_id + _EXTENSION[trace.rdf_format]
         (template_dir / filename).write_text(trace.text)
-        manifest_traces.append({
+        self.manifest_traces.append({
             "run_id": trace.run_id,
             "system": trace.system,
             "domain": trace.domain,
@@ -95,16 +102,107 @@ def write_corpus(
             "path": str(Path(system_dir) / trace.domain / trace.template_id / filename),
             "size_bytes": trace.size_bytes,
         })
-    manifest = {
-        "name": "Wf4Ever-PROV (reproduction)",
-        "seed": corpus.seed,
-        "statistics": corpus.statistics(),
-        "traces": manifest_traces,
-    }
-    manifest_path = root / "manifest.json"
-    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        self._runs_by_system[trace.system] += 1
+        if trace.failed:
+            self._failed += 1
+            self._causes[trace.failure_cause] = self._causes.get(trace.failure_cause, 0) + 1
+        self._size_bytes += trace.size_bytes
+        self._triples += len(trace.graph())
+
+    @property
+    def triples(self) -> int:
+        """Running triple total (progress reporting reads this)."""
+        return self._triples
+
+    def statistics(self) -> Dict[str, object]:
+        """Running totals in the exact shape of :meth:`Corpus.statistics`."""
+        return {
+            "workflows": len(self.templates),
+            "taverna_workflows": sum(
+                1 for t in self.templates.values() if t.system == "taverna"
+            ),
+            "wings_workflows": sum(
+                1 for t in self.templates.values() if t.system == "wings"
+            ),
+            "runs": len(self.manifest_traces),
+            "taverna_runs": self._runs_by_system["taverna"],
+            "wings_runs": self._runs_by_system["wings"],
+            "failed_runs": self._failed,
+            "failure_causes": dict(self._causes),
+            "domains": len(DOMAINS),
+            "size_bytes": self._size_bytes,
+            "triples": self._triples,
+        }
+
+    def finish(self, seed: int) -> Path:
+        manifest = {
+            "name": "Wf4Ever-PROV (reproduction)",
+            "seed": seed,
+            "statistics": self.statistics(),
+            "traces": self.manifest_traces,
+        }
+        manifest_path = self.root / "manifest.json"
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return manifest_path
+
+
+def write_corpus(
+    corpus: Corpus, root: Path, store: Optional[Path] = None, jobs: int = 1,
+    tracer=None,
+) -> Path:
+    """Write the corpus under *root*; returns the manifest path.
+
+    When *store* names a directory, the freshly written traces are also
+    ingested into a persistent :class:`repro.store.QuadStore` there (built
+    incrementally — unchanged traces are skipped by content hash).  *jobs*
+    is forwarded to :func:`repro.store.ingest_corpus`, which parses trace
+    files in worker processes when it is greater than one; the resulting
+    segments are byte-identical either way.
+    """
+    writer = _TraceWriter(Path(root), corpus.templates)
+    for trace in corpus.traces:
+        writer.add(trace)
+    manifest_path = writer.finish(corpus.seed)
     if store is not None:
-        _open_store(store, root, jobs=jobs, tracer=tracer).close()
+        _open_store(store, writer.root, jobs=jobs, tracer=tracer).close()
+    return manifest_path
+
+
+def build_and_write(
+    builder: CorpusBuilder,
+    root: Path,
+    store: Optional[Path] = None,
+    jobs: int = 1,
+    tracer=None,
+    on_trace=None,
+    store_kwargs: Optional[Dict] = None,
+    on_ingest_file=None,
+) -> Path:
+    """Build *builder*'s corpus straight to disk, one trace at a time.
+
+    The streaming counterpart of ``write_corpus(builder.build(), root)``:
+    byte-identical tree and manifest, but no trace list is ever held in
+    memory, so a ``--scale 50`` corpus builds in flat RSS.  *on_trace*,
+    when given, is called as ``on_trace(done, total, writer)`` after each
+    trace hits disk — the writer exposes running totals (``triples``,
+    ``statistics()``) for progress reporting.  *store_kwargs* are
+    forwarded to :class:`repro.store.QuadStore` (e.g.
+    ``spill_quad_budget``); *on_ingest_file* is forwarded to
+    :func:`repro.store.ingest_corpus` as its per-file progress hook.
+    """
+    by_id, plan = builder.plan()
+    writer = _TraceWriter(Path(root), by_id)
+    total = len(plan)
+    for index, trace in enumerate(
+        builder.iter_traces(jobs=jobs, tracer=tracer, plan=plan, by_id=by_id)
+    ):
+        writer.add(trace)
+        if on_trace is not None:
+            on_trace(index + 1, total, writer)
+    manifest_path = writer.finish(builder.seed)
+    if store is not None:
+        _open_store(store, writer.root, jobs=jobs, tracer=tracer,
+                    store_kwargs=store_kwargs, on_file=on_ingest_file).close()
     return manifest_path
 
 

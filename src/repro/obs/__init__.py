@@ -6,15 +6,19 @@ gauges, fixed-bucket histograms, Prometheus text exposition).
 output, deterministic logical-clock mode for byte-stable test traces).
 ``repro.obs.slowlog`` holds the structured slow-query ring buffer the
 query engine and endpoint feed (``GET /slowlog``, ``obs slowlog``).
+``repro.obs.progress`` holds the TTY-gated one-line progress reporter
+long builds and ingests drive from the counters.
 """
 
 from . import metrics
+from .progress import Progress
 from .slowlog import SlowQueryLog, read_jsonl
 from .trace import NULL_SPAN, Tracer, read_trace, span, summarize
 
 __all__ = [
     "metrics",
     "NULL_SPAN",
+    "Progress",
     "SlowQueryLog",
     "Tracer",
     "read_jsonl",

@@ -1,0 +1,116 @@
+"""One-line progress reporting for long-running builds and ingests.
+
+:class:`Progress` writes a single carriage-return-refreshed status line
+(items done, work rate, ETA) to a stream, refreshed at most once per
+``min_interval`` seconds so a million-quad ingest costs a handful of
+writes, not one per item.  It is **TTY-gated**: when the stream is not
+an interactive terminal (piped, redirected, CI) it stays completely
+silent, so machine-readable command output is never polluted.
+
+The work rate can be fed explicitly (``update(done, work=n)``) or pulled
+from an observability counter (``work_counter=`` any metric exposing
+a ``value``, e.g. ``repro_ingest_quads_total``) — the counter is
+snapshotted at construction so only work done *by this operation* is
+rated, even though registry counters are cumulative per process.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+__all__ = ["Progress"]
+
+
+def _format_duration(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    minutes, secs = divmod(seconds, 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class Progress:
+    """Rate-limited, TTY-gated one-line progress reporter.
+
+    ``enabled=None`` (the default) resolves to ``stream.isatty()``;
+    pass ``True``/``False`` to force either way (tests force ``True``
+    against a StringIO).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        total: Optional[int] = None,
+        unit: str = "runs",
+        work_unit: str = "quads",
+        work_counter=None,
+        stream=None,
+        min_interval: float = 1.0,
+        enabled: Optional[bool] = None,
+    ):
+        self.stream = sys.stderr if stream is None else stream
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self.label = label
+        self.total = total
+        self.unit = unit
+        self.work_unit = work_unit
+        self._work_counter = work_counter
+        self._work_base = work_counter.value if work_counter is not None else 0.0
+        self._min_interval = min_interval
+        self._start = time.monotonic()
+        self._last_emit = float("-inf")
+        self._width = 0
+        self.emitted = 0  # status-line writes (tests assert rate limiting)
+
+    def _compose(self, done: int, work: Optional[float], elapsed: float) -> str:
+        parts = [f"{self.label}: {done}"
+                 + (f"/{self.total}" if self.total else "")
+                 + f" {self.unit}"]
+        if work is not None:
+            rate = ""
+            # A rate over a near-zero elapsed window is noise, not signal.
+            if elapsed >= 0.5:
+                rate = f" ({work / elapsed:,.0f}/s)"
+            parts.append(f"{int(work):,} {self.work_unit}{rate}")
+        if self.total and 0 < done < self.total:
+            remaining = (self.total - done) * (elapsed / done)
+            parts.append(f"ETA {_format_duration(remaining)}")
+        return "  ".join(parts)
+
+    def update(self, done: int, work: Optional[float] = None,
+               force: bool = False) -> None:
+        """Refresh the status line (at most once per ``min_interval``)."""
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self._min_interval:
+            return
+        self._last_emit = now
+        if work is None and self._work_counter is not None:
+            work = self._work_counter.value - self._work_base
+        line = self._compose(done, work, now - self._start)
+        # Pad over the previous line so a shrinking line leaves no tail.
+        self.stream.write("\r" + line + " " * max(0, self._width - len(line)))
+        self.stream.flush()
+        self._width = len(line)
+        self.emitted += 1
+
+    def finish(self, done: int, work: Optional[float] = None) -> None:
+        """Write the final totals (with elapsed time) and end the line."""
+        if not self.enabled:
+            return
+        if work is None and self._work_counter is not None:
+            work = self._work_counter.value - self._work_base
+        elapsed = time.monotonic() - self._start
+        line = (self._compose(done, work, elapsed)
+                + f"  in {_format_duration(elapsed)}")
+        self.stream.write("\r" + line + " " * max(0, self._width - len(line)) + "\n")
+        self.stream.flush()
+        self._width = 0
+        self.emitted += 1

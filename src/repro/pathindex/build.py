@@ -34,8 +34,12 @@ no per-process timestamps).
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
-from typing import Dict, List, Optional, Set, Tuple
+import os
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..prov.constants import DERIVATION_SUBPROPERTIES
 from ..rdf.namespace import OPMW, PROV, RDF, WFPROV
@@ -53,12 +57,20 @@ from .format import (
     REL_WAS_REVISION_OF,
     RELATION_NAMES,
     TRIE_FILE,
-    write_edges,
+    write_edges_stream,
     write_index_manifest,
 )
 from .trie import write_trie
 
-__all__ = ["build_path_index", "run_sequences", "store_files_sha"]
+__all__ = ["build_path_index", "run_sequences", "store_files_sha",
+           "DEFAULT_EDGE_BUDGET"]
+
+#: In-memory edge cap before the spool spills a sorted run to disk.
+#: Sized like the store's spill budget: high enough that the default
+#: corpus (≈50k quads) never spills, low enough that a scale-50 build's
+#: peak RSS stays flat.  ``None``/``0`` disables spilling (pure
+#: in-memory sort — the pre-spool behaviour).
+DEFAULT_EDGE_BUDGET = 500_000
 
 #: Asserted derivation predicates → relation code (wasDerivedFrom plus
 #: its PROV-O subproperties, in the constants' order).
@@ -78,16 +90,98 @@ def store_files_sha(store) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _union_pairs(store, predicate: IRI) -> List[Tuple[int, int]]:
+def _union_pairs(store, predicate: IRI) -> Iterator[Tuple[int, int]]:
     """Distinct (s, o) id pairs of *predicate* over the union scope, in
-    the posg segment's (o, s) sort order."""
+    the posg segment's (o, s) sort order.  A generator over the mmap'd
+    segment — never materializes the predicate's full extension."""
     pid = store.term_id(predicate)
     if pid is None:
-        return []
-    return [
-        (s, o)
-        for _, o, s in store.segment("posg").scan_distinct_triples((pid,))
-    ]
+        return
+    for _, o, s in store.segment("posg").scan_distinct_triples((pid,)):
+        yield (s, o)
+
+
+_SPOOL_EDGE = struct.Struct("<3I")
+_SPOOL_READ_RECORDS = 65536
+
+
+class _EdgeSpool:
+    """Bounded-memory accumulator for distinct (rel, src, dst) edges.
+
+    Edges collect in an in-memory set; when the set reaches *budget*, it
+    spills as two sorted scratch runs — one in forward (rel, src, dst)
+    order, one permuted to the inverse (rel, dst, src) order — so both
+    final files come out of a k-way ``heapq.merge`` over their runs plus
+    the residual set, with a one-record lookbehind collapsing cross-run
+    duplicates.  The merged streams are byte-identical to sorting the
+    whole edge set in memory, which is what keeps the index reproducible
+    regardless of budget.  Scratch runs are plain transient files (no
+    fsync/rename dance — a crashed build leaves no commit, and leftovers
+    are swept on the next build).
+    """
+
+    def __init__(self, directory: Path, budget: Optional[int]):
+        self._dir = Path(directory)
+        self._budget = budget or 0
+        self._edges: set = set()
+        self._spills = 0
+        self.spill_runs = 0  # spilled run count (tests/diagnostics)
+
+    def _run_path(self, batch: int, inverse: bool) -> Path:
+        suffix = "inv" if inverse else "fwd"
+        return self._dir / f"paths.spool-{batch:04d}.{suffix}"
+
+    def add(self, rel: int, src: int, dst: int) -> None:
+        self._edges.add((rel, src, dst))
+        if self._budget and len(self._edges) >= self._budget:
+            self._spill()
+
+    def _spill(self) -> None:
+        batch = self._spills
+        for inverse in (False, True):
+            if inverse:
+                records = sorted((r, d, s) for r, s, d in self._edges)
+            else:
+                records = sorted(self._edges)
+            with open(self._run_path(batch, inverse), "wb") as handle:
+                buffer = bytearray()
+                for record in records:
+                    buffer += _SPOOL_EDGE.pack(*record)
+                    if len(buffer) >= (1 << 20):
+                        handle.write(buffer)
+                        del buffer[:]
+                if buffer:
+                    handle.write(buffer)
+        self._edges.clear()
+        self._spills += 1
+        self.spill_runs += 1
+
+    def _iter_run(self, batch: int, inverse: bool) -> Iterator[Tuple[int, int, int]]:
+        with open(self._run_path(batch, inverse), "rb") as handle:
+            while True:
+                chunk = handle.read(_SPOOL_READ_RECORDS * _SPOOL_EDGE.size)
+                if not chunk:
+                    return
+                yield from _SPOOL_EDGE.iter_unpack(chunk)
+
+    def merged(self, inverse: bool = False) -> Iterator[Tuple[int, int, int]]:
+        """Sorted, duplicate-free edge stream (leaves the spool reusable,
+        so the forward and inverse merges run over the same state)."""
+        sources = [self._iter_run(batch, inverse) for batch in range(self._spills)]
+        if inverse:
+            sources.append(iter(sorted((r, d, s) for r, s, d in self._edges)))
+        else:
+            sources.append(iter(sorted(self._edges)))
+        last = None
+        for record in heapq.merge(*sources):
+            if record != last:
+                last = record
+                yield record
+
+    def cleanup(self) -> None:
+        for name in os.listdir(self._dir):
+            if name.startswith("paths.spool-"):
+                (self._dir / name).unlink()
 
 
 def _first_object(store, spog, subject_id: int, predicate_id: Optional[int]) -> Optional[int]:
@@ -159,46 +253,55 @@ def run_sequences(store) -> Dict[int, List[int]]:
     }
 
 
-def build_path_index(store) -> Dict:
+def build_path_index(store, spill_edge_budget: Optional[int] = DEFAULT_EDGE_BUDGET) -> Dict:
     """Derive and persist the index for the store's current generation;
     returns the committed manifest.
 
     Requires a compacted store (no pending WAL state): the index is a
     pure function of the segment files it scans.
+
+    Memory is bounded by *spill_edge_budget*: edges stream from segment
+    scans into an :class:`_EdgeSpool` that spills sorted runs to disk
+    and k-way merges them into the final files, and the usage→generation
+    composition resolves each generating activity's used entities with a
+    spog prefix bisect instead of a corpus-wide ``used_of`` map.  Only
+    the trie's per-run sequences (O(runs), not O(quads)) stay resident.
+    The output bytes do not depend on the budget.
     """
     if store.has_pending():
         raise RuntimeError("build_path_index() requires a compacted store")
 
-    edges: Set[Tuple[int, int, int]] = set()
-    used_of: Dict[int, List[int]] = {}
+    spool = _EdgeSpool(store.path, spill_edge_budget)
+    spool.cleanup()  # sweep scratch runs a crashed build left behind
+    try:
+        spog = store.segment("spog")
+        used_pid = store.term_id(PROV.used)
 
-    for activity, entity in _union_pairs(store, PROV.used):
-        edges.add((REL_USED, activity, entity))
-        used_of.setdefault(activity, []).append(entity)
-    for entities in used_of.values():
-        entities.sort()
+        for activity, entity in _union_pairs(store, PROV.used):
+            spool.add(REL_USED, activity, entity)
 
-    generated: List[Tuple[int, int]] = _union_pairs(store, PROV.wasGeneratedBy)
-    for entity, activity in generated:
-        edges.add((REL_GENERATED_BY, entity, activity))
+        for entity, activity in _union_pairs(store, PROV.wasGeneratedBy):
+            spool.add(REL_GENERATED_BY, entity, activity)
+            # Compose product --wasGeneratedBy--> activity --used--> source
+            # via a spog prefix scan per generating activity; duplicates
+            # across activities fall out in the spool's merge.
+            if used_pid is None:
+                continue
+            for _, _, source in spog.scan_distinct_triples((activity, used_pid)):
+                if source != entity:
+                    spool.add(REL_DERIVATION, entity, source)
 
-    derivation: Set[Tuple[int, int]] = set()
-    for entity, activity in generated:
-        for source in used_of.get(activity, ()):
-            if source != entity:
-                derivation.add((entity, source))
-    for predicate, rel in _ASSERTED_RELS:
-        for subject, obj in _union_pairs(store, predicate):
-            edges.add((rel, subject, obj))
-            # The apps-layer DAG only follows IRI-valued derivations.
-            if isinstance(store.term(obj), IRI):
-                derivation.add((subject, obj))
-    edges.update((REL_DERIVATION, a, b) for a, b in derivation)
+        for predicate, rel in _ASSERTED_RELS:
+            for subject, obj in _union_pairs(store, predicate):
+                spool.add(rel, subject, obj)
+                # The apps-layer DAG only follows IRI-valued derivations.
+                if isinstance(store.term(obj), IRI):
+                    spool.add(REL_DERIVATION, subject, obj)
 
-    fwd = sorted(edges)
-    inv = sorted((rel, dst, src) for rel, src, dst in edges)
-    write_edges(store.path / FWD_FILE, fwd)
-    write_edges(store.path / INV_FILE, inv)
+        edge_count = write_edges_stream(store.path / FWD_FILE, spool.merged(inverse=False))
+        write_edges_stream(store.path / INV_FILE, spool.merged(inverse=True))
+    finally:
+        spool.cleanup()
 
     sequences = run_sequences(store)
     trie_bytes = write_trie(store.path / TRIE_FILE, sequences)
@@ -210,7 +313,7 @@ def build_path_index(store) -> Dict:
         "format_version": INDEX_FORMAT_VERSION,
         "generation": store.generation,
         "files_sha": store_files_sha(store),
-        "edge_count": len(fwd),
+        "edge_count": edge_count,
         "relations": relations,
         "relation_names": {name: code for code, name in RELATION_NAMES.items()},
         "trie": {

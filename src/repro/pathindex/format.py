@@ -67,6 +67,7 @@ __all__ = [
     "RELATION_NAMES",
     "AdjacencyReader",
     "write_edges",
+    "write_edges_stream",
     "write_index_manifest",
     "read_index_manifest",
 ]
@@ -103,13 +104,35 @@ EDGE_SIZE = _EDGE.size
 
 def write_edges(path: Path, records: Sequence[Tuple[int, int, int]]) -> None:
     """Write pre-sorted edge records via tmp file + fsync + atomic rename."""
+    write_edges_stream(path, iter(records))
+
+
+def write_edges_stream(
+    path: Path, records: "Iterator[Tuple[int, int, int]]",
+    buffer_bytes: int = 1 << 20,
+) -> int:
+    """Stream pre-sorted edge records to *path* (tmp + atomic rename).
+
+    The external-merge build path: *records* is typically a k-way merge
+    over sorted spool runs, so this never holds more than *buffer_bytes*
+    of output in memory.  Returns the record count.
+    """
     tmp = path.with_name(path.name + ".tmp")
+    count = 0
+    buffer = bytearray()
     with open(tmp, "wb") as handle:
         for record in records:
-            handle.write(_EDGE.pack(*record))
+            buffer += _EDGE.pack(*record)
+            count += 1
+            if len(buffer) >= buffer_bytes:
+                handle.write(buffer)
+                del buffer[:]
+        if buffer:
+            handle.write(buffer)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    return count
 
 
 class AdjacencyReader:

@@ -14,13 +14,14 @@ on it unchanged.
 
 from .dictionary import TermDictionary, decode_term, encode_term
 from .ingest import IngestReport, ingest_corpus
-from .quadstore import QuadStore, StoreError
+from .quadstore import DEFAULT_SPILL_QUAD_BUDGET, QuadStore, StoreError
 from .views import StoreDataset, StoreGraph, StoreWriteError
 from .wal import WriteAheadLog
 
 __all__ = [
     "QuadStore",
     "StoreError",
+    "DEFAULT_SPILL_QUAD_BUDGET",
     "StoreDataset",
     "StoreGraph",
     "StoreWriteError",

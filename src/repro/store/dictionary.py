@@ -34,6 +34,8 @@ import mmap
 import os
 import struct
 import threading
+import time
+from array import array
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -132,6 +134,17 @@ class TermDictionary:
         self.intern_misses = 0  # a new id was allocated
         self.lookup_hits = 0
         self.lookup_misses = 0
+        # Incremental-fold counters (see fold_delta): folds since open,
+        # how many of them grew (re-bucketed) the hash table, and the
+        # total wall time spent folding.
+        self.fold_count = 0
+        self.rehash_count = 0
+        self.fold_seconds = 0.0
+        # True once a fold may have left the hash table in a
+        # non-canonical slot layout; compact() then rebuilds it in
+        # id-insertion order so the on-disk bytes are identical to a
+        # never-folded dictionary's.
+        self._needs_canonical = False
         # Persisted state (mmap'd; refreshed by _open_files).
         self._heap: Optional[mmap.mmap] = None
         self._offsets: Optional[mmap.mmap] = None
@@ -208,6 +221,9 @@ class TermDictionary:
             "intern_misses": self.intern_misses,
             "lookup_hits": self.lookup_hits,
             "lookup_misses": self.lookup_misses,
+            "folds": self.fold_count,
+            "rehashes": self.rehash_count,
+            "fold_seconds": round(self.fold_seconds, 6),
         }
 
     def file_sizes(self) -> Dict[str, int]:
@@ -284,7 +300,12 @@ class TermDictionary:
             stored_hash, stored_id = _SLOT.unpack_from(self._hash, slot * _SLOT.size)
             if stored_id == 0:
                 return None
-            if stored_hash == h and self._heap_record(stored_id) == data:
+            # Ids beyond the persisted count are stale-future entries: a
+            # crash between a fold's hash-table rename and its offsets
+            # rename (the commit point) leaves them.  They are skipped,
+            # not treated as hits — the terms replay from the WAL.
+            if (stored_hash == h and stored_id <= self._persisted_count
+                    and self._heap_record(stored_id) == data):
                 return stored_id
             slot = (slot + 1) % self._hash_slots
         return None
@@ -322,6 +343,108 @@ class TermDictionary:
                     self._decode_cache.popitem(last=False)
         return term
 
+    # -- incremental fold ---------------------------------------------------
+
+    def _valid_heap_end(self) -> int:
+        """Bytes of the heap covered by the offsets file.
+
+        Computed from the last offset + its record length — never from
+        the heap's file size, which may carry an orphan tail from a
+        fold that crashed before committing its offsets.
+        """
+        if not self._persisted_count or self._offsets is None or self._heap is None:
+            return 0
+        last = _U64.unpack_from(
+            self._offsets, (self._persisted_count - 1) * _U64.size
+        )[0]
+        (length,) = _U32.unpack_from(self._heap, last)
+        return last + _U32.size + length
+
+    def fold_delta(self) -> None:
+        """Append the delta to the persisted files without a full rewrite.
+
+        The spill-time counterpart of :meth:`compact`, O(delta) instead
+        of O(total) where possible:
+
+        * heap — delta records are appended in place (readers' mmaps of
+          the old region stay valid; an orphan tail is truncated first);
+        * offsets — old array copied (small: 8 bytes/term) + delta
+          appended, to a tmp file;
+        * hash — if the table still has room (load factor ≤ 1/2 after
+          the delta) the file bytes are copied and only delta entries
+          inserted; at a 2^k growth boundary the old table's (hash, id)
+          pairs are re-bucketed directly — no BLAKE2b recompute, no heap
+          reads — so the stall at the boundary is bounded by pure
+          integer work, not hashing.
+
+        Rename order is hash → offsets, with **offsets as the commit
+        point** (``persisted_count`` is derived from its length).  A
+        crash after the hash rename leaves entries pointing above the
+        committed count; :meth:`_probe` skips those, and the terms
+        replay from the WAL.
+        """
+        if not self._delta_terms:
+            return
+        started = time.perf_counter()
+        total = len(self)
+        heap_end = self._valid_heap_end()
+        # New hash table (in memory first).
+        needed = _next_power_of_two(max(8, total * 2))
+        if needed > self._hash_slots:
+            table = bytearray(needed * _SLOT.size)
+            slots = needed
+            if self._hash is not None:
+                for h, tid in _SLOT.iter_unpack(self._hash):
+                    if tid == 0:
+                        continue
+                    _insert_slot(table, slots, h, tid)
+            self.rehash_count += 1
+        else:
+            slots = self._hash_slots
+            table = bytearray(self._hash)
+        delta_offsets = bytearray()
+        heap_tail = bytearray()
+        position = heap_end
+        for index, data in enumerate(self._delta_terms):
+            term_id = self._persisted_count + index + 1
+            _insert_slot(table, slots, _term_hash(data), term_id)
+            delta_offsets += _U64.pack(position)
+            heap_tail += _U32.pack(len(data))
+            heap_tail += data
+            position += _U32.size + len(data)
+        old_offsets = (
+            bytes(self._offsets[: self._persisted_count * _U64.size])
+            if self._offsets is not None
+            else b""
+        )
+        self._close_maps()
+        heap_path = self.directory / HEAP_FILE
+        with open(heap_path, "r+b" if heap_path.exists() else "wb") as heap:
+            heap.truncate(heap_end)
+            heap.seek(heap_end)
+            heap.write(heap_tail)
+            heap.flush()
+            os.fsync(heap.fileno())
+        hash_tmp = self.directory / (HASH_FILE + ".tmp")
+        with open(hash_tmp, "wb") as hashed:
+            hashed.write(bytes(table))
+            hashed.flush()
+            os.fsync(hashed.fileno())
+        os.replace(hash_tmp, self.directory / HASH_FILE)
+        off_tmp = self.directory / (OFFSETS_FILE + ".tmp")
+        with open(off_tmp, "wb") as off:
+            off.write(old_offsets)
+            off.write(delta_offsets)
+            off.flush()
+            os.fsync(off.fileno())
+        os.replace(off_tmp, self.directory / OFFSETS_FILE)
+        self._delta_terms.clear()
+        self._delta_lookup.clear()
+        self._open_files()
+        self._needs_canonical = True
+        self.fold_count += 1
+        self.fold_seconds += time.perf_counter() - started
+
     # -- compaction ---------------------------------------------------------
 
     def compact(self) -> None:
@@ -331,37 +454,50 @@ class TermDictionary:
         renamed into place; a crash mid-compaction leaves the previous
         generation intact (the store manifest is what commits a
         generation — see :mod:`repro.store.quadstore`).
+
+        The rewrite streams record-at-a-time and rebuilds the hash
+        table by inserting ids in id order (harvesting each persisted
+        id's hash from the current table rather than recomputing it),
+        so the output bytes are canonical — identical whether or not
+        :meth:`fold_delta` ran in between — and memory stays bounded
+        by the hash table, not the heap.
         """
-        if not self._delta_terms and self._heap is not None:
+        if (not self._delta_terms and not self._needs_canonical
+                and self._heap is not None):
             return
         total = len(self)
-        records: List[bytes] = [self.encoded(i) for i in range(1, total + 1)]
         heap_tmp = self.directory / (HEAP_FILE + ".tmp")
         off_tmp = self.directory / (OFFSETS_FILE + ".tmp")
         hash_tmp = self.directory / (HASH_FILE + ".tmp")
-        offsets: List[int] = []
-        with open(heap_tmp, "wb") as heap:
+        with open(heap_tmp, "wb") as heap, open(off_tmp, "wb") as off:
             position = 0
-            for data in records:
-                offsets.append(position)
+            for term_id in range(1, total + 1):
+                data = self.encoded(term_id)
+                off.write(_U64.pack(position))
                 heap.write(_U32.pack(len(data)))
                 heap.write(data)
                 position += _U32.size + len(data)
             heap.flush()
             os.fsync(heap.fileno())
-        with open(off_tmp, "wb") as off:
-            for offset in offsets:
-                off.write(_U64.pack(offset))
             off.flush()
             os.fsync(off.fileno())
+        # Hashes by id: harvested from the live table for persisted ids
+        # (0 is a legal-but-improbable hash; recomputed on demand below),
+        # computed fresh only for the delta.
+        hashes = array("Q", bytes(_U64.size * total))
+        if self._hash is not None:
+            for h, tid in _SLOT.iter_unpack(self._hash):
+                if tid and tid <= self._persisted_count:
+                    hashes[tid - 1] = h
+        for index, data in enumerate(self._delta_terms):
+            hashes[self._persisted_count + index] = _term_hash(data)
         slots = _next_power_of_two(max(8, total * 2))
         table = bytearray(slots * _SLOT.size)
-        for term_id, data in enumerate(records, start=1):
-            h = _term_hash(data)
-            slot = h % slots
-            while _SLOT.unpack_from(table, slot * _SLOT.size)[1] != 0:
-                slot = (slot + 1) % slots
-            _SLOT.pack_into(table, slot * _SLOT.size, h, term_id)
+        for term_id in range(1, total + 1):
+            h = hashes[term_id - 1]
+            if h == 0:
+                h = _term_hash(self.encoded(term_id))
+            _insert_slot(table, slots, h, term_id)
         with open(hash_tmp, "wb") as hashed:
             hashed.write(bytes(table))
             hashed.flush()
@@ -372,7 +508,15 @@ class TermDictionary:
         os.replace(hash_tmp, self.directory / HASH_FILE)
         self._delta_terms.clear()
         self._delta_lookup.clear()
+        self._needs_canonical = False
         self._open_files()
+
+
+def _insert_slot(table: bytearray, slots: int, h: int, term_id: int) -> None:
+    slot = h % slots
+    while _SLOT.unpack_from(table, slot * _SLOT.size)[1] != 0:
+        slot = (slot + 1) % slots
+    _SLOT.pack_into(table, slot * _SLOT.size, h, term_id)
 
 
 def _next_power_of_two(value: int) -> int:

@@ -234,7 +234,7 @@ def _apply_batch(store: QuadStore, batch: _ParsedBatch, tracer=None) -> int:
 
 def ingest_corpus(
     store: QuadStore, corpus_root: Path, compact: bool = True, jobs: int = 1,
-    tracer=None, path_index: bool = True,
+    tracer=None, path_index: bool = True, on_file=None,
 ) -> IngestReport:
     """Bring *store* up to date with the trace files under *corpus_root*.
 
@@ -260,6 +260,11 @@ def ingest_corpus(
     valid index — an unchanged corpus keeps generation and index alike,
     so the no-op re-ingest stays a no-op.  The index derives purely from
     the segment files, so it is byte-identical at any job count.
+
+    *on_file*, when given, is called as ``on_file(done, total,
+    quads_added)`` after each file commits (progress reporting); the
+    ``repro_ingest_quads_total`` counter also ticks per file, so a
+    :class:`repro.obs.Progress` can rate the live ingest off it.
     """
     started = time.perf_counter()
     root = Path(corpus_root)
@@ -291,8 +296,12 @@ def ingest_corpus(
             if tracer is not None:
                 tracer.reset_clock()
             batch = _parse_batch(root, relpath, rdf_format, digests[relpath], tracer=tracer)
-            report.quads_added += _apply_batch(store, batch, tracer=tracer)
+            added = _apply_batch(store, batch, tracer=tracer)
+            report.quads_added += added
             report.parsed.append(relpath)
+            _INGEST_QUADS.inc(added)
+            if on_file is not None:
+                on_file(len(report.parsed), len(pending), report.quads_added)
     else:
         ctx = pool_context()
         tasks = [(relpath, fmt, digests[relpath]) for relpath, fmt in pending]
@@ -312,8 +321,12 @@ def ingest_corpus(
                 if tracer is not None:
                     tracer.reset_clock()
                     tracer.add_events(events or ())
-                report.quads_added += _apply_batch(store, payload, tracer=tracer)
+                added = _apply_batch(store, payload, tracer=tracer)
+                report.quads_added += added
                 report.parsed.append(payload.relpath)
+                _INGEST_QUADS.inc(added)
+                if on_file is not None:
+                    on_file(len(report.parsed), len(pending), report.quads_added)
     if compact and store.has_pending():
         with span(tracer, "compact", cat="ingest", files=len(report.parsed)):
             store.compact()
@@ -336,5 +349,4 @@ def ingest_corpus(
     report.duration_s = time.perf_counter() - started
     _INGEST_FILES.labels("parsed").inc(len(report.parsed))
     _INGEST_FILES.labels("skipped").inc(len(report.skipped))
-    _INGEST_QUADS.inc(report.quads_added)
     return report

@@ -8,6 +8,8 @@ One :class:`QuadStore` owns a directory:
       wal.log      append-only write-ahead log (see repro.store.wal)
       dict.heap / dict.off / dict.hash    term dictionary files
       spog.seg / posg.seg / ospg.seg / gspo.seg   sorted id-quad segments
+      spill.json / spill-NNNNNN.<ordering>.run    spill state + sorted
+                   run files, present only mid-ingest (see repro.store.spill)
 
 Lifecycle
 ---------
@@ -44,29 +46,51 @@ Invariants the readers rely on:
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..obs import metrics as _metrics
 from ..rdf.terms import Term
+from . import spill as _spill_io
 from .dictionary import DEFAULT_DECODE_CACHE_SIZE, TermDictionary, decode_term
-from .segments import ORDERINGS, SegmentReader, permute, segment_filename, write_segment
+from .segments import (
+    ORDERINGS,
+    SegmentReader,
+    permute,
+    segment_filename,
+    write_segment_stream,
+)
 from .wal import WriteAheadLog
 
-__all__ = ["QuadStore", "StoreError", "MANIFEST_FILE", "FORMAT_VERSION"]
+__all__ = [
+    "QuadStore", "StoreError", "MANIFEST_FILE", "FORMAT_VERSION",
+    "DEFAULT_SPILL_QUAD_BUDGET",
+]
 
 MANIFEST_FILE = "store.json"
 FORMAT_VERSION = 1
+
+#: Pending quads held in memory before they spill to sorted run files.
+#: ~500k quad tuples is on the order of 100 MB of interpreter objects —
+#: the RSS plateau of an arbitrarily large ingest.
+DEFAULT_SPILL_QUAD_BUDGET = 500_000
 
 _COMPACTION_TOTAL = _metrics.counter(
     "repro_store_compaction_total", "Store compactions that rewrote segments"
 )
 _COMPACTION_SECONDS = _metrics.histogram(
     "repro_store_compaction_seconds", "Store compaction wall time in seconds"
+)
+_SPILL_TOTAL = _metrics.counter(
+    "repro_store_spill_total", "Pending-quad batches spilled to sorted run files"
+)
+_SPILL_QUADS = _metrics.counter(
+    "repro_store_spill_quads_total", "Quad records written to spill runs"
 )
 
 Quad = Tuple[int, int, int, int]  # (s, p, o, g); g == 0 means default graph
@@ -96,8 +120,13 @@ class QuadStore:
         self,
         path: Path,
         decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE,
+        spill_quad_budget: Optional[int] = DEFAULT_SPILL_QUAD_BUDGET,
     ):
         self.path = Path(path)
+        # None or 0 disables spilling (pending quads stay in memory
+        # until compaction, as before); tests force tiny budgets to
+        # exercise the external-merge path on small corpora.
+        self.spill_quad_budget = spill_quad_budget or 0
         self.path.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._closed = False
@@ -124,10 +153,15 @@ class QuadStore:
         # consistent snapshot; close() releases them all.
         self._retired_readers: List[SegmentReader] = []
         self._open_segments()
-        # Pending (WAL-committed but uncompacted) state.
+        # Pending (WAL-committed but uncompacted) state.  Files and
+        # prefixes stay cumulative across spills (they are tiny); quads
+        # are flushed to spill runs whenever they exceed the budget.
         self._pending_quads: List[Quad] = []
         self._pending_files: Dict[str, str] = {}
         self._pending_prefixes: List[Tuple[str, str]] = []
+        # Committed spill state (see repro.store.spill).
+        self._spill_state = _spill_io.read_spill_state(self.path)
+        _spill_io.remove_orphan_runs(self.path, self._spill_state)
         # Lazily opened path/pattern index for the current generation
         # (see path_index()); stale handles are closed and re-probed.
         self._path_index = None
@@ -151,16 +185,32 @@ class QuadStore:
         }
 
     def _recover(self) -> None:
+        # State a previous process spilled out of the WAL: the quads sit
+        # in run files (merged at compaction); the file digests and
+        # prefixes re-enter the pending maps here.
+        spilled = bool(self._spill_state["batches"])
+        if spilled:
+            self._pending_files.update(self._spill_state.get("files", {}))
+            for prefix, base in self._spill_state.get("prefixes", ()):
+                if not any(p == prefix for p, _ in self._pending_prefixes):
+                    self._pending_prefixes.append((prefix, base))
         replay = self.wal.replay()
         if replay.truncated:
             self.wal.truncate_to(replay.committed_bytes)
-        if replay.empty:
+        if replay.empty and not spilled:
             return
+        # Replay interns with dedup (add_bytes, not add_encoded): a crash
+        # between a spill's state commit and its WAL clear leaves TERM
+        # records for terms the spill already folded into the dictionary;
+        # they must map back to their existing ids, not allocate new ones.
         for encoded in replay.terms:
-            self.dictionary.add_encoded(encoded)
+            self.dictionary.add_bytes(encoded)
         self._pending_quads.extend(replay.quads)
         self._pending_files.update(replay.files)
-        self._pending_prefixes.extend(replay.prefixes)
+        self._pending_prefixes.extend(
+            (p, b) for p, b in replay.prefixes
+            if not any(q == p for q, _ in self._pending_prefixes)
+        )
         self.compact()
 
     def close(self) -> None:
@@ -172,7 +222,7 @@ class QuadStore:
                 raise StoreError(
                     f"close() during uncommitted ingest of {self._file_relpath!r}"
                 )
-            if self._pending_quads or self._pending_files or self._pending_prefixes:
+            if self.has_pending():
                 self.compact()
             if self._path_index is not None:
                 self._path_index.close()
@@ -255,6 +305,11 @@ class QuadStore:
             "decoded_term_cache": self.dictionary.cache_info(),
             "term_dictionary": self.dictionary.intern_info(),
             "wal": {"fsyncs": self.wal.fsync_count},
+            "spill": {
+                "budget": self.spill_quad_budget,
+                "batches": len(self._spill_state["batches"]),
+                "quad_records": self._spill_state.get("quad_records", 0),
+            },
             "segments": segment_sizes,
             "segment_probes": segment_probes,
             "path_index": index.info() if index is not None else None,
@@ -336,6 +391,9 @@ class QuadStore:
             self._file_relpath = None
             self._file_digest = None
             self._file_quads = None
+            if (self.spill_quad_budget
+                    and len(self._pending_quads) >= self.spill_quad_budget):
+                self._spill_pending()
             return added
 
     def abort_file(self) -> None:
@@ -389,33 +447,97 @@ class QuadStore:
             self._pending_quads = []
             self._pending_files = {}
             self._pending_prefixes = []
+            # Spill runs and spill.json were unlinked with everything else.
+            self._spill_state = _spill_io.read_spill_state(self.path)
+
+    # -- spilling -----------------------------------------------------------
+
+    def _spill_pending(self) -> None:
+        """Flush pending quads to sorted run files and truncate the WAL.
+
+        Called (under the store lock) from :meth:`commit_file` when the
+        pending set exceeds ``spill_quad_budget``.  The dictionary delta
+        is folded into the persisted dict files at the same time, so
+        after a spill the only O(corpus)-shaped memory left is gone:
+        pending quads are on disk, terms are mmap'd.  ``spill.json`` is
+        the commit point; the WAL clear after it is what keeps the WAL
+        and the runs from double-holding the same quads on disk.
+        """
+        batch_id = len(self._spill_state["batches"])
+        counts = _spill_io.write_spill_batch(
+            self.path, batch_id, self._pending_quads
+        )
+        self.dictionary.fold_delta()
+        state = {
+            "format_version": _spill_io.SPILL_FORMAT_VERSION,
+            "batches": self._spill_state["batches"]
+            + [{"id": batch_id, "records": counts}],
+            "files": dict(self._pending_files),
+            "prefixes": [list(p) for p in self._pending_prefixes],
+            "quad_records": self._spill_state.get("quad_records", 0)
+            + counts["spog"],
+        }
+        _spill_io.write_spill_state(self.path, state)
+        self._spill_state = state
+        self.wal.clear()
+        self._pending_quads = []
+        _SPILL_TOTAL.inc()
+        _SPILL_QUADS.inc(counts["spog"])
+
+    def _merged_records(self, name: str) -> Iterator[Tuple[int, int, int, int]]:
+        """All records for ordering *name*: current segment, every spill
+        run, and the residual pending set, k-way merged and deduplicated.
+
+        Every source is individually sorted and duplicate-free, so the
+        one-record lookbehind yields the exact sorted distinct union the
+        in-memory ``sorted(set(...))`` build produced — same bytes.
+        """
+        sources: List[Iterator[Tuple[int, int, int, int]]] = [
+            self._segments[name].scan()
+        ]
+        for batch in self._spill_state["batches"]:
+            sources.append(_spill_io.iter_spill_run(self.path, batch["id"], name))
+        if self._pending_quads:
+            sources.append(
+                iter(sorted({permute(q, name) for q in self._pending_quads}))
+            )
+        last: Optional[Tuple[int, int, int, int]] = None
+        for record in heapq.merge(*sources):
+            if record != last:
+                last = record
+                yield record
 
     # -- compaction ---------------------------------------------------------
 
     def compact(self) -> None:
-        """Fold WAL state into the segment + dictionary files and commit a
-        new generation.  A no-op when nothing is pending."""
+        """Fold WAL + spill state into the segment + dictionary files and
+        commit a new generation.  A no-op when nothing is pending."""
         with self._lock:
             if self._file_relpath is not None:
                 raise StoreError("compact() during an in-flight file ingest")
-            if not (self._pending_quads or self._pending_files or self._pending_prefixes):
+            if not (self._pending_quads or self._pending_files
+                    or self._pending_prefixes or self._spill_state["batches"]):
                 return
             compact_started = time.perf_counter()
-            quads: Set[Quad] = set(self._segments["spog"].scan())
-            quads.update(self._pending_quads)
-            ordered = {
-                name: sorted(permute(q, name) for q in quads) for name in ORDERINGS
-            }
-            # spog records are already (s, p, o, g); the other orderings
-            # permute on write so their sort order is their field order.
-            # The current readers stay open across the rewrite: the tmp
-            # file + atomic rename in write_segment leaves their mapped
-            # inode intact, and _open_segments() retires them after the
-            # new generation is committed.
-            for name, records in ordered.items():
-                write_segment(self.path / segment_filename(name), records)
+            # Each ordering streams through an external merge of the
+            # current segment, the spill runs, and the residual pending
+            # set — nothing corpus-sized is materialized.  The current
+            # readers stay open across the rewrite: the tmp file +
+            # atomic rename leaves their mapped inode intact, and
+            # _open_segments() retires them after the new generation is
+            # committed.  gspo's leading field is the graph id, so the
+            # distinct non-zero graphs fall out of its stream for free.
+            segment_counts: Dict[str, int] = {}
+            graphs: List[int] = []
+            for name in ORDERINGS:
+                records = self._merged_records(name)
+                if name == "gspo":
+                    records = self._tap_graphs(records, graphs)
+                segment_counts[name] = write_segment_stream(
+                    self.path / segment_filename(name), records
+                )
+            quad_count = segment_counts["spog"]
             self.dictionary.compact()
-            graphs = sorted({q[3] for q in quads if q[3] != 0})
             prefixes = dict(self.manifest["prefixes"])
             for prefix, base in self._pending_prefixes:
                 prefixes.setdefault(prefix, base)
@@ -425,20 +547,38 @@ class QuadStore:
                 "format_version": FORMAT_VERSION,
                 "generation": self.generation + 1,
                 "term_count": len(self.dictionary),
-                "quad_count": len(quads),
+                "quad_count": quad_count,
                 "graphs": graphs,
                 "prefixes": prefixes,
                 "files": files,
-                "segments": {name: len(records) for name, records in ordered.items()},
+                "segments": segment_counts,
             }
             self._write_manifest()
             self.wal.clear()
+            # The manifest committed the merged segments; the runs (and
+            # spill.json) are now redundant and their disk comes back.
+            _spill_io.remove_spill_files(self.path)
+            self._spill_state = _spill_io.read_spill_state(self.path)
             self._pending_quads = []
             self._pending_files = {}
             self._pending_prefixes = []
             self._open_segments()
             _COMPACTION_TOTAL.inc()
             _COMPACTION_SECONDS.observe(time.perf_counter() - compact_started)
+
+    @staticmethod
+    def _tap_graphs(records: Iterator[Tuple[int, int, int, int]],
+                    graphs: List[int]) -> Iterator[Tuple[int, int, int, int]]:
+        """Collect distinct leading fields (sorted input) while passing
+        records through; zero (the default graph) is skipped."""
+        last = 0
+        for record in records:
+            g = record[0]
+            if g != last:
+                last = g
+                if g != 0:
+                    graphs.append(g)
+            yield record
 
     def drop_files(self, relpaths: Iterable[str]) -> None:
         """Forget manifest entries for vanished source files (their quads
@@ -502,4 +642,5 @@ class QuadStore:
         return self.dictionary.decode(term_id)
 
     def has_pending(self) -> bool:
-        return bool(self._pending_quads or self._pending_files or self._pending_prefixes)
+        return bool(self._pending_quads or self._pending_files
+                    or self._pending_prefixes or self._spill_state["batches"])

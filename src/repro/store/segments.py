@@ -30,7 +30,8 @@ import struct
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["ORDERINGS", "SegmentReader", "write_segment", "permute", "segment_filename"]
+__all__ = ["ORDERINGS", "SegmentReader", "write_segment", "write_segment_stream",
+           "permute", "segment_filename"]
 
 _RECORD = struct.Struct("<4I")
 RECORD_SIZE = _RECORD.size
@@ -57,13 +58,35 @@ def permute(quad: Sequence[int], ordering: str) -> Tuple[int, int, int, int]:
 
 def write_segment(path: Path, records: List[Tuple[int, int, int, int]]) -> None:
     """Write pre-sorted records to *path* via a tmp file + atomic rename."""
+    write_segment_stream(path, records)
+
+
+def write_segment_stream(
+    path: Path, records: "Iterator[Tuple[int, int, int, int]]",
+    buffer_bytes: int = 1 << 20,
+) -> int:
+    """Stream pre-sorted records to *path* (tmp + atomic rename).
+
+    The external-merge compaction path: *records* is typically a k-way
+    merge over segment scans and spill runs, so this never holds more
+    than *buffer_bytes* of output in memory.  Returns the record count.
+    """
     tmp = path.with_name(path.name + ".tmp")
+    count = 0
+    buffer = bytearray()
     with open(tmp, "wb") as handle:
         for record in records:
-            handle.write(_RECORD.pack(*record))
+            buffer += _RECORD.pack(*record)
+            count += 1
+            if len(buffer) >= buffer_bytes:
+                handle.write(buffer)
+                del buffer[:]
+        if buffer:
+            handle.write(buffer)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    return count
 
 
 class SegmentReader:

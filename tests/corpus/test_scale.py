@@ -1,0 +1,105 @@
+"""The --scale knob and the streaming build/write path.
+
+Scale multiplies every planning constant linearly and deterministically;
+scale 1 *is* the paper's corpus, so the scaled formulas must reduce to
+the original ones exactly.  The streaming path (``build_and_write``)
+must produce a byte-identical tree to materializing the corpus and
+writing it afterwards, at any job count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import pytest
+
+from repro.corpus import CorpusBuilder, build_and_write, write_corpus
+from repro.corpus.builder import (
+    FAILED_RUNS,
+    FAILURE_MIX,
+    MULTI_RUN_FAILURES,
+    MULTI_RUN_TEMPLATES,
+    TOTAL_RUNS,
+)
+from repro.corpus.domains import DOMAINS
+
+TOTAL_WORKFLOWS = sum(d.taverna_workflows + d.wings_workflows for d in DOMAINS)
+
+
+def _tree_digests(root):
+    """relative path -> sha256, for every file under *root*."""
+    return {
+        path.relative_to(root).as_posix():
+            hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+class TestScaleKnob:
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CorpusBuilder(scale=0)
+        with pytest.raises(ValueError):
+            CorpusBuilder(scale=-3)
+
+    def test_scale_two_plan_counts(self):
+        builder = CorpusBuilder(scale=2)
+        templates, plan = builder.plan()
+        assert len(templates) == 2 * TOTAL_WORKFLOWS
+        assert len(plan) == 2 * TOTAL_RUNS
+        failing = [e for e in plan if e.will_fail]
+        assert len(failing) == 2 * FAILED_RUNS
+        causes = Counter(e.fault_cause for e in failing)
+        assert causes == {c: 2 * n for c, n in FAILURE_MIX.items()}
+        # 2·6 failures land on the last run of a multi-run template.
+        multi_failing = [e for e in failing if e.sequence > 1]
+        assert len(multi_failing) == 2 * MULTI_RUN_FAILURES
+        multi_templates = {e.template_id for e in plan if e.sequence > 1}
+        assert len(multi_templates) == 2 * MULTI_RUN_TEMPLATES
+
+    def test_scale_one_is_the_default_plan(self):
+        default_templates, default_plan = CorpusBuilder().plan()
+        scaled_templates, scaled_plan = CorpusBuilder(scale=1).plan()
+        assert sorted(default_templates) == sorted(scaled_templates)
+        assert default_plan == scaled_plan
+
+    def test_scale_is_deterministic(self):
+        _, a = CorpusBuilder(scale=3).plan()
+        _, b = CorpusBuilder(scale=3).plan()
+        assert a == b
+
+
+class TestStreamingWrite:
+    def test_streaming_tree_matches_materialized(self, corpus, tmp_path):
+        materialized = tmp_path / "materialized"
+        streamed = tmp_path / "streamed"
+        write_corpus(corpus, materialized)
+        build_and_write(CorpusBuilder(seed=2013), streamed)
+        assert _tree_digests(streamed) == _tree_digests(materialized)
+
+    def test_on_trace_reports_running_totals(self, tmp_path):
+        seen = []
+        build_and_write(
+            CorpusBuilder(seed=2013, scale=1), tmp_path / "c",
+            on_trace=lambda done, total, writer: seen.append(
+                (done, total, writer.triples)
+            ),
+        )
+        dones = [done for done, _, _ in seen]
+        assert dones == list(range(1, TOTAL_RUNS + 1))
+        assert all(total == TOTAL_RUNS for _, total, _ in seen)
+        triples = [t for _, _, t in seen]
+        assert triples == sorted(triples) and triples[-1] > triples[0]
+
+
+@pytest.mark.slow
+class TestScaleEndToEnd:
+    def test_scale_five_jobs_determinism(self, tmp_path):
+        """A scale-5 corpus streams out byte-identical at any job count."""
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        build_and_write(CorpusBuilder(scale=5), serial, jobs=1)
+        build_and_write(CorpusBuilder(scale=5), parallel, jobs=2)
+        assert _tree_digests(parallel) == _tree_digests(serial)

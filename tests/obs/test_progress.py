@@ -1,0 +1,82 @@
+"""The TTY-gated one-line progress reporter."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import metrics
+from repro.obs.progress import Progress
+
+
+class _Tty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestTtyGating:
+    def test_silent_on_non_tty(self):
+        stream = io.StringIO()
+        progress = Progress("build", total=10, stream=stream)
+        for i in range(1, 11):
+            progress.update(i, work=i * 100)
+        progress.finish(10, work=1000)
+        assert stream.getvalue() == ""
+        assert progress.emitted == 0
+
+    def test_emits_on_tty(self):
+        stream = _Tty()
+        progress = Progress("build", total=2, unit="runs", work_unit="triples",
+                            stream=stream, min_interval=0.0)
+        progress.update(1, work=100)
+        progress.finish(2, work=250)
+        output = stream.getvalue()
+        assert "build: 1/2 runs" in output
+        assert "100 triples" in output
+        assert output.endswith("\n")
+        assert "build: 2/2 runs" in output
+
+    def test_forced_enable_overrides_non_tty(self):
+        stream = io.StringIO()
+        progress = Progress("x", total=1, stream=stream, enabled=True,
+                            min_interval=0.0)
+        progress.update(1)
+        assert stream.getvalue() != ""
+
+
+class TestRateLimiting:
+    def test_updates_are_rate_limited(self):
+        stream = _Tty()
+        progress = Progress("ingest", total=1000, stream=stream,
+                            min_interval=3600.0)
+        for i in range(1, 1001):
+            progress.update(i, work=i)
+        # Only the first update slips through the interval window.
+        assert progress.emitted == 1
+        progress.finish(1000, work=1000)
+        assert progress.emitted == 2
+
+    def test_eta_only_while_in_flight(self):
+        stream = _Tty()
+        progress = Progress("build", total=4, stream=stream, min_interval=0.0)
+        progress.update(2, work=10)
+        assert "ETA" in stream.getvalue()
+        progress.finish(4, work=20)
+        final_line = stream.getvalue().splitlines()[-1]
+        assert "ETA" not in final_line
+        assert "in " in final_line
+
+
+class TestCounterDriven:
+    def test_work_falls_back_to_counter_delta(self):
+        counter = metrics.counter("test_progress_quads_total", "test counter")
+        counter.inc(500)  # pre-existing process-lifetime total
+        stream = _Tty()
+        progress = Progress("ingest", total=2, work_unit="quads",
+                            work_counter=counter, stream=stream,
+                            min_interval=0.0)
+        counter.inc(40)
+        progress.update(1)
+        assert "40 quads" in stream.getvalue()
+        counter.inc(60)
+        progress.finish(2)
+        assert "100 quads" in stream.getvalue()

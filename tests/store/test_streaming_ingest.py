@@ -1,0 +1,160 @@
+"""External-merge ingest: spill runs, dictionary folds, crash recovery.
+
+The contract under test: segment, dictionary, and path-index bytes are
+**identical** whether the pending set was sorted in memory (spilling
+disabled) or flushed through any number of sorted spill runs and k-way
+merged — the spill budget tunes memory, never output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.pathindex import build_path_index
+from repro.store import QuadStore, ingest_corpus
+from repro.store.spill import SPILL_STATE_FILE
+
+
+def _write_synthetic_corpus(root, files=10, chains=25):
+    """A many-run corpus with shared and per-file terms, used/generated
+    edges (so the path index has derivation work to do), and enough
+    distinct quads that a small budget forces several spills."""
+    prelude = (
+        "@prefix ex: <http://example.org/> .\n"
+        "@prefix prov: <http://www.w3.org/ns/prov#> .\n\n"
+    )
+    for i in range(files):
+        lines = [prelude]
+        for j in range(chains):
+            act = f"ex:act_{i}_{j}"
+            src = f"ex:data_{i}_{j}"
+            out = f"ex:out_{i}_{j}"
+            lines.append(
+                f"{act} a prov:Activity ; prov:used {src}, ex:shared_{j} .\n"
+                f"{src} a prov:Entity ; ex:label \"d {i} {j}\" .\n"
+                f"{out} a prov:Entity ; prov:wasGeneratedBy {act} .\n"
+            )
+        directory = root / "Taverna" / "dom" / f"t-{i}"
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"run{i}.prov.ttl").write_text("".join(lines))
+    return root
+
+
+def _store_digests(store_path):
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(store_path.iterdir())
+        if path.is_file()
+    }
+
+
+@pytest.fixture
+def synthetic_corpus_dir(tmp_path):
+    return _write_synthetic_corpus(tmp_path / "corpus")
+
+
+def _ingest(corpus_dir, store_path, budget, compact=True, path_index=False):
+    store = QuadStore(store_path, spill_quad_budget=budget)
+    ingest_corpus(store, corpus_dir, compact=compact, path_index=path_index)
+    return store
+
+
+class TestSpillByteIdentity:
+    def test_segment_and_dict_bytes_match_in_memory_path(
+        self, synthetic_corpus_dir, tmp_path
+    ):
+        baseline = _ingest(synthetic_corpus_dir, tmp_path / "mem", budget=0)
+        spilled = _ingest(synthetic_corpus_dir, tmp_path / "spill", budget=120)
+        assert spilled.quad_count == baseline.quad_count
+        baseline.close()
+        spilled.close()
+        assert _store_digests(tmp_path / "spill") == _store_digests(tmp_path / "mem")
+
+    def test_small_budget_actually_spills(self, synthetic_corpus_dir, tmp_path):
+        store = QuadStore(tmp_path / "s", spill_quad_budget=120)
+        spills = []
+        original = store._spill_pending
+
+        def counting():
+            spills.append(len(store._pending_quads))
+            original()
+
+        store._spill_pending = counting
+        ingest_corpus(store, synthetic_corpus_dir, path_index=False)
+        store.close()
+        assert len(spills) >= 3
+
+    def test_spill_files_removed_after_compaction(
+        self, synthetic_corpus_dir, tmp_path
+    ):
+        store = _ingest(synthetic_corpus_dir, tmp_path / "s", budget=120)
+        store.close()
+        leftovers = [
+            p.name for p in (tmp_path / "s").iterdir()
+            if p.name.startswith("spill-") or p.name == SPILL_STATE_FILE
+        ]
+        assert leftovers == []
+
+    def test_path_index_bytes_match_at_any_edge_budget(
+        self, synthetic_corpus_dir, tmp_path
+    ):
+        digests = {}
+        for tag, edge_budget in (("mem", None), ("spool", 64)):
+            store = _ingest(synthetic_corpus_dir, tmp_path / tag, budget=0)
+            manifest = build_path_index(store, spill_edge_budget=edge_budget)
+            store.close()
+            assert manifest["edge_count"] > 0
+            digests[tag] = _store_digests(tmp_path / tag)
+        assert digests["spool"] == digests["mem"]
+        assert not any(n.startswith("paths.spool-") for n in digests["mem"])
+
+
+class TestSpillRecovery:
+    def test_reopen_after_crash_between_spills(
+        self, synthetic_corpus_dir, tmp_path
+    ):
+        baseline = _ingest(synthetic_corpus_dir, tmp_path / "clean", budget=0)
+        baseline.close()
+
+        # Ingest with spills but *no* compaction, then abandon the store
+        # without closing it: spill runs + spill.json + a residual WAL
+        # are left on disk, exactly what a crash leaves behind.
+        crashed = _ingest(
+            synthetic_corpus_dir, tmp_path / "crash", budget=120, compact=False
+        )
+        assert crashed._spill_state["batches"]
+        assert crashed.has_pending()
+
+        reopened = QuadStore(tmp_path / "crash")
+        assert not reopened.has_pending()
+        assert reopened.quad_count == baseline.quad_count
+        reopened.close()
+        crash_digests = {
+            name: digest
+            for name, digest in _store_digests(tmp_path / "crash").items()
+        }
+        assert crash_digests == _store_digests(tmp_path / "clean")
+
+    def test_orphan_runs_removed_at_open(self, synthetic_corpus_dir, tmp_path):
+        store = _ingest(synthetic_corpus_dir, tmp_path / "s", budget=0)
+        store.close()
+        # A crash mid-spill leaves run files never committed to spill.json.
+        orphan = tmp_path / "s" / "spill-000099.spog.run"
+        orphan.write_bytes(b"\x00" * 16)
+        reopened = QuadStore(tmp_path / "s")
+        assert not orphan.exists()
+        reopened.close()
+
+    def test_store_info_reports_spill_state(self, synthetic_corpus_dir, tmp_path):
+        store = _ingest(
+            synthetic_corpus_dir, tmp_path / "s", budget=120, compact=False
+        )
+        info = store.store_info()
+        assert info["spill"]["budget"] == 120
+        assert info["spill"]["batches"] >= 1
+        assert info["spill"]["quad_records"] > 0
+        store.close()
+        with QuadStore(tmp_path / "s") as reopened:
+            assert reopened.store_info()["spill"]["batches"] == 0
