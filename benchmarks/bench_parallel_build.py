@@ -84,22 +84,27 @@ def measure_parallel_pipeline(workdir: Path, jobs: int) -> dict:
 
 
 def measure_instrumentation_overhead(rounds: int = 2) -> dict:
-    """Best-of-N serial build with metrics disabled vs. fully traced.
+    """Best-of-N serial build with metrics disabled vs. fully observed.
 
     The observability layer promises that instrumentation is cheap: every
     registry mutation starts with a single enabled-flag check, and hot
     loops count into plain ints that collectors mirror later.  This
     measures that promise on the heaviest instrumented path — the full
     198-run build — with the registry disabled versus enabled *plus* an
-    active span tracer, and reports the wall-clock ratio.
+    active span tracer *plus* an attached shared-memory metric shard
+    (flushed and scraped through the k-way aggregator each round, the way
+    an ``--obs-dir`` run would be), and reports the wall-clock ratio.
     """
+    import tempfile
+
     from repro.corpus import CorpusBuilder
-    from repro.obs import metrics
+    from repro.obs import metrics, shm
     from repro.obs.trace import Tracer
 
     registry = metrics.get_registry()
     was_enabled = registry.enabled
     span_events = 0
+    scrape_series = 0
     try:
         registry.set_enabled(False)
         disabled_s = min(
@@ -107,12 +112,23 @@ def measure_instrumentation_overhead(rounds: int = 2) -> dict:
         )
         registry.set_enabled(True)
         instrumented_s = None
-        for _ in range(rounds):
-            tracer = Tracer()
-            elapsed = _timed(lambda: CorpusBuilder(seed=2013).build(tracer=tracer))
-            span_events = len(tracer.events())
-            if instrumented_s is None or elapsed < instrumented_s:
-                instrumented_s = elapsed
+        with tempfile.TemporaryDirectory(prefix="obs-bench-") as obs_dir:
+            shm.configure(obs_dir)
+            for _ in range(rounds):
+                tracer = Tracer()
+
+                def observed_build():
+                    CorpusBuilder(seed=2013).build(tracer=tracer)
+                    shm.flush()
+                    shm.render_aggregated(obs_dir, registry=registry)
+
+                elapsed = _timed(observed_build)
+                span_events = len(tracer.events())
+                if instrumented_s is None or elapsed < instrumented_s:
+                    instrumented_s = elapsed
+            series, _ = shm.aggregate(obs_dir, sweep=False)
+            scrape_series = len(series)
+            shm.unconfigure()
     finally:
         registry.set_enabled(was_enabled)
     return {
@@ -121,6 +137,7 @@ def measure_instrumentation_overhead(rounds: int = 2) -> dict:
         "instrumented_s": round(instrumented_s, 3),
         "overhead_ratio": round(instrumented_s / disabled_s, 4),
         "span_events": span_events,
+        "scrape_series": scrape_series,
     }
 
 

@@ -24,11 +24,20 @@ Sub-commands:
 * ``obs summary <trace>`` — aggregate a span trace file per phase;
 * ``obs scrape <url>`` — fetch and print ``/metrics`` from a running
   endpoint;
-* ``obs metrics`` — render this process's metrics registry.
+* ``obs metrics`` — render this process's metrics registry;
+* ``obs top <dir>`` — aggregated cross-process view of an ``--obs-dir``
+  directory (per-process shard ages plus the folded series).
 
 ``query`` and ``serve`` accept ``--store PATH`` to answer from the
 persistent store (mmap'd dictionary-encoded segments) instead of
 re-parsing every trace file on startup.
+
+``build``, ``store ingest``, and ``serve`` accept ``--obs-dir DIR``:
+every process involved (the parent and all ``--jobs N`` pool workers)
+publishes its counters to an mmap'd metric shard under DIR and appends
+structured events to DIR's JSONL event log, so worker-side counters
+survive the pool boundary into ``/metrics``, ``/stats``, and
+``obs top``.
 
 ``build``, ``store ingest``, ``query``, and ``serve`` accept
 ``--trace FILE`` to write a Chrome ``trace_event`` file (open it in
@@ -75,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spill_budget_flag(p_build)
     _add_trace_flag(p_build)
+    _add_obs_dir_flag(p_build)
 
     p_stats = sub.add_parser("stats", help="print statistics of a stored corpus")
     p_stats.add_argument("directory", type=Path)
@@ -154,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="slow-query ring-buffer capacity (default: 128)",
     )
     _add_trace_flag(p_serve, "endpoint request/query spans, written on shutdown")
+    _add_obs_dir_flag(p_serve)
 
     p_store = sub.add_parser("store", help="persistent quad store operations")
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
@@ -172,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spill_budget_flag(p_ingest)
     _add_trace_flag(p_ingest)
+    _add_obs_dir_flag(p_ingest)
     p_info = store_sub.add_parser("info", help="print a quad store's summary")
     p_info.add_argument("store_dir", type=Path)
 
@@ -194,6 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
         "source", help="endpoint base URL, .../slowlog URL, or slowlog JSONL file"
     )
     p_obs_slowlog.add_argument("--json", action="store_true", help="print raw JSON")
+    p_obs_top = obs_sub.add_parser(
+        "top", help="render the aggregated cross-process metrics of an "
+                    "observability directory (shards + top series)"
+    )
+    p_obs_top.add_argument("obs_dir", type=Path, help="directory given to --obs-dir")
+    p_obs_top.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="series rows to show (default: 20; 0 = all)",
+    )
+    p_obs_top.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh every SECONDS until interrupted (default: one shot)",
+    )
+    p_obs_top.add_argument("--json", action="store_true",
+                           help="print the aggregated snapshot as JSON")
 
     sub.add_parser("maintenance", help="run the vocabulary-alignment maintenance pass")
     sub.add_parser("profile", help="print the structural profile of the corpus")
@@ -210,6 +237,37 @@ def _add_trace_flag(parser, what: str = "phase spans for this command") -> None:
         help=f"write a Chrome trace_event file of {what} "
              "(open in chrome://tracing or Perfetto)",
     )
+
+
+def _add_obs_dir_flag(parser) -> None:
+    parser.add_argument(
+        "--obs-dir", type=Path, default=None, metavar="DIR",
+        help="shared observability directory: pool workers publish their "
+             "counters as mmap'd metric shards there (aggregated by "
+             "/metrics, /stats, and `obs top`) and all phases append to "
+             "its structured event log",
+    )
+
+
+def _apply_obs_dir(args):
+    """Configure the process-wide shard + event log for ``--obs-dir``."""
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir is None:
+        return None
+    from .obs import events, shm
+
+    shm.configure(str(obs_dir))
+    events.configure(str(obs_dir))
+    return obs_dir
+
+
+def _flush_obs(obs_dir) -> None:
+    """Publish this process's final counter values to its shard."""
+    if obs_dir is None:
+        return
+    from .obs import shm
+
+    shm.flush()
 
 
 def _add_spill_budget_flag(parser) -> None:
@@ -289,6 +347,7 @@ def _cmd_build(args) -> int:
     from .corpus import CorpusBuilder, build_and_write
 
     tracer = _make_tracer(args)
+    obs_dir = _apply_obs_dir(args)
     builder = CorpusBuilder(seed=args.seed, scale=args.scale)
     store_dir = args.directory / ".store" if args.store is True else args.store
     store_kwargs = None
@@ -312,7 +371,10 @@ def _cmd_build(args) -> int:
     print(f"  size: {stats['size_bytes'] / (1024 * 1024):.1f} MB "
           f"({stats['triples']} triples)")
     print(f"  manifest: {manifest}")
+    if obs_dir is not None:
+        print(f"  obs dir: {obs_dir}")
     _write_trace(tracer, args)
+    _flush_obs(obs_dir)
     return 0
 
 
@@ -474,12 +536,16 @@ def _cmd_serve(args) -> int:
     endpoint = SparqlEndpoint(
         source, host=args.host, port=args.port, cache_size=cache_size, tracer=tracer,
         slow_query_ms=args.slow_query_ms, slowlog_capacity=args.slowlog_capacity,
+        obs_dir=str(args.obs_dir) if args.obs_dir is not None else None,
     )
     endpoint.start()
     backing = f"store {args.store}" if store is not None else f"corpus {args.directory}"
     print(f"serving SPARQL endpoint over {backing} at {endpoint.query_url} (Ctrl-C to stop)")
     print(f"  cache: {cache_size} entries  stats: {endpoint.stats_url}")
     print(f"  metrics: {endpoint.metrics_url}  healthz: {endpoint.healthz_url}")
+    if endpoint.obs_dir is not None:
+        print(f"  obs dir: {endpoint.obs_dir} (aggregated /metrics; "
+              f"`repro-corpus obs top {endpoint.obs_dir}` for a live view)")
     if endpoint.slow_log is not None:
         print(f"  slowlog: {endpoint.slowlog_url} "
               f"(threshold {endpoint.slow_log.threshold_ms:g} ms)")
@@ -508,6 +574,7 @@ def _cmd_store(args) -> int:
             return 1
         store_dir = args.store if args.store is not None else args.directory / ".store"
         tracer = _make_tracer(args)
+        obs_dir = _apply_obs_dir(args)
         kwargs = {}
         if args.spill_budget is not None:
             kwargs["spill_quad_budget"] = args.spill_budget
@@ -519,7 +586,10 @@ def _cmd_store(args) -> int:
         print(json.dumps(report.summary(), indent=2, sort_keys=True))
         if report.no_op:
             print("store already up to date (no files re-parsed)")
+        if obs_dir is not None:
+            print(f"obs dir: {obs_dir}")
         _write_trace(tracer, args)
+        _flush_obs(obs_dir)
         return 0
     # info — refuse to silently create a store at a mistyped path
     if not (args.store_dir / "store.json").exists():
@@ -562,6 +632,8 @@ def _cmd_obs(args) -> int:
         return 0
     if args.obs_command == "slowlog":
         return _obs_slowlog(args)
+    if args.obs_command == "top":
+        return _obs_top(args)
     # metrics — render this process's registry (mostly zeros unless the
     # command that populated it ran in-process; useful to eyeball the
     # exposition format and the declared metric families)
@@ -569,6 +641,70 @@ def _cmd_obs(args) -> int:
 
     sys.stdout.write(metrics.render())
     return 0
+
+
+def _obs_top(args) -> int:
+    """Aggregated cross-process view of an ``--obs-dir`` directory."""
+    import time as _time
+
+    from .obs import shm
+
+    if not (args.obs_dir / shm.MANIFEST_FILE).exists():
+        print(f"error: no observability directory at {args.obs_dir}", file=sys.stderr)
+        return 1
+
+    def once() -> None:
+        snapshot = shm.snapshot_aggregated(str(args.obs_dir))
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return
+        shards = snapshot["shards"]
+        print(f"obs dir: {args.obs_dir}  live shards: {len(shards)}")
+        if shards:
+            print(f"  {'pid':>8} {'alive':<5} {'age_s':>9} {'stale_s':>9} "
+                  f"{'slots':>6}  file")
+            for shard in shards:
+                print(f"  {shard['pid']:>8} {str(shard['alive']).lower():<5} "
+                      f"{shard['age_s']:>9.1f} {shard['updated_age_s']:>9.1f} "
+                      f"{shard['slots']:>6}  {shard['file']}")
+        rows = []
+        for name, family in snapshot["metrics"].items():
+            for sample in family["samples"]:
+                labels = "".join(
+                    f",{k}={v}" for k, v in sorted(sample["labels"].items())
+                )
+                value = sample["value"]
+                if isinstance(value, dict):
+                    rows.append((value["count"],
+                                 f"{name}{{{labels[1:]}}}" if labels else name,
+                                 f"count={value['count']:g} sum={value['sum']:g}"))
+                else:
+                    rows.append((value,
+                                 f"{name}{{{labels[1:]}}}" if labels else name,
+                                 f"{value:g}"))
+        rows.sort(key=lambda row: (-abs(row[0]), row[1]))
+        shown = rows if args.limit <= 0 else rows[: args.limit]
+        if shown:
+            width = max(len(row[1]) for row in shown)
+            print(f"  {'series'.ljust(width)}  value")
+            for _, series, rendered in shown:
+                print(f"  {series.ljust(width)}  {rendered}")
+            if len(shown) < len(rows):
+                print(f"  ... {len(rows) - len(shown)} more series "
+                      f"(--limit 0 for all)")
+        else:
+            print("  (no series published yet)")
+
+    if args.watch is None:
+        once()
+        return 0
+    try:
+        while True:
+            once()
+            print()
+            _time.sleep(max(0.1, args.watch))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _obs_slowlog(args) -> int:

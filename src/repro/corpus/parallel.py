@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs import shm
 from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..workflow.dataflow import SimulatedClock
 from ..workflow.errors import WorkflowError
@@ -45,6 +46,7 @@ def _init_worker(seed, start, obs: ObsConfig = ObsConfig(), scale: int = 1) -> N
     global _WORKER_STATE
     from .builder import CorpusBuilder
 
+    obs.attach_worker()
     builder = CorpusBuilder(seed=seed, start=start, scale=scale)
     templates = builder.generator.all_templates()
     by_id = {t.template_id: t for t in templates}
@@ -70,10 +72,15 @@ def _build_one(task) -> Tuple[str, object, Optional[list]]:
         trace = builder._trace_for(
             entry, by_id[entry.template_id], taverna, wings, tracer=tracer
         )
+        # Publish this worker's counters after every task: the pool is
+        # terminated (not joined) on exit, so per-task flushes are the
+        # only guaranteed publication point before the orphan sweep.
+        shm.flush()
         return ("ok", trace, tracer.drain() if tracer is not None else None)
     except Exception as exc:
         if tracer is not None:
             tracer.drain()
+        shm.flush()
         context = f"run {entry.run_id} (template {entry.template_id}) failed in worker"
         return ("error", RemoteError.capture(exc, context), None)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..obs import events as _events
 from ..rdf.graph import Dataset, Graph
 from ..rdf.trig import parse_trig
 from ..rdf.turtle import parse_turtle
@@ -200,6 +201,15 @@ def build_and_write(
         if on_trace is not None:
             on_trace(index + 1, total, writer)
     manifest_path = writer.finish(builder.seed)
+    _events.emit(
+        "build.done",
+        root=str(root),
+        seed=builder.seed,
+        scale=builder.scale,
+        runs=total,
+        triples=writer.triples,
+        jobs=jobs,
+    )
     if store is not None:
         _open_store(store, writer.root, jobs=jobs, tracer=tracer,
                     store_kwargs=store_kwargs, on_file=on_ingest_file).close()

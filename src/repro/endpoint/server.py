@@ -15,7 +15,11 @@ minimal SPARQL 1.1 Protocol surface on stdlib ``http.server``:
   version, per-request timing, and a snapshot of the metrics registry;
 * ``GET /metrics`` serves the process metrics registry in Prometheus
   text exposition format (query cache, WAL fsyncs, store cache mirrors,
-  per-route/status request counters);
+  per-route/status request counters) plus CKMS quantile summaries
+  (per-route request seconds, per-plan-digest query seconds); with an
+  ``obs_dir`` the scrape folds in every live worker shard and swept
+  orphan residual (see :mod:`repro.obs.shm`), and ``/stats`` reports
+  per-process shard ages;
 * ``GET /healthz`` is the liveness probe: 200 plus the store generation;
 * ``GET /slowlog`` returns the structured slow-query ring buffer (enabled
   by constructing the endpoint with ``slow_query_ms``).
@@ -41,7 +45,10 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
+from ..obs import events as _events
 from ..obs import metrics as _metrics
+from ..obs import shm as _shm
+from ..obs.quantiles import QuantileFamily
 from ..obs.slowlog import SlowQueryLog
 from ..obs.trace import span as _span
 from ..store import wal as _wal  # noqa: F401  (declares the WAL metric families)
@@ -215,8 +222,11 @@ class _Handler(BaseHTTPRequestHandler):
         elapsed_s = (time.perf_counter() - started) if started is not None else 0.0
         _HTTP_REQUESTS.labels(route, status).inc()
         _HTTP_SECONDS.labels(route).observe(elapsed_s)
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        endpoint.request_quantiles.observe(route, elapsed_s)
+        _events.emit("endpoint.request", route=route, status=status,
+                     duration_s=round(elapsed_s, 6))
         if route == "/sparql":
-            endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
             endpoint._record_request(elapsed_s * 1000.0, error=status >= 400)
 
     def _run_query(self, query: str):
@@ -269,7 +279,19 @@ class _Handler(BaseHTTPRequestHandler):
         # Record this request *before* rendering so the scrape that asks
         # for the counters is itself included in them.
         self._finish_request(200)
-        body = _metrics.get_registry().render_prometheus()
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        extra = endpoint.request_quantiles.render() + endpoint.plan_quantiles.render()
+        if endpoint.obs_dir is not None:
+            # Publish our own shard too, so a concurrent `obs top` (a
+            # foreign reader that cannot see this registry) stays fresh.
+            _shm.flush()
+            # Cross-process scrape: this process's registry (full values)
+            # folded with every worker shard and swept-orphan residual.
+            body = _shm.render_aggregated(
+                endpoint.obs_dir, registry=_metrics.get_registry(), extra=extra
+            )
+        else:
+            body = _metrics.get_registry().render_prometheus() + extra
         self._send(200, "text/plain; version=0.0.4", body)
 
     def _send_slowlog(self):
@@ -319,9 +341,30 @@ class SparqlEndpoint:
         tracer=None,
         slow_query_ms: Optional[float] = None,
         slowlog_capacity: int = 128,
+        obs_dir: Optional[str] = None,
     ):
         self.source = source
         self.tracer = tracer
+        # Cross-process observability: with an obs_dir, /metrics folds
+        # live worker shards (plus swept-orphan residuals) into the
+        # scrape, /stats reports per-process shard ages, and request
+        # events append to the shared JSONL log.
+        self.obs_dir = obs_dir
+        if obs_dir is not None:
+            _shm.configure(obs_dir)
+            _events.configure(obs_dir)
+        # True tail latencies (CKMS sketches, not bucket-quantized):
+        # per-route request seconds and per-plan-digest query seconds.
+        self.request_quantiles = QuantileFamily(
+            "repro_endpoint_request_seconds",
+            "HTTP request wall time (CKMS targeted quantiles)",
+            label="route",
+        )
+        self.plan_quantiles = QuantileFamily(
+            "repro_query_plan_seconds",
+            "Query wall time by plan digest (CKMS targeted quantiles)",
+            label="plan_digest",
+        )
         # Slow-query log: opt-in via threshold; 0 records every query.
         self.slow_log = (
             SlowQueryLog(threshold_ms=slow_query_ms, capacity=slowlog_capacity)
@@ -329,7 +372,8 @@ class SparqlEndpoint:
             else None
         )
         self.engine = QueryEngine(source, cache_size=cache_size, tracer=tracer,
-                                  slow_log=self.slow_log)
+                                  slow_log=self.slow_log,
+                                  latency_sketch=self.plan_quantiles)
         if isinstance(source, Dataset):
             self.triple_count = len(source)
             self.named_graph_count = len(source.graph_names())
@@ -399,6 +443,17 @@ class SparqlEndpoint:
                 "max_ms": round(max_ms, 3),
             },
             "metrics": _metrics.snapshot(),
+        }
+        if self.obs_dir is not None:
+            _shm.flush()
+            aggregated = _shm.snapshot_aggregated(
+                self.obs_dir, registry=_metrics.get_registry()
+            )
+            payload["metrics"] = aggregated["metrics"]
+            payload["obs"] = {"dir": self.obs_dir, "shards": aggregated["shards"]}
+        payload["latency_quantiles"] = {
+            "requests": self.request_quantiles.snapshot(),
+            "plans": self.plan_quantiles.snapshot(),
         }
         if self.slow_log is not None:
             payload["slow_queries"] = self.slow_log.info()

@@ -8,19 +8,34 @@ output, deterministic logical-clock mode for byte-stable test traces).
 query engine and endpoint feed (``GET /slowlog``, ``obs slowlog``).
 ``repro.obs.progress`` holds the TTY-gated one-line progress reporter
 long builds and ingests drive from the counters.
+``repro.obs.shm`` holds the mmap-backed shared-memory metric shards
+that carry pool-worker counters across the process boundary into one
+aggregated scrape.  ``repro.obs.quantiles`` holds the CKMS targeted
+quantile sketches (true p50/p95/p99 per route and plan digest).
+``repro.obs.events`` holds the schema-versioned, size-rotated JSONL
+event log that build/ingest/compaction/spill/endpoint paths append to.
 """
 
-from . import metrics
+from . import events, metrics, quantiles, shm
+from .events import EventLog, read_events
 from .progress import Progress
+from .quantiles import QuantileFamily, QuantileSketch
 from .slowlog import SlowQueryLog, read_jsonl
 from .trace import NULL_SPAN, Tracer, read_trace, span, summarize
 
 __all__ = [
+    "events",
     "metrics",
+    "quantiles",
+    "shm",
+    "EventLog",
     "NULL_SPAN",
     "Progress",
+    "QuantileFamily",
+    "QuantileSketch",
     "SlowQueryLog",
     "Tracer",
+    "read_events",
     "read_jsonl",
     "read_trace",
     "span",

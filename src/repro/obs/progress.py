@@ -3,9 +3,11 @@
 :class:`Progress` writes a single carriage-return-refreshed status line
 (items done, work rate, ETA) to a stream, refreshed at most once per
 ``min_interval`` seconds so a million-quad ingest costs a handful of
-writes, not one per item.  It is **TTY-gated**: when the stream is not
-an interactive terminal (piped, redirected, CI) it stays completely
-silent, so machine-readable command output is never polluted.
+writes, not one per item.  Live updates are **TTY-gated**: when the
+stream is not an interactive terminal (piped, redirected, CI) no
+carriage-return refreshes are written — but :meth:`Progress.finish`
+still emits its one plain summary line (items, work, elapsed), so a
+piped or CI log records completion instead of total silence.
 
 The work rate can be fed explicitly (``update(done, work=n)``) or pulled
 from an observability counter (``work_counter=`` any metric exposing
@@ -102,14 +104,22 @@ class Progress:
         self.emitted += 1
 
     def finish(self, done: int, work: Optional[float] = None) -> None:
-        """Write the final totals (with elapsed time) and end the line."""
-        if not self.enabled:
-            return
+        """Write the final totals (with elapsed time) and end the line.
+
+        Emitted even when live updates are disabled (non-TTY stream): a
+        piped or CI log gets exactly one plain summary line instead of
+        no record of the operation at all.
+        """
         if work is None and self._work_counter is not None:
             work = self._work_counter.value - self._work_base
         elapsed = time.monotonic() - self._start
         line = (self._compose(done, work, elapsed)
                 + f"  in {_format_duration(elapsed)}")
+        if not self.enabled:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+            self.emitted += 1
+            return
         self.stream.write("\r" + line + " " * max(0, self._width - len(line)) + "\n")
         self.stream.flush()
         self._width = 0

@@ -1,0 +1,776 @@
+"""Cross-process metrics: mmap-backed per-process shards, folded at scrape.
+
+The in-process registry (:mod:`repro.obs.metrics`) is exact under
+threads but blind across processes: every counter a ``--jobs N`` pool
+worker increments dies with the worker.  This module is the bridge —
+the same idea as ``prometheus_client`` multiprocess mode, rebuilt
+dependency-free on the store's segment-file idioms (explicit format
+header, manifest as commit point, orphan sweep):
+
+* Every participating process **attaches** one fixed-slot shard file in
+  a shared observability directory and mirrors its registry deltas into
+  it (:func:`attach` / :func:`flush`).  The shard is written lock-free
+  by its single owning process; readers never block writers.
+* Scrapers **aggregate**: :func:`aggregate` folds every live shard of
+  the current obs generation (plus the swept residual) into one series
+  map, and :func:`render_aggregated` / :func:`snapshot_aggregated`
+  merge that with a local registry into one coherent Prometheus
+  exposition — worker-side intern/parse counters finally appear in the
+  parent's ``/metrics``.
+* Dead writers are **swept**: a shard whose pid no longer exists is
+  folded into ``residual.json`` exactly once (the residual records the
+  swept file names, so a crash between fold and unlink cannot double
+  count) and then unlinked.  A killed ``--jobs`` worker's last-flushed
+  values survive into every later scrape.
+
+On-disk layout of an observability directory::
+
+    <obs-dir>/
+      obs.json               manifest: format_version, generation
+      shard-<pid>-<nonce>.shm   per-process shards (format below)
+      residual.json          totals folded out of dead writers' shards
+      events.jsonl[.N]       structured event log (repro.obs.events)
+
+Shard file format (``RPSHM001``), little-endian::
+
+    header  64 bytes   magic 8s | pid I | capacity I | used I |
+                       generation I | created d | updated d | pad
+    slot    256 bytes  key_len H | kind c | pad | value d @8 |
+                       key bytes (utf-8 JSON) @16
+
+A slot's key is ``[name, [[label, value]...], part]`` where ``part`` is
+``""`` for a plain scalar, ``"le:<edge>"`` for one histogram bucket
+(non-cumulative), or ``"sum"``/``"count"``.  The writer publishes a new
+slot by writing the key bytes first and the key length last, and bumps
+the header's used-count after that, so a concurrent reader never parses
+a half-written key.  Value updates are single 8-byte stores.
+
+Aggregation semantics by kind: counters (``c``) and histogram parts
+(``h``) sum across shards; gauges (``g``) take the max (every process
+observing a shared store reports the same quads/generation, and a
+worker's stale inherited gauge can never inflate the truth).
+
+The obs manifest's ``generation`` keys the whole directory: shards
+record the generation they attached under, aggregation ignores other
+generations, and :func:`reset` bumps it — so a fresh measurement epoch
+never inherits stale totals.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, _escape_label, _format_value, get_registry
+
+__all__ = [
+    "MAGIC",
+    "MANIFEST_FILE",
+    "RESIDUAL_FILE",
+    "ShardWriter",
+    "aggregate",
+    "attach",
+    "configure",
+    "configured_dir",
+    "detach",
+    "flush",
+    "is_attached",
+    "read_shard",
+    "render_aggregated",
+    "reset",
+    "shard_status",
+    "snapshot_aggregated",
+    "sweep_orphans",
+    "unconfigure",
+]
+
+MAGIC = b"RPSHM001"
+MANIFEST_FILE = "obs.json"
+RESIDUAL_FILE = "residual.json"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIIIIdd")  # magic, pid, capacity, used, generation, created, updated
+HEADER_SIZE = 64
+SLOT_SIZE = 256
+_VALUE = struct.Struct("<d")
+_KEY_OFFSET = 16
+MAX_KEY_BYTES = SLOT_SIZE - _KEY_OFFSET
+
+#: Default number of slots per shard (256 B each → 512 KiB, sparse).
+DEFAULT_CAPACITY = 2048
+
+# Aggregation kinds (single ASCII byte stored per slot).
+KIND_COUNTER = "c"
+KIND_GAUGE = "g"
+KIND_HISTOGRAM = "h"
+
+_REGISTRY_KIND = {"counter": KIND_COUNTER, "gauge": KIND_GAUGE}
+
+
+class ShardError(RuntimeError):
+    """Shard misuse: key too long, slot table full, bad directory."""
+
+
+# -- obs-directory manifest ---------------------------------------------------
+
+
+def _read_manifest(obs_dir: Path) -> Optional[Dict]:
+    path = obs_dir / MANIFEST_FILE
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if manifest.get("format_version") != FORMAT_VERSION:
+        return None
+    return manifest
+
+
+def _write_json_atomic(path: Path, payload: Dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def ensure_dir(obs_dir) -> Dict:
+    """Create the obs directory + manifest if needed; return the manifest."""
+    obs_dir = Path(obs_dir)
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    manifest = _read_manifest(obs_dir)
+    if manifest is None:
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "generation": 1,
+            "created_ts": round(time.time(), 3),
+        }
+        _write_json_atomic(obs_dir / MANIFEST_FILE, manifest)
+    return manifest
+
+
+def reset(obs_dir) -> int:
+    """Start a fresh measurement epoch: bump the manifest generation.
+
+    Existing shards and the residual become stale (their recorded
+    generation no longer matches) and are ignored by aggregation; dead
+    stale shards are deleted by the next sweep.  Returns the new
+    generation.
+    """
+    obs_dir = Path(obs_dir)
+    manifest = ensure_dir(obs_dir)
+    manifest["generation"] += 1
+    _write_json_atomic(obs_dir / MANIFEST_FILE, manifest)
+    return manifest["generation"]
+
+
+# -- shard writer (one per process) -------------------------------------------
+
+
+class ShardWriter:
+    """The single-process, lock-free writer side of one shard file.
+
+    Only the owning process ever writes the file; the mmap is the
+    publication mechanism (no fsync — shard contents are telemetry, not
+    durability-critical, and die with the machine, not the process).
+    """
+
+    def __init__(self, obs_dir, capacity: int = DEFAULT_CAPACITY):
+        obs_dir = Path(obs_dir)
+        manifest = ensure_dir(obs_dir)
+        self.obs_dir = obs_dir
+        self.pid = os.getpid()
+        self.generation = manifest["generation"]
+        self.capacity = capacity
+        nonce = os.urandom(4).hex()
+        self.path = obs_dir / f"shard-{self.pid}-{nonce}.shm"
+        size = HEADER_SIZE + capacity * SLOT_SIZE
+        with open(self.path, "wb") as handle:
+            handle.truncate(size)
+        self._file = open(self.path, "r+b")
+        self._mm = mmap.mmap(self._file.fileno(), size)
+        now = time.time()
+        self._created = now
+        self._used = 0
+        self._write_header(updated=now)
+        # key bytes → (value offset, last written value): skip the 8-byte
+        # store when the value did not move since the previous flush.
+        self._slots: Dict[bytes, List] = {}
+        self._closed = False
+
+    def _write_header(self, updated: float) -> None:
+        self._mm[0:_HEADER.size] = _HEADER.pack(
+            MAGIC, self.pid, self.capacity, self._used, self.generation,
+            self._created, updated,
+        )
+
+    def set(self, name: str, labels: Tuple[Tuple[str, str], ...], part: str,
+            kind: str, value: float) -> None:
+        """Publish one series value (absolute, since this shard attached)."""
+        key = json.dumps([name, list(labels), part], separators=(",", ":"),
+                         sort_keys=False).encode("utf-8")
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = [self._allocate(key, kind), None]
+            self._slots[key] = slot
+        if slot[1] != value:
+            _VALUE.pack_into(self._mm, slot[0], float(value))
+            slot[1] = value
+
+    def _allocate(self, key: bytes, kind: str) -> int:
+        if len(key) > MAX_KEY_BYTES:
+            raise ShardError(f"shard series key exceeds {MAX_KEY_BYTES} bytes: {key[:80]!r}")
+        if self._used >= self.capacity:
+            raise ShardError(f"shard slot table full ({self.capacity} slots): {self.path}")
+        base = HEADER_SIZE + self._used * SLOT_SIZE
+        # Publish order: key bytes, then kind, then key_len (the reader's
+        # validity gate), then the header's used count.
+        self._mm[base + _KEY_OFFSET:base + _KEY_OFFSET + len(key)] = key
+        self._mm[base + 2:base + 3] = kind.encode("ascii")
+        struct.pack_into("<H", self._mm, base, len(key))
+        self._used += 1
+        self._write_header(updated=time.time())
+        return base + 8
+
+    def touch(self) -> None:
+        """Refresh the header's updated timestamp (shard-age reporting)."""
+        self._write_header(updated=time.time())
+
+    def close(self, unlink: bool = False) -> None:
+        """Release the mapping.  The file stays behind by default so the
+        totals outlive the process (the sweep folds them in later);
+        ``unlink=True`` discards them instead."""
+        if self._closed:
+            return
+        self._closed = True
+        self._mm.close()
+        self._file.close()
+        if unlink:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+
+# -- shard reader --------------------------------------------------------------
+
+
+class ShardView:
+    """A parsed snapshot of one shard file."""
+
+    __slots__ = ("path", "pid", "generation", "created", "updated", "series")
+
+    def __init__(self, path, pid, generation, created, updated, series):
+        self.path = path
+        self.pid = pid
+        self.generation = generation
+        self.created = created
+        self.updated = updated
+        #: {(name, labels, part): (kind, value)}
+        self.series = series
+
+
+def read_shard(path) -> Optional[ShardView]:
+    """Parse one shard file; ``None`` if it is not a readable shard."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return None
+    if len(data) < HEADER_SIZE or data[:8] != MAGIC:
+        return None
+    magic, pid, capacity, used, generation, created, updated = _HEADER.unpack_from(data)
+    series: Dict[Tuple[str, Tuple, str], Tuple[str, float]] = {}
+    for index in range(min(used, capacity)):
+        base = HEADER_SIZE + index * SLOT_SIZE
+        if base + SLOT_SIZE > len(data):
+            break
+        key_len = struct.unpack_from("<H", data, base)[0]
+        if key_len == 0 or key_len > MAX_KEY_BYTES:
+            continue
+        kind = chr(data[base + 2])
+        (value,) = _VALUE.unpack_from(data, base + 8)
+        try:
+            name, labels, part = json.loads(
+                data[base + _KEY_OFFSET:base + _KEY_OFFSET + key_len].decode("utf-8")
+            )
+        except (ValueError, UnicodeDecodeError):
+            continue  # torn or corrupt slot: skip, never fail the scrape
+        series[(name, tuple(tuple(p) for p in labels), part)] = (kind, value)
+    return ShardView(path, pid, generation, created, updated, series)
+
+
+def _iter_shard_paths(obs_dir: Path) -> Iterator[Path]:
+    for path in sorted(obs_dir.glob("shard-*.shm")):
+        yield path
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+# -- orphan sweep ---------------------------------------------------------------
+
+
+def sweep_orphans(obs_dir) -> int:
+    """Fold dead writers' shards into ``residual.json``; returns the count.
+
+    Exactly-once across crashes and concurrent sweepers: the residual
+    lists every swept file name *in the same atomic write* that absorbs
+    its values, already-listed shards are only unlinked, and a lock file
+    serializes sweepers (a contended sweep is simply skipped — the next
+    scrape retries).
+    """
+    obs_dir = Path(obs_dir)
+    manifest = _read_manifest(obs_dir)
+    if manifest is None:
+        return 0
+    generation = manifest["generation"]
+    dead: List[ShardView] = []
+    stale: List[Path] = []
+    for path in _iter_shard_paths(obs_dir):
+        view = read_shard(path)
+        if view is None:
+            continue
+        if _pid_alive(view.pid):
+            continue
+        if view.generation != generation:
+            stale.append(path)  # previous epoch: discard, never fold
+        else:
+            dead.append(view)
+    if not dead and not stale:
+        return 0
+    lock_path = obs_dir / ".sweep.lock"
+    try:
+        lock_file = open(lock_path, "a+b")
+    except OSError:
+        return 0
+    try:
+        try:
+            import fcntl
+
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except (ImportError, OSError):
+            return 0  # another sweeper owns this round
+        residual = _read_residual(obs_dir, generation)
+        swept_names = set(residual["swept"])
+        series: Dict[Tuple, List] = {
+            tuple(entry[:4]): [entry[4]] for entry in residual["series"]
+        }
+
+        def fold(key: Tuple, kind: str, value: float) -> None:
+            slot = series.get(key)
+            if slot is None:
+                series[key] = [value]
+            elif kind == KIND_GAUGE:
+                slot[0] = max(slot[0], value)
+            else:
+                slot[0] += value
+
+        to_unlink: List[Path] = list(stale)
+        folded = 0
+        for view in dead:
+            if view.path.name not in swept_names:
+                for (name, labels, part), (kind, value) in view.series.items():
+                    fold((name, json.dumps(labels), part, kind), kind, value)
+                swept_names.add(view.path.name)
+                folded += 1
+            to_unlink.append(view.path)
+        if folded or stale:
+            residual = {
+                "format_version": FORMAT_VERSION,
+                "generation": generation,
+                "swept": sorted(swept_names),
+                "series": sorted(
+                    [name, labels_json, part, kind, slot[0]]
+                    for (name, labels_json, part, kind), slot in series.items()
+                ),
+            }
+            _write_json_atomic(obs_dir / RESIDUAL_FILE, residual)
+        for path in to_unlink:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return folded
+    finally:
+        lock_file.close()
+
+
+def _read_residual(obs_dir: Path, generation: int) -> Dict:
+    path = obs_dir / RESIDUAL_FILE
+    try:
+        residual = json.loads(path.read_text())
+    except (OSError, ValueError):
+        residual = None
+    if (residual is None or residual.get("format_version") != FORMAT_VERSION
+            or residual.get("generation") != generation):
+        return {"format_version": FORMAT_VERSION, "generation": generation,
+                "swept": [], "series": []}
+    return residual
+
+
+# -- aggregation ----------------------------------------------------------------
+
+
+def aggregate(obs_dir, exclude_pids: Tuple[int, ...] = (), sweep: bool = True):
+    """Fold all current-generation shards + residual into one series map.
+
+    Returns ``(series, shards)`` where *series* maps
+    ``(name, labels, part) → (kind, value)`` and *shards* is the status
+    list :func:`shard_status` would report (pid, alive, ages).
+    """
+    obs_dir = Path(obs_dir)
+    manifest = _read_manifest(obs_dir)
+    if manifest is None:
+        return {}, []
+    generation = manifest["generation"]
+    if sweep:
+        sweep_orphans(obs_dir)
+    series: Dict[Tuple, List] = {}
+
+    def fold(key: Tuple, kind: str, value: float) -> None:
+        slot = series.get(key)
+        if slot is None:
+            series[key] = [kind, value]
+        elif kind == KIND_GAUGE:
+            slot[1] = max(slot[1], value)
+        else:
+            slot[1] += value
+
+    residual = _read_residual(obs_dir, generation)
+    for name, labels_json, part, kind, value in residual["series"]:
+        labels = tuple(tuple(p) for p in json.loads(labels_json))
+        fold((name, labels, part), kind, value)
+    shards = []
+    now = time.time()
+    for path in _iter_shard_paths(obs_dir):
+        view = read_shard(path)
+        if view is None:
+            continue
+        alive = _pid_alive(view.pid)
+        shards.append({
+            "pid": view.pid,
+            "alive": alive,
+            "generation": view.generation,
+            "age_s": round(max(0.0, now - view.created), 3),
+            "updated_age_s": round(max(0.0, now - view.updated), 3),
+            "slots": len(view.series),
+            "file": view.path.name,
+        })
+        if view.generation != generation or view.pid in exclude_pids:
+            continue
+        for key, (kind, value) in view.series.items():
+            fold(key, kind, value)
+    return {key: tuple(slot) for key, slot in series.items()}, shards
+
+
+def shard_status(obs_dir) -> List[Dict]:
+    """Per-shard liveness/age report (``/stats`` and ``obs top``)."""
+    _, shards = aggregate(obs_dir, sweep=False)
+    return shards
+
+
+# -- registry mirroring ---------------------------------------------------------
+
+
+def _iter_registry_series(registry: MetricsRegistry):
+    """Yield ``(name, sorted labels, part, kind, value)`` for every series.
+
+    Reads the registry internals directly (no collector pass): collectors
+    mirror *other* processes' domains (the endpoint's store ints) and
+    must not leak into a worker's shard.
+    """
+    with registry._lock:
+        metrics = [registry._metrics[name] for name in sorted(registry._metrics)]
+    for metric in metrics:
+        kind = metric.kind
+        for child in metric._sorted_children():
+            labels = tuple(sorted(zip(metric.label_names, child.label_values)))
+            if kind == "histogram":
+                with metric._lock:
+                    counts = list(child._bucket_counts)
+                    total = child._count
+                    value_sum = child._sum
+                for edge, count in zip(metric._buckets, counts):
+                    yield (metric.name, labels, "le:" + _format_value(edge),
+                           KIND_HISTOGRAM, float(count))
+                yield (metric.name, labels, "sum", KIND_HISTOGRAM, value_sum)
+                yield (metric.name, labels, "count", KIND_HISTOGRAM, float(total))
+            else:
+                yield (metric.name, labels, "", _REGISTRY_KIND[kind], child.value)
+
+
+class RegistryMirror:
+    """Mirrors one registry's *deltas since attach* into a shard.
+
+    The baseline subtraction is what makes forked pool workers correct:
+    a ``fork``-start worker inherits the parent's registry values, and
+    without the baseline every inherited count would be double-counted
+    once per worker at aggregation time.
+    """
+
+    def __init__(self, registry: MetricsRegistry, writer: ShardWriter):
+        self.registry = registry
+        self.writer = writer
+        self._base = {
+            (name, labels, part): value
+            for name, labels, part, kind, value in _iter_registry_series(registry)
+            if kind != KIND_GAUGE
+        }
+        self._written: set = set()
+
+    def flush(self) -> None:
+        writer = self.writer
+        base = self._base
+        written = self._written
+        histograms: Dict[Tuple, List] = {}
+        for name, labels, part, kind, value in _iter_registry_series(self.registry):
+            key = (name, labels, part)
+            if kind == KIND_HISTOGRAM:
+                # Histogram parts publish as a unit (below): a touched
+                # series ships its zero buckets too, so the merged
+                # exposition always has the complete edge set.
+                histograms.setdefault((name, labels), []).append(
+                    (part, value - base.get(key, 0.0))
+                )
+                continue
+            delta = value if kind == KIND_GAUGE else value - base.get(key, 0.0)
+            if delta == 0.0 and key not in written:
+                continue  # never allocate a slot for an untouched series
+            written.add(key)
+            writer.set(name, labels, part, kind, delta)
+        for (name, labels), parts in histograms.items():
+            touched = any(part == "count" and delta != 0.0 for part, delta in parts)
+            if not touched and (name, labels) not in written:
+                continue
+            written.add((name, labels))
+            for part, delta in parts:
+                writer.set(name, labels, part, KIND_HISTOGRAM, delta)
+        writer.touch()
+
+
+# -- module-level attachment (one shard per process) ----------------------------
+
+_state_lock = threading.Lock()
+_configured_dir: Optional[Path] = None
+_writer: Optional[ShardWriter] = None
+_mirror: Optional[RegistryMirror] = None
+
+
+def configure(obs_dir, attach_shard: bool = True) -> Path:
+    """Point this process at *obs_dir* (creating it) and attach a shard."""
+    global _configured_dir
+    obs_dir = Path(obs_dir)
+    ensure_dir(obs_dir)
+    with _state_lock:
+        _configured_dir = obs_dir
+    if attach_shard:
+        attach(obs_dir)
+    return obs_dir
+
+
+def configured_dir() -> Optional[Path]:
+    return _configured_dir
+
+
+def attach(obs_dir=None) -> ShardWriter:
+    """Attach this process's shard (idempotent; fork-safe).
+
+    After a ``fork`` the child inherits the parent's writer state; the
+    pid check below discards it and opens a fresh shard, so a worker can
+    never scribble on its parent's file.
+    """
+    global _configured_dir, _writer, _mirror
+    with _state_lock:
+        target = Path(obs_dir) if obs_dir is not None else _configured_dir
+        if target is None:
+            raise ShardError("no observability directory configured")
+        if (_writer is not None and not _writer._closed
+                and _writer.pid == os.getpid() and _writer.obs_dir == target):
+            return _writer
+        _configured_dir = target
+        _writer = ShardWriter(target)
+        _mirror = RegistryMirror(get_registry(), _writer)
+        return _writer
+
+
+def is_attached() -> bool:
+    return (_writer is not None and not _writer._closed
+            and _writer.pid == os.getpid())
+
+
+def flush() -> bool:
+    """Mirror this process's registry deltas into its shard (no-op when
+    unattached); returns whether anything was attached."""
+    with _state_lock:
+        mirror = _mirror
+        writer = _writer
+    if writer is None or writer._closed or writer.pid != os.getpid():
+        return False
+    mirror.flush()
+    return True
+
+
+def detach(unlink: bool = False) -> None:
+    """Close this process's shard; keep the file unless *unlink*."""
+    global _writer, _mirror
+    with _state_lock:
+        if _writer is not None and _writer.pid == os.getpid():
+            _writer.close(unlink=unlink)
+        _writer = None
+        _mirror = None
+
+
+def unconfigure() -> None:
+    """Forget the configured directory and drop the shard file (tests)."""
+    global _configured_dir
+    detach(unlink=True)
+    with _state_lock:
+        _configured_dir = None
+
+
+# -- merged exposition ----------------------------------------------------------
+
+
+def _edge_sort_key(edge: str) -> float:
+    if edge == "+Inf":
+        return float("inf")
+    if edge == "-Inf":
+        return float("-inf")
+    try:
+        return float(edge)
+    except ValueError:
+        return float("inf")
+
+
+def _fold_into_families(families: Dict, name: str, labels: Tuple, part: str,
+                        kind: str, value: float) -> None:
+    if kind == KIND_HISTOGRAM:
+        family = families.setdefault(name, {"kind": "histogram", "help": "", "series": {}})
+        hist = family["series"].setdefault(
+            labels, {"buckets": {}, "sum": 0.0, "count": 0.0}
+        )
+        if part == "sum":
+            hist["sum"] += value
+        elif part == "count":
+            hist["count"] += value
+        elif part.startswith("le:"):
+            edge = part[3:]
+            hist["buckets"][edge] = hist["buckets"].get(edge, 0.0) + value
+        return
+    family_kind = "counter" if kind == KIND_COUNTER else "gauge"
+    family = families.setdefault(name, {"kind": family_kind, "help": "", "series": {}})
+    current = family["series"].get(labels)
+    if current is None:
+        family["series"][labels] = value
+    elif kind == KIND_GAUGE:
+        family["series"][labels] = max(current, value)
+    else:
+        family["series"][labels] = current + value
+
+
+def merged_families(obs_dir, registry: Optional[MetricsRegistry] = None):
+    """One merged metric model: local registry + every foreign shard.
+
+    When *registry* is given its full (process-lifetime) values are used
+    directly and this process's own shard is excluded from the fold —
+    the shard only ever holds a subset (deltas since attach) of what the
+    registry already knows.
+    """
+    families: Dict[str, Dict] = {}
+    if registry is not None:
+        registry.collect()
+        for name, labels, part, kind, value in _iter_registry_series(registry):
+            _fold_into_families(families, name, labels, part, kind, value)
+        with registry._lock:
+            for name, metric in registry._metrics.items():
+                if name in families:
+                    families[name]["help"] = metric.help
+    exclude = (os.getpid(),) if registry is not None else ()
+    series, shards = aggregate(obs_dir, exclude_pids=exclude)
+    for (name, labels, part), (kind, value) in series.items():
+        _fold_into_families(families, name, labels, part, kind, value)
+    return families, shards
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in labels
+    ) + "}"
+
+
+def render_families(families: Dict) -> str:
+    """Prometheus text exposition 0.0.4 of a merged family model."""
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for labels in sorted(family["series"]):
+            value = family["series"][labels]
+            if family["kind"] == "histogram":
+                cumulative = 0.0
+                for edge in sorted(value["buckets"], key=_edge_sort_key):
+                    cumulative += value["buckets"][edge]
+                    bucket_labels = labels + (("le", edge),)
+                    lines.append(
+                        f"{name}_bucket{_label_str(bucket_labels)} "
+                        f"{_format_value(cumulative)}"
+                    )
+                lines.append(f"{name}_sum{_label_str(labels)} {_format_value(value['sum'])}")
+                lines.append(
+                    f"{name}_count{_label_str(labels)} {_format_value(value['count'])}"
+                )
+            else:
+                lines.append(f"{name}{_label_str(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_aggregated(obs_dir, registry: Optional[MetricsRegistry] = None,
+                      extra: str = "") -> str:
+    """The cross-process ``/metrics`` body: registry + shards (+ *extra*
+    pre-rendered exposition, e.g. quantile summaries)."""
+    families, _ = merged_families(obs_dir, registry=registry)
+    body = render_families(families)
+    if extra:
+        body = body + extra if body.endswith("\n") or not body else body + "\n" + extra
+    return body
+
+
+def snapshot_aggregated(obs_dir, registry: Optional[MetricsRegistry] = None) -> Dict:
+    """JSON-friendly aggregated dump (the ``/stats`` ``metrics`` shape)."""
+    families, shards = merged_families(obs_dir, registry=registry)
+    out: Dict[str, Dict] = {}
+    for name in sorted(families):
+        family = families[name]
+        samples = []
+        for labels in sorted(family["series"]):
+            value = family["series"][labels]
+            if family["kind"] == "histogram":
+                cumulative = 0.0
+                buckets = {}
+                for edge in sorted(value["buckets"], key=_edge_sort_key):
+                    cumulative += value["buckets"][edge]
+                    buckets[edge] = cumulative
+                rendered = {"sum": value["sum"], "count": value["count"],
+                            "buckets": buckets}
+            else:
+                rendered = value
+            samples.append({"labels": dict(labels), "value": rendered})
+        out[name] = {"type": family["kind"], "help": family["help"], "samples": samples}
+    return {"metrics": out, "shards": shards}

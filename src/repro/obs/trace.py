@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
 from pathlib import Path
@@ -243,11 +244,15 @@ class Tracer:
         return len(events)
 
 
-def read_trace(path) -> List[dict]:
+def read_trace(path, warn: Optional[Callable[[str], None]] = None) -> List[dict]:
     """Parse a trace file written by :meth:`Tracer.write`.
 
     Also accepts a complete JSON array or plain JSONL (one object per
-    line) for robustness."""
+    line) for robustness.  Truncated or malformed lines — the tail a
+    crashed writer leaves behind — are skipped with a warning instead
+    of raising, so a dead run's trace is still summarizable."""
+    if warn is None:
+        warn = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     text = Path(path).read_text(encoding="utf-8").strip()
     if not text:
         return []
@@ -255,12 +260,22 @@ def read_trace(path) -> List[dict]:
         body = text.rstrip(",")
         if not body.endswith("]"):
             body += "]"
-        return json.loads(body)
+        try:
+            return json.loads(body)
+        except ValueError:
+            pass  # fall through to the tolerant line-by-line parse
     events = []
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip().rstrip(",")
-        if line:
-            events.append(json.loads(line))
+        if not line or line in ("[", "]"):
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            warn(f"warning: skipping malformed trace line at {path}:{lineno}")
+            continue
+        if isinstance(record, dict):
+            events.append(record)
     return events
 
 

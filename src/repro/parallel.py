@@ -40,21 +40,27 @@ __all__ = ["pool_context", "resolve_jobs", "ObsConfig", "RemoteError"]
 
 @dataclass(frozen=True)
 class ObsConfig:
-    """Picklable tracing settings for pool workers.
+    """Picklable observability settings for pool workers.
 
-    ``from_tracer`` snapshots the parent's tracer (or ``None``) at pool
-    spawn time; ``make_tracer`` rebuilds an equivalent worker-side
-    tracer inside the pool initializer.
+    ``from_tracer`` snapshots the parent's tracer (or ``None``) and the
+    process-wide observability directory at pool spawn time;
+    ``make_tracer`` rebuilds an equivalent worker-side tracer inside
+    the pool initializer and ``attach_worker`` plugs the worker into
+    the shared metric-shard directory and event log.
     """
 
     trace: bool = False
     deterministic: bool = False
+    obs_dir: Optional[str] = None
 
     @classmethod
     def from_tracer(cls, tracer) -> "ObsConfig":
+        from .obs import shm
+
         return cls(
             trace=tracer is not None,
             deterministic=bool(getattr(tracer, "deterministic", False)),
+            obs_dir=shm.configured_dir(),
         )
 
     def make_tracer(self):
@@ -63,6 +69,17 @@ class ObsConfig:
         from .obs.trace import Tracer
 
         return Tracer(deterministic=self.deterministic)
+
+    def attach_worker(self) -> None:
+        """Attach this worker process to the shared observability
+        directory (metric shard + event log).  Called from pool
+        initializers; a no-op when no ``--obs-dir`` was configured."""
+        if not self.obs_dir:
+            return
+        from .obs import events, shm
+
+        shm.configure(self.obs_dir)
+        events.configure(self.obs_dir)
 
 
 def pool_context():

@@ -81,6 +81,7 @@ Binding = Dict[str, Term]
 
 #: Default capacity of the per-engine LRU query-result cache.
 DEFAULT_RESULT_CACHE_SIZE = 128
+_DIGEST_CACHE_SIZE = 256  # (query text, version) → plan digest memo
 
 _CACHE_EVENTS = _metrics.counter(
     "repro_query_cache_total", "Query result cache events", labels=("event",)
@@ -140,6 +141,7 @@ class QueryEngine:
         slow_log=None,
         encoded: bool = True,
         path_index: bool = True,
+        latency_sketch=None,
     ):
         if isinstance(source, Dataset):
             self.dataset: Optional[Dataset] = source
@@ -166,6 +168,13 @@ class QueryEngine:
         #: string queries are profiled (cheap batch-level collection) so
         #: threshold-crossing queries log full operator statistics.
         self.slow_log = slow_log
+        #: Optional :class:`repro.obs.quantiles.QuantileFamily` keyed by
+        #: plan digest; when set, every string query's wall time feeds
+        #: the per-plan-shape latency sketch (true p50/p95/p99, not
+        #: bucket-quantized).  Digests are memoized per (text, version)
+        #: so a cached-result hit never has to rebuild a plan.
+        self.latency_sketch = latency_sketch
+        self._digest_cache: "OrderedDict[tuple, str]" = OrderedDict()
         # Count of active per-thread profilers.  The evaluator's hot
         # paths gate on its truthiness — a single attribute check when
         # no profile (and no slow log) is in play.
@@ -277,6 +286,9 @@ class QueryEngine:
                             if slow_log.should_record(elapsed_ms):
                                 slow_log.add(self._slow_record(
                                     query, elapsed_ms, "hit", None, None, query_span))
+                        if self.latency_sketch is not None:
+                            self._observe_latency(
+                                query, None, time.perf_counter() - started)
                         return cached
                     self._cache_misses += 1
                     _CACHE_EVENTS.labels("miss").inc()
@@ -313,6 +325,9 @@ class QueryEngine:
                 if slow_log.should_record(elapsed_ms):
                     slow_log.add(self._slow_record(
                         query, elapsed_ms, "miss", parsed, collector, query_span))
+            if self.latency_sketch is not None:
+                self._observe_latency(
+                    query, parsed, time.perf_counter() - started)
             return result
 
     # -- introspection -------------------------------------------------------
@@ -366,6 +381,36 @@ class QueryEngine:
         report = plan.profile_report(collector, duration_ms)
         return QueryProfile(result=result, plan=plan, report=report,
                             duration_ms=duration_ms)
+
+    def _plan_digest(self, text: str, parsed) -> Optional[str]:
+        """The plan digest for *text* at the current source version.
+
+        Memoized per (text, version) so the cached-result hit path gets
+        the digest without re-parsing or re-planning; with ``parsed``
+        ``None`` (hit path) an unmemoized digest simply stays unknown —
+        the miss that populated the result cache populated this cache
+        in the same call, so that only happens across an engine restart.
+        """
+        key = (text, self.source_version())
+        with self._lock:
+            digest = self._digest_cache.get(key)
+            if digest is not None:
+                self._digest_cache.move_to_end(key)
+                return digest
+        if parsed is None:
+            return None
+        plan = build_plan(parsed, self._default, text=text,
+                          optimize=self.optimize_joins)
+        with self._lock:
+            self._digest_cache[key] = plan.digest
+            while len(self._digest_cache) > _DIGEST_CACHE_SIZE:
+                self._digest_cache.popitem(last=False)
+        return plan.digest
+
+    def _observe_latency(self, text: str, parsed, seconds: float) -> None:
+        digest = self._plan_digest(text, parsed)
+        if digest is not None:
+            self.latency_sketch.observe(digest, seconds)
 
     def _slow_record(self, text: str, duration_ms: float, cache: str,
                      parsed, collector, query_span) -> dict:

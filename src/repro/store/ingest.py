@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import events as _events
 from ..obs import metrics as _metrics
+from ..obs import shm as _shm
 from ..obs.trace import span
 from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..rdf.graph import Dataset
@@ -49,6 +51,22 @@ del _result
 _INGEST_QUADS = _metrics.counter(
     "repro_ingest_quads_total", "Quads added to the store by ingest"
 )
+# Parse-path counters tick inside _parse_batch_inner, which is the
+# *same code* whether it runs in-process (serial) or in a pool worker
+# (--jobs N) — so a parallel ingest's aggregated totals sum exactly to
+# the serial run's values once worker shards fold into the scrape.
+_PARSE_QUADS = _metrics.counter(
+    "repro_ingest_parse_quads_total",
+    "Quads produced by the trace parser (pre-dedup, any process)",
+)
+_PARSE_TERMS = _metrics.counter(
+    "repro_ingest_parse_terms_total",
+    "Term intern lookups in the trace parser, by batch-local result",
+    labels=("result",),
+)
+for _result in ("hit", "miss"):
+    _PARSE_TERMS.labels(_result)
+del _result
 
 #: Trace file suffixes recognized by the ingester, mapped to RDF format.
 TRACE_SUFFIXES = {".prov.ttl": "turtle", ".prov.trig": "trig"}
@@ -140,6 +158,7 @@ def _init_ingest_worker(root: str, obs: ObsConfig = ObsConfig()) -> None:
     global _INGEST_ROOT, _INGEST_TRACER
     _INGEST_ROOT = Path(root)
     _INGEST_TRACER = obs.make_tracer()
+    obs.attach_worker()
 
 
 def _parse_batch(
@@ -162,8 +181,11 @@ def _parse_batch_inner(root: Path, relpath: str, rdf_format: str, digest: str) -
     text = (root / relpath).read_text()
     terms: List[bytes] = []
     index: Dict[bytes, int] = {}
+    lookups = 0
 
     def intern(term) -> int:
+        nonlocal lookups
+        lookups += 1
         data = encode_term(term)
         local = index.get(data)
         if local is None:
@@ -187,6 +209,9 @@ def _parse_batch_inner(root: Path, relpath: str, rdf_format: str, digest: str) -
     for gid, graph in sources:
         for t in graph:
             quads.append((intern(t.subject), intern(t.predicate), intern(t.object), gid))
+    _PARSE_QUADS.inc(len(quads))
+    _PARSE_TERMS.labels("miss").inc(len(terms))
+    _PARSE_TERMS.labels("hit").inc(lookups - len(terms))
     return _ParsedBatch(relpath, digest, terms, quads, prefixes)
 
 
@@ -203,10 +228,15 @@ def _parse_batch_task(task) -> Tuple[str, object, Optional[list]]:
         tracer.reset_clock()
     try:
         batch = _parse_batch(_INGEST_ROOT, relpath, rdf_format, digest, tracer=tracer)
+        # Per-task publication: the pool is terminated (not joined) on
+        # exit, so this is the last guaranteed flush before the parent's
+        # orphan sweep folds this worker's shard.
+        _shm.flush()
         return ("ok", batch, tracer.drain() if tracer is not None else None)
     except Exception as exc:
         if tracer is not None:
             tracer.drain()
+        _shm.flush()
         return ("error", RemoteError.capture(exc, f"while ingesting {relpath}"), None)
 
 
@@ -349,4 +379,16 @@ def ingest_corpus(
     report.duration_s = time.perf_counter() - started
     _INGEST_FILES.labels("parsed").inc(len(report.parsed))
     _INGEST_FILES.labels("skipped").inc(len(report.skipped))
+    _events.emit(
+        "ingest.done",
+        store=str(store.path),
+        generation=store.generation,
+        parsed=len(report.parsed),
+        skipped=len(report.skipped),
+        quads=report.quads_added,
+        rebuilt=report.rebuilt,
+        jobs=effective,
+        duration_s=round(report.duration_s, 6),
+    )
+    _shm.flush()
     return report

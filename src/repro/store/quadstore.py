@@ -54,6 +54,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..rdf.terms import Term
 from . import spill as _spill_io
@@ -483,6 +484,12 @@ class QuadStore:
         self._pending_quads = []
         _SPILL_TOTAL.inc()
         _SPILL_QUADS.inc(counts["spog"])
+        _events.emit(
+            "store.spill",
+            store=str(self.path),
+            batch=batch_id,
+            quads=counts["spog"],
+        )
 
     def _merged_records(self, name: str) -> Iterator[Tuple[int, int, int, int]]:
         """All records for ordering *name*: current segment, every spill
@@ -564,7 +571,15 @@ class QuadStore:
             self._pending_prefixes = []
             self._open_segments()
             _COMPACTION_TOTAL.inc()
-            _COMPACTION_SECONDS.observe(time.perf_counter() - compact_started)
+            compact_elapsed = time.perf_counter() - compact_started
+            _COMPACTION_SECONDS.observe(compact_elapsed)
+            _events.emit(
+                "store.compaction",
+                store=str(self.path),
+                generation=self.manifest["generation"],
+                quads=quad_count,
+                duration_s=round(compact_elapsed, 6),
+            )
 
     @staticmethod
     def _tap_graphs(records: Iterator[Tuple[int, int, int, int]],

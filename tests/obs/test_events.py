@@ -1,0 +1,98 @@
+"""The structured JSONL event log: schema, rotation, tolerant reads."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.obs import events
+
+
+@pytest.fixture(autouse=True)
+def _clean_module_state():
+    yield
+    events.unconfigure()
+
+
+class TestEventLog:
+    def test_records_carry_schema_fields(self, tmp_path):
+        with events.EventLog(str(tmp_path)) as log:
+            log.emit("ingest.file", file="a.ttl", quads=12)
+        records = list(events.read_events(str(tmp_path)))
+        assert len(records) == 1
+        record = records[0]
+        assert record["v"] == events.SCHEMA_VERSION
+        assert record["pid"] == os.getpid()
+        assert record["kind"] == "ingest.file"
+        assert record["quads"] == 12
+        assert isinstance(record["ts"], float)
+
+    def test_none_fields_dropped(self, tmp_path):
+        with events.EventLog(str(tmp_path)) as log:
+            log.emit("x", present=1, absent=None)
+        (record,) = events.read_events(str(tmp_path))
+        assert "absent" not in record and record["present"] == 1
+
+    def test_size_bounded_rotation(self, tmp_path):
+        log = events.EventLog(str(tmp_path), max_bytes=2_000, keep=2)
+        for i in range(200):
+            log.emit("tick", n=i, pad="x" * 40)
+        log.close()
+        assert (tmp_path / "events.jsonl.1").exists()
+        assert not (tmp_path / "events.jsonl.3").exists()
+        assert os.path.getsize(tmp_path / events.EVENTS_FILE) <= 2_000
+        # Readable generations come back oldest-first and in order.
+        kept = [r["n"] for r in events.read_events(str(tmp_path))]
+        assert kept == sorted(kept)
+        assert kept[-1] == 199
+
+    def test_read_skips_malformed_lines_with_warning(self, tmp_path):
+        path = tmp_path / events.EVENTS_FILE
+        good = json.dumps({"v": 1, "kind": "ok", "n": 1})
+        path.write_text(good + "\n[not json\n" + good + "\n{\"trunc")
+        warnings = []
+        records = list(events.read_events(str(path), warn=warnings.append))
+        assert [r["n"] for r in records] == [1, 1]
+        assert len(warnings) == 2
+        assert "malformed" in warnings[0]
+
+    def test_kind_filter(self, tmp_path):
+        with events.EventLog(str(tmp_path)) as log:
+            log.emit("a", n=1)
+            log.emit("b", n=2)
+            log.emit("a", n=3)
+        assert [r["n"] for r in events.read_events(str(tmp_path), kind="a")] == [1, 3]
+
+
+def _fork_emitter(obs_dir):
+    events.emit("child.tick", n=1)
+
+
+class TestModuleLevel:
+    def test_emit_noop_until_configured(self, tmp_path):
+        events.emit("ignored", n=1)  # must not raise or create files
+        assert list(tmp_path.iterdir()) == []
+        events.configure(str(tmp_path))
+        events.emit("seen", n=2)
+        (record,) = events.read_events(str(tmp_path))
+        assert record["kind"] == "seen"
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork start method",
+    )
+    def test_forked_child_reopens_cleanly(self, tmp_path):
+        events.configure(str(tmp_path))
+        events.emit("parent.tick", n=0)
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_fork_emitter, args=(str(tmp_path),))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        records = list(events.read_events(str(tmp_path)))
+        kinds = {record["kind"]: record["pid"] for record in records}
+        assert set(kinds) == {"parent.tick", "child.tick"}
+        assert kinds["child.tick"] != os.getpid()

@@ -15,7 +15,9 @@ import pytest
 from repro.obs.metrics import DURATION_BUCKETS, MetricsError, MetricsRegistry
 
 _HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$")
-_TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+_TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary)$"
+)
 _SAMPLE_RE = re.compile(
     r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
     r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'

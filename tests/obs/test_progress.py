@@ -14,14 +14,23 @@ class _Tty(io.StringIO):
 
 
 class TestTtyGating:
-    def test_silent_on_non_tty(self):
+    def test_non_tty_updates_silent_finish_summarizes(self):
+        # Live refreshes are TTY-gated, but the final totals line lands
+        # exactly once even when piped, so CI logs record completion.
         stream = io.StringIO()
         progress = Progress("build", total=10, stream=stream)
         for i in range(1, 11):
             progress.update(i, work=i * 100)
-        progress.finish(10, work=1000)
         assert stream.getvalue() == ""
         assert progress.emitted == 0
+        progress.finish(10, work=1000)
+        output = stream.getvalue()
+        assert progress.emitted == 1
+        assert output.count("\n") == 1
+        assert "\r" not in output
+        assert "build: 10/10 runs" in output
+        assert "1,000 quads" in output
+        assert "in " in output
 
     def test_emits_on_tty(self):
         stream = _Tty()

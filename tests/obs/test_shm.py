@@ -1,0 +1,281 @@
+"""Shared-memory metric shards: cross-process aggregation correctness.
+
+The contracts pinned here are the ones the ``--obs-dir`` pipeline rides
+on: N concurrent writer processes hammering counters and histograms sum
+exactly at scrape time; a SIGKILL'd writer's orphan shard is swept into
+the residual and counted exactly once no matter how many scrapes
+follow; fork-inherited registry values never double-count; and a
+torn or corrupt shard can degrade a scrape but never crash it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import struct
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.obs import shm
+from repro.obs.metrics import MetricsRegistry
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif(not FORK, reason="needs fork start method")
+
+
+def _ctx():
+    return multiprocessing.get_context("fork")
+
+
+def _series_value(series, name, labels=(), part=""):
+    entry = series.get((name, labels, part))
+    return entry[1] if entry is not None else None
+
+
+@pytest.fixture(autouse=True)
+def _clean_module_state():
+    yield
+    shm.unconfigure()
+
+
+class TestShardRoundTrip:
+    def test_writer_values_read_back(self, tmp_path):
+        writer = shm.ShardWriter(tmp_path)
+        writer.set("c_total", (("worker", "1"),), "", shm.KIND_COUNTER, 7.0)
+        writer.set("g_now", (), "", shm.KIND_GAUGE, 3.5)
+        writer.set("h_seconds", (), "le:0.1", shm.KIND_HISTOGRAM, 2.0)
+        writer.set("h_seconds", (), "sum", shm.KIND_HISTOGRAM, 0.15)
+        writer.set("h_seconds", (), "count", shm.KIND_HISTOGRAM, 2.0)
+        view = shm.read_shard(writer.path)
+        writer.close(unlink=True)
+        assert view.pid == os.getpid()
+        assert view.series[("c_total", (("worker", "1"),), "")] == ("c", 7.0)
+        assert view.series[("g_now", (), "")] == ("g", 3.5)
+        assert view.series[("h_seconds", (), "sum")] == ("h", 0.15)
+
+    def test_rewrites_reuse_slot(self, tmp_path):
+        writer = shm.ShardWriter(tmp_path)
+        for value in range(100):
+            writer.set("c_total", (), "", shm.KIND_COUNTER, float(value))
+        view = shm.read_shard(writer.path)
+        writer.close(unlink=True)
+        assert len(view.series) == 1
+        assert view.series[("c_total", (), "")] == ("c", 99.0)
+
+    def test_non_shard_file_is_skipped(self, tmp_path):
+        (tmp_path / "shard-1-bogus.shm").write_bytes(b"not a shard at all")
+        shm.ensure_dir(tmp_path)
+        series, shards = shm.aggregate(tmp_path)
+        assert series == {} and shards == []
+
+    def test_torn_slot_is_skipped_not_fatal(self, tmp_path):
+        writer = shm.ShardWriter(tmp_path)
+        writer.set("good_total", (), "", shm.KIND_COUNTER, 1.0)
+        writer.set("doomed_total", (), "", shm.KIND_COUNTER, 2.0)
+        writer.close()
+        data = bytearray(writer.path.read_bytes())
+        # Corrupt the second slot's key bytes (mid-write torn state).
+        base = shm.HEADER_SIZE + shm.SLOT_SIZE
+        data[base + 16:base + 24] = b"\xff" * 8
+        writer.path.write_bytes(bytes(data))
+        view = shm.read_shard(writer.path)
+        assert ("good_total", (), "") in view.series
+        assert all(name != "doomed_total" for name, _, _ in view.series)
+
+    def test_capacity_overflow_raises(self, tmp_path):
+        writer = shm.ShardWriter(tmp_path, capacity=2)
+        writer.set("a_total", (), "", shm.KIND_COUNTER, 1.0)
+        writer.set("b_total", (), "", shm.KIND_COUNTER, 1.0)
+        with pytest.raises(shm.ShardError):
+            writer.set("c_total", (), "", shm.KIND_COUNTER, 1.0)
+        writer.close(unlink=True)
+
+
+def _hammer(obs_dir, worker_id, rounds):
+    writer = shm.ShardWriter(obs_dir)
+    for i in range(1, rounds + 1):
+        writer.set("hammer_total", (), "", shm.KIND_COUNTER, float(i))
+        writer.set("hammer_by_worker_total", (("worker", str(worker_id)),),
+                   "", shm.KIND_COUNTER, float(i))
+        writer.set("hammer_seconds", (), "count", shm.KIND_HISTOGRAM, float(i))
+        writer.set("hammer_seconds", (), "sum", shm.KIND_HISTOGRAM, i * 0.5)
+        writer.set("hammer_seconds", (), "le:1", shm.KIND_HISTOGRAM, float(i))
+        writer.set("hammer_gauge", (), "", shm.KIND_GAUGE, float(worker_id))
+    writer.close()  # file stays behind; the sweep folds it
+
+
+@fork_only
+class TestCrossProcessAggregation:
+    def test_n_writers_sum_exactly(self, tmp_path):
+        n, rounds = 4, 500
+        shm.ensure_dir(tmp_path)
+        procs = [
+            _ctx().Process(target=_hammer, args=(tmp_path, i, rounds))
+            for i in range(n)
+        ]
+        for proc in procs:
+            proc.start()
+        # Concurrent scrapes while writers hammer must never raise and
+        # never exceed the final total.
+        while any(proc.is_alive() for proc in procs):
+            series, _ = shm.aggregate(tmp_path, sweep=False)
+            live = _series_value(series, "hammer_total")
+            assert live is None or live <= n * rounds
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        series, _ = shm.aggregate(tmp_path)
+        assert _series_value(series, "hammer_total") == n * rounds
+        assert _series_value(series, "hammer_seconds", part="count") == n * rounds
+        assert _series_value(series, "hammer_seconds", part="sum") == pytest.approx(
+            n * rounds * 0.5
+        )
+        assert _series_value(series, "hammer_seconds", part="le:1") == n * rounds
+        for i in range(n):
+            assert _series_value(
+                series, "hammer_by_worker_total", (("worker", str(i)),)
+            ) == rounds
+        # Gauges aggregate by max, not sum.
+        assert _series_value(series, "hammer_gauge") == n - 1
+
+    def test_killed_writer_counted_exactly_once(self, tmp_path):
+        def doomed(obs_dir):
+            writer = shm.ShardWriter(obs_dir)
+            writer.set("doomed_total", (), "", shm.KIND_COUNTER, 42.0)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        shm.ensure_dir(tmp_path)
+        proc = _ctx().Process(target=doomed, args=(tmp_path,))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == -signal.SIGKILL
+        assert list(tmp_path.glob("shard-*.shm")), "orphan shard must remain"
+        for _ in range(3):  # repeated scrapes must not re-count the orphan
+            series, _ = shm.aggregate(tmp_path)
+            assert _series_value(series, "doomed_total") == 42.0
+        assert not list(tmp_path.glob("shard-*.shm"))
+        residual = json.loads((tmp_path / shm.RESIDUAL_FILE).read_text())
+        assert len(residual["swept"]) == 1
+
+    def test_live_writer_is_never_swept(self, tmp_path):
+        writer = shm.ShardWriter(tmp_path)
+        writer.set("live_total", (), "", shm.KIND_COUNTER, 5.0)
+        assert shm.sweep_orphans(tmp_path) == 0
+        series, shards = shm.aggregate(tmp_path)
+        assert _series_value(series, "live_total") == 5.0
+        assert shards[0]["alive"] is True
+        writer.close(unlink=True)
+
+    def test_reset_discards_previous_epoch(self, tmp_path):
+        proc = _ctx().Process(target=_hammer, args=(tmp_path, 0, 10))
+        proc.start()
+        proc.join()
+        shm.reset(tmp_path)
+        series, _ = shm.aggregate(tmp_path)
+        assert series == {}  # stale-generation shard discarded, not folded
+        assert not list(tmp_path.glob("shard-*.shm"))
+
+
+def _forked_registry_child(obs_dir, queue):
+    # Inherits the parent's registry values; attach() must discard the
+    # inherited writer and baseline-subtract so only child deltas publish.
+    shm.attach(obs_dir)
+    _metrics.counter("fork_base_total", "t").inc(3)
+    shm.flush()
+    queue.put(os.getpid())
+
+
+@fork_only
+class TestForkSafety:
+    def test_inherited_values_not_double_counted(self, tmp_path):
+        counter = _metrics.counter("fork_base_total", "t")
+        before = counter.value
+        shm.configure(tmp_path)  # baseline captured here
+        counter.inc(100)
+        shm.flush()
+        queue = _ctx().Queue()
+        proc = _ctx().Process(target=_forked_registry_child,
+                              args=(tmp_path, queue))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        child_pid = queue.get(timeout=5)
+        assert child_pid != os.getpid()
+        paths = list(tmp_path.glob("shard-*.shm"))
+        assert len(paths) == 2  # parent shard + child shard, never shared
+        series, _ = shm.aggregate(tmp_path)
+        # Parent delta (100) + child delta (3); the pre-attach value and
+        # the fork-inherited snapshot are both baseline-subtracted.
+        assert _series_value(series, "fork_base_total") == 103.0
+        assert counter.value == before + 100.0
+
+
+class TestRegistryMirror:
+    def test_baseline_subtraction_and_histograms(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("m_total", "t")
+        histogram = registry.histogram("m_seconds", "t", buckets=[0.1, 1.0])
+        counter.inc(50)
+        histogram.observe(0.05)
+        writer = shm.ShardWriter(tmp_path)
+        mirror = shm.RegistryMirror(registry, writer)
+        counter.inc(8)
+        histogram.observe(0.5)
+        mirror.flush()
+        writer.close()
+        series, _ = shm.aggregate(tmp_path, sweep=False)
+        assert _series_value(series, "m_total") == 8.0
+        assert _series_value(series, "m_seconds", part="count") == 1.0
+        assert _series_value(series, "m_seconds", part="le:1") == 1.0
+        assert _series_value(series, "m_seconds", part="le:0.1") == 0.0
+        assert _series_value(series, "m_seconds", part="sum") == pytest.approx(0.5)
+
+    def test_untouched_series_allocate_no_new_slots(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("idle_total", "t")
+        writer = shm.ShardWriter(tmp_path)
+        mirror = shm.RegistryMirror(registry, writer)
+        mirror.flush()
+        view = shm.read_shard(writer.path)
+        writer.close(unlink=True)
+        assert ("idle_total", (), "") not in view.series
+
+
+class TestMergedExposition:
+    def test_registry_plus_shard_render(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("merge_total", "Things merged").inc(10)
+        foreign = shm.ShardWriter(tmp_path)
+        foreign.set("merge_total", (), "", shm.KIND_COUNTER, 5.0)
+        foreign.close()
+        # Fake a foreign pid so the shard is not excluded as "our own".
+        data = bytearray(foreign.path.read_bytes())
+        struct.pack_into("<I", data, 8, 2 ** 22 + 1)
+        foreign.path.write_bytes(bytes(data))
+        body = shm.render_aggregated(tmp_path, registry=registry)
+        assert "# TYPE merge_total counter" in body
+        assert "\nmerge_total 15\n" in body or body.startswith("merge_total 15")
+
+    def test_own_shard_excluded_when_registry_given(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("own_total", "t").inc(4)
+        shm.configure(tmp_path)
+        shm.flush()  # our shard now also carries own_total-ish deltas
+        writer = shm.ShardWriter(tmp_path)
+        writer.set("own_total", (), "", shm.KIND_COUNTER, 999.0)
+        writer.close(unlink=True)
+        body = shm.render_aggregated(tmp_path, registry=registry)
+        assert "own_total 4" in body
+
+    def test_snapshot_shape(self, tmp_path):
+        writer = shm.ShardWriter(tmp_path)
+        writer.set("snap_total", (("k", "v"),), "", shm.KIND_COUNTER, 2.0)
+        snapshot = shm.snapshot_aggregated(tmp_path)
+        writer.close(unlink=True)
+        family = snapshot["metrics"]["snap_total"]
+        assert family["type"] == "counter"
+        assert family["samples"] == [{"labels": {"k": "v"}, "value": 2.0}]
+        assert snapshot["shards"][0]["pid"] == os.getpid()

@@ -123,6 +123,50 @@ class TestFileFormat:
         assert read_trace(as_jsonl) == events
 
 
+class TestTolerantRead:
+    def test_truncated_tail_skipped_with_warning(self, tmp_path):
+        # A crashed writer leaves a half-flushed last line; readers must
+        # keep every intact record instead of raising.
+        good = {"name": "a", "cat": "t", "ph": "X", "ts": 0, "dur": 1,
+                "pid": 0, "tid": 0, "args": {}}
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps(good) + "\n" + '{"name": "b", "ts')
+        warnings = []
+        events = read_trace(path, warn=warnings.append)
+        assert len(events) == 1 and events[0]["name"] == "a"
+        assert len(warnings) == 1
+        assert "malformed" in warnings[0] and ":2" in warnings[0]
+
+    def test_garbage_line_between_records_skipped(self, tmp_path):
+        good = {"name": "a", "cat": "t", "ph": "X", "ts": 0, "dur": 1,
+                "pid": 0, "tid": 0, "args": {}}
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps(good) + "\nnot json at all\n" + json.dumps(good) + "\n")
+        warnings = []
+        assert len(read_trace(path, warn=warnings.append)) == 2
+        assert len(warnings) == 1
+
+    def test_array_form_with_crash_tail_recovers_lines(self, tmp_path):
+        # Chrome array-lines form cut off mid-write: the document no
+        # longer parses as one array, so recovery is line-by-line.
+        tracer = Tracer(deterministic=True)
+        with tracer.span("kept", cat="t"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write(path)
+        path.write_bytes(path.read_bytes().rstrip() + b'\n{"name": "lost", ')
+        warnings = []
+        events = read_trace(path, warn=warnings.append)
+        assert [e["name"] for e in events] == ["kept"]
+        assert warnings, "truncated tail must be reported"
+
+    def test_non_object_lines_ignored(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('42\n"just a string"\n')
+        assert read_trace(path, warn=lambda _msg: None) == []
+
+
 def test_summarize_aggregates_by_cat_and_name():
     events = [
         {"name": "parse", "cat": "ingest", "ts": 0, "dur": 2000, "args": {}},

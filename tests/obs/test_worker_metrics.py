@@ -1,0 +1,90 @@
+"""Regression: pool-worker metrics must survive into the parent's scrape.
+
+Before the shared-memory shards, a ``--jobs N`` ingest silently lost
+every counter incremented inside the worker processes — the parent's
+``/metrics`` reported parse totals as if almost nothing had been
+parsed.  This pins the contract end to end: with an obs dir attached,
+the aggregated post-ingest snapshot carries the workers' parse
+counters, and their totals equal a serial run's registry deltas
+*exactly* (the parse path is identical code either way).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.obs import shm
+from repro.store import QuadStore, ingest_corpus
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel ingest relies on fork start method",
+)
+
+_COUNTERS = (
+    ("repro_ingest_parse_quads_total", None),
+    ("repro_ingest_parse_terms_total", {"result": "miss"}),
+    ("repro_ingest_parse_terms_total", {"result": "hit"}),
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_module_state():
+    yield
+    shm.unconfigure()
+
+
+def _registry_values():
+    return tuple(_metrics.value(name, labels) or 0.0 for name, labels in _COUNTERS)
+
+
+def _aggregated_values(series):
+    out = []
+    for name, labels in _COUNTERS:
+        key = (name, tuple(sorted((labels or {}).items())), "")
+        entry = series.get(key)
+        out.append(entry[1] if entry is not None else 0.0)
+    return tuple(out)
+
+
+def test_jobs2_worker_counters_sum_to_serial(tiny_corpus_dir, tmp_path):
+    # Serial leg: parsing happens in-process, so plain registry deltas
+    # are the ground truth.
+    before = _registry_values()
+    with QuadStore(tmp_path / "store-serial") as store:
+        ingest_corpus(store, tiny_corpus_dir, jobs=1)
+    serial = tuple(a - b for a, b in zip(_registry_values(), before))
+    assert serial[0] > 0, "fixture must produce quads"
+
+    # Parallel leg: baseline is captured at configure(), so the serial
+    # leg's increments never leak into the aggregated deltas.
+    obs_dir = tmp_path / "obs"
+    shm.configure(obs_dir)
+    with QuadStore(tmp_path / "store-j2") as store:
+        ingest_corpus(store, tiny_corpus_dir, jobs=2)
+
+    # The pool workers left shards behind (parent shard + >=1 worker).
+    shard_pids = {view.pid for view in map(shm.read_shard,
+                                           obs_dir.glob("shard-*.shm"))}
+    assert len(shard_pids) >= 2
+    assert any(pid != os.getpid() for pid in shard_pids)
+
+    series, _ = shm.aggregate(obs_dir)
+    assert _aggregated_values(series) == serial
+
+
+def test_serial_ingest_with_obs_dir_matches_registry(tiny_corpus_dir, tmp_path):
+    # jobs=1 never forks; the parent's own shard must still carry the
+    # same deltas the registry does, so scrapes are mode-independent.
+    obs_dir = tmp_path / "obs"
+    shm.configure(obs_dir)
+    before = _registry_values()
+    with QuadStore(tmp_path / "store") as store:
+        ingest_corpus(store, tiny_corpus_dir, jobs=1)
+    deltas = tuple(a - b for a, b in zip(_registry_values(), before))
+    series, _ = shm.aggregate(obs_dir)
+    assert _aggregated_values(series) == deltas

@@ -126,3 +126,73 @@ class TestStoreCommands:
         assert main(["build", str(root), "--store"]) == 0
         assert f"quad store: {root / '.store'}" in capsys.readouterr().out
         assert (root / ".store" / "store.json").exists()
+
+
+class TestObsCommands:
+    _TTL = (
+        "@prefix ex: <http://example.org/> .\n"
+        "@prefix prov: <http://www.w3.org/ns/prov#> .\n"
+        "ex:run1 a prov:Activity ; prov:used ex:data1 .\n"
+        "ex:data1 a prov:Entity .\n"
+    )
+
+    @pytest.fixture()
+    def observed_store(self, tmp_path, capsys):
+        from repro.obs import events, shm
+
+        corpus = tmp_path / "corpus"
+        (corpus / "Taverna" / "dom" / "t-1").mkdir(parents=True)
+        (corpus / "Taverna" / "dom" / "t-1" / "run1.prov.ttl").write_text(self._TTL)
+        obs_dir = tmp_path / "obs"
+        code = main(["store", "ingest", str(corpus),
+                     "--store", str(tmp_path / "store"),
+                     "--obs-dir", str(obs_dir)])
+        out = capsys.readouterr().out
+        # Detach keeps the shard file on disk (as a finished CLI process
+        # would); unconfigure then only forgets the module-global state so
+        # the rest of the suite keeps its unobserved baseline.
+        shm.detach()
+        shm.unconfigure()
+        events.unconfigure()
+        assert code == 0
+        return obs_dir, out
+
+    def test_ingest_obs_dir_announced_and_populated(self, observed_store):
+        obs_dir, out = observed_store
+        assert f"obs dir: {obs_dir}" in out
+        assert (obs_dir / "obs.json").exists()
+        assert (obs_dir / "events.jsonl").exists()
+
+    def test_ingest_emits_done_event(self, observed_store):
+        from repro.obs.events import read_events
+
+        (done,) = [r for r in read_events(str(observed_store[0]))
+                   if r["kind"] == "ingest.done"]
+        assert done["parsed"] == 1
+        assert done["quads"] > 0
+
+    def test_obs_top_text(self, observed_store, capsys):
+        obs_dir, _ = observed_store
+        assert main(["obs", "top", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"obs dir: {obs_dir}" in out
+        assert "repro_ingest_parse_quads_total" in out
+
+    def test_obs_top_json(self, observed_store, capsys):
+        assert main(["obs", "top", str(observed_store[0]), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "shards" in payload
+        quads = payload["metrics"]["repro_ingest_parse_quads_total"]
+        assert quads["samples"][0]["value"] > 0
+
+    def test_obs_top_missing_dir_errors(self, tmp_path, capsys):
+        assert main(["obs", "top", str(tmp_path / "nope")]) == 1
+        assert "no observability directory" in capsys.readouterr().err
+
+    def test_obs_dir_flag_parses_on_build_and_serve(self):
+        args = build_parser().parse_args(
+            ["build", "/tmp/x", "--obs-dir", "/tmp/obs"])
+        assert str(args.obs_dir) == "/tmp/obs"
+        args = build_parser().parse_args(
+            ["serve", "/tmp/x", "--obs-dir", "/tmp/obs"])
+        assert str(args.obs_dir) == "/tmp/obs"

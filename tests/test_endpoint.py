@@ -336,3 +336,69 @@ class TestStoreBackedEndpoint:
 
     def test_in_memory_endpoint_has_no_store_section(self, endpoint, client):
         assert "store" not in client.stats()
+
+
+class TestObservedEndpoint:
+    """The endpoint with an obs dir: folded scrapes and CKMS quantiles."""
+
+    @pytest.fixture()
+    def obs_endpoint(self, tmp_path):
+        from repro.obs import shm
+
+        g = Graph()
+        g.namespaces.bind("ex", EX)
+        g.add((EX.r1, RDF.type, PROV.Activity))
+        with SparqlEndpoint(g, obs_dir=str(tmp_path / "obs")) as server:
+            yield server, tmp_path / "obs"
+        shm.unconfigure()
+
+    def _scrape(self, server):
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as response:
+            return response.read().decode()
+
+    def test_metrics_folds_foreign_shards(self, obs_endpoint):
+        from repro.obs import shm
+
+        server, obs_dir = obs_endpoint
+        # Plant a shard as if a pool worker (different pid) left it behind.
+        writer = shm.ShardWriter(obs_dir)
+        writer.set("repro_worker_planted_total", (), "", shm.KIND_COUNTER, 11.0)
+        writer.close()
+        data = bytearray(writer.path.read_bytes())
+        import struct
+
+        struct.pack_into("<I", data, 8, 2 ** 22 + 3)
+        writer.path.write_bytes(bytes(data))
+        body = self._scrape(server)
+        assert "repro_worker_planted_total 11" in body
+
+    def test_request_quantiles_exposed_after_traffic(self, obs_endpoint):
+        server, _ = obs_endpoint
+        client = SparqlClient(server.query_url)
+        for _ in range(5):
+            client.query("ASK { ?x a prov:Activity }")
+        body = self._scrape(server)
+        assert "# TYPE repro_endpoint_request_seconds summary" in body
+        assert 'repro_endpoint_request_seconds{route="/sparql",quantile="0.99"}' in body
+        assert 'repro_endpoint_request_seconds_count{route="/sparql"} 5' in body
+        # Query latency by plan digest rides the same exposition.
+        assert "# TYPE repro_query_plan_seconds summary" in body
+        assert 'quantile="0.99"' in body
+
+    def test_stats_reports_shards_and_quantiles(self, obs_endpoint):
+        server, obs_dir = obs_endpoint
+        client = SparqlClient(server.query_url)
+        client.query("ASK { ?x a prov:Activity }")
+        stats = client.stats()
+        assert stats["obs"]["dir"] == str(obs_dir)
+        own = [s for s in stats["obs"]["shards"] if s["alive"]]
+        assert own and all(s["age_s"] >= 0 for s in own)
+        quantiles = stats["latency_quantiles"]
+        assert quantiles["requests"]["/sparql"]["count"] >= 1
+        assert "0.99" in quantiles["requests"]["/sparql"]["quantiles"]
+        assert quantiles["plans"], "plan-digest sketch must capture the query"
+
+    def test_unobserved_endpoint_has_no_obs_section(self, endpoint, client):
+        stats = client.stats()
+        assert "obs" not in stats
+        assert "latency_quantiles" in stats  # quantiles are always on
