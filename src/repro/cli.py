@@ -163,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--slowlog-capacity", type=int, default=128, metavar="N",
         help="slow-query ring-buffer capacity (default: 128)",
     )
+    p_serve.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="run the always-on statistical profiler at HZ samples/s; "
+             "GET /debug/profile returns collapsed stacks over a window "
+             "(default: profiler started per /debug/profile request only)",
+    )
+    p_serve.add_argument(
+        "--trace-slow-ms", type=float, default=None, metavar="MS",
+        help="retain full span trees (GET /trace/<id>) for requests "
+             "slower than MS or errored (default: --slow-query-ms, "
+             "else 100)",
+    )
     _add_trace_flag(p_serve, "endpoint request/query spans, written on shutdown")
     _add_obs_dir_flag(p_serve)
 
@@ -206,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
         "source", help="endpoint base URL, .../slowlog URL, or slowlog JSONL file"
     )
     p_obs_slowlog.add_argument("--json", action="store_true", help="print raw JSON")
+    p_obs_profile = obs_sub.add_parser(
+        "profile", help="sample a live endpoint's /debug/profile, or "
+                        "re-render a saved folded-stacks file"
+    )
+    p_obs_profile.add_argument(
+        "source", help="endpoint base URL, .../debug/profile URL, or a "
+                       "collapsed-stacks (folded) file",
+    )
+    p_obs_profile.add_argument(
+        "--seconds", type=float, default=2.0, metavar="N",
+        help="sampling window when the source is a URL (default: 2)",
+    )
+    p_obs_profile.add_argument(
+        "--speedscope", action="store_true",
+        help="emit speedscope JSON (https://speedscope.app) instead of "
+             "folded stacks",
+    )
+    p_obs_profile.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write output to FILE instead of stdout",
+    )
     p_obs_top = obs_sub.add_parser(
         "top", help="render the aggregated cross-process metrics of an "
                     "observability directory (shards + top series)"
@@ -307,11 +340,19 @@ def _progress_hook(label: str, unit: str, work_unit: str, work_of=None):
 
 
 def _make_tracer(args):
-    """A Tracer when ``--trace`` was given, else None."""
+    """A Tracer when ``--trace`` was given, else None.
+
+    Also starts one root W3C trace context for the command, so every
+    span the traced build/ingest/serve records — in this process and in
+    pool workers — stamps the same ``trace_id`` and the trace file
+    cross-references slow-query-log records and events by id.
+    """
     if getattr(args, "trace", None) is None:
         return None
+    from .obs import tracectx
     from .obs.trace import Tracer
 
+    tracectx.activate(tracectx.start_trace())
     return Tracer()
 
 
@@ -537,6 +578,7 @@ def _cmd_serve(args) -> int:
         source, host=args.host, port=args.port, cache_size=cache_size, tracer=tracer,
         slow_query_ms=args.slow_query_ms, slowlog_capacity=args.slowlog_capacity,
         obs_dir=str(args.obs_dir) if args.obs_dir is not None else None,
+        profile_hz=args.profile_hz, trace_slow_ms=args.trace_slow_ms,
     )
     endpoint.start()
     backing = f"store {args.store}" if store is not None else f"corpus {args.directory}"
@@ -549,6 +591,10 @@ def _cmd_serve(args) -> int:
     if endpoint.slow_log is not None:
         print(f"  slowlog: {endpoint.slowlog_url} "
               f"(threshold {endpoint.slow_log.threshold_ms:g} ms)")
+    print(f"  tracing: {endpoint.trace_url}/<trace-id> "
+          f"(slow/error requests ≥ {endpoint.trace_slow_ms:g} ms retained)")
+    if args.profile_hz:
+        print(f"  profiler: {endpoint.profile_url} ({args.profile_hz:g} Hz)")
     try:
         import time
 
@@ -632,6 +678,8 @@ def _cmd_obs(args) -> int:
         return 0
     if args.obs_command == "slowlog":
         return _obs_slowlog(args)
+    if args.obs_command == "profile":
+        return _obs_profile(args)
     if args.obs_command == "top":
         return _obs_top(args)
     # metrics — render this process's registry (mostly zeros unless the
@@ -640,6 +688,42 @@ def _cmd_obs(args) -> int:
     from .obs import metrics
 
     sys.stdout.write(metrics.render())
+    return 0
+
+
+def _obs_profile(args) -> int:
+    """Collapsed stacks from a live endpoint or a saved folded file."""
+    from .obs import profiler as _profiler
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        url = source.rstrip("/")
+        if not url.endswith("/debug/profile"):
+            url += "/debug/profile"
+        url += f"?seconds={args.seconds:g}"
+        with urllib.request.urlopen(url, timeout=args.seconds + 30) as response:
+            folded = response.read().decode("utf-8")
+    else:
+        path = Path(source)
+        if not path.exists():
+            print(f"error: no folded-stacks file at {path}", file=sys.stderr)
+            return 1
+        folded = path.read_text(encoding="utf-8")
+    counts = _profiler.parse_folded(folded)
+    if args.speedscope:
+        output = json.dumps(
+            _profiler.render_speedscope(counts, name=source), indent=2
+        ) + "\n"
+    else:
+        output = _profiler.render_folded(counts)
+    if args.out is not None:
+        args.out.write_text(output, encoding="utf-8")
+        print(f"wrote {args.out} ({sum(counts.values())} samples, "
+              f"{len(counts)} distinct stacks)")
+    else:
+        sys.stdout.write(output)
     return 0
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..obs import metrics as _metrics
+from ..obs import tracectx as _tracectx
 from ..obs.trace import span as _span
 from ..parallel import resolve_jobs as _resolve_jobs
 from ..prov.model import ProvDocument
@@ -407,8 +408,13 @@ class CorpusBuilder:
             clock.advance(self._gap_seconds(entry))
             if tracer is not None:
                 tracer.reset_clock()
-            yield self._trace_for(entry, by_id[entry.template_id], taverna, wings,
-                                  tracer=tracer)
+            # The per-run trace scope is entered (and exited) around the
+            # build itself, not the yield, so generator suspension never
+            # leaks a derived context into the consumer.
+            with _tracectx.task_scope(entry.run_id):
+                trace = self._trace_for(entry, by_id[entry.template_id],
+                                        taverna, wings, tracer=tracer)
+            yield trace
 
     def _make_engines(self, clock: SimulatedClock) -> Tuple[TavernaEngine, WingsEngine]:
         """Fresh engines over generator-derived infrastructure."""

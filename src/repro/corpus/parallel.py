@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..obs import shm
+from ..obs import tracectx as _tracectx
 from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..workflow.dataflow import SimulatedClock
 from ..workflow.errors import WorkflowError
@@ -69,9 +70,12 @@ def _build_one(task) -> Tuple[str, object, Optional[list]]:
         clock.reset(started)
         if tracer is not None:
             tracer.reset_clock()
-        trace = builder._trace_for(
-            entry, by_id[entry.template_id], taverna, wings, tracer=tracer
-        )
+        # Same derived trace context a serial build enters for this run
+        # id — worker spans stamp identical trace/span/parent ids.
+        with _tracectx.task_scope(entry.run_id):
+            trace = builder._trace_for(
+                entry, by_id[entry.template_id], taverna, wings, tracer=tracer
+            )
         # Publish this worker's counters after every task: the pool is
         # terminated (not joined) on exit, so per-task flushes are the
         # only guaranteed publication point before the orphan sweep.

@@ -22,14 +22,30 @@ minimal SPARQL 1.1 Protocol surface on stdlib ``http.server``:
   per-process shard ages;
 * ``GET /healthz`` is the liveness probe: 200 plus the store generation;
 * ``GET /slowlog`` returns the structured slow-query ring buffer (enabled
-  by constructing the endpoint with ``slow_query_ms``).
+  by constructing the endpoint with ``slow_query_ms``);
+* ``GET /trace/<trace_id>`` returns the tail-retained span tree of one
+  slow or errored request (see below);
+* ``GET /debug/profile?seconds=N[&format=speedscope]`` samples the live
+  process and returns collapsed stacks (or speedscope JSON).
+
+Every request participates in W3C trace context: an inbound
+``traceparent`` header is parsed (malformed → fresh root trace, per
+spec) and the resulting :class:`~repro.obs.tracectx.TraceContext` is
+active for the whole request, so engine/evaluator/store spans,
+slow-query-log records, and ``endpoint.request`` events all stamp the
+same ``trace_id``.  The id is echoed on **every** response — success
+and error alike — as ``X-Trace-Id``, alongside ``X-Query-Duration-ms``.
+Span trees are buffered per request and *admitted* to the bounded
+:class:`~repro.obs.tracectx.TraceRing` only when the request was slow
+(``trace_slow_ms``) or errored (status ≥ 400) — tail-based retention:
+``GET /trace/<id>`` answers 404 once a trace is evicted or was never
+admitted.
 
 The server is a ``ThreadingHTTPServer`` sharing one
 :class:`~repro.sparql.evaluator.QueryEngine` across worker threads — the
 engine's result/statistics caches are lock-protected, and the endpoint's
-own timing accumulators are guarded here.  Every response carries an
-``X-Query-Duration-ms`` header.  Request timing is recorded at the
-response choke point (:meth:`_Handler._finish_request`), so 4xx/5xx
+own timing accumulators are guarded here.  Request timing is recorded at
+the response choke point (:meth:`_Handler._finish_request`), so 4xx/5xx
 responses count toward the ``/stats`` averages exactly like successes.
 
 The server runs on a background thread (:meth:`SparqlEndpoint.start`) so
@@ -47,10 +63,13 @@ from typing import Optional, Union
 
 from ..obs import events as _events
 from ..obs import metrics as _metrics
+from ..obs import profiler as _profiler
 from ..obs import shm as _shm
+from ..obs import tracectx as _tracectx
 from ..obs.quantiles import QuantileFamily
 from ..obs.slowlog import SlowQueryLog
 from ..obs.trace import span as _span
+from ..obs.tracectx import TraceRing
 from ..store import wal as _wal  # noqa: F401  (declares the WAL metric families)
 from ..rdf.graph import Dataset, Graph
 from ..rdf.turtle import serialize_turtle
@@ -60,7 +79,8 @@ from ..sparql.tokenizer import SparqlSyntaxError
 
 __all__ = ["SparqlEndpoint"]
 
-_KNOWN_ROUTES = ("/", "/sparql", "/stats", "/metrics", "/healthz", "/slowlog")
+_KNOWN_ROUTES = ("/", "/sparql", "/stats", "/metrics", "/healthz", "/slowlog",
+                 "/trace", "/debug/profile")
 
 _HTTP_REQUESTS = _metrics.counter(
     "repro_http_requests_total", "HTTP requests served", labels=("route", "status")
@@ -118,37 +138,47 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urllib.parse.urlparse(self.path)
         self._begin_request("GET", parsed.path)
         endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
-        with _span(endpoint.tracer, "http.request", cat="endpoint",
-                   method="GET", route=self._route) as request_span:
-            if parsed.path in ("", "/"):
-                self._send_service_description()
-            elif parsed.path == "/stats":
-                self._send_stats()
-            elif parsed.path == "/metrics":
-                self._send_metrics()
-            elif parsed.path == "/healthz":
-                self._send_healthz()
-            elif parsed.path == "/slowlog":
-                self._send_slowlog()
-            elif parsed.path != "/sparql":
-                self._send_error(404, "not found: use /sparql")
-            else:
-                params = urllib.parse.parse_qs(parsed.query)
-                queries = params.get("query")
-                if not queries:
-                    self._send_error(400, "missing 'query' parameter")
+        try:
+            with _span(endpoint.tracer, "http.request", cat="endpoint",
+                       method="GET", route=self._route) as request_span:
+                if parsed.path in ("", "/"):
+                    self._send_service_description()
+                elif parsed.path == "/stats":
+                    self._send_stats()
+                elif parsed.path == "/metrics":
+                    self._send_metrics()
+                elif parsed.path == "/healthz":
+                    self._send_healthz()
+                elif parsed.path == "/slowlog":
+                    self._send_slowlog()
+                elif parsed.path == "/trace" or parsed.path.startswith("/trace/"):
+                    self._send_trace(parsed.path)
+                elif parsed.path == "/debug/profile":
+                    self._send_profile(urllib.parse.parse_qs(parsed.query))
+                elif parsed.path != "/sparql":
+                    self._send_error(404, "not found: use /sparql")
                 else:
-                    self._run_query(queries[0])
-            request_span.set(status=self._status)
+                    params = urllib.parse.parse_qs(parsed.query)
+                    queries = params.get("query")
+                    if not queries:
+                        self._send_error(400, "missing 'query' parameter")
+                    else:
+                        self._run_query(queries[0])
+                request_span.set(status=self._status)
+        finally:
+            self._end_trace()
 
     def do_POST(self):
         parsed = urllib.parse.urlparse(self.path)
         self._begin_request("POST", parsed.path)
         endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
-        with _span(endpoint.tracer, "http.request", cat="endpoint",
-                   method="POST", route=self._route) as request_span:
-            self._do_post(parsed)
-            request_span.set(status=self._status)
+        try:
+            with _span(endpoint.tracer, "http.request", cat="endpoint",
+                       method="POST", route=self._route) as request_span:
+                self._do_post(parsed)
+                request_span.set(status=self._status)
+        finally:
+            self._end_trace()
 
     def _do_post(self, parsed):
         if parsed.path != "/sparql":
@@ -199,10 +229,29 @@ class _Handler(BaseHTTPRequestHandler):
     # -- internals ----------------------------------------------------------------
 
     def _begin_request(self, method: str, path: str) -> None:
-        """Stamp per-request state consumed by :meth:`_finish_request`."""
+        """Stamp per-request state consumed by :meth:`_finish_request`.
+
+        Also the trace-context ingress: the inbound ``traceparent``
+        header (if any, malformed tolerated) becomes the request's
+        active :class:`~repro.obs.tracectx.TraceContext` with a fresh
+        span sink, and the handler thread registers with the profiler
+        so its stack samples attribute to this route / trace id.
+        """
         self._started = time.perf_counter()
-        self._route = path if path in _KNOWN_ROUTES else ("/" if path == "" else "other")
+        if path == "/trace" or path.startswith("/trace/"):
+            route = "/trace"
+        elif path in _KNOWN_ROUTES:
+            route = path
+        else:
+            route = "/" if path == "" else "other"
+        self._route = route
         self._status: Optional[int] = None
+        self._trace_headers: dict = {}
+        self._admit_trace = False
+        ctx = _tracectx.start_trace(self.headers.get("traceparent"), sink=[])
+        self._trace_ctx = ctx
+        self._ctx_token = _tracectx.activate(ctx)
+        _profiler.register_thread(route, ctx.trace_id)
         _HTTP_INFLIGHT.inc()
 
     def _finish_request(self, status: int) -> None:
@@ -211,7 +260,9 @@ class _Handler(BaseHTTPRequestHandler):
         This is the fix for the old timing hole: error responses used to
         bypass ``_record_request`` entirely, so ``/stats`` averages only
         ever saw successful queries.  ``_send`` funnels every response —
-        success and error alike — through here.
+        success and error alike — through here.  The same choke point
+        stamps ``X-Trace-Id`` / ``X-Query-Duration-ms`` for every
+        response and decides tail-ring admission (slow or errored).
         """
         if getattr(self, "_status", None) is not None:
             return
@@ -220,14 +271,52 @@ class _Handler(BaseHTTPRequestHandler):
         route = getattr(self, "_route", "other")
         started = getattr(self, "_started", None)
         elapsed_s = (time.perf_counter() - started) if started is not None else 0.0
+        elapsed_ms = elapsed_s * 1000.0
         _HTTP_REQUESTS.labels(route, status).inc()
         _HTTP_SECONDS.labels(route).observe(elapsed_s)
         endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
         endpoint.request_quantiles.observe(route, elapsed_s)
+        ctx = getattr(self, "_trace_ctx", None)
+        trace_id = ctx.trace_id if ctx is not None else None
+        if ctx is not None:
+            # Error responses (4xx/5xx) carry the same headers as
+            # successes: the choke point, not the happy path, stamps
+            # them.  _run_query overrides the duration with its tighter
+            # query-only measurement.
+            self._trace_headers = {
+                "X-Trace-Id": trace_id,
+                "X-Query-Duration-ms": f"{elapsed_ms:.3f}",
+            }
+            self._elapsed_ms = elapsed_ms
+            self._admit_trace = status >= 400 or elapsed_ms >= endpoint.trace_slow_ms
         _events.emit("endpoint.request", route=route, status=status,
-                     duration_s=round(elapsed_s, 6))
+                     duration_s=round(elapsed_s, 6), trace_id=trace_id)
         if route == "/sparql":
             endpoint._record_request(elapsed_s * 1000.0, error=status >= 400)
+
+    def _end_trace(self) -> None:
+        """Close the request's trace scope after the ``http.request``
+        span has exited (so the root span is in the sink), admitting the
+        span tree to the tail ring when :meth:`_finish_request` flagged
+        the request slow or errored."""
+        ctx = getattr(self, "_trace_ctx", None)
+        if ctx is None:
+            return
+        self._trace_ctx = None
+        _profiler.unregister_thread()
+        token = getattr(self, "_ctx_token", None)
+        if token is not None:
+            _tracectx.deactivate(token)
+            self._ctx_token = None
+        if getattr(self, "_admit_trace", False) and ctx.sink:
+            endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+            endpoint.trace_ring.admit(
+                ctx.trace_id,
+                ctx.sink,
+                route=getattr(self, "_route", "other"),
+                status=self._status,
+                duration_ms=round(getattr(self, "_elapsed_ms", 0.0), 3),
+            )
 
     def _run_query(self, query: str):
         engine: QueryEngine = self.server.engine  # type: ignore[attr-defined]
@@ -308,13 +397,65 @@ class _Handler(BaseHTTPRequestHandler):
         payload = json.dumps({"status": "ok", "generation": engine.source_version()})
         self._send(200, "application/json", payload)
 
+    def _send_trace(self, path: str):
+        """``GET /trace/<trace_id>``: one tail-retained span tree."""
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        trace_id = path[len("/trace/"):].strip("/") if path.startswith("/trace/") else ""
+        if not trace_id:
+            payload = {
+                "ring": endpoint.trace_ring.info(),
+                "slow_ms": endpoint.trace_slow_ms,
+                "trace_ids": endpoint.trace_ring.trace_ids(),
+            }
+            self._send(200, "application/json", json.dumps(payload, indent=2))
+            return
+        record = endpoint.trace_ring.get(trace_id)
+        if record is None:
+            self._send_error(404, f"unknown or evicted trace id: {trace_id}")
+            return
+        record["tree"] = _tracectx.span_tree(record["spans"])
+        self._send(200, "application/json", json.dumps(record, indent=2))
+
+    def _send_profile(self, params):
+        """``GET /debug/profile?seconds=N[&format=speedscope]``."""
+        endpoint: "SparqlEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        try:
+            seconds = float(params.get("seconds", ["2"])[0])
+        except ValueError:
+            self._send_error(400, "malformed 'seconds' parameter")
+            return
+        seconds = min(max(seconds, 0.05), 60.0)
+        fmt = params.get("format", ["folded"])[0]
+        if fmt not in ("folded", "speedscope"):
+            self._send_error(400, "unknown format: use folded or speedscope")
+            return
+        hz = endpoint.profile_hz or _profiler.DEFAULT_HZ
+        counts, snap = _profiler.profile_window(seconds, hz=hz)
+        extra = {
+            "X-Profile-Samples": str(snap.get("samples_kept", 0)),
+            "X-Profile-Dropped": str(snap.get("samples_dropped", 0)),
+            "X-Profile-Hz": f"{snap.get('hz', hz):g}",
+        }
+        if fmt == "speedscope":
+            payload = _profiler.render_speedscope(
+                counts, name=f"repro-endpoint-{seconds:g}s"
+            )
+            self._send(200, "application/json", json.dumps(payload), extra)
+        else:
+            self._send(200, "text/plain", _profiler.render_folded(counts), extra)
+
     def _send(self, status: int, content_type: str, body: str, extra_headers=None):
         self._finish_request(status)
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(data)))
-        for name, value in (extra_headers or {}).items():
+        # Trace headers stamped by _finish_request apply to every
+        # response; explicit extras (a tighter query-only duration, say)
+        # override them.
+        headers = dict(getattr(self, "_trace_headers", None) or {})
+        headers.update(extra_headers or {})
+        for name, value in headers.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
@@ -342,9 +483,27 @@ class SparqlEndpoint:
         slow_query_ms: Optional[float] = None,
         slowlog_capacity: int = 128,
         obs_dir: Optional[str] = None,
+        profile_hz: Optional[float] = None,
+        trace_ring_capacity: int = 64,
+        trace_slow_ms: Optional[float] = None,
     ):
         self.source = source
         self.tracer = tracer
+        # Tail-based trace retention: only requests slower than
+        # trace_slow_ms (default: the slowlog threshold, else 100 ms) or
+        # ending in an error keep their span trees, in a bounded ring.
+        self.trace_ring = TraceRing(capacity=trace_ring_capacity)
+        if trace_slow_ms is not None:
+            self.trace_slow_ms = float(trace_slow_ms)
+        elif slow_query_ms is not None:
+            self.trace_slow_ms = float(slow_query_ms)
+        else:
+            self.trace_slow_ms = 100.0
+        self.profile_hz = profile_hz
+        self._profiler_started = False
+        if profile_hz:
+            _profiler.start(hz=profile_hz)
+            self._profiler_started = True
         # Cross-process observability: with an obs_dir, /metrics folds
         # live worker shards (plus swept-orphan residuals) into the
         # scrape, /stats reports per-process shard ages, and request
@@ -457,6 +616,15 @@ class SparqlEndpoint:
         }
         if self.slow_log is not None:
             payload["slow_queries"] = self.slow_log.info()
+        payload["tracing"] = {
+            "slow_ms": self.trace_slow_ms,
+            "ring": self.trace_ring.info(),
+        }
+        active_profiler = _profiler.get_profiler()
+        payload["profiler"] = (
+            active_profiler.snapshot() if active_profiler is not None
+            else {"running": False}
+        )
         # Store-backed sources (repro.store.StoreDataset) report segment,
         # dictionary, and decoded-term-cache sizes alongside cache counters.
         store_info = getattr(self.source, "store_info", None)
@@ -489,6 +657,14 @@ class SparqlEndpoint:
     def slowlog_url(self) -> str:
         return f"{self.url}/slowlog"
 
+    @property
+    def trace_url(self) -> str:
+        return f"{self.url}/trace"
+
+    @property
+    def profile_url(self) -> str:
+        return f"{self.url}/debug/profile"
+
     def start(self) -> "SparqlEndpoint":
         """Serve on a daemon thread; returns self for chaining."""
         if self._thread is not None:
@@ -503,6 +679,9 @@ class SparqlEndpoint:
             self._thread.join(timeout=5)
             self._thread = None
         self._server.server_close()
+        if self._profiler_started:
+            _profiler.stop()
+            self._profiler_started = False
         if self._collector is not None:
             _metrics.get_registry().unregister_collector(self._collector)
             self._collector = None

@@ -14,27 +14,41 @@ aggregated scrape.  ``repro.obs.quantiles`` holds the CKMS targeted
 quantile sketches (true p50/p95/p99 per route and plan digest).
 ``repro.obs.events`` holds the schema-versioned, size-rotated JSONL
 event log that build/ingest/compaction/spill/endpoint paths append to.
+``repro.obs.tracectx`` holds the W3C trace-context plumbing — the
+``traceparent`` parser, the contextvar every span stamps its
+``trace_id``/``parent_id`` from, and the tail-sampled
+``/trace/<id>`` ring.  ``repro.obs.profiler`` holds the always-on
+statistical profiler (folded stacks + speedscope output, thread→
+request attribution, overhead accounting).
 """
 
-from . import events, metrics, quantiles, shm
+from . import events, metrics, profiler, quantiles, shm, tracectx
 from .events import EventLog, read_events
+from .profiler import StackProfiler
 from .progress import Progress
 from .quantiles import QuantileFamily, QuantileSketch
 from .slowlog import SlowQueryLog, read_jsonl
 from .trace import NULL_SPAN, Tracer, read_trace, span, summarize
+from .tracectx import TraceContext, TraceRing, parse_traceparent
 
 __all__ = [
     "events",
     "metrics",
+    "profiler",
     "quantiles",
     "shm",
+    "tracectx",
     "EventLog",
     "NULL_SPAN",
     "Progress",
     "QuantileFamily",
     "QuantileSketch",
     "SlowQueryLog",
+    "StackProfiler",
+    "TraceContext",
+    "TraceRing",
     "Tracer",
+    "parse_traceparent",
     "read_events",
     "read_jsonl",
     "read_trace",

@@ -18,6 +18,9 @@ Record schema (produced by
 ``cache``          ``"hit"`` or ``"miss"`` on the result cache
 ``plan_digest``    deterministic EXPLAIN digest (``None`` on cache hits)
 ``generation``     source version / store generation at query time
+``trace_id``       W3C trace id of the enclosing request, when one was
+                   active — the same id the endpoint echoes as
+                   ``X-Trace-Id`` and keys the ``/trace/<id>`` ring
 ``span_id``        id of the ``sparql.query`` span when tracing — the
                    same id appears as ``args.span_id`` in the ``--trace``
                    JSONL, so a Perfetto trace and a slow-log record
@@ -26,6 +29,11 @@ Record schema (produced by
                    wall ms, and for scans bisect probes / decode-LRU
                    hits / estimate-vs-actual error
 =================  =====================================================
+
+Admitting a record also emits an ``endpoint.slow_request`` event
+(schema v1) carrying ``trace_id`` / ``plan_digest`` / ``duration_ms``
+into the structured event log, so events ↔ slowlog ↔ trace rings link
+by id in both directions.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ import threading
 from collections import deque
 from pathlib import Path
 from typing import Dict, List, Optional
+
+from . import events as _events
 
 __all__ = ["SlowQueryLog", "read_jsonl"]
 
@@ -63,12 +73,25 @@ class SlowQueryLog:
         return duration_ms >= self.threshold_ms
 
     def add(self, record: Dict) -> None:
-        """Append one record, evicting the oldest at capacity."""
+        """Append one record, evicting the oldest at capacity.
+
+        Every admission also emits an ``endpoint.slow_request`` event
+        (a no-op without a configured event log), so the event stream
+        carries the ids that join the slowlog entry to its trace.
+        """
         with self._lock:
             if len(self._entries) == self.capacity:
                 self._evicted += 1
             self._entries.append(record)
             self._recorded += 1
+        _events.emit(
+            "endpoint.slow_request",
+            trace_id=record.get("trace_id"),
+            plan_digest=record.get("plan_digest"),
+            query_sha256=record.get("query_sha256"),
+            duration_ms=record.get("duration_ms"),
+            cache=record.get("cache"),
+        )
 
     def entries(self) -> List[Dict]:
         """Current records, oldest first."""

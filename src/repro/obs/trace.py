@@ -29,9 +29,20 @@ Two clock modes:
   the test suite pins ``--jobs 1`` and ``--jobs 2`` builds to the same
   trace bytes.
 
+Spans participate in request tracing (:mod:`repro.obs.tracectx`): when
+a W3C trace context is active on the current thread, every span stamps
+``trace_id`` / ``span_id`` / ``parent_id`` into its args, pushes
+itself as the parent for nested spans, and — when the context carries
+a *sink* — appends its completed event to that per-request buffer even
+if no tracer is attached at all (how the endpoint collects span trees
+for ``GET /trace/<id>`` without ``--trace``).  With no active context
+nothing is stamped, so pre-existing byte-identical trace expectations
+hold unchanged.
+
 ``span(tracer, ...)`` is the instrumentation-site helper: it returns a
-shared no-op span when ``tracer`` is ``None``, so hot paths pay one
-``is None`` check when tracing is off.
+shared no-op span when ``tracer`` is ``None`` and no recording trace
+context is active, so hot paths pay one ``is None`` check plus one
+contextvar read when tracing is off.
 """
 
 from __future__ import annotations
@@ -43,6 +54,8 @@ import threading
 import time
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional
+
+from . import tracectx as _tracectx
 
 __all__ = ["NULL_SPAN", "Span", "Tracer", "read_trace", "span", "summarize"]
 
@@ -70,16 +83,26 @@ NULL_SPAN = _NullSpan()
 
 
 def span(tracer: Optional["Tracer"], name: str, cat: str = "repro", **attrs: object):
-    """Open a span on ``tracer``, or a shared no-op when tracing is off."""
+    """Open a span on ``tracer``, or a shared no-op when tracing is off.
+
+    With no tracer but an active *recording* trace context (one with a
+    sink — an endpoint request), a real span is still opened against a
+    record-nowhere tracer: the completed event lands only in the
+    context's sink, feeding the tail-sampled ``/trace/<id>`` ring.
+    """
     if tracer is None:
-        return NULL_SPAN
+        ctx = _tracectx.current()
+        if ctx is None or ctx.sink is None:
+            return NULL_SPAN
+        return Span(_SINK_TRACER, name, cat, dict(attrs))
     return tracer.span(name, cat=cat, **attrs)
 
 
 class Span:
     """A single timed region; records one complete event on exit."""
 
-    __slots__ = ("_tracer", "name", "cat", "args", "_ts", "_cpu_start", "_span_id")
+    __slots__ = ("_tracer", "name", "cat", "args", "_ts", "_cpu_start", "_span_id",
+                 "_ctx", "_ctx_token")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
         self._tracer = tracer
@@ -89,6 +112,8 @@ class Span:
         self._ts = 0
         self._cpu_start = 0.0
         self._span_id: object = None
+        self._ctx = None
+        self._ctx_token = None
 
     @property
     def id(self) -> int:
@@ -109,6 +134,17 @@ class Span:
         self.args.update(attrs)
 
     def __enter__(self) -> "Span":
+        ctx = _tracectx.current()
+        if ctx is not None:
+            # Stamp W3C coordinates and become the parent of any span
+            # opened while this one is on the stack.
+            span_id = ctx.child_id()
+            self._span_id = span_id
+            self.args["trace_id"] = ctx.trace_id
+            self.args["span_id"] = span_id
+            self.args["parent_id"] = ctx.span_id
+            self._ctx = ctx
+            self._ctx_token = _tracectx.activate(ctx.child(span_id))
         self._ts = self._tracer._now_us()
         if not self._tracer.deterministic:
             self._cpu_start = time.process_time()
@@ -125,7 +161,29 @@ class Span:
             duration = max(end - self._ts, 0)
             cpu_ms = (time.process_time() - self._cpu_start) * 1000.0
             self.args["cpu_ms"] = round(cpu_ms, 3)
+        if self._ctx_token is not None:
+            _tracectx.deactivate(self._ctx_token)
+            self._ctx_token = None
         tracer._record(self, self._ts, duration)
+        ctx = self._ctx
+        if ctx is not None and ctx.sink is not None:
+            detail = {
+                key: value
+                for key, value in self.args.items()
+                if key not in ("trace_id", "span_id", "parent_id")
+            }
+            ctx.sink.append(
+                {
+                    "name": self.name,
+                    "cat": self.cat,
+                    "trace_id": ctx.trace_id,
+                    "span_id": self._span_id,
+                    "parent_id": ctx.span_id,
+                    "ts_us": self._ts,
+                    "dur_us": duration,
+                    "args": detail,
+                }
+            )
 
 
 class Tracer:
@@ -242,6 +300,19 @@ class Tracer:
             lines.append(json.dumps(event, sort_keys=True, separators=(",", ":")) + ",")
         Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
         return len(events)
+
+
+class _SinkOnlyTracer(Tracer):
+    """A tracer whose events vanish: spans opened purely for a request
+    context's sink.  Shared process-wide — it holds no per-span state
+    (the Span itself does) and its event buffer is never appended to,
+    so it cannot grow with endpoint uptime."""
+
+    def _record(self, span_obj: Span, ts: int, duration: int) -> None:
+        pass
+
+
+_SINK_TRACER = _SinkOnlyTracer()
 
 
 def read_trace(path, warn: Optional[Callable[[str], None]] = None) -> List[dict]:

@@ -52,15 +52,26 @@ class ObsConfig:
     trace: bool = False
     deterministic: bool = False
     obs_dir: Optional[str] = None
+    # Ambient W3C trace coordinates at pool-spawn time:
+    # (trace_id, span_id, flags, deterministic ids).  Workers re-activate
+    # them so a per-task ``task_scope(key)`` derives exactly the child
+    # context the serial loop would — the --jobs 1/2 id-identity contract.
+    trace_ctx: Optional[tuple] = None
 
     @classmethod
     def from_tracer(cls, tracer) -> "ObsConfig":
-        from .obs import shm
+        from .obs import shm, tracectx
 
+        ctx = tracectx.current()
         return cls(
             trace=tracer is not None,
             deterministic=bool(getattr(tracer, "deterministic", False)),
             obs_dir=shm.configured_dir(),
+            trace_ctx=(
+                (ctx.trace_id, ctx.span_id, ctx.flags, ctx.deterministic)
+                if ctx is not None
+                else None
+            ),
         )
 
     def make_tracer(self):
@@ -71,15 +82,24 @@ class ObsConfig:
         return Tracer(deterministic=self.deterministic)
 
     def attach_worker(self) -> None:
-        """Attach this worker process to the shared observability
-        directory (metric shard + event log).  Called from pool
-        initializers; a no-op when no ``--obs-dir`` was configured."""
-        if not self.obs_dir:
-            return
-        from .obs import events, shm
+        """Attach this worker process to the shared observability state:
+        the metric shard + event log directory (when ``--obs-dir`` was
+        configured) and the parent's ambient trace context (when one was
+        active at pool spawn).  Called from pool initializers."""
+        if self.obs_dir:
+            from .obs import events, shm
 
-        shm.configure(self.obs_dir)
-        events.configure(self.obs_dir)
+            shm.configure(self.obs_dir)
+            events.configure(self.obs_dir)
+        if self.trace_ctx is not None:
+            from .obs import tracectx
+
+            trace_id, span_id, flags, deterministic = self.trace_ctx
+            tracectx.activate(
+                tracectx.TraceContext(
+                    trace_id, span_id, flags=flags, deterministic=deterministic
+                )
+            )
 
 
 def pool_context():

@@ -61,6 +61,7 @@ from .functions import (
     order_key,
 )
 from ..obs import metrics as _metrics
+from ..obs import tracectx as _tracectx
 from ..obs.trace import span as _span
 from .encoded import encoded_executor
 from .parser import parse_query
@@ -423,7 +424,12 @@ class QueryEngine:
             "cache": cache,
             "plan_digest": None,
             "generation": self.source_version(),
-            "span_id": query_span.id if self.tracer is not None else None,
+            # W3C coordinates of the enclosing request, when one is
+            # active: the slow-log entry joins /trace/<id> and the
+            # X-Trace-Id header by this id.  (NULL_SPAN.id is None, so
+            # untraced engines record span_id: null as before.)
+            "trace_id": _tracectx.current_trace_id(),
+            "span_id": query_span.id,
             "operators": [],
         }
         if parsed is not None:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import shm as _shm
+from ..obs import tracectx as _tracectx
 from ..obs.trace import span
 from ..parallel import ObsConfig, RemoteError, pool_context, resolve_jobs
 from ..rdf.graph import Dataset
@@ -227,7 +228,11 @@ def _parse_batch_task(task) -> Tuple[str, object, Optional[list]]:
     if tracer is not None:
         tracer.reset_clock()
     try:
-        batch = _parse_batch(_INGEST_ROOT, relpath, rdf_format, digest, tracer=tracer)
+        # Phase-scoped trace derivation ("parse:<file>"): the parent
+        # applies the batch under its own "apply:<file>" scope, so both
+        # phases mint the same span ids at any worker count.
+        with _tracectx.task_scope(f"parse:{relpath}"):
+            batch = _parse_batch(_INGEST_ROOT, relpath, rdf_format, digest, tracer=tracer)
         # Per-task publication: the pool is terminated (not joined) on
         # exit, so this is the last guaranteed flush before the parent's
         # orphan sweep folds this worker's shard.
@@ -325,8 +330,11 @@ def ingest_corpus(
         for relpath, rdf_format in pending:
             if tracer is not None:
                 tracer.reset_clock()
-            batch = _parse_batch(root, relpath, rdf_format, digests[relpath], tracer=tracer)
-            added = _apply_batch(store, batch, tracer=tracer)
+            with _tracectx.task_scope(f"parse:{relpath}"):
+                batch = _parse_batch(root, relpath, rdf_format, digests[relpath],
+                                     tracer=tracer)
+            with _tracectx.task_scope(f"apply:{relpath}"):
+                added = _apply_batch(store, batch, tracer=tracer)
             report.quads_added += added
             report.parsed.append(relpath)
             _INGEST_QUADS.inc(added)
@@ -351,7 +359,8 @@ def ingest_corpus(
                 if tracer is not None:
                     tracer.reset_clock()
                     tracer.add_events(events or ())
-                added = _apply_batch(store, payload, tracer=tracer)
+                with _tracectx.task_scope(f"apply:{payload.relpath}"):
+                    added = _apply_batch(store, payload, tracer=tracer)
                 report.quads_added += added
                 report.parsed.append(payload.relpath)
                 _INGEST_QUADS.inc(added)

@@ -61,3 +61,70 @@ def test_ingest_trace_byte_identical_across_jobs(tiny_corpus_dir, tmp_path):
     for event in events:
         if event["name"] == "parse":
             assert event["args"]["quads"] > 0
+
+
+class TestTraceContextParity:
+    """With an active deterministic trace context, worker-minted span
+    ids must equal the serial loop's — the task envelope re-derives the
+    same per-task child context from the same key."""
+
+    @staticmethod
+    def _ctx():
+        from repro.obs import tracectx
+
+        return tracectx.activate(
+            tracectx.start_trace(deterministic=True, seed="parity")
+        )
+
+    def test_build_ids_identical_across_jobs(self, tmp_path):
+        from repro.corpus import CorpusBuilder
+        from repro.obs import tracectx
+        from repro.obs.trace import read_trace
+
+        outputs = []
+        for jobs in (1, 2):
+            token = self._ctx()
+            try:
+                tracer = Tracer(deterministic=True)
+                builder = CorpusBuilder(seed=2013)
+                by_id, plan = builder.plan()
+                plan = plan[:8]
+                list(builder.iter_traces(jobs=jobs, tracer=tracer, plan=plan,
+                                         by_id=by_id))
+                path = tmp_path / f"ctx-build-j{jobs}.trace"
+                tracer.write(path)
+                outputs.append(path.read_bytes())
+            finally:
+                tracectx.deactivate(token)
+        assert outputs[0] == outputs[1]
+        events = read_trace(tmp_path / "ctx-build-j1.trace")
+        trace_ids = {e["args"].get("trace_id") for e in events}
+        assert len(trace_ids) == 1 and None not in trace_ids
+        span_ids = [e["args"]["span_id"] for e in events]
+        assert len(span_ids) == len(set(span_ids)), "span ids must be unique"
+
+    def test_ingest_ids_identical_across_jobs(self, tiny_corpus_dir, tmp_path):
+        from repro.obs import tracectx
+        from repro.obs.trace import read_trace
+        from repro.store import QuadStore, ingest_corpus
+
+        outputs = []
+        for jobs in (1, 2):
+            token = self._ctx()
+            try:
+                tracer = Tracer(deterministic=True)
+                with QuadStore(tmp_path / f"ctx-store-j{jobs}") as store:
+                    ingest_corpus(store, tiny_corpus_dir, jobs=jobs, tracer=tracer)
+                path = tmp_path / f"ctx-ingest-j{jobs}.trace"
+                tracer.write(path)
+                outputs.append(path.read_bytes())
+            finally:
+                tracectx.deactivate(token)
+        assert outputs[0] == outputs[1]
+        events = read_trace(tmp_path / "ctx-ingest-j1.trace")
+        assert all("trace_id" in e["args"] for e in events)
+        parents = {e["args"]["parent_id"] for e in events if e["name"] == "intern"}
+        probes = {e["args"]["parent_id"] for e in events if e["name"] == "parse"}
+        assert parents.isdisjoint(probes) or not parents, (
+            "parse and apply phases derive distinct per-task scopes"
+        )

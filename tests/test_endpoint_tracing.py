@@ -1,0 +1,216 @@
+"""End-to-end request tracing and profiling on the SPARQL endpoint.
+
+One id resolves everywhere: the ``traceparent`` a client sends comes
+back as ``X-Trace-Id`` (on errors too), keys the slow-query-log record,
+and retrieves the span tree at ``GET /trace/<id>``.
+"""
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.endpoint import SparqlEndpoint
+from repro.rdf import Graph, Namespace, PROV, RDF
+
+EX = Namespace("http://example.org/")
+
+TRACEPARENT = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+
+@pytest.fixture()
+def endpoint():
+    g = Graph()
+    g.namespaces.bind("ex", EX)
+    g.add((EX.r1, RDF.type, PROV.Activity))
+    # slow_query_ms=0 records every query; trace_slow_ms=0 admits every
+    # request's span tree, so tests can retrieve them deterministically.
+    server = SparqlEndpoint(g, slow_query_ms=0.0, trace_slow_ms=0.0).start()
+    yield server
+    server.stop()
+
+
+def _get(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    return urllib.request.urlopen(request, timeout=10)
+
+
+def _wait_admitted(server, trace_id, timeout=5.0):
+    """Tail admission happens just *after* the response is written, so a
+    client that immediately asks /trace can race it; wait it out."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if server.trace_ring.get(trace_id) is not None:
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"trace {trace_id} never admitted to the ring")
+
+
+def _query_url(endpoint, query="SELECT ?x WHERE { ?x a prov:Activity }"):
+    return endpoint.query_url + "?" + urllib.parse.urlencode({"query": query})
+
+
+class TestTraceHeaders:
+    def test_inbound_traceparent_echoed(self, endpoint):
+        with _get(_query_url(endpoint), {"traceparent": TRACEPARENT}) as response:
+            assert response.headers["X-Trace-Id"] == TRACE_ID
+            assert float(response.headers["X-Query-Duration-ms"]) >= 0.0
+
+    def test_fresh_root_without_traceparent(self, endpoint):
+        with _get(_query_url(endpoint)) as response:
+            trace_id = response.headers["X-Trace-Id"]
+        assert len(trace_id) == 32
+        assert trace_id != "0" * 32
+
+    def test_malformed_traceparent_restarts_trace(self, endpoint):
+        with _get(_query_url(endpoint), {"traceparent": "00-000-bad"}) as response:
+            trace_id = response.headers["X-Trace-Id"]
+        assert len(trace_id) == 32
+        assert trace_id != "000"
+
+    def test_error_responses_carry_headers(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(endpoint.query_url)  # missing query parameter → 400
+        error = excinfo.value
+        assert error.code == 400
+        assert len(error.headers["X-Trace-Id"]) == 32
+        assert float(error.headers["X-Query-Duration-ms"]) >= 0.0
+
+    def test_404_carries_headers(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(endpoint.url + "/nope", {"traceparent": TRACEPARENT})
+        assert excinfo.value.code == 404
+        assert excinfo.value.headers["X-Trace-Id"] == TRACE_ID
+
+
+class TestTraceRing:
+    def test_span_tree_retrievable_by_trace_id(self, endpoint):
+        with _get(_query_url(endpoint), {"traceparent": TRACEPARENT}):
+            pass
+        _wait_admitted(endpoint, TRACE_ID)
+        with _get(endpoint.url + "/trace/" + TRACE_ID) as response:
+            record = json.loads(response.read())
+        assert record["trace_id"] == TRACE_ID
+        assert record["route"] == "/sparql"
+        assert record["status"] == 200
+        names = {span["name"] for span in record["spans"]}
+        assert "http.request" in names
+        assert "sparql.query" in names
+        (root,) = record["tree"]
+        assert root["name"] == "http.request"
+        assert root["children"], "query spans must nest under the request"
+
+    def test_unknown_trace_id_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(endpoint.url + "/trace/" + "ab" * 16)
+        assert excinfo.value.code == 404
+
+    def test_evicted_trace_id_404(self, endpoint):
+        endpoint.trace_ring.capacity = 1
+        ids = []
+        for _ in range(2):
+            with _get(_query_url(endpoint)) as response:
+                ids.append(response.headers["X-Trace-Id"])
+        first, second = ids
+        _wait_admitted(endpoint, second)  # admitting the 2nd evicts the 1st
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(endpoint.url + "/trace/" + first)
+        assert excinfo.value.code == 404
+
+    def test_trace_index_lists_ids(self, endpoint):
+        with _get(_query_url(endpoint), {"traceparent": TRACEPARENT}):
+            pass
+        _wait_admitted(endpoint, TRACE_ID)
+        with _get(endpoint.url + "/trace") as response:
+            payload = json.loads(response.read())
+        assert TRACE_ID in payload["trace_ids"]
+        assert payload["ring"]["admitted"] >= 1
+
+    def test_fast_requests_not_admitted(self):
+        g = Graph()
+        g.add((EX.r1, RDF.type, PROV.Activity))
+        server = SparqlEndpoint(g, trace_slow_ms=60_000.0).start()
+        try:
+            with _get(_query_url(server), {"traceparent": TRACEPARENT}):
+                pass
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/trace/" + TRACE_ID)
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_errors_admitted_even_when_fast(self):
+        g = Graph()
+        g.add((EX.r1, RDF.type, PROV.Activity))
+        server = SparqlEndpoint(g, trace_slow_ms=60_000.0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError):
+                _get(server.query_url, {"traceparent": TRACEPARENT})  # 400
+            _wait_admitted(server, TRACE_ID)
+            with _get(server.url + "/trace/" + TRACE_ID) as response:
+                record = json.loads(response.read())
+            assert record["status"] == 400
+        finally:
+            server.stop()
+
+
+class TestSlowlogJoin:
+    def test_slowlog_record_carries_trace_id(self, endpoint):
+        with _get(_query_url(endpoint), {"traceparent": TRACEPARENT}):
+            pass
+        with _get(endpoint.url + "/slowlog") as response:
+            payload = json.loads(response.read())
+        assert any(e.get("trace_id") == TRACE_ID for e in payload["entries"])
+
+
+class TestProfileRoute:
+    def test_folded_output(self, endpoint):
+        with _get(endpoint.url + "/debug/profile?seconds=0.2") as response:
+            folded = response.read().decode()
+            assert int(response.headers["X-Profile-Samples"]) >= 1
+        assert folded.strip(), "sampling a live process must see stacks"
+        for line in folded.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+
+    def test_speedscope_output(self, endpoint):
+        url = endpoint.url + "/debug/profile?seconds=0.2&format=speedscope"
+        with _get(url) as response:
+            doc = json.loads(response.read())
+        assert doc["profiles"]
+        assert doc["shared"]["frames"]
+
+    def test_bad_params_400(self, endpoint):
+        for query in ("seconds=nope", "format=flamegraph"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(endpoint.url + "/debug/profile?" + query)
+            assert excinfo.value.code == 400
+
+    def test_stats_reports_tracing_and_profiler(self, endpoint):
+        with _get(endpoint.url + "/stats") as response:
+            stats = json.loads(response.read())
+        assert stats["tracing"]["slow_ms"] == 0.0
+        assert "admitted" in stats["tracing"]["ring"]
+        assert stats["profiler"] == {"running": False}
+
+    def test_always_on_profiler_lifecycle(self):
+        from repro.obs import profiler as profiler_mod
+
+        g = Graph()
+        g.add((EX.r1, RDF.type, PROV.Activity))
+        server = SparqlEndpoint(g, profile_hz=100.0).start()
+        try:
+            with _get(server.url + "/stats") as response:
+                stats = json.loads(response.read())
+            assert stats["profiler"]["running"] is True
+            assert stats["profiler"]["hz"] == 100.0
+            with _get(server.url + "/debug/profile?seconds=0.2") as response:
+                assert response.read().decode().strip()
+        finally:
+            server.stop()
+        assert profiler_mod.get_profiler() is None
